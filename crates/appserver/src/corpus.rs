@@ -1,0 +1,171 @@
+//! Synthetic publishing corpus: the Elsevier article hierarchy
+//! (journals → volumes → issues → articles → references) generated
+//! deterministically — the DESIGN.md substitute for the proprietary
+//! Reference 2.0 content.
+
+/// Shape of the generated corpus.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusSpec {
+    pub journals: usize,
+    pub volumes_per_journal: usize,
+    pub issues_per_volume: usize,
+    pub articles_per_issue: usize,
+    pub references_per_article: usize,
+    pub seed: u64,
+}
+
+impl Default for CorpusSpec {
+    fn default() -> Self {
+        CorpusSpec {
+            journals: 2,
+            volumes_per_journal: 3,
+            issues_per_volume: 2,
+            articles_per_issue: 4,
+            references_per_article: 5,
+            seed: 42,
+        }
+    }
+}
+
+impl CorpusSpec {
+    pub fn total_articles(&self) -> usize {
+        self.journals
+            * self.volumes_per_journal
+            * self.issues_per_volume
+            * self.articles_per_issue
+    }
+}
+
+/// A tiny deterministic PRNG (xorshift64*), so corpora are reproducible
+/// without pulling randomness into the substrate.
+pub struct Prng(u64);
+
+impl Prng {
+    pub fn new(seed: u64) -> Self {
+        Prng(seed.max(1))
+    }
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+const TOPICS: &[&str] = &[
+    "XQuery", "browsers", "databases", "mashups", "indexing", "streams",
+    "caching", "XML", "optimisation", "transactions",
+];
+
+const AUTHORS: &[&str] = &[
+    "Fourny", "Pilman", "Florescu", "Kossmann", "Kraska", "McBeath",
+    "Ullman", "Codd", "Gray", "Stonebraker",
+];
+
+/// Generates the whole corpus as one XML document string (the journal
+/// hierarchy document the XML database stores).
+pub fn generate_corpus(spec: &CorpusSpec) -> String {
+    let mut rng = Prng::new(spec.seed);
+    let mut out = String::with_capacity(64 * 1024);
+    out.push_str("<library>");
+    for j in 0..spec.journals {
+        out.push_str(&format!(
+            "<journal id=\"j{j}\"><title>Journal of {} Research {j}</title>",
+            TOPICS[j % TOPICS.len()]
+        ));
+        for v in 0..spec.volumes_per_journal {
+            out.push_str(&format!("<volume id=\"j{j}-v{v}\" number=\"{}\">", v + 1));
+            for i in 0..spec.issues_per_volume {
+                out.push_str(&format!(
+                    "<issue id=\"j{j}-v{v}-i{i}\" number=\"{}\" year=\"{}\">",
+                    i + 1,
+                    2000 + v
+                ));
+                for a in 0..spec.articles_per_issue {
+                    let id = format!("j{j}-v{v}-i{i}-a{a}");
+                    let topic = TOPICS[rng.below(TOPICS.len())];
+                    let author = AUTHORS[rng.below(AUTHORS.len())];
+                    out.push_str(&format!(
+                        "<article id=\"{id}\"><title>On {topic} ({id})</title>\
+                         <author>{author}</author><pages>{}</pages><references>",
+                        10 + rng.below(20)
+                    ));
+                    for r in 0..spec.references_per_article {
+                        let year = 1980 + rng.below(29);
+                        let cited = AUTHORS[rng.below(AUTHORS.len())];
+                        out.push_str(&format!(
+                            "<reference idx=\"{r}\"><cited>{cited}</cited>\
+                             <year>{year}</year></reference>"
+                        ));
+                    }
+                    out.push_str("</references></article>");
+                }
+                out.push_str("</issue>");
+            }
+            out.push_str("</volume>");
+        }
+        out.push_str("</journal>");
+    }
+    out.push_str("</library>");
+    out
+}
+
+/// Enumerates article ids in the corpus, in document order.
+pub fn article_ids(spec: &CorpusSpec) -> Vec<String> {
+    let mut out = Vec::with_capacity(spec.total_articles());
+    for j in 0..spec.journals {
+        for v in 0..spec.volumes_per_journal {
+            for i in 0..spec.issues_per_volume {
+                for a in 0..spec.articles_per_issue {
+                    out.push(format!("j{j}-v{v}-i{i}-a{a}"));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_and_parses() {
+        let spec = CorpusSpec::default();
+        let a = generate_corpus(&spec);
+        let b = generate_corpus(&spec);
+        assert_eq!(a, b);
+        let doc = xqib_dom::parse_document(&a).unwrap();
+        assert!(doc.len() > 100);
+    }
+
+    #[test]
+    fn corpus_shape() {
+        let spec = CorpusSpec {
+            journals: 2,
+            volumes_per_journal: 2,
+            issues_per_volume: 2,
+            articles_per_issue: 3,
+            references_per_article: 4,
+            seed: 7,
+        };
+        assert_eq!(spec.total_articles(), 24);
+        let xml = generate_corpus(&spec);
+        assert_eq!(xml.matches("<article ").count(), 24);
+        assert_eq!(xml.matches("<reference ").count(), 24 * 4);
+        assert_eq!(article_ids(&spec).len(), 24);
+        assert!(xml.contains("id=\"j1-v1-i1-a2\""));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_corpus(&CorpusSpec { seed: 1, ..Default::default() });
+        let b = generate_corpus(&CorpusSpec { seed: 2, ..Default::default() });
+        assert_ne!(a, b);
+    }
+}

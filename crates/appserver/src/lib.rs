@@ -1,0 +1,31 @@
+//! # xqib-appserver
+//!
+//! The **server tier** of the Elsevier Reference 2.0 scenario (§6.1): an
+//! XML document database (the MarkLogic stand-in), an XQuery application
+//! server that renders pages server-side, a REST interface that serves
+//! whole documents (the migration's caching-friendly API), and the
+//! server-to-client **migration** transformation the paper describes:
+//!
+//! > "the prolog is directly inserted into the script tag, whereas the
+//! > contents enclosed in the outermost element constructors (formerly
+//! > computed by the server) are removed and put into insert expressions
+//! > in the main function (they will be inserted by the client)."
+//!
+//! Plus a deterministic synthetic corpus generator (journals → volumes →
+//! issues → articles with reference lists) standing in for Elsevier's
+//! proprietary content, and the per-deployment metrics the Figure 2
+//! experiment reports.
+
+pub mod corpus;
+pub mod metrics;
+pub mod migrate;
+pub mod render;
+pub mod server;
+pub mod webservice;
+pub mod xmldb;
+
+pub use corpus::{generate_corpus, CorpusSpec};
+pub use metrics::ServerMetrics;
+pub use server::AppServer;
+pub use webservice::WebServiceHost;
+pub use xmldb::XmlDb;

@@ -1,0 +1,32 @@
+//! Server-side metrics for the Figure 2 experiment: how much work and
+//! traffic each deployment (server-rendered vs migrated) costs the server.
+
+/// Counters accumulated by the application server.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ServerMetrics {
+    /// HTTP requests handled.
+    pub requests: u64,
+    /// Bytes shipped to clients.
+    pub bytes_out: u64,
+    /// Server-side XQuery evaluations (the CPU-cost proxy the paper's
+    /// off-loading argument is about).
+    pub xquery_evals: u64,
+}
+
+impl ServerMetrics {
+    pub fn reset(&mut self) {
+        *self = ServerMetrics::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_clears() {
+        let mut m = ServerMetrics { requests: 3, bytes_out: 100, xquery_evals: 2 };
+        m.reset();
+        assert_eq!(m, ServerMetrics::default());
+    }
+}

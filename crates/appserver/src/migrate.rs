@@ -1,0 +1,96 @@
+//! Server-to-client migration (§6.1): produce the page that ships the
+//! XQuery *to the browser*. The served page contains the same rendering
+//! prolog the server used; at interaction time the client fetches **whole
+//! documents** over REST (cached by the plug-in), so "most user requests
+//! can be processed without any interaction with the Elsevier server".
+
+use crate::render::CORPUS_URI;
+
+/// The REST base URL the migrated client uses.
+pub const SERVER_BASE: &str = "http://ref2.example";
+
+/// Generates the migrated page: a static HTML skeleton plus the XQuery
+/// script. The rendering expressions that the server used to evaluate are
+/// moved into insert expressions in client-side functions, exactly the
+/// transformation §6.1 describes.
+pub fn migrated_page() -> String {
+    format!(
+        r#"<html>
+<head><title>Reference 2.0 (client-side)</title>
+<script type="text/xqueryp"><![CDATA[
+declare variable $server := "{SERVER_BASE}";
+declare updating function local:showArticle($id as xs:string) {{
+  (: whole-document fetch; the plug-in caches it, so only the first
+     interaction touches the server :)
+  let $lib := browser:httpGet(concat($server, "/doc?uri={CORPUS_URI}"))
+  let $a := $lib//article[@id = $id]
+  let $refs := $a/references/reference
+  return {{
+    delete node //div[@id="content"]/*;
+    insert node (
+      <h1>{{data($a/title)}}</h1>,
+      <p class="author">{{data($a/author)}}</p>,
+      <table id="refs">{{
+        for $r in $refs
+        order by number($r/year)
+        return <tr><td>{{data($r/cited)}}</td><td>{{data($r/year)}}</td></tr>
+      }}</table>,
+      <div id="stats">
+        <span id="refcount">{{count($refs)}}</span>
+        <span id="minyear">{{min(for $r in $refs return number($r/year))}}</span>
+        <span id="maxyear">{{max(for $r in $refs return number($r/year))}}</span>
+      </div>
+    ) into //div[@id="content"];
+  }}
+}};
+declare updating function local:showIndex() {{
+  let $lib := browser:httpGet(concat($server, "/doc?uri={CORPUS_URI}"))
+  return {{
+    delete node //div[@id="content"]/*;
+    insert node
+      <ul id="journals">{{
+        for $j in $lib//journal
+        return <li id="{{data($j/@id)}}">{{data($j/title)}}
+          ({{count($j//article)}} articles)</li>
+      }}</ul>
+    into //div[@id="content"];
+  }}
+}};
+1
+]]></script>
+</head>
+<body>
+  <div id="nav">Reference 2.0</div>
+  <div id="content"/>
+</body>
+</html>"#
+    )
+}
+
+/// The interaction script the browse session fires per step (what a click
+/// on an article link runs).
+pub fn interaction(article_id: &str) -> String {
+    format!("local:showArticle(\"{article_id}\")")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn migrated_page_parses_as_xml() {
+        let page = migrated_page();
+        let doc = xqib_dom::parse_document(&page).unwrap();
+        assert!(doc.len() > 5);
+        assert!(page.contains("local:showArticle"));
+        assert!(page.contains("/doc?uri=corpus.xml"));
+    }
+
+    #[test]
+    fn interaction_script_shape() {
+        assert_eq!(
+            interaction("j0-v0-i0-a0"),
+            "local:showArticle(\"j0-v0-i0-a0\")"
+        );
+    }
+}

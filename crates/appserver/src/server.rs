@@ -1,0 +1,164 @@
+//! The application server: HTTP-ish routing over the XML database, with
+//! the per-deployment metrics of the Figure 2 experiment.
+
+use xqib_xdm::XdmResult;
+
+use crate::metrics::ServerMetrics;
+use crate::render;
+use crate::xmldb::XmlDb;
+
+/// An application-server response.
+#[derive(Debug, Clone)]
+pub struct ServerResponse {
+    pub status: u16,
+    pub body: String,
+}
+
+/// The Reference 2.0 application server.
+pub struct AppServer {
+    pub db: XmlDb,
+    pub metrics: ServerMetrics,
+}
+
+impl AppServer {
+    /// Builds a server over a corpus document.
+    pub fn new(corpus_xml: &str) -> XdmResult<Self> {
+        let mut db = XmlDb::new();
+        db.load(render::CORPUS_URI, corpus_xml)?;
+        Ok(AppServer { db, metrics: ServerMetrics::default() })
+    }
+
+    /// Handles one request URL (path + query). Routes:
+    ///
+    /// * `/page?article=ID` — server-rendered article page (the "before"
+    ///   deployment: one XQuery evaluation per interaction);
+    /// * `/index` — server-rendered journal index;
+    /// * `/doc?uri=U` — a whole stored document (the migrated deployment's
+    ///   cache-friendly REST API: "serve whole documents rather than
+    ///   individual queries to documents", §6.1);
+    /// * `/query?xq=Q` — ad-hoc server-side XQuery (legacy fine-grained API).
+    pub fn handle(&mut self, url: &str) -> ServerResponse {
+        self.metrics.requests += 1;
+        let (path, query) = split_url(url);
+        let resp = match path.as_str() {
+            "/page" => match param(&query, "article") {
+                Some(id) => self.render_query(&render::article_page_query(&id)),
+                None => not_found("missing article parameter"),
+            },
+            "/index" => self.render_query(&render::index_page_query()),
+            "/doc" => match param(&query, "uri") {
+                Some(uri) => match self.db.serialize(&uri) {
+                    Some(body) => ServerResponse { status: 200, body },
+                    None => not_found(&format!("no document {uri}")),
+                },
+                None => not_found("missing uri parameter"),
+            },
+            "/query" => match param(&query, "xq") {
+                Some(xq) => self.render_query(&xq),
+                None => not_found("missing xq parameter"),
+            },
+            other => not_found(&format!("no route {other}")),
+        };
+        self.metrics.bytes_out += resp.body.len() as u64;
+        resp
+    }
+
+    fn render_query(&mut self, xq: &str) -> ServerResponse {
+        match self.db.query(xq) {
+            Ok(body) => {
+                self.metrics.xquery_evals = self.db.evals;
+                ServerResponse { status: 200, body }
+            }
+            Err(e) => ServerResponse {
+                status: 500,
+                body: format!("<error>{e}</error>"),
+            },
+        }
+    }
+}
+
+fn split_url(url: &str) -> (String, String) {
+    // strip scheme://host if present
+    let rest = match url.split_once("://") {
+        Some((_, r)) => match r.find('/') {
+            Some(i) => &r[i..],
+            None => "/",
+        },
+        None => url,
+    };
+    match rest.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (rest.to_string(), String::new()),
+    }
+}
+
+fn param(query: &str, name: &str) -> Option<String> {
+    for pair in query.split('&') {
+        if let Some((k, v)) = pair.split_once('=') {
+            if k == name {
+                return Some(v.replace('+', " ").replace("%20", " "));
+            }
+        }
+    }
+    None
+}
+
+fn not_found(msg: &str) -> ServerResponse {
+    ServerResponse { status: 404, body: format!("<error>{msg}</error>") }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate_corpus, CorpusSpec};
+
+    fn server() -> AppServer {
+        AppServer::new(&generate_corpus(&CorpusSpec::default())).unwrap()
+    }
+
+    #[test]
+    fn page_route_renders_article() {
+        let mut s = server();
+        let r = s.handle("http://ref2.example/page?article=j0-v0-i0-a0");
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("<table id=\"refs\">"));
+        assert_eq!(s.metrics.requests, 1);
+        assert_eq!(s.metrics.xquery_evals, 1);
+        assert!(s.metrics.bytes_out > 0);
+    }
+
+    #[test]
+    fn doc_route_serves_whole_documents_without_evals() {
+        let mut s = server();
+        let r = s.handle("/doc?uri=corpus.xml");
+        assert_eq!(r.status, 200);
+        assert!(r.body.starts_with("<library>"));
+        assert_eq!(s.metrics.xquery_evals, 0, "no server-side XQuery");
+    }
+
+    #[test]
+    fn unknown_routes_404() {
+        let mut s = server();
+        assert_eq!(s.handle("/nope").status, 404);
+        assert_eq!(s.handle("/page").status, 404);
+        assert_eq!(s.handle("/doc?uri=missing.xml").status, 404);
+        assert_eq!(s.metrics.requests, 3);
+    }
+
+    #[test]
+    fn query_route() {
+        let mut s = server();
+        let r = s.handle("/query?xq=count(doc('corpus.xml')//article)");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "48");
+        let r = s.handle("/query?xq=1+div+0");
+        assert_eq!(r.status, 500);
+    }
+
+    #[test]
+    fn index_route() {
+        let mut s = server();
+        let r = s.handle("/index");
+        assert!(r.body.contains("<ul id=\"journals\">"));
+    }
+}

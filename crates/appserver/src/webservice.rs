@@ -1,0 +1,222 @@
+//! §3.4 — XQuery modules as web services: "a Web service corresponds to an
+//! XQuery module". A [`WebServiceHost`] wraps a library module declared
+//! with `declare option fn:webservice "true"` (and the paper's
+//! `port:NNNN` module extension) and serves its functions over REST-style
+//! calls, so a browser page can
+//! `import module namespace ab = "…"` and call `ab:mul(2, 5)` remotely.
+
+use std::rc::Rc;
+
+use xqib_dom::store::shared_store;
+use xqib_dom::name::FN_NS;
+use xqib_xdm::{Atomic, Item, Sequence, XdmError, XdmResult};
+use xqib_xquery::ast::LibraryModule;
+use xqib_xquery::context::{DynamicContext, StaticContext};
+use xqib_xquery::parser;
+
+/// A web-service endpoint backed by an XQuery library module.
+pub struct WebServiceHost {
+    module: Rc<LibraryModule>,
+    sctx: Rc<StaticContext>,
+    /// number of remote calls served
+    pub calls: u64,
+}
+
+impl WebServiceHost {
+    /// Parses the module source; requires the `fn:webservice "true"`
+    /// option the paper's example declares.
+    pub fn new(source: &str) -> XdmResult<Self> {
+        let module = parser::parse_library(source)?;
+        let is_service = module.prolog.options.iter().any(|(q, v)| {
+            q.matches(Some(FN_NS), "webservice") && v == "true"
+        });
+        if !is_service {
+            return Err(XdmError::new(
+                "XQIB0008",
+                "module does not declare option fn:webservice \"true\"",
+            ));
+        }
+        let mut sctx = StaticContext::default();
+        for f in &module.prolog.functions {
+            sctx.declare_function(f.clone());
+        }
+        Ok(WebServiceHost {
+            module: Rc::new(module),
+            sctx: Rc::new(sctx),
+            calls: 0,
+        })
+    }
+
+    /// The namespace URI the module exports (what clients import).
+    pub fn namespace(&self) -> &str {
+        &self.module.uri
+    }
+
+    /// The `port:NNNN` module extension, if declared.
+    pub fn port(&self) -> Option<u16> {
+        self.module.port
+    }
+
+    /// Exported function names (local parts) with their arities.
+    pub fn exports(&self) -> Vec<(String, usize)> {
+        self.module
+            .prolog
+            .functions
+            .iter()
+            .map(|f| (f.name.local.to_string(), f.params.len()))
+            .collect()
+    }
+
+    /// Invokes an exported function with atomic arguments (remote calls
+    /// marshal atomics; numbers are detected, everything else is a string,
+    /// mirroring simple WSDL/REST marshalling).
+    pub fn call(&mut self, local: &str, args: &[&str]) -> XdmResult<String> {
+        self.calls += 1;
+        let qname = xqib_dom::QName::ns(&self.module.uri, local);
+        let decl = self
+            .sctx
+            .lookup_function(&qname, args.len())
+            .ok_or_else(|| XdmError::unknown_function(local, args.len()))?;
+        let store = shared_store();
+        let mut ctx = DynamicContext::new(store, self.sctx.clone());
+        let argv: Vec<Sequence> = args
+            .iter()
+            .map(|a| {
+                vec![if let Ok(i) = a.parse::<i64>() {
+                    Item::integer(i)
+                } else if let Ok(d) = a.parse::<f64>() {
+                    Item::double(d)
+                } else {
+                    Item::Atomic(Atomic::str(*a))
+                }]
+            })
+            .collect();
+        let result = xqib_xquery::eval::call_user_function(&mut ctx, &decl, argv)?;
+        Ok(xqib_xquery::runtime::render_sequence(&ctx, &result))
+    }
+
+    /// HTTP-ish entry point: `/call?fn=mul&arg=2&arg=5`, plus `/wsdl`
+    /// returning a description document (the paper's import location).
+    pub fn handle(&mut self, url: &str) -> (u16, String) {
+        let (path, query) = match url.split_once('?') {
+            Some((p, q)) => (strip_host(p), q.to_string()),
+            None => (strip_host(url), String::new()),
+        };
+        match path.as_str() {
+            "/wsdl" => {
+                let mut body = format!(
+                    "<service namespace=\"{}\"{}>",
+                    self.namespace(),
+                    match self.port() {
+                        Some(p) => format!(" port=\"{p}\""),
+                        None => String::new(),
+                    }
+                );
+                for (name, arity) in self.exports() {
+                    body.push_str(&format!(
+                        "<function name=\"{name}\" arity=\"{arity}\"/>"
+                    ));
+                }
+                body.push_str("</service>");
+                (200, body)
+            }
+            "/call" => {
+                let mut fname = None;
+                let mut args: Vec<String> = Vec::new();
+                for pair in query.split('&') {
+                    if let Some((k, v)) = pair.split_once('=') {
+                        match k {
+                            "fn" => fname = Some(v.to_string()),
+                            "arg" => args.push(v.replace('+', " ")),
+                            _ => {}
+                        }
+                    }
+                }
+                let Some(fname) = fname else {
+                    return (400, "<error>missing fn parameter</error>".to_string());
+                };
+                let arg_refs: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+                match self.call(&fname, &arg_refs) {
+                    Ok(v) => (200, format!("<result>{v}</result>")),
+                    Err(e) => (500, format!("<error>{e}</error>")),
+                }
+            }
+            other => (404, format!("<error>no route {other}</error>")),
+        }
+    }
+}
+
+fn strip_host(url: &str) -> String {
+    match url.split_once("://") {
+        Some((_, rest)) => match rest.find('/') {
+            Some(i) => rest[i..].to_string(),
+            None => "/".to_string(),
+        },
+        None => url.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's §3.4 module, verbatim.
+    const PAPER_MODULE: &str = r#"module namespace ex="www.example.ch" port:2001;
+declare option fn:webservice "true";
+declare function ex:mul($a,$b) {$a * $b};"#;
+
+    #[test]
+    fn paper_module_hosts_and_calls() {
+        let mut host = WebServiceHost::new(PAPER_MODULE).unwrap();
+        assert_eq!(host.namespace(), "www.example.ch");
+        assert_eq!(host.port(), Some(2001));
+        assert_eq!(host.exports(), vec![("mul".to_string(), 2)]);
+        // the paper's call: ab:mul(2, 5)
+        assert_eq!(host.call("mul", &["2", "5"]).unwrap(), "10");
+        assert_eq!(host.calls, 1);
+    }
+
+    #[test]
+    fn http_entry_points() {
+        let mut host = WebServiceHost::new(PAPER_MODULE).unwrap();
+        let (status, wsdl) = host.handle("http://localhost:2001/wsdl");
+        assert_eq!(status, 200);
+        assert!(wsdl.contains("namespace=\"www.example.ch\""));
+        assert!(wsdl.contains("port=\"2001\""));
+        assert!(wsdl.contains("<function name=\"mul\" arity=\"2\"/>"));
+        let (status, body) = host.handle("http://localhost:2001/call?fn=mul&arg=6&arg=7");
+        assert_eq!(status, 200);
+        assert_eq!(body, "<result>42</result>");
+        let (status, _) = host.handle("/call?fn=nosuch&arg=1");
+        assert_eq!(status, 500);
+        let (status, _) = host.handle("/call");
+        assert_eq!(status, 400);
+        let (status, _) = host.handle("/other");
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn string_arguments_marshal() {
+        let mut host = WebServiceHost::new(
+            r#"module namespace g = "urn:greet";
+declare option fn:webservice "true";
+declare function g:hello($name) { concat("Hello, ", $name, "!") };"#,
+        )
+        .unwrap();
+        assert_eq!(host.call("hello", &["World"]).unwrap(), "Hello, World!");
+        let (_, body) = host.handle("/call?fn=hello&arg=XQuery+fans");
+        assert_eq!(body, "<result>Hello, XQuery fans!</result>");
+    }
+
+    #[test]
+    fn non_service_module_rejected() {
+        let e = match WebServiceHost::new(
+            r#"module namespace x = "urn:x";
+declare function x:f() { 1 };"#,
+        ) {
+            Ok(_) => panic!("expected rejection"),
+            Err(e) => e,
+        };
+        assert_eq!(e.code, "XQIB0008");
+    }
+}

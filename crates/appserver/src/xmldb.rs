@@ -1,0 +1,112 @@
+//! The XML database (the MarkLogic stand-in of §6.1): a document store
+//! with a server-side XQuery execution facility.
+
+use std::rc::Rc;
+
+use xqib_dom::store::shared_store;
+use xqib_dom::{DocId, SharedStore};
+use xqib_xdm::{Item, XdmResult};
+use xqib_xquery::context::{DynamicContext, StaticContext};
+use xqib_xquery::runtime;
+
+/// A server-side XML database.
+pub struct XmlDb {
+    pub store: SharedStore,
+    /// number of queries evaluated (CPU proxy)
+    pub evals: u64,
+}
+
+impl Default for XmlDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl XmlDb {
+    pub fn new() -> Self {
+        XmlDb { store: shared_store(), evals: 0 }
+    }
+
+    /// Loads a document under a URI.
+    pub fn load(&mut self, uri: &str, xml: &str) -> XdmResult<DocId> {
+        let doc = xqib_dom::parse_document(xml)
+            .map_err(|e| xqib_xdm::XdmError::new("FODC0002", e.to_string()))?;
+        Ok(self.store.borrow_mut().add_document(doc, Some(uri)))
+    }
+
+    /// Serialises a stored document (whole-document REST responses).
+    pub fn serialize(&self, uri: &str) -> Option<String> {
+        let store = self.store.borrow();
+        let id = store.doc_by_uri(uri)?;
+        Some(xqib_dom::serialize::serialize_document(store.doc(id)))
+    }
+
+    /// Runs an XQuery against the database; returns the rendered result.
+    pub fn query(&mut self, src: &str) -> XdmResult<String> {
+        self.evals += 1;
+        let q = runtime::compile(src)?;
+        let mut ctx = DynamicContext::new(self.store.clone(), q.sctx.clone());
+        let result = q.execute(&mut ctx)?;
+        Ok(runtime::render_sequence(&ctx, &result))
+    }
+
+    /// Runs an XQuery with the context item set to a stored document.
+    pub fn query_doc(&mut self, uri: &str, src: &str) -> XdmResult<String> {
+        self.evals += 1;
+        let q = runtime::compile(src)?;
+        let sctx: Rc<StaticContext> = q.sctx.clone();
+        let mut ctx = DynamicContext::new(self.store.clone(), sctx);
+        let root = {
+            let store = self.store.borrow();
+            let id = store.doc_by_uri(uri).ok_or_else(|| {
+                xqib_xdm::XdmError::new("FODC0002", format!("no document {uri}"))
+            })?;
+            store.root(id)
+        };
+        ctx.focus = Some(xqib_xquery::context::Focus {
+            item: Item::Node(root),
+            position: 1,
+            size: 1,
+        });
+        let result = q.execute(&mut ctx)?;
+        Ok(runtime::render_sequence(&ctx, &result))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_and_query() {
+        let mut db = XmlDb::new();
+        db.load("lib.xml", "<books><book><title>A</title></book></books>")
+            .unwrap();
+        let out = db.query("count(doc('lib.xml')//book)").unwrap();
+        assert_eq!(out, "1");
+        assert_eq!(db.evals, 1);
+    }
+
+    #[test]
+    fn query_doc_uses_context_item() {
+        let mut db = XmlDb::new();
+        db.load("lib.xml", "<books><book/><book/></books>").unwrap();
+        let out = db.query_doc("lib.xml", "count(//book)").unwrap();
+        assert_eq!(out, "2");
+    }
+
+    #[test]
+    fn serialize_roundtrip() {
+        let mut db = XmlDb::new();
+        db.load("d.xml", "<r><a x=\"1\"/></r>").unwrap();
+        assert_eq!(db.serialize("d.xml").unwrap(), "<r><a x=\"1\"/></r>");
+        assert!(db.serialize("missing.xml").is_none());
+    }
+
+    #[test]
+    fn bad_query_is_error() {
+        let mut db = XmlDb::new();
+        assert!(db.query("1 +").is_err());
+        assert!(db.query_doc("nope.xml", "1").is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! Experiment E1 (Figure 1): the plug-in architecture's event loop.
+//!
+//! Measures the full lifecycle cost: browser event → DOM L3 dispatch plan →
+//! XQuery listener invocation → pending updates applied to the live DOM.
+//! Parameters: L = number of registered listeners/buttons on the page.
+
+use criterion::{BenchmarkId, Criterion};
+
+use xqib_bench::{criterion as crit, plugin_with_listeners, row};
+
+fn print_table() {
+    println!("\n== E1 / Figure 1: plug-in event loop ==");
+    row(&["listeners", "events dispatched", "counter value", "net effect"]);
+    for listeners in [1usize, 10, 100] {
+        let mut p = plugin_with_listeners(listeners);
+        let events = 100usize;
+        for i in 0..events {
+            let b = p
+                .element_by_id(&format!("b{}", i % listeners))
+                .expect("button");
+            p.click(b).expect("dispatch");
+        }
+        let count = p
+            .eval("string(//span[@id='n'])")
+            .map(|s| p.render(&s))
+            .unwrap_or_default();
+        row(&[
+            &listeners.to_string(),
+            &events.to_string(),
+            &count,
+            "each event ran exactly one listener",
+        ]);
+        assert_eq!(count, events.to_string());
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_event_dispatch");
+    for listeners in [1usize, 10, 100] {
+        let mut p = plugin_with_listeners(listeners);
+        let button = p.element_by_id("b0").expect("button");
+        group.bench_with_input(
+            BenchmarkId::new("click_through_plugin", listeners),
+            &listeners,
+            |b, _| {
+                b.iter(|| {
+                    p.click(button).expect("dispatch");
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // page-load cost (parse + compile + run main + register listeners)
+    let mut group = c.benchmark_group("fig1_page_load");
+    for listeners in [1usize, 10, 100] {
+        group.bench_with_input(
+            BenchmarkId::new("load_page", listeners),
+            &listeners,
+            |b, &l| {
+                b.iter(|| plugin_with_listeners(l));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    print_table();
+    let mut c = crit();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,172 @@
+//! Experiment E5 — the §7 future-work study: "the performance of XQuery in
+//! the browser as compared to JavaScript", on identical DOM tasks run by
+//! both engines over the same DOM substrate:
+//!
+//! * build an N×N table;
+//! * search-and-annotate (`//div[contains(., w)]` + insert, §2.2's example);
+//! * bulk attribute update over D elements.
+
+use criterion::{BenchmarkId, Criterion};
+
+use xqib_bench::{criterion as crit, row};
+use xqib_core::plugin::{Plugin, PluginConfig};
+use xqib_minijs::JsEngine;
+
+fn xq_build_table(n: usize) -> Plugin {
+    let page = format!(
+        r#"<html><head><script type="text/xqueryp"><![CDATA[
+        insert node
+          <table>{{
+            for $i in 1 to {n}
+            return <tr>{{ for $j in 1 to {n} return <td>{{$i * $j}}</td> }}</tr>
+          }}</table>
+        into //body[1]
+        ]]></script></head><body></body></html>"#
+    );
+    let mut p = Plugin::new(PluginConfig::default());
+    p.load_page(&page).expect("xq table page");
+    p
+}
+
+fn js_build_table(n: usize) -> JsEngine {
+    let store = xqib_dom::store::shared_store();
+    let doc = xqib_dom::parse_document("<html><body></body></html>").unwrap();
+    let id = store.borrow_mut().add_document(doc, None);
+    let mut js = JsEngine::new(store, id);
+    js.run(&format!(
+        "var n = {n};
+         var table = document.createElement('table');
+         var i = 1;
+         while (i <= n) {{
+             var tr = document.createElement('tr');
+             var j = 1;
+             while (j <= n) {{
+                 var td = document.createElement('td');
+                 td.appendChild(document.createTextNode('' + (i * j)));
+                 tr.appendChild(td);
+                 j = j + 1;
+             }}
+             table.appendChild(tr);
+             i = i + 1;
+         }}
+         document.body.appendChild(table);"
+    ))
+    .expect("js table");
+    js
+}
+
+fn divs_page(d: usize) -> String {
+    let mut body = String::new();
+    for i in 0..d {
+        let word = if i % 10 == 0 { "love" } else { "filler" };
+        body.push_str(&format!("<div id=\"d{i}\">some {word} text {i}</div>"));
+    }
+    format!("<html><body>{body}</body></html>")
+}
+
+fn print_table() {
+    println!("\n== E5 / §7 future work: XQuery vs JavaScript on identical DOM tasks ==");
+    row(&["task", "engine", "result check"]);
+    let p = xq_build_table(10);
+    assert!(p.serialize_page().matches("<td>").count() == 100);
+    row(&["build 10x10 table", "XQuery", "100 cells ✓"]);
+    let js = js_build_table(10);
+    let page = {
+        let s = js.store.borrow();
+        xqib_dom::serialize::serialize_document(s.doc(js.doc))
+    };
+    assert!(page.matches("<td>").count() == 100);
+    row(&["build 10x10 table", "JavaScript", "100 cells ✓"]);
+    println!("(timings below; the point is shape, not absolute numbers)");
+}
+
+fn bench(c: &mut Criterion) {
+    // task 1: table building
+    let mut group = c.benchmark_group("fig4_build_table");
+    for n in [5usize, 10, 20] {
+        group.bench_with_input(BenchmarkId::new("xquery", n), &n, |b, &n| {
+            b.iter(|| xq_build_table(n));
+        });
+        group.bench_with_input(BenchmarkId::new("javascript", n), &n, |b, &n| {
+            b.iter(|| js_build_table(n));
+        });
+    }
+    group.finish();
+
+    // task 2: search-and-annotate (§2.2's heart.gif example)
+    let mut group = c.benchmark_group("fig4_search_annotate");
+    for d in [100usize, 1000] {
+        let page = divs_page(d);
+        group.bench_with_input(BenchmarkId::new("xquery", d), &d, |b, _| {
+            let mut p = Plugin::new(PluginConfig::default());
+            p.load_page(&page).expect("page");
+            b.iter(|| {
+                p.eval(
+                    "if (count(//div[contains(., 'love')]) > 0)
+                     then insert node <img src=\"heart.gif\"/> as first into //body[1]
+                     else ()",
+                )
+                .expect("annotate")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("javascript", d), &d, |b, _| {
+            let store = xqib_dom::store::shared_store();
+            let doc = xqib_dom::parse_document(&page).unwrap();
+            let id = store.borrow_mut().add_document(doc, None);
+            let mut js = JsEngine::new(store, id);
+            b.iter(|| {
+                js.run(
+                    "var res = document.evaluate(\"//div[contains(., 'love')]\", document, null, 7, null);
+                     if (res.snapshotLength > 0) {
+                         var img = document.createElement('img');
+                         img.setAttribute('src', 'heart.gif');
+                         document.body.insertBefore(img, document.body.firstChild);
+                     }",
+                )
+                .expect("annotate")
+            });
+        });
+    }
+    group.finish();
+
+    // task 3: bulk attribute update
+    let mut group = c.benchmark_group("fig4_bulk_update");
+    for d in [100usize, 1000] {
+        let page = divs_page(d);
+        group.bench_with_input(BenchmarkId::new("xquery", d), &d, |b, _| {
+            let mut p = Plugin::new(PluginConfig::default());
+            p.load_page(&page).expect("page");
+            b.iter(|| {
+                p.eval(
+                    "for $d in //div return replace value of node $d/@id with 'x'",
+                )
+                .expect("update")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("javascript", d), &d, |b, _| {
+            let store = xqib_dom::store::shared_store();
+            let doc = xqib_dom::parse_document(&page).unwrap();
+            let id = store.borrow_mut().add_document(doc, None);
+            let mut js = JsEngine::new(store, id);
+            b.iter(|| {
+                js.run(
+                    "var res = document.evaluate('//div', document, null, 7, null);
+                     var i = 0;
+                     while (i < res.snapshotLength) {
+                         res.snapshotItem(i).setAttribute('id', 'x');
+                         i = i + 1;
+                     }",
+                )
+                .expect("update")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    print_table();
+    let mut c = crit();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,194 @@
+//! Engine microbenchmarks: the substrate costs underneath every
+//! experiment — XML parsing, XPath navigation, FLWOR, updates (PUL apply),
+//! full-text search, regex functions, query compilation, and the
+//! security-check overhead of window materialisation (E6).
+
+use criterion::{BenchmarkId, Criterion};
+
+use xqib_bench::criterion as crit;
+use xqib_core::plugin::{Plugin, PluginConfig};
+use xqib_dom::store::shared_store;
+use xqib_xquery::runtime::run_to_string;
+
+fn library_xml(books: usize) -> String {
+    let mut out = String::from("<books>");
+    for i in 0..books {
+        out.push_str(&format!(
+            "<book year=\"{}\"><title>Title {i} dogs</title>\
+             <author>Author{}</author><price>{}</price></book>",
+            2000 + (i % 10),
+            i % 7,
+            10 + (i % 90)
+        ));
+    }
+    out.push_str("</books>");
+    out
+}
+
+fn store_with_library(books: usize) -> xqib_dom::SharedStore {
+    let store = shared_store();
+    let doc = xqib_dom::parse_document(&library_xml(books)).unwrap();
+    store.borrow_mut().add_document(doc, Some("lib.xml"));
+    store
+}
+
+fn bench(c: &mut Criterion) {
+    // XML parsing throughput
+    let mut group = c.benchmark_group("micro_xml_parse");
+    for books in [100usize, 1000] {
+        let xml = library_xml(books);
+        group.bench_with_input(BenchmarkId::new("parse", books), &books, |b, _| {
+            b.iter(|| xqib_dom::parse_document(&xml).unwrap());
+        });
+    }
+    group.finish();
+
+    // path navigation
+    let mut group = c.benchmark_group("micro_paths");
+    for books in [100usize, 1000] {
+        let store = store_with_library(books);
+        for (name, q) in [
+            ("descendant", "count(doc('lib.xml')//book)"),
+            ("predicate", "count(doc('lib.xml')//book[price > 50])"),
+            ("positional", "string(doc('lib.xml')//book[last()]/title)"),
+            ("attribute", "count(doc('lib.xml')//book[@year = '2005'])"),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, books),
+                &books,
+                |b, _| {
+                    b.iter(|| run_to_string(q, store.clone()).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // FLWOR with ordering
+    let mut group = c.benchmark_group("micro_flwor");
+    for books in [100usize, 1000] {
+        let store = store_with_library(books);
+        group.bench_with_input(BenchmarkId::new("order_by", books), &books, |b, _| {
+            b.iter(|| {
+                run_to_string(
+                    "count(for $b in doc('lib.xml')//book \
+                     order by number($b/price) descending return $b)",
+                    store.clone(),
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+
+    // updates: insert+delete round trip through the PUL
+    let mut group = c.benchmark_group("micro_updates");
+    for books in [100usize, 1000] {
+        let store = store_with_library(books);
+        group.bench_with_input(BenchmarkId::new("insert_delete", books), &books, |b, _| {
+            b.iter(|| {
+                run_to_string(
+                    "insert node <book year=\"2009\"><title>New</title></book> \
+                     into doc('lib.xml')/books",
+                    store.clone(),
+                )
+                .unwrap();
+                run_to_string(
+                    "delete node doc('lib.xml')//book[title = 'New']",
+                    store.clone(),
+                )
+                .unwrap();
+            });
+        });
+    }
+    group.finish();
+
+    // full-text with stemming
+    let mut group = c.benchmark_group("micro_fulltext");
+    for books in [100usize, 1000] {
+        let store = store_with_library(books);
+        group.bench_with_input(BenchmarkId::new("ftcontains_stemming", books), &books, |b, _| {
+            b.iter(|| {
+                run_to_string(
+                    "count(for $b in doc('lib.xml')//book \
+                     where $b/title ftcontains (\"dog\" with stemming) return $b)",
+                    store.clone(),
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+
+    // regex functions
+    let mut group = c.benchmark_group("micro_regex");
+    group.bench_function("matches", |b| {
+        let store = shared_store();
+        b.iter(|| {
+            run_to_string(
+                "matches('the quick brown fox jumps', '(q[a-z]+).*(j[a-z]+)')",
+                store.clone(),
+            )
+            .unwrap()
+        });
+    });
+    group.bench_function("replace", |b| {
+        let store = shared_store();
+        b.iter(|| {
+            run_to_string(
+                "replace('2009-04-20 2008-12-31', '(\\d+)-(\\d+)-(\\d+)', '$3/$2/$1')",
+                store.clone(),
+            )
+            .unwrap()
+        });
+    });
+    group.finish();
+
+    // compilation cost (the per-page-load parser work)
+    let mut group = c.benchmark_group("micro_compile");
+    let src = r#"declare updating function local:f($evt, $obj) {
+        for $x in //div[@class = "item"]
+        where $x/@price > 10
+        order by number($x/@price)
+        return insert node <li>{data($x)}</li> into //ul[1]
+    };
+    on event "onclick" at //input attach listener local:f"#;
+    group.bench_function("compile_listener_script", |b| {
+        b.iter(|| xqib_xquery::compile(src).unwrap());
+    });
+    group.finish();
+
+    // E6: security-check overhead of window materialisation
+    let mut group = c.benchmark_group("micro_window_views");
+    for frames in [1usize, 10, 50] {
+        let mut p = Plugin::new(PluginConfig::default());
+        {
+            let mut host = p.host.borrow_mut();
+            let top = host.browser.top();
+            for i in 0..frames {
+                // half same-origin, half cross-origin: both paths costed
+                let url = if i % 2 == 0 {
+                    format!("http://www.xqib.org/f{i}")
+                } else {
+                    format!("http://other{i}.example/")
+                };
+                host.browser.create_frame(top, &format!("f{i}"), &url);
+            }
+        }
+        p.load_page("<html><body/></html>").expect("page");
+        group.bench_with_input(
+            BenchmarkId::new("browser_top_with_checks", frames),
+            &frames,
+            |b, _| {
+                b.iter(|| p.eval("count(browser:top()//window)").expect("view"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = crit();
+    bench(&mut c);
+    c.final_summary();
+}

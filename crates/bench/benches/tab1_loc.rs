@@ -1,0 +1,108 @@
+//! Experiment E4 (the §6.3 lines-of-code comparison): 77 lines of
+//! JavaScript vs 29 lines of XQuery for the multiplication table, and the
+//! shopping cart's technology-stack collapse.
+//!
+//! Prints the LoC table, verifies both implementations produce the same
+//! DOM, then times building the table in each language.
+
+use criterion::Criterion;
+
+use xqib_bench::{criterion as crit, row};
+use xqib_browser::net::Response;
+use xqib_core::plugin::{Plugin, PluginConfig};
+use xqib_core::samples;
+use xqib_minijs::JsEngine;
+
+fn xquery_table() -> Plugin {
+    let mut p = Plugin::new(PluginConfig::default());
+    p.load_page(samples::MULTIPLICATION_TABLE_XQUERY)
+        .expect("xquery page");
+    p
+}
+
+fn js_table() -> JsEngine {
+    let store = xqib_dom::store::shared_store();
+    let doc = xqib_dom::parse_document("<html><body></body></html>").unwrap();
+    let id = store.borrow_mut().add_document(doc, None);
+    let mut js = JsEngine::new(store, id);
+    js.run(samples::MULTIPLICATION_TABLE_JS).expect("js runs");
+    js
+}
+
+fn print_table() {
+    println!("\n== E4 / §6.3: lines-of-code comparison ==");
+    row(&["program", "language(s)", "LoC", "paper says"]);
+    row(&[
+        "multiplication table",
+        "JavaScript",
+        &samples::count_loc(samples::MULTIPLICATION_TABLE_JS).to_string(),
+        "77",
+    ]);
+    row(&[
+        "multiplication table",
+        "XQuery",
+        &samples::count_loc(samples::MULTIPLICATION_TABLE_XQUERY).to_string(),
+        "29",
+    ]);
+    row(&[
+        "shopping cart (client)",
+        "JavaScript+XPath",
+        &samples::count_loc(samples::SHOPPING_CART_JS).to_string(),
+        "(plus JSP+SQL server code)",
+    ]);
+    row(&[
+        "shopping cart (whole app)",
+        "XQuery only",
+        &samples::count_loc(samples::SHOPPING_CART_XQUERY).to_string(),
+        "one language, one tier fewer",
+    ]);
+    let js = samples::count_loc(samples::MULTIPLICATION_TABLE_JS) as f64;
+    let xq = samples::count_loc(samples::MULTIPLICATION_TABLE_XQUERY) as f64;
+    println!("factor: {:.2}x fewer lines in XQuery (paper: 77/29 = 2.66x)", js / xq);
+
+    // behavioural equivalence: both render the same 10x10 table
+    let p = xquery_table();
+    let xq_page = p.serialize_page();
+    let js = js_table();
+    let js_page = {
+        let s = js.store.borrow();
+        xqib_dom::serialize::serialize_document(s.doc(js.doc))
+    };
+    for (i, j) in [(1, 1), (5, 7), (10, 10)] {
+        let cell = format!("<td id=\"c{i}-{j}\">{}</td>", i * j);
+        assert!(xq_page.contains(&cell), "XQuery renders {cell}");
+        assert!(js_page.contains(&cell), "JS renders {cell}");
+    }
+    println!("equivalence check: both languages render identical cells ✓");
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tab1_build_table");
+    group.bench_function("xquery_page_load", |b| b.iter(xquery_table));
+    group.bench_function("js_page_load", |b| b.iter(js_table));
+    group.finish();
+
+    // the shopping-cart page load, XQuery-only
+    let mut group = c.benchmark_group("tab1_shopping_cart");
+    group.bench_function("xquery_only_load", |b| {
+        b.iter(|| {
+            let mut p = Plugin::new(PluginConfig::default());
+            p.host.borrow_mut().net.register("http://shop.example/", 10, |_| {
+                Response::ok(
+                    "<products><product><name>Laptop</name><price>999</price></product>\
+                     <product><name>Mouse</name><price>10</price></product></products>",
+                )
+            });
+            p.load_page(samples::SHOPPING_CART_XQUERY).expect("page");
+            p
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    print_table();
+    let mut c = crit();
+    bench(&mut c);
+    c.final_summary();
+}

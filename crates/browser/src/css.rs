@@ -1,0 +1,115 @@
+//! The CSS style store (§4.5).
+//!
+//! "This has the additional advantage of not integrating the style
+//! properties in the XML tree as children of the style attribute, which
+//! would not be correct XML." — styles live *beside* the DOM, keyed by node,
+//! exactly as the paper recommends. The XQIB plug-in routes `set style` /
+//! `get style` here; without a plug-in, the engine falls back to the
+//! `style` attribute (both paths are exercised by the ablation bench).
+
+use std::collections::HashMap;
+
+use xqib_dom::NodeRef;
+
+/// Per-node style property map.
+#[derive(Debug, Default)]
+pub struct CssStore {
+    props: HashMap<NodeRef, Vec<(String, String)>>,
+    /// write counter (experiment instrumentation)
+    pub writes: u64,
+}
+
+impl CssStore {
+    pub fn new() -> Self {
+        CssStore::default()
+    }
+
+    /// Sets one property of one element.
+    pub fn set(&mut self, node: NodeRef, prop: &str, value: &str) {
+        self.writes += 1;
+        let list = self.props.entry(node).or_default();
+        match list.iter_mut().find(|(p, _)| p == prop) {
+            Some(slot) => slot.1 = value.to_string(),
+            None => list.push((prop.to_string(), value.to_string())),
+        }
+    }
+
+    /// Reads one property.
+    pub fn get(&self, node: NodeRef, prop: &str) -> Option<&str> {
+        self.props
+            .get(&node)?
+            .iter()
+            .find(|(p, _)| p == prop)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All properties of a node (stable insertion order).
+    pub fn all(&self, node: NodeRef) -> &[(String, String)] {
+        self.props.get(&node).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Removes one property; true if it existed.
+    pub fn remove(&mut self, node: NodeRef, prop: &str) -> bool {
+        if let Some(list) = self.props.get_mut(&node) {
+            let before = list.len();
+            list.retain(|(p, _)| p != prop);
+            return list.len() != before;
+        }
+        false
+    }
+
+    /// Drops all styles of a node (element removed from the page).
+    pub fn clear_node(&mut self, node: NodeRef) {
+        self.props.remove(&node);
+    }
+
+    /// Number of styled nodes.
+    pub fn styled_nodes(&self) -> usize {
+        self.props.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqib_dom::{DocId, NodeId};
+
+    fn n(i: u32) -> NodeRef {
+        NodeRef::new(DocId(0), NodeId(i))
+    }
+
+    #[test]
+    fn set_get_overwrite() {
+        let mut css = CssStore::new();
+        css.set(n(1), "border-margin", "2px");
+        assert_eq!(css.get(n(1), "border-margin"), Some("2px"));
+        css.set(n(1), "border-margin", "4px");
+        assert_eq!(css.get(n(1), "border-margin"), Some("4px"));
+        assert_eq!(css.all(n(1)).len(), 1);
+        assert_eq!(css.writes, 2);
+    }
+
+    #[test]
+    fn independent_nodes_and_props() {
+        let mut css = CssStore::new();
+        css.set(n(1), "color", "red");
+        css.set(n(2), "color", "blue");
+        css.set(n(1), "font-size", "12px");
+        assert_eq!(css.get(n(1), "color"), Some("red"));
+        assert_eq!(css.get(n(2), "color"), Some("blue"));
+        assert_eq!(css.get(n(2), "font-size"), None);
+        assert_eq!(css.styled_nodes(), 2);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut css = CssStore::new();
+        css.set(n(1), "color", "red");
+        css.set(n(1), "width", "10px");
+        assert!(css.remove(n(1), "color"));
+        assert!(!css.remove(n(1), "color"));
+        assert_eq!(css.all(n(1)).len(), 1);
+        css.clear_node(n(1));
+        assert_eq!(css.all(n(1)).len(), 0);
+    }
+}

@@ -1,0 +1,366 @@
+//! DOM Level 3 event dispatch (§4.3): listener registration, the
+//! capture → target → bubble propagation path, `stopPropagation` and
+//! `preventDefault`.
+//!
+//! Listeners are opaque handles (`ListenerId` → host callback key): the
+//! event system is host-agnostic, so the XQIB plug-in registers XQuery
+//! listener QNames and the minijs baseline registers JS functions against
+//! the *same* dispatch machinery — the co-existence claim of §6.2.
+
+use std::collections::HashMap;
+
+use xqib_dom::{NodeRef, Store};
+
+/// An opaque listener handle. The host maps it to executable code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ListenerId(pub u64);
+
+/// Dispatch phases, per DOM Level 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventPhase {
+    Capture,
+    Target,
+    Bubble,
+}
+
+/// An event instance travelling the propagation path.
+#[derive(Debug, Clone)]
+pub struct DomEvent {
+    /// The event type, e.g. `"onclick"` (the paper keeps IE's `on…` names).
+    pub event_type: String,
+    pub target: NodeRef,
+    /// Modifier/button state, exposed to listeners as the event node's
+    /// children (§4.3.2: `$evt/altKey`, `$evt/button`, …).
+    pub alt_key: bool,
+    pub ctrl_key: bool,
+    pub shift_key: bool,
+    /// 0 = none, 1 = left, 2 = right (the §4.3.2 listener example).
+    pub button: u8,
+    /// Free-form payload (readyState notifications, custom events).
+    pub detail: String,
+}
+
+impl DomEvent {
+    pub fn new(event_type: &str, target: NodeRef) -> Self {
+        DomEvent {
+            event_type: event_type.to_string(),
+            target,
+            alt_key: false,
+            ctrl_key: false,
+            shift_key: false,
+            button: 1,
+            detail: String::new(),
+        }
+    }
+
+    pub fn with_button(mut self, button: u8) -> Self {
+        self.button = button;
+        self
+    }
+
+    pub fn with_detail(mut self, detail: &str) -> Self {
+        self.detail = detail.to_string();
+        self
+    }
+}
+
+/// One registration.
+#[derive(Debug, Clone)]
+struct Registration {
+    listener: ListenerId,
+    capture: bool,
+}
+
+/// A single dispatch step handed to the host: run `listener` with the event
+/// at `current_target` in `phase`.
+#[derive(Debug, Clone)]
+pub struct DispatchStep {
+    pub listener: ListenerId,
+    pub current_target: NodeRef,
+    pub phase: EventPhase,
+}
+
+/// Outcome flags a listener can set.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ListenerOutcome {
+    pub stop_propagation: bool,
+    pub prevent_default: bool,
+}
+
+/// The listener registry + propagation-path computation.
+#[derive(Debug, Default)]
+pub struct EventSystem {
+    /// (node, event type) → registrations, in registration order.
+    listeners: HashMap<(NodeRef, String), Vec<Registration>>,
+    next_id: u64,
+    /// total dispatches performed (experiment counters)
+    pub dispatch_count: u64,
+}
+
+impl EventSystem {
+    pub fn new() -> Self {
+        EventSystem::default()
+    }
+
+    /// Allocates a listener handle for the host to map to real code.
+    pub fn fresh_listener_id(&mut self) -> ListenerId {
+        self.next_id += 1;
+        ListenerId(self.next_id)
+    }
+
+    /// `addEventListener(type, listener, capture)`.
+    pub fn add_listener(
+        &mut self,
+        target: NodeRef,
+        event_type: &str,
+        listener: ListenerId,
+        capture: bool,
+    ) {
+        let regs = self
+            .listeners
+            .entry((target, event_type.to_string()))
+            .or_default();
+        // duplicate registration of the same listener/phase is a no-op
+        if !regs
+            .iter()
+            .any(|r| r.listener == listener && r.capture == capture)
+        {
+            regs.push(Registration { listener, capture });
+        }
+    }
+
+    /// `removeEventListener`.
+    pub fn remove_listener(
+        &mut self,
+        target: NodeRef,
+        event_type: &str,
+        listener: ListenerId,
+    ) {
+        if let Some(regs) = self.listeners.get_mut(&(target, event_type.to_string()))
+        {
+            regs.retain(|r| r.listener != listener);
+        }
+    }
+
+    /// Count of live registrations (tests/experiments).
+    pub fn listener_count(&self) -> usize {
+        self.listeners.values().map(|v| v.len()).sum()
+    }
+
+    pub fn listeners_at(&self, target: NodeRef, event_type: &str) -> Vec<ListenerId> {
+        self.listeners
+            .get(&(target, event_type.to_string()))
+            .map(|v| v.iter().map(|r| r.listener).collect())
+            .unwrap_or_default()
+    }
+
+    /// Computes the full dispatch plan for an event: the ordered list of
+    /// listener invocations along capture → target → bubble. The host runs
+    /// the steps, honouring `stop_propagation` by cutting the remainder at
+    /// the first step whose *target differs* from the stopping step's.
+    pub fn dispatch_plan(&mut self, store: &Store, event: &DomEvent) -> Vec<DispatchStep> {
+        self.dispatch_count += 1;
+        // propagation path: ancestors from root down to target's parent
+        let mut ancestors: Vec<NodeRef> = Vec::new();
+        {
+            let doc = store.doc(event.target.doc);
+            let mut cur = doc.parent(event.target.node);
+            while let Some(p) = cur {
+                ancestors.push(NodeRef::new(event.target.doc, p));
+                cur = doc.parent(p);
+            }
+        }
+        ancestors.reverse(); // root first
+
+        let mut plan = Vec::new();
+        // capture phase: root → parent, capture listeners only
+        for &a in &ancestors {
+            for r in self.regs(a, &event.event_type) {
+                if r.capture {
+                    plan.push(DispatchStep {
+                        listener: r.listener,
+                        current_target: a,
+                        phase: EventPhase::Capture,
+                    });
+                }
+            }
+        }
+        // target phase: all listeners at the target, registration order
+        for r in self.regs(event.target, &event.event_type) {
+            plan.push(DispatchStep {
+                listener: r.listener,
+                current_target: event.target,
+                phase: EventPhase::Target,
+            });
+        }
+        // bubble phase: parent → root, non-capture listeners
+        for &a in ancestors.iter().rev() {
+            for r in self.regs(a, &event.event_type) {
+                if !r.capture {
+                    plan.push(DispatchStep {
+                        listener: r.listener,
+                        current_target: a,
+                        phase: EventPhase::Bubble,
+                    });
+                }
+            }
+        }
+        plan
+    }
+
+    fn regs(&self, target: NodeRef, event_type: &str) -> Vec<Registration> {
+        self.listeners
+            .get(&(target, event_type.to_string()))
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
+/// Applies `stopPropagation` semantics to a dispatch plan: given the index
+/// of the step whose listener stopped propagation, returns how many steps
+/// should still run (steps at the *same* current target in the same phase
+/// still fire; deeper propagation is cancelled).
+pub fn truncate_after_stop(plan: &[DispatchStep], stopped_at: usize) -> usize {
+    let stop_target = plan[stopped_at].current_target;
+    let stop_phase = plan[stopped_at].phase;
+    let mut end = stopped_at + 1;
+    while end < plan.len()
+        && plan[end].current_target == stop_target
+        && plan[end].phase == stop_phase
+    {
+        end += 1;
+    }
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqib_dom::{QName, Store};
+
+    /// <html><body><div><button/></div></body></html>
+    fn tree() -> (Store, NodeRef, NodeRef, NodeRef, NodeRef) {
+        let mut s = Store::new();
+        let d = s.new_document(None);
+        let doc = s.doc_mut(d);
+        let html = doc.create_element(QName::local("html"));
+        doc.append_child(doc.root(), html).unwrap();
+        let body = doc.create_element(QName::local("body"));
+        doc.append_child(html, body).unwrap();
+        let div = doc.create_element(QName::local("div"));
+        doc.append_child(body, div).unwrap();
+        let button = doc.create_element(QName::local("button"));
+        doc.append_child(div, button).unwrap();
+        (
+            s,
+            NodeRef::new(d, html),
+            NodeRef::new(d, body),
+            NodeRef::new(d, div),
+            NodeRef::new(d, button),
+        )
+    }
+
+    #[test]
+    fn capture_target_bubble_order() {
+        let (s, html, body, div, button) = tree();
+        let mut ev = EventSystem::new();
+        let l_html_cap = ev.fresh_listener_id();
+        let l_div = ev.fresh_listener_id();
+        let l_btn = ev.fresh_listener_id();
+        let l_body = ev.fresh_listener_id();
+        ev.add_listener(html, "onclick", l_html_cap, true);
+        ev.add_listener(div, "onclick", l_div, false);
+        ev.add_listener(button, "onclick", l_btn, false);
+        ev.add_listener(body, "onclick", l_body, false);
+        let plan = ev.dispatch_plan(&s, &DomEvent::new("onclick", button));
+        let seq: Vec<(ListenerId, EventPhase)> =
+            plan.iter().map(|p| (p.listener, p.phase)).collect();
+        assert_eq!(
+            seq,
+            vec![
+                (l_html_cap, EventPhase::Capture),
+                (l_btn, EventPhase::Target),
+                (l_div, EventPhase::Bubble),
+                (l_body, EventPhase::Bubble),
+            ]
+        );
+    }
+
+    #[test]
+    fn multiple_listeners_fire_in_registration_order() {
+        let (s, _, _, _, button) = tree();
+        let mut ev = EventSystem::new();
+        let a = ev.fresh_listener_id();
+        let b = ev.fresh_listener_id();
+        ev.add_listener(button, "onclick", a, false);
+        ev.add_listener(button, "onclick", b, false);
+        let plan = ev.dispatch_plan(&s, &DomEvent::new("onclick", button));
+        assert_eq!(
+            plan.iter().map(|p| p.listener).collect::<Vec<_>>(),
+            vec![a, b]
+        );
+    }
+
+    #[test]
+    fn event_types_are_independent() {
+        let (s, _, _, _, button) = tree();
+        let mut ev = EventSystem::new();
+        let a = ev.fresh_listener_id();
+        ev.add_listener(button, "onclick", a, false);
+        let plan = ev.dispatch_plan(&s, &DomEvent::new("onkeyup", button));
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn remove_listener_detaches() {
+        let (s, _, _, _, button) = tree();
+        let mut ev = EventSystem::new();
+        let a = ev.fresh_listener_id();
+        ev.add_listener(button, "onclick", a, false);
+        assert_eq!(ev.listener_count(), 1);
+        ev.remove_listener(button, "onclick", a);
+        assert_eq!(ev.listener_count(), 0);
+        assert!(ev.dispatch_plan(&s, &DomEvent::new("onclick", button)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_registration_ignored() {
+        let (_s, _, _, _, button) = tree();
+        let mut ev = EventSystem::new();
+        let a = ev.fresh_listener_id();
+        ev.add_listener(button, "onclick", a, false);
+        ev.add_listener(button, "onclick", a, false);
+        assert_eq!(ev.listener_count(), 1);
+    }
+
+    #[test]
+    fn stop_propagation_truncates() {
+        let (s, _, body, div, button) = tree();
+        let mut ev = EventSystem::new();
+        let l_btn1 = ev.fresh_listener_id();
+        let l_btn2 = ev.fresh_listener_id();
+        let l_div = ev.fresh_listener_id();
+        let l_body = ev.fresh_listener_id();
+        ev.add_listener(button, "onclick", l_btn1, false);
+        ev.add_listener(button, "onclick", l_btn2, false);
+        ev.add_listener(div, "onclick", l_div, false);
+        ev.add_listener(body, "onclick", l_body, false);
+        let plan = ev.dispatch_plan(&s, &DomEvent::new("onclick", button));
+        // listener 0 (btn1) stops propagation: btn2 (same target) still
+        // runs, div/body do not
+        let end = truncate_after_stop(&plan, 0);
+        assert_eq!(end, 2);
+        assert_eq!(plan[..end].iter().map(|p| p.listener).collect::<Vec<_>>(),
+                   vec![l_btn1, l_btn2]);
+    }
+
+    #[test]
+    fn dispatch_counter() {
+        let (s, _, _, _, button) = tree();
+        let mut ev = EventSystem::new();
+        for _ in 0..5 {
+            ev.dispatch_plan(&s, &DomEvent::new("onclick", button));
+        }
+        assert_eq!(ev.dispatch_count, 5);
+    }
+}

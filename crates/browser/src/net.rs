@@ -1,0 +1,239 @@
+//! The virtual network: registered REST services with deterministic latency
+//! and byte accounting.
+//!
+//! This substrate replaces the live services of the paper's applications
+//! (weather services, web cams, the Elsevier/MarkLogic REST interface) and
+//! doubles as the measurement instrument for the Figure 2 experiment
+//! (requests and bytes saved by server-to-client migration).
+
+use std::collections::HashMap;
+
+/// An HTTP-ish request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub method: String,
+    pub url: String,
+    pub body: Option<String>,
+}
+
+impl Request {
+    pub fn get(url: &str) -> Self {
+        Request { method: "GET".to_string(), url: url.to_string(), body: None }
+    }
+
+    pub fn post(url: &str, body: &str) -> Self {
+        Request {
+            method: "POST".to_string(),
+            url: url.to_string(),
+            body: Some(body.to_string()),
+        }
+    }
+
+    /// The query parameter `name` from the URL, if any.
+    pub fn query_param(&self, name: &str) -> Option<String> {
+        let q = self.url.split_once('?')?.1;
+        for pair in q.split('&') {
+            let (k, v) = pair.split_once('=')?;
+            if k == name {
+                return Some(v.replace('+', " "));
+            }
+        }
+        None
+    }
+
+    /// The path portion (no scheme/host/query).
+    pub fn path(&self) -> &str {
+        let rest = match self.url.split_once("://") {
+            Some((_, r)) => r,
+            None => &self.url,
+        };
+        let path_start = rest.find('/').unwrap_or(rest.len());
+        let path = &rest[path_start..];
+        path.split(['?', '#']).next().unwrap_or("/")
+    }
+}
+
+/// A response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: u16,
+    pub body: String,
+    pub content_type: String,
+}
+
+impl Response {
+    pub fn ok(body: impl Into<String>) -> Self {
+        Response {
+            status: 200,
+            body: body.into(),
+            content_type: "application/xml".to_string(),
+        }
+    }
+
+    pub fn not_found() -> Self {
+        Response {
+            status: 404,
+            body: "<error>not found</error>".to_string(),
+            content_type: "application/xml".to_string(),
+        }
+    }
+}
+
+type Handler = Box<dyn FnMut(&Request) -> Response>;
+
+/// Per-host traffic counters.
+#[derive(Debug, Default, Clone)]
+pub struct HostStats {
+    pub requests: u64,
+    pub bytes_sent: u64,
+    pub bytes_received: u64,
+}
+
+/// Aggregate network statistics.
+#[derive(Debug, Default, Clone)]
+pub struct NetStats {
+    pub requests: u64,
+    pub bytes_sent: u64,
+    pub bytes_received: u64,
+    pub per_host: HashMap<String, HostStats>,
+}
+
+/// The virtual network: URL-prefix-routed services.
+#[derive(Default)]
+pub struct VirtualNetwork {
+    services: Vec<(String, u64, Handler)>,
+    pub stats: NetStats,
+}
+
+impl VirtualNetwork {
+    pub fn new() -> Self {
+        VirtualNetwork::default()
+    }
+
+    /// Registers a service handling every URL starting with `prefix`, with a
+    /// deterministic round-trip `latency_ms`.
+    pub fn register(
+        &mut self,
+        prefix: &str,
+        latency_ms: u64,
+        handler: impl FnMut(&Request) -> Response + 'static,
+    ) {
+        self.services
+            .push((prefix.to_string(), latency_ms, Box::new(handler)));
+        // longest-prefix match wins: keep sorted by descending length
+        self.services.sort_by_key(|(prefix, _, _)| std::cmp::Reverse(prefix.len()));
+    }
+
+    /// Performs a request. Returns the response plus the simulated latency.
+    /// Unroutable URLs get a 404 with zero latency (connection refused).
+    pub fn fetch(&mut self, req: &Request) -> (Response, u64) {
+        let host = host_of(&req.url);
+        let sent = req.url.len() as u64 + req.body.as_ref().map_or(0, |b| b.len() as u64);
+        for (prefix, latency, handler) in self.services.iter_mut() {
+            if req.url.starts_with(prefix.as_str()) {
+                let resp = handler(req);
+                let received = resp.body.len() as u64;
+                self.stats.requests += 1;
+                self.stats.bytes_sent += sent;
+                self.stats.bytes_received += received;
+                let hs = self.stats.per_host.entry(host).or_default();
+                hs.requests += 1;
+                hs.bytes_sent += sent;
+                hs.bytes_received += received;
+                return (resp, *latency);
+            }
+        }
+        (Response::not_found(), 0)
+    }
+
+    /// Convenience GET.
+    pub fn get(&mut self, url: &str) -> (Response, u64) {
+        self.fetch(&Request::get(url))
+    }
+
+    /// Resets counters (between experiment configurations).
+    pub fn reset_stats(&mut self) {
+        self.stats = NetStats::default();
+    }
+}
+
+fn host_of(url: &str) -> String {
+    crate::security::Origin::from_url(url).host
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_and_stats() {
+        let mut net = VirtualNetwork::new();
+        net.register("http://weather.example/", 20, |req| {
+            let loc = req.query_param("q").unwrap_or_default();
+            Response::ok(format!("<weather loc=\"{loc}\">sunny</weather>"))
+        });
+        net.register("http://maps.example/", 30, |_req| {
+            Response::ok("<map/>")
+        });
+        let (resp, lat) = net.get("http://weather.example/api?q=Madrid");
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("Madrid"));
+        assert_eq!(lat, 20);
+        let (resp, lat) = net.get("http://nowhere.example/");
+        assert_eq!(resp.status, 404);
+        assert_eq!(lat, 0);
+        assert_eq!(net.stats.requests, 1, "404s don't count as service traffic");
+        assert_eq!(
+            net.stats.per_host.get("weather.example").unwrap().requests,
+            1
+        );
+        assert!(net.stats.bytes_received > 0);
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut net = VirtualNetwork::new();
+        net.register("http://api.example/", 10, |_| Response::ok("<general/>"));
+        net.register("http://api.example/special/", 10, |_| {
+            Response::ok("<special/>")
+        });
+        let (resp, _) = net.get("http://api.example/special/x");
+        assert_eq!(resp.body, "<special/>");
+        let (resp, _) = net.get("http://api.example/other");
+        assert_eq!(resp.body, "<general/>");
+    }
+
+    #[test]
+    fn stateful_handler() {
+        let mut net = VirtualNetwork::new();
+        let mut hits = 0u32;
+        net.register("http://counter.example/", 5, move |_| {
+            hits += 1;
+            Response::ok(format!("<hits>{hits}</hits>"))
+        });
+        let (r1, _) = net.get("http://counter.example/");
+        let (r2, _) = net.get("http://counter.example/");
+        assert_eq!(r1.body, "<hits>1</hits>");
+        assert_eq!(r2.body, "<hits>2</hits>");
+    }
+
+    #[test]
+    fn request_helpers() {
+        let r = Request::get("http://h.example:99/a/b?q=New+York&x=1");
+        assert_eq!(r.path(), "/a/b");
+        assert_eq!(r.query_param("q").as_deref(), Some("New York"));
+        assert_eq!(r.query_param("x").as_deref(), Some("1"));
+        assert_eq!(r.query_param("nope"), None);
+        let p = Request::post("http://h/", "body");
+        assert_eq!(p.method, "POST");
+    }
+
+    #[test]
+    fn reset_stats() {
+        let mut net = VirtualNetwork::new();
+        net.register("http://a/", 1, |_| Response::ok("x"));
+        net.get("http://a/1");
+        net.reset_stats();
+        assert_eq!(net.stats.requests, 0);
+    }
+}

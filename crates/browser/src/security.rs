@@ -1,0 +1,131 @@
+//! Origins and the same-origin policy (§4.2.1).
+//!
+//! "a malicious Web site could tamper with documents in other windows, or
+//! learn about the location of other windows. To avoid this, we suggest to
+//! implement window nodes using pull … and to perform checks in the
+//! implementation of all accessors … If the check is not successful, an
+//! empty sequence is returned." — the policy here implements exactly that
+//! contract: checks answer a boolean; callers translate failure into
+//! emptiness, never into an error a page could observe and probe.
+
+use std::fmt;
+
+/// A web origin: scheme + host + port.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Origin {
+    pub scheme: String,
+    pub host: String,
+    pub port: u16,
+}
+
+impl Origin {
+    pub fn new(scheme: &str, host: &str, port: u16) -> Self {
+        Origin {
+            scheme: scheme.to_string(),
+            host: host.to_string(),
+            port,
+        }
+    }
+
+    /// Parses an origin out of a URL. Unparseable URLs yield an opaque
+    /// origin that equals nothing (not even itself semantically, but we use
+    /// a sentinel host so comparisons are still cheap).
+    pub fn from_url(url: &str) -> Origin {
+        let (scheme, rest) = match url.split_once("://") {
+            Some((s, r)) => (s, r),
+            None => return Origin::new("opaque", "", 0),
+        };
+        let authority = rest.split(['/', '?', '#']).next().unwrap_or("");
+        let (host, port) = match authority.rsplit_once(':') {
+            Some((h, p)) => match p.parse::<u16>() {
+                Ok(port) => (h, port),
+                Err(_) => (authority, default_port(scheme)),
+            },
+            None => (authority, default_port(scheme)),
+        };
+        Origin::new(scheme, host, port)
+    }
+
+    /// The same-origin check.
+    pub fn same_origin(&self, other: &Origin) -> bool {
+        self.scheme == other.scheme && self.host == other.host && self.port == other.port
+    }
+}
+
+fn default_port(scheme: &str) -> u16 {
+    match scheme {
+        "https" => 443,
+        "http" => 80,
+        _ => 0,
+    }
+}
+
+impl fmt::Display for Origin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}:{}", self.scheme, self.host, self.port)
+    }
+}
+
+/// The pluggable access policy (§4.2.1 — "this could be based on a
+/// same-origin policy like in JavaScript, or on any other suitable policy").
+pub trait AccessPolicy {
+    /// May code running under `actor` access a window/document at `target`?
+    fn allows(&self, actor: &Origin, target: &Origin) -> bool;
+}
+
+/// The default, JavaScript-like same-origin policy.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SameOriginPolicy;
+
+impl AccessPolicy for SameOriginPolicy {
+    fn allows(&self, actor: &Origin, target: &Origin) -> bool {
+        actor.same_origin(target)
+    }
+}
+
+/// A permissive policy for trusted/testing scenarios.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AllowAllPolicy;
+
+impl AccessPolicy for AllowAllPolicy {
+    fn allows(&self, _actor: &Origin, _target: &Origin) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_urls() {
+        let o = Origin::from_url("http://www.dbis.ethz.ch/page?q=1");
+        assert_eq!(o, Origin::new("http", "www.dbis.ethz.ch", 80));
+        let o = Origin::from_url("https://example.com:8443/x");
+        assert_eq!(o, Origin::new("https", "example.com", 8443));
+        let o = Origin::from_url("not a url");
+        assert_eq!(o.scheme, "opaque");
+    }
+
+    #[test]
+    fn same_origin_rules() {
+        let a = Origin::from_url("http://a.com/x");
+        let b = Origin::from_url("http://a.com/y");
+        let c = Origin::from_url("https://a.com/x");
+        let d = Origin::from_url("http://b.com/x");
+        let e = Origin::from_url("http://a.com:8080/");
+        assert!(a.same_origin(&b));
+        assert!(!a.same_origin(&c), "scheme differs");
+        assert!(!a.same_origin(&d), "host differs");
+        assert!(!a.same_origin(&e), "port differs");
+    }
+
+    #[test]
+    fn policies() {
+        let a = Origin::from_url("http://a.com");
+        let b = Origin::from_url("http://b.com");
+        assert!(!SameOriginPolicy.allows(&a, &b));
+        assert!(SameOriginPolicy.allows(&a, &a));
+        assert!(AllowAllPolicy.allows(&a, &b));
+    }
+}

@@ -1,0 +1,690 @@
+//! The plug-in proper: page lifecycle, event dispatch loop and the
+//! asynchronous `behind` bridge (Figure 1 of the paper).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use xqib_browser::bom::Browser;
+use xqib_browser::events::{DispatchStep, DomEvent, EventSystem, ListenerId};
+use xqib_browser::{CssStore, EventLoop, VirtualNetwork, WindowId};
+use xqib_dom::{name::LOCAL_NS, DocId, NodeKind, NodeRef, QName, SharedStore};
+use xqib_xquery::ast::{Expr, MainModule};
+use xqib_xquery::context::{DynamicContext, EngineHooks, StaticContext};
+use xqib_xquery::runtime::{self, ModuleRegistry};
+use xqib_xdm::{Item, Sequence, XdmError, XdmResult};
+
+use crate::bindings;
+use crate::window_xml::{self, WindowView};
+
+/// A host-language (JavaScript) listener callback.
+pub type ExternalListener = Rc<RefCell<dyn FnMut(&DomEvent)>>;
+
+/// What a listener handle resolves to.
+#[derive(Clone)]
+pub enum ListenerKind {
+    /// An XQuery function registered via `attach listener` or
+    /// `browser:addEventListener` — invoked as `f($evt, $obj)` (§4.3.1).
+    XQuery(QName),
+    /// Inline XQuery from an `onclick="…"`-style attribute; evaluated with
+    /// the target as context item, `$event` and `$value` bound.
+    XQueryInline(Rc<Expr>),
+    /// A host-language listener (the minijs baseline of §6.2): shares the
+    /// DOM and dispatch machinery with XQuery listeners.
+    External(ExternalListener),
+}
+
+/// Tasks on the plug-in's event loop.
+pub enum PluginTask {
+    /// Dispatch a DOM event through capture/target/bubble.
+    Dispatch(DomEvent),
+    /// An asynchronous `behind` call (§4.4): evaluate `call` in `env`, then
+    /// invoke `listener($readyState, $result)`.
+    Behind {
+        call: Rc<Expr>,
+        env: Vec<(QName, Sequence)>,
+        listener: QName,
+    },
+}
+
+/// Mutable host state shared between the plug-in, its hooks and the
+/// `browser:` native functions.
+pub struct HostState {
+    pub browser: Browser,
+    pub events: EventSystem,
+    pub css: CssStore,
+    pub net: VirtualNetwork,
+    pub listeners: HashMap<ListenerId, ListenerKind>,
+    /// stable handle per XQuery listener name (so detach finds attach's id)
+    xq_ids: HashMap<String, ListenerId>,
+    /// all window views materialised so far (write-back set)
+    pub views: Vec<WindowView>,
+    /// window-element node → (window, accessible)
+    pub window_index: HashMap<NodeRef, (WindowId, bool)>,
+    pub tasks: EventLoop<PluginTask>,
+    /// route `set style`/`get style` to the CSS store (`true`, §4.5 design)
+    /// or fall back to the `style` attribute (`false`) — the ablation knob.
+    pub use_css_store: bool,
+    pub page_window: WindowId,
+    /// accumulated simulated network latency (ms)
+    pub total_latency_ms: u64,
+}
+
+impl HostState {
+    /// Resolves (or creates) the stable listener handle for an XQuery
+    /// listener function name.
+    pub fn xq_listener_id(&mut self, name: &QName) -> ListenerId {
+        let key = format!("{}|{}", name.ns_or_empty(), name.local);
+        if let Some(&id) = self.xq_ids.get(&key) {
+            return id;
+        }
+        let id = self.events.fresh_listener_id();
+        self.xq_ids.insert(key, id);
+        self.listeners.insert(id, ListenerKind::XQuery(name.clone()));
+        id
+    }
+
+    /// Registers a view for write-back and indexes its window elements.
+    pub fn adopt_view(&mut self, view: WindowView) {
+        for w in &view.window_elems {
+            self.window_index.insert(w.node, (w.window, w.accessible));
+        }
+        self.views.push(view);
+    }
+}
+
+/// Plug-in configuration.
+pub struct PluginConfig {
+    /// URL of the page window.
+    pub url: String,
+    /// Window name.
+    pub window_name: String,
+    /// Library modules available to `import module` (§3.4).
+    pub modules: ModuleRegistry,
+    /// Use the CSS store (true) or the style-attribute fallback (false).
+    pub use_css_store: bool,
+}
+
+impl Default for PluginConfig {
+    fn default() -> Self {
+        PluginConfig {
+            url: "http://www.xqib.org/index.html".to_string(),
+            window_name: "top_window".to_string(),
+            modules: ModuleRegistry::new(),
+            use_css_store: true,
+        }
+    }
+}
+
+/// The XQIB plug-in instance for one page.
+pub struct Plugin {
+    pub store: SharedStore,
+    pub host: Rc<RefCell<HostState>>,
+    pub ctx: DynamicContext,
+    /// compiled page scripts, in document order
+    pub scripts: Vec<MainModule>,
+    pub page_doc: Option<DocId>,
+    modules: ModuleRegistry,
+}
+
+/// The [`EngineHooks`] bridge: routes the paper's grammar extensions into
+/// the host state.
+struct Hooks {
+    host: Rc<RefCell<HostState>>,
+}
+
+impl EngineHooks for Hooks {
+    fn attach_listener(
+        &self,
+        ctx: &mut DynamicContext,
+        event: &str,
+        targets: &[Item],
+        listener: &QName,
+    ) -> XdmResult<()> {
+        let mut host = self.host.borrow_mut();
+        let id = host.xq_listener_id(listener);
+        for t in targets {
+            let node = expect_node(ctx, t, "event target")?;
+            host.events.add_listener(node, event, id, false);
+        }
+        Ok(())
+    }
+
+    fn detach_listener(
+        &self,
+        ctx: &mut DynamicContext,
+        event: &str,
+        targets: &[Item],
+        listener: &QName,
+    ) -> XdmResult<()> {
+        let mut host = self.host.borrow_mut();
+        let id = host.xq_listener_id(listener);
+        for t in targets {
+            let node = expect_node(ctx, t, "event target")?;
+            host.events.remove_listener(node, event, id);
+        }
+        Ok(())
+    }
+
+    fn trigger_event(
+        &self,
+        ctx: &mut DynamicContext,
+        event: &str,
+        targets: &[Item],
+    ) -> XdmResult<()> {
+        for t in targets {
+            let node = expect_node(ctx, t, "event target")?;
+            let ev = DomEvent::new(event, node);
+            dispatch_event_inner(ctx, &self.host, &ev)?;
+        }
+        Ok(())
+    }
+
+    fn attach_behind(
+        &self,
+        ctx: &mut DynamicContext,
+        _event: &str,
+        call: &Expr,
+        listener: &QName,
+    ) -> XdmResult<()> {
+        let env = ctx.snapshot_visible_vars();
+        self.host.borrow_mut().tasks.schedule(
+            0,
+            PluginTask::Behind {
+                call: Rc::new(call.clone()),
+                env,
+                listener: listener.clone(),
+            },
+        );
+        Ok(())
+    }
+
+    fn set_style(
+        &self,
+        _ctx: &mut DynamicContext,
+        target: NodeRef,
+        prop: &str,
+        value: &str,
+    ) -> XdmResult<bool> {
+        let mut host = self.host.borrow_mut();
+        if host.use_css_store {
+            host.css.set(target, prop, value);
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn get_style(
+        &self,
+        _ctx: &mut DynamicContext,
+        target: NodeRef,
+        prop: &str,
+    ) -> XdmResult<Option<Option<String>>> {
+        let host = self.host.borrow();
+        if host.use_css_store {
+            Ok(Some(host.css.get(target, prop).map(|s| s.to_string())))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+fn expect_node(ctx: &DynamicContext, item: &Item, what: &str) -> XdmResult<NodeRef> {
+    match item {
+        Item::Node(n) => Ok(*n),
+        Item::Atomic(a) => Err(XdmError::type_error(format!(
+            "{what} must be a node, got {}",
+            a.type_name()
+        ))),
+    }
+    .inspect(|_n| {
+        let _ = ctx; // reserved for future checks
+    })
+}
+
+impl Plugin {
+    /// Creates a plug-in with a fresh store and a single browser window.
+    pub fn new(config: PluginConfig) -> Self {
+        let store = xqib_dom::store::shared_store();
+        let browser = Browser::new(&config.window_name, &config.url);
+        let page_window = browser.top();
+        let host = Rc::new(RefCell::new(HostState {
+            browser,
+            events: EventSystem::new(),
+            css: CssStore::new(),
+            net: VirtualNetwork::new(),
+            listeners: HashMap::new(),
+            xq_ids: HashMap::new(),
+            views: Vec::new(),
+            window_index: HashMap::new(),
+            tasks: EventLoop::new(),
+            use_css_store: config.use_css_store,
+            page_window,
+            total_latency_ms: 0,
+        }));
+        let sctx = Rc::new(StaticContext {
+            browser_profile: true,
+            ..Default::default()
+        });
+        let mut ctx = DynamicContext::new(store.clone(), sctx);
+        ctx.hooks = Some(Rc::new(Hooks { host: host.clone() }));
+        bindings::install(&mut ctx, host.clone());
+        Plugin {
+            store,
+            host,
+            ctx,
+            scripts: Vec::new(),
+            page_doc: None,
+            modules: config.modules,
+        }
+    }
+
+    /// Loads an XHTML page: parses it into the live DOM, extracts and runs
+    /// the XQuery scripts, registers attribute listeners. Returns the list
+    /// of JavaScript script bodies found (for an external JS host, §6.2).
+    pub fn load_page(&mut self, html: &str) -> XdmResult<Vec<String>> {
+        let doc = xqib_dom::parse_document(html)
+            .map_err(|e| XdmError::new("XQIB0004", e.to_string()))?;
+        let page_window = self.page_window();
+        let url = {
+            let host = self.host.borrow();
+            host.browser.window(page_window).location.href.clone()
+        };
+        let doc_id = self.store.borrow_mut().add_document(doc, Some(&url));
+        self.page_doc = Some(doc_id);
+        self.host.borrow_mut().browser.set_document(page_window, doc_id);
+
+        // context item = the page document (§4.2.3: "it is the context item")
+        let root = self.store.borrow().root(doc_id);
+        self.ctx.focus = Some(xqib_xquery::context::Focus {
+            item: Item::Node(root),
+            position: 1,
+            size: 1,
+        });
+
+        // collect scripts and attribute listeners
+        let mut xq_sources: Vec<String> = Vec::new();
+        let mut js_sources: Vec<String> = Vec::new();
+        let mut attr_listeners: Vec<(NodeRef, String, String)> = Vec::new();
+        {
+            let store = self.store.borrow();
+            let doc = store.doc(doc_id);
+            for node in doc.descendants_or_self(doc.root()) {
+                let NodeKind::Element { name, .. } = doc.kind(node) else {
+                    continue;
+                };
+                if &*name.local == "script" {
+                    let ty = doc
+                        .get_attribute(node, None, "type")
+                        .unwrap_or("text/javascript");
+                    let body = doc.string_value(node);
+                    if ty.contains("xquery") {
+                        xq_sources.push(body);
+                    } else if ty.contains("javascript") {
+                        js_sources.push(body);
+                    }
+                    continue;
+                }
+                for &attr in doc.attributes(node) {
+                    if let NodeKind::Attribute { name, value } = doc.kind(attr) {
+                        if name.local.starts_with("on") && !value.trim().is_empty()
+                        {
+                            attr_listeners.push((
+                                NodeRef::new(doc_id, node),
+                                name.local.to_string(),
+                                value.clone(),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        // compile every script, merge their static contexts
+        let mut merged = StaticContext { browser_profile: true, ..Default::default() };
+        let mut modules_compiled = Vec::new();
+        for src in &xq_sources {
+            let q = runtime::compile_with(src, &self.modules, true)?;
+            for f in q.sctx.functions.values() {
+                merged.declare_function((**f).clone());
+            }
+            modules_compiled.push(q.module.clone());
+        }
+        let merged = Rc::new(merged);
+        self.ctx.sctx = merged.clone();
+
+        // inline attribute listeners (parsed against the merged context)
+        for (target, event_attr, code) in attr_listeners {
+            // `onclick` attribute → `onclick` event type
+            match xqib_xquery::parser::parse_expr_str(&code) {
+                Ok(expr) => {
+                    let mut host = self.host.borrow_mut();
+                    let id = host.events.fresh_listener_id();
+                    host.listeners
+                        .insert(id, ListenerKind::XQueryInline(Rc::new(expr)));
+                    host.events.add_listener(target, &event_attr, id, false);
+                }
+                Err(_) => {
+                    // not XQuery — presumably a JavaScript handler for the
+                    // co-existing JS engine; leave it to the external host
+                }
+            }
+        }
+
+        // run the scripts (prolog globals + body program)
+        for module in &modules_compiled {
+            let q = runtime::CompiledQuery { module: module.clone(), sctx: merged.clone() };
+            q.execute(&mut self.ctx)?;
+            self.sync_views()?;
+        }
+        self.scripts = modules_compiled;
+        Ok(js_sources)
+    }
+
+    pub fn page_window(&self) -> WindowId {
+        self.host.borrow().page_window
+    }
+
+    pub fn page_doc(&self) -> DocId {
+        self.page_doc.expect("page loaded")
+    }
+
+    /// Registers an external (JavaScript) listener on a node — the §6.2
+    /// co-existence path. Returns the handle.
+    pub fn register_external_listener(
+        &mut self,
+        target: NodeRef,
+        event_type: &str,
+        f: impl FnMut(&DomEvent) + 'static,
+    ) -> ListenerId {
+        let mut host = self.host.borrow_mut();
+        let id = host.events.fresh_listener_id();
+        host.listeners
+            .insert(id, ListenerKind::External(Rc::new(RefCell::new(f))));
+        host.events.add_listener(target, event_type, id, false);
+        id
+    }
+
+    /// Dispatches one DOM event synchronously (the Figure 1 loop body).
+    pub fn dispatch(&mut self, event: &DomEvent) -> XdmResult<()> {
+        self.ctx.reset_stack_base();
+        dispatch_event_inner(&mut self.ctx, &self.host, event)
+    }
+
+    /// Convenience: a left-button click on a node.
+    pub fn click(&mut self, target: NodeRef) -> XdmResult<()> {
+        self.dispatch(&DomEvent::new("onclick", target))
+    }
+
+    /// Convenience: a key-up on a node (after the host has updated the
+    /// node's `value` attribute).
+    pub fn keyup(&mut self, target: NodeRef) -> XdmResult<()> {
+        self.dispatch(&DomEvent::new("onkeyup", target))
+    }
+
+    /// Drains the event loop (async `behind` completions, queued events).
+    /// Returns the number of tasks processed.
+    pub fn run_until_idle(&mut self) -> XdmResult<u64> {
+        let mut n = 0;
+        loop {
+            let task = self.host.borrow_mut().tasks.pop();
+            let Some(task) = task else { break };
+            n += 1;
+            match task {
+                PluginTask::Dispatch(ev) => self.dispatch(&ev)?,
+                PluginTask::Behind { call, env, listener } => {
+                    self.run_behind(&call, env, &listener)?;
+                }
+            }
+            if n > 1_000_000 {
+                return Err(XdmError::new("XQIB0005", "event loop runaway"));
+            }
+        }
+        Ok(n)
+    }
+
+    /// Executes one `behind` call: readyState 1 (loading) notification, the
+    /// call itself, then readyState 4 with the result (§4.4's AJAX model).
+    fn run_behind(
+        &mut self,
+        call: &Expr,
+        env: Vec<(QName, Sequence)>,
+        listener: &QName,
+    ) -> XdmResult<()> {
+        self.ctx.reset_stack_base();
+        // readyState 1: request started, no result yet
+        runtime::invoke(
+            &mut self.ctx,
+            listener,
+            vec![vec![Item::integer(1)], vec![]],
+        )?;
+        // evaluate the call in its captured environment
+        self.ctx.push_scope();
+        for (name, value) in env {
+            self.ctx.bind_var(name, value);
+        }
+        let result = xqib_xquery::eval::eval_expr(&mut self.ctx, call);
+        self.ctx.pop_scope();
+        let result = result?;
+        xqib_xquery::eval::apply_pending(&mut self.ctx)?;
+        // readyState 4: done
+        runtime::invoke(
+            &mut self.ctx,
+            listener,
+            vec![vec![Item::integer(4)], result],
+        )?;
+        self.sync_views()?;
+        Ok(())
+    }
+
+    /// Applies window-view write-backs to the BOM (status/name changes,
+    /// `location/href` navigation).
+    pub fn sync_views(&mut self) -> XdmResult<()> {
+        let mut host = self.host.borrow_mut();
+        let host = &mut *host;
+        let store = self.store.borrow();
+        for view in &host.views {
+            let _navigations =
+                window_xml::sync_view(&store, &mut host.browser, view);
+        }
+        Ok(())
+    }
+
+    /// All alert messages shown so far.
+    pub fn alerts(&self) -> Vec<String> {
+        self.host
+            .borrow()
+            .browser
+            .alerts()
+            .into_iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    /// Finds an element in the page by `id` attribute.
+    pub fn element_by_id(&self, id: &str) -> Option<NodeRef> {
+        let store = self.store.borrow();
+        let doc_id = self.page_doc?;
+        let doc = store.doc(doc_id);
+        doc.descendants_or_self(doc.root())
+            .into_iter()
+            .find(|&n| doc.get_attribute(n, None, "id") == Some(id))
+            .map(|n| NodeRef::new(doc_id, n))
+    }
+
+    /// Finds the first element with the given local name.
+    pub fn first_element_named(&self, local: &str) -> Option<NodeRef> {
+        let store = self.store.borrow();
+        let doc_id = self.page_doc?;
+        let doc = store.doc(doc_id);
+        doc.descendants_or_self(doc.root())
+            .into_iter()
+            .find(|&n| {
+                doc.element_name(n)
+                    .map(|q| &*q.local == local)
+                    .unwrap_or(false)
+            })
+            .map(|n| NodeRef::new(doc_id, n))
+    }
+
+    /// Serialises the current page DOM.
+    pub fn serialize_page(&self) -> String {
+        let store = self.store.borrow();
+        xqib_dom::serialize::serialize_document(store.doc(self.page_doc()))
+    }
+
+    /// Runs an ad-hoc XQuery snippet against the live page (the context
+    /// item is the page document). Useful in tests and examples.
+    pub fn eval(&mut self, src: &str) -> XdmResult<Sequence> {
+        self.ctx.reset_stack_base();
+        let q = runtime::compile_with(src, &self.modules, true)?;
+        // merge page functions so snippets can call local: listeners
+        let mut merged = StaticContext { browser_profile: true, ..Default::default() };
+        for f in self.ctx.sctx.functions.values() {
+            merged.declare_function((**f).clone());
+        }
+        for f in q.sctx.functions.values() {
+            merged.declare_function((**f).clone());
+        }
+        let saved = self.ctx.sctx.clone();
+        self.ctx.sctx = Rc::new(merged);
+        let q = runtime::CompiledQuery { module: q.module, sctx: self.ctx.sctx.clone() };
+        let r = q.execute(&mut self.ctx);
+        self.ctx.sctx = saved;
+        let out = r?;
+        self.sync_views()?;
+        Ok(out)
+    }
+
+    /// Renders a result sequence as text (nodes serialise to markup).
+    pub fn render(&self, seq: &Sequence) -> String {
+        runtime::render_sequence(&self.ctx, seq)
+    }
+}
+
+/// Core of the dispatch loop: plan the propagation path, invoke listeners.
+pub fn dispatch_event_inner(
+    ctx: &mut DynamicContext,
+    host: &Rc<RefCell<HostState>>,
+    event: &DomEvent,
+) -> XdmResult<()> {
+    let plan: Vec<DispatchStep> = {
+        let mut host_mut = host.borrow_mut();
+        let store = ctx.store.borrow();
+        host_mut.events.dispatch_plan(&store, event)
+    };
+    for step in plan {
+        let kind = host.borrow().listeners.get(&step.listener).cloned();
+        if let Some(kind) = kind {
+            invoke_listener(ctx, host, &kind, event, step.current_target)?;
+        }
+    }
+    Ok(())
+}
+
+/// Invokes a single listener of whatever kind.
+fn invoke_listener(
+    ctx: &mut DynamicContext,
+    host: &Rc<RefCell<HostState>>,
+    kind: &ListenerKind,
+    event: &DomEvent,
+    current_target: NodeRef,
+) -> XdmResult<()> {
+    match kind {
+        ListenerKind::XQuery(name) => {
+            let evt_node = build_event_node(ctx, event)?;
+            runtime::invoke(
+                ctx,
+                name,
+                vec![
+                    vec![Item::Node(evt_node)],
+                    vec![Item::Node(current_target)],
+                ],
+            )?;
+            sync_views_static(ctx, host)?;
+            Ok(())
+        }
+        ListenerKind::XQueryInline(expr) => {
+            let evt_node = build_event_node(ctx, event)?;
+            ctx.push_scope();
+            ctx.bind_var(QName::local("event"), vec![Item::Node(evt_node)]);
+            // $value = the target's `value` attribute (form input model)
+            let value = {
+                let store = ctx.store.borrow();
+                store
+                    .doc(current_target.doc)
+                    .get_attribute(current_target.node, None, "value")
+                    .unwrap_or("")
+                    .to_string()
+            };
+            ctx.bind_var(QName::local("value"), vec![Item::string(value)]);
+            let r = ctx.with_focus(Item::Node(current_target), 1, 1, |ctx| {
+                xqib_xquery::eval::eval_expr(ctx, expr)
+            });
+            ctx.pop_scope();
+            r?;
+            xqib_xquery::eval::apply_pending(ctx)?;
+            sync_views_static(ctx, host)?;
+            Ok(())
+        }
+        ListenerKind::External(f) => {
+            (f.borrow_mut())(event);
+            Ok(())
+        }
+    }
+}
+
+fn sync_views_static(
+    ctx: &DynamicContext,
+    host: &Rc<RefCell<HostState>>,
+) -> XdmResult<()> {
+    let mut host = host.borrow_mut();
+    let host = &mut *host;
+    let store = ctx.store.borrow();
+    for view in &host.views {
+        let _ = window_xml::sync_view(&store, &mut host.browser, view);
+    }
+    Ok(())
+}
+
+/// Builds the `$evt` event node (§4.3.2): an XML element carrying the same
+/// information as a DOM Event object.
+pub fn build_event_node(
+    ctx: &mut DynamicContext,
+    event: &DomEvent,
+) -> XdmResult<NodeRef> {
+    let doc_id = ctx.construction_doc;
+    let mut store = ctx.store.borrow_mut();
+    let doc = store.doc_mut(doc_id);
+    let elem = doc.create_element(QName::local("event"));
+    let fields: [(&str, String); 6] = [
+        ("type", event.event_type.clone()),
+        ("altKey", event.alt_key.to_string()),
+        ("ctrlKey", event.ctrl_key.to_string()),
+        ("shiftKey", event.shift_key.to_string()),
+        ("button", event.button.to_string()),
+        ("detail", event.detail.clone()),
+    ];
+    for (name, value) in fields {
+        let f = doc.create_element(QName::local(name));
+        doc.append_child(elem, f)
+            .map_err(|e| XdmError::new("XQIB0006", e.to_string()))?;
+        if !value.is_empty() {
+            let t = doc.create_text(value);
+            doc.append_child(f, t)
+                .map_err(|e| XdmError::new("XQIB0006", e.to_string()))?;
+        }
+    }
+    Ok(NodeRef::new(doc_id, elem))
+}
+
+/// Parses a listener name string like `"local:myListener"` into a QName
+/// (the high-order-function registration path of §5.1).
+pub fn parse_listener_name(name: &str) -> QName {
+    match name.split_once(':') {
+        Some(("local", l)) => QName::ns(LOCAL_NS, l),
+        Some((p, l)) => QName::full(Some(p), Some(p), l), // ns == prefix heuristically
+        None => QName::ns(LOCAL_NS, name),
+    }
+}

@@ -1,0 +1,221 @@
+//! Window-management and BOM-function tests (§4.2.4's function list):
+//! windowOpen/Close/MoveBy/MoveTo, history functions, write/writeln,
+//! and the queued-event path of the event loop.
+
+use xqib_browser::events::DomEvent;
+use xqib_core::plugin::{Plugin, PluginConfig, PluginTask};
+use xqib_dom::QName;
+
+fn plugin() -> Plugin {
+    let mut p = Plugin::new(PluginConfig::default());
+    p.load_page("<html><body><input id=\"b\"/></body></html>").unwrap();
+    p
+}
+
+#[test]
+fn window_open_and_close() {
+    let mut p = plugin();
+    p.eval(r#"browser:windowOpen("popup", "http://www.xqib.org/pop")"#)
+        .unwrap();
+    {
+        let host = p.host.borrow();
+        let w = host.browser.find_by_name("popup").expect("popup exists");
+        assert!(!host.browser.window(w).closed);
+        assert_eq!(host.browser.window(w).location.href, "http://www.xqib.org/pop");
+    }
+    p.eval(
+        r#"{ declare variable $w := browser:windowOpen("popup2", "http://www.xqib.org/2");
+             browser:windowClose($w) }"#,
+    )
+    .unwrap();
+    let host = p.host.borrow();
+    let w = host.browser.find_by_name("popup2").unwrap();
+    assert!(host.browser.window(w).closed);
+}
+
+#[test]
+fn window_move_functions() {
+    let mut p = plugin();
+    p.eval(
+        r#"{ declare variable $w := browser:windowOpen("m", "http://www.xqib.org/m");
+             browser:windowMoveTo($w, 100, 50);
+             browser:windowMoveBy($w, -10, 25) }"#,
+    )
+    .unwrap();
+    let host = p.host.borrow();
+    let w = host.browser.find_by_name("m").unwrap();
+    assert_eq!(host.browser.window(w).geometry.x, 90);
+    assert_eq!(host.browser.window(w).geometry.y, 75);
+}
+
+#[test]
+fn cross_origin_popup_cannot_be_closed() {
+    // the window element for a cross-origin popup is opaque; windowClose
+    // refuses to act on it
+    let mut p = plugin();
+    p.eval(
+        r#"{ declare variable $w := browser:windowOpen("ext", "http://other.example/");
+             browser:windowClose($w) }"#,
+    )
+    .unwrap();
+    let host = p.host.borrow();
+    let w = host.browser.find_by_name("ext").unwrap();
+    assert!(!host.browser.window(w).closed, "close was denied");
+}
+
+#[test]
+fn history_go_with_offset() {
+    let mut p = plugin();
+    {
+        let mut host = p.host.borrow_mut();
+        let w = host.page_window;
+        host.browser.navigate(w, "http://www.xqib.org/2");
+        host.browser.navigate(w, "http://www.xqib.org/3");
+    }
+    p.eval("browser:historyGo(-2)").unwrap();
+    assert_eq!(
+        p.host.borrow().browser.window(p.page_window()).location.href,
+        "http://www.xqib.org/index.html"
+    );
+    p.eval("browser:historyGo(2)").unwrap();
+    assert_eq!(
+        p.host.borrow().browser.window(p.page_window()).location.href,
+        "http://www.xqib.org/3"
+    );
+}
+
+#[test]
+fn write_and_writeln_record() {
+    let mut p = plugin();
+    p.eval("browser:writeln('line one'), browser:write('line two')").unwrap();
+    let host = p.host.borrow();
+    let writes: Vec<_> = host
+        .browser
+        .ui_log
+        .iter()
+        .filter_map(|e| match e {
+            xqib_browser::bom::UiEvent::WriteLn(s) => Some(s.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(writes, vec!["line one".to_string(), "line two".to_string()]);
+}
+
+#[test]
+fn queued_events_drain_in_order() {
+    let mut p = Plugin::new(PluginConfig::default());
+    p.load_page(
+        r#"<html><head><script type="text/xquery"><![CDATA[
+        declare updating function local:log($evt, $obj) {
+            insert node <li>{data($evt/detail)}</li> into //ul[1]
+        };
+        on event "custom" at //input attach listener local:log
+        ]]></script></head><body><input id="b"/><ul/></body></html>"#,
+    )
+    .unwrap();
+    let b = p.element_by_id("b").unwrap();
+    // queue three events with different delays; drain honours virtual time
+    {
+        let mut host = p.host.borrow_mut();
+        host.tasks.schedule(
+            30,
+            PluginTask::Dispatch(DomEvent::new("custom", b).with_detail("third")),
+        );
+        host.tasks.schedule(
+            10,
+            PluginTask::Dispatch(DomEvent::new("custom", b).with_detail("first")),
+        );
+        host.tasks.schedule(
+            20,
+            PluginTask::Dispatch(DomEvent::new("custom", b).with_detail("second")),
+        );
+    }
+    let n = p.run_until_idle().unwrap();
+    assert_eq!(n, 3);
+    let page = p.serialize_page();
+    let first = page.find("first").unwrap();
+    let second = page.find("second").unwrap();
+    let third = page.find("third").unwrap();
+    assert!(first < second && second < third, "virtual-time order: {page}");
+    assert_eq!(p.host.borrow().tasks.now(), 30);
+}
+
+#[test]
+fn listener_errors_propagate() {
+    let mut p = Plugin::new(PluginConfig::default());
+    p.load_page(
+        r#"<html><head><script type="text/xquery"><![CDATA[
+        declare updating function local:bad($evt, $obj) { 1 div 0 };
+        on event "onclick" at //input attach listener local:bad
+        ]]></script></head><body><input id="b"/></body></html>"#,
+    )
+    .unwrap();
+    let b = p.element_by_id("b").unwrap();
+    let e = p.click(b).unwrap_err();
+    assert_eq!(e.code, "FOAR0001");
+}
+
+#[test]
+fn multiple_scripts_share_functions() {
+    // functions of one <script> are callable from the next (merged context)
+    let mut p = Plugin::new(PluginConfig::default());
+    p.load_page(
+        r#"<html><head>
+        <script type="text/xquery"><![CDATA[
+        declare function local:square($x) { $x * $x };
+        1
+        ]]></script>
+        <script type="text/xquery"><![CDATA[
+        insert node <p>{local:square(7)}</p> into //body[1]
+        ]]></script>
+        </head><body/></html>"#,
+    )
+    .unwrap();
+    assert!(p.serialize_page().contains("<p>49</p>"));
+}
+
+#[test]
+fn page_reload_resets_document_but_keeps_browser_state() {
+    let mut p = plugin();
+    p.eval("insert node <p id='x'/> into //body[1]").unwrap();
+    assert!(p.element_by_id("x").is_some());
+    {
+        let mut host = p.host.borrow_mut();
+        let w = host.page_window;
+        host.browser.navigate(w, "http://www.xqib.org/next");
+    }
+    p.load_page("<html><body>fresh</body></html>").unwrap();
+    assert!(p.element_by_id("x").is_none(), "new document");
+    assert_eq!(
+        p.host.borrow().browser.window(p.page_window()).history.len(),
+        2,
+        "history survives"
+    );
+}
+
+#[test]
+fn inline_listener_value_updates_between_events() {
+    // $value rebinds on every dispatch
+    let mut p = Plugin::new(PluginConfig::default());
+    p.load_page(
+        r#"<html><head><script type="text/xquery"><![CDATA[
+        declare updating function local:echo($v) {
+            insert node <li>{$v}</li> into //ul[1]
+        };
+        1
+        ]]></script></head>
+        <body><input id="t" value="" onkeyup="local:echo($value)"/><ul/></body></html>"#,
+    )
+    .unwrap();
+    let t = p.element_by_id("t").unwrap();
+    for v in ["a", "ab", "abc"] {
+        p.store
+            .borrow_mut()
+            .doc_mut(t.doc)
+            .set_attribute(t.node, QName::local("value"), v)
+            .unwrap();
+        p.keyup(t).unwrap();
+    }
+    let page = p.serialize_page();
+    assert!(page.contains("<li>a</li><li>ab</li><li>abc</li>"), "{page}");
+}

@@ -1,0 +1,43 @@
+//! Error type shared by the DOM layer.
+
+use std::fmt;
+
+/// Errors raised by DOM construction, mutation and parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DomError {
+    /// The XML parser rejected the input; carries a human-readable message
+    /// and the byte offset at which the problem was detected.
+    Parse { message: String, offset: usize },
+    /// A mutation targeted a node that does not exist (stale `NodeId`) or
+    /// that was detached from the tree.
+    InvalidNode(String),
+    /// A mutation would produce a malformed tree (e.g. inserting an
+    /// attribute as a child of a document node, or creating a cycle).
+    InvalidMutation(String),
+    /// A `DocId` did not resolve inside the store.
+    UnknownDocument(String),
+}
+
+impl DomError {
+    pub fn parse(message: impl Into<String>, offset: usize) -> Self {
+        DomError::Parse { message: message.into(), offset }
+    }
+}
+
+impl fmt::Display for DomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomError::Parse { message, offset } => {
+                write!(f, "XML parse error at byte {offset}: {message}")
+            }
+            DomError::InvalidNode(m) => write!(f, "invalid node: {m}"),
+            DomError::InvalidMutation(m) => write!(f, "invalid mutation: {m}"),
+            DomError::UnknownDocument(m) => write!(f, "unknown document: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DomError {}
+
+/// Convenience alias used across the crate.
+pub type DomResult<T> = Result<T, DomError>;

@@ -1,0 +1,36 @@
+//! # xqib-dom
+//!
+//! XML/XHTML document object model for the XQIB reproduction of
+//! *"XQuery in the Browser"* (WWW 2009).
+//!
+//! The crate provides:
+//!
+//! * an **arena-based DOM**: each [`Document`] owns a `Vec` of nodes addressed
+//!   by [`NodeId`] — compact, cache-friendly and free of `Rc` cycles;
+//! * a multi-document [`Store`] with global node identity ([`NodeRef`]);
+//! * a from-scratch, namespace-aware **XML/XHTML parser** ([`parse_document`]);
+//! * **document order** comparison and stable sorting of node sets;
+//! * a **mutation API** (insert/detach/replace/rename/deep-copy) used by the
+//!   XQuery Update Facility to update live web pages, exactly as the paper's
+//!   plug-in updates Internet Explorer's DOM through an XDM wrapper;
+//! * serialisation back to markup.
+//!
+//! The DOM is deliberately *untyped* (no schema validation): the paper's whole
+//! premise is that XQuery "can natively process (untyped) Web pages" (§3.1).
+
+pub mod arena;
+pub mod error;
+pub mod name;
+pub mod node;
+pub mod order;
+pub mod parser;
+pub mod serialize;
+pub mod store;
+
+pub use arena::Document;
+pub use error::{DomError, DomResult};
+pub use name::QName;
+pub use node::{NodeId, NodeKind};
+pub use order::cmp_doc_order;
+pub use parser::{parse_document, ParseOptions};
+pub use store::{DocId, NodeRef, SharedStore, Store};

@@ -1,0 +1,140 @@
+//! Qualified names.
+//!
+//! XQuery and the DOM are both namespace-aware; a [`QName`] carries an
+//! optional prefix (lexical information), a local part and an optional
+//! namespace URI. Equality and hashing ignore the prefix, as required by the
+//! XQuery Data Model: `html:div` and `h:div` bound to the same URI are the
+//! same expanded name.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+
+/// The `browser:` namespace the paper introduces for its browser extensions
+/// (§4.2: "one additional namespace … bound to the prefix `browser`").
+pub const BROWSER_NS: &str = "http://www.example.com/browser";
+/// The standard XQuery functions-and-operators namespace.
+pub const FN_NS: &str = "http://www.w3.org/2005/xpath-functions";
+/// The `xs:` XML Schema namespace (used for atomic type names only).
+pub const XS_NS: &str = "http://www.w3.org/2001/XMLSchema";
+/// The `local:` namespace for user functions declared in a main module.
+pub const LOCAL_NS: &str = "http://www.w3.org/2005/xquery-local-functions";
+/// The reserved `xml:` namespace.
+pub const XML_NS: &str = "http://www.w3.org/XML/1998/namespace";
+
+/// An expanded qualified name (prefix, local part, namespace URI).
+#[derive(Debug, Clone)]
+pub struct QName {
+    pub prefix: Option<Rc<str>>,
+    pub local: Rc<str>,
+    pub ns: Option<Rc<str>>,
+}
+
+impl QName {
+    /// A name with no namespace and no prefix.
+    pub fn local(local: impl AsRef<str>) -> Self {
+        QName { prefix: None, local: Rc::from(local.as_ref()), ns: None }
+    }
+
+    /// A name in a namespace, without remembering a prefix.
+    pub fn ns(ns: impl AsRef<str>, local: impl AsRef<str>) -> Self {
+        QName {
+            prefix: None,
+            local: Rc::from(local.as_ref()),
+            ns: Some(Rc::from(ns.as_ref())),
+        }
+    }
+
+    /// A fully specified name.
+    pub fn full(
+        prefix: Option<&str>,
+        ns: Option<&str>,
+        local: impl AsRef<str>,
+    ) -> Self {
+        QName {
+            prefix: prefix.map(Rc::from),
+            local: Rc::from(local.as_ref()),
+            ns: ns.map(Rc::from),
+        }
+    }
+
+    /// The namespace URI, or `""` when the name is in no namespace.
+    pub fn ns_or_empty(&self) -> &str {
+        self.ns.as_deref().unwrap_or("")
+    }
+
+    /// Lexical form: `prefix:local` or `local`.
+    pub fn lexical(&self) -> String {
+        match &self.prefix {
+            Some(p) if !p.is_empty() => format!("{p}:{}", self.local),
+            _ => self.local.to_string(),
+        }
+    }
+
+    /// Expanded-name equality test against `(ns, local)`.
+    pub fn matches(&self, ns: Option<&str>, local: &str) -> bool {
+        self.ns.as_deref() == ns && &*self.local == local
+    }
+}
+
+impl PartialEq for QName {
+    fn eq(&self, other: &Self) -> bool {
+        self.local == other.local && self.ns == other.ns
+    }
+}
+impl Eq for QName {}
+
+impl Hash for QName {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.local.hash(state);
+        self.ns.hash(state);
+    }
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.lexical())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn equality_ignores_prefix() {
+        let a = QName::full(Some("h"), Some("urn:html"), "div");
+        let b = QName::full(Some("html"), Some("urn:html"), "div");
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn equality_distinguishes_namespace() {
+        let a = QName::ns("urn:a", "div");
+        let b = QName::ns("urn:b", "div");
+        let c = QName::local("div");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lexical_form() {
+        assert_eq!(QName::local("p").lexical(), "p");
+        assert_eq!(
+            QName::full(Some("browser"), Some(BROWSER_NS), "alert").lexical(),
+            "browser:alert"
+        );
+    }
+
+    #[test]
+    fn matches_expanded_name() {
+        let q = QName::ns(BROWSER_NS, "self");
+        assert!(q.matches(Some(BROWSER_NS), "self"));
+        assert!(!q.matches(None, "self"));
+        assert!(!q.matches(Some(BROWSER_NS), "top"));
+    }
+}

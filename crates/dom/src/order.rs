@@ -1,0 +1,147 @@
+//! Document order.
+//!
+//! XPath/XQuery path results must be returned in document order with
+//! duplicates removed. Order is decided by child-index paths from the root:
+//! an attribute sorts after its owner element but before the element's
+//! children, matching the XDM rules. Across documents, order follows
+//! [`crate::store::DocId`] (a stable, implementation-defined order, as the
+//! spec allows).
+
+use std::cmp::Ordering;
+
+use crate::arena::Document;
+use crate::node::NodeId;
+use crate::store::{NodeRef, Store};
+
+/// One step of an order key. Attributes of an element come before its
+/// children, hence the two-level encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Step {
+    /// The element itself relative to its parent is identified by the parent
+    /// loop; `Attr(i)` = i-th attribute, `Child(i)` = i-th child.
+    Attr(u32),
+    Child(u32),
+}
+
+/// Computes the order key of a node: the sequence of steps from the tree
+/// root down to the node. Detached subtrees are ordered by their own root.
+fn order_key(doc: &Document, node: NodeId) -> Vec<Step> {
+    let mut rev = Vec::new();
+    let mut cur = node;
+    while let Some(parent) = doc.parent(cur) {
+        if doc.kind(cur).is_attribute() {
+            let idx = doc
+                .attributes(parent)
+                .iter()
+                .position(|&a| a == cur)
+                .unwrap_or(0) as u32;
+            rev.push(Step::Attr(idx));
+        } else {
+            let idx = doc.child_index(parent, cur).unwrap_or(0) as u32;
+            rev.push(Step::Child(idx));
+        }
+        cur = parent;
+    }
+    rev.reverse();
+    rev
+}
+
+/// Compares two nodes of the *same* document in document order.
+pub fn cmp_doc_order_local(doc: &Document, a: NodeId, b: NodeId) -> Ordering {
+    if a == b {
+        return Ordering::Equal;
+    }
+    let ka = order_key(doc, a);
+    let kb = order_key(doc, b);
+    // An ancestor precedes its descendants: shorter prefix wins.
+    match ka.cmp(&kb) {
+        Ordering::Equal => a.cmp(&b),
+        o => o,
+    }
+}
+
+/// Compares two [`NodeRef`]s in global document order.
+pub fn cmp_doc_order(store: &Store, a: NodeRef, b: NodeRef) -> Ordering {
+    match a.doc.cmp(&b.doc) {
+        Ordering::Equal => cmp_doc_order_local(store.doc(a.doc), a.node, b.node),
+        o => o,
+    }
+}
+
+/// Sorts a node sequence into document order and removes duplicates,
+/// the normalisation required after every path step.
+pub fn sort_dedup(store: &Store, nodes: &mut Vec<NodeRef>) {
+    nodes.sort_by(|&a, &b| cmp_doc_order(store, a, b));
+    nodes.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::QName;
+
+    fn sample() -> (Store, NodeRef, NodeRef, NodeRef, NodeRef, NodeRef) {
+        // <r a="1"><x/><y><z/></y></r>
+        let mut s = Store::new();
+        let d = s.new_document(None);
+        let doc = s.doc_mut(d);
+        let r = doc.create_element(QName::local("r"));
+        doc.append_child(doc.root(), r).unwrap();
+        let a = doc.set_attribute(r, QName::local("a"), "1").unwrap();
+        let x = doc.create_element(QName::local("x"));
+        let y = doc.create_element(QName::local("y"));
+        let z = doc.create_element(QName::local("z"));
+        doc.append_child(r, x).unwrap();
+        doc.append_child(r, y).unwrap();
+        doc.append_child(y, z).unwrap();
+        (
+            s,
+            NodeRef::new(d, r),
+            NodeRef::new(d, a),
+            NodeRef::new(d, x),
+            NodeRef::new(d, y),
+            NodeRef::new(d, z),
+        )
+    }
+
+    #[test]
+    fn ancestor_precedes_descendant() {
+        let (s, r, _a, x, y, z) = sample();
+        assert_eq!(cmp_doc_order(&s, r, x), Ordering::Less);
+        assert_eq!(cmp_doc_order(&s, y, z), Ordering::Less);
+        assert_eq!(cmp_doc_order(&s, z, y), Ordering::Greater);
+    }
+
+    #[test]
+    fn attribute_after_element_before_children() {
+        let (s, r, a, x, _y, _z) = sample();
+        assert_eq!(cmp_doc_order(&s, r, a), Ordering::Less);
+        assert_eq!(cmp_doc_order(&s, a, x), Ordering::Less);
+    }
+
+    #[test]
+    fn siblings_in_order() {
+        let (s, _r, _a, x, y, _z) = sample();
+        assert_eq!(cmp_doc_order(&s, x, y), Ordering::Less);
+    }
+
+    #[test]
+    fn sort_dedup_normalises() {
+        let (s, r, a, x, y, z) = sample();
+        let mut v = vec![z, x, r, z, a, y, x];
+        sort_dedup(&s, &mut v);
+        assert_eq!(v, vec![r, a, x, y, z]);
+    }
+
+    #[test]
+    fn cross_document_order_by_doc_id() {
+        let mut s = Store::new();
+        let d1 = s.new_document(None);
+        let d2 = s.new_document(None);
+        let r1 = s.root(d1);
+        let r2 = s.root(d2);
+        assert_eq!(cmp_doc_order(&s, r1, r2), Ordering::Less);
+        assert_eq!(cmp_doc_order(&s, r2, r1), Ordering::Greater);
+        assert_eq!(cmp_doc_order(&s, r1, r1), Ordering::Equal);
+    }
+}

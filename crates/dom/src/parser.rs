@@ -1,0 +1,676 @@
+//! A from-scratch, namespace-aware XML/XHTML parser.
+//!
+//! The parser is a single-pass recursive-descent scanner over the input
+//! bytes. It supports everything the paper's pages use: the XML declaration,
+//! DOCTYPE (skipped), elements, attributes, namespace declarations, character
+//! data with entity references, CDATA sections, comments and processing
+//! instructions.
+//!
+//! [`ParseOptions::uppercase_names`] emulates Internet Explorer's behaviour
+//! of upper-casing all HTML tag names, which §5.1 reports as a portability
+//! hazard ("XPath expressions have to contain upper-case names"). Tests and
+//! one experiment exercise this quirk.
+
+use crate::arena::Document;
+use crate::error::{DomError, DomResult};
+use crate::name::QName;
+use crate::node::NodeId;
+
+/// Parser configuration.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct ParseOptions {
+    /// Upper-case all element names, as Internet Explorer did (§5.1).
+    pub uppercase_names: bool,
+    /// Drop text nodes that consist solely of whitespace between elements.
+    pub trim_inter_element_whitespace: bool,
+}
+
+
+/// Parses a complete document.
+pub fn parse_document(input: &str) -> DomResult<Document> {
+    parse_with_options(input, &ParseOptions::default())
+}
+
+/// Parses a complete document with explicit options.
+pub fn parse_with_options(input: &str, opts: &ParseOptions) -> DomResult<Document> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0, opts };
+    let mut doc = Document::new();
+    p.skip_misc(&mut doc)?;
+    if p.eof() {
+        return Err(DomError::parse("document has no root element", p.pos));
+    }
+    let mut scope = NsScope::new();
+    let root = p.parse_element(&mut doc, &mut scope)?;
+    doc.append_child(doc.root(), root)
+        .map_err(|e| DomError::parse(e.to_string(), p.pos))?;
+    p.skip_misc(&mut doc)?;
+    if !p.eof() {
+        return Err(DomError::parse("content after root element", p.pos));
+    }
+    Ok(doc)
+}
+
+/// Parses a standalone fragment (sequence of content items) into a fresh
+/// document whose document node holds the items. Useful for constructing
+/// test fixtures and REST payloads.
+pub fn parse_fragment(input: &str) -> DomResult<(Document, Vec<NodeId>)> {
+    let opts = ParseOptions::default();
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0, opts: &opts };
+    let mut doc = Document::new();
+    let mut scope = NsScope::new();
+    let mut items = Vec::new();
+    while !p.eof() {
+        if p.peek_str("<!--") {
+            let c = p.parse_comment(&mut doc)?;
+            items.push(c);
+        } else if p.peek_str("<?") {
+            let pi = p.parse_pi(&mut doc)?;
+            if let Some(pi) = pi {
+                items.push(pi);
+            }
+        } else if p.peek() == Some(b'<') {
+            let e = p.parse_element(&mut doc, &mut scope)?;
+            items.push(e);
+        } else {
+            let t = p.parse_text(&mut doc)?;
+            if let Some(t) = t {
+                items.push(t);
+            }
+        }
+    }
+    let root = doc.root();
+    for &i in &items {
+        doc.append_child(root, i)
+            .map_err(|e| DomError::parse(e.to_string(), 0))?;
+    }
+    Ok((doc, items))
+}
+
+/// Namespace scope stack used during parsing.
+struct NsScope {
+    /// (prefix, uri) frames; a frame boundary is marked by depth counters.
+    frames: Vec<Vec<(String, String)>>,
+}
+
+impl NsScope {
+    fn new() -> Self {
+        NsScope { frames: vec![vec![]] }
+    }
+    fn push(&mut self) {
+        self.frames.push(Vec::new());
+    }
+    fn pop(&mut self) {
+        self.frames.pop();
+    }
+    fn declare(&mut self, prefix: &str, uri: &str) {
+        self.frames
+            .last_mut()
+            .expect("scope stack never empty")
+            .push((prefix.to_string(), uri.to_string()));
+    }
+    fn resolve(&self, prefix: &str) -> Option<&str> {
+        for frame in self.frames.iter().rev() {
+            for (p, u) in frame.iter().rev() {
+                if p == prefix {
+                    return if u.is_empty() { None } else { Some(u) };
+                }
+            }
+        }
+        match prefix {
+            "xml" => Some(crate::name::XML_NS),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    opts: &'a ParseOptions,
+}
+
+impl<'a> Parser<'a> {
+    fn eof(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_str(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn expect(&mut self, s: &str) -> DomResult<()> {
+        if self.peek_str(s) {
+            self.pos += s.len();
+            Ok(())
+        } else {
+            Err(DomError::parse(format!("expected `{s}`"), self.pos))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips whitespace, comments, PIs, the XML declaration and DOCTYPE that
+    /// may appear outside the root element.
+    fn skip_misc(&mut self, doc: &mut Document) -> DomResult<()> {
+        loop {
+            self.skip_ws();
+            if self.peek_str("<?xml") {
+                // XML declaration: skip to ?>
+                self.seek_past("?>")?;
+            } else if self.peek_str("<!DOCTYPE") {
+                self.skip_doctype()?;
+            } else if self.peek_str("<!--") {
+                let _ = self.parse_comment(doc)?;
+                // comments outside the root are currently dropped
+            } else if self.peek_str("<?") {
+                let _ = self.parse_pi(doc)?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn seek_past(&mut self, end: &str) -> DomResult<()> {
+        let hay = &self.bytes[self.pos..];
+        match find_sub(hay, end.as_bytes()) {
+            Some(i) => {
+                self.pos += i + end.len();
+                Ok(())
+            }
+            None => Err(DomError::parse(format!("unterminated, expected `{end}`"), self.pos)),
+        }
+    }
+
+    fn skip_doctype(&mut self) -> DomResult<()> {
+        // Handles internal subsets in brackets.
+        self.expect("<!DOCTYPE")?;
+        let mut depth = 1usize;
+        let mut in_bracket = false;
+        while let Some(b) = self.bump() {
+            match b {
+                b'[' => in_bracket = true,
+                b']' => in_bracket = false,
+                b'<' => depth += 1,
+                b'>'
+                    if !in_bracket => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Ok(());
+                        }
+                    }
+                _ => {}
+            }
+        }
+        Err(DomError::parse("unterminated DOCTYPE", self.pos))
+    }
+
+    fn parse_name(&mut self) -> DomResult<String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let ok = b.is_ascii_alphanumeric()
+                || matches!(b, b'_' | b'-' | b'.' | b':')
+                || b >= 0x80;
+            if ok {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(DomError::parse("expected a name", self.pos));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn parse_element(
+        &mut self,
+        doc: &mut Document,
+        scope: &mut NsScope,
+    ) -> DomResult<NodeId> {
+        self.expect("<")?;
+        let raw_name = self.parse_name()?;
+        scope.push();
+
+        // First pass over attributes: collect raw (name, value) pairs and
+        // register namespace declarations.
+        let mut raw_attrs: Vec<(String, String)> = Vec::new();
+        let mut ns_decls: Vec<(String, String)> = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') | Some(b'>') | None => break,
+                _ => {}
+            }
+            let aname = self.parse_name()?;
+            self.skip_ws();
+            self.expect("=")?;
+            self.skip_ws();
+            let value = self.parse_attr_value()?;
+            if aname == "xmlns" {
+                scope.declare("", &value);
+                ns_decls.push((String::new(), value));
+            } else if let Some(p) = aname.strip_prefix("xmlns:") {
+                scope.declare(p, &value);
+                ns_decls.push((p.to_string(), value));
+            } else {
+                raw_attrs.push((aname, value));
+            }
+        }
+
+        let name = self.make_qname(&raw_name, scope, true)?;
+        let elem = doc.create_element(name);
+        for (p, u) in ns_decls {
+            doc.add_ns_decl(elem, p, u)
+                .map_err(|e| DomError::parse(e.to_string(), self.pos))?;
+        }
+        for (aname, value) in raw_attrs {
+            let qn = self.make_qname(&aname, scope, false)?;
+            doc.set_attribute(elem, qn, value)
+                .map_err(|e| DomError::parse(e.to_string(), self.pos))?;
+        }
+
+        self.skip_ws();
+        if self.peek_str("/>") {
+            self.pos += 2;
+            scope.pop();
+            return Ok(elem);
+        }
+        self.expect(">")?;
+
+        // Content
+        loop {
+            if self.eof() {
+                return Err(DomError::parse(
+                    format!("unterminated element <{raw_name}>"),
+                    self.pos,
+                ));
+            }
+            if self.peek_str("</") {
+                self.pos += 2;
+                let close = self.parse_name()?;
+                if !names_match(&close, &raw_name, self.opts.uppercase_names) {
+                    return Err(DomError::parse(
+                        format!("mismatched close tag </{close}> for <{raw_name}>"),
+                        self.pos,
+                    ));
+                }
+                self.skip_ws();
+                self.expect(">")?;
+                scope.pop();
+                return Ok(elem);
+            } else if self.peek_str("<!--") {
+                let c = self.parse_comment(doc)?;
+                doc.append_child(elem, c)
+                    .map_err(|e| DomError::parse(e.to_string(), self.pos))?;
+            } else if self.peek_str("<![CDATA[") {
+                let t = self.parse_cdata(doc)?;
+                doc.append_child(elem, t)
+                    .map_err(|e| DomError::parse(e.to_string(), self.pos))?;
+            } else if self.peek_str("<?") {
+                if let Some(pi) = self.parse_pi(doc)? {
+                    doc.append_child(elem, pi)
+                        .map_err(|e| DomError::parse(e.to_string(), self.pos))?;
+                }
+            } else if self.peek() == Some(b'<') {
+                let child = self.parse_element(doc, scope)?;
+                doc.append_child(elem, child)
+                    .map_err(|e| DomError::parse(e.to_string(), self.pos))?;
+            } else {
+                if let Some(t) = self.parse_text(doc)? {
+                    doc.append_child(elem, t)
+                        .map_err(|e| DomError::parse(e.to_string(), self.pos))?;
+                }
+            }
+        }
+    }
+
+    fn make_qname(
+        &self,
+        raw: &str,
+        scope: &NsScope,
+        is_element: bool,
+    ) -> DomResult<QName> {
+        let raw_cased: String = if self.opts.uppercase_names && is_element {
+            raw.to_ascii_uppercase()
+        } else {
+            raw.to_string()
+        };
+        if let Some(colon) = raw_cased.find(':') {
+            let (prefix, local) = raw_cased.split_at(colon);
+            let local = &local[1..];
+            let ns = scope.resolve(prefix).ok_or_else(|| {
+                DomError::parse(format!("undeclared namespace prefix `{prefix}`"), self.pos)
+            })?;
+            Ok(QName::full(Some(prefix), Some(ns), local))
+        } else if is_element {
+            // default namespace applies to unprefixed element names
+            Ok(QName::full(None, scope.resolve(""), &raw_cased))
+        } else {
+            // ...but never to attributes
+            Ok(QName::local(&raw_cased))
+        }
+    }
+
+    fn parse_attr_value(&mut self) -> DomResult<String> {
+        let quote = self.bump().ok_or_else(|| {
+            DomError::parse("expected attribute value", self.pos)
+        })?;
+        if quote != b'"' && quote != b'\'' {
+            return Err(DomError::parse("attribute value must be quoted", self.pos));
+        }
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == quote {
+                let raw = &self.bytes[start..self.pos];
+                self.pos += 1;
+                return decode_entities(
+                    &String::from_utf8_lossy(raw),
+                    start,
+                );
+            }
+            self.pos += 1;
+        }
+        Err(DomError::parse("unterminated attribute value", self.pos))
+    }
+
+    fn parse_text(&mut self, doc: &mut Document) -> DomResult<Option<NodeId>> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'<' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]);
+        let text = decode_entities(&raw, start)?;
+        if self.opts.trim_inter_element_whitespace
+            && text.chars().all(char::is_whitespace)
+        {
+            return Ok(None);
+        }
+        if text.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(doc.create_text(text)))
+    }
+
+    fn parse_comment(&mut self, doc: &mut Document) -> DomResult<NodeId> {
+        self.expect("<!--")?;
+        let start = self.pos;
+        match find_sub(&self.bytes[self.pos..], b"-->") {
+            Some(i) => {
+                let body =
+                    String::from_utf8_lossy(&self.bytes[start..start + i]).into_owned();
+                self.pos += i + 3;
+                Ok(doc.create_comment(body))
+            }
+            None => Err(DomError::parse("unterminated comment", self.pos)),
+        }
+    }
+
+    fn parse_cdata(&mut self, doc: &mut Document) -> DomResult<NodeId> {
+        self.expect("<![CDATA[")?;
+        let start = self.pos;
+        match find_sub(&self.bytes[self.pos..], b"]]>") {
+            Some(i) => {
+                let body =
+                    String::from_utf8_lossy(&self.bytes[start..start + i]).into_owned();
+                self.pos += i + 3;
+                Ok(doc.create_text(body))
+            }
+            None => Err(DomError::parse("unterminated CDATA section", self.pos)),
+        }
+    }
+
+    /// Returns `None` for the XML declaration, `Some(pi)` otherwise.
+    fn parse_pi(&mut self, doc: &mut Document) -> DomResult<Option<NodeId>> {
+        self.expect("<?")?;
+        let target = self.parse_name()?;
+        self.skip_ws();
+        let start = self.pos;
+        match find_sub(&self.bytes[self.pos..], b"?>") {
+            Some(i) => {
+                let body =
+                    String::from_utf8_lossy(&self.bytes[start..start + i]).into_owned();
+                self.pos += i + 2;
+                if target.eq_ignore_ascii_case("xml") {
+                    Ok(None)
+                } else {
+                    Ok(Some(doc.create_pi(target, body.trim_end().to_string())))
+                }
+            }
+            None => Err(DomError::parse("unterminated processing instruction", self.pos)),
+        }
+    }
+}
+
+fn names_match(close: &str, open: &str, case_insensitive: bool) -> bool {
+    if case_insensitive {
+        close.eq_ignore_ascii_case(open)
+    } else {
+        close == open
+    }
+}
+
+fn find_sub(hay: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() || hay.len() < needle.len() {
+        return None;
+    }
+    hay.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Decodes the five predefined entities plus numeric character references.
+pub fn decode_entities(raw: &str, base_offset: usize) -> DomResult<String> {
+    if !raw.contains('&') {
+        return Ok(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp + 1..];
+        let Some(semi) = after.find(';') else {
+            return Err(DomError::parse("unterminated entity reference", base_offset));
+        };
+        let ent = &after[..semi];
+        match ent {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ => {
+                if let Some(hex) = ent.strip_prefix("#x").or_else(|| ent.strip_prefix("#X")) {
+                    let cp = u32::from_str_radix(hex, 16).map_err(|_| {
+                        DomError::parse(format!("bad character reference &{ent};"), base_offset)
+                    })?;
+                    out.push(char::from_u32(cp).ok_or_else(|| {
+                        DomError::parse("invalid code point", base_offset)
+                    })?);
+                } else if let Some(dec) = ent.strip_prefix('#') {
+                    let cp: u32 = dec.parse().map_err(|_| {
+                        DomError::parse(format!("bad character reference &{ent};"), base_offset)
+                    })?;
+                    out.push(char::from_u32(cp).ok_or_else(|| {
+                        DomError::parse("invalid code point", base_offset)
+                    })?);
+                } else {
+                    return Err(DomError::parse(
+                        format!("unknown entity &{ent};"),
+                        base_offset,
+                    ));
+                }
+            }
+        }
+        rest = &after[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeKind;
+
+    #[test]
+    fn minimal_document() {
+        let d = parse_document("<html/>").unwrap();
+        let root_kids = d.children(d.root());
+        assert_eq!(root_kids.len(), 1);
+        assert_eq!(d.element_name(root_kids[0]).unwrap().lexical(), "html");
+    }
+
+    #[test]
+    fn nested_with_text_and_attrs() {
+        let d = parse_document(
+            r#"<html><body id="b"><p class="x">Hello <b>World</b>!</p></body></html>"#,
+        )
+        .unwrap();
+        let html = d.children(d.root())[0];
+        let body = d.children(html)[0];
+        assert_eq!(d.get_attribute(body, None, "id"), Some("b"));
+        let p = d.children(body)[0];
+        assert_eq!(d.string_value(p), "Hello World!");
+        assert_eq!(d.children(p).len(), 3);
+    }
+
+    #[test]
+    fn xml_decl_and_doctype_skipped() {
+        let d = parse_document(
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<!DOCTYPE html>\n<html><body/></html>",
+        )
+        .unwrap();
+        assert_eq!(d.children(d.root()).len(), 1);
+    }
+
+    #[test]
+    fn entities_decoded() {
+        let d = parse_document("<p a=\"x &amp; y\">&lt;tag&gt; &#65;&#x42;</p>").unwrap();
+        let p = d.children(d.root())[0];
+        assert_eq!(d.get_attribute(p, None, "a"), Some("x & y"));
+        assert_eq!(d.string_value(p), "<tag> AB");
+    }
+
+    #[test]
+    fn cdata_preserved_verbatim() {
+        let d = parse_document("<s><![CDATA[a < b && c]]></s>").unwrap();
+        let s = d.children(d.root())[0];
+        assert_eq!(d.string_value(s), "a < b && c");
+    }
+
+    #[test]
+    fn comments_and_pis() {
+        let d = parse_document("<r><!-- note --><?phptarget do it?></r>").unwrap();
+        let r = d.children(d.root())[0];
+        let kids = d.children(r);
+        assert_eq!(kids.len(), 2);
+        assert!(matches!(d.kind(kids[0]), NodeKind::Comment { value } if value == " note "));
+        assert!(matches!(
+            d.kind(kids[1]),
+            NodeKind::ProcessingInstruction { target, .. } if target == "phptarget"
+        ));
+    }
+
+    #[test]
+    fn namespaces_resolved() {
+        let d = parse_document(
+            r#"<x:root xmlns:x="urn:x" xmlns="urn:default"><child/><x:kid/></x:root>"#,
+        )
+        .unwrap();
+        let root = d.children(d.root())[0];
+        assert_eq!(d.element_name(root).unwrap().ns.as_deref(), Some("urn:x"));
+        let kids = d.children(root);
+        assert_eq!(
+            d.element_name(kids[0]).unwrap().ns.as_deref(),
+            Some("urn:default"),
+            "default namespace applies to unprefixed elements"
+        );
+        assert_eq!(d.element_name(kids[1]).unwrap().ns.as_deref(), Some("urn:x"));
+    }
+
+    #[test]
+    fn default_ns_does_not_apply_to_attributes() {
+        let d = parse_document(r#"<r xmlns="urn:d" a="1"/>"#).unwrap();
+        let r = d.children(d.root())[0];
+        assert_eq!(d.get_attribute(r, None, "a"), Some("1"));
+    }
+
+    #[test]
+    fn undeclared_prefix_is_error() {
+        assert!(parse_document("<x:r/>").is_err());
+    }
+
+    #[test]
+    fn mismatched_close_tag_is_error() {
+        let err = parse_document("<a><b></a></b>").unwrap_err();
+        assert!(matches!(err, DomError::Parse { .. }));
+    }
+
+    #[test]
+    fn unterminated_element_is_error() {
+        assert!(parse_document("<a><b>").is_err());
+        assert!(parse_document("<a").is_err());
+    }
+
+    #[test]
+    fn content_after_root_is_error() {
+        assert!(parse_document("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn ie_uppercase_quirk() {
+        let opts = ParseOptions { uppercase_names: true, ..Default::default() };
+        let d = parse_with_options("<html><Body id='x'/></html>", &opts).unwrap();
+        let html = d.children(d.root())[0];
+        assert_eq!(d.element_name(html).unwrap().lexical(), "HTML");
+        let body = d.children(html)[0];
+        assert_eq!(d.element_name(body).unwrap().lexical(), "BODY");
+        // attribute names keep their case
+        assert_eq!(d.get_attribute(body, None, "id"), Some("x"));
+    }
+
+    #[test]
+    fn whitespace_trimming_option() {
+        let src = "<r>\n  <a/>\n  <b/>\n</r>";
+        let keep = parse_document(src).unwrap();
+        let r = keep.children(keep.root())[0];
+        assert_eq!(keep.children(r).len(), 5);
+        let opts = ParseOptions { trim_inter_element_whitespace: true, ..Default::default() };
+        let trim = parse_with_options(src, &opts).unwrap();
+        let r = trim.children(trim.root())[0];
+        assert_eq!(trim.children(r).len(), 2);
+    }
+
+    #[test]
+    fn fragment_parsing() {
+        let (doc, items) = parse_fragment("text<first/><second/>more").unwrap();
+        assert_eq!(items.len(), 4);
+        assert_eq!(doc.string_value(doc.root()), "textmore");
+    }
+
+    #[test]
+    fn single_quotes_ok() {
+        let d = parse_document("<a x='1' y=\"2\"/>").unwrap();
+        let a = d.children(d.root())[0];
+        assert_eq!(d.get_attribute(a, None, "x"), Some("1"));
+        assert_eq!(d.get_attribute(a, None, "y"), Some("2"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Serialisation of DOM (sub)trees back to markup.
+//!
+//! Round-tripping matters for two reasons in the reproduction: (1) the
+//! application server ships rendered pages as markup and we count the bytes
+//! on the wire for the Figure 2 experiment; (2) tests compare DOM states via
+//! canonical serialisation.
+
+use crate::arena::Document;
+use crate::node::{NodeId, NodeKind};
+
+/// Serialises `node` (and its subtree) to markup.
+pub fn serialize_node(doc: &Document, node: NodeId) -> String {
+    let mut out = String::new();
+    write_node(doc, node, &mut out);
+    out
+}
+
+/// Serialises a whole document (children of the document node).
+pub fn serialize_document(doc: &Document) -> String {
+    let mut out = String::new();
+    for &c in doc.children(doc.root()) {
+        write_node(doc, c, &mut out);
+    }
+    out
+}
+
+fn write_node(doc: &Document, node: NodeId, out: &mut String) {
+    match doc.kind(node) {
+        NodeKind::Document { children } => {
+            for &c in children {
+                write_node(doc, c, out);
+            }
+        }
+        NodeKind::Element { name, attrs, children, ns_decls } => {
+            out.push('<');
+            out.push_str(&name.lexical());
+            for (p, u) in ns_decls {
+                if p.is_empty() {
+                    out.push_str(" xmlns=\"");
+                } else {
+                    out.push_str(" xmlns:");
+                    out.push_str(p);
+                    out.push_str("=\"");
+                }
+                escape_attr(u, out);
+                out.push('"');
+            }
+            for &a in attrs {
+                if let NodeKind::Attribute { name, value } = doc.kind(a) {
+                    out.push(' ');
+                    out.push_str(&name.lexical());
+                    out.push_str("=\"");
+                    escape_attr(value, out);
+                    out.push('"');
+                }
+            }
+            if children.is_empty() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                for &c in children {
+                    write_node(doc, c, out);
+                }
+                out.push_str("</");
+                out.push_str(&name.lexical());
+                out.push('>');
+            }
+        }
+        NodeKind::Attribute { name, value } => {
+            // Serialising a bare attribute renders name="value".
+            out.push_str(&name.lexical());
+            out.push_str("=\"");
+            escape_attr(value, out);
+            out.push('"');
+        }
+        NodeKind::Text { value } => escape_text(value, out),
+        NodeKind::Comment { value } => {
+            out.push_str("<!--");
+            out.push_str(value);
+            out.push_str("-->");
+        }
+        NodeKind::ProcessingInstruction { target, value } => {
+            out.push_str("<?");
+            out.push_str(target);
+            if !value.is_empty() {
+                out.push(' ');
+                out.push_str(value);
+            }
+            out.push_str("?>");
+        }
+    }
+}
+
+fn escape_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn escape_attr(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    fn roundtrip(src: &str) -> String {
+        let d = parse_document(src).unwrap();
+        serialize_document(&d)
+    }
+
+    #[test]
+    fn simple_roundtrip() {
+        assert_eq!(roundtrip("<a><b x=\"1\">hi</b></a>"), "<a><b x=\"1\">hi</b></a>");
+    }
+
+    #[test]
+    fn empty_element_collapsed() {
+        assert_eq!(roundtrip("<a></a>"), "<a/>");
+    }
+
+    #[test]
+    fn escaping() {
+        let d = parse_document("<a t=\"x &amp; &quot;y&quot;\">1 &lt; 2 &amp; 3</a>").unwrap();
+        assert_eq!(
+            serialize_document(&d),
+            "<a t=\"x &amp; &quot;y&quot;\">1 &lt; 2 &amp; 3</a>"
+        );
+    }
+
+    #[test]
+    fn namespace_decls_serialised() {
+        let s = roundtrip(r#"<x:r xmlns:x="urn:x" xmlns="urn:d"><c/></x:r>"#);
+        assert!(s.contains("xmlns:x=\"urn:x\""));
+        assert!(s.contains("xmlns=\"urn:d\""));
+    }
+
+    #[test]
+    fn comment_and_pi_roundtrip() {
+        assert_eq!(
+            roundtrip("<r><!--c--><?pi data?></r>"),
+            "<r><!--c--><?pi data?></r>"
+        );
+    }
+
+    #[test]
+    fn double_roundtrip_is_fixpoint() {
+        let once = roundtrip("<a>\n <b/> text <c q=\"v\"/></a>");
+        let d2 = parse_document(&once).unwrap();
+        assert_eq!(serialize_document(&d2), once);
+    }
+}

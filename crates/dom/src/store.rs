@@ -1,0 +1,206 @@
+//! Multi-document store and global node references.
+//!
+//! The paper's plug-in exposes many documents to one query: the page itself,
+//! documents of other frames, XML fetched over REST, cached documents
+//! (Elsevier scenario, §6.1). The [`Store`] owns all of them; a [`NodeRef`]
+//! names a node globally as `(DocId, NodeId)`.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::arena::Document;
+use crate::error::{DomError, DomResult};
+use crate::node::NodeId;
+
+/// Identifier of a document inside a [`Store`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(pub u32);
+
+/// A node reference that is unique across the whole store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeRef {
+    pub doc: DocId,
+    pub node: NodeId,
+}
+
+impl NodeRef {
+    pub fn new(doc: DocId, node: NodeId) -> Self {
+        NodeRef { doc, node }
+    }
+}
+
+/// Owns every document visible to an engine instance.
+#[derive(Debug, Default)]
+pub struct Store {
+    docs: Vec<Document>,
+    by_uri: HashMap<String, DocId>,
+}
+
+impl Store {
+    pub fn new() -> Self {
+        Store::default()
+    }
+
+    /// Adds a document, optionally registering it under a URI for `fn:doc`.
+    pub fn add_document(&mut self, mut doc: Document, uri: Option<&str>) -> DocId {
+        let id = DocId(self.docs.len() as u32);
+        if let Some(u) = uri {
+            doc.base_uri = Some(u.to_string());
+            self.by_uri.insert(u.to_string(), id);
+        }
+        self.docs.push(doc);
+        id
+    }
+
+    /// Creates and registers an empty document.
+    pub fn new_document(&mut self, uri: Option<&str>) -> DocId {
+        self.add_document(Document::new(), uri)
+    }
+
+    pub fn doc(&self, id: DocId) -> &Document {
+        &self.docs[id.0 as usize]
+    }
+
+    pub fn doc_mut(&mut self, id: DocId) -> &mut Document {
+        &mut self.docs[id.0 as usize]
+    }
+
+    pub fn try_doc(&self, id: DocId) -> DomResult<&Document> {
+        self.docs
+            .get(id.0 as usize)
+            .ok_or_else(|| DomError::UnknownDocument(format!("{id:?}")))
+    }
+
+    /// Looks up a registered document by URI.
+    pub fn doc_by_uri(&self, uri: &str) -> Option<DocId> {
+        self.by_uri.get(uri).copied()
+    }
+
+    /// Registers (or re-registers) a URI for an existing document.
+    pub fn register_uri(&mut self, uri: &str, id: DocId) {
+        self.by_uri.insert(uri.to_string(), id);
+        self.docs[id.0 as usize].base_uri = Some(uri.to_string());
+    }
+
+    /// Removes the URI binding (the document itself stays alive).
+    pub fn unregister_uri(&mut self, uri: &str) -> Option<DocId> {
+        self.by_uri.remove(uri)
+    }
+
+    pub fn doc_count(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Root node reference of a document.
+    pub fn root(&self, id: DocId) -> NodeRef {
+        NodeRef::new(id, self.doc(id).root())
+    }
+
+    /// XDM string value of a node reference.
+    pub fn string_value(&self, n: NodeRef) -> String {
+        self.doc(n.doc).string_value(n.node)
+    }
+
+    /// Parent as a `NodeRef`.
+    pub fn parent(&self, n: NodeRef) -> Option<NodeRef> {
+        self.doc(n.doc).parent(n.node).map(|p| NodeRef::new(n.doc, p))
+    }
+
+    /// Children as `NodeRef`s.
+    pub fn children(&self, n: NodeRef) -> Vec<NodeRef> {
+        self.doc(n.doc)
+            .children(n.node)
+            .iter()
+            .map(|&c| NodeRef::new(n.doc, c))
+            .collect()
+    }
+
+    /// Attributes as `NodeRef`s.
+    pub fn attributes(&self, n: NodeRef) -> Vec<NodeRef> {
+        self.doc(n.doc)
+            .attributes(n.node)
+            .iter()
+            .map(|&a| NodeRef::new(n.doc, a))
+            .collect()
+    }
+
+    /// Deep-copies `src` into document `dst` (possibly the same document),
+    /// returning the new subtree root. Uses a split borrow so cross-document
+    /// copies never clone whole documents.
+    pub fn copy_node_between(&mut self, src: NodeRef, dst: DocId) -> NodeId {
+        if src.doc == dst {
+            return self.doc_mut(dst).deep_copy(src.node);
+        }
+        let si = src.doc.0 as usize;
+        let di = dst.0 as usize;
+        if si < di {
+            let (left, right) = self.docs.split_at_mut(di);
+            right[0].deep_copy_from(&left[si], src.node)
+        } else {
+            let (left, right) = self.docs.split_at_mut(si);
+            left[di].deep_copy_from(&right[0], src.node)
+        }
+    }
+}
+
+/// The store handle shared between the engine, the browser substrate, the
+/// plug-in and the JavaScript baseline — they all see the *same* DOM, which
+/// is precisely the co-existence claim of §6.2 ("the Web page serves like a
+/// database and both JavaScript and XQuery code can be used in order to
+/// access and update that database").
+pub type SharedStore = Rc<RefCell<Store>>;
+
+/// Creates a fresh shared store.
+pub fn shared_store() -> SharedStore {
+    Rc::new(RefCell::new(Store::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::QName;
+
+    #[test]
+    fn uri_registration_and_lookup() {
+        let mut s = Store::new();
+        let d = s.new_document(Some("http://x/lib.xml"));
+        assert_eq!(s.doc_by_uri("http://x/lib.xml"), Some(d));
+        assert_eq!(s.doc_by_uri("http://x/other.xml"), None);
+        s.unregister_uri("http://x/lib.xml");
+        assert_eq!(s.doc_by_uri("http://x/lib.xml"), None);
+        assert_eq!(s.doc_count(), 1, "document survives unregistration");
+    }
+
+    #[test]
+    fn node_refs_navigate() {
+        let mut s = Store::new();
+        let d = s.new_document(None);
+        let (root, e) = {
+            let doc = s.doc_mut(d);
+            let e = doc.create_element(QName::local("r"));
+            doc.append_child(doc.root(), e).unwrap();
+            let t = doc.create_text("hi");
+            doc.append_child(e, t).unwrap();
+            (doc.root(), e)
+        };
+        let root_ref = NodeRef::new(d, root);
+        let kids = s.children(root_ref);
+        assert_eq!(kids.len(), 1);
+        assert_eq!(kids[0].node, e);
+        assert_eq!(s.string_value(kids[0]), "hi");
+        assert_eq!(s.parent(kids[0]), Some(root_ref));
+        assert_eq!(s.parent(root_ref), None);
+    }
+
+    #[test]
+    fn identity_is_per_document() {
+        let mut s = Store::new();
+        let d1 = s.new_document(None);
+        let d2 = s.new_document(None);
+        let r1 = s.root(d1);
+        let r2 = s.root(d2);
+        assert_ne!(r1, r2);
+        assert_eq!(r1.node, r2.node, "both are NodeId(0) locally");
+    }
+}

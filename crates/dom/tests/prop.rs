@@ -1,0 +1,174 @@
+//! Property-based tests for the DOM substrate: structural invariants under
+//! random mutation sequences, and parse/serialise round-trips.
+
+use proptest::prelude::*;
+
+use xqib_dom::{parse_document, Document, NodeId, QName};
+
+/// A random tree-building program.
+#[derive(Debug, Clone)]
+enum Op {
+    AddElement(usize, u8),
+    AddText(usize, String),
+    SetAttr(usize, u8, String),
+    Detach(usize),
+    Rename(usize, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<usize>(), any::<u8>()).prop_map(|(p, n)| Op::AddElement(p, n % 8)),
+        (any::<usize>(), "[a-z ]{0,8}").prop_map(|(p, t)| Op::AddText(p, t)),
+        (any::<usize>(), any::<u8>(), "[a-z]{0,5}")
+            .prop_map(|(p, n, v)| Op::SetAttr(p, n % 4, v)),
+        any::<usize>().prop_map(Op::Detach),
+        (any::<usize>(), any::<u8>()).prop_map(|(p, n)| Op::Rename(p, n % 8)),
+    ]
+}
+
+fn elem_name(i: u8) -> QName {
+    QName::local(format!("e{i}"))
+}
+
+/// Applies ops to a document, always targeting existing element nodes.
+fn apply_ops(ops: &[Op]) -> (Document, Vec<NodeId>) {
+    let mut doc = Document::new();
+    let root = doc.create_element(QName::local("root"));
+    doc.append_child(doc.root(), root).unwrap();
+    let mut elems = vec![root];
+    for op in ops {
+        match op {
+            Op::AddElement(p, n) => {
+                let parent = elems[p % elems.len()];
+                if doc.is_attached(parent) {
+                    let e = doc.create_element(elem_name(*n));
+                    if doc.append_child(parent, e).is_ok() {
+                        elems.push(e);
+                    }
+                }
+            }
+            Op::AddText(p, t) => {
+                let parent = elems[p % elems.len()];
+                if doc.is_attached(parent) && !t.is_empty() {
+                    let tn = doc.create_text(t.clone());
+                    let _ = doc.append_child(parent, tn);
+                }
+            }
+            Op::SetAttr(p, n, v) => {
+                let target = elems[p % elems.len()];
+                let _ = doc.set_attribute(target, QName::local(format!("a{n}")), v.clone());
+            }
+            Op::Detach(p) => {
+                let target = elems[p % elems.len()];
+                if target != root {
+                    let _ = doc.detach(target);
+                }
+            }
+            Op::Rename(p, n) => {
+                let target = elems[p % elems.len()];
+                let _ = doc.rename(target, elem_name(*n));
+            }
+        }
+    }
+    (doc, elems)
+}
+
+proptest! {
+    #[test]
+    fn parent_child_links_stay_coherent(ops in prop::collection::vec(op_strategy(), 0..60)) {
+        let (doc, elems) = apply_ops(&ops);
+        for &e in &elems {
+            // every child's parent link points back
+            for &c in doc.children(e) {
+                prop_assert_eq!(doc.parent(c), Some(e));
+            }
+            for &a in doc.attributes(e) {
+                prop_assert_eq!(doc.parent(a), Some(e));
+            }
+            // if attached, walking up reaches the document node
+            if doc.is_attached(e) {
+                prop_assert_eq!(doc.tree_root(e), doc.root());
+            }
+        }
+    }
+
+    #[test]
+    fn no_node_appears_twice_in_any_child_list(ops in prop::collection::vec(op_strategy(), 0..60)) {
+        let (doc, elems) = apply_ops(&ops);
+        for &e in &elems {
+            let kids = doc.children(e);
+            let mut seen = std::collections::HashSet::new();
+            for &k in kids {
+                prop_assert!(seen.insert(k), "duplicate child");
+            }
+        }
+    }
+
+    #[test]
+    fn string_value_is_concatenated_descendant_text(ops in prop::collection::vec(op_strategy(), 0..40)) {
+        let (doc, _) = apply_ops(&ops);
+        // independent recomputation by explicit traversal
+        fn collect(doc: &Document, n: NodeId, out: &mut String) {
+            for &c in doc.children(n) {
+                if let Some(t) = doc.simple_value(c) {
+                    if doc.kind(c).is_text() {
+                        out.push_str(t);
+                    }
+                } else {
+                    collect(doc, c, out);
+                }
+            }
+        }
+        let mut expected = String::new();
+        collect(&doc, doc.root(), &mut expected);
+        prop_assert_eq!(doc.string_value(doc.root()), expected);
+    }
+
+    #[test]
+    fn serialize_parse_roundtrip(ops in prop::collection::vec(op_strategy(), 0..40)) {
+        let (doc, _) = apply_ops(&ops);
+        let s1 = xqib_dom::serialize::serialize_document(&doc);
+        let reparsed = parse_document(&s1).expect("own output parses");
+        let s2 = xqib_dom::serialize::serialize_document(&reparsed);
+        prop_assert_eq!(s1, s2, "serialisation is a fixpoint after one trip");
+    }
+
+    #[test]
+    fn deep_copy_preserves_serialisation(ops in prop::collection::vec(op_strategy(), 0..40)) {
+        let (mut doc, _) = apply_ops(&ops);
+        let root_elem = doc.children(doc.root())[0];
+        let before = xqib_dom::serialize::serialize_node(&doc, root_elem);
+        let copy = doc.deep_copy(root_elem);
+        let copied = xqib_dom::serialize::serialize_node(&doc, copy);
+        prop_assert_eq!(before.clone(), copied);
+        // and the original is untouched
+        prop_assert_eq!(before, xqib_dom::serialize::serialize_node(&doc, root_elem));
+    }
+
+    #[test]
+    fn entity_decoding_roundtrip(s in "[a-zA-Z0-9<>&\"' ]{0,30}") {
+        // build <x>s</x> by hand with escaping, parse, compare string value
+        let mut doc = Document::new();
+        let e = doc.create_element(QName::local("x"));
+        doc.append_child(doc.root(), e).unwrap();
+        if !s.is_empty() {
+            let t = doc.create_text(s.clone());
+            doc.append_child(e, t).unwrap();
+        }
+        let xml = xqib_dom::serialize::serialize_document(&doc);
+        let reparsed = parse_document(&xml).expect("parses");
+        prop_assert_eq!(reparsed.string_value(reparsed.root()), s);
+    }
+
+    #[test]
+    fn attribute_value_roundtrip(v in "[ -~]{0,30}") {
+        let mut doc = Document::new();
+        let e = doc.create_element(QName::local("x"));
+        doc.append_child(doc.root(), e).unwrap();
+        doc.set_attribute(e, QName::local("a"), v.clone()).unwrap();
+        let xml = xqib_dom::serialize::serialize_document(&doc);
+        let reparsed = parse_document(&xml).expect("parses");
+        let root_elem = reparsed.children(reparsed.root())[0];
+        prop_assert_eq!(reparsed.get_attribute(root_elem, None, "a"), Some(v.as_str()));
+    }
+}

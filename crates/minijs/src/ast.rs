@@ -1,0 +1,71 @@
+//! AST of the JavaScript subset.
+
+use std::rc::Rc;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+}
+
+#[derive(Debug, Clone)]
+pub enum JsExpr {
+    Number(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+    Undefined,
+    Ident(String),
+    Array(Vec<JsExpr>),
+    Binary(BinOp, Box<JsExpr>, Box<JsExpr>),
+    Not(Box<JsExpr>),
+    Neg(Box<JsExpr>),
+    /// `obj.prop`
+    Member(Box<JsExpr>, String),
+    /// `obj[idx]`
+    Index(Box<JsExpr>, Box<JsExpr>),
+    /// `f(args)` / `obj.m(args)`
+    Call(Box<JsExpr>, Vec<JsExpr>),
+    /// anonymous `function (params) { body }`
+    FunctionLit(Rc<JsFunction>),
+    /// `target = value` (target: Ident/Member/Index)
+    Assign(Box<JsExpr>, Box<JsExpr>),
+    /// `target += value`
+    AddAssign(Box<JsExpr>, Box<JsExpr>),
+}
+
+#[derive(Debug, Clone)]
+pub enum JsStmt {
+    VarDecl(String, Option<JsExpr>),
+    Expr(JsExpr),
+    If(JsExpr, Vec<JsStmt>, Vec<JsStmt>),
+    While(JsExpr, Vec<JsStmt>),
+    /// `for (init; cond; step) body`
+    For(Option<Box<JsStmt>>, Option<JsExpr>, Option<JsExpr>, Vec<JsStmt>),
+    Return(Option<JsExpr>),
+    FunctionDecl(String, Rc<JsFunction>),
+}
+
+#[derive(Debug)]
+pub struct JsFunction {
+    pub name: Option<String>,
+    pub params: Vec<String>,
+    pub body: Vec<JsStmt>,
+}
+
+/// A parsed program.
+#[derive(Debug)]
+pub struct JsProgram {
+    pub stmts: Vec<JsStmt>,
+}

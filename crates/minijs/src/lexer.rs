@@ -1,0 +1,297 @@
+//! Tokenizer for the JavaScript subset.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsTok {
+    Ident(String),
+    Number(f64),
+    Str(String),
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    // operators
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Assign,
+    PlusAssign,
+    Eq,
+    StrictEq,
+    NotEq,
+    StrictNotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    AndAnd,
+    OrOr,
+    Not,
+    Eof,
+}
+
+impl fmt::Display for JsTok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Tokenizes a source string.
+pub fn tokenize(src: &str) -> Result<Vec<JsTok>, String> {
+    let b = src.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                i += 2;
+                while i + 1 < b.len() && !(b[i] == b'*' && b[i + 1] == b'/') {
+                    i += 1;
+                }
+                i = (i + 2).min(b.len());
+            }
+            b'(' => {
+                out.push(JsTok::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(JsTok::RParen);
+                i += 1;
+            }
+            b'{' => {
+                out.push(JsTok::LBrace);
+                i += 1;
+            }
+            b'}' => {
+                out.push(JsTok::RBrace);
+                i += 1;
+            }
+            b'[' => {
+                out.push(JsTok::LBracket);
+                i += 1;
+            }
+            b']' => {
+                out.push(JsTok::RBracket);
+                i += 1;
+            }
+            b';' => {
+                out.push(JsTok::Semi);
+                i += 1;
+            }
+            b',' => {
+                out.push(JsTok::Comma);
+                i += 1;
+            }
+            b'.' => {
+                out.push(JsTok::Dot);
+                i += 1;
+            }
+            b'+' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(JsTok::PlusAssign);
+                    i += 2;
+                } else {
+                    out.push(JsTok::Plus);
+                    i += 1;
+                }
+            }
+            b'-' => {
+                out.push(JsTok::Minus);
+                i += 1;
+            }
+            b'*' => {
+                out.push(JsTok::Star);
+                i += 1;
+            }
+            b'/' => {
+                out.push(JsTok::Slash);
+                i += 1;
+            }
+            b'%' => {
+                out.push(JsTok::Percent);
+                i += 1;
+            }
+            b'=' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    if b.get(i + 2) == Some(&b'=') {
+                        out.push(JsTok::StrictEq);
+                        i += 3;
+                    } else {
+                        out.push(JsTok::Eq);
+                        i += 2;
+                    }
+                } else {
+                    out.push(JsTok::Assign);
+                    i += 1;
+                }
+            }
+            b'!' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    if b.get(i + 2) == Some(&b'=') {
+                        out.push(JsTok::StrictNotEq);
+                        i += 3;
+                    } else {
+                        out.push(JsTok::NotEq);
+                        i += 2;
+                    }
+                } else {
+                    out.push(JsTok::Not);
+                    i += 1;
+                }
+            }
+            b'<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(JsTok::LtEq);
+                    i += 2;
+                } else {
+                    out.push(JsTok::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(JsTok::GtEq);
+                    i += 2;
+                } else {
+                    out.push(JsTok::Gt);
+                    i += 1;
+                }
+            }
+            b'&' => {
+                if b.get(i + 1) == Some(&b'&') {
+                    out.push(JsTok::AndAnd);
+                    i += 2;
+                } else {
+                    return Err(format!("unexpected `&` at byte {i}"));
+                }
+            }
+            b'|' => {
+                if b.get(i + 1) == Some(&b'|') {
+                    out.push(JsTok::OrOr);
+                    i += 2;
+                } else {
+                    return Err(format!("unexpected `|` at byte {i}"));
+                }
+            }
+            b'"' | b'\'' => {
+                let quote = c;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match b.get(i) {
+                        None => return Err("unterminated string".to_string()),
+                        Some(&q) if q == quote => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            let esc = b.get(i + 1).copied().unwrap_or(b'\\');
+                            s.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'r' => '\r',
+                                other => other as char,
+                            });
+                            i += 2;
+                        }
+                        Some(&ch) => {
+                            // pass UTF-8 bytes through
+                            let len = match ch {
+                                0x00..=0x7f => 1,
+                                0xc0..=0xdf => 2,
+                                0xe0..=0xef => 3,
+                                _ => 4,
+                            };
+                            s.push_str(&src[i..i + len]);
+                            i += len;
+                        }
+                    }
+                }
+                out.push(JsTok::Str(s));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                out.push(JsTok::Number(
+                    text.parse::<f64>().map_err(|_| format!("bad number `{text}`"))?,
+                ));
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' || c == b'$' => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'$')
+                {
+                    i += 1;
+                }
+                out.push(JsTok::Ident(src[start..i].to_string()));
+            }
+            other => return Err(format!("unexpected character `{}`", other as char)),
+        }
+    }
+    out.push(JsTok::Eof);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let t = tokenize("var x = 1 + 2;").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                JsTok::Ident("var".into()),
+                JsTok::Ident("x".into()),
+                JsTok::Assign,
+                JsTok::Number(1.0),
+                JsTok::Plus,
+                JsTok::Number(2.0),
+                JsTok::Semi,
+                JsTok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        let t = tokenize(r#"'a\'b' "c\nd""#).unwrap();
+        assert_eq!(t[0], JsTok::Str("a'b".into()));
+        assert_eq!(t[1], JsTok::Str("c\nd".into()));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = tokenize("1 // line\n/* block */ 2").unwrap();
+        assert_eq!(t, vec![JsTok::Number(1.0), JsTok::Number(2.0), JsTok::Eof]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let t = tokenize("a == b != c === d <= e").unwrap();
+        assert!(t.contains(&JsTok::Eq));
+        assert!(t.contains(&JsTok::NotEq));
+        assert!(t.contains(&JsTok::StrictEq));
+        assert!(t.contains(&JsTok::LtEq));
+    }
+}

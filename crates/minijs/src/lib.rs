@@ -1,0 +1,27 @@
+//! # xqib-minijs
+//!
+//! A **JavaScript-subset interpreter with DOM bindings** — the baseline the
+//! paper compares XQuery against (§2.1 JavaScript, §2.2 embedded XPath) and
+//! the co-existing second language of the mash-up scenario (§6.2).
+//!
+//! The subset covers what browser scripting of the 2009 era needed:
+//! `var`, functions, `if`/`else`, `while`, `for`, `return`, the usual
+//! operators, strings/numbers/booleans/null, arrays, and the DOM API —
+//! `document.createElement`, `createTextNode`, `getElementById`,
+//! `appendChild`, `insertBefore`, `setAttribute`, `getAttribute`,
+//! `addEventListener`, and `document.evaluate` with **embedded XPath**
+//! (delegated to the real `xqib-xquery` engine, since XPath is a subset of
+//! XQuery — the paper's very argument).
+//!
+//! The engine shares the page's DOM store with the XQuery plug-in; listener
+//! registrations surface through [`JsEngine::take_registrations`] so a host
+//! can bind them to the shared event system — both languages then listen to
+//! the same events on the same DOM, which is exactly Figure 3.
+
+pub mod ast;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+
+pub use interp::{JsEngine, JsError, Value};
+pub use parser::parse_program;

@@ -1,0 +1,420 @@
+//! Recursive-descent parser for the JavaScript subset.
+
+use std::rc::Rc;
+
+use crate::ast::*;
+use crate::lexer::{tokenize, JsTok};
+
+pub struct JsParser {
+    toks: Vec<JsTok>,
+    pos: usize,
+}
+
+/// Parses a program.
+pub fn parse_program(src: &str) -> Result<JsProgram, String> {
+    let toks = tokenize(src)?;
+    let mut p = JsParser { toks, pos: 0 };
+    let mut stmts = Vec::new();
+    while p.cur() != &JsTok::Eof {
+        stmts.push(p.parse_stmt()?);
+    }
+    Ok(JsProgram { stmts })
+}
+
+impl JsParser {
+    fn cur(&self) -> &JsTok {
+        &self.toks[self.pos]
+    }
+
+
+
+    fn bump(&mut self) -> JsTok {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &JsTok) -> Result<(), String> {
+        if self.cur() == t {
+            self.bump();
+            Ok(())
+        } else {
+            Err(format!("expected {t}, found {}", self.cur()))
+        }
+    }
+
+    fn at_ident(&self, kw: &str) -> bool {
+        matches!(self.cur(), JsTok::Ident(n) if n == kw)
+    }
+
+    fn eat_semi(&mut self) {
+        while self.cur() == &JsTok::Semi {
+            self.bump();
+        }
+    }
+
+    fn parse_stmt(&mut self) -> Result<JsStmt, String> {
+        if self.at_ident("var") {
+            self.bump();
+            let name = self.ident()?;
+            let init = if self.cur() == &JsTok::Assign {
+                self.bump();
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            self.eat_semi();
+            return Ok(JsStmt::VarDecl(name, init));
+        }
+        if self.at_ident("function") {
+            self.bump();
+            let name = self.ident()?;
+            let f = self.parse_function_tail(Some(name.clone()))?;
+            return Ok(JsStmt::FunctionDecl(name, Rc::new(f)));
+        }
+        if self.at_ident("if") {
+            self.bump();
+            self.expect(&JsTok::LParen)?;
+            let cond = self.parse_expr()?;
+            self.expect(&JsTok::RParen)?;
+            let then = self.parse_block_or_stmt()?;
+            let els = if self.at_ident("else") {
+                self.bump();
+                self.parse_block_or_stmt()?
+            } else {
+                Vec::new()
+            };
+            return Ok(JsStmt::If(cond, then, els));
+        }
+        if self.at_ident("while") {
+            self.bump();
+            self.expect(&JsTok::LParen)?;
+            let cond = self.parse_expr()?;
+            self.expect(&JsTok::RParen)?;
+            let body = self.parse_block_or_stmt()?;
+            return Ok(JsStmt::While(cond, body));
+        }
+        if self.at_ident("for") {
+            self.bump();
+            self.expect(&JsTok::LParen)?;
+            let init = if self.cur() == &JsTok::Semi {
+                None
+            } else {
+                Some(Box::new(self.parse_stmt_no_semi()?))
+            };
+            self.expect(&JsTok::Semi)?;
+            let cond = if self.cur() == &JsTok::Semi {
+                None
+            } else {
+                Some(self.parse_expr()?)
+            };
+            self.expect(&JsTok::Semi)?;
+            let step = if self.cur() == &JsTok::RParen {
+                None
+            } else {
+                Some(self.parse_expr()?)
+            };
+            self.expect(&JsTok::RParen)?;
+            let body = self.parse_block_or_stmt()?;
+            return Ok(JsStmt::For(init, cond, step, body));
+        }
+        if self.at_ident("return") {
+            self.bump();
+            let value = if self.cur() == &JsTok::Semi
+                || self.cur() == &JsTok::RBrace
+                || self.cur() == &JsTok::Eof
+            {
+                None
+            } else {
+                Some(self.parse_expr()?)
+            };
+            self.eat_semi();
+            return Ok(JsStmt::Return(value));
+        }
+        let e = self.parse_expr()?;
+        self.eat_semi();
+        Ok(JsStmt::Expr(e))
+    }
+
+    /// Statement without trailing semicolon handling (for-loop init).
+    fn parse_stmt_no_semi(&mut self) -> Result<JsStmt, String> {
+        if self.at_ident("var") {
+            self.bump();
+            let name = self.ident()?;
+            let init = if self.cur() == &JsTok::Assign {
+                self.bump();
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            Ok(JsStmt::VarDecl(name, init))
+        } else {
+            Ok(JsStmt::Expr(self.parse_expr()?))
+        }
+    }
+
+    fn parse_block_or_stmt(&mut self) -> Result<Vec<JsStmt>, String> {
+        if self.cur() == &JsTok::LBrace {
+            self.bump();
+            let mut stmts = Vec::new();
+            while self.cur() != &JsTok::RBrace {
+                if self.cur() == &JsTok::Eof {
+                    return Err("unterminated block".to_string());
+                }
+                stmts.push(self.parse_stmt()?);
+            }
+            self.bump();
+            Ok(stmts)
+        } else {
+            Ok(vec![self.parse_stmt()?])
+        }
+    }
+
+    fn parse_function_tail(&mut self, name: Option<String>) -> Result<JsFunction, String> {
+        self.expect(&JsTok::LParen)?;
+        let mut params = Vec::new();
+        while self.cur() != &JsTok::RParen {
+            params.push(self.ident()?);
+            if self.cur() == &JsTok::Comma {
+                self.bump();
+            }
+        }
+        self.expect(&JsTok::RParen)?;
+        self.expect(&JsTok::LBrace)?;
+        let mut body = Vec::new();
+        while self.cur() != &JsTok::RBrace {
+            if self.cur() == &JsTok::Eof {
+                return Err("unterminated function body".to_string());
+            }
+            body.push(self.parse_stmt()?);
+        }
+        self.bump();
+        Ok(JsFunction { name, params, body })
+    }
+
+    fn ident(&mut self) -> Result<String, String> {
+        match self.bump() {
+            JsTok::Ident(n) => Ok(n),
+            other => Err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    // expressions, by precedence
+    fn parse_expr(&mut self) -> Result<JsExpr, String> {
+        self.parse_assign()
+    }
+
+    fn parse_assign(&mut self) -> Result<JsExpr, String> {
+        let left = self.parse_or()?;
+        match self.cur() {
+            JsTok::Assign => {
+                self.bump();
+                let value = self.parse_assign()?;
+                Ok(JsExpr::Assign(Box::new(left), Box::new(value)))
+            }
+            JsTok::PlusAssign => {
+                self.bump();
+                let value = self.parse_assign()?;
+                Ok(JsExpr::AddAssign(Box::new(left), Box::new(value)))
+            }
+            _ => Ok(left),
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<JsExpr, String> {
+        let mut left = self.parse_and()?;
+        while self.cur() == &JsTok::OrOr {
+            self.bump();
+            let right = self.parse_and()?;
+            left = JsExpr::Binary(BinOp::Or, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<JsExpr, String> {
+        let mut left = self.parse_cmp()?;
+        while self.cur() == &JsTok::AndAnd {
+            self.bump();
+            let right = self.parse_cmp()?;
+            left = JsExpr::Binary(BinOp::And, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_cmp(&mut self) -> Result<JsExpr, String> {
+        let left = self.parse_additive()?;
+        let op = match self.cur() {
+            JsTok::Eq | JsTok::StrictEq => Some(BinOp::Eq),
+            JsTok::NotEq | JsTok::StrictNotEq => Some(BinOp::NotEq),
+            JsTok::Lt => Some(BinOp::Lt),
+            JsTok::LtEq => Some(BinOp::LtEq),
+            JsTok::Gt => Some(BinOp::Gt),
+            JsTok::GtEq => Some(BinOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let right = self.parse_additive()?;
+            return Ok(JsExpr::Binary(op, Box::new(left), Box::new(right)));
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<JsExpr, String> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.cur() {
+                JsTok::Plus => BinOp::Add,
+                JsTok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let right = self.parse_multiplicative()?;
+            left = JsExpr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<JsExpr, String> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.cur() {
+                JsTok::Star => BinOp::Mul,
+                JsTok::Slash => BinOp::Div,
+                JsTok::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let right = self.parse_unary()?;
+            left = JsExpr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<JsExpr, String> {
+        match self.cur() {
+            JsTok::Not => {
+                self.bump();
+                Ok(JsExpr::Not(Box::new(self.parse_unary()?)))
+            }
+            JsTok::Minus => {
+                self.bump();
+                Ok(JsExpr::Neg(Box::new(self.parse_unary()?)))
+            }
+            _ => self.parse_postfix(),
+        }
+    }
+
+    fn parse_postfix(&mut self) -> Result<JsExpr, String> {
+        let mut e = self.parse_primary()?;
+        loop {
+            match self.cur() {
+                JsTok::Dot => {
+                    self.bump();
+                    let name = self.ident()?;
+                    e = JsExpr::Member(Box::new(e), name);
+                }
+                JsTok::LBracket => {
+                    self.bump();
+                    let idx = self.parse_expr()?;
+                    self.expect(&JsTok::RBracket)?;
+                    e = JsExpr::Index(Box::new(e), Box::new(idx));
+                }
+                JsTok::LParen => {
+                    self.bump();
+                    let mut args = Vec::new();
+                    while self.cur() != &JsTok::RParen {
+                        args.push(self.parse_expr()?);
+                        if self.cur() == &JsTok::Comma {
+                            self.bump();
+                        }
+                    }
+                    self.bump();
+                    e = JsExpr::Call(Box::new(e), args);
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn parse_primary(&mut self) -> Result<JsExpr, String> {
+        match self.bump() {
+            JsTok::Number(n) => Ok(JsExpr::Number(n)),
+            JsTok::Str(s) => Ok(JsExpr::Str(s)),
+            JsTok::Ident(n) => match n.as_str() {
+                "true" => Ok(JsExpr::Bool(true)),
+                "false" => Ok(JsExpr::Bool(false)),
+                "null" => Ok(JsExpr::Null),
+                "undefined" => Ok(JsExpr::Undefined),
+                "function" => {
+                    let f = self.parse_function_tail(None)?;
+                    Ok(JsExpr::FunctionLit(Rc::new(f)))
+                }
+                _ => Ok(JsExpr::Ident(n)),
+            },
+            JsTok::LParen => {
+                let e = self.parse_expr()?;
+                self.expect(&JsTok::RParen)?;
+                Ok(e)
+            }
+            JsTok::LBracket => {
+                let mut items = Vec::new();
+                while self.cur() != &JsTok::RBracket {
+                    items.push(self.parse_expr()?);
+                    if self.cur() == &JsTok::Comma {
+                        self.bump();
+                    }
+                }
+                self.bump();
+                Ok(JsExpr::Array(items))
+            }
+            other => Err(format!("unexpected token {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_var_and_function() {
+        let p = parse_program("var x = 1; function f(a, b) { return a + b; }").unwrap();
+        assert_eq!(p.stmts.len(), 2);
+        assert!(matches!(&p.stmts[0], JsStmt::VarDecl(n, Some(_)) if n == "x"));
+        assert!(matches!(&p.stmts[1], JsStmt::FunctionDecl(n, _) if n == "f"));
+    }
+
+    #[test]
+    fn parse_control_flow() {
+        let p = parse_program(
+            "if (x < 3) { y = 1; } else y = 2; while (x > 0) { x = x - 1; } \
+             for (var i = 0; i < 5; i = i + 1) { s = s + i; }",
+        )
+        .unwrap();
+        assert_eq!(p.stmts.len(), 3);
+    }
+
+    #[test]
+    fn parse_member_chain_and_calls() {
+        let p = parse_program("document.body.appendChild(el); a[0].x = 1;").unwrap();
+        assert_eq!(p.stmts.len(), 2);
+    }
+
+    #[test]
+    fn parse_function_literal() {
+        let p = parse_program("el.addEventListener('click', function (e) { return; }, false);")
+            .unwrap();
+        assert_eq!(p.stmts.len(), 1);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(parse_program("var = ;").is_err());
+        assert!(parse_program("function f( {").is_err());
+        assert!(parse_program("if (").is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! Language-level tests for the JavaScript subset, beyond the DOM API.
+
+use xqib_dom::store::shared_store;
+use xqib_minijs::JsEngine;
+
+fn run(src: &str) -> JsEngine {
+    let store = shared_store();
+    let doc = xqib_dom::parse_document("<html><body/></html>").unwrap();
+    let id = store.borrow_mut().add_document(doc, None);
+    let mut e = JsEngine::new(store, id);
+    e.run(src).unwrap_or_else(|err| panic!("{src}: {err}"));
+    e
+}
+
+fn alerts(src: &str) -> Vec<String> {
+    run(src).alerts
+}
+
+#[test]
+fn js_number_string_coercions() {
+    assert_eq!(
+        alerts("alert(1 + 2); alert('1' + 2); alert(1 + '2'); alert('a' + 'b');"),
+        vec!["3", "12", "12", "ab"]
+    );
+    assert_eq!(alerts("alert('' + (0.1 + 0.2 > 0.3));"), vec!["true"]);
+    assert_eq!(alerts("alert('' + ('10' - 1));"), vec!["9"]);
+}
+
+#[test]
+fn js_equality_rules() {
+    assert_eq!(
+        alerts(
+            "alert('' + (1 == '1'));
+             alert('' + (null == undefined));
+             alert('' + (0 == false));"
+        ),
+        // 0 == false coerces via numbers in real JS; our subset keeps
+        // bool/number distinct except through to_number — documented
+        vec!["true", "true", "false"]
+    );
+}
+
+#[test]
+fn js_else_if_chain() {
+    assert_eq!(
+        alerts(
+            "var x = 7;
+             if (x < 5) alert('small');
+             else if (x < 10) alert('medium');
+             else alert('large');"
+        ),
+        vec!["medium"]
+    );
+}
+
+#[test]
+fn js_for_without_init_or_step() {
+    // init and step clauses are optional (the subset has no `break`, so
+    // the condition carries the exit)
+    assert_eq!(
+        alerts(
+            "var i = 0;
+             for (; i < 3;) { i = i + 1; }
+             alert('' + i);"
+        ),
+        vec!["3"]
+    );
+}
+
+#[test]
+fn js_nested_functions_and_shadowing() {
+    assert_eq!(
+        alerts(
+            "var x = 'global';
+             function outer() {
+                 var x = 'outer';
+                 function inner() { return x1(); }
+                 return x;
+             }
+             function x1() { return x; }
+             alert(outer());
+             alert(x1());"
+        ),
+        vec!["outer", "global"]
+    );
+}
+
+#[test]
+fn js_early_return() {
+    assert_eq!(
+        alerts(
+            "function f(n) {
+                 if (n > 0) { return 'pos'; }
+                 return 'neg';
+             }
+             alert(f(1)); alert(f(-1));"
+        ),
+        vec!["pos", "neg"]
+    );
+}
+
+#[test]
+fn js_array_growth_on_assignment() {
+    assert_eq!(
+        alerts(
+            "var a = [];
+             a[2] = 'x';
+             alert('' + a.length);
+             alert('' + a[0]);"
+        ),
+        vec!["3", "undefined"]
+    );
+}
+
+#[test]
+fn js_function_values_as_arguments() {
+    assert_eq!(
+        alerts(
+            "function apply(f, v) { return f(v); }
+             alert(apply(function (x) { return x * 2; }, 21));"
+        ),
+        vec!["42"]
+    );
+}
+
+#[test]
+fn js_while_with_compound_condition() {
+    assert_eq!(
+        alerts(
+            "var i = 0; var j = 10;
+             while (i < 5 && j > 7) { i = i + 1; j = j - 1; }
+             alert(i + ':' + j);"
+        ),
+        vec!["3:7"]
+    );
+}
+
+#[test]
+fn js_parse_int_and_constructors() {
+    assert_eq!(
+        alerts(
+            "alert('' + parseInt('42px'.substring(0, 2)));
+             alert(String(3) + Number('4'));"
+        ),
+        vec!["42", "34"]
+    );
+}
+
+#[test]
+fn js_runtime_errors_reported() {
+    let store = shared_store();
+    let doc = xqib_dom::parse_document("<html/>").unwrap();
+    let id = store.borrow_mut().add_document(doc, None);
+    let mut e = JsEngine::new(store, id);
+    assert!(e.run("undefinedFn();").is_err());
+    assert!(e.run("var x = y + 1;").is_err());
+    assert!(e.run("null.foo();").is_err());
+}
+
+#[test]
+fn js_ops_counter_advances() {
+    let e = run("var s = 0; for (var i = 0; i < 100; i = i + 1) { s = s + i; }");
+    assert!(e.ops > 300, "instruction counter counts work: {}", e.ops);
+}

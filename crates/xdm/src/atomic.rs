@@ -1,0 +1,341 @@
+//! Atomic values and casting.
+
+use std::fmt;
+use std::rc::Rc;
+
+use xqib_dom::QName;
+
+use crate::datetime::{Date, DateTime, Duration, Time};
+use crate::error::{XdmError, XdmResult};
+use crate::types::TypeName;
+
+/// An atomic value of the XDM.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Atomic {
+    String(Rc<str>),
+    /// `xs:untypedAtomic` — what untyped web-page content atomizes to.
+    Untyped(Rc<str>),
+    Boolean(bool),
+    Integer(i64),
+    Decimal(f64),
+    Double(f64),
+    QName(QName),
+    AnyUri(Rc<str>),
+    Date(Date),
+    Time(Time),
+    DateTime(DateTime),
+    Duration(Duration),
+}
+
+impl Atomic {
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Atomic::String(Rc::from(s.as_ref()))
+    }
+    pub fn untyped(s: impl AsRef<str>) -> Self {
+        Atomic::Untyped(Rc::from(s.as_ref()))
+    }
+
+    /// The dynamic type name.
+    pub fn type_name(&self) -> TypeName {
+        match self {
+            Atomic::String(_) => TypeName::String,
+            Atomic::Untyped(_) => TypeName::UntypedAtomic,
+            Atomic::Boolean(_) => TypeName::Boolean,
+            Atomic::Integer(_) => TypeName::Integer,
+            Atomic::Decimal(_) => TypeName::Decimal,
+            Atomic::Double(_) => TypeName::Double,
+            Atomic::QName(_) => TypeName::QName,
+            Atomic::AnyUri(_) => TypeName::AnyUri,
+            Atomic::Date(_) => TypeName::Date,
+            Atomic::Time(_) => TypeName::Time,
+            Atomic::DateTime(_) => TypeName::DateTime,
+            Atomic::Duration(_) => TypeName::Duration,
+        }
+    }
+
+    /// True for the four numeric types.
+    pub fn is_numeric(&self) -> bool {
+        matches!(
+            self,
+            Atomic::Integer(_) | Atomic::Decimal(_) | Atomic::Double(_)
+        )
+    }
+
+    /// The canonical lexical (string) form, i.e. `xs:string` cast.
+    pub fn string_value(&self) -> String {
+        match self {
+            Atomic::String(s) | Atomic::Untyped(s) | Atomic::AnyUri(s) => s.to_string(),
+            Atomic::Boolean(b) => b.to_string(),
+            Atomic::Integer(i) => i.to_string(),
+            Atomic::Decimal(d) => format_decimal(*d),
+            Atomic::Double(d) => format_double(*d),
+            Atomic::QName(q) => q.lexical(),
+            Atomic::Date(d) => d.to_string(),
+            Atomic::Time(t) => t.to_string(),
+            Atomic::DateTime(dt) => dt.to_string(),
+            Atomic::Duration(d) => d.to_string(),
+        }
+    }
+
+    /// Numeric view as `f64` (errors on non-numeric, including bad untyped).
+    pub fn as_double(&self) -> XdmResult<f64> {
+        match self {
+            Atomic::Integer(i) => Ok(*i as f64),
+            Atomic::Decimal(d) | Atomic::Double(d) => Ok(*d),
+            Atomic::Untyped(s) => parse_double(s),
+            Atomic::Boolean(b) => Ok(if *b { 1.0 } else { 0.0 }),
+            other => Err(XdmError::type_error(format!(
+                "cannot treat {} as a number",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// Casts to a target atomic type (`cast as`, constructor functions).
+    pub fn cast_to(&self, target: TypeName) -> XdmResult<Atomic> {
+        use TypeName::*;
+        let s = self.string_value();
+        match target {
+            String => Ok(Atomic::str(s)),
+            UntypedAtomic => Ok(Atomic::untyped(s)),
+            AnyUri => Ok(Atomic::AnyUri(Rc::from(s.as_str()))),
+            Boolean => match self {
+                Atomic::Boolean(b) => Ok(Atomic::Boolean(*b)),
+                Atomic::Integer(i) => Ok(Atomic::Boolean(*i != 0)),
+                Atomic::Decimal(d) | Atomic::Double(d) => {
+                    Ok(Atomic::Boolean(*d != 0.0 && !d.is_nan()))
+                }
+                _ => match s.trim() {
+                    "true" | "1" => Ok(Atomic::Boolean(true)),
+                    "false" | "0" => Ok(Atomic::Boolean(false)),
+                    _ => Err(XdmError::invalid_cast(format!(
+                        "cannot cast `{s}` to xs:boolean"
+                    ))),
+                },
+            },
+            Integer => match self {
+                Atomic::Integer(i) => Ok(Atomic::Integer(*i)),
+                Atomic::Decimal(d) | Atomic::Double(d) => {
+                    if d.is_nan() || d.is_infinite() {
+                        Err(XdmError::new(
+                            "FOCA0002",
+                            format!("cannot cast {d} to xs:integer"),
+                        ))
+                    } else {
+                        Ok(Atomic::Integer(d.trunc() as i64))
+                    }
+                }
+                Atomic::Boolean(b) => Ok(Atomic::Integer(if *b { 1 } else { 0 })),
+                _ => s
+                    .trim()
+                    .parse::<i64>()
+                    .map(Atomic::Integer)
+                    .map_err(|_| {
+                        XdmError::invalid_cast(format!("cannot cast `{s}` to xs:integer"))
+                    }),
+            },
+            Decimal => match self {
+                Atomic::Integer(i) => Ok(Atomic::Decimal(*i as f64)),
+                Atomic::Decimal(d) => Ok(Atomic::Decimal(*d)),
+                Atomic::Double(d) => {
+                    if d.is_nan() || d.is_infinite() {
+                        Err(XdmError::new(
+                            "FOCA0002",
+                            "cannot cast NaN/INF to xs:decimal",
+                        ))
+                    } else {
+                        Ok(Atomic::Decimal(*d))
+                    }
+                }
+                Atomic::Boolean(b) => {
+                    Ok(Atomic::Decimal(if *b { 1.0 } else { 0.0 }))
+                }
+                _ => {
+                    let t = s.trim();
+                    if t.eq_ignore_ascii_case("nan")
+                        || t.to_ascii_uppercase().contains("INF")
+                        || t.contains(['e', 'E'])
+                    {
+                        Err(XdmError::invalid_cast(format!(
+                            "cannot cast `{s}` to xs:decimal"
+                        )))
+                    } else {
+                        t.parse::<f64>().map(Atomic::Decimal).map_err(|_| {
+                            XdmError::invalid_cast(format!(
+                                "cannot cast `{s}` to xs:decimal"
+                            ))
+                        })
+                    }
+                }
+            },
+            Double => match self {
+                Atomic::Integer(i) => Ok(Atomic::Double(*i as f64)),
+                Atomic::Decimal(d) | Atomic::Double(d) => Ok(Atomic::Double(*d)),
+                Atomic::Boolean(b) => Ok(Atomic::Double(if *b { 1.0 } else { 0.0 })),
+                _ => parse_double(&s).map(Atomic::Double),
+            },
+            Date => match self {
+                Atomic::Date(d) => Ok(Atomic::Date(*d)),
+                Atomic::DateTime(dt) => Ok(Atomic::Date(dt.date)),
+                _ => crate::datetime::Date::parse(&s).map(Atomic::Date),
+            },
+            Time => match self {
+                Atomic::Time(t) => Ok(Atomic::Time(*t)),
+                Atomic::DateTime(dt) => Ok(Atomic::Time(dt.time)),
+                _ => crate::datetime::Time::parse(&s).map(Atomic::Time),
+            },
+            DateTime => match self {
+                Atomic::DateTime(dt) => Ok(Atomic::DateTime(*dt)),
+                Atomic::Date(d) => Ok(Atomic::DateTime(crate::datetime::DateTime::new(
+                    *d,
+                    crate::datetime::Time { hour: 0, minute: 0, second: 0, millis: 0 },
+                ))),
+                _ => crate::datetime::DateTime::parse(&s).map(Atomic::DateTime),
+            },
+            Duration => match self {
+                Atomic::Duration(d) => Ok(Atomic::Duration(*d)),
+                _ => crate::datetime::Duration::parse(&s).map(Atomic::Duration),
+            },
+            QName => match self {
+                Atomic::QName(q) => Ok(Atomic::QName(q.clone())),
+                _ => Err(XdmError::type_error(
+                    "casting to xs:QName requires static resolution",
+                )),
+            },
+            AnyAtomic => Ok(self.clone()),
+        }
+    }
+}
+
+/// XPath `xs:double` lexical parsing (accepts `INF`, `-INF`, `NaN`).
+pub fn parse_double(s: &str) -> XdmResult<f64> {
+    let t = s.trim();
+    match t {
+        "INF" | "+INF" => Ok(f64::INFINITY),
+        "-INF" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        _ => t.parse::<f64>().map_err(|_| {
+            XdmError::invalid_cast(format!("cannot cast `{s}` to xs:double"))
+        }),
+    }
+}
+
+/// XPath canonical formatting of `xs:double`.
+pub fn format_double(d: f64) -> String {
+    if d.is_nan() {
+        "NaN".to_string()
+    } else if d.is_infinite() {
+        if d > 0.0 { "INF".to_string() } else { "-INF".to_string() }
+    } else if d == d.trunc() && d.abs() < 1e15 {
+        format!("{}", d as i64)
+    } else {
+        format!("{d}")
+    }
+}
+
+/// Canonical formatting of `xs:decimal` (no exponent).
+pub fn format_decimal(d: f64) -> String {
+    if d == d.trunc() && d.abs() < 1e15 {
+        format!("{}", d as i64)
+    } else {
+        format!("{d}")
+    }
+}
+
+impl fmt::Display for Atomic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.string_value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_values() {
+        assert_eq!(Atomic::Integer(42).string_value(), "42");
+        assert_eq!(Atomic::Boolean(true).string_value(), "true");
+        assert_eq!(Atomic::Double(1.5).string_value(), "1.5");
+        assert_eq!(Atomic::Double(3.0).string_value(), "3");
+        assert_eq!(Atomic::Double(f64::NAN).string_value(), "NaN");
+        assert_eq!(Atomic::Double(f64::INFINITY).string_value(), "INF");
+        assert_eq!(Atomic::str("x").string_value(), "x");
+    }
+
+    #[test]
+    fn cast_string_to_numbers() {
+        let s = Atomic::str(" 12 ");
+        assert!(matches!(s.cast_to(TypeName::Integer).unwrap(), Atomic::Integer(12)));
+        let s = Atomic::str("1.5e2");
+        assert!(matches!(s.cast_to(TypeName::Double).unwrap(), Atomic::Double(d) if d == 150.0));
+        assert!(s.cast_to(TypeName::Decimal).is_err(), "decimal rejects exponents");
+        assert!(Atomic::str("abc").cast_to(TypeName::Integer).is_err());
+    }
+
+    #[test]
+    fn cast_to_boolean() {
+        assert!(matches!(
+            Atomic::str("true").cast_to(TypeName::Boolean).unwrap(),
+            Atomic::Boolean(true)
+        ));
+        assert!(matches!(
+            Atomic::str("0").cast_to(TypeName::Boolean).unwrap(),
+            Atomic::Boolean(false)
+        ));
+        assert!(Atomic::str("yes").cast_to(TypeName::Boolean).is_err());
+        assert!(matches!(
+            Atomic::Integer(7).cast_to(TypeName::Boolean).unwrap(),
+            Atomic::Boolean(true)
+        ));
+        assert!(matches!(
+            Atomic::Double(f64::NAN).cast_to(TypeName::Boolean).unwrap(),
+            Atomic::Boolean(false)
+        ));
+    }
+
+    #[test]
+    fn cast_double_to_integer_truncates() {
+        assert!(matches!(
+            Atomic::Double(3.9).cast_to(TypeName::Integer).unwrap(),
+            Atomic::Integer(3)
+        ));
+        assert!(matches!(
+            Atomic::Double(-3.9).cast_to(TypeName::Integer).unwrap(),
+            Atomic::Integer(-3)
+        ));
+        assert!(Atomic::Double(f64::NAN).cast_to(TypeName::Integer).is_err());
+    }
+
+    #[test]
+    fn untyped_promotes_to_double() {
+        assert_eq!(Atomic::untyped("2.5").as_double().unwrap(), 2.5);
+        assert!(Atomic::untyped("two").as_double().is_err());
+    }
+
+    #[test]
+    fn special_doubles() {
+        assert_eq!(parse_double("INF").unwrap(), f64::INFINITY);
+        assert_eq!(parse_double("-INF").unwrap(), f64::NEG_INFINITY);
+        assert!(parse_double("NaN").unwrap().is_nan());
+    }
+
+    #[test]
+    fn date_casts() {
+        let d = Atomic::str("2009-04-20").cast_to(TypeName::Date).unwrap();
+        assert_eq!(d.string_value(), "2009-04-20");
+        let dt = Atomic::str("2009-04-20T08:00:00").cast_to(TypeName::DateTime).unwrap();
+        let back = dt.cast_to(TypeName::Date).unwrap();
+        assert_eq!(back.string_value(), "2009-04-20");
+        let t = dt.cast_to(TypeName::Time).unwrap();
+        assert_eq!(t.string_value(), "08:00:00");
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Atomic::Integer(1).type_name(), TypeName::Integer);
+        assert_eq!(Atomic::untyped("x").type_name(), TypeName::UntypedAtomic);
+        assert!(Atomic::Decimal(1.0).is_numeric());
+        assert!(!Atomic::str("1").is_numeric());
+    }
+}

@@ -1,0 +1,232 @@
+//! Value and general comparisons (XPath 2.0 §3.5) with the untyped-data
+//! promotion rules the paper's examples rely on (e.g. comparing web-page
+//! text against numbers and strings).
+
+use std::cmp::Ordering;
+
+use crate::atomic::Atomic;
+use crate::error::{XdmError, XdmResult};
+
+/// The six comparison operators, shared by value (`eq`) and general (`=`)
+/// comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CompOp {
+    pub fn evaluate(self, ord: Ordering) -> bool {
+        match self {
+            CompOp::Eq => ord == Ordering::Equal,
+            CompOp::Ne => ord != Ordering::Equal,
+            CompOp::Lt => ord == Ordering::Less,
+            CompOp::Le => ord != Ordering::Greater,
+            CompOp::Gt => ord == Ordering::Greater,
+            CompOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+/// Orders two atomics after type promotion; errors when incomparable.
+///
+/// Promotion rules: untyped vs numeric → double; untyped vs untyped/string →
+/// string; numeric vs numeric → double arithmetic comparison; strings by
+/// codepoint; booleans; dates/times/dateTimes by timeline; durations when
+/// same-flavoured.
+pub fn compare_atomics(a: &Atomic, b: &Atomic) -> XdmResult<Ordering> {
+    use Atomic::*;
+    match (a, b) {
+        // numeric (including untyped promoted to double)
+        _ if a.is_numeric() && b.is_numeric() => cmp_f64(a.as_double()?, b.as_double()?),
+        (Untyped(_), _) if b.is_numeric() => cmp_f64(a.as_double()?, b.as_double()?),
+        (_, Untyped(_)) if a.is_numeric() => cmp_f64(a.as_double()?, b.as_double()?),
+        (Boolean(x), Boolean(y)) => Ok(x.cmp(y)),
+        (Untyped(_) | String(_) | AnyUri(_), Untyped(_) | String(_) | AnyUri(_)) => {
+            Ok(a.string_value().cmp(&b.string_value()))
+        }
+        (Date(x), Date(y)) => Ok(x.cmp(y)),
+        (Time(x), Time(y)) => Ok(x.cmp(y)),
+        (DateTime(x), DateTime(y)) => Ok(x.cmp(y)),
+        (Duration(x), Duration(y)) => x.try_cmp(y).ok_or_else(|| {
+            XdmError::type_error("cannot compare mixed-flavour durations")
+        }),
+        (QName(x), QName(y)) => {
+            // QNames support eq/ne only; we map equality onto Ordering and
+            // reject ordering via compare_atomics_op below.
+            if x == y {
+                Ok(Ordering::Equal)
+            } else {
+                Ok(Ordering::Less)
+            }
+        }
+        (Untyped(_), Date(_) | Time(_) | DateTime(_) | Duration(_) | Boolean(_)) => {
+            let cast = a.cast_to(b.type_name())?;
+            compare_atomics(&cast, b)
+        }
+        (Date(_) | Time(_) | DateTime(_) | Duration(_) | Boolean(_), Untyped(_)) => {
+            let cast = b.cast_to(a.type_name())?;
+            compare_atomics(a, &cast)
+        }
+        _ => Err(XdmError::type_error(format!(
+            "cannot compare {} with {}",
+            a.type_name(),
+            b.type_name()
+        ))),
+    }
+}
+
+fn cmp_f64(a: f64, b: f64) -> XdmResult<Ordering> {
+    a.partial_cmp(&b).ok_or_else(|| {
+        // NaN comparisons: all value comparisons with NaN are false, which
+        // we signal with a dedicated code the caller maps to `false`.
+        XdmError::new("XQIBNAN", "NaN comparison")
+    })
+}
+
+/// Value comparison (`eq`, `lt`, …) of two atomics.
+pub fn value_compare(op: CompOp, a: &Atomic, b: &Atomic) -> XdmResult<bool> {
+    // QName only supports eq/ne
+    if matches!(a, Atomic::QName(_)) || matches!(b, Atomic::QName(_)) {
+        match (a, b, op) {
+            (Atomic::QName(x), Atomic::QName(y), CompOp::Eq) => return Ok(x == y),
+            (Atomic::QName(x), Atomic::QName(y), CompOp::Ne) => return Ok(x != y),
+            _ => {
+                return Err(XdmError::type_error(
+                    "QNames support only eq/ne comparison",
+                ))
+            }
+        }
+    }
+    match compare_atomics(a, b) {
+        Ok(ord) => Ok(op.evaluate(ord)),
+        Err(e) if e.code == "XQIBNAN" => Ok(op == CompOp::Ne),
+        Err(e) => Err(e),
+    }
+}
+
+/// General comparison (`=`, `<`, …): existential over two atomized
+/// sequences. In a general comparison, untyped values are cast to the type
+/// of the other operand (double for numerics, string otherwise).
+pub fn general_compare(op: CompOp, left: &[Atomic], right: &[Atomic]) -> XdmResult<bool> {
+    for a in left {
+        for b in right {
+            let (pa, pb) = promote_for_general(a, b)?;
+            if value_compare(op, &pa, &pb)? {
+                return Ok(true);
+            }
+        }
+    }
+    Ok(false)
+}
+
+fn promote_for_general(a: &Atomic, b: &Atomic) -> XdmResult<(Atomic, Atomic)> {
+    use Atomic::*;
+    match (a, b) {
+        (Untyped(_), _) if b.is_numeric() => {
+            Ok((Double(a.as_double()?), b.clone()))
+        }
+        (_, Untyped(_)) if a.is_numeric() => {
+            Ok((a.clone(), Double(b.as_double()?)))
+        }
+        (Untyped(s), Untyped(t)) => Ok((Atomic::str(&**s), Atomic::str(&**t))),
+        (Untyped(_), _) => Ok((a.cast_to(b.type_name())?, b.clone())),
+        (_, Untyped(_)) => Ok((a.clone(), b.cast_to(a.type_name())?)),
+        _ => Ok((a.clone(), b.clone())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datetime::Date;
+
+    #[test]
+    fn numeric_value_comparison() {
+        assert!(value_compare(CompOp::Lt, &Atomic::Integer(1), &Atomic::Double(1.5)).unwrap());
+        assert!(value_compare(CompOp::Eq, &Atomic::Integer(2), &Atomic::Decimal(2.0)).unwrap());
+        assert!(value_compare(CompOp::Ge, &Atomic::Double(2.0), &Atomic::Integer(2)).unwrap());
+    }
+
+    #[test]
+    fn nan_comparisons_are_false_except_ne() {
+        let nan = Atomic::Double(f64::NAN);
+        let one = Atomic::Integer(1);
+        assert!(!value_compare(CompOp::Eq, &nan, &one).unwrap());
+        assert!(!value_compare(CompOp::Lt, &nan, &one).unwrap());
+        assert!(!value_compare(CompOp::Eq, &nan, &nan).unwrap());
+        assert!(value_compare(CompOp::Ne, &nan, &one).unwrap());
+    }
+
+    #[test]
+    fn string_comparison() {
+        assert!(value_compare(CompOp::Lt, &Atomic::str("abc"), &Atomic::str("abd")).unwrap());
+        assert!(value_compare(CompOp::Eq, &Atomic::str("x"), &Atomic::untyped("x")).unwrap());
+    }
+
+    #[test]
+    fn untyped_promotes_to_double_against_numbers() {
+        assert!(value_compare(CompOp::Eq, &Atomic::untyped("1500"), &Atomic::Integer(1500))
+            .unwrap());
+        assert!(value_compare(CompOp::Gt, &Atomic::untyped("10"), &Atomic::Integer(9)).unwrap());
+        // string comparison would say "10" < "9"; numeric promotion wins:
+        assert!(!value_compare(CompOp::Lt, &Atomic::untyped("10"), &Atomic::Integer(9)).unwrap());
+    }
+
+    #[test]
+    fn incompatible_types_error() {
+        let err =
+            value_compare(CompOp::Eq, &Atomic::str("x"), &Atomic::Integer(1)).unwrap_err();
+        assert_eq!(err.code, "XPTY0004");
+    }
+
+    #[test]
+    fn date_comparison_and_untyped_cast() {
+        let d1 = Atomic::Date(Date::parse("2009-01-01").unwrap());
+        let d2 = Atomic::Date(Date::parse("2009-06-01").unwrap());
+        assert!(value_compare(CompOp::Lt, &d1, &d2).unwrap());
+        assert!(value_compare(CompOp::Eq, &Atomic::untyped("2009-01-01"), &d1).unwrap());
+    }
+
+    #[test]
+    fn general_comparison_is_existential() {
+        let left = vec![Atomic::Integer(1), Atomic::Integer(5)];
+        let right = vec![Atomic::Integer(5), Atomic::Integer(6)];
+        assert!(general_compare(CompOp::Eq, &left, &right).unwrap());
+        assert!(!general_compare(CompOp::Gt, &[Atomic::Integer(1)], &right).unwrap());
+        assert!(general_compare(CompOp::Lt, &[Atomic::Integer(1)], &right).unwrap());
+        assert!(!general_compare(CompOp::Eq, &[], &right).unwrap(), "empty never matches");
+    }
+
+    #[test]
+    fn general_comparison_untyped_rules() {
+        // untyped vs numeric -> numeric
+        assert!(general_compare(
+            CompOp::Eq,
+            &[Atomic::untyped("07")],
+            &[Atomic::Integer(7)]
+        )
+        .unwrap());
+        // untyped vs untyped -> string
+        assert!(!general_compare(
+            CompOp::Eq,
+            &[Atomic::untyped("07")],
+            &[Atomic::untyped("7")]
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn qname_only_eq_ne() {
+        use xqib_dom::QName;
+        let q1 = Atomic::QName(QName::local("a"));
+        let q2 = Atomic::QName(QName::local("b"));
+        assert!(value_compare(CompOp::Ne, &q1, &q2).unwrap());
+        assert!(value_compare(CompOp::Eq, &q1, &q1.clone()).unwrap());
+        assert!(value_compare(CompOp::Lt, &q1, &q2).is_err());
+    }
+}

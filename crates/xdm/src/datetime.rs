@@ -1,0 +1,473 @@
+//! Date/time values.
+//!
+//! XQuery's "powerful function and operator library (e.g., for dates and
+//! times)" is one of the paper's §1 arguments for XQuery in the browser, and
+//! the BOM exposes values like `lastModified` (§4.2.1). We implement the
+//! component model the engine and examples use: dates, times, dateTimes and
+//! the two duration flavours, with parsing, formatting, ordering and
+//! difference arithmetic. Timezones are out of scope (browser-local model).
+
+use crate::error::{XdmError, XdmResult};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// `xs:date` — year, month, day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    pub year: i32,
+    pub month: u8,
+    pub day: u8,
+}
+
+/// `xs:time` — hour, minute, second, millisecond.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Time {
+    pub hour: u8,
+    pub minute: u8,
+    pub second: u8,
+    pub millis: u16,
+}
+
+/// `xs:dateTime`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DateTime {
+    pub date: Date,
+    pub time: Time,
+}
+
+/// A duration: either year-month (stored as months) or day-time (stored as
+/// milliseconds). The W3C splits `xs:duration` into these two comparable
+/// subtypes; we store whichever component set is non-zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Duration {
+    pub months: i64,
+    pub millis: i64,
+}
+
+const DAYS_IN_MONTH: [u8; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_month(year: i32, month: u8) -> u8 {
+    if month == 2 && is_leap(year) {
+        29
+    } else {
+        DAYS_IN_MONTH[(month - 1) as usize]
+    }
+}
+
+impl Date {
+    pub fn new(year: i32, month: u8, day: u8) -> XdmResult<Self> {
+        if !(1..=12).contains(&month) {
+            return Err(XdmError::invalid_cast(format!("invalid month {month}")));
+        }
+        if day == 0 || day > days_in_month(year, month) {
+            return Err(XdmError::invalid_cast(format!("invalid day {day}")));
+        }
+        Ok(Date { year, month, day })
+    }
+
+    /// Parses `YYYY-MM-DD`.
+    pub fn parse(s: &str) -> XdmResult<Self> {
+        let s = s.trim();
+        let parts: Vec<&str> = s.splitn(3, '-').collect();
+        // handle negative years by re-splitting
+        let (y, m, d) = if let Some(rest) = s.strip_prefix('-') {
+            let p: Vec<&str> = rest.splitn(3, '-').collect();
+            if p.len() != 3 {
+                return Err(XdmError::invalid_cast(format!("bad xs:date `{s}`")));
+            }
+            (format!("-{}", p[0]), p[1].to_string(), p[2].to_string())
+        } else {
+            if parts.len() != 3 {
+                return Err(XdmError::invalid_cast(format!("bad xs:date `{s}`")));
+            }
+            (parts[0].to_string(), parts[1].to_string(), parts[2].to_string())
+        };
+        let year: i32 = y
+            .parse()
+            .map_err(|_| XdmError::invalid_cast(format!("bad year in `{s}`")))?;
+        let month: u8 = m
+            .parse()
+            .map_err(|_| XdmError::invalid_cast(format!("bad month in `{s}`")))?;
+        let day: u8 = d
+            .parse()
+            .map_err(|_| XdmError::invalid_cast(format!("bad day in `{s}`")))?;
+        Date::new(year, month, day)
+    }
+
+    /// Days since 1970-01-01 (proleptic Gregorian), may be negative.
+    pub fn days_since_epoch(&self) -> i64 {
+        let mut days: i64 = 0;
+        if self.year >= 1970 {
+            for y in 1970..self.year {
+                days += if is_leap(y) { 366 } else { 365 };
+            }
+        } else {
+            for y in self.year..1970 {
+                days -= if is_leap(y) { 366 } else { 365 };
+            }
+        }
+        for m in 1..self.month {
+            days += days_in_month(self.year, m) as i64;
+        }
+        days + (self.day as i64 - 1)
+    }
+
+    /// Adds whole days.
+    pub fn plus_days(&self, delta: i64) -> Date {
+        let mut target = self.days_since_epoch() + delta;
+        let mut year = 1970i32;
+        loop {
+            let len = if is_leap(year) { 366 } else { 365 };
+            if target >= len as i64 {
+                target -= len as i64;
+                year += 1;
+            } else if target < 0 {
+                year -= 1;
+                target += if is_leap(year) { 366 } else { 365 };
+            } else {
+                break;
+            }
+        }
+        let mut month = 1u8;
+        while target >= days_in_month(year, month) as i64 {
+            target -= days_in_month(year, month) as i64;
+            month += 1;
+        }
+        Date { year, month, day: (target + 1) as u8 }
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+impl Time {
+    pub fn new(hour: u8, minute: u8, second: u8, millis: u16) -> XdmResult<Self> {
+        if hour > 23 || minute > 59 || second > 59 || millis > 999 {
+            return Err(XdmError::invalid_cast(format!(
+                "invalid xs:time {hour}:{minute}:{second}.{millis}"
+            )));
+        }
+        Ok(Time { hour, minute, second, millis })
+    }
+
+    /// Parses `HH:MM:SS(.mmm)?`.
+    pub fn parse(s: &str) -> XdmResult<Self> {
+        let s = s.trim();
+        let parts: Vec<&str> = s.splitn(3, ':').collect();
+        if parts.len() != 3 {
+            return Err(XdmError::invalid_cast(format!("bad xs:time `{s}`")));
+        }
+        let hour: u8 = parts[0]
+            .parse()
+            .map_err(|_| XdmError::invalid_cast(format!("bad hour in `{s}`")))?;
+        let minute: u8 = parts[1]
+            .parse()
+            .map_err(|_| XdmError::invalid_cast(format!("bad minute in `{s}`")))?;
+        let (sec_str, ms) = match parts[2].split_once('.') {
+            Some((sec, frac)) => {
+                let frac3: String =
+                    format!("{frac:0<3}").chars().take(3).collect();
+                (sec.to_string(), frac3.parse::<u16>().unwrap_or(0))
+            }
+            None => (parts[2].to_string(), 0),
+        };
+        let second: u8 = sec_str
+            .parse()
+            .map_err(|_| XdmError::invalid_cast(format!("bad second in `{s}`")))?;
+        Time::new(hour, minute, second, ms)
+    }
+
+    pub fn millis_of_day(&self) -> i64 {
+        ((self.hour as i64 * 60 + self.minute as i64) * 60 + self.second as i64)
+            * 1000
+            + self.millis as i64
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.millis == 0 {
+            write!(f, "{:02}:{:02}:{:02}", self.hour, self.minute, self.second)
+        } else {
+            write!(
+                f,
+                "{:02}:{:02}:{:02}.{:03}",
+                self.hour, self.minute, self.second, self.millis
+            )
+        }
+    }
+}
+
+impl DateTime {
+    pub fn new(date: Date, time: Time) -> Self {
+        DateTime { date, time }
+    }
+
+    /// Parses `YYYY-MM-DDTHH:MM:SS(.mmm)?` (optional trailing `Z` ignored).
+    pub fn parse(s: &str) -> XdmResult<Self> {
+        let s = s.trim().trim_end_matches('Z');
+        let (d, t) = s
+            .split_once('T')
+            .ok_or_else(|| XdmError::invalid_cast(format!("bad xs:dateTime `{s}`")))?;
+        Ok(DateTime { date: Date::parse(d)?, time: Time::parse(t)? })
+    }
+
+    /// Milliseconds since the epoch.
+    pub fn epoch_millis(&self) -> i64 {
+        self.date.days_since_epoch() * 86_400_000 + self.time.millis_of_day()
+    }
+
+    /// Builds a dateTime from epoch milliseconds (the virtual browser clock).
+    pub fn from_epoch_millis(ms: i64) -> Self {
+        let days = ms.div_euclid(86_400_000);
+        let rem = ms.rem_euclid(86_400_000);
+        let date = Date { year: 1970, month: 1, day: 1 }.plus_days(days);
+        let hour = (rem / 3_600_000) as u8;
+        let minute = ((rem / 60_000) % 60) as u8;
+        let second = ((rem / 1000) % 60) as u8;
+        let millis = (rem % 1000) as u16;
+        DateTime { date, time: Time { hour, minute, second, millis } }
+    }
+}
+
+impl fmt::Display for DateTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}T{}", self.date, self.time)
+    }
+}
+
+impl Duration {
+    pub fn from_months(months: i64) -> Self {
+        Duration { months, millis: 0 }
+    }
+    pub fn from_millis(millis: i64) -> Self {
+        Duration { months: 0, millis }
+    }
+
+    /// Parses the ISO-8601 subset `(-)PnYnMnDTnHnMnS`.
+    pub fn parse(s: &str) -> XdmResult<Self> {
+        let s = s.trim();
+        let (neg, body) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s),
+        };
+        let body = body
+            .strip_prefix('P')
+            .ok_or_else(|| XdmError::invalid_cast(format!("bad duration `{s}`")))?;
+        let (date_part, time_part) = match body.split_once('T') {
+            Some((d, t)) => (d, Some(t)),
+            None => (body, None),
+        };
+        let mut months: i64 = 0;
+        let mut millis: i64 = 0;
+        let mut num = String::new();
+        for c in date_part.chars() {
+            if c.is_ascii_digit() {
+                num.push(c);
+            } else {
+                let n: i64 = num
+                    .parse()
+                    .map_err(|_| XdmError::invalid_cast(format!("bad duration `{s}`")))?;
+                num.clear();
+                match c {
+                    'Y' => months += n * 12,
+                    'M' => months += n,
+                    'D' => millis += n * 86_400_000,
+                    'W' => millis += n * 7 * 86_400_000,
+                    _ => {
+                        return Err(XdmError::invalid_cast(format!(
+                            "bad duration designator `{c}` in `{s}`"
+                        )))
+                    }
+                }
+            }
+        }
+        if let Some(tp) = time_part {
+            let mut num = String::new();
+            for c in tp.chars() {
+                if c.is_ascii_digit() || c == '.' {
+                    num.push(c);
+                } else {
+                    let n: f64 = num
+                        .parse()
+                        .map_err(|_| XdmError::invalid_cast(format!("bad duration `{s}`")))?;
+                    num.clear();
+                    match c {
+                        'H' => millis += (n * 3_600_000.0) as i64,
+                        'M' => millis += (n * 60_000.0) as i64,
+                        'S' => millis += (n * 1000.0) as i64,
+                        _ => {
+                            return Err(XdmError::invalid_cast(format!(
+                                "bad duration designator `{c}` in `{s}`"
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+        if neg {
+            months = -months;
+            millis = -millis;
+        }
+        Ok(Duration { months, millis })
+    }
+
+    /// Comparable only when both values use the same component flavour.
+    pub fn try_cmp(&self, other: &Duration) -> Option<Ordering> {
+        if self.months == 0 && other.months == 0 {
+            Some(self.millis.cmp(&other.millis))
+        } else if self.millis == 0 && other.millis == 0 {
+            Some(self.months.cmp(&other.months))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.months == 0 && self.millis == 0 {
+            return write!(f, "PT0S");
+        }
+        let neg = self.months < 0 || self.millis < 0;
+        let months = self.months.abs();
+        let millis = self.millis.abs();
+        let mut out = String::new();
+        if neg {
+            out.push('-');
+        }
+        out.push('P');
+        let years = months / 12;
+        let rem_months = months % 12;
+        if years > 0 {
+            out.push_str(&format!("{years}Y"));
+        }
+        if rem_months > 0 {
+            out.push_str(&format!("{rem_months}M"));
+        }
+        let days = millis / 86_400_000;
+        if days > 0 {
+            out.push_str(&format!("{days}D"));
+        }
+        let rem = millis % 86_400_000;
+        if rem > 0 {
+            out.push('T');
+            let h = rem / 3_600_000;
+            let m = (rem / 60_000) % 60;
+            let s = (rem % 60_000) as f64 / 1000.0;
+            if h > 0 {
+                out.push_str(&format!("{h}H"));
+            }
+            if m > 0 {
+                out.push_str(&format!("{m}M"));
+            }
+            if s > 0.0 {
+                if s.fract() == 0.0 {
+                    out.push_str(&format!("{}S", s as i64));
+                } else {
+                    out.push_str(&format!("{s}S"));
+                }
+            }
+        }
+        f.write_str(&out)
+    }
+}
+
+/// `dateTime - dateTime` difference as a day-time duration.
+pub fn datetime_diff(a: &DateTime, b: &DateTime) -> Duration {
+    Duration::from_millis(a.epoch_millis() - b.epoch_millis())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_parse_and_format() {
+        let d = Date::parse("2009-04-20").unwrap();
+        assert_eq!(d, Date { year: 2009, month: 4, day: 20 });
+        assert_eq!(d.to_string(), "2009-04-20");
+        assert!(Date::parse("2009-13-01").is_err());
+        assert!(Date::parse("2009-02-30").is_err());
+        assert!(Date::parse("garbage").is_err());
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(Date::parse("2008-02-29").is_ok());
+        assert!(Date::parse("2009-02-29").is_err());
+        assert!(Date::parse("2000-02-29").is_ok());
+        assert!(Date::parse("1900-02-29").is_err());
+    }
+
+    #[test]
+    fn time_parse_with_fraction() {
+        let t = Time::parse("09:30:05.25").unwrap();
+        assert_eq!(t.millis, 250);
+        assert_eq!(t.to_string(), "09:30:05.250");
+        assert_eq!(Time::parse("23:59:59").unwrap().to_string(), "23:59:59");
+        assert!(Time::parse("24:00:00").is_err());
+    }
+
+    #[test]
+    fn datetime_roundtrip_epoch() {
+        let dt = DateTime::parse("2009-04-20T12:34:56.789").unwrap();
+        let ms = dt.epoch_millis();
+        assert_eq!(DateTime::from_epoch_millis(ms), dt);
+        assert_eq!(DateTime::from_epoch_millis(0).to_string(), "1970-01-01T00:00:00");
+    }
+
+    #[test]
+    fn date_ordering() {
+        assert!(Date::parse("2008-12-31").unwrap() < Date::parse("2009-01-01").unwrap());
+        assert!(
+            DateTime::parse("2009-04-20T10:00:00").unwrap()
+                < DateTime::parse("2009-04-20T10:00:01").unwrap()
+        );
+    }
+
+    #[test]
+    fn plus_days_crosses_boundaries() {
+        let d = Date::parse("2008-02-28").unwrap();
+        assert_eq!(d.plus_days(1).to_string(), "2008-02-29");
+        assert_eq!(d.plus_days(2).to_string(), "2008-03-01");
+        let d = Date::parse("1970-01-01").unwrap();
+        assert_eq!(d.plus_days(-1).to_string(), "1969-12-31");
+    }
+
+    #[test]
+    fn duration_parse_and_format() {
+        let d = Duration::parse("P1Y2M").unwrap();
+        assert_eq!(d.months, 14);
+        assert_eq!(d.to_string(), "P1Y2M");
+        let d = Duration::parse("P2DT3H4M5S").unwrap();
+        assert_eq!(d.millis, ((2 * 24 + 3) * 3600 + 4 * 60 + 5) * 1000);
+        let d2 = Duration::parse(&d.to_string()).unwrap();
+        assert_eq!(d, d2);
+        let neg = Duration::parse("-PT30S").unwrap();
+        assert_eq!(neg.millis, -30_000);
+    }
+
+    #[test]
+    fn duration_comparison_rules() {
+        let ym1 = Duration::from_months(12);
+        let ym2 = Duration::from_months(13);
+        let dt1 = Duration::from_millis(1000);
+        assert_eq!(ym1.try_cmp(&ym2), Some(Ordering::Less));
+        assert_eq!(ym1.try_cmp(&dt1), None, "mixed flavours are incomparable");
+    }
+
+    #[test]
+    fn datetime_difference() {
+        let a = DateTime::parse("2009-04-24T00:00:00").unwrap();
+        let b = DateTime::parse("2009-04-20T00:00:00").unwrap();
+        assert_eq!(datetime_diff(&a, &b), Duration::from_millis(4 * 86_400_000));
+    }
+}

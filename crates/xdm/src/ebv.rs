@@ -1,0 +1,77 @@
+//! Effective boolean value (XPath 2.0 §2.4.3), used by `if`, `where`,
+//! predicates, quantifiers and the logical operators.
+
+use crate::atomic::Atomic;
+use crate::error::{XdmError, XdmResult};
+use crate::item::Item;
+
+/// Computes the effective boolean value of a sequence.
+pub fn effective_boolean_value(seq: &[Item]) -> XdmResult<bool> {
+    match seq {
+        [] => Ok(false),
+        // a sequence whose first item is a node is true
+        [Item::Node(_), ..] => Ok(true),
+        [Item::Atomic(a)] => match a {
+            Atomic::Boolean(b) => Ok(*b),
+            Atomic::String(s) | Atomic::Untyped(s) | Atomic::AnyUri(s) => {
+                Ok(!s.is_empty())
+            }
+            Atomic::Integer(i) => Ok(*i != 0),
+            Atomic::Decimal(d) | Atomic::Double(d) => Ok(*d != 0.0 && !d.is_nan()),
+            other => Err(XdmError::no_ebv(format!(
+                "no effective boolean value for {}",
+                other.type_name()
+            ))),
+        },
+        _ => Err(XdmError::no_ebv(
+            "no effective boolean value for a multi-item atomic sequence",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqib_dom::{DocId, NodeId, NodeRef};
+
+    fn node_item() -> Item {
+        Item::Node(NodeRef::new(DocId(0), NodeId(0)))
+    }
+
+    #[test]
+    fn empty_is_false() {
+        assert!(!effective_boolean_value(&[]).unwrap());
+    }
+
+    #[test]
+    fn node_leading_is_true() {
+        assert!(effective_boolean_value(&[node_item()]).unwrap());
+        assert!(effective_boolean_value(&[node_item(), Item::integer(0)]).unwrap());
+    }
+
+    #[test]
+    fn singleton_atomics() {
+        assert!(effective_boolean_value(&[Item::boolean(true)]).unwrap());
+        assert!(!effective_boolean_value(&[Item::boolean(false)]).unwrap());
+        assert!(effective_boolean_value(&[Item::string("x")]).unwrap());
+        assert!(!effective_boolean_value(&[Item::string("")]).unwrap());
+        assert!(effective_boolean_value(&[Item::integer(5)]).unwrap());
+        assert!(!effective_boolean_value(&[Item::integer(0)]).unwrap());
+        assert!(!effective_boolean_value(&[Item::double(f64::NAN)]).unwrap());
+        assert!(effective_boolean_value(&[Item::double(0.1)]).unwrap());
+    }
+
+    #[test]
+    fn multi_atomic_is_error() {
+        let err =
+            effective_boolean_value(&[Item::integer(1), Item::integer(2)]).unwrap_err();
+        assert_eq!(err.code, "FORG0006");
+    }
+
+    #[test]
+    fn date_has_no_ebv() {
+        use crate::datetime::Date;
+        let d = Item::Atomic(Atomic::Date(Date::parse("2009-04-20").unwrap()));
+        assert_eq!(effective_boolean_value(&[d]).unwrap_err().code, "FORG0006");
+    }
+}

@@ -1,0 +1,123 @@
+//! Items and sequences.
+//!
+//! An XDM value is a flat sequence of items; an item is a node or an atomic
+//! value. Sequences never nest — the engine flattens on construction.
+
+use xqib_dom::{NodeRef, Store};
+
+use crate::atomic::Atomic;
+use crate::error::XdmResult;
+
+/// A single XDM item.
+#[derive(Debug, Clone)]
+pub enum Item {
+    Node(NodeRef),
+    Atomic(Atomic),
+}
+
+impl Item {
+    pub fn integer(i: i64) -> Self {
+        Item::Atomic(Atomic::Integer(i))
+    }
+    pub fn double(d: f64) -> Self {
+        Item::Atomic(Atomic::Double(d))
+    }
+    pub fn string(s: impl AsRef<str>) -> Self {
+        Item::Atomic(Atomic::str(s))
+    }
+    pub fn boolean(b: bool) -> Self {
+        Item::Atomic(Atomic::Boolean(b))
+    }
+
+    pub fn is_node(&self) -> bool {
+        matches!(self, Item::Node(_))
+    }
+
+    pub fn as_node(&self) -> Option<NodeRef> {
+        match self {
+            Item::Node(n) => Some(*n),
+            Item::Atomic(_) => None,
+        }
+    }
+
+    pub fn as_atomic(&self) -> Option<&Atomic> {
+        match self {
+            Item::Atomic(a) => Some(a),
+            Item::Node(_) => None,
+        }
+    }
+
+    /// The string value of the item (`fn:string`).
+    pub fn string_value(&self, store: &Store) -> String {
+        match self {
+            Item::Node(n) => store.string_value(*n),
+            Item::Atomic(a) => a.string_value(),
+        }
+    }
+}
+
+/// An XDM sequence. Always flat.
+pub type Sequence = Vec<Item>;
+
+/// Atomizes one item: nodes become `xs:untypedAtomic` of their string value
+/// (untyped data model), except attributes/text which also yield untyped;
+/// atomics pass through.
+pub fn atomize(store: &Store, item: &Item) -> Atomic {
+    match item {
+        Item::Node(n) => Atomic::untyped(store.string_value(*n)),
+        Item::Atomic(a) => a.clone(),
+    }
+}
+
+/// Atomizes a whole sequence (`fn:data`).
+pub fn atomize_sequence(store: &Store, seq: &[Item]) -> XdmResult<Vec<Atomic>> {
+    Ok(seq.iter().map(|i| atomize(store, i)).collect())
+}
+
+/// Builds the singleton sequence, the most common case.
+pub fn singleton(item: Item) -> Sequence {
+    vec![item]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqib_dom::QName;
+
+    #[test]
+    fn node_atomizes_to_untyped() {
+        let mut s = Store::new();
+        let d = s.new_document(None);
+        let doc = s.doc_mut(d);
+        let e = doc.create_element(QName::local("price"));
+        doc.append_child(doc.root(), e).unwrap();
+        let t = doc.create_text("1500");
+        doc.append_child(e, t).unwrap();
+        let item = Item::Node(NodeRef::new(d, e));
+        let a = atomize(&s, &item);
+        assert!(matches!(&a, Atomic::Untyped(v) if &**v == "1500"));
+        // untyped atomics still work as numbers downstream
+        assert_eq!(a.as_double().unwrap(), 1500.0);
+    }
+
+    #[test]
+    fn helpers() {
+        let i = Item::integer(3);
+        assert!(!i.is_node());
+        assert!(i.as_node().is_none());
+        assert!(i.as_atomic().is_some());
+        let s = Store::new();
+        assert_eq!(Item::string("a").string_value(&s), "a");
+        assert_eq!(Item::boolean(true).string_value(&s), "true");
+    }
+
+    #[test]
+    fn atomize_sequence_passthrough() {
+        let s = Store::new();
+        let seq = vec![Item::integer(1), Item::string("x")];
+        let atoms = atomize_sequence(&s, &seq).unwrap();
+        assert_eq!(atoms.len(), 2);
+        assert_eq!(atoms[0].string_value(), "1");
+        assert_eq!(atoms[1].string_value(), "x");
+    }
+}

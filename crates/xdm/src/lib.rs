@@ -1,0 +1,32 @@
+//! # xqib-xdm
+//!
+//! The **XQuery 1.0 and XPath 2.0 Data Model (XDM)** for the XQIB
+//! reproduction: items, atomic values, sequences, the effective boolean
+//! value, atomization, value/general comparisons and the W3C error codes.
+//!
+//! The model is the *untyped* instantiation the paper relies on for web
+//! pages (§3.1: "XQuery can natively process (untyped) Web pages"): nodes
+//! atomize to `xs:untypedAtomic`, and the usual promotion rules apply in
+//! comparisons and arithmetic.
+//!
+//! Simplifications (documented per DESIGN.md):
+//! * `xs:decimal` is carried as `f64` (sufficient for browser workloads;
+//!   integers keep a dedicated `i64` representation);
+//! * date/time values support the component set exercised by the paper's
+//!   function library usage, not the full ISO 8601 surface.
+
+pub mod atomic;
+pub mod compare;
+pub mod datetime;
+pub mod ebv;
+pub mod error;
+pub mod item;
+pub mod types;
+
+pub use atomic::Atomic;
+pub use compare::{compare_atomics, general_compare, value_compare, CompOp};
+pub use datetime::{Date, DateTime, Duration, Time};
+pub use ebv::effective_boolean_value;
+pub use error::{XdmError, XdmResult};
+pub use item::{atomize, atomize_sequence, Item, Sequence};
+pub use types::{ItemType, Occurrence, SequenceType, TypeName};

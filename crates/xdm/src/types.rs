@@ -1,0 +1,344 @@
+//! Sequence types: `item()`, node kinds, atomic types and occurrence
+//! indicators — the machinery behind `instance of`, `treat as`, `castable`
+//! and typed function signatures.
+
+use std::fmt;
+
+use xqib_dom::{NodeKind, QName, Store};
+
+use crate::item::Item;
+
+/// Built-in atomic type names (the `xs:` types the engine knows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TypeName {
+    AnyAtomic,
+    String,
+    UntypedAtomic,
+    Boolean,
+    Integer,
+    Decimal,
+    Double,
+    QName,
+    AnyUri,
+    Date,
+    Time,
+    DateTime,
+    Duration,
+}
+
+impl TypeName {
+    /// Resolves an `xs:` local name.
+    pub fn from_local(local: &str) -> Option<TypeName> {
+        Some(match local {
+            "anyAtomicType" => TypeName::AnyAtomic,
+            "string" => TypeName::String,
+            "untypedAtomic" => TypeName::UntypedAtomic,
+            "boolean" => TypeName::Boolean,
+            "integer" | "int" | "long" | "short" | "byte" | "nonNegativeInteger"
+            | "positiveInteger" | "negativeInteger" | "nonPositiveInteger"
+            | "unsignedInt" | "unsignedLong" | "unsignedShort" | "unsignedByte" => {
+                TypeName::Integer
+            }
+            "decimal" => TypeName::Decimal,
+            "double" | "float" => TypeName::Double,
+            "QName" => TypeName::QName,
+            "anyURI" => TypeName::AnyUri,
+            "date" => TypeName::Date,
+            "time" => TypeName::Time,
+            "dateTime" => TypeName::DateTime,
+            "duration" | "yearMonthDuration" | "dayTimeDuration" => TypeName::Duration,
+            _ => return None,
+        })
+    }
+
+    pub fn local_name(&self) -> &'static str {
+        match self {
+            TypeName::AnyAtomic => "anyAtomicType",
+            TypeName::String => "string",
+            TypeName::UntypedAtomic => "untypedAtomic",
+            TypeName::Boolean => "boolean",
+            TypeName::Integer => "integer",
+            TypeName::Decimal => "decimal",
+            TypeName::Double => "double",
+            TypeName::QName => "QName",
+            TypeName::AnyUri => "anyURI",
+            TypeName::Date => "date",
+            TypeName::Time => "time",
+            TypeName::DateTime => "dateTime",
+            TypeName::Duration => "duration",
+        }
+    }
+
+    /// Subtype check within the simplified atomic hierarchy:
+    /// integer ⊂ decimal; everything ⊂ anyAtomicType.
+    pub fn is_subtype_of(&self, other: TypeName) -> bool {
+        if other == TypeName::AnyAtomic {
+            return true;
+        }
+        if *self == other {
+            return true;
+        }
+        matches!((self, other), (TypeName::Integer, TypeName::Decimal))
+    }
+}
+
+impl fmt::Display for TypeName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xs:{}", self.local_name())
+    }
+}
+
+/// An item type as written in a sequence type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ItemType {
+    /// `item()`
+    AnyItem,
+    /// `node()`
+    AnyNode,
+    /// `element()` / `element(name)`
+    Element(Option<QName>),
+    /// `attribute()` / `attribute(name)`
+    Attribute(Option<QName>),
+    /// `text()`
+    Text,
+    /// `comment()`
+    Comment,
+    /// `processing-instruction()` / with target
+    Pi(Option<String>),
+    /// `document-node()`
+    Document,
+    /// an atomic type, e.g. `xs:string`
+    Atomic(TypeName),
+}
+
+/// Occurrence indicator of a sequence type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Occurrence {
+    /// exactly one
+    One,
+    /// `?`
+    Optional,
+    /// `*`
+    ZeroOrMore,
+    /// `+`
+    OneOrMore,
+}
+
+/// A sequence type, e.g. `element(book)*` or `xs:string?`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequenceType {
+    pub item: ItemType,
+    pub occurrence: Occurrence,
+    /// `empty-sequence()` is encoded separately.
+    pub empty_sequence: bool,
+}
+
+impl SequenceType {
+    pub fn one(item: ItemType) -> Self {
+        SequenceType { item, occurrence: Occurrence::One, empty_sequence: false }
+    }
+    pub fn zero_or_more(item: ItemType) -> Self {
+        SequenceType { item, occurrence: Occurrence::ZeroOrMore, empty_sequence: false }
+    }
+    pub fn optional(item: ItemType) -> Self {
+        SequenceType { item, occurrence: Occurrence::Optional, empty_sequence: false }
+    }
+    pub fn empty() -> Self {
+        SequenceType {
+            item: ItemType::AnyItem,
+            occurrence: Occurrence::ZeroOrMore,
+            empty_sequence: true,
+        }
+    }
+
+    /// `instance of` check for a whole sequence.
+    pub fn matches(&self, store: &Store, seq: &[Item]) -> bool {
+        if self.empty_sequence {
+            return seq.is_empty();
+        }
+        let count_ok = match self.occurrence {
+            Occurrence::One => seq.len() == 1,
+            Occurrence::Optional => seq.len() <= 1,
+            Occurrence::ZeroOrMore => true,
+            Occurrence::OneOrMore => !seq.is_empty(),
+        };
+        count_ok && seq.iter().all(|i| item_matches(store, &self.item, i))
+    }
+}
+
+impl fmt::Display for SequenceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.empty_sequence {
+            return f.write_str("empty-sequence()");
+        }
+        let item = match &self.item {
+            ItemType::AnyItem => "item()".to_string(),
+            ItemType::AnyNode => "node()".to_string(),
+            ItemType::Element(None) => "element()".to_string(),
+            ItemType::Element(Some(q)) => format!("element({q})"),
+            ItemType::Attribute(None) => "attribute()".to_string(),
+            ItemType::Attribute(Some(q)) => format!("attribute({q})"),
+            ItemType::Text => "text()".to_string(),
+            ItemType::Comment => "comment()".to_string(),
+            ItemType::Pi(None) => "processing-instruction()".to_string(),
+            ItemType::Pi(Some(t)) => format!("processing-instruction({t})"),
+            ItemType::Document => "document-node()".to_string(),
+            ItemType::Atomic(t) => t.to_string(),
+        };
+        let occ = match self.occurrence {
+            Occurrence::One => "",
+            Occurrence::Optional => "?",
+            Occurrence::ZeroOrMore => "*",
+            Occurrence::OneOrMore => "+",
+        };
+        write!(f, "{item}{occ}")
+    }
+}
+
+/// Does a single item match an item type?
+pub fn item_matches(store: &Store, ty: &ItemType, item: &Item) -> bool {
+    match (ty, item) {
+        (ItemType::AnyItem, _) => true,
+        (ItemType::AnyNode, Item::Node(_)) => true,
+        (ItemType::Atomic(t), Item::Atomic(a)) => a.type_name().is_subtype_of(*t),
+        (ItemType::Element(name), Item::Node(n)) => {
+            match store.doc(n.doc).kind(n.node) {
+                NodeKind::Element { name: actual, .. } => match name {
+                    Some(q) => actual == q,
+                    None => true,
+                },
+                _ => false,
+            }
+        }
+        (ItemType::Attribute(name), Item::Node(n)) => {
+            match store.doc(n.doc).kind(n.node) {
+                NodeKind::Attribute { name: actual, .. } => match name {
+                    Some(q) => actual == q,
+                    None => true,
+                },
+                _ => false,
+            }
+        }
+        (ItemType::Text, Item::Node(n)) => {
+            store.doc(n.doc).kind(n.node).is_text()
+        }
+        (ItemType::Comment, Item::Node(n)) => {
+            matches!(store.doc(n.doc).kind(n.node), NodeKind::Comment { .. })
+        }
+        (ItemType::Pi(target), Item::Node(n)) => {
+            match store.doc(n.doc).kind(n.node) {
+                NodeKind::ProcessingInstruction { target: actual, .. } => {
+                    match target {
+                        Some(t) => actual == t,
+                        None => true,
+                    }
+                }
+                _ => false,
+            }
+        }
+        (ItemType::Document, Item::Node(n)) => {
+            store.doc(n.doc).kind(n.node).is_document()
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomic::Atomic;
+    use xqib_dom::NodeRef;
+
+    fn store_with_element() -> (Store, NodeRef, NodeRef, NodeRef) {
+        let mut s = Store::new();
+        let d = s.new_document(None);
+        let doc = s.doc_mut(d);
+        let e = doc.create_element(QName::local("book"));
+        doc.append_child(doc.root(), e).unwrap();
+        let a = doc.set_attribute(e, QName::local("id"), "1").unwrap();
+        let t = doc.create_text("hi");
+        doc.append_child(e, t).unwrap();
+        (
+            s,
+            NodeRef::new(d, e),
+            NodeRef::new(d, a),
+            NodeRef::new(d, t),
+        )
+    }
+
+    #[test]
+    fn atomic_subtyping() {
+        assert!(TypeName::Integer.is_subtype_of(TypeName::Decimal));
+        assert!(TypeName::Integer.is_subtype_of(TypeName::AnyAtomic));
+        assert!(!TypeName::Decimal.is_subtype_of(TypeName::Integer));
+        assert!(!TypeName::String.is_subtype_of(TypeName::Double));
+    }
+
+    #[test]
+    fn from_local_aliases() {
+        assert_eq!(TypeName::from_local("int"), Some(TypeName::Integer));
+        assert_eq!(TypeName::from_local("float"), Some(TypeName::Double));
+        assert_eq!(TypeName::from_local("nosuch"), None);
+    }
+
+    #[test]
+    fn element_matching() {
+        let (s, e, a, t) = store_with_element();
+        let any_el = ItemType::Element(None);
+        let named = ItemType::Element(Some(QName::local("book")));
+        let wrong = ItemType::Element(Some(QName::local("journal")));
+        assert!(item_matches(&s, &any_el, &Item::Node(e)));
+        assert!(item_matches(&s, &named, &Item::Node(e)));
+        assert!(!item_matches(&s, &wrong, &Item::Node(e)));
+        assert!(!item_matches(&s, &any_el, &Item::Node(a)));
+        assert!(item_matches(&s, &ItemType::Attribute(None), &Item::Node(a)));
+        assert!(item_matches(&s, &ItemType::Text, &Item::Node(t)));
+        assert!(item_matches(&s, &ItemType::AnyNode, &Item::Node(t)));
+    }
+
+    #[test]
+    fn occurrence_checks() {
+        let (s, e, _, _) = store_with_element();
+        let one = SequenceType::one(ItemType::Element(None));
+        let star = SequenceType::zero_or_more(ItemType::Element(None));
+        let plus = SequenceType {
+            item: ItemType::Element(None),
+            occurrence: Occurrence::OneOrMore,
+            empty_sequence: false,
+        };
+        let empty: Vec<Item> = vec![];
+        let single = vec![Item::Node(e)];
+        let double = vec![Item::Node(e), Item::Node(e)];
+        assert!(!one.matches(&s, &empty));
+        assert!(one.matches(&s, &single));
+        assert!(!one.matches(&s, &double));
+        assert!(star.matches(&s, &empty));
+        assert!(star.matches(&s, &double));
+        assert!(!plus.matches(&s, &empty));
+        assert!(plus.matches(&s, &double));
+        assert!(SequenceType::empty().matches(&s, &empty));
+        assert!(!SequenceType::empty().matches(&s, &single));
+    }
+
+    #[test]
+    fn atomic_matching_in_sequence() {
+        let s = Store::new();
+        let st = SequenceType::one(ItemType::Atomic(TypeName::Decimal));
+        assert!(st.matches(&s, &[Item::Atomic(Atomic::Integer(3))]));
+        assert!(!st.matches(&s, &[Item::Atomic(Atomic::str("x"))]));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            SequenceType::zero_or_more(ItemType::Element(Some(QName::local("p"))))
+                .to_string(),
+            "element(p)*"
+        );
+        assert_eq!(
+            SequenceType::optional(ItemType::Atomic(TypeName::String)).to_string(),
+            "xs:string?"
+        );
+        assert_eq!(SequenceType::empty().to_string(), "empty-sequence()");
+    }
+}

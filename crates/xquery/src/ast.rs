@@ -1,0 +1,436 @@
+//! Abstract syntax for XQuery 1.0 plus the Update Facility, the Scripting
+//! Extension, Full-Text, and the paper's browser extensions (§4.3–4.5).
+
+use std::rc::Rc;
+
+use xqib_dom::QName;
+use xqib_xdm::{Atomic, CompOp, SequenceType, TypeName};
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    IDiv,
+    Mod,
+}
+
+/// Node comparison operators (`is`, `<<`, `>>`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeCompOp {
+    Is,
+    Precedes,
+    Follows,
+}
+
+/// XPath axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    Child,
+    Descendant,
+    Attribute,
+    SelfAxis,
+    DescendantOrSelf,
+    FollowingSibling,
+    Following,
+    Parent,
+    Ancestor,
+    PrecedingSibling,
+    Preceding,
+    AncestorOrSelf,
+}
+
+impl Axis {
+    pub fn is_reverse(self) -> bool {
+        matches!(
+            self,
+            Axis::Parent | Axis::Ancestor | Axis::PrecedingSibling
+                | Axis::Preceding | Axis::AncestorOrSelf
+        )
+    }
+}
+
+/// Node tests within a step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeTest {
+    /// `*`
+    AnyName,
+    /// `name` / `p:name`
+    Name(QName),
+    /// `p:*`
+    NsWildcard(String),
+    /// `*:local`
+    LocalWildcard(String),
+    /// kind tests: `node()`, `text()`, `element(x)?`, …
+    Kind(KindTest),
+}
+
+/// Kind tests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KindTest {
+    AnyKind,
+    Text,
+    Comment,
+    Pi(Option<String>),
+    Element(Option<QName>),
+    Attribute(Option<QName>),
+    Document,
+}
+
+/// An axis step: `axis::test[preds]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxisStep {
+    pub axis: Axis,
+    pub test: NodeTest,
+    pub predicates: Vec<Expr>,
+}
+
+/// One step in a relative path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepExpr {
+    Axis(AxisStep),
+    /// A primary expression used as a step (e.g. `$doc/foo`, `id("x")/bar`),
+    /// with trailing predicates.
+    Filter { primary: Box<Expr>, predicates: Vec<Expr> },
+}
+
+/// How a path starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathStart {
+    /// `/...` — from the root of the context node's tree.
+    Root,
+    /// `//...`
+    RootDescendant,
+    /// relative path
+    Relative,
+}
+
+/// FLWOR clauses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlworClause {
+    For {
+        var: QName,
+        at: Option<QName>,
+        ty: Option<SequenceType>,
+        seq: Expr,
+    },
+    Let {
+        var: QName,
+        ty: Option<SequenceType>,
+        expr: Expr,
+    },
+    Where(Expr),
+    OrderBy {
+        specs: Vec<OrderSpec>,
+        stable: bool,
+    },
+}
+
+/// One `order by` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderSpec {
+    pub key: Expr,
+    pub descending: bool,
+    pub empty_least: bool,
+}
+
+/// `some`/`every` quantifier kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantifier {
+    Some,
+    Every,
+}
+
+/// Content of a direct element constructor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ElemContent {
+    /// literal character data
+    Text(String),
+    /// `{ expr }`
+    Enclosed(Expr),
+    /// nested constructor or other expression-valued child
+    Child(Expr),
+}
+
+/// Content of an attribute value template: literal and enclosed parts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrContent {
+    Text(String),
+    Enclosed(Expr),
+}
+
+/// Insert positions of the Update Facility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertPos {
+    Into,
+    AsFirstInto,
+    AsLastInto,
+    Before,
+    After,
+}
+
+/// A computed name: either a static QName or an expression evaluated to one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NameExpr {
+    Static(QName),
+    Dynamic(Box<Expr>),
+}
+
+/// Full-text selection (simplified FTSelection grammar).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FtSelection {
+    Or(Vec<FtSelection>),
+    And(Vec<FtSelection>),
+    Not(Box<FtSelection>),
+    /// Words produced by an expression, with match options.
+    Words { expr: Box<Expr>, options: FtMatchOptions },
+}
+
+/// Full-text match options (`with stemming`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FtMatchOptions {
+    pub stemming: bool,
+    pub case_sensitive: bool,
+    pub wildcards: bool,
+}
+
+/// Scripting statements (XQuery Scripting Extension, §3.3; block syntax
+/// follows the paper's listings).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `declare variable $x (as T)? (:= expr)? ;`
+    VarDecl {
+        name: QName,
+        ty: Option<SequenceType>,
+        init: Option<Expr>,
+    },
+    /// `set $x := expr ;`
+    Assign { name: QName, value: Expr },
+    /// `while (cond) { body }`
+    While { cond: Expr, body: Vec<Statement> },
+    /// `exit with expr ;`
+    ExitWith(Expr),
+    /// an expression statement
+    Expr(Expr),
+}
+
+/// Where an event listener is bound: `at` a location (§4.3.1) or `behind`
+/// an asynchronous call (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventBindMode {
+    At,
+    Behind,
+}
+
+/// The expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Literal(Atomic),
+    VarRef(QName),
+    ContextItem,
+    /// comma operator — sequence construction
+    Sequence(Vec<Expr>),
+    Range(Box<Expr>, Box<Expr>),
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// unary minus (odd number of `-` signs)
+    Neg(Box<Expr>),
+    ValueComp(CompOp, Box<Expr>, Box<Expr>),
+    GeneralComp(CompOp, Box<Expr>, Box<Expr>),
+    NodeComp(NodeCompOp, Box<Expr>, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    If {
+        cond: Box<Expr>,
+        then: Box<Expr>,
+        els: Box<Expr>,
+    },
+    Flwor {
+        clauses: Vec<FlworClause>,
+        ret: Box<Expr>,
+    },
+    Quantified {
+        kind: Quantifier,
+        bindings: Vec<(QName, Expr)>,
+        satisfies: Box<Expr>,
+    },
+    TypeSwitch {
+        operand: Box<Expr>,
+        cases: Vec<(SequenceType, Option<QName>, Expr)>,
+        default_var: Option<QName>,
+        default: Box<Expr>,
+    },
+    Path {
+        start: PathStart,
+        steps: Vec<StepExpr>,
+    },
+    Union(Box<Expr>, Box<Expr>),
+    Intersect(Box<Expr>, Box<Expr>),
+    Except(Box<Expr>, Box<Expr>),
+    InstanceOf(Box<Expr>, SequenceType),
+    TreatAs(Box<Expr>, SequenceType),
+    CastableAs(Box<Expr>, TypeName, bool),
+    CastAs(Box<Expr>, TypeName, bool),
+    FunctionCall {
+        name: QName,
+        args: Vec<Expr>,
+    },
+    DirectElement {
+        name: QName,
+        /// attribute name → value template parts
+        attrs: Vec<(QName, Vec<AttrContent>)>,
+        ns_decls: Vec<(String, String)>,
+        children: Vec<ElemContent>,
+    },
+    ComputedElement {
+        name: NameExpr,
+        content: Option<Box<Expr>>,
+    },
+    ComputedAttribute {
+        name: NameExpr,
+        content: Option<Box<Expr>>,
+    },
+    ComputedText(Box<Expr>),
+    ComputedComment(Box<Expr>),
+    ComputedPi {
+        target: NameExpr,
+        content: Option<Box<Expr>>,
+    },
+    ComputedDocument(Box<Expr>),
+    // --- XQuery Update Facility ---
+    Insert {
+        source: Box<Expr>,
+        pos: InsertPos,
+        target: Box<Expr>,
+    },
+    Delete(Box<Expr>),
+    ReplaceNode {
+        target: Box<Expr>,
+        with: Box<Expr>,
+    },
+    ReplaceValue {
+        target: Box<Expr>,
+        with: Box<Expr>,
+    },
+    Rename {
+        target: Box<Expr>,
+        name: NameExpr,
+    },
+    Transform {
+        bindings: Vec<(QName, Expr)>,
+        modify: Box<Expr>,
+        ret: Box<Expr>,
+    },
+    // --- Scripting Extension ---
+    Block(Vec<Statement>),
+    // --- Full-Text ---
+    FtContains {
+        source: Box<Expr>,
+        selection: FtSelection,
+    },
+    // --- Browser extensions (§4.3–4.5) ---
+    EventAttach {
+        event: Box<Expr>,
+        mode: EventBindMode,
+        target: Box<Expr>,
+        listener: QName,
+    },
+    EventDetach {
+        event: Box<Expr>,
+        target: Box<Expr>,
+        listener: QName,
+    },
+    EventTrigger {
+        event: Box<Expr>,
+        target: Box<Expr>,
+    },
+    SetStyle {
+        prop: Box<Expr>,
+        target: Box<Expr>,
+        value: Box<Expr>,
+    },
+    GetStyle {
+        prop: Box<Expr>,
+        target: Box<Expr>,
+    },
+}
+
+impl Expr {
+    pub fn boxed(self) -> Box<Expr> {
+        Box::new(self)
+    }
+    pub fn string_lit(s: &str) -> Expr {
+        Expr::Literal(Atomic::str(s))
+    }
+    pub fn int_lit(i: i64) -> Expr {
+        Expr::Literal(Atomic::Integer(i))
+    }
+}
+
+/// Function kinds: plain, updating (may produce a PUL), sequential
+/// (scripting: applies updates as it goes, may `exit with`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FunctionKind {
+    Simple,
+    Updating,
+    Sequential,
+}
+
+/// A user-declared function.
+#[derive(Debug, Clone)]
+pub struct FunctionDecl {
+    pub name: QName,
+    pub params: Vec<(QName, Option<SequenceType>)>,
+    pub return_type: Option<SequenceType>,
+    pub kind: FunctionKind,
+    pub body: Rc<Expr>,
+}
+
+/// A global variable declaration.
+#[derive(Debug, Clone)]
+pub struct VarDecl {
+    pub name: QName,
+    pub ty: Option<SequenceType>,
+    /// `None` means `external`.
+    pub init: Option<Expr>,
+}
+
+/// Prolog of a module.
+#[derive(Debug, Clone, Default)]
+pub struct Prolog {
+    pub namespaces: Vec<(String, String)>,
+    pub default_element_ns: Option<String>,
+    pub default_function_ns: Option<String>,
+    pub variables: Vec<VarDecl>,
+    pub functions: Vec<FunctionDecl>,
+    pub options: Vec<(QName, String)>,
+    pub module_imports: Vec<ModuleImport>,
+}
+
+/// `import module namespace p = "uri" at "loc";`
+#[derive(Debug, Clone)]
+pub struct ModuleImport {
+    pub prefix: String,
+    pub uri: String,
+    pub locations: Vec<String>,
+}
+
+/// A parsed main module: prolog plus body program.
+#[derive(Debug, Clone)]
+pub struct MainModule {
+    pub prolog: Prolog,
+    /// The query body as a scripting program (a single expression becomes a
+    /// one-statement program).
+    pub body: Vec<Statement>,
+}
+
+/// A parsed library module (`module namespace p = "uri";` + prolog).
+#[derive(Debug, Clone)]
+pub struct LibraryModule {
+    pub prefix: String,
+    pub uri: String,
+    /// The paper's web-service extension: `module namespace ex="…" port:2001;`
+    pub port: Option<u16>,
+    pub prolog: Prolog,
+}

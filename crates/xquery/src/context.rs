@@ -1,0 +1,393 @@
+//! Static and dynamic evaluation contexts.
+//!
+//! Per §3.1 of the paper: "an XQuery expression is evaluated in a context.
+//! The context contains functions, namespaces, schemas, and variable
+//! bindings. … Extending the context with new browser-specific namespace,
+//! schema, and function definitions is an important part of integrating
+//! XQuery into the Web browser." The [`DynamicContext::natives`] registry
+//! and the [`EngineHooks`] trait are exactly that extension point: the XQIB
+//! plug-in (crate `xqib-core`) registers the `browser:` function library and
+//! the event/CSS bridges there.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use xqib_dom::{DocId, NodeRef, QName, SharedStore, Store};
+use xqib_xdm::{Item, Sequence, XdmError, XdmResult};
+
+use crate::ast::{Expr, FunctionDecl};
+use crate::pul::Pul;
+
+/// Signature of a native (host-provided) function.
+pub type NativeFn = Rc<dyn Fn(&mut DynamicContext, Vec<Sequence>) -> XdmResult<Sequence>>;
+
+/// Host bridge for the browser grammar extensions. Implemented by the XQIB
+/// plug-in; when absent, event expressions raise `XQIB0002` and style
+/// expressions fall back to the element's `style` attribute.
+pub trait EngineHooks {
+    /// `on event E at T attach listener Q` (§4.3.1).
+    fn attach_listener(
+        &self,
+        ctx: &mut DynamicContext,
+        event: &str,
+        targets: &[Item],
+        listener: &QName,
+    ) -> XdmResult<()>;
+
+    /// `on event E at T detach listener Q`.
+    fn detach_listener(
+        &self,
+        ctx: &mut DynamicContext,
+        event: &str,
+        targets: &[Item],
+        listener: &QName,
+    ) -> XdmResult<()>;
+
+    /// `trigger event E at T` — simulates the user action.
+    fn trigger_event(
+        &self,
+        ctx: &mut DynamicContext,
+        event: &str,
+        targets: &[Item],
+    ) -> XdmResult<()>;
+
+    /// `on event E behind Call attach listener Q` (§4.4): bind the event to
+    /// the asynchronous evaluation of `call`.
+    fn attach_behind(
+        &self,
+        ctx: &mut DynamicContext,
+        event: &str,
+        call: &Expr,
+        listener: &QName,
+    ) -> XdmResult<()>;
+
+    /// `set style P of T to V` (§4.5). Return `Ok(false)` to fall back to
+    /// the `style` attribute.
+    fn set_style(
+        &self,
+        ctx: &mut DynamicContext,
+        target: NodeRef,
+        prop: &str,
+        value: &str,
+    ) -> XdmResult<bool>;
+
+    /// `get style P of T`. Return `Ok(None)` to fall back to the `style`
+    /// attribute; `Ok(Some(v))` to answer.
+    fn get_style(
+        &self,
+        ctx: &mut DynamicContext,
+        target: NodeRef,
+        prop: &str,
+    ) -> XdmResult<Option<Option<String>>>;
+}
+
+/// The static context: user-declared functions and compile-time options.
+#[derive(Default)]
+pub struct StaticContext {
+    pub functions: HashMap<(QName, usize), Rc<FunctionDecl>>,
+    pub options: Vec<(QName, String)>,
+    /// The browser security profile (§4.2.1): `fn:doc` resolves only against
+    /// documents the plug-in has made available (the page, frames, cached or
+    /// REST-fetched XML) — never arbitrary URLs; `fn:put` is blocked.
+    pub browser_profile: bool,
+}
+
+impl StaticContext {
+    pub fn declare_function(&mut self, decl: FunctionDecl) {
+        self.functions
+            .insert((decl.name.clone(), decl.params.len()), Rc::new(decl));
+    }
+
+    pub fn lookup_function(
+        &self,
+        name: &QName,
+        arity: usize,
+    ) -> Option<Rc<FunctionDecl>> {
+        self.functions.get(&(name.clone(), arity)).cloned()
+    }
+}
+
+/// The focus: context item, position and size.
+#[derive(Debug, Clone)]
+pub struct Focus {
+    pub item: Item,
+    pub position: usize,
+    pub size: usize,
+}
+
+/// The dynamic context threaded through evaluation.
+pub struct DynamicContext {
+    pub store: SharedStore,
+    pub sctx: Rc<StaticContext>,
+    /// Variable scopes; index 0 holds the globals.
+    scopes: Vec<HashMap<QName, Sequence>>,
+    /// Function-call barriers: a lookup never crosses below the last barrier
+    /// (except into the globals).
+    barriers: Vec<usize>,
+    pub focus: Option<Focus>,
+    /// The virtual clock (epoch millis) — `fn:current-dateTime` et al. read
+    /// this, keeping whole-system runs deterministic.
+    pub now_millis: i64,
+    /// Pending updates accumulated during evaluation.
+    pub pul: Pul,
+    /// Browser bridge (events, async, CSS).
+    pub hooks: Option<Rc<dyn EngineHooks>>,
+    /// Native functions registered by the host (`browser:` library, tests).
+    pub natives: HashMap<(QName, usize), NativeFn>,
+    /// Where constructed nodes live.
+    pub construction_doc: DocId,
+    /// Set by `exit with`; consumed by the enclosing function/block.
+    pub exit_value: Option<Sequence>,
+    /// Recursion guard (call count).
+    pub call_depth: usize,
+    /// `while` iteration guard (XQSE0001 beyond this many iterations).
+    pub loop_guard: u64,
+    /// Stack address recorded at context creation; used to bound actual
+    /// stack consumption of deep recursion (debug frames are large).
+    pub stack_base: usize,
+}
+
+/// Approximate current stack pointer (stacks grow downward on all supported
+/// targets).
+#[inline(never)]
+pub fn approx_stack_ptr() -> usize {
+    let probe = 0u8;
+    &probe as *const u8 as usize
+}
+
+impl DynamicContext {
+    pub fn new(store: SharedStore, sctx: Rc<StaticContext>) -> Self {
+        let construction_doc = store.borrow_mut().new_document(None);
+        DynamicContext {
+            store,
+            sctx,
+            scopes: vec![HashMap::new()],
+            barriers: Vec::new(),
+            focus: None,
+            now_millis: 1_240_214_400_000, // 2009-04-20T08:00:00, WWW'09 week
+            pul: Pul::new(),
+            hooks: None,
+            natives: HashMap::new(),
+            construction_doc,
+            exit_value: None,
+            call_depth: 0,
+            loop_guard: 10_000_000,
+            stack_base: approx_stack_ptr(),
+        }
+    }
+
+    /// Re-anchors the stack guard to the current thread position. Hosts that
+    /// re-enter the engine from deep native frames (event dispatch) call this
+    /// before invoking listeners.
+    pub fn reset_stack_base(&mut self) {
+        self.stack_base = approx_stack_ptr();
+    }
+
+    /// Immutable access to the store for the duration of a closure.
+    pub fn with_store<R>(&self, f: impl FnOnce(&Store) -> R) -> R {
+        f(&self.store.borrow())
+    }
+
+    // ----- variables --------------------------------------------------------
+
+    /// Binds a variable in the innermost scope.
+    pub fn bind_var(&mut self, name: QName, value: Sequence) {
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name, value);
+    }
+
+    /// Binds a global variable.
+    pub fn bind_global(&mut self, name: QName, value: Sequence) {
+        self.scopes[0].insert(name, value);
+    }
+
+    /// Looks a variable up, respecting function-call barriers.
+    pub fn lookup_var(&self, name: &QName) -> Option<&Sequence> {
+        let floor = self.barriers.last().copied().unwrap_or(0);
+        for scope in self.scopes[floor.max(1).min(self.scopes.len())..].iter().rev()
+        {
+            if let Some(v) = scope.get(name) {
+                return Some(v);
+            }
+        }
+        // barrier frames still see globals
+        self.scopes[0].get(name)
+    }
+
+    /// Re-assigns an existing variable (scripting `set $x := …`); searches
+    /// visible scopes, erroring if the variable was never declared.
+    pub fn assign_var(&mut self, name: &QName, value: Sequence) -> XdmResult<()> {
+        let floor = self.barriers.last().copied().unwrap_or(0);
+        let lo = floor.max(1).min(self.scopes.len());
+        for scope in self.scopes[lo..].iter_mut().rev() {
+            if let Some(slot) = scope.get_mut(name) {
+                *slot = value;
+                return Ok(());
+            }
+        }
+        if let Some(slot) = self.scopes[0].get_mut(name) {
+            *slot = value;
+            return Ok(());
+        }
+        Err(XdmError::undefined(format!(
+            "cannot assign to undeclared variable ${name}"
+        )))
+    }
+
+    /// Snapshot of every variable binding currently visible — used by the
+    /// `behind` construct (§4.4) to capture the environment of an
+    /// asynchronous call before queuing it on the event loop.
+    pub fn snapshot_visible_vars(&self) -> Vec<(QName, Sequence)> {
+        let floor = self.barriers.last().copied().unwrap_or(0);
+        let mut out: Vec<(QName, Sequence)> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let lo = floor.max(1).min(self.scopes.len());
+        for scope in self.scopes[lo..].iter().rev() {
+            for (k, v) in scope {
+                if seen.insert(k.clone()) {
+                    out.push((k.clone(), v.clone()));
+                }
+            }
+        }
+        for (k, v) in &self.scopes[0] {
+            if seen.insert(k.clone()) {
+                out.push((k.clone(), v.clone()));
+            }
+        }
+        out
+    }
+
+    pub fn push_scope(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    pub fn pop_scope(&mut self) {
+        debug_assert!(self.scopes.len() > 1, "cannot pop the global scope");
+        self.scopes.pop();
+    }
+
+    /// Enters a function body: fresh scope invisible to caller locals.
+    pub fn push_function_frame(&mut self) {
+        self.scopes.push(HashMap::new());
+        self.barriers.push(self.scopes.len() - 1);
+    }
+
+    pub fn pop_function_frame(&mut self) {
+        self.barriers.pop();
+        self.scopes.pop();
+    }
+
+    // ----- focus ------------------------------------------------------------
+
+    /// Runs `f` with the given focus, restoring the previous one after.
+    pub fn with_focus<R>(
+        &mut self,
+        item: Item,
+        position: usize,
+        size: usize,
+        f: impl FnOnce(&mut Self) -> R,
+    ) -> R {
+        let saved = self.focus.take();
+        self.focus = Some(Focus { item, position, size });
+        let r = f(self);
+        self.focus = saved;
+        r
+    }
+
+    pub fn context_item(&self) -> XdmResult<Item> {
+        self.focus
+            .as_ref()
+            .map(|f| f.item.clone())
+            .ok_or_else(|| XdmError::undefined("the context item is undefined"))
+    }
+
+    // ----- natives ----------------------------------------------------------
+
+    /// Registers a native function (the plug-in's `browser:` library).
+    pub fn register_native(
+        &mut self,
+        name: QName,
+        arity: usize,
+        f: NativeFn,
+    ) {
+        self.natives.insert((name, arity), f);
+    }
+
+    pub fn lookup_native(&self, name: &QName, arity: usize) -> Option<NativeFn> {
+        self.natives.get(&(name.clone(), arity)).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqib_dom::store::shared_store;
+
+    fn ctx() -> DynamicContext {
+        DynamicContext::new(shared_store(), Rc::new(StaticContext::default()))
+    }
+
+    #[test]
+    fn scoped_binding_and_shadowing() {
+        let mut c = ctx();
+        let x = QName::local("x");
+        c.bind_global(x.clone(), vec![Item::integer(1)]);
+        c.push_scope();
+        c.bind_var(x.clone(), vec![Item::integer(2)]);
+        assert_eq!(c.lookup_var(&x).unwrap().len(), 1);
+        assert_eq!(
+            c.lookup_var(&x).unwrap()[0].as_atomic().unwrap().string_value(),
+            "2"
+        );
+        c.pop_scope();
+        assert_eq!(
+            c.lookup_var(&x).unwrap()[0].as_atomic().unwrap().string_value(),
+            "1"
+        );
+    }
+
+    #[test]
+    fn function_frames_hide_caller_locals_but_see_globals() {
+        let mut c = ctx();
+        let g = QName::local("g");
+        let l = QName::local("l");
+        c.bind_global(g.clone(), vec![Item::integer(42)]);
+        c.push_scope();
+        c.bind_var(l.clone(), vec![Item::integer(7)]);
+        c.push_function_frame();
+        assert!(c.lookup_var(&l).is_none(), "caller locals are hidden");
+        assert!(c.lookup_var(&g).is_some(), "globals remain visible");
+        c.pop_function_frame();
+        assert!(c.lookup_var(&l).is_some());
+        c.pop_scope();
+    }
+
+    #[test]
+    fn assign_updates_existing_binding() {
+        let mut c = ctx();
+        let x = QName::local("x");
+        c.push_scope();
+        c.bind_var(x.clone(), vec![]);
+        c.assign_var(&x, vec![Item::integer(9)]).unwrap();
+        assert_eq!(
+            c.lookup_var(&x).unwrap()[0].as_atomic().unwrap().string_value(),
+            "9"
+        );
+        let y = QName::local("y");
+        assert!(c.assign_var(&y, vec![]).is_err());
+    }
+
+    #[test]
+    fn focus_save_restore() {
+        let mut c = ctx();
+        assert!(c.context_item().is_err());
+        let r = c.with_focus(Item::integer(5), 2, 10, |c| {
+            let f = c.focus.as_ref().unwrap();
+            (f.position, f.size)
+        });
+        assert_eq!(r, (2, 10));
+        assert!(c.focus.is_none());
+    }
+}

@@ -1,0 +1,288 @@
+//! Node constructors: direct element constructors (the paper builds whole
+//! page fragments with them, §6.3) and computed constructors.
+//!
+//! Constructed nodes live in the dynamic context's construction document and
+//! are deep-copied into target documents by the Update Facility on insert.
+
+use xqib_dom::{DocId, NodeId, NodeRef, QName};
+use xqib_xdm::{atomize, Item, Sequence, XdmError, XdmResult};
+
+use crate::ast::{AttrContent, ElemContent, Expr, NameExpr};
+use crate::context::DynamicContext;
+
+use super::eval_expr;
+
+pub(crate) fn eval_constructor(
+    ctx: &mut DynamicContext,
+    e: &Expr,
+) -> XdmResult<Sequence> {
+    match e {
+        Expr::DirectElement { name, attrs, ns_decls, children } => {
+            let elem = build_element(ctx, name.clone(), ns_decls, attrs, children)?;
+            Ok(vec![Item::Node(elem)])
+        }
+        Expr::ComputedElement { name, content } => {
+            let qname = resolve_name(ctx, name)?;
+            let doc_id = ctx.construction_doc;
+            let elem = {
+                let mut store = ctx.store.borrow_mut();
+                store.doc_mut(doc_id).create_element(qname)
+            };
+            let elem_ref = NodeRef::new(doc_id, elem);
+            if let Some(c) = content {
+                let seq = eval_expr(ctx, c)?;
+                add_content(ctx, elem_ref, &seq)?;
+            }
+            Ok(vec![Item::Node(elem_ref)])
+        }
+        Expr::ComputedAttribute { name, content } => {
+            let qname = resolve_name(ctx, name)?;
+            let value = match content {
+                Some(c) => {
+                    let seq = eval_expr(ctx, c)?;
+                    sequence_to_string(ctx, &seq)
+                }
+                None => String::new(),
+            };
+            let doc_id = ctx.construction_doc;
+            let attr = {
+                let mut store = ctx.store.borrow_mut();
+                store.doc_mut(doc_id).create_attribute(qname, value)
+            };
+            Ok(vec![Item::Node(NodeRef::new(doc_id, attr))])
+        }
+        Expr::ComputedText(content) => {
+            let seq = eval_expr(ctx, content)?;
+            if seq.is_empty() {
+                return Ok(vec![]);
+            }
+            let value = sequence_to_string(ctx, &seq);
+            let doc_id = ctx.construction_doc;
+            let t = {
+                let mut store = ctx.store.borrow_mut();
+                store.doc_mut(doc_id).create_text(value)
+            };
+            Ok(vec![Item::Node(NodeRef::new(doc_id, t))])
+        }
+        Expr::ComputedComment(content) => {
+            let seq = eval_expr(ctx, content)?;
+            let value = sequence_to_string(ctx, &seq);
+            let doc_id = ctx.construction_doc;
+            let c = {
+                let mut store = ctx.store.borrow_mut();
+                store.doc_mut(doc_id).create_comment(value)
+            };
+            Ok(vec![Item::Node(NodeRef::new(doc_id, c))])
+        }
+        Expr::ComputedPi { target, content } => {
+            let qname = resolve_name(ctx, target)?;
+            let value = match content {
+                Some(c) => {
+                    let seq = eval_expr(ctx, c)?;
+                    sequence_to_string(ctx, &seq)
+                }
+                None => String::new(),
+            };
+            let doc_id = ctx.construction_doc;
+            let pi = {
+                let mut store = ctx.store.borrow_mut();
+                store.doc_mut(doc_id).create_pi(qname.local.to_string(), value)
+            };
+            Ok(vec![Item::Node(NodeRef::new(doc_id, pi))])
+        }
+        Expr::ComputedDocument(content) => {
+            let seq = eval_expr(ctx, content)?;
+            let doc_id = {
+                let mut store = ctx.store.borrow_mut();
+                store.new_document(None)
+            };
+            let root = {
+                let store = ctx.store.borrow();
+                store.root(doc_id)
+            };
+            add_content(ctx, root, &seq)?;
+            Ok(vec![Item::Node(root)])
+        }
+        _ => unreachable!("eval_constructor called with a non-constructor"),
+    }
+}
+
+fn resolve_name(ctx: &mut DynamicContext, name: &NameExpr) -> XdmResult<QName> {
+    match name {
+        NameExpr::Static(q) => Ok(q.clone()),
+        NameExpr::Dynamic(e) => {
+            let v = eval_expr(ctx, e)?;
+            match v.first() {
+                Some(Item::Atomic(xqib_xdm::Atomic::QName(q))) => Ok(q.clone()),
+                Some(i) => {
+                    let s = i.string_value(&ctx.store.borrow());
+                    if s.is_empty() || s.contains(':') {
+                        // prefixes in dynamic names would need runtime ns
+                        // resolution; only unprefixed names are supported
+                        Err(XdmError::new(
+                            "XQDY0074",
+                            format!("cannot resolve dynamic name `{s}`"),
+                        ))
+                    } else {
+                        Ok(QName::local(&s))
+                    }
+                }
+                None => Err(XdmError::new(
+                    "XQDY0074",
+                    "empty name in computed constructor",
+                )),
+            }
+        }
+    }
+}
+
+fn build_element(
+    ctx: &mut DynamicContext,
+    name: QName,
+    ns_decls: &[(String, String)],
+    attrs: &[(QName, Vec<AttrContent>)],
+    children: &[ElemContent],
+) -> XdmResult<NodeRef> {
+    let doc_id = ctx.construction_doc;
+    let elem = {
+        let mut store = ctx.store.borrow_mut();
+        let doc = store.doc_mut(doc_id);
+        let e = doc.create_element(name);
+        for (p, u) in ns_decls {
+            doc.add_ns_decl(e, p.clone(), u.clone())
+                .map_err(|er| XdmError::new("XQDY0025", er.to_string()))?;
+        }
+        e
+    };
+    let elem_ref = NodeRef::new(doc_id, elem);
+    // attributes: evaluate value templates
+    for (aname, parts) in attrs {
+        let mut value = String::new();
+        for part in parts {
+            match part {
+                AttrContent::Text(t) => value.push_str(t),
+                AttrContent::Enclosed(e) => {
+                    let seq = eval_expr(ctx, e)?;
+                    value.push_str(&sequence_to_string(ctx, &seq));
+                }
+            }
+        }
+        let mut store = ctx.store.borrow_mut();
+        store
+            .doc_mut(doc_id)
+            .set_attribute(elem, aname.clone(), value)
+            .map_err(|er| XdmError::new("XQDY0025", er.to_string()))?;
+    }
+    // children
+    for child in children {
+        match child {
+            ElemContent::Text(t) => {
+                let mut store = ctx.store.borrow_mut();
+                let doc = store.doc_mut(doc_id);
+                let tn = doc.create_text(t.clone());
+                doc.append_child(elem, tn)
+                    .map_err(|er| XdmError::new("XQTY0024", er.to_string()))?;
+            }
+            ElemContent::Enclosed(e) | ElemContent::Child(e) => {
+                let seq = eval_expr(ctx, e)?;
+                add_content(ctx, elem_ref, &seq)?;
+            }
+        }
+    }
+    Ok(elem_ref)
+}
+
+/// Content-sequence processing: adjacent atomic values are joined with
+/// spaces into text nodes; nodes are deep-copied; attribute nodes attach to
+/// the element (and must precede other content).
+pub(crate) fn add_content(
+    ctx: &mut DynamicContext,
+    parent: NodeRef,
+    seq: &Sequence,
+) -> XdmResult<()> {
+    let mut pending_text: Option<String> = None;
+    let mut saw_child = false;
+    for item in seq {
+        match item {
+            Item::Atomic(_) => {
+                let s = {
+                    let store = ctx.store.borrow();
+                    atomize(&store, item).string_value()
+                };
+                match pending_text {
+                    Some(ref mut t) => {
+                        t.push(' ');
+                        t.push_str(&s);
+                    }
+                    None => pending_text = Some(s),
+                }
+            }
+            Item::Node(n) => {
+                let is_attr = {
+                    let store = ctx.store.borrow();
+                    store.doc(n.doc).kind(n.node).is_attribute()
+                };
+                if is_attr {
+                    if saw_child || pending_text.is_some() {
+                        return Err(XdmError::new(
+                            "XQTY0024",
+                            "attribute nodes must precede other element content",
+                        ));
+                    }
+                    let mut store = ctx.store.borrow_mut();
+                    let copied = copy_into(&mut store, parent.doc, *n);
+                    store
+                        .doc_mut(parent.doc)
+                        .put_attribute_node(parent.node, copied)
+                        .map_err(|er| XdmError::new("XQDY0025", er.to_string()))?;
+                } else {
+                    flush_text(ctx, parent, &mut pending_text)?;
+                    saw_child = true;
+                    let mut store = ctx.store.borrow_mut();
+                    let copied = copy_into(&mut store, parent.doc, *n);
+                    store
+                        .doc_mut(parent.doc)
+                        .append_child(parent.node, copied)
+                        .map_err(|er| XdmError::new("XQTY0024", er.to_string()))?;
+                }
+            }
+        }
+    }
+    flush_text(ctx, parent, &mut pending_text)?;
+    Ok(())
+}
+
+fn flush_text(
+    ctx: &mut DynamicContext,
+    parent: NodeRef,
+    pending: &mut Option<String>,
+) -> XdmResult<()> {
+    if let Some(t) = pending.take() {
+        if !t.is_empty() {
+            let mut store = ctx.store.borrow_mut();
+            let doc = store.doc_mut(parent.doc);
+            let tn = doc.create_text(t);
+            doc.append_child(parent.node, tn)
+                .map_err(|er| XdmError::new("XQTY0024", er.to_string()))?;
+        }
+    }
+    Ok(())
+}
+
+/// Deep-copies a node (possibly from another document) into `target_doc`.
+pub(crate) fn copy_into(
+    store: &mut xqib_dom::Store,
+    target_doc: DocId,
+    src: NodeRef,
+) -> NodeId {
+    store.copy_node_between(src, target_doc)
+}
+
+/// String value of a content sequence: items joined with spaces.
+pub(crate) fn sequence_to_string(ctx: &DynamicContext, seq: &Sequence) -> String {
+    let store = ctx.store.borrow();
+    seq.iter()
+        .map(|i| atomize(&store, i).string_value())
+        .collect::<Vec<_>>()
+        .join(" ")
+}

@@ -1,0 +1,211 @@
+//! FLWOR and quantified expressions.
+
+use xqib_dom::QName;
+use xqib_xdm::{
+    atomize, compare_atomics, effective_boolean_value, Atomic, Item, Sequence,
+    XdmError, XdmResult,
+};
+
+use crate::ast::{Expr, FlworClause, OrderSpec, Quantifier};
+use crate::context::DynamicContext;
+
+use super::eval_expr;
+
+/// One tuple of the FLWOR tuple stream.
+type Tuple = Vec<(QName, Sequence)>;
+
+pub(crate) fn eval_flwor(
+    ctx: &mut DynamicContext,
+    clauses: &[FlworClause],
+    ret: &Expr,
+) -> XdmResult<Sequence> {
+    let mut tuples: Vec<Tuple> = vec![Vec::new()];
+    for clause in clauses {
+        tuples = apply_clause(ctx, tuples, clause)?;
+    }
+    let mut out = Vec::new();
+    for tuple in tuples {
+        let v = with_tuple(ctx, &tuple, |ctx| eval_expr(ctx, ret))?;
+        out.extend(v);
+    }
+    Ok(out)
+}
+
+fn with_tuple<R>(
+    ctx: &mut DynamicContext,
+    tuple: &Tuple,
+    f: impl FnOnce(&mut DynamicContext) -> XdmResult<R>,
+) -> XdmResult<R> {
+    ctx.push_scope();
+    for (name, value) in tuple {
+        ctx.bind_var(name.clone(), value.clone());
+    }
+    let r = f(ctx);
+    ctx.pop_scope();
+    r
+}
+
+fn apply_clause(
+    ctx: &mut DynamicContext,
+    tuples: Vec<Tuple>,
+    clause: &FlworClause,
+) -> XdmResult<Vec<Tuple>> {
+    match clause {
+        FlworClause::For { var, at, ty, seq } => {
+            let mut out = Vec::new();
+            for tuple in tuples {
+                let items = with_tuple(ctx, &tuple, |ctx| eval_expr(ctx, seq))?;
+                for (i, item) in items.into_iter().enumerate() {
+                    if let Some(t) = ty {
+                        let single = vec![item.clone()];
+                        let ok = ctx.with_store(|s| t.matches(s, &single));
+                        if !ok {
+                            return Err(XdmError::type_error(format!(
+                                "for ${var} as {t}: item does not match"
+                            )));
+                        }
+                    }
+                    let mut new_tuple = tuple.clone();
+                    new_tuple.push((var.clone(), vec![item]));
+                    if let Some(at_var) = at {
+                        new_tuple
+                            .push((at_var.clone(), vec![Item::integer(i as i64 + 1)]));
+                    }
+                    out.push(new_tuple);
+                }
+            }
+            Ok(out)
+        }
+        FlworClause::Let { var, ty: _, expr } => {
+            let mut out = Vec::with_capacity(tuples.len());
+            for tuple in tuples {
+                let v = with_tuple(ctx, &tuple, |ctx| eval_expr(ctx, expr))?;
+                let mut new_tuple = tuple;
+                new_tuple.push((var.clone(), v));
+                out.push(new_tuple);
+            }
+            Ok(out)
+        }
+        FlworClause::Where(cond) => {
+            let mut out = Vec::with_capacity(tuples.len());
+            for tuple in tuples {
+                let keep = with_tuple(ctx, &tuple, |ctx| {
+                    let v = eval_expr(ctx, cond)?;
+                    effective_boolean_value(&v)
+                })?;
+                if keep {
+                    out.push(tuple);
+                }
+            }
+            Ok(out)
+        }
+        FlworClause::OrderBy { specs, stable: _ } => order_tuples(ctx, tuples, specs),
+    }
+}
+
+/// Sort key: one optional atomic per order spec per tuple.
+fn order_tuples(
+    ctx: &mut DynamicContext,
+    tuples: Vec<Tuple>,
+    specs: &[OrderSpec],
+) -> XdmResult<Vec<Tuple>> {
+    let mut keyed: Vec<(Vec<Option<Atomic>>, Tuple)> = Vec::with_capacity(tuples.len());
+    for tuple in tuples {
+        let mut keys = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let v = with_tuple(ctx, &tuple, |ctx| eval_expr(ctx, &spec.key))?;
+            let key = match v.len() {
+                0 => None,
+                1 => Some(atomize(&ctx.store.borrow(), &v[0])),
+                _ => {
+                    return Err(XdmError::type_error(
+                        "order by key must be a singleton",
+                    ))
+                }
+            };
+            keys.push(key);
+        }
+        keyed.push((keys, tuple));
+    }
+    // stable sort with spec-directed comparisons
+    let mut err: Option<XdmError> = None;
+    keyed.sort_by(|(ka, _), (kb, _)| {
+        for (i, spec) in specs.iter().enumerate() {
+            let ord = match (&ka[i], &kb[i]) {
+                (None, None) => std::cmp::Ordering::Equal,
+                (None, Some(_)) => {
+                    if spec.empty_least {
+                        std::cmp::Ordering::Less
+                    } else {
+                        std::cmp::Ordering::Greater
+                    }
+                }
+                (Some(_), None) => {
+                    if spec.empty_least {
+                        std::cmp::Ordering::Greater
+                    } else {
+                        std::cmp::Ordering::Less
+                    }
+                }
+                (Some(a), Some(b)) => match compare_atomics(a, b) {
+                    Ok(o) => o,
+                    Err(e) => {
+                        if err.is_none() && e.code != "XQIBNAN" {
+                            err = Some(e);
+                        }
+                        std::cmp::Ordering::Equal
+                    }
+                },
+            };
+            let ord = if spec.descending { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+    Ok(keyed.into_iter().map(|(_, t)| t).collect())
+}
+
+pub(crate) fn eval_quantified(
+    ctx: &mut DynamicContext,
+    kind: Quantifier,
+    bindings: &[(QName, Expr)],
+    satisfies: &Expr,
+) -> XdmResult<Sequence> {
+    let result = quantify(ctx, kind, bindings, satisfies)?;
+    Ok(vec![Item::boolean(result)])
+}
+
+fn quantify(
+    ctx: &mut DynamicContext,
+    kind: Quantifier,
+    bindings: &[(QName, Expr)],
+    satisfies: &Expr,
+) -> XdmResult<bool> {
+    match bindings.split_first() {
+        None => {
+            let v = eval_expr(ctx, satisfies)?;
+            effective_boolean_value(&v)
+        }
+        Some(((var, seq), rest)) => {
+            let items = eval_expr(ctx, seq)?;
+            for item in items {
+                ctx.push_scope();
+                ctx.bind_var(var.clone(), vec![item]);
+                let inner = quantify(ctx, kind, rest, satisfies);
+                ctx.pop_scope();
+                let inner = inner?;
+                match kind {
+                    Quantifier::Some if inner => return Ok(true),
+                    Quantifier::Every if !inner => return Ok(false),
+                    _ => {}
+                }
+            }
+            Ok(matches!(kind, Quantifier::Every))
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! Path expression evaluation: axes, node tests, predicates, document-order
+//! normalisation. This is the workhorse of browser scripting — "programming
+//! the browser involves mostly XML (i.e., DOM) navigation" (paper abstract).
+
+use xqib_dom::{NodeKind, NodeRef, Store};
+use xqib_xdm::{
+    effective_boolean_value, Atomic, Item, Sequence, XdmError, XdmResult,
+};
+
+use crate::ast::{Axis, AxisStep, KindTest, NodeTest, PathStart, StepExpr};
+use crate::context::DynamicContext;
+
+use super::eval_expr;
+
+pub(crate) fn eval_path(
+    ctx: &mut DynamicContext,
+    start: PathStart,
+    steps: &[StepExpr],
+) -> XdmResult<Sequence> {
+    // initial context sequence
+    let mut steps = steps;
+    let mut current: Sequence = match start {
+        PathStart::Relative => match &ctx.focus {
+            Some(f) => vec![f.item.clone()],
+            None => {
+                // A relative path whose first step is a primary expression
+                // (e.g. `doc("x")//y`, `$v/y`) needs no context item: the
+                // first step supplies the context for the rest.
+                let (first, rest) = steps.split_first().ok_or_else(|| {
+                    XdmError::undefined("relative path with no context item")
+                })?;
+                match first {
+                    StepExpr::Filter { primary, predicates } => {
+                        let r = eval_expr(ctx, primary)?;
+                        let filtered = apply_predicates(ctx, r, predicates)?;
+                        steps = rest;
+                        filtered
+                    }
+                    StepExpr::Axis(_) => {
+                        return Err(XdmError::undefined(
+                            "relative path with no context item",
+                        ))
+                    }
+                }
+            }
+        },
+        PathStart::Root | PathStart::RootDescendant => {
+            let item = ctx.context_item()?;
+            let Item::Node(n) = item else {
+                return Err(XdmError::new(
+                    "XPTY0020",
+                    "`/` requires the context item to be a node",
+                ));
+            };
+            let store = ctx.store.borrow();
+            let root = store.doc(n.doc).tree_root(n.node);
+            vec![Item::Node(NodeRef::new(n.doc, root))]
+        }
+    };
+    if start == PathStart::RootDescendant {
+        current = apply_axis_step(
+            ctx,
+            &current,
+            &AxisStep {
+                axis: Axis::DescendantOrSelf,
+                test: NodeTest::Kind(KindTest::AnyKind),
+                predicates: vec![],
+            },
+        )?;
+    }
+    for step in steps {
+        current = apply_step(ctx, &current, step)?;
+    }
+    Ok(current)
+}
+
+fn apply_step(
+    ctx: &mut DynamicContext,
+    input: &Sequence,
+    step: &StepExpr,
+) -> XdmResult<Sequence> {
+    match step {
+        StepExpr::Axis(ax) => apply_axis_step(ctx, input, ax),
+        StepExpr::Filter { primary, predicates } => {
+            let mut combined: Sequence = Vec::new();
+            let mut any_node = false;
+            let mut any_atomic = false;
+            let size = input.len();
+            for (i, item) in input.iter().enumerate() {
+                let result = ctx.with_focus(item.clone(), i + 1, size, |ctx| {
+                    eval_expr(ctx, primary)
+                })?;
+                let filtered = apply_predicates(ctx, result, predicates)?;
+                for r in &filtered {
+                    match r {
+                        Item::Node(_) => any_node = true,
+                        Item::Atomic(_) => any_atomic = true,
+                    }
+                }
+                combined.extend(filtered);
+            }
+            if any_node && any_atomic {
+                return Err(XdmError::new(
+                    "XPTY0018",
+                    "path step mixes nodes and atomic values",
+                ));
+            }
+            if any_node {
+                let mut refs: Vec<NodeRef> = combined
+                    .iter()
+                    .map(|i| i.as_node().expect("all nodes"))
+                    .collect();
+                let store = ctx.store.borrow();
+                xqib_dom::order::sort_dedup(&store, &mut refs);
+                Ok(refs.into_iter().map(Item::Node).collect())
+            } else {
+                Ok(combined)
+            }
+        }
+    }
+}
+
+fn apply_axis_step(
+    ctx: &mut DynamicContext,
+    input: &Sequence,
+    step: &AxisStep,
+) -> XdmResult<Sequence> {
+    let mut out_refs: Vec<NodeRef> = Vec::new();
+    for item in input {
+        let Item::Node(n) = item else {
+            return Err(XdmError::new(
+                "XPTY0019",
+                "axis step applied to an atomic value",
+            ));
+        };
+        // candidates in axis order
+        let candidates: Vec<NodeRef> = {
+            let store = ctx.store.borrow();
+            axis_nodes(&store, *n, step.axis)
+                .into_iter()
+                .filter(|&c| node_test_matches(&store, c, step.axis, &step.test))
+                .collect()
+        };
+        let filtered = apply_predicates_to_nodes(ctx, candidates, &step.predicates)?;
+        out_refs.extend(filtered);
+    }
+    let store = ctx.store.borrow();
+    xqib_dom::order::sort_dedup(&store, &mut out_refs);
+    Ok(out_refs.into_iter().map(Item::Node).collect())
+}
+
+/// Applies predicates to a node list (in axis order: positions count along
+/// the axis direction).
+fn apply_predicates_to_nodes(
+    ctx: &mut DynamicContext,
+    nodes: Vec<NodeRef>,
+    predicates: &[crate::ast::Expr],
+) -> XdmResult<Vec<NodeRef>> {
+    let mut current = nodes;
+    for pred in predicates {
+        let size = current.len();
+        let mut next = Vec::with_capacity(current.len());
+        for (i, n) in current.iter().enumerate() {
+            let keep = ctx.with_focus(Item::Node(*n), i + 1, size, |ctx| {
+                predicate_truth(ctx, pred, i + 1)
+            })?;
+            if keep {
+                next.push(*n);
+            }
+        }
+        current = next;
+    }
+    Ok(current)
+}
+
+/// Applies predicates to a general sequence.
+pub(crate) fn apply_predicates(
+    ctx: &mut DynamicContext,
+    seq: Sequence,
+    predicates: &[crate::ast::Expr],
+) -> XdmResult<Sequence> {
+    let mut current = seq;
+    for pred in predicates {
+        let size = current.len();
+        let mut next = Vec::with_capacity(current.len());
+        for (i, item) in current.iter().enumerate() {
+            let keep = ctx.with_focus(item.clone(), i + 1, size, |ctx| {
+                predicate_truth(ctx, pred, i + 1)
+            })?;
+            if keep {
+                next.push(item.clone());
+            }
+        }
+        current = next;
+    }
+    Ok(current)
+}
+
+/// Predicate semantics: a numeric singleton is a position test, everything
+/// else takes the effective boolean value.
+fn predicate_truth(
+    ctx: &mut DynamicContext,
+    pred: &crate::ast::Expr,
+    position: usize,
+) -> XdmResult<bool> {
+    let v = eval_expr(ctx, pred)?;
+    if v.len() == 1 {
+        if let Item::Atomic(a) = &v[0] {
+            if a.is_numeric() && !matches!(a, Atomic::Untyped(_)) {
+                let d = a.as_double()?;
+                return Ok(d == position as f64);
+            }
+        }
+    }
+    effective_boolean_value(&v)
+}
+
+/// Produces the nodes on `axis` from `n`, in axis order (reverse axes yield
+/// reverse document order, matching positional-predicate semantics).
+pub fn axis_nodes(store: &Store, n: NodeRef, axis: Axis) -> Vec<NodeRef> {
+    let doc = store.doc(n.doc);
+    let mk = |id| NodeRef::new(n.doc, id);
+    match axis {
+        Axis::Child => doc.children(n.node).iter().map(|&c| mk(c)).collect(),
+        Axis::Attribute => doc.attributes(n.node).iter().map(|&a| mk(a)).collect(),
+        Axis::SelfAxis => vec![n],
+        Axis::Parent => doc.parent(n.node).map(mk).into_iter().collect(),
+        Axis::Descendant => {
+            let mut v = doc.descendants_or_self(n.node);
+            v.remove(0);
+            v.into_iter().map(mk).collect()
+        }
+        Axis::DescendantOrSelf => {
+            doc.descendants_or_self(n.node).into_iter().map(mk).collect()
+        }
+        Axis::Ancestor => {
+            let mut out = Vec::new();
+            let mut cur = doc.parent(n.node);
+            while let Some(p) = cur {
+                out.push(mk(p));
+                cur = doc.parent(p);
+            }
+            out
+        }
+        Axis::AncestorOrSelf => {
+            let mut out = vec![n];
+            let mut cur = doc.parent(n.node);
+            while let Some(p) = cur {
+                out.push(mk(p));
+                cur = doc.parent(p);
+            }
+            out
+        }
+        Axis::FollowingSibling => {
+            let Some(parent) = doc.parent(n.node) else { return vec![] };
+            if doc.kind(n.node).is_attribute() {
+                return vec![];
+            }
+            let sibs = doc.children(parent);
+            match sibs.iter().position(|&s| s == n.node) {
+                Some(i) => sibs[i + 1..].iter().map(|&s| mk(s)).collect(),
+                None => vec![],
+            }
+        }
+        Axis::PrecedingSibling => {
+            let Some(parent) = doc.parent(n.node) else { return vec![] };
+            if doc.kind(n.node).is_attribute() {
+                return vec![];
+            }
+            let sibs = doc.children(parent);
+            match sibs.iter().position(|&s| s == n.node) {
+                Some(i) => sibs[..i].iter().rev().map(|&s| mk(s)).collect(),
+                None => vec![],
+            }
+        }
+        Axis::Following => {
+            // all nodes after n in document order, excluding descendants
+            let mut out = Vec::new();
+            let mut cur = n.node;
+            while let Some(parent) = doc.parent(cur) {
+                let sibs = doc.children(parent);
+                if let Some(i) = sibs.iter().position(|&s| s == cur) {
+                    for &s in &sibs[i + 1..] {
+                        for d in doc.descendants_or_self(s) {
+                            out.push(mk(d));
+                        }
+                    }
+                }
+                cur = parent;
+            }
+            out
+        }
+        Axis::Preceding => {
+            // all nodes before n in document order, excluding ancestors
+            let mut out = Vec::new();
+            let mut cur = n.node;
+            while let Some(parent) = doc.parent(cur) {
+                let sibs = doc.children(parent);
+                if let Some(i) = sibs.iter().position(|&s| s == cur) {
+                    for &s in sibs[..i].iter().rev() {
+                        let mut desc = doc.descendants_or_self(s);
+                        desc.reverse();
+                        for d in desc {
+                            out.push(mk(d));
+                        }
+                    }
+                }
+                cur = parent;
+            }
+            out
+        }
+    }
+}
+
+/// Does `node` satisfy the node test on the given axis? The principal node
+/// kind is attribute for the attribute axis, element otherwise.
+pub fn node_test_matches(
+    store: &Store,
+    node: NodeRef,
+    axis: Axis,
+    test: &NodeTest,
+) -> bool {
+    let doc = store.doc(node.doc);
+    let kind = doc.kind(node.node);
+    let principal_is_attr = axis == Axis::Attribute;
+    match test {
+        NodeTest::AnyName => {
+            if principal_is_attr {
+                kind.is_attribute()
+            } else {
+                kind.is_element()
+            }
+        }
+        NodeTest::Name(q) => match kind {
+            NodeKind::Element { name, .. } if !principal_is_attr => name == q,
+            NodeKind::Attribute { name, .. } if principal_is_attr => name == q,
+            _ => false,
+        },
+        NodeTest::NsWildcard(uri) => match kind {
+            NodeKind::Element { name, .. } if !principal_is_attr => {
+                name.ns.as_deref() == Some(uri.as_str())
+            }
+            NodeKind::Attribute { name, .. } if principal_is_attr => {
+                name.ns.as_deref() == Some(uri.as_str())
+            }
+            _ => false,
+        },
+        NodeTest::LocalWildcard(local) => match kind {
+            NodeKind::Element { name, .. } if !principal_is_attr => {
+                &*name.local == local
+            }
+            NodeKind::Attribute { name, .. } if principal_is_attr => {
+                &*name.local == local
+            }
+            _ => false,
+        },
+        NodeTest::Kind(kt) => kind_test_matches(kind, kt),
+    }
+}
+
+fn kind_test_matches(kind: &NodeKind, kt: &KindTest) -> bool {
+    match kt {
+        KindTest::AnyKind => true,
+        KindTest::Text => kind.is_text(),
+        KindTest::Comment => matches!(kind, NodeKind::Comment { .. }),
+        KindTest::Pi(target) => match kind {
+            NodeKind::ProcessingInstruction { target: actual, .. } => match target {
+                Some(t) => actual == t,
+                None => true,
+            },
+            _ => false,
+        },
+        KindTest::Element(name) => match kind {
+            NodeKind::Element { name: actual, .. } => match name {
+                Some(q) => actual == q,
+                None => true,
+            },
+            _ => false,
+        },
+        KindTest::Attribute(name) => match kind {
+            NodeKind::Attribute { name: actual, .. } => match name {
+                Some(q) => actual == q,
+                None => true,
+            },
+            _ => false,
+        },
+        KindTest::Document => kind.is_document(),
+    }
+}
+
+/// Convenience used by hosts (minijs `document.evaluate`, window views):
+/// evaluates an axis+test from a context node without predicates.
+pub fn simple_axis(
+    store: &Store,
+    n: NodeRef,
+    axis: Axis,
+    test: &NodeTest,
+) -> Vec<NodeRef> {
+    axis_nodes(store, n, axis)
+        .into_iter()
+        .filter(|&c| node_test_matches(store, c, axis, test))
+        .collect()
+}

@@ -1,0 +1,655 @@
+//! A small backtracking regular-expression engine for `fn:matches`,
+//! `fn:replace` and `fn:tokenize` (XML Schema regex subset).
+//!
+//! Supported: literals, `.`, escapes (`\d \D \w \W \s \S \. \\ …`),
+//! character classes (`[a-z0-9]`, negation), anchors `^`/`$`, groups with
+//! capture, alternation, and the quantifiers `*`, `+`, `?`, `{n}`, `{n,}`,
+//! `{n,m}` (greedy, with `?` for reluctant).
+//!
+//! Written from scratch (no third-party regex crate, per the reproduction
+//! rules). Patterns compile to a small AST walked by a backtracking matcher;
+//! web-page workloads use short patterns, where this is plenty fast.
+
+use xqib_xdm::{XdmError, XdmResult};
+
+/// A match: (start, end, capture-group spans).
+pub type Match = (usize, usize, Vec<Option<(usize, usize)>>);
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    root: Node,
+    n_groups: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// alternation of sequences
+    Alt(Vec<Node>),
+    Seq(Vec<Node>),
+    Char(char),
+    AnyChar,
+    Class { negated: bool, items: Vec<ClassItem> },
+    Group(usize, Box<Node>),
+    Repeat { node: Box<Node>, min: usize, max: Option<usize>, greedy: bool },
+    AnchorStart,
+    AnchorEnd,
+}
+
+#[derive(Debug, Clone)]
+enum ClassItem {
+    Char(char),
+    Range(char, char),
+    Digit(bool),
+    Word(bool),
+    Space(bool),
+}
+
+struct PatParser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    n_groups: usize,
+    src: &'a str,
+}
+
+fn perr(src: &str, msg: &str) -> XdmError {
+    XdmError::new("FORX0002", format!("invalid regex `{src}`: {msg}"))
+}
+
+impl<'a> PatParser<'a> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_alt(&mut self) -> XdmResult<Node> {
+        let mut branches = vec![self.parse_seq()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            branches.push(self.parse_seq()?);
+        }
+        if branches.len() == 1 {
+            Ok(branches.pop().expect("one branch"))
+        } else {
+            Ok(Node::Alt(branches))
+        }
+    }
+
+    fn parse_seq(&mut self) -> XdmResult<Node> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.parse_quantified()?);
+        }
+        Ok(Node::Seq(items))
+    }
+
+    fn parse_quantified(&mut self) -> XdmResult<Node> {
+        let atom = self.parse_atom()?;
+        let (min, max) = match self.peek() {
+            Some('*') => {
+                self.bump();
+                (0, None)
+            }
+            Some('+') => {
+                self.bump();
+                (1, None)
+            }
+            Some('?') => {
+                self.bump();
+                (0, Some(1))
+            }
+            Some('{') => {
+                self.bump();
+                let mut min_s = String::new();
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    min_s.push(self.bump().expect("digit"));
+                }
+                let min: usize = min_s
+                    .parse()
+                    .map_err(|_| perr(self.src, "bad repetition count"))?;
+                let max = if self.peek() == Some(',') {
+                    self.bump();
+                    if self.peek() == Some('}') {
+                        None
+                    } else {
+                        let mut max_s = String::new();
+                        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                            max_s.push(self.bump().expect("digit"));
+                        }
+                        Some(max_s.parse().map_err(|_| {
+                            perr(self.src, "bad repetition count")
+                        })?)
+                    }
+                } else {
+                    Some(min)
+                };
+                if self.bump() != Some('}') {
+                    return Err(perr(self.src, "unterminated `{`"));
+                }
+                (min, max)
+            }
+            _ => return Ok(atom),
+        };
+        let greedy = if self.peek() == Some('?') {
+            self.bump();
+            false
+        } else {
+            true
+        };
+        Ok(Node::Repeat { node: Box::new(atom), min, max, greedy })
+    }
+
+    fn parse_atom(&mut self) -> XdmResult<Node> {
+        match self.bump() {
+            None => Err(perr(self.src, "unexpected end of pattern")),
+            Some('(') => {
+                // non-capturing (?: ... )
+                if self.peek() == Some('?') {
+                    self.bump();
+                    if self.bump() != Some(':') {
+                        return Err(perr(self.src, "only (?: groups supported"));
+                    }
+                    let inner = self.parse_alt()?;
+                    if self.bump() != Some(')') {
+                        return Err(perr(self.src, "unterminated group"));
+                    }
+                    return Ok(inner);
+                }
+                self.n_groups += 1;
+                let idx = self.n_groups;
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(')') {
+                    return Err(perr(self.src, "unterminated group"));
+                }
+                Ok(Node::Group(idx, Box::new(inner)))
+            }
+            Some('[') => self.parse_class(),
+            Some('.') => Ok(Node::AnyChar),
+            Some('^') => Ok(Node::AnchorStart),
+            Some('$') => Ok(Node::AnchorEnd),
+            Some('\\') => self.parse_escape(false).map(|item| match item {
+                ClassItem::Char(c) => Node::Char(c),
+                other => Node::Class { negated: false, items: vec![other] },
+            }),
+            Some(c @ ('*' | '+' | '?' | '{' | '}' | ')')) => {
+                Err(perr(self.src, &format!("misplaced `{c}`")))
+            }
+            Some(c) => Ok(Node::Char(c)),
+        }
+    }
+
+    fn parse_class(&mut self) -> XdmResult<Node> {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut items = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err(perr(self.src, "unterminated character class")),
+                Some(']') => {
+                    self.bump();
+                    break;
+                }
+                Some('\\') => {
+                    self.bump();
+                    items.push(self.parse_escape(true)?);
+                }
+                Some(c) => {
+                    self.bump();
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).copied() != Some(']')
+                        && self.chars.get(self.pos + 1).is_some()
+                    {
+                        self.bump(); // -
+                        let hi = self.bump().expect("range end");
+                        items.push(ClassItem::Range(c, hi));
+                    } else {
+                        items.push(ClassItem::Char(c));
+                    }
+                }
+            }
+        }
+        Ok(Node::Class { negated, items })
+    }
+
+    fn parse_escape(&mut self, _in_class: bool) -> XdmResult<ClassItem> {
+        match self.bump() {
+            None => Err(perr(self.src, "dangling backslash")),
+            Some('d') => Ok(ClassItem::Digit(true)),
+            Some('D') => Ok(ClassItem::Digit(false)),
+            Some('w') => Ok(ClassItem::Word(true)),
+            Some('W') => Ok(ClassItem::Word(false)),
+            Some('s') => Ok(ClassItem::Space(true)),
+            Some('S') => Ok(ClassItem::Space(false)),
+            Some('n') => Ok(ClassItem::Char('\n')),
+            Some('t') => Ok(ClassItem::Char('\t')),
+            Some('r') => Ok(ClassItem::Char('\r')),
+            Some(c) => Ok(ClassItem::Char(c)),
+        }
+    }
+}
+
+impl Regex {
+    /// Compiles a pattern.
+    pub fn compile(pattern: &str) -> XdmResult<Regex> {
+        let mut p = PatParser {
+            chars: pattern.chars().collect(),
+            pos: 0,
+            n_groups: 0,
+            src: pattern,
+        };
+        let root = p.parse_alt()?;
+        if p.pos != p.chars.len() {
+            return Err(perr(pattern, "trailing characters"));
+        }
+        Ok(Regex { root, n_groups: p.n_groups })
+    }
+
+    /// Does the pattern match anywhere in `text` (XPath `fn:matches`
+    /// semantics: unanchored)?
+    pub fn is_match(&self, text: &str) -> bool {
+        self.find_at_any(&text.chars().collect::<Vec<_>>()).is_some()
+    }
+
+    /// Finds the leftmost match; returns (start, end, groups).
+    fn find_at_any(&self, chars: &[char]) -> Option<Match> {
+        for start in 0..=chars.len() {
+            let mut groups = vec![None; self.n_groups];
+            if let Some(end) =
+                match_node(&self.root, chars, start, start, &mut groups, &|_, p, _| Some(p))
+            {
+                return Some((start, end, groups));
+            }
+        }
+        None
+    }
+
+    /// All non-overlapping matches as (start, end, groups).
+    pub fn find_all(&self, text: &str) -> Vec<Match> {
+        let chars: Vec<char> = text.chars().collect();
+        let mut out = Vec::new();
+        let mut pos = 0;
+        while pos <= chars.len() {
+            let mut found = None;
+            for start in pos..=chars.len() {
+                let mut groups = vec![None; self.n_groups];
+                if let Some(end) = match_node(
+                    &self.root,
+                    &chars,
+                    start,
+                    start,
+                    &mut groups,
+                    &|_, p, _| Some(p),
+                ) {
+                    found = Some((start, end, groups));
+                    break;
+                }
+            }
+            match found {
+                Some((s, e, g)) => {
+                    out.push((s, e, g));
+                    pos = if e > s { e } else { e + 1 };
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// `fn:replace` semantics: replaces every match, supporting `$1…$9`
+    /// group references in the replacement.
+    pub fn replace_all(&self, text: &str, replacement: &str) -> String {
+        let chars: Vec<char> = text.chars().collect();
+        let matches = self.find_all(text);
+        let mut out = String::new();
+        let mut last = 0usize;
+        for (s, e, groups) in matches {
+            out.extend(&chars[last..s]);
+            out.push_str(&expand_replacement(replacement, &chars, &groups));
+            last = e;
+        }
+        out.extend(&chars[last..]);
+        out
+    }
+
+    /// `fn:tokenize` semantics: splits on every match.
+    pub fn split(&self, text: &str) -> Vec<String> {
+        let chars: Vec<char> = text.chars().collect();
+        let matches = self.find_all(text);
+        let mut out = Vec::new();
+        let mut last = 0usize;
+        for (s, e, _) in matches {
+            if e == s && s == last {
+                // empty match at current position: avoid empty-loop tokens
+                continue;
+            }
+            out.push(chars[last..s].iter().collect());
+            last = e;
+        }
+        out.push(chars[last..].iter().collect());
+        out
+    }
+}
+
+fn expand_replacement(
+    replacement: &str,
+    chars: &[char],
+    groups: &[Option<(usize, usize)>],
+) -> String {
+    let mut out = String::new();
+    let rep: Vec<char> = replacement.chars().collect();
+    let mut i = 0;
+    while i < rep.len() {
+        if rep[i] == '$' && i + 1 < rep.len() && rep[i + 1].is_ascii_digit() {
+            let idx = rep[i + 1].to_digit(10).expect("digit") as usize;
+            if idx >= 1 && idx <= groups.len() {
+                if let Some((s, e)) = groups[idx - 1] {
+                    out.extend(&chars[s..e]);
+                }
+            }
+            i += 2;
+        } else if rep[i] == '\\' && i + 1 < rep.len() {
+            out.push(rep[i + 1]);
+            i += 2;
+        } else {
+            out.push(rep[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+type Cont<'c> = dyn Fn(&[char], usize, &mut Vec<Option<(usize, usize)>>) -> Option<usize> + 'c;
+
+/// Backtracking matcher in continuation-passing style. Returns the end
+/// position of a successful overall match.
+fn match_node(
+    node: &Node,
+    chars: &[char],
+    pos: usize,
+    start: usize,
+    groups: &mut Vec<Option<(usize, usize)>>,
+    k: &Cont<'_>,
+) -> Option<usize> {
+    match node {
+        Node::Seq(items) => match_seq(items, chars, pos, start, groups, k),
+        Node::Alt(branches) => {
+            for b in branches {
+                let saved = groups.clone();
+                if let Some(end) = match_node(b, chars, pos, start, groups, k) {
+                    return Some(end);
+                }
+                *groups = saved;
+            }
+            None
+        }
+        Node::Char(c) => {
+            if chars.get(pos) == Some(c) {
+                k(chars, pos + 1, groups)
+            } else {
+                None
+            }
+        }
+        Node::AnyChar => {
+            if pos < chars.len() && chars[pos] != '\n' {
+                k(chars, pos + 1, groups)
+            } else {
+                None
+            }
+        }
+        Node::Class { negated, items } => {
+            let &c = chars.get(pos)?;
+            let mut matched = items.iter().any(|it| class_matches(it, c));
+            if *negated {
+                matched = !matched;
+            }
+            if matched {
+                k(chars, pos + 1, groups)
+            } else {
+                None
+            }
+        }
+        Node::Group(idx, inner) => {
+            let gidx = *idx - 1;
+            let open = pos;
+            let inner_k = move |cs: &[char],
+                                p: usize,
+                                gs: &mut Vec<Option<(usize, usize)>>|
+                  -> Option<usize> {
+                let saved = gs[gidx];
+                gs[gidx] = Some((open, p));
+                if let Some(end) = k(cs, p, gs) {
+                    Some(end)
+                } else {
+                    gs[gidx] = saved;
+                    None
+                }
+            };
+            match_node(inner, chars, pos, start, groups, &inner_k)
+        }
+        Node::Repeat { node, min, max, greedy } => {
+            match_repeat(node, *min, *max, *greedy, chars, pos, start, groups, k)
+        }
+        Node::AnchorStart => {
+            if pos == 0 {
+                k(chars, pos, groups)
+            } else {
+                None
+            }
+        }
+        Node::AnchorEnd => {
+            if pos == chars.len() {
+                k(chars, pos, groups)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+fn match_seq(
+    items: &[Node],
+    chars: &[char],
+    pos: usize,
+    start: usize,
+    groups: &mut Vec<Option<(usize, usize)>>,
+    k: &Cont<'_>,
+) -> Option<usize> {
+    match items.split_first() {
+        None => k(chars, pos, groups),
+        Some((first, rest)) => {
+            let rest_k = move |cs: &[char],
+                               p: usize,
+                               gs: &mut Vec<Option<(usize, usize)>>|
+                  -> Option<usize> { match_seq(rest, cs, p, start, gs, k) };
+            match_node(first, chars, pos, start, groups, &rest_k)
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn match_repeat(
+    node: &Node,
+    min: usize,
+    max: Option<usize>,
+    greedy: bool,
+    chars: &[char],
+    pos: usize,
+    start: usize,
+    groups: &mut Vec<Option<(usize, usize)>>,
+    k: &Cont<'_>,
+) -> Option<usize> {
+    if let Some(0) = max {
+        return k(chars, pos, groups);
+    }
+    let must_take = min > 0;
+    let take = |groups: &mut Vec<Option<(usize, usize)>>| -> Option<usize> {
+        let next_min = min.saturating_sub(1);
+        let next_max = max.map(|m| m - 1);
+        let inner_k = move |cs: &[char],
+                            p: usize,
+                            gs: &mut Vec<Option<(usize, usize)>>|
+              -> Option<usize> {
+            if p == pos {
+                // zero-width progress guard
+                if next_min == 0 {
+                    k(cs, p, gs)
+                } else {
+                    None
+                }
+            } else {
+                match_repeat(node, next_min, next_max, greedy, cs, p, start, gs, k)
+            }
+        };
+        match_node(node, chars, pos, start, groups, &inner_k)
+    };
+    if must_take {
+        return take(groups);
+    }
+    if greedy {
+        let saved = groups.clone();
+        if let Some(end) = take(groups) {
+            return Some(end);
+        }
+        *groups = saved;
+        k(chars, pos, groups)
+    } else {
+        let saved = groups.clone();
+        if let Some(end) = k(chars, pos, groups) {
+            return Some(end);
+        }
+        *groups = saved;
+        take(groups)
+    }
+}
+
+fn class_matches(item: &ClassItem, c: char) -> bool {
+    match item {
+        ClassItem::Char(x) => *x == c,
+        ClassItem::Range(lo, hi) => *lo <= c && c <= *hi,
+        ClassItem::Digit(pos) => c.is_ascii_digit() == *pos,
+        ClassItem::Word(pos) => (c.is_alphanumeric() || c == '_') == *pos,
+        ClassItem::Space(pos) => c.is_whitespace() == *pos,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_and_any() {
+        let re = Regex::compile("a.c").unwrap();
+        assert!(re.is_match("abc"));
+        assert!(re.is_match("xxaXcxx"));
+        assert!(!re.is_match("ac"));
+    }
+
+    #[test]
+    fn anchors() {
+        let re = Regex::compile("^ab$").unwrap();
+        assert!(re.is_match("ab"));
+        assert!(!re.is_match("xab"));
+        assert!(!re.is_match("abx"));
+        let re = Regex::compile("^a").unwrap();
+        assert!(re.is_match("abc"));
+        assert!(!re.is_match("bac"));
+    }
+
+    #[test]
+    fn classes_and_escapes() {
+        let re = Regex::compile(r"[a-c]\d+").unwrap();
+        assert!(re.is_match("b42"));
+        assert!(!re.is_match("d42"));
+        let re = Regex::compile(r"[^0-9]+").unwrap();
+        assert!(re.is_match("abc"));
+        assert!(!re.is_match("123"));
+        let re = Regex::compile(r"\w+\s\w+").unwrap();
+        assert!(re.is_match("hello world"));
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert!(Regex::compile("ab*c").unwrap().is_match("ac"));
+        assert!(Regex::compile("ab*c").unwrap().is_match("abbbc"));
+        assert!(!Regex::compile("ab+c").unwrap().is_match("ac"));
+        assert!(Regex::compile("ab?c").unwrap().is_match("abc"));
+        assert!(Regex::compile("a{2,3}").unwrap().is_match("aa"));
+        assert!(!Regex::compile("^a{2,3}$").unwrap().is_match("aaaa"));
+        assert!(Regex::compile("^a{2}$").unwrap().is_match("aa"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        let re = Regex::compile("(cat|dog)s?").unwrap();
+        assert!(re.is_match("cats"));
+        assert!(re.is_match("dog"));
+        assert!(!re.is_match("cow"));
+    }
+
+    #[test]
+    fn replace_with_groups() {
+        let re = Regex::compile("(\\w+) (\\w+)").unwrap();
+        assert_eq!(re.replace_all("hello world", "$2 $1"), "world hello");
+        let re = Regex::compile("o").unwrap();
+        assert_eq!(re.replace_all("foo", "0"), "f00");
+    }
+
+    #[test]
+    fn tokenize_splits() {
+        let re = Regex::compile(r"\s+").unwrap();
+        assert_eq!(re.split("a  b\tc"), vec!["a", "b", "c"]);
+        let re = Regex::compile(",").unwrap();
+        assert_eq!(re.split("a,b,,c"), vec!["a", "b", "", "c"]);
+        assert_eq!(re.split("abc"), vec!["abc"]);
+    }
+
+    #[test]
+    fn find_all_non_overlapping() {
+        let re = Regex::compile("aa").unwrap();
+        let m = re.find_all("aaaa");
+        assert_eq!(m.len(), 2);
+        assert_eq!((m[0].0, m[0].1), (0, 2));
+        assert_eq!((m[1].0, m[1].1), (2, 4));
+    }
+
+    #[test]
+    fn reluctant_quantifier() {
+        let re = Regex::compile("<.+?>").unwrap();
+        let m = re.find_all("<a><b>");
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn invalid_patterns_rejected() {
+        assert!(Regex::compile("(").is_err());
+        assert!(Regex::compile("a{").is_err());
+        assert!(Regex::compile("*a").is_err());
+        assert!(Regex::compile("[abc").is_err());
+    }
+
+    #[test]
+    fn unicode_chars() {
+        let re = Regex::compile("é+").unwrap();
+        assert!(re.is_match("crééé"));
+        assert_eq!(Regex::compile(".").unwrap().find_all("é").len(), 1);
+    }
+
+    #[test]
+    fn non_capturing_group() {
+        let re = Regex::compile("(?:ab)+c").unwrap();
+        assert!(re.is_match("ababc"));
+    }
+}

@@ -1,0 +1,266 @@
+//! English stemmer and word tokenizer for the XQuery Full-Text `with
+//! stemming` option (§3.1 of the paper: `("dog" with stemming) ftand "cat"`).
+//!
+//! The stemmer implements the core of Porter's algorithm (steps 1a/1b/1c and
+//! the common suffix strips of steps 2–5) — enough that inflectional
+//! variants (`dogs`→`dog`, `running`→`run`, `stemming`→`stem`) conflate, as
+//! the paper's example requires.
+
+/// Tokenizes text into lower-cased full-text words.
+pub fn tokenize_words(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() || c == '\'' {
+            cur.extend(c.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Tokenizes while preserving case (for `case sensitive` matching).
+pub fn tokenize_words_cased(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() || c == '\'' {
+            cur.push(c);
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn is_consonant(word: &[u8], i: usize) -> bool {
+    match word[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => i == 0 || !is_consonant(word, i - 1),
+        _ => true,
+    }
+}
+
+/// The "measure" m of a stem: the number of VC sequences.
+fn measure(word: &[u8]) -> usize {
+    let mut m = 0;
+    let mut i = 0;
+    let n = word.len();
+    // skip initial consonants
+    while i < n && is_consonant(word, i) {
+        i += 1;
+    }
+    loop {
+        // vowels
+        while i < n && !is_consonant(word, i) {
+            i += 1;
+        }
+        if i >= n {
+            break;
+        }
+        // consonants
+        while i < n && is_consonant(word, i) {
+            i += 1;
+        }
+        m += 1;
+        if i >= n {
+            break;
+        }
+    }
+    m
+}
+
+fn contains_vowel(word: &[u8]) -> bool {
+    (0..word.len()).any(|i| !is_consonant(word, i))
+}
+
+fn ends_double_consonant(word: &[u8]) -> bool {
+    let n = word.len();
+    n >= 2 && word[n - 1] == word[n - 2] && is_consonant(word, n - 1)
+}
+
+/// cvc pattern at the end, where the last c is not w/x/y.
+fn ends_cvc(word: &[u8]) -> bool {
+    let n = word.len();
+    n >= 3
+        && is_consonant(word, n - 3)
+        && !is_consonant(word, n - 2)
+        && is_consonant(word, n - 1)
+        && !matches!(word[n - 1], b'w' | b'x' | b'y')
+}
+
+/// Stems an English word (expects lower-case ASCII; other words pass
+/// through unchanged).
+pub fn stem(word: &str) -> String {
+    if !word.is_ascii() || word.len() <= 2 {
+        return word.to_string();
+    }
+    let mut w = word.as_bytes().to_vec();
+
+    // Step 1a: plurals
+    if w.ends_with(b"sses") || w.ends_with(b"ies") {
+        w.truncate(w.len() - 2);
+    } else if w.ends_with(b"ss") {
+        // keep
+    } else if w.ends_with(b"s") && w.len() > 3 {
+        w.truncate(w.len() - 1);
+    }
+
+    // Step 1b: -ed / -ing
+    let mut cleanup = false;
+    if w.ends_with(b"eed") {
+        if measure(&w[..w.len() - 3]) > 0 {
+            w.truncate(w.len() - 1);
+        }
+    } else if w.ends_with(b"ed") && contains_vowel(&w[..w.len() - 2]) {
+        w.truncate(w.len() - 2);
+        cleanup = true;
+    } else if w.ends_with(b"ing") && contains_vowel(&w[..w.len() - 3]) {
+        w.truncate(w.len() - 3);
+        cleanup = true;
+    }
+    if cleanup {
+        if w.ends_with(b"at") || w.ends_with(b"bl") || w.ends_with(b"iz") {
+            w.push(b'e');
+        } else if ends_double_consonant(&w)
+            && !matches!(w.last(), Some(b'l' | b's' | b'z'))
+        {
+            w.truncate(w.len() - 1);
+        } else if measure(&w) == 1 && ends_cvc(&w) {
+            w.push(b'e');
+        }
+    }
+
+    // Step 1c: -y → -i
+    if w.ends_with(b"y") && contains_vowel(&w[..w.len() - 1]) {
+        let n = w.len();
+        w[n - 1] = b'i';
+    }
+
+    // Steps 2-4 (common suffixes, measure-gated)
+    const SUFFIXES: &[(&[u8], &[u8], usize)] = &[
+        (b"ational", b"ate", 0),
+        (b"tional", b"tion", 0),
+        (b"ization", b"ize", 0),
+        (b"fulness", b"ful", 0),
+        (b"ousness", b"ous", 0),
+        (b"iveness", b"ive", 0),
+        (b"biliti", b"ble", 0),
+        (b"aliti", b"al", 0),
+        (b"iviti", b"ive", 0),
+        (b"ement", b"", 1),
+        (b"ment", b"", 1),
+        (b"ness", b"", 0),
+        (b"ical", b"ic", 0),
+        (b"ance", b"", 1),
+        (b"ence", b"", 1),
+        (b"able", b"", 1),
+        (b"ible", b"", 1),
+        (b"ization", b"ize", 0),
+        (b"ation", b"ate", 0),
+        (b"izer", b"ize", 0),
+        (b"ator", b"ate", 0),
+        (b"alism", b"al", 0),
+        (b"ful", b"", 0),
+        (b"ous", b"", 1),
+        (b"ive", b"", 1),
+        (b"ize", b"", 1),
+        (b"ion", b"", 1),
+        (b"al", b"", 1),
+        (b"er", b"", 1),
+        (b"ic", b"", 1),
+    ];
+    // two passes approximate Porter's cascaded steps 2→3→4
+    // (e.g. usefulness → useful → use)
+    for _pass in 0..2 {
+        for (suffix, replacement, min_m) in SUFFIXES {
+            if w.ends_with(suffix) {
+                let stem_len = w.len() - suffix.len();
+                if measure(&w[..stem_len]) > *min_m {
+                    w.truncate(stem_len);
+                    w.extend_from_slice(replacement);
+                }
+                break;
+            }
+        }
+    }
+
+    // Step 5a: final -e
+    if w.ends_with(b"e") {
+        let m = measure(&w[..w.len() - 1]);
+        if m > 1 || (m == 1 && !ends_cvc(&w[..w.len() - 1])) {
+            w.truncate(w.len() - 1);
+        }
+    }
+    // Step 5b: -ll → -l
+    if measure(&w) > 1 && ends_double_consonant(&w) && w.last() == Some(&b'l') {
+        w.truncate(w.len() - 1);
+    }
+
+    String::from_utf8(w).unwrap_or_else(|_| word.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenization() {
+        assert_eq!(
+            tokenize_words("Hello, World! It's 2009."),
+            vec!["hello", "world", "it's", "2009"]
+        );
+        assert_eq!(tokenize_words(""), Vec::<String>::new());
+        assert_eq!(tokenize_words("  --  "), Vec::<String>::new());
+    }
+
+    #[test]
+    fn plural_conflation() {
+        assert_eq!(stem("dogs"), stem("dog"));
+        assert_eq!(stem("cats"), stem("cat"));
+        assert_eq!(stem("churches"), stem("churches")); // idempotent call
+        assert_eq!(stem("ponies"), "poni");
+        assert_eq!(stem("caress"), "caress");
+    }
+
+    #[test]
+    fn ing_and_ed_forms() {
+        assert_eq!(stem("running"), "run");
+        assert_eq!(stem("stemming"), "stem");
+        assert_eq!(stem("hopping"), "hop");
+        assert_eq!(stem("hoped"), "hope");
+        // Porter's canonical output for "agreed" is "agre" (step 5a strips
+        // the final e because `agre` does not end in cvc)
+        assert_eq!(stem("agreed"), "agre");
+        assert_eq!(stem("agreed"), stem("agree"), "inflections conflate");
+        assert_eq!(stem("plastered"), "plaster");
+    }
+
+    #[test]
+    fn paper_example_dog_variants_conflate() {
+        // §3.1: title ftcontains ("dog" with stemming)
+        assert_eq!(stem("dog"), "dog");
+        assert_eq!(stem("dogs"), "dog");
+    }
+
+    #[test]
+    fn derived_suffixes() {
+        // canonical Porter output: relational → relat (ate stripped at m>1)
+        assert_eq!(stem("relational"), "relat");
+        assert_eq!(stem("happiness"), "happi");
+        assert_eq!(stem("usefulness"), stem("useful"), "derived forms conflate");
+    }
+
+    #[test]
+    fn short_and_non_ascii_pass_through() {
+        assert_eq!(stem("ab"), "ab");
+        assert_eq!(stem("café"), "café");
+    }
+}

@@ -1,0 +1,496 @@
+//! The XQuery lexer.
+//!
+//! A resettable streaming tokenizer: the parser can snapshot and restore the
+//! byte position, which is how direct XML constructors are handled — on
+//! seeing `<` in expression-start position the parser switches to raw
+//! character scanning at the lexer's current offset (the standard technique
+//! for XQuery's dual lexical state).
+
+use xqib_xdm::{XdmError, XdmResult};
+
+use crate::token::{Tok, Token};
+
+/// Streaming tokenizer over the query source.
+#[derive(Debug, Clone)]
+pub struct Lexer<'a> {
+    pub src: &'a str,
+    pub pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(src: &'a str) -> Self {
+        Lexer { src, pos: 0 }
+    }
+
+    fn bytes(&self) -> &'a [u8] {
+        self.src.as_bytes()
+    }
+
+    pub fn peek_byte(&self) -> Option<u8> {
+        self.bytes().get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes().get(self.pos + off).copied()
+    }
+
+    /// Skips whitespace and (nested) XQuery comments `(: … :)`.
+    pub fn skip_trivia(&mut self) -> XdmResult<()> {
+        loop {
+            match self.peek_byte() {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => self.pos += 1,
+                Some(b'(') if self.peek_at(1) == Some(b':') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    let mut depth = 1;
+                    while depth > 0 {
+                        match (self.peek_byte(), self.peek_at(1)) {
+                            (Some(b'('), Some(b':')) => {
+                                depth += 1;
+                                self.pos += 2;
+                            }
+                            (Some(b':'), Some(b')')) => {
+                                depth -= 1;
+                                self.pos += 2;
+                            }
+                            (Some(_), _) => self.pos += 1,
+                            (None, _) => {
+                                return Err(XdmError::new(
+                                    "XPST0003",
+                                    format!("unterminated comment at byte {start}"),
+                                ))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Produces the next token.
+    pub fn next_token(&mut self) -> XdmResult<Token> {
+        self.skip_trivia()?;
+        let start = self.pos;
+        let Some(b) = self.peek_byte() else {
+            return Ok(Token { tok: Tok::Eof, start, end: start });
+        };
+        let tok = match b {
+            b'(' => {
+                self.pos += 1;
+                Tok::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Tok::RParen
+            }
+            b'[' => {
+                self.pos += 1;
+                Tok::LBracket
+            }
+            b']' => {
+                self.pos += 1;
+                Tok::RBracket
+            }
+            b'{' => {
+                self.pos += 1;
+                Tok::LBrace
+            }
+            b'}' => {
+                self.pos += 1;
+                Tok::RBrace
+            }
+            b',' => {
+                self.pos += 1;
+                Tok::Comma
+            }
+            b';' => {
+                self.pos += 1;
+                Tok::Semicolon
+            }
+            b'@' => {
+                self.pos += 1;
+                Tok::At
+            }
+            b'$' => {
+                self.pos += 1;
+                Tok::Dollar
+            }
+            b'+' => {
+                self.pos += 1;
+                Tok::Plus
+            }
+            b'-' => {
+                self.pos += 1;
+                Tok::Minus
+            }
+            b'|' => {
+                self.pos += 1;
+                Tok::Pipe
+            }
+            b'?' => {
+                self.pos += 1;
+                Tok::Question
+            }
+            b'=' => {
+                self.pos += 1;
+                Tok::Eq
+            }
+            b'!' => {
+                if self.peek_at(1) == Some(b'=') {
+                    self.pos += 2;
+                    Tok::NotEq
+                } else {
+                    return Err(XdmError::new(
+                        "XPST0003",
+                        format!("unexpected `!` at byte {start}"),
+                    ));
+                }
+            }
+            b'<' => match self.peek_at(1) {
+                Some(b'=') => {
+                    self.pos += 2;
+                    Tok::LtEq
+                }
+                Some(b'<') => {
+                    self.pos += 2;
+                    Tok::LtLt
+                }
+                _ => {
+                    self.pos += 1;
+                    Tok::Lt
+                }
+            },
+            b'>' => match self.peek_at(1) {
+                Some(b'=') => {
+                    self.pos += 2;
+                    Tok::GtEq
+                }
+                Some(b'>') => {
+                    self.pos += 2;
+                    Tok::GtGt
+                }
+                _ => {
+                    self.pos += 1;
+                    Tok::Gt
+                }
+            },
+            b'/' => {
+                if self.peek_at(1) == Some(b'/') {
+                    self.pos += 2;
+                    Tok::SlashSlash
+                } else {
+                    self.pos += 1;
+                    Tok::Slash
+                }
+            }
+            b'.' => {
+                if self.peek_at(1) == Some(b'.') {
+                    self.pos += 2;
+                    Tok::DotDot
+                } else if self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+                    return self.lex_number(start);
+                } else {
+                    self.pos += 1;
+                    Tok::Dot
+                }
+            }
+            b':' => {
+                if self.peek_at(1) == Some(b':') {
+                    self.pos += 2;
+                    Tok::ColonColon
+                } else if self.peek_at(1) == Some(b'=') {
+                    self.pos += 2;
+                    Tok::ColonEq
+                } else {
+                    return Err(XdmError::new(
+                        "XPST0003",
+                        format!("unexpected `:` at byte {start}"),
+                    ));
+                }
+            }
+            b'*' => {
+                self.pos += 1;
+                // `*:local`
+                if self.peek_byte() == Some(b':')
+                    && self.peek_at(1).is_some_and(is_name_start)
+                {
+                    self.pos += 1;
+                    let local = self.lex_ncname();
+                    Tok::LocalWildcard(local)
+                } else {
+                    Tok::Star
+                }
+            }
+            b'"' | b'\'' => return self.lex_string(start),
+            c if c.is_ascii_digit() => return self.lex_number(start),
+            c if is_name_start(c) => {
+                let first = self.lex_ncname();
+                // QName: name ':' name with no intervening '::' or ':='
+                if self.peek_byte() == Some(b':')
+                    && self.peek_at(1).is_some_and(is_name_start)
+                {
+                    self.pos += 1;
+                    let local = self.lex_ncname();
+                    Tok::PrefixedName(first, local)
+                } else if self.peek_byte() == Some(b':')
+                    && self.peek_at(1) == Some(b'*')
+                {
+                    self.pos += 2;
+                    Tok::NsWildcard(first)
+                } else {
+                    Tok::Name(first)
+                }
+            }
+            other => {
+                return Err(XdmError::new(
+                    "XPST0003",
+                    format!("unexpected character `{}` at byte {start}", other as char),
+                ))
+            }
+        };
+        Ok(Token { tok, start, end: self.pos })
+    }
+
+    fn lex_ncname(&mut self) -> String {
+        let start = self.pos;
+        while let Some(b) = self.peek_byte() {
+            if is_name_char(b) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.src[start..self.pos].to_string()
+    }
+
+    fn lex_number(&mut self, start: usize) -> XdmResult<Token> {
+        let mut saw_dot = false;
+        let mut saw_exp = false;
+        while let Some(b) = self.peek_byte() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' if !saw_dot && !saw_exp => {
+                    // `1 .. 2`: don't eat `..`
+                    if self.peek_at(1) == Some(b'.') {
+                        break;
+                    }
+                    saw_dot = true;
+                    self.pos += 1;
+                }
+                b'e' | b'E' if !saw_exp => {
+                    saw_exp = true;
+                    self.pos += 1;
+                    if matches!(self.peek_byte(), Some(b'+' | b'-')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = &self.src[start..self.pos];
+        let tok = if saw_exp {
+            Tok::DoubleLit(text.parse::<f64>().map_err(|_| {
+                XdmError::new("XPST0003", format!("bad double literal `{text}`"))
+            })?)
+        } else if saw_dot {
+            Tok::DecimalLit(text.parse::<f64>().map_err(|_| {
+                XdmError::new("XPST0003", format!("bad decimal literal `{text}`"))
+            })?)
+        } else {
+            Tok::IntegerLit(text.parse::<i64>().map_err(|_| {
+                XdmError::new("XPST0003", format!("bad integer literal `{text}`"))
+            })?)
+        };
+        Ok(Token { tok, start, end: self.pos })
+    }
+
+    fn lex_string(&mut self, start: usize) -> XdmResult<Token> {
+        let quote = self.peek_byte().expect("caller saw a quote");
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek_byte() {
+                None => {
+                    return Err(XdmError::new(
+                        "XPST0003",
+                        format!("unterminated string literal at byte {start}"),
+                    ))
+                }
+                Some(b) if b == quote => {
+                    // doubled quote = escaped quote
+                    if self.peek_at(1) == Some(quote) {
+                        out.push(quote as char);
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                        break;
+                    }
+                }
+                Some(b'&') => {
+                    // entity reference inside string literal
+                    let rest = &self.src[self.pos..];
+                    let Some(semi) = rest.find(';') else {
+                        return Err(XdmError::new(
+                            "XPST0003",
+                            "unterminated entity reference in string literal",
+                        ));
+                    };
+                    let decoded = xqib_dom::parser::decode_entities(
+                        &rest[..=semi],
+                        self.pos,
+                    )
+                    .map_err(|e| XdmError::new("XPST0003", e.to_string()))?;
+                    out.push_str(&decoded);
+                    self.pos += semi + 1;
+                }
+                Some(_) => {
+                    // consume one full UTF-8 char
+                    let ch_len = utf8_len(self.bytes()[self.pos]);
+                    out.push_str(&self.src[self.pos..self.pos + ch_len]);
+                    self.pos += ch_len;
+                }
+            }
+        }
+        Ok(Token { tok: Tok::StringLit(out), start, end: self.pos })
+    }
+}
+
+pub(crate) fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+pub(crate) fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+pub(crate) fn is_name_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.') || b >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        let mut lx = Lexer::new(src);
+        let mut out = Vec::new();
+        loop {
+            let t = lx.next_token().unwrap();
+            let done = t.tok == Tok::Eof;
+            out.push(t.tok);
+            if done {
+                break;
+            }
+        }
+        out.pop();
+        out
+    }
+
+    #[test]
+    fn names_and_qnames() {
+        assert_eq!(
+            toks("for $x in browser:alert"),
+            vec![
+                Tok::Name("for".into()),
+                Tok::Dollar,
+                Tok::Name("x".into()),
+                Tok::Name("in".into()),
+                Tok::PrefixedName("browser".into(), "alert".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn axis_not_confused_with_qname() {
+        assert_eq!(
+            toks("child::node"),
+            vec![
+                Tok::Name("child".into()),
+                Tok::ColonColon,
+                Tok::Name("node".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn wildcards() {
+        assert_eq!(toks("*"), vec![Tok::Star]);
+        assert_eq!(toks("html:*"), vec![Tok::NsWildcard("html".into())]);
+        assert_eq!(toks("*:div"), vec![Tok::LocalWildcard("div".into())]);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42"), vec![Tok::IntegerLit(42)]);
+        assert_eq!(toks("3.14"), vec![Tok::DecimalLit(3.14)]);
+        assert_eq!(toks("1.5e2"), vec![Tok::DoubleLit(150.0)]);
+        assert_eq!(toks(".5"), vec![Tok::DecimalLit(0.5)]);
+        // range: 1 to 2 written `1 .. ` is not XQuery, but `(1,2)` etc.
+        assert_eq!(
+            toks("1..2"),
+            vec![Tok::IntegerLit(1), Tok::DotDot, Tok::IntegerLit(2)]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes_and_entities() {
+        assert_eq!(
+            toks(r#""he said ""hi""""#),
+            vec![Tok::StringLit("he said \"hi\"".into())]
+        );
+        assert_eq!(toks("'a''b'"), vec![Tok::StringLit("a'b".into())]);
+        assert_eq!(toks(r#""x &amp; y""#), vec![Tok::StringLit("x & y".into())]);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("a << b >> c <= d >= e != f := g"),
+            vec![
+                Tok::Name("a".into()),
+                Tok::LtLt,
+                Tok::Name("b".into()),
+                Tok::GtGt,
+                Tok::Name("c".into()),
+                Tok::LtEq,
+                Tok::Name("d".into()),
+                Tok::GtEq,
+                Tok::Name("e".into()),
+                Tok::NotEq,
+                Tok::Name("f".into()),
+                Tok::ColonEq,
+                Tok::Name("g".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn slashes_and_dots() {
+        assert_eq!(
+            toks("//div/.."),
+            vec![Tok::SlashSlash, Tok::Name("div".into()), Tok::Slash, Tok::DotDot]
+        );
+        assert_eq!(toks("."), vec![Tok::Dot]);
+    }
+
+    #[test]
+    fn comments_skipped_and_nested() {
+        assert_eq!(
+            toks("1 (: outer (: inner :) still :) 2"),
+            vec![Tok::IntegerLit(1), Tok::IntegerLit(2)]
+        );
+        let mut lx = Lexer::new("(: never ends");
+        assert!(lx.next_token().is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(toks("\"héllo wörld\""), vec![Tok::StringLit("héllo wörld".into())]);
+    }
+}

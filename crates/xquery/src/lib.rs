@@ -1,0 +1,46 @@
+//! # xqib-xquery
+//!
+//! A from-scratch XQuery engine for the XQIB reproduction of *"XQuery in
+//! the Browser"* (WWW 2009) — the role Zorba plays in the paper's plug-in
+//! (§5.2), plus the grammar extensions Zorba could not host (§5.1).
+//!
+//! Implemented surface:
+//!
+//! * **XQuery 1.0 core**: FLWOR, quantified expressions, typeswitch,
+//!   conditionals, full path expressions (all axes), constructors (direct
+//!   and computed), operators, `instance of`/`cast`/`castable`/`treat`,
+//!   and the `fn:` function & operator library;
+//! * **XQuery Update Facility** (§3.2): `insert`/`delete`/`replace`/
+//!   `rename`/`transform` with pending-update-list snapshot semantics;
+//! * **XQuery Scripting Extension** (§3.3): blocks, `declare variable`,
+//!   `set $x := …`, `while`, `exit with`, sequential functions — updates
+//!   become visible between statements;
+//! * **XQuery Full-Text** (§3.1): `ftcontains` with `ftand`/`ftor`/`ftnot`
+//!   and `with stemming` (Porter stemmer included);
+//! * the paper's **browser extensions** (§4.3–4.5):
+//!   `on event … at|behind … attach|detach listener`, `trigger event`,
+//!   `set style … of … to …`, `get style … of …` — bridged to a host via
+//!   [`context::EngineHooks`];
+//! * a **module system** with the paper's web-service `port:` extension
+//!   (§3.4), resolved through [`runtime::ModuleRegistry`].
+//!
+//! ```
+//! use xqib_dom::store::shared_store;
+//! let store = shared_store();
+//! let out = xqib_xquery::runtime::run_to_string(
+//!     "for $i in 1 to 3 return $i * $i", store).unwrap();
+//! assert_eq!(out, "1 4 9");
+//! ```
+
+pub mod ast;
+pub mod context;
+pub mod eval;
+pub mod functions;
+pub mod lexer;
+pub mod parser;
+pub mod pul;
+pub mod runtime;
+pub mod token;
+
+pub use context::{DynamicContext, EngineHooks, NativeFn, StaticContext};
+pub use runtime::{compile, compile_with, CompiledQuery, ModuleRegistry};

@@ -1,0 +1,96 @@
+//! Sequence-type parsing: `empty-sequence()`, `item()`, kind tests, atomic
+//! types, occurrence indicators, and `SingleType` for casts.
+
+use xqib_xdm::{ItemType, Occurrence, SequenceType, TypeName, XdmResult};
+
+use crate::ast::{KindTest, NodeTest};
+use crate::token::Tok;
+
+use super::Parser;
+
+impl<'a> Parser<'a> {
+    /// SequenceType ::= ("empty-sequence" "(" ")") | (ItemType OccurrenceIndicator?)
+    pub(crate) fn parse_sequence_type(&mut self) -> XdmResult<SequenceType> {
+        if self.at_kw("empty-sequence") {
+            self.advance()?;
+            self.expect_tok(Tok::LParen)?;
+            self.expect_tok(Tok::RParen)?;
+            return Ok(SequenceType::empty());
+        }
+        let item = self.parse_item_type()?;
+        let occurrence = match self.cur.tok {
+            Tok::Question => {
+                self.advance()?;
+                Occurrence::Optional
+            }
+            Tok::Star => {
+                self.advance()?;
+                Occurrence::ZeroOrMore
+            }
+            Tok::Plus => {
+                self.advance()?;
+                Occurrence::OneOrMore
+            }
+            _ => Occurrence::One,
+        };
+        Ok(SequenceType { item, occurrence, empty_sequence: false })
+    }
+
+    fn parse_item_type(&mut self) -> XdmResult<ItemType> {
+        if self.at_kw("item") {
+            self.advance()?;
+            self.expect_tok(Tok::LParen)?;
+            self.expect_tok(Tok::RParen)?;
+            return Ok(ItemType::AnyItem);
+        }
+        // kind tests reuse the node-test parser
+        if let Tok::Name(n) = &self.cur.tok {
+            if matches!(
+                n.as_str(),
+                "node" | "text" | "comment" | "processing-instruction"
+                    | "element" | "attribute" | "document-node"
+            ) && self.peek2()? == Tok::LParen
+            {
+                let test = self.parse_node_test(false)?;
+                return Ok(match test {
+                    NodeTest::Kind(KindTest::AnyKind) => ItemType::AnyNode,
+                    NodeTest::Kind(KindTest::Text) => ItemType::Text,
+                    NodeTest::Kind(KindTest::Comment) => ItemType::Comment,
+                    NodeTest::Kind(KindTest::Pi(t)) => ItemType::Pi(t),
+                    NodeTest::Kind(KindTest::Element(q)) => ItemType::Element(q),
+                    NodeTest::Kind(KindTest::Attribute(q)) => ItemType::Attribute(q),
+                    NodeTest::Kind(KindTest::Document) => ItemType::Document,
+                    _ => unreachable!("node test parser returned a name test"),
+                });
+            }
+        }
+        // atomic type name
+        let (prefix, local) = self.parse_raw_qname()?;
+        self.atomic_type_from(prefix.as_deref(), &local).map(ItemType::Atomic)
+    }
+
+    /// SingleType ::= AtomicType "?"?  (for `cast as` / `castable as`)
+    pub(crate) fn parse_single_type(&mut self) -> XdmResult<(TypeName, bool)> {
+        let (prefix, local) = self.parse_raw_qname()?;
+        let ty = self.atomic_type_from(prefix.as_deref(), &local)?;
+        let optional = self.eat_tok(&Tok::Question)?;
+        Ok((ty, optional))
+    }
+
+    fn atomic_type_from(
+        &self,
+        prefix: Option<&str>,
+        local: &str,
+    ) -> XdmResult<TypeName> {
+        // accept `xs:` prefixed and bare names
+        if let Some(p) = prefix {
+            if p != "xs" && p != "xsd" {
+                return Err(self.error(format!(
+                    "unknown atomic type `{p}:{local}`"
+                )));
+            }
+        }
+        TypeName::from_local(local)
+            .ok_or_else(|| self.error(format!("unknown atomic type `{local}`")))
+    }
+}

@@ -1,0 +1,362 @@
+//! The Pending Update List (XQuery Update Facility).
+//!
+//! §3.2 of the paper: "All modifications are performed once the expression
+//! is entirely evaluated: there are no side effects until the end and
+//! instructions do not see the side effects of former instructions." The
+//! [`Pul`] accumulates update primitives during evaluation; [`Pul::apply`]
+//! performs them against the store in the W3C-prescribed order with the
+//! standard compatibility checks, and the Scripting Extension applies the
+//! list between statements (making effects visible to subsequent ones).
+
+use std::collections::{HashMap, HashSet};
+
+use xqib_dom::{NodeRef, QName, Store};
+use xqib_xdm::{XdmError, XdmResult};
+
+/// A single update primitive. Payload nodes (insertions, replacements) are
+/// already *copies* living in the same document as their target.
+#[derive(Debug, Clone)]
+pub enum UpdatePrimitive {
+    InsertInto { target: NodeRef, children: Vec<NodeRef> },
+    InsertFirst { target: NodeRef, children: Vec<NodeRef> },
+    InsertLast { target: NodeRef, children: Vec<NodeRef> },
+    InsertBefore { anchor: NodeRef, children: Vec<NodeRef> },
+    InsertAfter { anchor: NodeRef, children: Vec<NodeRef> },
+    InsertAttributes { target: NodeRef, attrs: Vec<NodeRef> },
+    Delete { target: NodeRef },
+    ReplaceNode { target: NodeRef, replacements: Vec<NodeRef> },
+    ReplaceValue { target: NodeRef, value: String },
+    ReplaceElementContent { target: NodeRef, text: String },
+    Rename { target: NodeRef, name: QName },
+}
+
+/// The pending update list.
+#[derive(Debug, Default)]
+pub struct Pul {
+    prims: Vec<UpdatePrimitive>,
+}
+
+impl Pul {
+    pub fn new() -> Self {
+        Pul::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.prims.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.prims.len()
+    }
+
+    pub fn push(&mut self, p: UpdatePrimitive) {
+        self.prims.push(p);
+    }
+
+    /// Merges another PUL into this one (used when combining results of
+    /// sub-expressions).
+    pub fn merge(&mut self, other: Pul) {
+        self.prims.extend(other.prims);
+    }
+
+    pub fn take(&mut self) -> Pul {
+        Pul { prims: std::mem::take(&mut self.prims) }
+    }
+
+    /// W3C compatibility checks performed before applying.
+    fn check(&self) -> XdmResult<()> {
+        let mut renamed: HashSet<NodeRef> = HashSet::new();
+        let mut value_replaced: HashSet<NodeRef> = HashSet::new();
+        let mut node_replaced: HashSet<NodeRef> = HashSet::new();
+        for p in &self.prims {
+            match p {
+                UpdatePrimitive::Rename { target, .. }
+                    if !renamed.insert(*target) => {
+                        return Err(XdmError::new(
+                            "XUDY0015",
+                            "two rename operations target the same node",
+                        ));
+                    }
+                UpdatePrimitive::ReplaceValue { target, .. }
+                | UpdatePrimitive::ReplaceElementContent { target, .. }
+                    if !value_replaced.insert(*target) => {
+                        return Err(XdmError::new(
+                            "XUDY0017",
+                            "two replace-value operations target the same node",
+                        ));
+                    }
+                UpdatePrimitive::ReplaceNode { target, .. }
+                    if !node_replaced.insert(*target) => {
+                        return Err(XdmError::new(
+                            "XUDY0016",
+                            "two replace-node operations target the same node",
+                        ));
+                    }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the whole list to the store. Order (per the UF spec's
+    /// `upd:applyUpdates`): inserts/attributes first, then replaces, then
+    /// renames, then deletes; adjacent text nodes are merged afterwards.
+    pub fn apply(self, store: &mut Store) -> XdmResult<()> {
+        self.check()?;
+        let mut touched_parents: Vec<NodeRef> = Vec::new();
+
+        let map_err = |e: xqib_dom::DomError| XdmError::new("XUDY9999", e.to_string());
+
+        // Phase 1: insertions
+        for p in &self.prims {
+            match p {
+                UpdatePrimitive::InsertInto { target, children }
+                | UpdatePrimitive::InsertLast { target, children } => {
+                    let doc = store.doc_mut(target.doc);
+                    for c in children {
+                        doc.append_child(target.node, c.node).map_err(map_err)?;
+                    }
+                    touched_parents.push(*target);
+                }
+                UpdatePrimitive::InsertFirst { target, children } => {
+                    let doc = store.doc_mut(target.doc);
+                    for (i, c) in children.iter().enumerate() {
+                        doc.insert_child_at(target.node, i, c.node).map_err(map_err)?;
+                    }
+                    touched_parents.push(*target);
+                }
+                UpdatePrimitive::InsertBefore { anchor, children } => {
+                    let doc = store.doc_mut(anchor.doc);
+                    for c in children {
+                        doc.insert_before(c.node, anchor.node).map_err(map_err)?;
+                    }
+                    if let Some(parent) = doc.parent(anchor.node) {
+                        touched_parents.push(NodeRef::new(anchor.doc, parent));
+                    }
+                }
+                UpdatePrimitive::InsertAfter { anchor, children } => {
+                    let doc = store.doc_mut(anchor.doc);
+                    let mut prev = anchor.node;
+                    for c in children {
+                        doc.insert_after(c.node, prev).map_err(map_err)?;
+                        prev = c.node;
+                    }
+                    if let Some(parent) = doc.parent(anchor.node) {
+                        touched_parents.push(NodeRef::new(anchor.doc, parent));
+                    }
+                }
+                UpdatePrimitive::InsertAttributes { target, attrs } => {
+                    let doc = store.doc_mut(target.doc);
+                    for a in attrs {
+                        doc.put_attribute_node(target.node, a.node).map_err(map_err)?;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Phase 2: replaces
+        for p in &self.prims {
+            match p {
+                UpdatePrimitive::ReplaceNode { target, replacements } => {
+                    let doc = store.doc_mut(target.doc);
+                    if replacements.is_empty() {
+                        doc.detach(target.node).map_err(map_err)?;
+                    } else {
+                        let parent = doc.parent(target.node);
+                        doc.replace_node(target.node, replacements[0].node)
+                            .map_err(map_err)?;
+                        let mut prev = replacements[0].node;
+                        for r in &replacements[1..] {
+                            doc.insert_after(r.node, prev).map_err(map_err)?;
+                            prev = r.node;
+                        }
+                        if let Some(parent) = parent {
+                            touched_parents.push(NodeRef::new(target.doc, parent));
+                        }
+                    }
+                }
+                UpdatePrimitive::ReplaceValue { target, value } => {
+                    let doc = store.doc_mut(target.doc);
+                    if doc.kind(target.node).is_element() {
+                        doc.replace_element_value(target.node, value)
+                            .map_err(map_err)?;
+                    } else {
+                        doc.set_simple_value(target.node, value.clone())
+                            .map_err(map_err)?;
+                    }
+                }
+                UpdatePrimitive::ReplaceElementContent { target, text } => {
+                    let doc = store.doc_mut(target.doc);
+                    doc.replace_element_value(target.node, text).map_err(map_err)?;
+                }
+                _ => {}
+            }
+        }
+
+        // Phase 3: renames
+        for p in &self.prims {
+            if let UpdatePrimitive::Rename { target, name } = p {
+                store
+                    .doc_mut(target.doc)
+                    .rename(target.node, name.clone())
+                    .map_err(map_err)?;
+            }
+        }
+
+        // Phase 4: deletes
+        // Deduplicate delete targets (deleting a node twice is fine per spec).
+        let mut deleted: HashSet<NodeRef> = HashSet::new();
+        for p in &self.prims {
+            if let UpdatePrimitive::Delete { target } = p {
+                if deleted.insert(*target) {
+                    let doc = store.doc_mut(target.doc);
+                    if let Some(parent) = doc.parent(target.node) {
+                        touched_parents.push(NodeRef::new(target.doc, parent));
+                    }
+                    doc.detach(target.node).map_err(map_err)?;
+                }
+            }
+        }
+
+        // Text-node coalescing on every touched parent.
+        let mut seen: HashMap<NodeRef, ()> = HashMap::new();
+        for parent in touched_parents {
+            if seen.insert(parent, ()).is_none() {
+                let doc = store.doc_mut(parent.doc);
+                if !doc.kind(parent.node).is_attribute() {
+                    doc.merge_adjacent_text(parent.node).map_err(map_err)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqib_dom::QName as Q;
+
+    fn setup() -> (Store, NodeRef, NodeRef) {
+        let mut s = Store::new();
+        let d = s.new_document(None);
+        let doc = s.doc_mut(d);
+        let root = doc.create_element(Q::local("books"));
+        doc.append_child(doc.root(), root).unwrap();
+        let book = doc.create_element(Q::local("book"));
+        doc.append_child(root, book).unwrap();
+        (s, NodeRef::new(d, root), NodeRef::new(d, book))
+    }
+
+    #[test]
+    fn insert_and_delete_apply_in_order() {
+        let (mut s, root, book) = setup();
+        let new = {
+            let doc = s.doc_mut(root.doc);
+            let e = doc.create_element(Q::local("book2"));
+            NodeRef::new(root.doc, e)
+        };
+        let mut pul = Pul::new();
+        pul.push(UpdatePrimitive::InsertInto { target: root, children: vec![new] });
+        pul.push(UpdatePrimitive::Delete { target: book });
+        pul.apply(&mut s).unwrap();
+        let doc = s.doc(root.doc);
+        let names: Vec<String> = doc
+            .children(root.node)
+            .iter()
+            .map(|&k| doc.element_name(k).unwrap().lexical())
+            .collect();
+        assert_eq!(names, ["book2"]);
+    }
+
+    #[test]
+    fn snapshot_semantics_insert_then_delete_same_node() {
+        // deleting the anchor of an insert is fine: inserts run first
+        let (mut s, root, book) = setup();
+        let new = {
+            let doc = s.doc_mut(root.doc);
+            NodeRef::new(root.doc, doc.create_element(Q::local("note")))
+        };
+        let mut pul = Pul::new();
+        pul.push(UpdatePrimitive::InsertAfter { anchor: book, children: vec![new] });
+        pul.push(UpdatePrimitive::Delete { target: book });
+        pul.apply(&mut s).unwrap();
+        let doc = s.doc(root.doc);
+        assert_eq!(doc.children(root.node).len(), 1);
+        assert_eq!(
+            doc.element_name(doc.children(root.node)[0]).unwrap().lexical(),
+            "note"
+        );
+    }
+
+    #[test]
+    fn conflicting_renames_rejected() {
+        let (mut s, _root, book) = setup();
+        let mut pul = Pul::new();
+        pul.push(UpdatePrimitive::Rename { target: book, name: Q::local("a") });
+        pul.push(UpdatePrimitive::Rename { target: book, name: Q::local("b") });
+        assert_eq!(pul.apply(&mut s).unwrap_err().code, "XUDY0015");
+    }
+
+    #[test]
+    fn conflicting_replace_values_rejected() {
+        let (mut s, _root, book) = setup();
+        let mut pul = Pul::new();
+        pul.push(UpdatePrimitive::ReplaceValue { target: book, value: "a".into() });
+        pul.push(UpdatePrimitive::ReplaceValue { target: book, value: "b".into() });
+        assert_eq!(pul.apply(&mut s).unwrap_err().code, "XUDY0017");
+    }
+
+    #[test]
+    fn replace_value_of_element_and_attribute() {
+        let (mut s, _root, book) = setup();
+        let attr = {
+            let doc = s.doc_mut(book.doc);
+            let a = doc.set_attribute(book.node, Q::local("id"), "1").unwrap();
+            NodeRef::new(book.doc, a)
+        };
+        let mut pul = Pul::new();
+        pul.push(UpdatePrimitive::ReplaceValue { target: book, value: "1500".into() });
+        pul.push(UpdatePrimitive::ReplaceValue { target: attr, value: "2".into() });
+        pul.apply(&mut s).unwrap();
+        let doc = s.doc(book.doc);
+        assert_eq!(doc.string_value(book.node), "1500");
+        assert_eq!(doc.get_attribute(book.node, None, "id"), Some("2"));
+    }
+
+    #[test]
+    fn double_delete_is_idempotent() {
+        let (mut s, root, book) = setup();
+        let mut pul = Pul::new();
+        pul.push(UpdatePrimitive::Delete { target: book });
+        pul.push(UpdatePrimitive::Delete { target: book });
+        pul.apply(&mut s).unwrap();
+        assert!(s.doc(root.doc).children(root.node).is_empty());
+    }
+
+    #[test]
+    fn text_merging_after_delete() {
+        let mut s = Store::new();
+        let d = s.new_document(None);
+        let (p, _mid) = {
+            let doc = s.doc_mut(d);
+            let p = doc.create_element(Q::local("p"));
+            doc.append_child(doc.root(), p).unwrap();
+            let t1 = doc.create_text("a");
+            let mid = doc.create_element(Q::local("b"));
+            let t2 = doc.create_text("c");
+            doc.append_child(p, t1).unwrap();
+            doc.append_child(p, mid).unwrap();
+            doc.append_child(p, t2).unwrap();
+            (NodeRef::new(d, p), NodeRef::new(d, mid))
+        };
+        let mid = NodeRef::new(d, s.doc(d).children(p.node)[1]);
+        let mut pul = Pul::new();
+        pul.push(UpdatePrimitive::Delete { target: mid });
+        pul.apply(&mut s).unwrap();
+        let doc = s.doc(d);
+        assert_eq!(doc.children(p.node).len(), 1, "adjacent text merged");
+        assert_eq!(doc.string_value(p.node), "ac");
+    }
+}

@@ -1,0 +1,115 @@
+//! Tokens produced by the XQuery lexer.
+//!
+//! XQuery keywords are *not* reserved: `for`, `event`, `style`, … are valid
+//! element and variable names. The lexer therefore emits generic name tokens
+//! and the parser decides keyword-hood from context, which is exactly how the
+//! W3C grammar is written and what the paper's extensions (`on event …`,
+//! `set style …`) require.
+
+/// A token kind plus its payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// An NCName, e.g. `div`, `for`, `event`.
+    Name(String),
+    /// A lexical QName `prefix:local`.
+    PrefixedName(String, String),
+    /// `*` used where a wildcard/star is expected (also multiplication).
+    Star,
+    /// `prefix:*`
+    NsWildcard(String),
+    /// `*:local`
+    LocalWildcard(String),
+    StringLit(String),
+    IntegerLit(i64),
+    DecimalLit(f64),
+    DoubleLit(f64),
+    // Delimiters & operators
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Semicolon,
+    Dot,
+    DotDot,
+    Slash,
+    SlashSlash,
+    At,
+    Dollar,
+    Plus,
+    Minus,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    LtLt,
+    Gt,
+    GtEq,
+    GtGt,
+    ColonColon,
+    ColonEq,
+    Pipe,
+    Question,
+    Eof,
+}
+
+impl Tok {
+    /// Is this token the given (contextual) keyword?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Tok::Name(n) if n == kw)
+    }
+
+    /// A short human-readable description for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Name(n) => format!("`{n}`"),
+            Tok::PrefixedName(p, l) => format!("`{p}:{l}`"),
+            Tok::Star => "`*`".to_string(),
+            Tok::NsWildcard(p) => format!("`{p}:*`"),
+            Tok::LocalWildcard(l) => format!("`*:{l}`"),
+            Tok::StringLit(_) => "string literal".to_string(),
+            Tok::IntegerLit(_) | Tok::DecimalLit(_) | Tok::DoubleLit(_) => {
+                "numeric literal".to_string()
+            }
+            Tok::LParen => "`(`".to_string(),
+            Tok::RParen => "`)`".to_string(),
+            Tok::LBracket => "`[`".to_string(),
+            Tok::RBracket => "`]`".to_string(),
+            Tok::LBrace => "`{`".to_string(),
+            Tok::RBrace => "`}`".to_string(),
+            Tok::Comma => "`,`".to_string(),
+            Tok::Semicolon => "`;`".to_string(),
+            Tok::Dot => "`.`".to_string(),
+            Tok::DotDot => "`..`".to_string(),
+            Tok::Slash => "`/`".to_string(),
+            Tok::SlashSlash => "`//`".to_string(),
+            Tok::At => "`@`".to_string(),
+            Tok::Dollar => "`$`".to_string(),
+            Tok::Plus => "`+`".to_string(),
+            Tok::Minus => "`-`".to_string(),
+            Tok::Eq => "`=`".to_string(),
+            Tok::NotEq => "`!=`".to_string(),
+            Tok::Lt => "`<`".to_string(),
+            Tok::LtEq => "`<=`".to_string(),
+            Tok::LtLt => "`<<`".to_string(),
+            Tok::Gt => "`>`".to_string(),
+            Tok::GtEq => "`>=`".to_string(),
+            Tok::GtGt => "`>>`".to_string(),
+            Tok::ColonColon => "`::`".to_string(),
+            Tok::ColonEq => "`:=`".to_string(),
+            Tok::Pipe => "`|`".to_string(),
+            Tok::Question => "`?`".to_string(),
+            Tok::Eof => "end of input".to_string(),
+        }
+    }
+}
+
+/// A token with its source span (byte offsets).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub start: usize,
+    pub end: usize,
+}

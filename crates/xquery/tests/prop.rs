@@ -1,0 +1,236 @@
+//! Property-based tests for the XQuery engine: the evaluator against
+//! independent Rust models, on randomly generated inputs.
+
+use proptest::prelude::*;
+
+use xqib_dom::store::shared_store;
+use xqib_xquery::functions::regex::Regex;
+use xqib_xquery::runtime::run_to_string;
+
+fn run(src: &str) -> String {
+    run_to_string(src, shared_store()).unwrap_or_else(|e| panic!("{src}: {e}"))
+}
+
+// ----- arithmetic against a Rust model ----------------------------------------
+
+/// A tiny arithmetic expression tree mirrored in Rust and XQuery.
+#[derive(Debug, Clone)]
+enum Arith {
+    Lit(i32),
+    Add(Box<Arith>, Box<Arith>),
+    Sub(Box<Arith>, Box<Arith>),
+    Mul(Box<Arith>, Box<Arith>),
+}
+
+impl Arith {
+    fn to_xquery(&self) -> String {
+        match self {
+            Arith::Lit(n) => {
+                if *n < 0 {
+                    format!("({n})")
+                } else {
+                    n.to_string()
+                }
+            }
+            Arith::Add(a, b) => format!("({} + {})", a.to_xquery(), b.to_xquery()),
+            Arith::Sub(a, b) => format!("({} - {})", a.to_xquery(), b.to_xquery()),
+            Arith::Mul(a, b) => format!("({} * {})", a.to_xquery(), b.to_xquery()),
+        }
+    }
+    fn eval(&self) -> i64 {
+        match self {
+            Arith::Lit(n) => *n as i64,
+            Arith::Add(a, b) => a.eval().wrapping_add(b.eval()),
+            Arith::Sub(a, b) => a.eval().wrapping_sub(b.eval()),
+            Arith::Mul(a, b) => a.eval().wrapping_mul(b.eval()),
+        }
+    }
+}
+
+fn arith_strategy() -> impl Strategy<Value = Arith> {
+    let leaf = (-100i32..100).prop_map(Arith::Lit);
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Arith::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Arith::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| Arith::Mul(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn arithmetic_matches_rust_model(e in arith_strategy()) {
+        prop_assert_eq!(run(&e.to_xquery()), e.eval().to_string());
+    }
+
+    #[test]
+    fn range_and_count(a in -50i64..50, len in 0i64..60) {
+        let b = a + len - 1;
+        let out = run(&format!("count({a} to {b})"));
+        prop_assert_eq!(out, len.max(0).to_string());
+    }
+
+    #[test]
+    fn sum_of_range_is_gauss(n in 1i64..200) {
+        let out = run(&format!("sum(1 to {n})"));
+        prop_assert_eq!(out, (n * (n + 1) / 2).to_string());
+    }
+
+    #[test]
+    fn reverse_is_involutive(v in prop::collection::vec(-100i64..100, 0..20)) {
+        let seq = v.iter().map(|i| i.to_string()).collect::<Vec<_>>().join(", ");
+        let out = run(&format!("reverse(reverse(({seq})))"));
+        let expected = v.iter().map(|i| i.to_string()).collect::<Vec<_>>().join(" ");
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn insert_remove_roundtrip(v in prop::collection::vec(0i64..100, 1..15), pos in 1usize..10) {
+        let pos = (pos % v.len()).max(1);
+        let seq = v.iter().map(|i| i.to_string()).collect::<Vec<_>>().join(", ");
+        let out = run(&format!("remove(insert-before(({seq}), {pos}, 999), {pos})"));
+        let expected = v.iter().map(|i| i.to_string()).collect::<Vec<_>>().join(" ");
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn string_length_matches(s in "[a-zA-Z0-9 ]{0,40}") {
+        let out = run(&format!("string-length('{s}')"));
+        prop_assert_eq!(out, s.chars().count().to_string());
+    }
+
+    #[test]
+    fn upper_lower_roundtrip_ascii(s in "[a-z ]{0,30}") {
+        let out = run(&format!("lower-case(upper-case('{s}'))"));
+        prop_assert_eq!(out, s);
+    }
+
+    #[test]
+    fn concat_agrees_with_rust(a in "[a-z]{0,10}", b in "[a-z]{0,10}") {
+        let out = run(&format!("concat('{a}', '{b}')"));
+        prop_assert_eq!(out, format!("{a}{b}"));
+    }
+
+    #[test]
+    fn flwor_filter_matches_model(v in prop::collection::vec(-50i64..50, 0..25), t in -50i64..50) {
+        let seq = v.iter().map(|i| i.to_string()).collect::<Vec<_>>().join(", ");
+        let out = run(&format!("count(for $x in ({seq}) where $x > {t} return $x)"));
+        let expected = v.iter().filter(|&&x| x > t).count();
+        prop_assert_eq!(out, expected.to_string());
+    }
+
+    #[test]
+    fn order_by_sorts(v in prop::collection::vec(-100i64..100, 0..25)) {
+        let seq = v.iter().map(|i| i.to_string()).collect::<Vec<_>>().join(", ");
+        let out = run(&format!("for $x in ({seq}) order by $x return $x"));
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        let expected = sorted.iter().map(|i| i.to_string()).collect::<Vec<_>>().join(" ");
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn general_eq_is_existential(v in prop::collection::vec(0i64..20, 0..15), needle in 0i64..20) {
+        let seq = v.iter().map(|i| i.to_string()).collect::<Vec<_>>().join(", ");
+        let out = run(&format!("({seq}) = {needle}"));
+        prop_assert_eq!(out, v.contains(&needle).to_string());
+    }
+
+    #[test]
+    fn distinct_values_matches_set(v in prop::collection::vec(0i64..10, 0..30)) {
+        let seq = v.iter().map(|i| i.to_string()).collect::<Vec<_>>().join(", ");
+        let out = run(&format!("count(distinct-values(({seq})))"));
+        let set: std::collections::HashSet<i64> = v.iter().copied().collect();
+        prop_assert_eq!(out, set.len().to_string());
+    }
+
+    #[test]
+    fn integer_cast_roundtrip(n in any::<i32>()) {
+        let out = run(&format!("xs:integer(string(({n})))"));
+        prop_assert_eq!(out, n.to_string());
+    }
+}
+
+// ----- regex engine vs std-based oracles ----------------------------------------
+
+proptest! {
+    #[test]
+    fn literal_patterns_match_contains(hay in "[a-c]{0,12}", needle in "[a-c]{1,4}") {
+        let re = Regex::compile(&needle).unwrap();
+        prop_assert_eq!(re.is_match(&hay), hay.contains(&needle));
+    }
+
+    #[test]
+    fn split_then_join_preserves_content(parts in prop::collection::vec("[a-z]{1,5}", 1..6)) {
+        let joined = parts.join(",");
+        let re = Regex::compile(",").unwrap();
+        prop_assert_eq!(re.split(&joined), parts);
+    }
+
+    #[test]
+    fn replace_all_removes_every_occurrence(hay in "[ab]{0,15}") {
+        let re = Regex::compile("a").unwrap();
+        let out = re.replace_all(&hay, "");
+        prop_assert!(!out.contains('a'));
+        prop_assert_eq!(out.len(), hay.chars().filter(|&c| c != 'a').count());
+    }
+
+    #[test]
+    fn anchored_full_match_equals_equality(s in "[a-z]{0,8}", t in "[a-z]{0,8}") {
+        let re = Regex::compile(&format!("^{t}$")).unwrap();
+        prop_assert_eq!(re.is_match(&s), s == t);
+    }
+
+    #[test]
+    fn char_class_matches_model(s in "[a-z0-9]{0,15}") {
+        let re = Regex::compile("[0-9]").unwrap();
+        prop_assert_eq!(re.is_match(&s), s.chars().any(|c| c.is_ascii_digit()));
+    }
+}
+
+// ----- date arithmetic ------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn date_plus_days_roundtrip(days in -3000i64..3000) {
+        use xqib_xdm::Date;
+        let base = Date::parse("2009-04-20").unwrap();
+        let there = base.plus_days(days);
+        let back = there.plus_days(-days);
+        prop_assert_eq!(base, back);
+        prop_assert_eq!(there.days_since_epoch() - base.days_since_epoch(), days);
+    }
+
+    #[test]
+    fn datetime_epoch_roundtrip(ms in 0i64..4_102_444_800_000i64) {
+        use xqib_xdm::DateTime;
+        let dt = DateTime::from_epoch_millis(ms);
+        prop_assert_eq!(dt.epoch_millis(), ms);
+    }
+}
+
+// ----- parser total on random near-queries (never panics) ---------------------------
+
+proptest! {
+    #[test]
+    fn parser_never_panics(src in "[a-z0-9 +*/()<>=$\\[\\]{}.,:;'\"@!-]{0,60}") {
+        // errors are fine; panics and hangs are not
+        let _ = xqib_xquery::parser::parse_expr_str(&src);
+    }
+
+    #[test]
+    fn lexer_never_panics(src in ".{0,60}") {
+        let mut lx = xqib_xquery::lexer::Lexer::new(&src);
+        for _ in 0..200 {
+            match lx.next_token() {
+                Ok(t) if t.tok == xqib_xquery::token::Tok::Eof => break,
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! §6.2 / Figure 3 — the Google-Maps/Weather mash-up: JavaScript and
+//! XQuery co-existing in one page, handling the *same* click event on the
+//! *same* DOM; the XQuery side integrates three weather services and a
+//! webcam index over REST.
+//!
+//! Run with: `cargo run --example mashup`
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use xqib::browser::net::Response;
+use xqib::core::plugin::{Plugin, PluginConfig};
+use xqib::dom::QName;
+use xqib::minijs::JsEngine;
+
+const PAGE: &str = r#"<html><head>
+<script type="text/javascript">
+function onSearch(e) {
+    var box = document.getElementById("searchbox");
+    var query = box.getAttribute("value");
+    var map = document.createElement("div");
+    map.setAttribute("id", "map");
+    var text = document.createTextNode("[map of " + query + "]");
+    map.appendChild(text);
+    document.getElementById("mappanel").appendChild(map);
+}
+document.getElementById("searchbutton").addEventListener("onclick", onSearch, false);
+</script>
+<script type="text/xqueryp"><![CDATA[
+declare variable $services := ("http://weather-a.example", "http://weather-b.example");
+declare updating function local:onSearch($evt, $obj) {
+  let $loc := string(//input[@id="searchbox"]/@value)
+  return {
+    delete node //div[@id="weatherpanel"]/*;
+    for $s in $services
+    return
+      insert node <div class="forecast">{
+        data(browser:httpGet(concat($s, "/api?q=", $loc))//summary)
+      }</div>
+      into //div[@id="weatherpanel"];
+  }
+};
+on event "onclick" at //input[@id="searchbutton"] attach listener local:onSearch
+]]></script>
+</head><body>
+<input id="searchbox" type="text" value=""/>
+<input id="searchbutton" type="button" value="Search"/>
+<div id="mappanel"/>
+<div id="weatherpanel"/>
+</body></html>"#;
+
+fn main() {
+    let mut plugin = Plugin::new(PluginConfig::default());
+
+    // register the weather services on the virtual network
+    {
+        let mut host = plugin.host.borrow_mut();
+        for (name, kind) in [("weather-a", "sunny"), ("weather-b", "rainy")] {
+            let kind = kind.to_string();
+            host.net
+                .register(&format!("http://{name}.example"), 20, move |req| {
+                    let loc = req.query_param("q").unwrap_or_default();
+                    Response::ok(format!(
+                        "<weather><summary>{kind} in {loc}</summary></weather>"
+                    ))
+                });
+        }
+    }
+
+    // load the page: the XQuery script runs; JS comes back for the co-host
+    let js_sources = plugin.load_page(PAGE).expect("page loads");
+
+    // run the JavaScript with the shared DOM (JavaScript first, §4.1)
+    let engine = Rc::new(RefCell::new(JsEngine::new(
+        plugin.store.clone(),
+        plugin.page_doc(),
+    )));
+    engine.borrow_mut().run(&js_sources[0]).expect("JS runs");
+
+    // wire the JS listener registrations onto the shared event system
+    for (target, event_type, f) in engine.borrow_mut().take_registrations() {
+        let engine = engine.clone();
+        plugin.register_external_listener(target, &event_type, move |ev| {
+            engine
+                .borrow_mut()
+                .dispatch_to(&f, &ev.event_type, ev.target, ev.button)
+                .expect("JS listener runs");
+        });
+    }
+
+    // the user types "Madrid" and clicks Search — ONE event, BOTH languages
+    let searchbox = plugin.element_by_id("searchbox").expect("searchbox");
+    plugin
+        .store
+        .borrow_mut()
+        .doc_mut(searchbox.doc)
+        .set_attribute(searchbox.node, QName::local("value"), "Madrid")
+        .expect("value set");
+    let button = plugin.element_by_id("searchbutton").expect("button");
+    plugin.click(button).expect("both listeners run");
+
+    println!("page after the search:\n{}", plugin.serialize_page());
+    println!(
+        "\nnetwork: {} requests to {} hosts, {} bytes received",
+        plugin.host.borrow().net.stats.requests,
+        plugin.host.borrow().net.stats.per_host.len(),
+        plugin.host.borrow().net.stats.bytes_received,
+    );
+}

@@ -1,0 +1,50 @@
+//! Quickstart: the paper's §4.1 "Hello, World!" page, plus a tour of the
+//! plug-in — loading a page, running XQuery against the live DOM,
+//! registering an event listener with the `on event … attach listener`
+//! syntax, and clicking.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use xqib::core::plugin::{Plugin, PluginConfig};
+use xqib::core::samples;
+
+fn main() {
+    // 1. The Hello World page (§4.1): XQuery in a <script/> tag runs when
+    //    the page loads.
+    let mut plugin = Plugin::new(PluginConfig::default());
+    plugin.load_page(samples::HELLO_WORLD).expect("page loads");
+    println!("alerts after load: {:?}", plugin.alerts());
+
+    // 2. A page with a button and an XQuery listener.
+    let mut plugin = Plugin::new(PluginConfig::default());
+    plugin
+        .load_page(
+            r#"<html><head><script type="text/xquery"><![CDATA[
+            declare updating function local:greet($evt, $obj) {
+                insert node <p>You clicked with button {data($evt/button)}!</p>
+                into //body[1]
+            };
+            on event "onclick" at //input[@id="hello"] attach listener local:greet
+            ]]></script></head>
+            <body><input id="hello" type="button" value="Say hello"/></body></html>"#,
+        )
+        .expect("page loads");
+
+    // 3. The browser fires a click; the plug-in dispatches it to the
+    //    listener; the pending updates apply to the live DOM (Figure 1).
+    let button = plugin.element_by_id("hello").expect("button exists");
+    plugin.click(button).expect("listener runs");
+    plugin.click(button).expect("listener runs again");
+
+    println!("\npage after two clicks:\n{}", plugin.serialize_page());
+
+    // 4. Ad-hoc XQuery against the live page: the context item is the
+    //    document (§4.2.3), so paths just work.
+    let out = plugin.eval("count(//p)").expect("query runs");
+    println!("\ncount(//p) = {}", plugin.render(&out));
+
+    let out = plugin
+        .eval("string(browser:navigator()/appName)")
+        .expect("navigator accessible");
+    println!("navigator appName = {}", plugin.render(&out));
+}

