@@ -29,10 +29,7 @@ impl Default for CorpusSpec {
 
 impl CorpusSpec {
     pub fn total_articles(&self) -> usize {
-        self.journals
-            * self.volumes_per_journal
-            * self.issues_per_volume
-            * self.articles_per_issue
+        self.journals * self.volumes_per_journal * self.issues_per_volume * self.articles_per_issue
     }
 }
 
@@ -58,13 +55,29 @@ impl Prng {
 }
 
 const TOPICS: &[&str] = &[
-    "XQuery", "browsers", "databases", "mashups", "indexing", "streams",
-    "caching", "XML", "optimisation", "transactions",
+    "XQuery",
+    "browsers",
+    "databases",
+    "mashups",
+    "indexing",
+    "streams",
+    "caching",
+    "XML",
+    "optimisation",
+    "transactions",
 ];
 
 const AUTHORS: &[&str] = &[
-    "Fourny", "Pilman", "Florescu", "Kossmann", "Kraska", "McBeath",
-    "Ullman", "Codd", "Gray", "Stonebraker",
+    "Fourny",
+    "Pilman",
+    "Florescu",
+    "Kossmann",
+    "Kraska",
+    "McBeath",
+    "Ullman",
+    "Codd",
+    "Gray",
+    "Stonebraker",
 ];
 
 /// Generates the whole corpus as one XML document string (the journal
@@ -164,8 +177,14 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = generate_corpus(&CorpusSpec { seed: 1, ..Default::default() });
-        let b = generate_corpus(&CorpusSpec { seed: 2, ..Default::default() });
+        let a = generate_corpus(&CorpusSpec {
+            seed: 1,
+            ..Default::default()
+        });
+        let b = generate_corpus(&CorpusSpec {
+            seed: 2,
+            ..Default::default()
+        });
         assert_ne!(a, b);
     }
 }

@@ -1,6 +1,8 @@
 //! Server-side metrics for the Figure 2 experiment: how much work and
 //! traffic each deployment (server-rendered vs migrated) costs the server.
 
+use xqib_dom::order::stats::EngineStats;
+
 /// Counters accumulated by the application server.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct ServerMetrics {
@@ -11,11 +13,29 @@ pub struct ServerMetrics {
     /// Server-side XQuery evaluations (the CPU-cost proxy the paper's
     /// off-loading argument is about).
     pub xquery_evals: u64,
+    /// Document-order index rebuilds triggered by this server's evaluations
+    /// (each is one O(n) traversal; see `xqib_dom::order`).
+    pub order_index_rebuilds: u64,
+    /// Path-step normalisations that actually sorted.
+    pub sorts_performed: u64,
+    /// Path-step normalisations the evaluator proved unnecessary.
+    pub sorts_elided: u64,
 }
 
 impl ServerMetrics {
     pub fn reset(&mut self) {
         *self = ServerMetrics::default();
+    }
+
+    /// Folds in the engine counters accumulated since `baseline`. The
+    /// engine counters are process-global and monotone, so the server keeps
+    /// the snapshot taken at construction as its baseline.
+    pub fn record_engine_stats(&mut self, baseline: EngineStats, now: EngineStats) {
+        self.order_index_rebuilds = now
+            .order_index_rebuilds
+            .saturating_sub(baseline.order_index_rebuilds);
+        self.sorts_performed = now.sorts_performed.saturating_sub(baseline.sorts_performed);
+        self.sorts_elided = now.sorts_elided.saturating_sub(baseline.sorts_elided);
     }
 }
 
@@ -25,8 +45,35 @@ mod tests {
 
     #[test]
     fn reset_clears() {
-        let mut m = ServerMetrics { requests: 3, bytes_out: 100, xquery_evals: 2 };
+        let mut m = ServerMetrics {
+            requests: 3,
+            bytes_out: 100,
+            ..Default::default()
+        };
+        m.xquery_evals = 2;
         m.reset();
         assert_eq!(m, ServerMetrics::default());
+    }
+
+    #[test]
+    fn engine_stats_are_deltas() {
+        let mut m = ServerMetrics::default();
+        let base = EngineStats {
+            order_index_rebuilds: 10,
+            sorts_performed: 20,
+            sorts_elided: 30,
+        };
+        let now = EngineStats {
+            order_index_rebuilds: 12,
+            sorts_performed: 25,
+            sorts_elided: 37,
+        };
+        m.record_engine_stats(base, now);
+        assert_eq!(m.order_index_rebuilds, 2);
+        assert_eq!(m.sorts_performed, 5);
+        assert_eq!(m.sorts_elided, 7);
+        // A counter reset elsewhere must not underflow.
+        m.record_engine_stats(now, base);
+        assert_eq!(m.order_index_rebuilds, 0);
     }
 }

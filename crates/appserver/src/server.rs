@@ -1,6 +1,8 @@
 //! The application server: HTTP-ish routing over the XML database, with
 //! the per-deployment metrics of the Figure 2 experiment.
 
+use xqib_dom::order::stats as engine_stats;
+use xqib_dom::order::stats::EngineStats;
 use xqib_xdm::XdmResult;
 
 use crate::metrics::ServerMetrics;
@@ -18,6 +20,9 @@ pub struct ServerResponse {
 pub struct AppServer {
     pub db: XmlDb,
     pub metrics: ServerMetrics,
+    /// Process-global engine counters at construction time; `metrics`
+    /// reports the delta from here.
+    engine_baseline: EngineStats,
 }
 
 impl AppServer {
@@ -25,7 +30,11 @@ impl AppServer {
     pub fn new(corpus_xml: &str) -> XdmResult<Self> {
         let mut db = XmlDb::new();
         db.load(render::CORPUS_URI, corpus_xml)?;
-        Ok(AppServer { db, metrics: ServerMetrics::default() })
+        Ok(AppServer {
+            db,
+            metrics: ServerMetrics::default(),
+            engine_baseline: engine_stats::snapshot(),
+        })
     }
 
     /// Handles one request URL (path + query). Routes:
@@ -60,6 +69,8 @@ impl AppServer {
             other => not_found(&format!("no route {other}")),
         };
         self.metrics.bytes_out += resp.body.len() as u64;
+        self.metrics
+            .record_engine_stats(self.engine_baseline, engine_stats::snapshot());
         resp
     }
 
@@ -104,7 +115,10 @@ fn param(query: &str, name: &str) -> Option<String> {
 }
 
 fn not_found(msg: &str) -> ServerResponse {
-    ServerResponse { status: 404, body: format!("<error>{msg}</error>") }
+    ServerResponse {
+        status: 404,
+        body: format!("<error>{msg}</error>"),
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +139,11 @@ mod tests {
         assert_eq!(s.metrics.requests, 1);
         assert_eq!(s.metrics.xquery_evals, 1);
         assert!(s.metrics.bytes_out > 0);
+        // Rendering the page evaluates paths over the corpus, which needs
+        // the order index at least once (the counters are process-global,
+        // so only a lower bound is assertable).
+        assert!(s.metrics.order_index_rebuilds >= 1);
+        assert!(s.metrics.sorts_performed + s.metrics.sorts_elided >= 1);
     }
 
     #[test]

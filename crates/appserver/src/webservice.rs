@@ -7,8 +7,8 @@
 
 use std::rc::Rc;
 
-use xqib_dom::store::shared_store;
 use xqib_dom::name::FN_NS;
+use xqib_dom::store::shared_store;
 use xqib_xdm::{Atomic, Item, Sequence, XdmError, XdmResult};
 use xqib_xquery::ast::LibraryModule;
 use xqib_xquery::context::{DynamicContext, StaticContext};
@@ -27,9 +27,11 @@ impl WebServiceHost {
     /// option the paper's example declares.
     pub fn new(source: &str) -> XdmResult<Self> {
         let module = parser::parse_library(source)?;
-        let is_service = module.prolog.options.iter().any(|(q, v)| {
-            q.matches(Some(FN_NS), "webservice") && v == "true"
-        });
+        let is_service = module
+            .prolog
+            .options
+            .iter()
+            .any(|(q, v)| q.matches(Some(FN_NS), "webservice") && v == "true");
         if !is_service {
             return Err(XdmError::new(
                 "XQIB0008",
@@ -113,9 +115,7 @@ impl WebServiceHost {
                     }
                 );
                 for (name, arity) in self.exports() {
-                    body.push_str(&format!(
-                        "<function name=\"{name}\" arity=\"{arity}\"/>"
-                    ));
+                    body.push_str(&format!("<function name=\"{name}\" arity=\"{arity}\"/>"));
                 }
                 body.push_str("</service>");
                 (200, body)

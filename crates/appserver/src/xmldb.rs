@@ -24,7 +24,10 @@ impl Default for XmlDb {
 
 impl XmlDb {
     pub fn new() -> Self {
-        XmlDb { store: shared_store(), evals: 0 }
+        XmlDb {
+            store: shared_store(),
+            evals: 0,
+        }
     }
 
     /// Loads a document under a URI.
@@ -58,9 +61,9 @@ impl XmlDb {
         let mut ctx = DynamicContext::new(self.store.clone(), sctx);
         let root = {
             let store = self.store.borrow();
-            let id = store.doc_by_uri(uri).ok_or_else(|| {
-                xqib_xdm::XdmError::new("FODC0002", format!("no document {uri}"))
-            })?;
+            let id = store
+                .doc_by_uri(uri)
+                .ok_or_else(|| xqib_xdm::XdmError::new("FODC0002", format!("no document {uri}")))?;
             store.root(id)
         };
         ctx.focus = Some(xqib_xquery::context::Focus {

@@ -74,14 +74,16 @@ fn bench(c: &mut Criterion) {
             let mut p = Plugin::new(PluginConfig::default());
             p.load_page(&page_with_buttons(n)).expect("page");
             b.iter(|| {
-                p.eval("set style \"color\" of //input to \"red\"").expect("style");
+                p.eval("set style \"color\" of //input to \"red\"")
+                    .expect("style");
             })
         });
         group.bench_with_input(BenchmarkId::new("setStyle_hof", n), &n, |b, &n| {
             let mut p = Plugin::new(PluginConfig::default());
             p.load_page(&page_with_buttons(n)).expect("page");
             b.iter(|| {
-                p.eval("browser:setStyle(//input, \"color\", \"red\")").expect("style");
+                p.eval("browser:setStyle(//input, \"color\", \"red\")")
+                    .expect("style");
             })
         });
         // the style-attribute fallback (no CSS store): DOM-write cost
@@ -95,7 +97,8 @@ fn bench(c: &mut Criterion) {
                 });
                 p.load_page(&page_with_buttons(n)).expect("page");
                 b.iter(|| {
-                    p.eval("set style \"color\" of //input to \"red\"").expect("style");
+                    p.eval("set style \"color\" of //input to \"red\"")
+                        .expect("style");
                 })
             },
         );

@@ -10,7 +10,12 @@ use xqib_bench::{criterion as crit, plugin_with_listeners, row};
 
 fn print_table() {
     println!("\n== E1 / Figure 1: plug-in event loop ==");
-    row(&["listeners", "events dispatched", "counter value", "net effect"]);
+    row(&[
+        "listeners",
+        "events dispatched",
+        "counter value",
+        "net effect",
+    ]);
     for listeners in [1usize, 10, 100] {
         let mut p = plugin_with_listeners(listeners);
         let events = 100usize;

@@ -8,9 +8,9 @@
 
 use criterion::{BenchmarkId, Criterion};
 
-use xqib_bench::{criterion as crit, migrated_plugin, row};
 use xqib_appserver::corpus::{article_ids, generate_corpus, CorpusSpec};
 use xqib_appserver::{migrate, AppServer};
+use xqib_bench::{criterion as crit, migrated_plugin, row};
 
 fn spec() -> CorpusSpec {
     CorpusSpec::default()
@@ -24,7 +24,10 @@ fn session(k: usize) -> Vec<String> {
 fn print_table() {
     println!("\n== E2 / Figure 2: server-to-client migration ==");
     row(&[
-        "deployment", "session K", "server requests", "server XQuery evals",
+        "deployment",
+        "session K",
+        "server requests",
+        "server XQuery evals",
         "bytes over wire",
     ]);
     let xml = generate_corpus(&spec());
@@ -98,7 +101,9 @@ fn bench(c: &mut Criterion) {
     });
     // client-side render of one article (cache warm — the common case)
     let (mut plugin, _server) = migrated_plugin(&spec());
-    plugin.eval(&migrate::interaction(&ids[0])).expect("warm the cache");
+    plugin
+        .eval(&migrate::interaction(&ids[0]))
+        .expect("warm the cache");
     group.bench_function("migrated_client_page_cached", |b| {
         let mut i = 0usize;
         b.iter(|| {
@@ -112,7 +117,10 @@ fn bench(c: &mut Criterion) {
     // scaling with corpus size
     let mut group = c.benchmark_group("fig2_corpus_scaling");
     for journals in [1usize, 2, 4] {
-        let spec = CorpusSpec { journals, ..CorpusSpec::default() };
+        let spec = CorpusSpec {
+            journals,
+            ..CorpusSpec::default()
+        };
         let (mut plugin, _server) = migrated_plugin(&spec);
         let ids = article_ids(&spec);
         plugin.eval(&migrate::interaction(&ids[0])).expect("warm");

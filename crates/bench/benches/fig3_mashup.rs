@@ -56,16 +56,13 @@ fn build(services: usize) -> (Plugin, Rc<RefCell<JsEngine>>) {
     {
         let mut host = plugin.host.borrow_mut();
         for i in 0..services {
-            host.net.register(
-                &format!("http://weather-{i}.example"),
-                20,
-                move |req| {
+            host.net
+                .register(&format!("http://weather-{i}.example"), 20, move |req| {
                     let loc = req.query_param("q").unwrap_or_default();
                     Response::ok(format!(
                         "<weather><summary>forecast-{i} for {loc}</summary></weather>"
                     ))
-                },
-            );
+                });
         }
     }
     let js_sources = plugin.load_page(&mashup_page(services)).expect("page");
@@ -88,7 +85,12 @@ fn build(services: usize) -> (Plugin, Rc<RefCell<JsEngine>>) {
 
 fn print_table() {
     println!("\n== E3 / Figure 3: mash-up fan-out ==");
-    row(&["services S", "requests per click", "forecasts shown", "JS maps drawn"]);
+    row(&[
+        "services S",
+        "requests per click",
+        "forecasts shown",
+        "JS maps drawn",
+    ]);
     for services in [1usize, 2, 3, 4] {
         let (mut plugin, _engine) = build(services);
         let button = plugin.element_by_id("searchbutton").expect("button");
@@ -100,8 +102,8 @@ fn print_table() {
         let panel_start = page.find("<div id=\"weatherpanel\">").unwrap_or(0);
         let panel = &page[panel_start..];
         let forecasts = panel.matches("class=\"forecast\"").count();
-        let maps = page.matches("class=\"map\"/>").count()
-            + page.matches("class=\"map\"></div>").count();
+        let maps =
+            page.matches("class=\"map\"/>").count() + page.matches("class=\"map\"></div>").count();
         let requests = plugin.host.borrow().net.stats.requests;
         row(&[
             &services.to_string(),

@@ -137,10 +137,8 @@ fn bench(c: &mut Criterion) {
             let mut p = Plugin::new(PluginConfig::default());
             p.load_page(&page).expect("page");
             b.iter(|| {
-                p.eval(
-                    "for $d in //div return replace value of node $d/@id with 'x'",
-                )
-                .expect("update")
+                p.eval("for $d in //div return replace value of node $d/@id with 'x'")
+                    .expect("update")
             });
         });
         group.bench_with_input(BenchmarkId::new("javascript", d), &d, |b, _| {

@@ -10,6 +10,37 @@ use xqib_core::plugin::{Plugin, PluginConfig};
 use xqib_dom::store::shared_store;
 use xqib_xquery::runtime::run_to_string;
 
+/// Nested `<section>` tree, `width` sections per level down to `depth`,
+/// with `paras` paragraphs in every leaf section: the deep-document shape
+/// that stresses document-order normalisation (`width = 6, depth = 4,
+/// paras = 8` is ≈ 12k nodes).
+fn deep_xml(width: usize, depth: usize, paras: usize) -> String {
+    fn rec(out: &mut String, width: usize, depth: usize, paras: usize) {
+        if depth == 0 {
+            for i in 0..paras {
+                out.push_str(&format!("<p>para {i}</p>"));
+            }
+            return;
+        }
+        for _ in 0..width {
+            out.push_str("<section>");
+            rec(out, width, depth - 1, paras);
+            out.push_str("</section>");
+        }
+    }
+    let mut out = String::from("<doc>");
+    rec(&mut out, width, depth, paras);
+    out.push_str("</doc>");
+    out
+}
+
+fn store_with_deep(width: usize, depth: usize, paras: usize) -> xqib_dom::SharedStore {
+    let store = shared_store();
+    let doc = xqib_dom::parse_document(&deep_xml(width, depth, paras)).unwrap();
+    store.borrow_mut().add_document(doc, Some("deep.xml"));
+    store
+}
+
 fn library_xml(books: usize) -> String {
     let mut out = String::from("<books>");
     for i in 0..books {
@@ -53,14 +84,109 @@ fn bench(c: &mut Criterion) {
             ("positional", "string(doc('lib.xml')//book[last()]/title)"),
             ("attribute", "count(doc('lib.xml')//book[@year = '2005'])"),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, books),
-                &books,
-                |b, _| {
-                    b.iter(|| run_to_string(q, store.clone()).unwrap());
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, books), &books, |b, _| {
+                b.iter(|| run_to_string(q, store.clone()).unwrap());
+            });
         }
+    }
+    group.finish();
+
+    // deep-document paths: where the order index and sort-elision pay off
+    let mut group = c.benchmark_group("micro_deep_paths");
+    for (label, width, depth, paras) in [("1k", 4usize, 3usize, 8usize), ("12k", 6, 4, 8)] {
+        let store = store_with_deep(width, depth, paras);
+        for (name, q) in [
+            // the headline nested-descendant query
+            ("section_section_p", "count(doc('deep.xml')//section//p)"),
+            // a long child-step chain over already-sorted input
+            (
+                "child_chain",
+                "count(doc('deep.xml')/doc/section/section/section/*)",
+            ),
+            // interval-query axes over the whole document
+            ("following", "count((doc('deep.xml')//p)[1]/following::p)"),
+            (
+                "preceding",
+                "count((doc('deep.xml')//p)[last()]/preceding::p)",
+            ),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, label), &label, |b, _| {
+                b.iter(|| run_to_string(q, store.clone()).unwrap());
+            });
+        }
+    }
+    group.finish();
+
+    // the normalisation primitive itself: indexed interval-label sort vs
+    // the naive child-index-path comparison it replaced
+    let mut group = c.benchmark_group("micro_order_normalise");
+    for (label, width, depth, paras) in [("1k", 4usize, 3usize, 8usize), ("12k", 6, 4, 8)] {
+        let store = store_with_deep(width, depth, paras);
+        let store = store.borrow();
+        let id = store.doc_by_uri("deep.xml").unwrap();
+        let n = store.doc(id).len() as u64;
+        // deterministic pseudo-shuffled node multiset
+        let nodes: Vec<xqib_dom::NodeRef> = (0..n)
+            .map(|i| {
+                let slot = (i.wrapping_mul(2654435761) ^ 0x9e3779b9) % n;
+                xqib_dom::NodeRef::new(id, xqib_dom::NodeId(slot as u32))
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("sort_dedup_indexed", label),
+            &label,
+            |b, _| {
+                b.iter(|| {
+                    let mut v = nodes.clone();
+                    xqib_dom::sort_dedup(&store, &mut v);
+                    v.len()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sort_naive_order_keys", label),
+            &label,
+            |b, _| {
+                b.iter(|| {
+                    let mut v = nodes.clone();
+                    let doc = store.doc(id);
+                    v.sort_by(|a, b| {
+                        xqib_dom::order::cmp_doc_order_local_naive(doc, a.node, b.node)
+                    });
+                    v.dedup();
+                    v.len()
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // event retrigger: every click mutates the page (bumping the document
+    // epoch) and the next listener run re-queries it, so each iteration
+    // pays one index invalidation + lazy rebuild on a deep DOM
+    let mut group = c.benchmark_group("micro_event_retrigger");
+    for (label, width, depth) in [("shallow", 2usize, 2usize), ("deep", 6, 4)] {
+        let page = format!(
+            r#"<html><head><script type="text/xquery"><![CDATA[
+            declare updating function local:onclick($evt, $obj) {{
+                replace value of node //span[@id="n"]
+                with (number(//span[@id="n"]) + count(//section//p))
+            }};
+            on event "onclick" at //input attach listener local:onclick
+            ]]></script></head>
+            <body><input id="b0" type="button"/>{}<span id="n">0</span></body></html>"#,
+            deep_xml(width, depth, 8)
+        );
+        let mut p = Plugin::new(PluginConfig::default());
+        p.load_page(&page).expect("bench page loads");
+        let button = p.element_by_id("b0").expect("button");
+        group.bench_with_input(
+            BenchmarkId::new("click_query_update", label),
+            &label,
+            |b, _| {
+                b.iter(|| p.click(button).expect("dispatch"));
+            },
+        );
     }
     group.finish();
 
@@ -107,16 +233,20 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro_fulltext");
     for books in [100usize, 1000] {
         let store = store_with_library(books);
-        group.bench_with_input(BenchmarkId::new("ftcontains_stemming", books), &books, |b, _| {
-            b.iter(|| {
-                run_to_string(
-                    "count(for $b in doc('lib.xml')//book \
+        group.bench_with_input(
+            BenchmarkId::new("ftcontains_stemming", books),
+            &books,
+            |b, _| {
+                b.iter(|| {
+                    run_to_string(
+                        "count(for $b in doc('lib.xml')//book \
                      where $b/title ftcontains (\"dog\" with stemming) return $b)",
-                    store.clone(),
-                )
-                .unwrap()
-            });
-        });
+                        store.clone(),
+                    )
+                    .unwrap()
+                });
+            },
+        );
     }
     group.finish();
 

@@ -58,7 +58,10 @@ fn print_table() {
     ]);
     let js = samples::count_loc(samples::MULTIPLICATION_TABLE_JS) as f64;
     let xq = samples::count_loc(samples::MULTIPLICATION_TABLE_XQUERY) as f64;
-    println!("factor: {:.2}x fewer lines in XQuery (paper: 77/29 = 2.66x)", js / xq);
+    println!(
+        "factor: {:.2}x fewer lines in XQuery (paper: 77/29 = 2.66x)",
+        js / xq
+    );
 
     // behavioural equivalence: both render the same 10x10 table
     let p = xquery_table();
@@ -87,12 +90,15 @@ fn bench(c: &mut Criterion) {
     group.bench_function("xquery_only_load", |b| {
         b.iter(|| {
             let mut p = Plugin::new(PluginConfig::default());
-            p.host.borrow_mut().net.register("http://shop.example/", 10, |_| {
-                Response::ok(
-                    "<products><product><name>Laptop</name><price>999</price></product>\
+            p.host
+                .borrow_mut()
+                .net
+                .register("http://shop.example/", 10, |_| {
+                    Response::ok(
+                        "<products><product><name>Laptop</name><price>999</price></product>\
                      <product><name>Mouse</name><price>10</price></product></products>",
-                )
-            });
+                    )
+                });
             p.load_page(samples::SHOPPING_CART_XQUERY).expect("page");
             p
         })

@@ -55,18 +55,18 @@ pub fn migrated_plugin(spec: &CorpusSpec) -> (Plugin, Rc<RefCell<AppServer>>) {
     });
     {
         let server = server.clone();
-        plugin.host.borrow_mut().net.register(
-            migrate::SERVER_BASE,
-            40,
-            move |req| {
+        plugin
+            .host
+            .borrow_mut()
+            .net
+            .register(migrate::SERVER_BASE, 40, move |req| {
                 let r = server.borrow_mut().handle(&req.url);
                 Response {
                     status: r.status,
                     body: r.body,
                     content_type: "application/xml".into(),
                 }
-            },
-        );
+            });
     }
     plugin
         .load_page(&migrate::migrated_page())

@@ -19,7 +19,9 @@ pub struct Location {
 
 impl Location {
     pub fn new(href: &str) -> Self {
-        Location { href: href.to_string() }
+        Location {
+            href: href.to_string(),
+        }
     }
 
     pub fn origin(&self) -> Origin {
@@ -44,7 +46,11 @@ impl Location {
     pub fn pathname(&self) -> String {
         match self.href.split_once("://") {
             Some((_, rest)) => match rest.find('/') {
-                Some(i) => rest[i..].split(['?', '#']).next().unwrap_or("/").to_string(),
+                Some(i) => rest[i..]
+                    .split(['?', '#'])
+                    .next()
+                    .unwrap_or("/")
+                    .to_string(),
                 None => "/".to_string(),
             },
             None => self.href.clone(),
@@ -149,7 +155,12 @@ pub struct WindowGeometry {
 
 impl Default for WindowGeometry {
     fn default() -> Self {
-        WindowGeometry { x: 0, y: 0, width: 1024, height: 768 }
+        WindowGeometry {
+            x: 0,
+            y: 0,
+            width: 1024,
+            height: 768,
+        }
     }
 }
 

@@ -45,7 +45,12 @@ pub struct EventLoop<T> {
 
 impl<T> Default for EventLoop<T> {
     fn default() -> Self {
-        EventLoop { queue: BinaryHeap::new(), now: 0, seq: 0, processed: 0 }
+        EventLoop {
+            queue: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            processed: 0,
+        }
     }
 }
 
@@ -63,7 +68,11 @@ impl<T> EventLoop<T> {
     /// order — the determinism the experiments rely on.
     pub fn schedule(&mut self, delay_ms: u64, payload: T) {
         self.seq += 1;
-        self.queue.push(Task { due: self.now + delay_ms, seq: self.seq, payload });
+        self.queue.push(Task {
+            due: self.now + delay_ms,
+            seq: self.seq,
+            payload,
+        });
     }
 
     /// Pops the next task, advancing the clock to its due time.

@@ -130,14 +130,8 @@ impl EventSystem {
     }
 
     /// `removeEventListener`.
-    pub fn remove_listener(
-        &mut self,
-        target: NodeRef,
-        event_type: &str,
-        listener: ListenerId,
-    ) {
-        if let Some(regs) = self.listeners.get_mut(&(target, event_type.to_string()))
-        {
+    pub fn remove_listener(&mut self, target: NodeRef, event_type: &str, listener: ListenerId) {
+        if let Some(regs) = self.listeners.get_mut(&(target, event_type.to_string())) {
             regs.retain(|r| r.listener != listener);
         }
     }
@@ -320,7 +314,9 @@ mod tests {
         assert_eq!(ev.listener_count(), 1);
         ev.remove_listener(button, "onclick", a);
         assert_eq!(ev.listener_count(), 0);
-        assert!(ev.dispatch_plan(&s, &DomEvent::new("onclick", button)).is_empty());
+        assert!(ev
+            .dispatch_plan(&s, &DomEvent::new("onclick", button))
+            .is_empty());
     }
 
     #[test]
@@ -350,8 +346,10 @@ mod tests {
         // runs, div/body do not
         let end = truncate_after_stop(&plan, 0);
         assert_eq!(end, 2);
-        assert_eq!(plan[..end].iter().map(|p| p.listener).collect::<Vec<_>>(),
-                   vec![l_btn1, l_btn2]);
+        assert_eq!(
+            plan[..end].iter().map(|p| p.listener).collect::<Vec<_>>(),
+            vec![l_btn1, l_btn2]
+        );
     }
 
     #[test]

@@ -18,7 +18,11 @@ pub struct Request {
 
 impl Request {
     pub fn get(url: &str) -> Self {
-        Request { method: "GET".to_string(), url: url.to_string(), body: None }
+        Request {
+            method: "GET".to_string(),
+            url: url.to_string(),
+            body: None,
+        }
     }
 
     pub fn post(url: &str, body: &str) -> Self {
@@ -121,7 +125,8 @@ impl VirtualNetwork {
         self.services
             .push((prefix.to_string(), latency_ms, Box::new(handler)));
         // longest-prefix match wins: keep sorted by descending length
-        self.services.sort_by_key(|(prefix, _, _)| std::cmp::Reverse(prefix.len()));
+        self.services
+            .sort_by_key(|(prefix, _, _)| std::cmp::Reverse(prefix.len()));
     }
 
     /// Performs a request. Returns the response plus the simulated latency.
@@ -172,9 +177,7 @@ mod tests {
             let loc = req.query_param("q").unwrap_or_default();
             Response::ok(format!("<weather loc=\"{loc}\">sunny</weather>"))
         });
-        net.register("http://maps.example/", 30, |_req| {
-            Response::ok("<map/>")
-        });
+        net.register("http://maps.example/", 30, |_req| Response::ok("<map/>"));
         let (resp, lat) = net.get("http://weather.example/api?q=Madrid");
         assert_eq!(resp.status, 200);
         assert!(resp.body.contains("Madrid"));

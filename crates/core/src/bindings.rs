@@ -17,9 +17,9 @@ use std::rc::Rc;
 
 use xqib_browser::events::DomEvent;
 use xqib_dom::{name::BROWSER_NS, NodeRef, QName};
+use xqib_xdm::{Item, Sequence, XdmError, XdmResult};
 use xqib_xquery::context::DynamicContext;
 use xqib_xquery::functions::native;
-use xqib_xdm::{Item, Sequence, XdmError, XdmResult};
 
 use crate::plugin::{dispatch_event_inner, parse_listener_name, HostState};
 use crate::window_xml;
@@ -33,329 +33,442 @@ pub fn install(ctx: &mut DynamicContext, host: Rc<RefCell<HostState>>) {
     // ----- UI ---------------------------------------------------------------
     {
         let h = host.clone();
-        reg(ctx, "alert", 1, native(move |ctx, args| {
-            let msg = seq_string(ctx, &args[0]);
-            h.borrow_mut().browser.alert(&msg);
-            Ok(vec![])
-        }));
+        reg(
+            ctx,
+            "alert",
+            1,
+            native(move |ctx, args| {
+                let msg = seq_string(ctx, &args[0]);
+                h.borrow_mut().browser.alert(&msg);
+                Ok(vec![])
+            }),
+        );
     }
     {
         let h = host.clone();
-        reg(ctx, "confirm", 1, native(move |ctx, args| {
-            let msg = seq_string(ctx, &args[0]);
-            let answer = h.borrow_mut().browser.confirm(&msg);
-            Ok(vec![Item::boolean(answer)])
-        }));
+        reg(
+            ctx,
+            "confirm",
+            1,
+            native(move |ctx, args| {
+                let msg = seq_string(ctx, &args[0]);
+                let answer = h.borrow_mut().browser.confirm(&msg);
+                Ok(vec![Item::boolean(answer)])
+            }),
+        );
     }
     {
         let h = host.clone();
-        reg(ctx, "prompt", 1, native(move |ctx, args| {
-            let msg = seq_string(ctx, &args[0]);
-            let answer = h.borrow_mut().browser.prompt(&msg);
-            Ok(vec![Item::string(answer)])
-        }));
+        reg(
+            ctx,
+            "prompt",
+            1,
+            native(move |ctx, args| {
+                let msg = seq_string(ctx, &args[0]);
+                let answer = h.borrow_mut().browser.prompt(&msg);
+                Ok(vec![Item::string(answer)])
+            }),
+        );
     }
     {
         let h = host.clone();
-        reg(ctx, "write", 1, native(move |ctx, args| {
-            let text = seq_string(ctx, &args[0]);
-            h.borrow_mut().browser.writeln(&text);
-            Ok(vec![])
-        }));
+        reg(
+            ctx,
+            "write",
+            1,
+            native(move |ctx, args| {
+                let text = seq_string(ctx, &args[0]);
+                h.borrow_mut().browser.writeln(&text);
+                Ok(vec![])
+            }),
+        );
     }
     {
         let h = host.clone();
-        reg(ctx, "writeln", 1, native(move |ctx, args| {
-            let text = seq_string(ctx, &args[0]);
-            h.borrow_mut().browser.writeln(&text);
-            Ok(vec![])
-        }));
+        reg(
+            ctx,
+            "writeln",
+            1,
+            native(move |ctx, args| {
+                let text = seq_string(ctx, &args[0]);
+                h.borrow_mut().browser.writeln(&text);
+                Ok(vec![])
+            }),
+        );
     }
 
     // ----- window tree (§4.2.1) ----------------------------------------------
     {
         let h = host.clone();
-        reg(ctx, "top", 0, native(move |ctx, _args| {
-            let (root, view) = {
-                let host = h.borrow();
-                let mut store = ctx.store.borrow_mut();
-                let top = host.browser.top();
-                window_xml::materialize_window(
-                    &mut store,
-                    &host.browser,
-                    host.page_window,
-                    top,
-                )
-            };
-            h.borrow_mut().adopt_view(view);
-            Ok(vec![Item::Node(root)])
-        }));
+        reg(
+            ctx,
+            "top",
+            0,
+            native(move |ctx, _args| {
+                let (root, view) = {
+                    let host = h.borrow();
+                    let mut store = ctx.store.borrow_mut();
+                    let top = host.browser.top();
+                    window_xml::materialize_window(&mut store, &host.browser, host.page_window, top)
+                };
+                h.borrow_mut().adopt_view(view);
+                Ok(vec![Item::Node(root)])
+            }),
+        );
     }
     {
         let h = host.clone();
-        reg(ctx, "self", 0, native(move |ctx, _args| {
-            // §4.2.1: self() is a descendant of the top() tree
-            let (elem, view) = {
-                let host = h.borrow();
-                let mut store = ctx.store.borrow_mut();
-                let top = host.browser.top();
-                let (_root, view) = window_xml::materialize_window(
-                    &mut store,
-                    &host.browser,
-                    host.page_window,
-                    top,
-                );
-                let elem = view
-                    .window_elems
-                    .iter()
-                    .find(|w| w.window == host.page_window)
-                    .map(|w| w.node);
-                (elem, view)
-            };
-            h.borrow_mut().adopt_view(view);
-            Ok(match elem {
-                Some(n) => vec![Item::Node(n)],
-                None => vec![],
-            })
-        }));
+        reg(
+            ctx,
+            "self",
+            0,
+            native(move |ctx, _args| {
+                // §4.2.1: self() is a descendant of the top() tree
+                let (elem, view) = {
+                    let host = h.borrow();
+                    let mut store = ctx.store.borrow_mut();
+                    let top = host.browser.top();
+                    let (_root, view) = window_xml::materialize_window(
+                        &mut store,
+                        &host.browser,
+                        host.page_window,
+                        top,
+                    );
+                    let elem = view
+                        .window_elems
+                        .iter()
+                        .find(|w| w.window == host.page_window)
+                        .map(|w| w.node);
+                    (elem, view)
+                };
+                h.borrow_mut().adopt_view(view);
+                Ok(match elem {
+                    Some(n) => vec![Item::Node(n)],
+                    None => vec![],
+                })
+            }),
+        );
     }
     {
         let h = host.clone();
-        reg(ctx, "parent", 0, native(move |ctx, _args| {
-            let parent = {
-                let host = h.borrow();
-                host.browser.window(host.page_window).parent
-            };
-            let Some(parent) = parent else { return Ok(vec![]) };
-            let (elem, view) = {
-                let host = h.borrow();
-                let mut store = ctx.store.borrow_mut();
-                let top = host.browser.top();
-                let (_root, view) = window_xml::materialize_window(
-                    &mut store,
-                    &host.browser,
-                    host.page_window,
-                    top,
-                );
-                let elem = view
-                    .window_elems
-                    .iter()
-                    .find(|w| w.window == parent && w.accessible)
-                    .map(|w| w.node);
-                (elem, view)
-            };
-            h.borrow_mut().adopt_view(view);
-            Ok(match elem {
-                Some(n) => vec![Item::Node(n)],
-                None => vec![],
-            })
-        }));
+        reg(
+            ctx,
+            "parent",
+            0,
+            native(move |ctx, _args| {
+                let parent = {
+                    let host = h.borrow();
+                    host.browser.window(host.page_window).parent
+                };
+                let Some(parent) = parent else {
+                    return Ok(vec![]);
+                };
+                let (elem, view) = {
+                    let host = h.borrow();
+                    let mut store = ctx.store.borrow_mut();
+                    let top = host.browser.top();
+                    let (_root, view) = window_xml::materialize_window(
+                        &mut store,
+                        &host.browser,
+                        host.page_window,
+                        top,
+                    );
+                    let elem = view
+                        .window_elems
+                        .iter()
+                        .find(|w| w.window == parent && w.accessible)
+                        .map(|w| w.node);
+                    (elem, view)
+                };
+                h.borrow_mut().adopt_view(view);
+                Ok(match elem {
+                    Some(n) => vec![Item::Node(n)],
+                    None => vec![],
+                })
+            }),
+        );
     }
     {
         let h = host.clone();
-        reg(ctx, "document", 1, native(move |ctx, args| {
-            // §4.2.3: the document of a window node, with a security check
-            // that yields () on failure
-            let Some(Item::Node(n)) = args[0].first() else {
-                return Ok(vec![]);
-            };
-            let host = h.borrow();
-            let Some(&(win, accessible)) = host.window_index.get(n) else {
-                return Ok(vec![]);
-            };
-            if !accessible {
-                return Ok(vec![]);
-            }
-            let Some(doc) = host.browser.window(win).document else {
-                return Ok(vec![]);
-            };
-            let store = ctx.store.borrow();
-            Ok(vec![Item::Node(store.root(doc))])
-        }));
+        reg(
+            ctx,
+            "document",
+            1,
+            native(move |ctx, args| {
+                // §4.2.3: the document of a window node, with a security check
+                // that yields () on failure
+                let Some(Item::Node(n)) = args[0].first() else {
+                    return Ok(vec![]);
+                };
+                let host = h.borrow();
+                let Some(&(win, accessible)) = host.window_index.get(n) else {
+                    return Ok(vec![]);
+                };
+                if !accessible {
+                    return Ok(vec![]);
+                }
+                let Some(doc) = host.browser.window(win).document else {
+                    return Ok(vec![]);
+                };
+                let store = ctx.store.borrow();
+                Ok(vec![Item::Node(store.root(doc))])
+            }),
+        );
     }
 
     // ----- screen & navigator (§4.2.2) ----------------------------------------
     {
         let h = host.clone();
-        reg(ctx, "screen", 0, native(move |ctx, _args| {
-            let host = h.borrow();
-            let mut store = ctx.store.borrow_mut();
-            let n = window_xml::materialize_screen(&mut store, &host.browser);
-            Ok(vec![Item::Node(n)])
-        }));
+        reg(
+            ctx,
+            "screen",
+            0,
+            native(move |ctx, _args| {
+                let host = h.borrow();
+                let mut store = ctx.store.borrow_mut();
+                let n = window_xml::materialize_screen(&mut store, &host.browser);
+                Ok(vec![Item::Node(n)])
+            }),
+        );
     }
     {
         let h = host.clone();
-        reg(ctx, "navigator", 0, native(move |ctx, _args| {
-            let host = h.borrow();
-            let mut store = ctx.store.borrow_mut();
-            let n = window_xml::materialize_navigator(&mut store, &host.browser);
-            Ok(vec![Item::Node(n)])
-        }));
+        reg(
+            ctx,
+            "navigator",
+            0,
+            native(move |ctx, _args| {
+                let host = h.borrow();
+                let mut store = ctx.store.borrow_mut();
+                let n = window_xml::materialize_navigator(&mut store, &host.browser);
+                Ok(vec![Item::Node(n)])
+            }),
+        );
     }
 
     // ----- window management (§4.2.4) ------------------------------------------
     {
         let h = host.clone();
-        reg(ctx, "windowOpen", 2, native(move |ctx, args| {
-            let name = seq_string(ctx, &args[0]);
-            let url = seq_string(ctx, &args[1]);
-            let (elem, view) = {
+        reg(
+            ctx,
+            "windowOpen",
+            2,
+            native(move |ctx, args| {
+                let name = seq_string(ctx, &args[0]);
+                let url = seq_string(ctx, &args[1]);
+                let (elem, view) = {
+                    let mut host = h.borrow_mut();
+                    let w = host.browser.window_open(&name, &url);
+                    let mut store = ctx.store.borrow_mut();
+                    let actor = host.page_window;
+                    let (root, view) =
+                        window_xml::materialize_window(&mut store, &host.browser, actor, w);
+                    (root, view)
+                };
+                h.borrow_mut().adopt_view(view);
+                Ok(vec![Item::Node(elem)])
+            }),
+        );
+    }
+    {
+        let h = host.clone();
+        reg(
+            ctx,
+            "windowClose",
+            1,
+            native(move |_ctx, args| {
+                let Some(Item::Node(n)) = args[0].first() else {
+                    return Ok(vec![]);
+                };
+                let n = *n;
                 let mut host = h.borrow_mut();
-                let w = host.browser.window_open(&name, &url);
-                let mut store = ctx.store.borrow_mut();
-                let actor = host.page_window;
-                let (root, view) =
-                    window_xml::materialize_window(&mut store, &host.browser, actor, w);
-                (root, view)
-            };
-            h.borrow_mut().adopt_view(view);
-            Ok(vec![Item::Node(elem)])
-        }));
+                if let Some(&(win, true)) = host.window_index.get(&n) {
+                    host.browser.window_close(win);
+                }
+                Ok(vec![])
+            }),
+        );
     }
     {
         let h = host.clone();
-        reg(ctx, "windowClose", 1, native(move |_ctx, args| {
-            let Some(Item::Node(n)) = args[0].first() else { return Ok(vec![]) };
-            let n = *n;
-            let mut host = h.borrow_mut();
-            if let Some(&(win, true)) = host.window_index.get(&n) {
-                host.browser.window_close(win);
-            }
-            Ok(vec![])
-        }));
+        reg(
+            ctx,
+            "windowMoveBy",
+            3,
+            native(move |ctx, args| move_window(ctx, &h, &args, false)),
+        );
     }
     {
         let h = host.clone();
-        reg(ctx, "windowMoveBy", 3, native(move |ctx, args| {
-            move_window(ctx, &h, &args, false)
-        }));
-    }
-    {
-        let h = host.clone();
-        reg(ctx, "windowMoveTo", 3, native(move |ctx, args| {
-            move_window(ctx, &h, &args, true)
-        }));
+        reg(
+            ctx,
+            "windowMoveTo",
+            3,
+            native(move |ctx, args| move_window(ctx, &h, &args, true)),
+        );
     }
 
     // ----- history (§4.2.4) ------------------------------------------------------
     {
         let h = host.clone();
-        reg(ctx, "historyBack", 0, native(move |_ctx, _args| {
-            let mut host = h.borrow_mut();
-            let w = host.page_window;
-            host.browser.history_go(w, -1);
-            Ok(vec![])
-        }));
+        reg(
+            ctx,
+            "historyBack",
+            0,
+            native(move |_ctx, _args| {
+                let mut host = h.borrow_mut();
+                let w = host.page_window;
+                host.browser.history_go(w, -1);
+                Ok(vec![])
+            }),
+        );
     }
     {
         let h = host.clone();
-        reg(ctx, "historyForward", 0, native(move |_ctx, _args| {
-            let mut host = h.borrow_mut();
-            let w = host.page_window;
-            host.browser.history_go(w, 1);
-            Ok(vec![])
-        }));
+        reg(
+            ctx,
+            "historyForward",
+            0,
+            native(move |_ctx, _args| {
+                let mut host = h.borrow_mut();
+                let w = host.page_window;
+                host.browser.history_go(w, 1);
+                Ok(vec![])
+            }),
+        );
     }
     {
         let h = host.clone();
-        reg(ctx, "historyGo", 1, native(move |ctx, args| {
-            let delta = seq_integer(ctx, &args[0])?;
-            let mut host = h.borrow_mut();
-            let w = host.page_window;
-            host.browser.history_go(w, delta);
-            Ok(vec![])
-        }));
+        reg(
+            ctx,
+            "historyGo",
+            1,
+            native(move |ctx, args| {
+                let delta = seq_integer(ctx, &args[0])?;
+                let mut host = h.borrow_mut();
+                let w = host.page_window;
+                host.browser.history_go(w, delta);
+                Ok(vec![])
+            }),
+        );
     }
 
     // ----- REST (§3.4/§5.1) -------------------------------------------------------
     {
         let h = host.clone();
-        reg(ctx, "httpGet", 1, native(move |ctx, args| {
-            http_get(ctx, &h, &seq_string(ctx, &args[0]))
-        }));
+        reg(
+            ctx,
+            "httpGet",
+            1,
+            native(move |ctx, args| http_get(ctx, &h, &seq_string(ctx, &args[0]))),
+        );
     }
     {
         // alias matching common Zorba naming
         let h = host.clone();
-        reg(ctx, "get", 1, native(move |ctx, args| {
-            http_get(ctx, &h, &seq_string(ctx, &args[0]))
-        }));
+        reg(
+            ctx,
+            "get",
+            1,
+            native(move |ctx, args| http_get(ctx, &h, &seq_string(ctx, &args[0]))),
+        );
     }
 
     // ----- HOF event/style registration (the §5.1 Zorba workaround) -------------
     {
         let h = host.clone();
-        reg(ctx, "addEventListener", 3, native(move |ctx, args| {
-            let event = seq_string(ctx, &args[1]);
-            let lname = parse_listener_name(&seq_string(ctx, &args[2]));
-            let mut host = h.borrow_mut();
-            let id = host.xq_listener_id(&lname);
-            for item in &args[0] {
-                if let Item::Node(n) = item {
-                    host.events.add_listener(*n, &event, id, false);
+        reg(
+            ctx,
+            "addEventListener",
+            3,
+            native(move |ctx, args| {
+                let event = seq_string(ctx, &args[1]);
+                let lname = parse_listener_name(&seq_string(ctx, &args[2]));
+                let mut host = h.borrow_mut();
+                let id = host.xq_listener_id(&lname);
+                for item in &args[0] {
+                    if let Item::Node(n) = item {
+                        host.events.add_listener(*n, &event, id, false);
+                    }
                 }
-            }
-            Ok(vec![])
-        }));
+                Ok(vec![])
+            }),
+        );
     }
     {
         let h = host.clone();
-        reg(ctx, "removeEventListener", 3, native(move |ctx, args| {
-            let event = seq_string(ctx, &args[1]);
-            let lname = parse_listener_name(&seq_string(ctx, &args[2]));
-            let mut host = h.borrow_mut();
-            let id = host.xq_listener_id(&lname);
-            for item in &args[0] {
-                if let Item::Node(n) = item {
-                    host.events.remove_listener(*n, &event, id);
+        reg(
+            ctx,
+            "removeEventListener",
+            3,
+            native(move |ctx, args| {
+                let event = seq_string(ctx, &args[1]);
+                let lname = parse_listener_name(&seq_string(ctx, &args[2]));
+                let mut host = h.borrow_mut();
+                let id = host.xq_listener_id(&lname);
+                for item in &args[0] {
+                    if let Item::Node(n) = item {
+                        host.events.remove_listener(*n, &event, id);
+                    }
                 }
-            }
-            Ok(vec![])
-        }));
+                Ok(vec![])
+            }),
+        );
     }
     {
         let h = host.clone();
-        reg(ctx, "triggerEvent", 2, native(move |ctx, args| {
-            let event = seq_string(ctx, &args[0]);
-            let targets: Vec<NodeRef> = args[1]
-                .iter()
-                .filter_map(|i| i.as_node())
-                .collect();
-            for t in targets {
-                let ev = DomEvent::new(&event, t);
-                dispatch_event_inner(ctx, &h, &ev)?;
-            }
-            Ok(vec![])
-        }));
-    }
-    {
-        let h = host.clone();
-        reg(ctx, "setStyle", 3, native(move |ctx, args| {
-            let prop = seq_string(ctx, &args[1]);
-            let value = seq_string(ctx, &args[2]);
-            let mut host = h.borrow_mut();
-            for item in &args[0] {
-                if let Item::Node(n) = item {
-                    host.css.set(*n, &prop, &value);
+        reg(
+            ctx,
+            "triggerEvent",
+            2,
+            native(move |ctx, args| {
+                let event = seq_string(ctx, &args[0]);
+                let targets: Vec<NodeRef> = args[1].iter().filter_map(|i| i.as_node()).collect();
+                for t in targets {
+                    let ev = DomEvent::new(&event, t);
+                    dispatch_event_inner(ctx, &h, &ev)?;
                 }
-            }
-            Ok(vec![])
-        }));
+                Ok(vec![])
+            }),
+        );
     }
     {
         let h = host.clone();
-        reg(ctx, "getStyle", 2, native(move |ctx, args| {
-            let prop = seq_string(ctx, &args[1]);
-            let host = h.borrow();
-            Ok(match args[0].first().and_then(|i| i.as_node()) {
-                Some(n) => match host.css.get(n, &prop) {
-                    Some(v) => vec![Item::string(v)],
+        reg(
+            ctx,
+            "setStyle",
+            3,
+            native(move |ctx, args| {
+                let prop = seq_string(ctx, &args[1]);
+                let value = seq_string(ctx, &args[2]);
+                let mut host = h.borrow_mut();
+                for item in &args[0] {
+                    if let Item::Node(n) = item {
+                        host.css.set(*n, &prop, &value);
+                    }
+                }
+                Ok(vec![])
+            }),
+        );
+    }
+    {
+        let h = host.clone();
+        reg(
+            ctx,
+            "getStyle",
+            2,
+            native(move |ctx, args| {
+                let prop = seq_string(ctx, &args[1]);
+                let host = h.borrow();
+                Ok(match args[0].first().and_then(|i| i.as_node()) {
+                    Some(n) => match host.css.get(n, &prop) {
+                        Some(v) => vec![Item::string(v)],
+                        None => vec![],
+                    },
                     None => vec![],
-                },
-                None => vec![],
-            })
-        }));
+                })
+            }),
+        );
     }
 }
 
@@ -400,7 +513,9 @@ fn move_window(
     args: &[Sequence],
     absolute: bool,
 ) -> XdmResult<Sequence> {
-    let Some(Item::Node(n)) = args[0].first() else { return Ok(vec![]) };
+    let Some(Item::Node(n)) = args[0].first() else {
+        return Ok(vec![]);
+    };
     let n = *n;
     let x = seq_integer(ctx, &args[1])? as i32;
     let y = seq_integer(ctx, &args[2])? as i32;

@@ -9,10 +9,10 @@ use xqib_browser::bom::Browser;
 use xqib_browser::events::{DispatchStep, DomEvent, EventSystem, ListenerId};
 use xqib_browser::{CssStore, EventLoop, VirtualNetwork, WindowId};
 use xqib_dom::{name::LOCAL_NS, DocId, NodeKind, NodeRef, QName, SharedStore};
+use xqib_xdm::{Item, Sequence, XdmError, XdmResult};
 use xqib_xquery::ast::{Expr, MainModule};
 use xqib_xquery::context::{DynamicContext, EngineHooks, StaticContext};
 use xqib_xquery::runtime::{self, ModuleRegistry};
-use xqib_xdm::{Item, Sequence, XdmError, XdmResult};
 
 use crate::bindings;
 use crate::window_xml::{self, WindowView};
@@ -80,7 +80,8 @@ impl HostState {
         }
         let id = self.events.fresh_listener_id();
         self.xq_ids.insert(key, id);
-        self.listeners.insert(id, ListenerKind::XQuery(name.clone()));
+        self.listeners
+            .insert(id, ListenerKind::XQuery(name.clone()));
         id
     }
 
@@ -284,8 +285,8 @@ impl Plugin {
     /// the XQuery scripts, registers attribute listeners. Returns the list
     /// of JavaScript script bodies found (for an external JS host, §6.2).
     pub fn load_page(&mut self, html: &str) -> XdmResult<Vec<String>> {
-        let doc = xqib_dom::parse_document(html)
-            .map_err(|e| XdmError::new("XQIB0004", e.to_string()))?;
+        let doc =
+            xqib_dom::parse_document(html).map_err(|e| XdmError::new("XQIB0004", e.to_string()))?;
         let page_window = self.page_window();
         let url = {
             let host = self.host.borrow();
@@ -293,7 +294,10 @@ impl Plugin {
         };
         let doc_id = self.store.borrow_mut().add_document(doc, Some(&url));
         self.page_doc = Some(doc_id);
-        self.host.borrow_mut().browser.set_document(page_window, doc_id);
+        self.host
+            .borrow_mut()
+            .browser
+            .set_document(page_window, doc_id);
 
         // context item = the page document (§4.2.3: "it is the context item")
         let root = self.store.borrow().root(doc_id);
@@ -328,8 +332,7 @@ impl Plugin {
                 }
                 for &attr in doc.attributes(node) {
                     if let NodeKind::Attribute { name, value } = doc.kind(attr) {
-                        if name.local.starts_with("on") && !value.trim().is_empty()
-                        {
+                        if name.local.starts_with("on") && !value.trim().is_empty() {
                             attr_listeners.push((
                                 NodeRef::new(doc_id, node),
                                 name.local.to_string(),
@@ -342,7 +345,10 @@ impl Plugin {
         }
 
         // compile every script, merge their static contexts
-        let mut merged = StaticContext { browser_profile: true, ..Default::default() };
+        let mut merged = StaticContext {
+            browser_profile: true,
+            ..Default::default()
+        };
         let mut modules_compiled = Vec::new();
         for src in &xq_sources {
             let q = runtime::compile_with(src, &self.modules, true)?;
@@ -374,7 +380,10 @@ impl Plugin {
 
         // run the scripts (prolog globals + body program)
         for module in &modules_compiled {
-            let q = runtime::CompiledQuery { module: module.clone(), sctx: merged.clone() };
+            let q = runtime::CompiledQuery {
+                module: module.clone(),
+                sctx: merged.clone(),
+            };
             q.execute(&mut self.ctx)?;
             self.sync_views()?;
         }
@@ -433,7 +442,11 @@ impl Plugin {
             n += 1;
             match task {
                 PluginTask::Dispatch(ev) => self.dispatch(&ev)?,
-                PluginTask::Behind { call, env, listener } => {
+                PluginTask::Behind {
+                    call,
+                    env,
+                    listener,
+                } => {
                     self.run_behind(&call, env, &listener)?;
                 }
             }
@@ -485,8 +498,7 @@ impl Plugin {
         let host = &mut *host;
         let store = self.store.borrow();
         for view in &host.views {
-            let _navigations =
-                window_xml::sync_view(&store, &mut host.browser, view);
+            let _navigations = window_xml::sync_view(&store, &mut host.browser, view);
         }
         Ok(())
     }
@@ -540,7 +552,10 @@ impl Plugin {
         self.ctx.reset_stack_base();
         let q = runtime::compile_with(src, &self.modules, true)?;
         // merge page functions so snippets can call local: listeners
-        let mut merged = StaticContext { browser_profile: true, ..Default::default() };
+        let mut merged = StaticContext {
+            browser_profile: true,
+            ..Default::default()
+        };
         for f in self.ctx.sctx.functions.values() {
             merged.declare_function((**f).clone());
         }
@@ -549,7 +564,10 @@ impl Plugin {
         }
         let saved = self.ctx.sctx.clone();
         self.ctx.sctx = Rc::new(merged);
-        let q = runtime::CompiledQuery { module: q.module, sctx: self.ctx.sctx.clone() };
+        let q = runtime::CompiledQuery {
+            module: q.module,
+            sctx: self.ctx.sctx.clone(),
+        };
         let r = q.execute(&mut self.ctx);
         self.ctx.sctx = saved;
         let out = r?;
@@ -597,10 +615,7 @@ fn invoke_listener(
             runtime::invoke(
                 ctx,
                 name,
-                vec![
-                    vec![Item::Node(evt_node)],
-                    vec![Item::Node(current_target)],
-                ],
+                vec![vec![Item::Node(evt_node)], vec![Item::Node(current_target)]],
             )?;
             sync_views_static(ctx, host)?;
             Ok(())
@@ -635,10 +650,7 @@ fn invoke_listener(
     }
 }
 
-fn sync_views_static(
-    ctx: &DynamicContext,
-    host: &Rc<RefCell<HostState>>,
-) -> XdmResult<()> {
+fn sync_views_static(ctx: &DynamicContext, host: &Rc<RefCell<HostState>>) -> XdmResult<()> {
     let mut host = host.borrow_mut();
     let host = &mut *host;
     let store = ctx.store.borrow();
@@ -650,10 +662,7 @@ fn sync_views_static(
 
 /// Builds the `$evt` event node (§4.3.2): an XML element carrying the same
 /// information as a DOM Event object.
-pub fn build_event_node(
-    ctx: &mut DynamicContext,
-    event: &DomEvent,
-) -> XdmResult<NodeRef> {
+pub fn build_event_node(ctx: &mut DynamicContext, event: &DomEvent) -> XdmResult<NodeRef> {
     let doc_id = ctx.construction_doc;
     let mut store = ctx.store.borrow_mut();
     let doc = store.doc_mut(doc_id);

@@ -20,10 +20,10 @@
 //! back into the browser after each query/listener (`sync` write-back),
 //! including navigation when `location/href` changes.
 
-use xqib_dom::{DocId, NodeId, NodeRef, QName, Store};
 use xqib_browser::bom::Browser;
 use xqib_browser::security::{AccessPolicy, SameOriginPolicy};
 use xqib_browser::WindowId;
+use xqib_dom::{DocId, NodeId, NodeRef, QName, Store};
 
 /// A BOM field mirrored by a view node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,18 +71,12 @@ pub fn materialize_window(
     let doc_id = store.new_document(None);
     let mut view = WindowView::default();
     let actor_origin = browser.origin_of(actor);
-    let root_elem = build_window_elem(
-        store,
-        doc_id,
-        browser,
-        &actor_origin,
-        root,
-        &mut view,
-    );
+    let root_elem = build_window_elem(store, doc_id, browser, &actor_origin, root, &mut view);
     let root_node = NodeRef::new(doc_id, root_elem);
     let d = store.doc_mut(doc_id);
     let r = d.root();
-    d.append_child(r, root_elem).expect("fresh doc accepts a root element");
+    d.append_child(r, root_elem)
+        .expect("fresh doc accepts a root element");
     (root_node, view)
 }
 
@@ -145,7 +139,8 @@ fn build_window_elem(
     ];
     for (name, value) in fields {
         let f = doc.create_element(QName::local(name));
-        doc.append_child(location, f).expect("append location field");
+        doc.append_child(location, f)
+            .expect("append location field");
         if !value.is_empty() {
             let t = doc.create_text(value);
             doc.append_child(f, t).expect("append location text");
@@ -170,8 +165,7 @@ fn build_window_elem(
     doc.append_child(elem, frames).expect("append frames");
     let child_ids: Vec<WindowId> = data.frames.clone();
     for child in child_ids {
-        let child_elem =
-            build_window_elem(store, doc_id, browser, actor_origin, child, view);
+        let child_elem = build_window_elem(store, doc_id, browser, actor_origin, child, view);
         store
             .doc_mut(doc_id)
             .append_child(frames, child_elem)
@@ -247,9 +241,7 @@ pub fn sync_view(
                 }
             }
             WindowField::Href => {
-                if browser.window(b.window).location.href != current
-                    && !current.is_empty()
-                {
+                if browser.window(b.window).location.href != current && !current.is_empty() {
                     navigations.push((b.window, current.clone()));
                     browser.navigate(b.window, &current);
                 }
@@ -347,7 +339,10 @@ mod tests {
             .replace_element_value(href.node.node, "http://www.dbis.ethz.ch/new")
             .unwrap();
         let navs = sync_view(&store, &mut browser, &view);
-        assert_eq!(navs, vec![(left, "http://www.dbis.ethz.ch/new".to_string())]);
+        assert_eq!(
+            navs,
+            vec![(left, "http://www.dbis.ethz.ch/new".to_string())]
+        );
         assert_eq!(
             browser.window(left).location.href,
             "http://www.dbis.ethz.ch/new"

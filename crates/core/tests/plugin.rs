@@ -85,8 +85,10 @@ fn listener_receives_button_info() {
     )
     .unwrap();
     let b = p.element_by_id("b").unwrap();
-    p.dispatch(&DomEvent::new("onclick", b).with_button(1)).unwrap();
-    p.dispatch(&DomEvent::new("onclick", b).with_button(2)).unwrap();
+    p.dispatch(&DomEvent::new("onclick", b).with_button(1))
+        .unwrap();
+    p.dispatch(&DomEvent::new("onclick", b).with_button(2))
+        .unwrap();
     let page = p.serialize_page();
     assert!(page.contains("<p>left</p>"));
     assert!(page.contains("<p>right</p>"));
@@ -241,7 +243,11 @@ fn frames_visible_by_name_same_origin_only() {
     assert_eq!(p.render(&out), "0", "cross-origin frame has no name");
     // `//window` from the top element finds *descendant* windows only
     let out = p.eval("count(browser:top()//window)").unwrap();
-    assert_eq!(p.render(&out), "2", "both frames materialise as window nodes");
+    assert_eq!(
+        p.render(&out),
+        "2",
+        "both frames materialise as window nodes"
+    );
 }
 
 #[test]
@@ -250,7 +256,9 @@ fn cross_origin_document_is_empty() {
     let evil_doc = {
         let mut host = p.host.borrow_mut();
         let top = host.browser.top();
-        let evil = host.browser.create_frame(top, "evil", "http://evil.example/");
+        let evil = host
+            .browser
+            .create_frame(top, "evil", "http://evil.example/");
         drop(host);
         let doc = xqib_dom::parse_document("<html><body>secret</body></html>").unwrap();
         let id = p.store.borrow_mut().add_document(doc, None);
@@ -276,9 +284,12 @@ fn fn_doc_blocked_for_unfetched_urls() {
 #[test]
 fn rest_get_fetches_and_caches() {
     let mut p = plugin();
-    p.host.borrow_mut().net.register("http://data.example/", 15, |_req| {
-        Response::ok("<items><item>a</item><item>b</item></items>")
-    });
+    p.host
+        .borrow_mut()
+        .net
+        .register("http://data.example/", 15, |_req| {
+            Response::ok("<items><item>a</item><item>b</item></items>")
+        });
     p.load_page(samples::HELLO_WORLD).unwrap();
     let out = p
         .eval("count(browser:httpGet('http://data.example/items.xml')//item)")
@@ -311,10 +322,13 @@ fn behind_async_call_with_ready_states() {
         .unwrap();
     let mut p = Plugin::new(config);
     // ab:getHint as a native web-service stub backed by the virtual network
-    p.host.borrow_mut().net.register("http://example.com/", 25, |req| {
-        let q = req.query_param("q").unwrap_or_default();
-        Response::ok(format!("<hints>{q}ison, {q}ilyn</hints>"))
-    });
+    p.host
+        .borrow_mut()
+        .net
+        .register("http://example.com/", 25, |req| {
+            let q = req.query_param("q").unwrap_or_default();
+            Response::ok(format!("<hints>{q}ison, {q}ilyn</hints>"))
+        });
     {
         let host = p.host.clone();
         p.ctx.register_native(
@@ -368,7 +382,10 @@ fn css_store_vs_attribute_ablation() {
     assert_eq!(p.render(&out), "red");
 
     // without the store, the engine falls back to the style attribute
-    let mut p2 = Plugin::new(PluginConfig { use_css_store: false, ..Default::default() });
+    let mut p2 = Plugin::new(PluginConfig {
+        use_css_store: false,
+        ..Default::default()
+    });
     p2.load_page(
         r#"<html><head><script type="text/xquery">
         set style "color" of //div[@id="d"] to "red"
@@ -382,12 +399,15 @@ fn css_store_vs_attribute_ablation() {
 fn shopping_cart_xquery_only() {
     // §6.3 end-to-end: catalogue rendered, click adds to cart
     let mut p = plugin();
-    p.host.borrow_mut().net.register("http://shop.example/", 10, |_req| {
-        Response::ok(
-            "<products><product><name>Laptop</name><price>999</price></product>\
+    p.host
+        .borrow_mut()
+        .net
+        .register("http://shop.example/", 10, |_req| {
+            Response::ok(
+                "<products><product><name>Laptop</name><price>999</price></product>\
              <product><name>Mouse</name><price>10</price></product></products>",
-        )
-    });
+            )
+        });
     p.load_page(samples::SHOPPING_CART_XQUERY).unwrap();
     let page = p.serialize_page();
     assert!(page.contains("Laptop"), "catalogue rendered: {page}");
@@ -415,7 +435,10 @@ fn multiplication_table_renders_and_highlights() {
     assert!(page.contains("<caption>Multiplication table</caption>"));
     let cell = p.element_by_id("c3-4").unwrap();
     p.click(cell).unwrap();
-    assert_eq!(p.host.borrow().css.get(cell, "background-color"), Some("yellow"));
+    assert_eq!(
+        p.host.borrow().css.get(cell, "background-color"),
+        Some("yellow")
+    );
 }
 
 #[test]
@@ -445,8 +468,7 @@ fn https_warning_flwor() {
         host.browser.window(w).document.unwrap()
     };
     let store = p.store.borrow();
-    let frame_xml =
-        xqib_dom::serialize::serialize_document(store.doc(frame_doc));
+    let frame_xml = xqib_dom::serialize::serialize_document(store.doc(frame_doc));
     assert!(frame_xml.contains("Warning: this page"));
 }
 
@@ -473,7 +495,10 @@ fn external_js_listener_coexists_on_same_event() {
     });
     p.click(input).unwrap();
     assert_eq!(*hits.borrow(), 1, "the JS listener ran");
-    assert!(p.serialize_page().contains("from-xq"), "the XQuery listener ran");
+    assert!(
+        p.serialize_page().contains("from-xq"),
+        "the XQuery listener ran"
+    );
 }
 
 #[test]
@@ -487,12 +512,22 @@ fn history_functions() {
     }
     p.eval("browser:historyBack()").unwrap();
     assert_eq!(
-        p.host.borrow().browser.window(p.page_window()).location.href,
+        p.host
+            .borrow()
+            .browser
+            .window(p.page_window())
+            .location
+            .href,
         "http://www.xqib.org/index.html"
     );
     p.eval("browser:historyForward()").unwrap();
     assert_eq!(
-        p.host.borrow().browser.window(p.page_window()).location.href,
+        p.host
+            .borrow()
+            .browser
+            .window(p.page_window())
+            .location
+            .href,
         "http://www.xqib.org/page2"
     );
 }
@@ -500,7 +535,11 @@ fn history_functions() {
 #[test]
 fn prompt_and_confirm_roundtrip() {
     let mut p = plugin();
-    p.host.borrow_mut().browser.prompt_answers.push("Ghislain".into());
+    p.host
+        .borrow_mut()
+        .browser
+        .prompt_answers
+        .push("Ghislain".into());
     p.host.borrow_mut().browser.confirm_answers.push(false);
     p.load_page(
         r#"<html><head><script type="text/xquery"><![CDATA[

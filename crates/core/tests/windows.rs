@@ -8,7 +8,8 @@ use xqib_dom::QName;
 
 fn plugin() -> Plugin {
     let mut p = Plugin::new(PluginConfig::default());
-    p.load_page("<html><body><input id=\"b\"/></body></html>").unwrap();
+    p.load_page("<html><body><input id=\"b\"/></body></html>")
+        .unwrap();
     p
 }
 
@@ -21,7 +22,10 @@ fn window_open_and_close() {
         let host = p.host.borrow();
         let w = host.browser.find_by_name("popup").expect("popup exists");
         assert!(!host.browser.window(w).closed);
-        assert_eq!(host.browser.window(w).location.href, "http://www.xqib.org/pop");
+        assert_eq!(
+            host.browser.window(w).location.href,
+            "http://www.xqib.org/pop"
+        );
     }
     p.eval(
         r#"{ declare variable $w := browser:windowOpen("popup2", "http://www.xqib.org/2");
@@ -74,12 +78,22 @@ fn history_go_with_offset() {
     }
     p.eval("browser:historyGo(-2)").unwrap();
     assert_eq!(
-        p.host.borrow().browser.window(p.page_window()).location.href,
+        p.host
+            .borrow()
+            .browser
+            .window(p.page_window())
+            .location
+            .href,
         "http://www.xqib.org/index.html"
     );
     p.eval("browser:historyGo(2)").unwrap();
     assert_eq!(
-        p.host.borrow().browser.window(p.page_window()).location.href,
+        p.host
+            .borrow()
+            .browser
+            .window(p.page_window())
+            .location
+            .href,
         "http://www.xqib.org/3"
     );
 }
@@ -87,7 +101,8 @@ fn history_go_with_offset() {
 #[test]
 fn write_and_writeln_record() {
     let mut p = plugin();
-    p.eval("browser:writeln('line one'), browser:write('line two')").unwrap();
+    p.eval("browser:writeln('line one'), browser:write('line two')")
+        .unwrap();
     let host = p.host.borrow();
     let writes: Vec<_> = host
         .browser
@@ -136,7 +151,10 @@ fn queued_events_drain_in_order() {
     let first = page.find("first").unwrap();
     let second = page.find("second").unwrap();
     let third = page.find("third").unwrap();
-    assert!(first < second && second < third, "virtual-time order: {page}");
+    assert!(
+        first < second && second < third,
+        "virtual-time order: {page}"
+    );
     assert_eq!(p.host.borrow().tasks.now(), 30);
 }
 
@@ -187,7 +205,12 @@ fn page_reload_resets_document_but_keeps_browser_state() {
     p.load_page("<html><body>fresh</body></html>").unwrap();
     assert!(p.element_by_id("x").is_none(), "new document");
     assert_eq!(
-        p.host.borrow().browser.window(p.page_window()).history.len(),
+        p.host
+            .borrow()
+            .browser
+            .window(p.page_window())
+            .history
+            .len(),
         2,
         "history survives"
     );

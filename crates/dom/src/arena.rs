@@ -8,9 +8,12 @@
 //! paper treats references to windows/documents that security policy has
 //! since made useless (§4.2.1).
 
+use std::cell::{Ref, RefCell};
+
 use crate::error::{DomError, DomResult};
 use crate::name::QName;
 use crate::node::{NodeData, NodeId, NodeKind};
+use crate::order::OrderIndex;
 
 /// A single XML document (or document fragment host) backed by an arena.
 #[derive(Debug, Clone)]
@@ -18,6 +21,11 @@ pub struct Document {
     nodes: Vec<NodeData>,
     /// Base URI of the document (`fn:doc` key, page URL, …).
     pub base_uri: Option<String>,
+    /// Bumped by every structural mutation; the order index compares it to
+    /// the epoch it was built for to detect staleness.
+    epoch: u64,
+    /// Lazily (re)built document-order interval index; see [`OrderIndex`].
+    order_index: RefCell<OrderIndex>,
 }
 
 impl Default for Document {
@@ -32,10 +40,47 @@ impl Document {
         Document {
             nodes: vec![NodeData {
                 parent: None,
-                kind: NodeKind::Document { children: Vec::new() },
+                kind: NodeKind::Document {
+                    children: Vec::new(),
+                },
             }],
             base_uri: None,
+            epoch: 0,
+            order_index: RefCell::new(OrderIndex::default()),
         }
+    }
+
+    /// Marks the document structure as changed, invalidating the order
+    /// index. Every mutating arena method that affects node identity,
+    /// parentage or sibling order must call this.
+    #[inline]
+    fn touch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Current mutation epoch (monotonically increasing).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The document-order index, rebuilt first if any mutation happened
+    /// since it was last built. The returned borrow must be dropped before
+    /// the next structural mutation (mutations take `&mut self`, so the
+    /// borrow checker enforces this).
+    pub fn order_index(&self) -> Ref<'_, OrderIndex> {
+        {
+            let ix = self.order_index.borrow();
+            if ix.is_fresh(self.epoch) {
+                return ix;
+            }
+        }
+        {
+            let mut ix = self.order_index.borrow_mut();
+            ix.rebuild(self, self.epoch);
+            crate::order::stats::record_rebuild();
+        }
+        self.order_index.borrow()
     }
 
     /// The document node.
@@ -69,6 +114,7 @@ impl Document {
     }
 
     fn alloc(&mut self, kind: NodeKind) -> NodeId {
+        self.touch(); // a new node is a new (detached) tree root
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(NodeData { parent: None, kind });
         id
@@ -86,30 +132,29 @@ impl Document {
     }
 
     pub fn create_text(&mut self, value: impl Into<String>) -> NodeId {
-        self.alloc(NodeKind::Text { value: value.into() })
+        self.alloc(NodeKind::Text {
+            value: value.into(),
+        })
     }
 
     pub fn create_comment(&mut self, value: impl Into<String>) -> NodeId {
-        self.alloc(NodeKind::Comment { value: value.into() })
+        self.alloc(NodeKind::Comment {
+            value: value.into(),
+        })
     }
 
-    pub fn create_pi(
-        &mut self,
-        target: impl Into<String>,
-        value: impl Into<String>,
-    ) -> NodeId {
+    pub fn create_pi(&mut self, target: impl Into<String>, value: impl Into<String>) -> NodeId {
         self.alloc(NodeKind::ProcessingInstruction {
             target: target.into(),
             value: value.into(),
         })
     }
 
-    pub fn create_attribute(
-        &mut self,
-        name: QName,
-        value: impl Into<String>,
-    ) -> NodeId {
-        self.alloc(NodeKind::Attribute { name, value: value.into() })
+    pub fn create_attribute(&mut self, name: QName, value: impl Into<String>) -> NodeId {
+        self.alloc(NodeKind::Attribute {
+            name,
+            value: value.into(),
+        })
     }
 
     // ----- read accessors ---------------------------------------------------
@@ -144,35 +189,22 @@ impl Document {
         match &self.nodes[id.index()].kind {
             NodeKind::Element { name, .. } => Some(name.clone()),
             NodeKind::Attribute { name, .. } => Some(name.clone()),
-            NodeKind::ProcessingInstruction { target, .. } => {
-                Some(QName::local(target))
-            }
+            NodeKind::ProcessingInstruction { target, .. } => Some(QName::local(target)),
             _ => None,
         }
     }
 
     /// Attribute string value by expanded name.
-    pub fn get_attribute(
-        &self,
-        elem: NodeId,
-        ns: Option<&str>,
-        local: &str,
-    ) -> Option<&str> {
-        self.attribute_node(elem, ns, local).map(|a| {
-            match &self.nodes[a.index()].kind {
+    pub fn get_attribute(&self, elem: NodeId, ns: Option<&str>, local: &str) -> Option<&str> {
+        self.attribute_node(elem, ns, local)
+            .map(|a| match &self.nodes[a.index()].kind {
                 NodeKind::Attribute { value, .. } => value.as_str(),
                 _ => unreachable!("attribute list holds non-attribute node"),
-            }
-        })
+            })
     }
 
     /// Attribute node by expanded name.
-    pub fn attribute_node(
-        &self,
-        elem: NodeId,
-        ns: Option<&str>,
-        local: &str,
-    ) -> Option<NodeId> {
+    pub fn attribute_node(&self, elem: NodeId, ns: Option<&str>, local: &str) -> Option<NodeId> {
         self.attributes(elem).iter().copied().find(|a| {
             matches!(&self.nodes[a.index()].kind,
                 NodeKind::Attribute { name, .. } if name.matches(ns, local))
@@ -335,18 +367,14 @@ impl Document {
     /// Appends `child` as the last child of `parent`.
     pub fn append_child(&mut self, parent: NodeId, child: NodeId) -> DomResult<()> {
         self.check_insertable_child(parent, child)?;
+        self.touch();
         self.children_mut(parent)?.push(child);
         self.nodes[child.index()].parent = Some(parent);
         Ok(())
     }
 
     /// Inserts `child` at position `idx` of `parent`'s child list.
-    pub fn insert_child_at(
-        &mut self,
-        parent: NodeId,
-        idx: usize,
-        child: NodeId,
-    ) -> DomResult<()> {
+    pub fn insert_child_at(&mut self, parent: NodeId, idx: usize, child: NodeId) -> DomResult<()> {
         self.check_insertable_child(parent, child)?;
         let kids = self.children_mut(parent)?;
         if idx > kids.len() {
@@ -357,28 +385,29 @@ impl Document {
         }
         kids.insert(idx, child);
         self.nodes[child.index()].parent = Some(parent);
+        self.touch();
         Ok(())
     }
 
     /// Inserts `new` immediately before `anchor` (which must be attached).
     pub fn insert_before(&mut self, new: NodeId, anchor: NodeId) -> DomResult<()> {
-        let parent = self.parent(anchor).ok_or_else(|| {
-            DomError::InvalidMutation("anchor node has no parent".into())
-        })?;
-        let idx = self.child_index(parent, anchor).ok_or_else(|| {
-            DomError::InvalidNode("anchor not found in parent".into())
-        })?;
+        let parent = self
+            .parent(anchor)
+            .ok_or_else(|| DomError::InvalidMutation("anchor node has no parent".into()))?;
+        let idx = self
+            .child_index(parent, anchor)
+            .ok_or_else(|| DomError::InvalidNode("anchor not found in parent".into()))?;
         self.insert_child_at(parent, idx, new)
     }
 
     /// Inserts `new` immediately after `anchor`.
     pub fn insert_after(&mut self, new: NodeId, anchor: NodeId) -> DomResult<()> {
-        let parent = self.parent(anchor).ok_or_else(|| {
-            DomError::InvalidMutation("anchor node has no parent".into())
-        })?;
-        let idx = self.child_index(parent, anchor).ok_or_else(|| {
-            DomError::InvalidNode("anchor not found in parent".into())
-        })?;
+        let parent = self
+            .parent(anchor)
+            .ok_or_else(|| DomError::InvalidMutation("anchor node has no parent".into()))?;
+        let idx = self
+            .child_index(parent, anchor)
+            .ok_or_else(|| DomError::InvalidNode("anchor not found in parent".into()))?;
         self.insert_child_at(parent, idx + 1, new)
     }
 
@@ -389,9 +418,12 @@ impl Document {
         let Some(parent) = self.nodes[id.index()].parent else {
             return Ok(()); // already detached
         };
+        self.touch();
         let is_attr = self.nodes[id.index()].kind.is_attribute();
         match &mut self.nodes[parent.index()].kind {
-            NodeKind::Element { attrs, children, .. } => {
+            NodeKind::Element {
+                attrs, children, ..
+            } => {
                 if is_attr {
                     attrs.retain(|&a| a != id);
                 } else {
@@ -407,9 +439,9 @@ impl Document {
 
     /// Replaces attached node `old` with `new` (same position).
     pub fn replace_node(&mut self, old: NodeId, new: NodeId) -> DomResult<()> {
-        let parent = self.parent(old).ok_or_else(|| {
-            DomError::InvalidMutation("cannot replace a parentless node".into())
-        })?;
+        let parent = self
+            .parent(old)
+            .ok_or_else(|| DomError::InvalidMutation("cannot replace a parentless node".into()))?;
         if self.nodes[old.index()].kind.is_attribute() {
             if !self.nodes[new.index()].kind.is_attribute() {
                 return Err(DomError::InvalidMutation(
@@ -419,9 +451,9 @@ impl Document {
             self.detach(old)?;
             return self.put_attribute_node(parent, new);
         }
-        let idx = self.child_index(parent, old).ok_or_else(|| {
-            DomError::InvalidNode("old node not found in parent".into())
-        })?;
+        let idx = self
+            .child_index(parent, old)
+            .ok_or_else(|| DomError::InvalidNode("old node not found in parent".into()))?;
         self.detach(old)?;
         self.insert_child_at(parent, idx, new)
     }
@@ -432,9 +464,7 @@ impl Document {
         self.check_exists(elem)?;
         self.check_exists(attr)?;
         let (ns, local) = match &self.nodes[attr.index()].kind {
-            NodeKind::Attribute { name, .. } => {
-                (name.ns.clone(), name.local.clone())
-            }
+            NodeKind::Attribute { name, .. } => (name.ns.clone(), name.local.clone()),
             _ => {
                 return Err(DomError::InvalidMutation(
                     "put_attribute_node requires an attribute node".into(),
@@ -451,11 +481,10 @@ impl Document {
                 "attribute already has an owner".into(),
             ));
         }
-        if let Some(existing) =
-            self.attribute_node(elem, ns.as_deref(), &local)
-        {
+        if let Some(existing) = self.attribute_node(elem, ns.as_deref(), &local) {
             self.detach(existing)?;
         }
+        self.touch();
         match &mut self.nodes[elem.index()].kind {
             NodeKind::Element { attrs, .. } => attrs.push(attr),
             _ => unreachable!(),
@@ -472,9 +501,7 @@ impl Document {
         value: impl Into<String>,
     ) -> DomResult<NodeId> {
         let value = value.into();
-        if let Some(existing) =
-            self.attribute_node(elem, name.ns.as_deref(), &name.local)
-        {
+        if let Some(existing) = self.attribute_node(elem, name.ns.as_deref(), &name.local) {
             match &mut self.nodes[existing.index()].kind {
                 NodeKind::Attribute { value: v, .. } => *v = value,
                 _ => unreachable!(),
@@ -522,11 +549,7 @@ impl Document {
 
     /// Overwrites the value of a text/comment/attribute/PI node
     /// (Update Facility `replace value of node` for simple nodes).
-    pub fn set_simple_value(
-        &mut self,
-        id: NodeId,
-        value: impl Into<String>,
-    ) -> DomResult<()> {
+    pub fn set_simple_value(&mut self, id: NodeId, value: impl Into<String>) -> DomResult<()> {
         self.check_exists(id)?;
         match &mut self.nodes[id.index()].kind {
             NodeKind::Text { value: v }
@@ -545,11 +568,7 @@ impl Document {
 
     /// `replace value of node` for elements: all children are removed and
     /// replaced by a single text node (or nothing, for the empty string).
-    pub fn replace_element_value(
-        &mut self,
-        elem: NodeId,
-        text: &str,
-    ) -> DomResult<()> {
+    pub fn replace_element_value(&mut self, elem: NodeId, text: &str) -> DomResult<()> {
         let kids: Vec<NodeId> = self.children(elem).to_vec();
         for k in kids {
             self.detach(k)?;
@@ -572,9 +591,7 @@ impl Document {
             NodeKind::Element { ns_decls, .. } => {
                 let prefix = prefix.into();
                 let uri = uri.into();
-                if let Some(slot) =
-                    ns_decls.iter_mut().find(|(p, _)| *p == prefix)
-                {
+                if let Some(slot) = ns_decls.iter_mut().find(|(p, _)| *p == prefix) {
                     slot.1 = uri;
                 } else {
                     ns_decls.push((prefix, uri));
@@ -612,7 +629,12 @@ impl Document {
                     holder
                 }
             }
-            NodeKind::Element { name, attrs, children, ns_decls } => {
+            NodeKind::Element {
+                name,
+                attrs,
+                children,
+                ns_decls,
+            } => {
                 let e = self.create_element(name);
                 match &mut self.nodes[e.index()].kind {
                     NodeKind::Element { ns_decls: nd, .. } => *nd = ns_decls,
@@ -631,9 +653,7 @@ impl Document {
             NodeKind::Attribute { name, value } => self.create_attribute(name, value),
             NodeKind::Text { value } => self.create_text(value),
             NodeKind::Comment { value } => self.create_comment(value),
-            NodeKind::ProcessingInstruction { target, value } => {
-                self.create_pi(target, value)
-            }
+            NodeKind::ProcessingInstruction { target, value } => self.create_pi(target, value),
         }
     }
 
@@ -694,9 +714,7 @@ impl Document {
             SnapKind::Element { name, ns_decls } => {
                 let e = self.create_element(name.clone());
                 match &mut self.nodes[e.index()].kind {
-                    NodeKind::Element { ns_decls: nd, .. } => {
-                        *nd = ns_decls.clone()
-                    }
+                    NodeKind::Element { ns_decls: nd, .. } => *nd = ns_decls.clone(),
                     _ => unreachable!(),
                 }
                 e
@@ -736,11 +754,7 @@ impl Document {
                 }
                 if let Some(&last) = merged.last() {
                     if self.nodes[last.index()].kind.is_text() {
-                        let combined = format!(
-                            "{}{}",
-                            self.simple_value(last).unwrap_or(""),
-                            val
-                        );
+                        let combined = format!("{}{}", self.simple_value(last).unwrap_or(""), val);
                         self.set_simple_value(last, combined)?;
                         self.nodes[k.index()].parent = None;
                         continue;
@@ -749,6 +763,9 @@ impl Document {
             }
             merged.push(k);
         }
+        // Rewrites the child list and orphans nodes directly (bypassing
+        // `detach`), so it must invalidate the order index itself.
+        self.touch();
         *self.children_mut(parent)? = merged;
         Ok(())
     }
@@ -765,8 +782,14 @@ struct SnapNode {
 }
 
 enum SnapKind {
-    Element { name: QName, ns_decls: Vec<(String, String)> },
-    Attribute { name: QName, value: String },
+    Element {
+        name: QName,
+        ns_decls: Vec<(String, String)>,
+    },
+    Attribute {
+        name: QName,
+        value: String,
+    },
     Text(String),
     Comment(String),
     Pi(String, String),
@@ -980,9 +1003,6 @@ mod tests {
         assert_eq!(d.lookup_namespace(child, ""), Some("urn:default"));
         assert_eq!(d.lookup_namespace(child, "x"), Some("urn:x"));
         assert_eq!(d.lookup_namespace(child, "y"), None);
-        assert_eq!(
-            d.lookup_namespace(child, "xml"),
-            Some(crate::name::XML_NS)
-        );
+        assert_eq!(d.lookup_namespace(child, "xml"), Some(crate::name::XML_NS));
     }
 }

@@ -20,7 +20,10 @@ pub enum DomError {
 
 impl DomError {
     pub fn parse(message: impl Into<String>, offset: usize) -> Self {
-        DomError::Parse { message: message.into(), offset }
+        DomError::Parse {
+            message: message.into(),
+            offset,
+        }
     }
 }
 

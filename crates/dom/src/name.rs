@@ -33,7 +33,11 @@ pub struct QName {
 impl QName {
     /// A name with no namespace and no prefix.
     pub fn local(local: impl AsRef<str>) -> Self {
-        QName { prefix: None, local: Rc::from(local.as_ref()), ns: None }
+        QName {
+            prefix: None,
+            local: Rc::from(local.as_ref()),
+            ns: None,
+        }
     }
 
     /// A name in a namespace, without remembering a prefix.
@@ -46,11 +50,7 @@ impl QName {
     }
 
     /// A fully specified name.
-    pub fn full(
-        prefix: Option<&str>,
-        ns: Option<&str>,
-        local: impl AsRef<str>,
-    ) -> Self {
+    pub fn full(prefix: Option<&str>, ns: Option<&str>, local: impl AsRef<str>) -> Self {
         QName {
             prefix: prefix.map(Rc::from),
             local: Rc::from(local.as_ref()),

@@ -23,7 +23,9 @@ impl NodeId {
 pub enum NodeKind {
     /// Document root. Owns top-level children (at most one element plus
     /// comments/PIs).
-    Document { children: Vec<NodeId> },
+    Document {
+        children: Vec<NodeId>,
+    },
     /// An element with attribute nodes, namespace declarations captured on
     /// the element, and ordered children.
     Element {
@@ -36,10 +38,20 @@ pub enum NodeKind {
     },
     /// An attribute. Attributes are arena nodes so that XPath's `attribute`
     /// axis, node identity and `replace value of node` work uniformly.
-    Attribute { name: QName, value: String },
-    Text { value: String },
-    Comment { value: String },
-    ProcessingInstruction { target: String, value: String },
+    Attribute {
+        name: QName,
+        value: String,
+    },
+    Text {
+        value: String,
+    },
+    Comment {
+        value: String,
+    },
+    ProcessingInstruction {
+        target: String,
+        value: String,
+    },
 }
 
 impl NodeKind {
@@ -81,7 +93,13 @@ mod tests {
 
     #[test]
     fn kind_names() {
-        assert_eq!(NodeKind::Text { value: String::new() }.kind_name(), "text");
+        assert_eq!(
+            NodeKind::Text {
+                value: String::new()
+            }
+            .kind_name(),
+            "text"
+        );
         assert_eq!(
             NodeKind::Document { children: vec![] }.kind_name(),
             "document"

@@ -17,15 +17,13 @@ use crate::name::QName;
 use crate::node::NodeId;
 
 /// Parser configuration.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ParseOptions {
     /// Upper-case all element names, as Internet Explorer did (§5.1).
     pub uppercase_names: bool,
     /// Drop text nodes that consist solely of whitespace between elements.
     pub trim_inter_element_whitespace: bool,
 }
-
 
 /// Parses a complete document.
 pub fn parse_document(input: &str) -> DomResult<Document> {
@@ -34,7 +32,11 @@ pub fn parse_document(input: &str) -> DomResult<Document> {
 
 /// Parses a complete document with explicit options.
 pub fn parse_with_options(input: &str, opts: &ParseOptions) -> DomResult<Document> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0, opts };
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        opts,
+    };
     let mut doc = Document::new();
     p.skip_misc(&mut doc)?;
     if p.eof() {
@@ -56,7 +58,11 @@ pub fn parse_with_options(input: &str, opts: &ParseOptions) -> DomResult<Documen
 /// test fixtures and REST payloads.
 pub fn parse_fragment(input: &str) -> DomResult<(Document, Vec<NodeId>)> {
     let opts = ParseOptions::default();
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0, opts: &opts };
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        opts: &opts,
+    };
     let mut doc = Document::new();
     let mut scope = NsScope::new();
     let mut items = Vec::new();
@@ -95,7 +101,9 @@ struct NsScope {
 
 impl NsScope {
     fn new() -> Self {
-        NsScope { frames: vec![vec![]] }
+        NsScope {
+            frames: vec![vec![]],
+        }
     }
     fn push(&mut self) {
         self.frames.push(Vec::new());
@@ -194,7 +202,10 @@ impl<'a> Parser<'a> {
                 self.pos += i + end.len();
                 Ok(())
             }
-            None => Err(DomError::parse(format!("unterminated, expected `{end}`"), self.pos)),
+            None => Err(DomError::parse(
+                format!("unterminated, expected `{end}`"),
+                self.pos,
+            )),
         }
     }
 
@@ -208,13 +219,12 @@ impl<'a> Parser<'a> {
                 b'[' => in_bracket = true,
                 b']' => in_bracket = false,
                 b'<' => depth += 1,
-                b'>'
-                    if !in_bracket => {
-                        depth -= 1;
-                        if depth == 0 {
-                            return Ok(());
-                        }
+                b'>' if !in_bracket => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Ok(());
                     }
+                }
                 _ => {}
             }
         }
@@ -224,9 +234,8 @@ impl<'a> Parser<'a> {
     fn parse_name(&mut self) -> DomResult<String> {
         let start = self.pos;
         while let Some(b) = self.peek() {
-            let ok = b.is_ascii_alphanumeric()
-                || matches!(b, b'_' | b'-' | b'.' | b':')
-                || b >= 0x80;
+            let ok =
+                b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
             if ok {
                 self.pos += 1;
             } else {
@@ -239,11 +248,7 @@ impl<'a> Parser<'a> {
         Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
     }
 
-    fn parse_element(
-        &mut self,
-        doc: &mut Document,
-        scope: &mut NsScope,
-    ) -> DomResult<NodeId> {
+    fn parse_element(&mut self, doc: &mut Document, scope: &mut NsScope) -> DomResult<NodeId> {
         self.expect("<")?;
         let raw_name = self.parse_name()?;
         scope.push();
@@ -341,12 +346,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn make_qname(
-        &self,
-        raw: &str,
-        scope: &NsScope,
-        is_element: bool,
-    ) -> DomResult<QName> {
+    fn make_qname(&self, raw: &str, scope: &NsScope, is_element: bool) -> DomResult<QName> {
         let raw_cased: String = if self.opts.uppercase_names && is_element {
             raw.to_ascii_uppercase()
         } else {
@@ -369,9 +369,9 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_attr_value(&mut self) -> DomResult<String> {
-        let quote = self.bump().ok_or_else(|| {
-            DomError::parse("expected attribute value", self.pos)
-        })?;
+        let quote = self
+            .bump()
+            .ok_or_else(|| DomError::parse("expected attribute value", self.pos))?;
         if quote != b'"' && quote != b'\'' {
             return Err(DomError::parse("attribute value must be quoted", self.pos));
         }
@@ -380,10 +380,7 @@ impl<'a> Parser<'a> {
             if b == quote {
                 let raw = &self.bytes[start..self.pos];
                 self.pos += 1;
-                return decode_entities(
-                    &String::from_utf8_lossy(raw),
-                    start,
-                );
+                return decode_entities(&String::from_utf8_lossy(raw), start);
             }
             self.pos += 1;
         }
@@ -400,9 +397,7 @@ impl<'a> Parser<'a> {
         }
         let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]);
         let text = decode_entities(&raw, start)?;
-        if self.opts.trim_inter_element_whitespace
-            && text.chars().all(char::is_whitespace)
-        {
+        if self.opts.trim_inter_element_whitespace && text.chars().all(char::is_whitespace) {
             return Ok(None);
         }
         if text.is_empty() {
@@ -416,8 +411,7 @@ impl<'a> Parser<'a> {
         let start = self.pos;
         match find_sub(&self.bytes[self.pos..], b"-->") {
             Some(i) => {
-                let body =
-                    String::from_utf8_lossy(&self.bytes[start..start + i]).into_owned();
+                let body = String::from_utf8_lossy(&self.bytes[start..start + i]).into_owned();
                 self.pos += i + 3;
                 Ok(doc.create_comment(body))
             }
@@ -430,8 +424,7 @@ impl<'a> Parser<'a> {
         let start = self.pos;
         match find_sub(&self.bytes[self.pos..], b"]]>") {
             Some(i) => {
-                let body =
-                    String::from_utf8_lossy(&self.bytes[start..start + i]).into_owned();
+                let body = String::from_utf8_lossy(&self.bytes[start..start + i]).into_owned();
                 self.pos += i + 3;
                 Ok(doc.create_text(body))
             }
@@ -447,8 +440,7 @@ impl<'a> Parser<'a> {
         let start = self.pos;
         match find_sub(&self.bytes[self.pos..], b"?>") {
             Some(i) => {
-                let body =
-                    String::from_utf8_lossy(&self.bytes[start..start + i]).into_owned();
+                let body = String::from_utf8_lossy(&self.bytes[start..start + i]).into_owned();
                 self.pos += i + 2;
                 if target.eq_ignore_ascii_case("xml") {
                     Ok(None)
@@ -456,7 +448,10 @@ impl<'a> Parser<'a> {
                     Ok(Some(doc.create_pi(target, body.trim_end().to_string())))
                 }
             }
-            None => Err(DomError::parse("unterminated processing instruction", self.pos)),
+            None => Err(DomError::parse(
+                "unterminated processing instruction",
+                self.pos,
+            )),
         }
     }
 }
@@ -487,7 +482,10 @@ pub fn decode_entities(raw: &str, base_offset: usize) -> DomResult<String> {
         out.push_str(&rest[..amp]);
         let after = &rest[amp + 1..];
         let Some(semi) = after.find(';') else {
-            return Err(DomError::parse("unterminated entity reference", base_offset));
+            return Err(DomError::parse(
+                "unterminated entity reference",
+                base_offset,
+            ));
         };
         let ent = &after[..semi];
         match ent {
@@ -501,16 +499,18 @@ pub fn decode_entities(raw: &str, base_offset: usize) -> DomResult<String> {
                     let cp = u32::from_str_radix(hex, 16).map_err(|_| {
                         DomError::parse(format!("bad character reference &{ent};"), base_offset)
                     })?;
-                    out.push(char::from_u32(cp).ok_or_else(|| {
-                        DomError::parse("invalid code point", base_offset)
-                    })?);
+                    out.push(
+                        char::from_u32(cp)
+                            .ok_or_else(|| DomError::parse("invalid code point", base_offset))?,
+                    );
                 } else if let Some(dec) = ent.strip_prefix('#') {
                     let cp: u32 = dec.parse().map_err(|_| {
                         DomError::parse(format!("bad character reference &{ent};"), base_offset)
                     })?;
-                    out.push(char::from_u32(cp).ok_or_else(|| {
-                        DomError::parse("invalid code point", base_offset)
-                    })?);
+                    out.push(
+                        char::from_u32(cp)
+                            .ok_or_else(|| DomError::parse("invalid code point", base_offset))?,
+                    );
                 } else {
                     return Err(DomError::parse(
                         format!("unknown entity &{ent};"),
@@ -603,7 +603,10 @@ mod tests {
             Some("urn:default"),
             "default namespace applies to unprefixed elements"
         );
-        assert_eq!(d.element_name(kids[1]).unwrap().ns.as_deref(), Some("urn:x"));
+        assert_eq!(
+            d.element_name(kids[1]).unwrap().ns.as_deref(),
+            Some("urn:x")
+        );
     }
 
     #[test]
@@ -637,7 +640,10 @@ mod tests {
 
     #[test]
     fn ie_uppercase_quirk() {
-        let opts = ParseOptions { uppercase_names: true, ..Default::default() };
+        let opts = ParseOptions {
+            uppercase_names: true,
+            ..Default::default()
+        };
         let d = parse_with_options("<html><Body id='x'/></html>", &opts).unwrap();
         let html = d.children(d.root())[0];
         assert_eq!(d.element_name(html).unwrap().lexical(), "HTML");
@@ -653,7 +659,10 @@ mod tests {
         let keep = parse_document(src).unwrap();
         let r = keep.children(keep.root())[0];
         assert_eq!(keep.children(r).len(), 5);
-        let opts = ParseOptions { trim_inter_element_whitespace: true, ..Default::default() };
+        let opts = ParseOptions {
+            trim_inter_element_whitespace: true,
+            ..Default::default()
+        };
         let trim = parse_with_options(src, &opts).unwrap();
         let r = trim.children(trim.root())[0];
         assert_eq!(trim.children(r).len(), 2);

@@ -31,7 +31,12 @@ fn write_node(doc: &Document, node: NodeId, out: &mut String) {
                 write_node(doc, c, out);
             }
         }
-        NodeKind::Element { name, attrs, children, ns_decls } => {
+        NodeKind::Element {
+            name,
+            attrs,
+            children,
+            ns_decls,
+        } => {
             out.push('<');
             out.push_str(&name.lexical());
             for (p, u) in ns_decls {
@@ -125,7 +130,10 @@ mod tests {
 
     #[test]
     fn simple_roundtrip() {
-        assert_eq!(roundtrip("<a><b x=\"1\">hi</b></a>"), "<a><b x=\"1\">hi</b></a>");
+        assert_eq!(
+            roundtrip("<a><b x=\"1\">hi</b></a>"),
+            "<a><b x=\"1\">hi</b></a>"
+        );
     }
 
     #[test]

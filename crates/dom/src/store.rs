@@ -104,7 +104,9 @@ impl Store {
 
     /// Parent as a `NodeRef`.
     pub fn parent(&self, n: NodeRef) -> Option<NodeRef> {
-        self.doc(n.doc).parent(n.node).map(|p| NodeRef::new(n.doc, p))
+        self.doc(n.doc)
+            .parent(n.node)
+            .map(|p| NodeRef::new(n.doc, p))
     }
 
     /// Children as `NodeRef`s.

@@ -13,16 +13,21 @@ enum Op {
     SetAttr(usize, u8, String),
     Detach(usize),
     Rename(usize, u8),
+    /// Insert a fresh element immediately before an existing one.
+    InsertBefore(usize, u8),
+    /// Detach an element and re-append it elsewhere (subtree move).
+    Reattach(usize, usize),
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (any::<usize>(), any::<u8>()).prop_map(|(p, n)| Op::AddElement(p, n % 8)),
         (any::<usize>(), "[a-z ]{0,8}").prop_map(|(p, t)| Op::AddText(p, t)),
-        (any::<usize>(), any::<u8>(), "[a-z]{0,5}")
-            .prop_map(|(p, n, v)| Op::SetAttr(p, n % 4, v)),
+        (any::<usize>(), any::<u8>(), "[a-z]{0,5}").prop_map(|(p, n, v)| Op::SetAttr(p, n % 4, v)),
         any::<usize>().prop_map(Op::Detach),
         (any::<usize>(), any::<u8>()).prop_map(|(p, n)| Op::Rename(p, n % 8)),
+        (any::<usize>(), any::<u8>()).prop_map(|(p, n)| Op::InsertBefore(p, n % 8)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Reattach(a, b)),
     ]
 }
 
@@ -67,6 +72,23 @@ fn apply_ops(ops: &[Op]) -> (Document, Vec<NodeId>) {
             Op::Rename(p, n) => {
                 let target = elems[p % elems.len()];
                 let _ = doc.rename(target, elem_name(*n));
+            }
+            Op::InsertBefore(p, n) => {
+                let anchor = elems[p % elems.len()];
+                if anchor != root && doc.parent(anchor).is_some() {
+                    let e = doc.create_element(elem_name(*n));
+                    if doc.insert_before(e, anchor).is_ok() {
+                        elems.push(e);
+                    }
+                }
+            }
+            Op::Reattach(a, b) => {
+                let target = elems[a % elems.len()];
+                let dest = elems[b % elems.len()];
+                if target != root && !doc.is_ancestor_or_self(target, dest) {
+                    let _ = doc.detach(target);
+                    let _ = doc.append_child(dest, target);
+                }
             }
         }
     }
@@ -161,6 +183,67 @@ proptest! {
     }
 
     #[test]
+    fn indexed_order_agrees_with_naive(ops in prop::collection::vec(op_strategy(), 0..60)) {
+        let (doc, _) = apply_ops(&ops);
+        // Every arena slot is a live node (detached ones root their own
+        // trees); the indexed comparison must agree with the naive
+        // child-index-path comparison on all pairs.
+        let all: Vec<NodeId> = (0..doc.len() as u32).map(NodeId).collect();
+        for &a in &all {
+            for &b in &all {
+                prop_assert_eq!(
+                    xqib_dom::order::cmp_doc_order_local(&doc, a, b),
+                    xqib_dom::order::cmp_doc_order_local_naive(&doc, a, b),
+                    "index/naive disagree on ({:?}, {:?})", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interval_labels_are_consistent(ops in prop::collection::vec(op_strategy(), 0..60)) {
+        let (doc, _) = apply_ops(&ops);
+        let ix = doc.order_index();
+        let n = doc.len();
+        prop_assert_eq!(ix.pre_order().len(), n, "every node labelled once");
+        for slot in 0..n as u32 {
+            let v = NodeId(slot);
+            prop_assert!(ix.begin(v) <= ix.end(v));
+            prop_assert_eq!(ix.pre_order()[ix.begin(v) as usize], v);
+            // interval containment matches the parent walk
+            if let Some(p) = doc.parent(v) {
+                prop_assert!(ix.is_ancestor_of(p, v));
+                prop_assert!(ix.begin(p) <= ix.begin(v) && ix.end(v) <= ix.end(p));
+            }
+            prop_assert_eq!(ix.tree_root(v), doc.tree_root(v));
+        }
+    }
+
+    #[test]
+    fn sort_dedup_after_mutation(ops in prop::collection::vec(op_strategy(), 0..40), seed in 0u64..1000) {
+        let (doc, _) = apply_ops(&ops);
+        let n = doc.len() as u64;
+        let mut store = xqib_dom::Store::new();
+        let id = store.add_document(doc, Some("t.xml"));
+        // deterministic pseudo-shuffled multiset of nodes
+        let mut nodes: Vec<xqib_dom::NodeRef> = (0..2 * n)
+            .map(|i| {
+                let slot = (seed.wrapping_mul(6364136223846793005).wrapping_add(i * 2654435761)) % n;
+                xqib_dom::NodeRef::new(id, NodeId(slot as u32))
+            })
+            .collect();
+        xqib_dom::sort_dedup(&store, &mut nodes);
+        let doc = store.doc(id);
+        for w in nodes.windows(2) {
+            prop_assert_eq!(
+                xqib_dom::order::cmp_doc_order_local_naive(doc, w[0].node, w[1].node),
+                std::cmp::Ordering::Less,
+                "sort_dedup output not strictly ascending"
+            );
+        }
+    }
+
+    #[test]
     fn attribute_value_roundtrip(v in "[ -~]{0,30}") {
         let mut doc = Document::new();
         let e = doc.create_element(QName::local("x"));
@@ -171,4 +254,71 @@ proptest! {
         let root_elem = reparsed.children(reparsed.root())[0];
         prop_assert_eq!(reparsed.get_attribute(root_elem, None, "a"), Some(v.as_str()));
     }
+}
+
+/// Regression: the index must notice every structural mutation. Each
+/// mutation kind is exercised against a *warm* index (built, then
+/// invalidated) and the post-mutation comparison checked against the naive
+/// oracle — a stale index would keep reporting the old order.
+#[test]
+fn stale_index_is_rebuilt_after_each_mutation_kind() {
+    use std::cmp::Ordering;
+    use xqib_dom::order::{cmp_doc_order_local, cmp_doc_order_local_naive};
+
+    let mut doc = Document::new();
+    let root = doc.create_element(QName::local("root"));
+    doc.append_child(doc.root(), root).unwrap();
+    let a = doc.create_element(QName::local("a"));
+    let b = doc.create_element(QName::local("b"));
+    doc.append_child(root, a).unwrap();
+    doc.append_child(root, b).unwrap();
+
+    // Warm the index.
+    assert_eq!(cmp_doc_order_local(&doc, a, b), Ordering::Less);
+
+    // insert_before: c lands between a and b.
+    let c = doc.create_element(QName::local("c"));
+    doc.insert_before(c, b).unwrap();
+    assert_eq!(cmp_doc_order_local(&doc, a, c), Ordering::Less);
+    assert_eq!(cmp_doc_order_local(&doc, c, b), Ordering::Less);
+
+    // detach (remove): a becomes its own tree, after the attached tree.
+    assert_eq!(cmp_doc_order_local(&doc, a, b), Ordering::Less);
+    doc.detach(a).unwrap();
+    assert_eq!(
+        cmp_doc_order_local(&doc, a, b),
+        cmp_doc_order_local_naive(&doc, a, b)
+    );
+
+    // re-append: a now sorts after b.
+    doc.append_child(root, a).unwrap();
+    assert_eq!(cmp_doc_order_local(&doc, b, a), Ordering::Less);
+
+    // set_attribute (new attribute node): attr sits between c and its
+    // following sibling.
+    assert_eq!(cmp_doc_order_local(&doc, c, b), Ordering::Less);
+    let attr = doc.set_attribute(c, QName::local("x"), "1").unwrap();
+    assert_eq!(cmp_doc_order_local(&doc, c, attr), Ordering::Less);
+    assert_eq!(cmp_doc_order_local(&doc, attr, b), Ordering::Less);
+
+    // merge_adjacent_text rewrites child lists in place.
+    let t1 = doc.create_text("x");
+    let t2 = doc.create_text("y");
+    doc.append_child(root, t1).unwrap();
+    doc.append_child(root, t2).unwrap();
+    assert_eq!(cmp_doc_order_local(&doc, t1, t2), Ordering::Less);
+    doc.merge_adjacent_text(root).unwrap();
+    assert_eq!(
+        cmp_doc_order_local(&doc, t1, t2),
+        cmp_doc_order_local_naive(&doc, t1, t2)
+    );
+
+    // replace_node: the replacement takes the old node's position.
+    let d = doc.create_element(QName::local("d"));
+    doc.replace_node(c, d).unwrap();
+    assert_eq!(cmp_doc_order_local(&doc, d, b), Ordering::Less);
+    assert_eq!(
+        cmp_doc_order_local(&doc, c, d),
+        cmp_doc_order_local_naive(&doc, c, d)
+    );
 }

@@ -52,7 +52,12 @@ pub enum JsStmt {
     If(JsExpr, Vec<JsStmt>, Vec<JsStmt>),
     While(JsExpr, Vec<JsStmt>),
     /// `for (init; cond; step) body`
-    For(Option<Box<JsStmt>>, Option<JsExpr>, Option<JsExpr>, Vec<JsStmt>),
+    For(
+        Option<Box<JsStmt>>,
+        Option<JsExpr>,
+        Option<JsExpr>,
+        Vec<JsStmt>,
+    ),
     Return(Option<JsExpr>),
     FunctionDecl(String, Rc<JsFunction>),
 }

@@ -228,17 +228,10 @@ impl JsEngine {
         self.globals.get(name)
     }
 
-    fn call_function(
-        &mut self,
-        func: &Rc<JsFunction>,
-        args: Vec<Value>,
-    ) -> Result<Value, JsError> {
+    fn call_function(&mut self, func: &Rc<JsFunction>, args: Vec<Value>) -> Result<Value, JsError> {
         let mut scopes = vec![HashMap::new()];
         for (i, p) in func.params.iter().enumerate() {
-            scopes[0].insert(
-                p.clone(),
-                args.get(i).cloned().unwrap_or(Value::Undefined),
-            );
+            scopes[0].insert(p.clone(), args.get(i).cloned().unwrap_or(Value::Undefined));
         }
         for stmt in &func.body {
             if let JsStmt::FunctionDecl(name, f) = stmt {
@@ -349,11 +342,7 @@ impl JsEngine {
         }
     }
 
-    fn lookup(
-        &self,
-        name: &str,
-        scopes: &[HashMap<String, Value>],
-    ) -> Option<Value> {
+    fn lookup(&self, name: &str, scopes: &[HashMap<String, Value>]) -> Option<Value> {
         for scope in scopes.iter().rev() {
             if let Some(v) = scope.get(name) {
                 return Some(v.clone());
@@ -362,12 +351,7 @@ impl JsEngine {
         self.globals.get(name).cloned()
     }
 
-    fn assign_ident(
-        &mut self,
-        name: &str,
-        value: Value,
-        scopes: &mut [HashMap<String, Value>],
-    ) {
+    fn assign_ident(&mut self, name: &str, value: Value, scopes: &mut [HashMap<String, Value>]) {
         for scope in scopes.iter_mut().rev() {
             if scope.contains_key(name) {
                 scope.insert(name.to_string(), value);
@@ -407,12 +391,8 @@ impl JsEngine {
                     .ok_or_else(|| JsError(format!("`{name}` is not defined"))),
             },
             JsExpr::FunctionLit(f) => Ok(Value::Function(f.clone())),
-            JsExpr::Not(inner) => {
-                Ok(Value::Bool(!self.eval(inner, scopes)?.truthy()))
-            }
-            JsExpr::Neg(inner) => {
-                Ok(Value::Number(-self.eval(inner, scopes)?.to_number()))
-            }
+            JsExpr::Not(inner) => Ok(Value::Bool(!self.eval(inner, scopes)?.truthy())),
+            JsExpr::Neg(inner) => Ok(Value::Number(-self.eval(inner, scopes)?.to_number())),
             JsExpr::Binary(op, l, r) => self.eval_binary(*op, l, r, scopes),
             JsExpr::Member(obj, name) => {
                 let o = self.eval(obj, scopes)?;
@@ -500,11 +480,19 @@ impl JsEngine {
         // short-circuit
         if op == BinOp::And {
             let lv = self.eval(l, scopes)?;
-            return if lv.truthy() { self.eval(r, scopes) } else { Ok(lv) };
+            return if lv.truthy() {
+                self.eval(r, scopes)
+            } else {
+                Ok(lv)
+            };
         }
         if op == BinOp::Or {
             let lv = self.eval(l, scopes)?;
-            return if lv.truthy() { Ok(lv) } else { self.eval(r, scopes) };
+            return if lv.truthy() {
+                Ok(lv)
+            } else {
+                self.eval(r, scopes)
+            };
         }
         let lv = self.eval(l, scopes)?;
         let rv = self.eval(r, scopes)?;
@@ -601,21 +589,12 @@ impl JsEngine {
                 "length" => Ok(Value::Number(s.chars().count() as f64)),
                 _ => Ok(Value::Undefined),
             },
-            Value::Object(m) => Ok(m
-                .borrow()
-                .get(name)
-                .cloned()
-                .unwrap_or(Value::Undefined)),
+            Value::Object(m) => Ok(m.borrow().get(name).cloned().unwrap_or(Value::Undefined)),
             _ => Ok(Value::Undefined),
         }
     }
 
-    fn set_member(
-        &mut self,
-        obj: &Value,
-        name: &str,
-        value: Value,
-    ) -> Result<(), JsError> {
+    fn set_member(&mut self, obj: &Value, name: &str, value: Value) -> Result<(), JsError> {
         match obj {
             Value::Host(HostObject::Window) => {
                 if name == "status" {
@@ -656,10 +635,7 @@ impl JsEngine {
         match callee {
             JsExpr::Ident(name) => match name.as_str() {
                 "alert" => {
-                    let msg = argv
-                        .first()
-                        .map(|v| v.to_js_string())
-                        .unwrap_or_default();
+                    let msg = argv.first().map(|v| v.to_js_string()).unwrap_or_default();
                     self.alerts.push(msg);
                     Ok(Value::Undefined)
                 }
@@ -745,7 +721,9 @@ impl JsEngine {
                         .map(|v| v.to_number() as usize)
                         .unwrap_or(chars.len());
                     Ok(Value::Str(
-                        chars[a.min(chars.len())..b.min(chars.len())].iter().collect(),
+                        chars[a.min(chars.len())..b.min(chars.len())]
+                            .iter()
+                            .collect(),
                     ))
                 }
                 "toUpperCase" => Ok(Value::Str(s.to_uppercase())),
@@ -763,11 +741,7 @@ impl JsEngine {
         }
     }
 
-    fn document_method(
-        &mut self,
-        method: &str,
-        args: Vec<Value>,
-    ) -> Result<Value, JsError> {
+    fn document_method(&mut self, method: &str, args: Vec<Value>) -> Result<Value, JsError> {
         match method {
             "createElement" => {
                 let tag = args.first().map(|v| v.to_js_string()).unwrap_or_default();
@@ -824,8 +798,8 @@ impl JsEngine {
             position: 1,
             size: 1,
         });
-        let result = xqib_xquery::eval::eval_expr(&mut ctx, &expr)
-            .map_err(|e| JsError(e.to_string()))?;
+        let result =
+            xqib_xquery::eval::eval_expr(&mut ctx, &expr).map_err(|e| JsError(e.to_string()))?;
         Ok(result.into_iter().filter_map(|i| i.as_node()).collect())
     }
 
@@ -894,8 +868,7 @@ impl JsEngine {
                     .unwrap_or(Value::Null))
             }
             "addEventListener" => {
-                let event_type =
-                    args.first().map(|v| v.to_js_string()).unwrap_or_default();
+                let event_type = args.first().map(|v| v.to_js_string()).unwrap_or_default();
                 let f = args.get(1).cloned().unwrap_or(Value::Undefined);
                 if !matches!(f, Value::Function(_)) {
                     return err("addEventListener requires a function");
@@ -904,8 +877,7 @@ impl JsEngine {
                 Ok(Value::Undefined)
             }
             "removeEventListener" => {
-                let event_type =
-                    args.first().map(|v| v.to_js_string()).unwrap_or_default();
+                let event_type = args.first().map(|v| v.to_js_string()).unwrap_or_default();
                 let f = args.get(1).cloned().unwrap_or(Value::Undefined);
                 self.pending_removals.push((n, event_type, f));
                 Ok(Value::Undefined)
@@ -988,7 +960,8 @@ mod tests {
     #[test]
     fn arithmetic_and_strings() {
         let mut e = engine_with("<html/>");
-        e.run("var x = 1 + 2 * 3; alert('' + x); alert('a' + 1);").unwrap();
+        e.run("var x = 1 + 2 * 3; alert('' + x); alert('a' + 1);")
+            .unwrap();
         assert_eq!(e.alerts, vec!["7", "a1"]);
     }
 
@@ -1019,10 +992,8 @@ mod tests {
     #[test]
     fn arrays() {
         let mut e = engine_with("<html/>");
-        e.run(
-            "var a = [1, 2]; a.push(3); a[0] = 9; alert('' + a.length + ':' + a[0] + a[2]);",
-        )
-        .unwrap();
+        e.run("var a = [1, 2]; a.push(3); a[0] = 9; alert('' + a.length + ':' + a[0] + a[2]);")
+            .unwrap();
         assert_eq!(e.alerts, vec!["3:93"]);
     }
 
@@ -1055,9 +1026,8 @@ mod tests {
     #[test]
     fn embedded_xpath_snapshot() {
         // §2.2's document.evaluate example shape
-        let mut e = engine_with(
-            r#"<html><body><div>I love XQuery</div><div>meh</div></body></html>"#,
-        );
+        let mut e =
+            engine_with(r#"<html><body><div>I love XQuery</div><div>meh</div></body></html>"#);
         e.run(
             "var allDivs = document.evaluate(\"//div[contains(., 'love')]\", document, null, 7, null);
              if (allDivs.snapshotLength > 0) {
@@ -1068,7 +1038,10 @@ mod tests {
         )
         .unwrap();
         let p = page(&e);
-        assert!(p.starts_with("<html><body><img src=\"http://x/heart.gif\"/>"), "{p}");
+        assert!(
+            p.starts_with("<html><body><img src=\"http://x/heart.gif\"/>"),
+            "{p}"
+        );
     }
 
     #[test]
@@ -1098,10 +1071,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(e.window_status, "Welcome");
-        assert_eq!(
-            e.alerts,
-            vec!["Microsoft Internet Explorer", "1024"]
-        );
+        assert_eq!(e.alerts, vec!["Microsoft Internet Explorer", "1024"]);
     }
 
     #[test]

@@ -232,13 +232,13 @@ pub fn tokenize(src: &str) -> Result<Vec<JsTok>, String> {
                 }
                 let text = &src[start..i];
                 out.push(JsTok::Number(
-                    text.parse::<f64>().map_err(|_| format!("bad number `{text}`"))?,
+                    text.parse::<f64>()
+                        .map_err(|_| format!("bad number `{text}`"))?,
                 ));
             }
             c if c.is_ascii_alphabetic() || c == b'_' || c == b'$' => {
                 let start = i;
-                while i < b.len()
-                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'$')
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'$')
                 {
                     i += 1;
                 }

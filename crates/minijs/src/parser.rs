@@ -26,8 +26,6 @@ impl JsParser {
         &self.toks[self.pos]
     }
 
-
-
     fn bump(&mut self) -> JsTok {
         let t = self.toks[self.pos].clone();
         if self.pos + 1 < self.toks.len() {

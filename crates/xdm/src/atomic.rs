@@ -126,13 +126,9 @@ impl Atomic {
                     }
                 }
                 Atomic::Boolean(b) => Ok(Atomic::Integer(if *b { 1 } else { 0 })),
-                _ => s
-                    .trim()
-                    .parse::<i64>()
-                    .map(Atomic::Integer)
-                    .map_err(|_| {
-                        XdmError::invalid_cast(format!("cannot cast `{s}` to xs:integer"))
-                    }),
+                _ => s.trim().parse::<i64>().map(Atomic::Integer).map_err(|_| {
+                    XdmError::invalid_cast(format!("cannot cast `{s}` to xs:integer"))
+                }),
             },
             Decimal => match self {
                 Atomic::Integer(i) => Ok(Atomic::Decimal(*i as f64)),
@@ -147,9 +143,7 @@ impl Atomic {
                         Ok(Atomic::Decimal(*d))
                     }
                 }
-                Atomic::Boolean(b) => {
-                    Ok(Atomic::Decimal(if *b { 1.0 } else { 0.0 }))
-                }
+                Atomic::Boolean(b) => Ok(Atomic::Decimal(if *b { 1.0 } else { 0.0 })),
                 _ => {
                     let t = s.trim();
                     if t.eq_ignore_ascii_case("nan")
@@ -161,9 +155,7 @@ impl Atomic {
                         )))
                     } else {
                         t.parse::<f64>().map(Atomic::Decimal).map_err(|_| {
-                            XdmError::invalid_cast(format!(
-                                "cannot cast `{s}` to xs:decimal"
-                            ))
+                            XdmError::invalid_cast(format!("cannot cast `{s}` to xs:decimal"))
                         })
                     }
                 }
@@ -188,7 +180,12 @@ impl Atomic {
                 Atomic::DateTime(dt) => Ok(Atomic::DateTime(*dt)),
                 Atomic::Date(d) => Ok(Atomic::DateTime(crate::datetime::DateTime::new(
                     *d,
-                    crate::datetime::Time { hour: 0, minute: 0, second: 0, millis: 0 },
+                    crate::datetime::Time {
+                        hour: 0,
+                        minute: 0,
+                        second: 0,
+                        millis: 0,
+                    },
                 ))),
                 _ => crate::datetime::DateTime::parse(&s).map(Atomic::DateTime),
             },
@@ -214,9 +211,9 @@ pub fn parse_double(s: &str) -> XdmResult<f64> {
         "INF" | "+INF" => Ok(f64::INFINITY),
         "-INF" => Ok(f64::NEG_INFINITY),
         "NaN" => Ok(f64::NAN),
-        _ => t.parse::<f64>().map_err(|_| {
-            XdmError::invalid_cast(format!("cannot cast `{s}` to xs:double"))
-        }),
+        _ => t
+            .parse::<f64>()
+            .map_err(|_| XdmError::invalid_cast(format!("cannot cast `{s}` to xs:double"))),
     }
 }
 
@@ -225,7 +222,11 @@ pub fn format_double(d: f64) -> String {
     if d.is_nan() {
         "NaN".to_string()
     } else if d.is_infinite() {
-        if d > 0.0 { "INF".to_string() } else { "-INF".to_string() }
+        if d > 0.0 {
+            "INF".to_string()
+        } else {
+            "-INF".to_string()
+        }
     } else if d == d.trunc() && d.abs() < 1e15 {
         format!("{}", d as i64)
     } else {
@@ -266,10 +267,16 @@ mod tests {
     #[test]
     fn cast_string_to_numbers() {
         let s = Atomic::str(" 12 ");
-        assert!(matches!(s.cast_to(TypeName::Integer).unwrap(), Atomic::Integer(12)));
+        assert!(matches!(
+            s.cast_to(TypeName::Integer).unwrap(),
+            Atomic::Integer(12)
+        ));
         let s = Atomic::str("1.5e2");
         assert!(matches!(s.cast_to(TypeName::Double).unwrap(), Atomic::Double(d) if d == 150.0));
-        assert!(s.cast_to(TypeName::Decimal).is_err(), "decimal rejects exponents");
+        assert!(
+            s.cast_to(TypeName::Decimal).is_err(),
+            "decimal rejects exponents"
+        );
         assert!(Atomic::str("abc").cast_to(TypeName::Integer).is_err());
     }
 
@@ -324,7 +331,9 @@ mod tests {
     fn date_casts() {
         let d = Atomic::str("2009-04-20").cast_to(TypeName::Date).unwrap();
         assert_eq!(d.string_value(), "2009-04-20");
-        let dt = Atomic::str("2009-04-20T08:00:00").cast_to(TypeName::DateTime).unwrap();
+        let dt = Atomic::str("2009-04-20T08:00:00")
+            .cast_to(TypeName::DateTime)
+            .unwrap();
         let back = dt.cast_to(TypeName::Date).unwrap();
         assert_eq!(back.string_value(), "2009-04-20");
         let t = dt.cast_to(TypeName::Time).unwrap();

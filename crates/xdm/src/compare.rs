@@ -52,9 +52,9 @@ pub fn compare_atomics(a: &Atomic, b: &Atomic) -> XdmResult<Ordering> {
         (Date(x), Date(y)) => Ok(x.cmp(y)),
         (Time(x), Time(y)) => Ok(x.cmp(y)),
         (DateTime(x), DateTime(y)) => Ok(x.cmp(y)),
-        (Duration(x), Duration(y)) => x.try_cmp(y).ok_or_else(|| {
-            XdmError::type_error("cannot compare mixed-flavour durations")
-        }),
+        (Duration(x), Duration(y)) => x
+            .try_cmp(y)
+            .ok_or_else(|| XdmError::type_error("cannot compare mixed-flavour durations")),
         (QName(x), QName(y)) => {
             // QNames support eq/ne only; we map equality onto Ordering and
             // reject ordering via compare_atomics_op below.
@@ -95,11 +95,7 @@ pub fn value_compare(op: CompOp, a: &Atomic, b: &Atomic) -> XdmResult<bool> {
         match (a, b, op) {
             (Atomic::QName(x), Atomic::QName(y), CompOp::Eq) => return Ok(x == y),
             (Atomic::QName(x), Atomic::QName(y), CompOp::Ne) => return Ok(x != y),
-            _ => {
-                return Err(XdmError::type_error(
-                    "QNames support only eq/ne comparison",
-                ))
-            }
+            _ => return Err(XdmError::type_error("QNames support only eq/ne comparison")),
         }
     }
     match compare_atomics(a, b) {
@@ -127,12 +123,8 @@ pub fn general_compare(op: CompOp, left: &[Atomic], right: &[Atomic]) -> XdmResu
 fn promote_for_general(a: &Atomic, b: &Atomic) -> XdmResult<(Atomic, Atomic)> {
     use Atomic::*;
     match (a, b) {
-        (Untyped(_), _) if b.is_numeric() => {
-            Ok((Double(a.as_double()?), b.clone()))
-        }
-        (_, Untyped(_)) if a.is_numeric() => {
-            Ok((a.clone(), Double(b.as_double()?)))
-        }
+        (Untyped(_), _) if b.is_numeric() => Ok((Double(a.as_double()?), b.clone())),
+        (_, Untyped(_)) if a.is_numeric() => Ok((a.clone(), Double(b.as_double()?))),
         (Untyped(s), Untyped(t)) => Ok((Atomic::str(&**s), Atomic::str(&**t))),
         (Untyped(_), _) => Ok((a.cast_to(b.type_name())?, b.clone())),
         (_, Untyped(_)) => Ok((a.clone(), b.cast_to(a.type_name())?)),
@@ -170,8 +162,9 @@ mod tests {
 
     #[test]
     fn untyped_promotes_to_double_against_numbers() {
-        assert!(value_compare(CompOp::Eq, &Atomic::untyped("1500"), &Atomic::Integer(1500))
-            .unwrap());
+        assert!(
+            value_compare(CompOp::Eq, &Atomic::untyped("1500"), &Atomic::Integer(1500)).unwrap()
+        );
         assert!(value_compare(CompOp::Gt, &Atomic::untyped("10"), &Atomic::Integer(9)).unwrap());
         // string comparison would say "10" < "9"; numeric promotion wins:
         assert!(!value_compare(CompOp::Lt, &Atomic::untyped("10"), &Atomic::Integer(9)).unwrap());
@@ -179,8 +172,7 @@ mod tests {
 
     #[test]
     fn incompatible_types_error() {
-        let err =
-            value_compare(CompOp::Eq, &Atomic::str("x"), &Atomic::Integer(1)).unwrap_err();
+        let err = value_compare(CompOp::Eq, &Atomic::str("x"), &Atomic::Integer(1)).unwrap_err();
         assert_eq!(err.code, "XPTY0004");
     }
 
@@ -199,18 +191,18 @@ mod tests {
         assert!(general_compare(CompOp::Eq, &left, &right).unwrap());
         assert!(!general_compare(CompOp::Gt, &[Atomic::Integer(1)], &right).unwrap());
         assert!(general_compare(CompOp::Lt, &[Atomic::Integer(1)], &right).unwrap());
-        assert!(!general_compare(CompOp::Eq, &[], &right).unwrap(), "empty never matches");
+        assert!(
+            !general_compare(CompOp::Eq, &[], &right).unwrap(),
+            "empty never matches"
+        );
     }
 
     #[test]
     fn general_comparison_untyped_rules() {
         // untyped vs numeric -> numeric
-        assert!(general_compare(
-            CompOp::Eq,
-            &[Atomic::untyped("07")],
-            &[Atomic::Integer(7)]
-        )
-        .unwrap());
+        assert!(
+            general_compare(CompOp::Eq, &[Atomic::untyped("07")], &[Atomic::Integer(7)]).unwrap()
+        );
         // untyped vs untyped -> string
         assert!(!general_compare(
             CompOp::Eq,

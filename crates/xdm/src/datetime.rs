@@ -84,7 +84,11 @@ impl Date {
             if parts.len() != 3 {
                 return Err(XdmError::invalid_cast(format!("bad xs:date `{s}`")));
             }
-            (parts[0].to_string(), parts[1].to_string(), parts[2].to_string())
+            (
+                parts[0].to_string(),
+                parts[1].to_string(),
+                parts[2].to_string(),
+            )
         };
         let year: i32 = y
             .parse()
@@ -137,7 +141,11 @@ impl Date {
             target -= days_in_month(year, month) as i64;
             month += 1;
         }
-        Date { year, month, day: (target + 1) as u8 }
+        Date {
+            year,
+            month,
+            day: (target + 1) as u8,
+        }
     }
 }
 
@@ -154,7 +162,12 @@ impl Time {
                 "invalid xs:time {hour}:{minute}:{second}.{millis}"
             )));
         }
-        Ok(Time { hour, minute, second, millis })
+        Ok(Time {
+            hour,
+            minute,
+            second,
+            millis,
+        })
     }
 
     /// Parses `HH:MM:SS(.mmm)?`.
@@ -172,8 +185,7 @@ impl Time {
             .map_err(|_| XdmError::invalid_cast(format!("bad minute in `{s}`")))?;
         let (sec_str, ms) = match parts[2].split_once('.') {
             Some((sec, frac)) => {
-                let frac3: String =
-                    format!("{frac:0<3}").chars().take(3).collect();
+                let frac3: String = format!("{frac:0<3}").chars().take(3).collect();
                 (sec.to_string(), frac3.parse::<u16>().unwrap_or(0))
             }
             None => (parts[2].to_string(), 0),
@@ -185,8 +197,7 @@ impl Time {
     }
 
     pub fn millis_of_day(&self) -> i64 {
-        ((self.hour as i64 * 60 + self.minute as i64) * 60 + self.second as i64)
-            * 1000
+        ((self.hour as i64 * 60 + self.minute as i64) * 60 + self.second as i64) * 1000
             + self.millis as i64
     }
 }
@@ -216,7 +227,10 @@ impl DateTime {
         let (d, t) = s
             .split_once('T')
             .ok_or_else(|| XdmError::invalid_cast(format!("bad xs:dateTime `{s}`")))?;
-        Ok(DateTime { date: Date::parse(d)?, time: Time::parse(t)? })
+        Ok(DateTime {
+            date: Date::parse(d)?,
+            time: Time::parse(t)?,
+        })
     }
 
     /// Milliseconds since the epoch.
@@ -228,12 +242,25 @@ impl DateTime {
     pub fn from_epoch_millis(ms: i64) -> Self {
         let days = ms.div_euclid(86_400_000);
         let rem = ms.rem_euclid(86_400_000);
-        let date = Date { year: 1970, month: 1, day: 1 }.plus_days(days);
+        let date = Date {
+            year: 1970,
+            month: 1,
+            day: 1,
+        }
+        .plus_days(days);
         let hour = (rem / 3_600_000) as u8;
         let minute = ((rem / 60_000) % 60) as u8;
         let second = ((rem / 1000) % 60) as u8;
         let millis = (rem % 1000) as u16;
-        DateTime { date, time: Time { hour, minute, second, millis } }
+        DateTime {
+            date,
+            time: Time {
+                hour,
+                minute,
+                second,
+                millis,
+            },
+        }
     }
 }
 
@@ -392,7 +419,14 @@ mod tests {
     #[test]
     fn date_parse_and_format() {
         let d = Date::parse("2009-04-20").unwrap();
-        assert_eq!(d, Date { year: 2009, month: 4, day: 20 });
+        assert_eq!(
+            d,
+            Date {
+                year: 2009,
+                month: 4,
+                day: 20
+            }
+        );
         assert_eq!(d.to_string(), "2009-04-20");
         assert!(Date::parse("2009-13-01").is_err());
         assert!(Date::parse("2009-02-30").is_err());
@@ -421,7 +455,10 @@ mod tests {
         let dt = DateTime::parse("2009-04-20T12:34:56.789").unwrap();
         let ms = dt.epoch_millis();
         assert_eq!(DateTime::from_epoch_millis(ms), dt);
-        assert_eq!(DateTime::from_epoch_millis(0).to_string(), "1970-01-01T00:00:00");
+        assert_eq!(
+            DateTime::from_epoch_millis(0).to_string(),
+            "1970-01-01T00:00:00"
+        );
     }
 
     #[test]

@@ -13,9 +13,7 @@ pub fn effective_boolean_value(seq: &[Item]) -> XdmResult<bool> {
         [Item::Node(_), ..] => Ok(true),
         [Item::Atomic(a)] => match a {
             Atomic::Boolean(b) => Ok(*b),
-            Atomic::String(s) | Atomic::Untyped(s) | Atomic::AnyUri(s) => {
-                Ok(!s.is_empty())
-            }
+            Atomic::String(s) | Atomic::Untyped(s) | Atomic::AnyUri(s) => Ok(!s.is_empty()),
             Atomic::Integer(i) => Ok(*i != 0),
             Atomic::Decimal(d) | Atomic::Double(d) => Ok(*d != 0.0 && !d.is_nan()),
             other => Err(XdmError::no_ebv(format!(
@@ -63,8 +61,7 @@ mod tests {
 
     #[test]
     fn multi_atomic_is_error() {
-        let err =
-            effective_boolean_value(&[Item::integer(1), Item::integer(2)]).unwrap_err();
+        let err = effective_boolean_value(&[Item::integer(1), Item::integer(2)]).unwrap_err();
         assert_eq!(err.code, "FORG0006");
     }
 

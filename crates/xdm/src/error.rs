@@ -17,7 +17,10 @@ pub struct XdmError {
 
 impl XdmError {
     pub fn new(code: &str, message: impl Into<String>) -> Self {
-        XdmError { code: code.to_string(), message: message.into() }
+        XdmError {
+            code: code.to_string(),
+            message: message.into(),
+        }
     }
 
     /// XPTY0004 — type error during evaluation.

@@ -35,10 +35,8 @@ impl TypeName {
             "untypedAtomic" => TypeName::UntypedAtomic,
             "boolean" => TypeName::Boolean,
             "integer" | "int" | "long" | "short" | "byte" | "nonNegativeInteger"
-            | "positiveInteger" | "negativeInteger" | "nonPositiveInteger"
-            | "unsignedInt" | "unsignedLong" | "unsignedShort" | "unsignedByte" => {
-                TypeName::Integer
-            }
+            | "positiveInteger" | "negativeInteger" | "nonPositiveInteger" | "unsignedInt"
+            | "unsignedLong" | "unsignedShort" | "unsignedByte" => TypeName::Integer,
             "decimal" => TypeName::Decimal,
             "double" | "float" => TypeName::Double,
             "QName" => TypeName::QName,
@@ -135,13 +133,25 @@ pub struct SequenceType {
 
 impl SequenceType {
     pub fn one(item: ItemType) -> Self {
-        SequenceType { item, occurrence: Occurrence::One, empty_sequence: false }
+        SequenceType {
+            item,
+            occurrence: Occurrence::One,
+            empty_sequence: false,
+        }
     }
     pub fn zero_or_more(item: ItemType) -> Self {
-        SequenceType { item, occurrence: Occurrence::ZeroOrMore, empty_sequence: false }
+        SequenceType {
+            item,
+            occurrence: Occurrence::ZeroOrMore,
+            empty_sequence: false,
+        }
     }
     pub fn optional(item: ItemType) -> Self {
-        SequenceType { item, occurrence: Occurrence::Optional, empty_sequence: false }
+        SequenceType {
+            item,
+            occurrence: Occurrence::Optional,
+            empty_sequence: false,
+        }
     }
     pub fn empty() -> Self {
         SequenceType {
@@ -201,44 +211,32 @@ pub fn item_matches(store: &Store, ty: &ItemType, item: &Item) -> bool {
         (ItemType::AnyItem, _) => true,
         (ItemType::AnyNode, Item::Node(_)) => true,
         (ItemType::Atomic(t), Item::Atomic(a)) => a.type_name().is_subtype_of(*t),
-        (ItemType::Element(name), Item::Node(n)) => {
-            match store.doc(n.doc).kind(n.node) {
-                NodeKind::Element { name: actual, .. } => match name {
-                    Some(q) => actual == q,
-                    None => true,
-                },
-                _ => false,
-            }
-        }
-        (ItemType::Attribute(name), Item::Node(n)) => {
-            match store.doc(n.doc).kind(n.node) {
-                NodeKind::Attribute { name: actual, .. } => match name {
-                    Some(q) => actual == q,
-                    None => true,
-                },
-                _ => false,
-            }
-        }
-        (ItemType::Text, Item::Node(n)) => {
-            store.doc(n.doc).kind(n.node).is_text()
-        }
+        (ItemType::Element(name), Item::Node(n)) => match store.doc(n.doc).kind(n.node) {
+            NodeKind::Element { name: actual, .. } => match name {
+                Some(q) => actual == q,
+                None => true,
+            },
+            _ => false,
+        },
+        (ItemType::Attribute(name), Item::Node(n)) => match store.doc(n.doc).kind(n.node) {
+            NodeKind::Attribute { name: actual, .. } => match name {
+                Some(q) => actual == q,
+                None => true,
+            },
+            _ => false,
+        },
+        (ItemType::Text, Item::Node(n)) => store.doc(n.doc).kind(n.node).is_text(),
         (ItemType::Comment, Item::Node(n)) => {
             matches!(store.doc(n.doc).kind(n.node), NodeKind::Comment { .. })
         }
-        (ItemType::Pi(target), Item::Node(n)) => {
-            match store.doc(n.doc).kind(n.node) {
-                NodeKind::ProcessingInstruction { target: actual, .. } => {
-                    match target {
-                        Some(t) => actual == t,
-                        None => true,
-                    }
-                }
-                _ => false,
-            }
-        }
-        (ItemType::Document, Item::Node(n)) => {
-            store.doc(n.doc).kind(n.node).is_document()
-        }
+        (ItemType::Pi(target), Item::Node(n)) => match store.doc(n.doc).kind(n.node) {
+            NodeKind::ProcessingInstruction { target: actual, .. } => match target {
+                Some(t) => actual == t,
+                None => true,
+            },
+            _ => false,
+        },
+        (ItemType::Document, Item::Node(n)) => store.doc(n.doc).kind(n.node).is_document(),
         _ => false,
     }
 }
@@ -331,8 +329,7 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(
-            SequenceType::zero_or_more(ItemType::Element(Some(QName::local("p"))))
-                .to_string(),
+            SequenceType::zero_or_more(ItemType::Element(Some(QName::local("p")))).to_string(),
             "element(p)*"
         );
         assert_eq!(

@@ -4,8 +4,7 @@
 use proptest::prelude::*;
 
 use xqib_xdm::{
-    compare_atomics, effective_boolean_value, value_compare, Atomic, CompOp,
-    Item, TypeName,
+    compare_atomics, effective_boolean_value, value_compare, Atomic, CompOp, Item, TypeName,
 };
 
 proptest! {

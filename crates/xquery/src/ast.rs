@@ -46,8 +46,11 @@ impl Axis {
     pub fn is_reverse(self) -> bool {
         matches!(
             self,
-            Axis::Parent | Axis::Ancestor | Axis::PrecedingSibling
-                | Axis::Preceding | Axis::AncestorOrSelf
+            Axis::Parent
+                | Axis::Ancestor
+                | Axis::PrecedingSibling
+                | Axis::Preceding
+                | Axis::AncestorOrSelf
         )
     }
 }
@@ -93,7 +96,10 @@ pub enum StepExpr {
     Axis(AxisStep),
     /// A primary expression used as a step (e.g. `$doc/foo`, `id("x")/bar`),
     /// with trailing predicates.
-    Filter { primary: Box<Expr>, predicates: Vec<Expr> },
+    Filter {
+        primary: Box<Expr>,
+        predicates: Vec<Expr>,
+    },
 }
 
 /// How a path starts.
@@ -185,7 +191,10 @@ pub enum FtSelection {
     And(Vec<FtSelection>),
     Not(Box<FtSelection>),
     /// Words produced by an expression, with match options.
-    Words { expr: Box<Expr>, options: FtMatchOptions },
+    Words {
+        expr: Box<Expr>,
+        options: FtMatchOptions,
+    },
 }
 
 /// Full-text match options (`with stemming`, …).

@@ -98,11 +98,7 @@ impl StaticContext {
             .insert((decl.name.clone(), decl.params.len()), Rc::new(decl));
     }
 
-    pub fn lookup_function(
-        &self,
-        name: &QName,
-        arity: usize,
-    ) -> Option<Rc<FunctionDecl>> {
+    pub fn lookup_function(&self, name: &QName, arity: usize) -> Option<Rc<FunctionDecl>> {
         self.functions.get(&(name.clone(), arity)).cloned()
     }
 }
@@ -206,7 +202,9 @@ impl DynamicContext {
     /// Looks a variable up, respecting function-call barriers.
     pub fn lookup_var(&self, name: &QName) -> Option<&Sequence> {
         let floor = self.barriers.last().copied().unwrap_or(0);
-        for scope in self.scopes[floor.max(1).min(self.scopes.len())..].iter().rev()
+        for scope in self.scopes[floor.max(1).min(self.scopes.len())..]
+            .iter()
+            .rev()
         {
             if let Some(v) = scope.get(name) {
                 return Some(v);
@@ -290,7 +288,11 @@ impl DynamicContext {
         f: impl FnOnce(&mut Self) -> R,
     ) -> R {
         let saved = self.focus.take();
-        self.focus = Some(Focus { item, position, size });
+        self.focus = Some(Focus {
+            item,
+            position,
+            size,
+        });
         let r = f(self);
         self.focus = saved;
         r
@@ -306,12 +308,7 @@ impl DynamicContext {
     // ----- natives ----------------------------------------------------------
 
     /// Registers a native function (the plug-in's `browser:` library).
-    pub fn register_native(
-        &mut self,
-        name: QName,
-        arity: usize,
-        f: NativeFn,
-    ) {
+    pub fn register_native(&mut self, name: QName, arity: usize, f: NativeFn) {
         self.natives.insert((name, arity), f);
     }
 
@@ -338,12 +335,18 @@ mod tests {
         c.bind_var(x.clone(), vec![Item::integer(2)]);
         assert_eq!(c.lookup_var(&x).unwrap().len(), 1);
         assert_eq!(
-            c.lookup_var(&x).unwrap()[0].as_atomic().unwrap().string_value(),
+            c.lookup_var(&x).unwrap()[0]
+                .as_atomic()
+                .unwrap()
+                .string_value(),
             "2"
         );
         c.pop_scope();
         assert_eq!(
-            c.lookup_var(&x).unwrap()[0].as_atomic().unwrap().string_value(),
+            c.lookup_var(&x).unwrap()[0]
+                .as_atomic()
+                .unwrap()
+                .string_value(),
             "1"
         );
     }
@@ -372,7 +375,10 @@ mod tests {
         c.bind_var(x.clone(), vec![]);
         c.assign_var(&x, vec![Item::integer(9)]).unwrap();
         assert_eq!(
-            c.lookup_var(&x).unwrap()[0].as_atomic().unwrap().string_value(),
+            c.lookup_var(&x).unwrap()[0]
+                .as_atomic()
+                .unwrap()
+                .string_value(),
             "9"
         );
         let y = QName::local("y");

@@ -8,14 +8,12 @@ use crate::context::DynamicContext;
 
 use super::eval_expr;
 
-pub(crate) fn eval_range(
-    ctx: &mut DynamicContext,
-    lo: &Expr,
-    hi: &Expr,
-) -> XdmResult<Sequence> {
+pub(crate) fn eval_range(ctx: &mut DynamicContext, lo: &Expr, hi: &Expr) -> XdmResult<Sequence> {
     let l = atomic_operand(ctx, lo)?;
     let h = atomic_operand(ctx, hi)?;
-    let (Some(l), Some(h)) = (l, h) else { return Ok(vec![]) };
+    let (Some(l), Some(h)) = (l, h) else {
+        return Ok(vec![]);
+    };
     let l = l.as_double()? as i64;
     let h = h.as_double()? as i64;
     if l > h {
@@ -84,8 +82,7 @@ pub fn apply_arith(op: ArithOp, a: &Atomic, b: &Atomic) -> XdmResult<Atomic> {
         (ArithOp::Sub, Date(x), Duration(d)) => {
             return add_date_duration(*x, d, -1);
         }
-        (ArithOp::Add, DateTime(x), Duration(d))
-        | (ArithOp::Add, Duration(d), DateTime(x)) => {
+        (ArithOp::Add, DateTime(x), Duration(d)) | (ArithOp::Add, Duration(d), DateTime(x)) => {
             return add_datetime_duration(*x, d, 1);
         }
         (ArithOp::Sub, DateTime(x), Duration(d)) => {
@@ -162,8 +159,8 @@ pub fn apply_arith(op: ArithOp, a: &Atomic, b: &Atomic) -> XdmResult<Atomic> {
     let y = b.as_double()?;
     let wrap = |d: f64| -> Atomic {
         // keep decimal-ness when neither operand is a double
-        let both_decimalish = !matches!(a, Double(_) | Untyped(_))
-            && !matches!(b, Double(_) | Untyped(_));
+        let both_decimalish =
+            !matches!(a, Double(_) | Untyped(_)) && !matches!(b, Double(_) | Untyped(_));
         if both_decimalish {
             Decimal(d)
         } else {
@@ -198,13 +195,8 @@ pub fn apply_arith(op: ArithOp, a: &Atomic, b: &Atomic) -> XdmResult<Atomic> {
     }
 }
 
-fn add_date_duration(
-    d: xqib_xdm::Date,
-    dur: &Duration,
-    sign: i64,
-) -> XdmResult<Atomic> {
-    let months_total =
-        d.year as i64 * 12 + (d.month as i64 - 1) + sign * dur.months;
+fn add_date_duration(d: xqib_xdm::Date, dur: &Duration, sign: i64) -> XdmResult<Atomic> {
+    let months_total = d.year as i64 * 12 + (d.month as i64 - 1) + sign * dur.months;
     let year = months_total.div_euclid(12) as i32;
     let month = (months_total.rem_euclid(12) + 1) as u8;
     let max_day = days_in(year, month);
@@ -214,17 +206,9 @@ fn add_date_duration(
     Ok(Atomic::Date(with_days))
 }
 
-fn add_datetime_duration(
-    dt: DateTime,
-    dur: &Duration,
-    sign: i64,
-) -> XdmResult<Atomic> {
+fn add_datetime_duration(dt: DateTime, dur: &Duration, sign: i64) -> XdmResult<Atomic> {
     // months first
-    let date_part = match add_date_duration(
-        dt.date,
-        &Duration::from_months(dur.months),
-        sign,
-    )? {
+    let date_part = match add_date_duration(dt.date, &Duration::from_months(dur.months), sign)? {
         Atomic::Date(d) => d,
         _ => unreachable!(),
     };

@@ -12,12 +12,14 @@ use crate::context::DynamicContext;
 
 use super::eval_expr;
 
-pub(crate) fn eval_constructor(
-    ctx: &mut DynamicContext,
-    e: &Expr,
-) -> XdmResult<Sequence> {
+pub(crate) fn eval_constructor(ctx: &mut DynamicContext, e: &Expr) -> XdmResult<Sequence> {
     match e {
-        Expr::DirectElement { name, attrs, ns_decls, children } => {
+        Expr::DirectElement {
+            name,
+            attrs,
+            ns_decls,
+            children,
+        } => {
             let elem = build_element(ctx, name.clone(), ns_decls, attrs, children)?;
             Ok(vec![Item::Node(elem)])
         }
@@ -86,7 +88,9 @@ pub(crate) fn eval_constructor(
             let doc_id = ctx.construction_doc;
             let pi = {
                 let mut store = ctx.store.borrow_mut();
-                store.doc_mut(doc_id).create_pi(qname.local.to_string(), value)
+                store
+                    .doc_mut(doc_id)
+                    .create_pi(qname.local.to_string(), value)
             };
             Ok(vec![Item::Node(NodeRef::new(doc_id, pi))])
         }
@@ -270,11 +274,7 @@ fn flush_text(
 }
 
 /// Deep-copies a node (possibly from another document) into `target_doc`.
-pub(crate) fn copy_into(
-    store: &mut xqib_dom::Store,
-    target_doc: DocId,
-    src: NodeRef,
-) -> NodeId {
+pub(crate) fn copy_into(store: &mut xqib_dom::Store, target_doc: DocId, src: NodeRef) -> NodeId {
     store.copy_node_between(src, target_doc)
 }
 

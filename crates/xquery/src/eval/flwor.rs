@@ -2,8 +2,7 @@
 
 use xqib_dom::QName;
 use xqib_xdm::{
-    atomize, compare_atomics, effective_boolean_value, Atomic, Item, Sequence,
-    XdmError, XdmResult,
+    atomize, compare_atomics, effective_boolean_value, Atomic, Item, Sequence, XdmError, XdmResult,
 };
 
 use crate::ast::{Expr, FlworClause, OrderSpec, Quantifier};
@@ -68,8 +67,7 @@ fn apply_clause(
                     let mut new_tuple = tuple.clone();
                     new_tuple.push((var.clone(), vec![item]));
                     if let Some(at_var) = at {
-                        new_tuple
-                            .push((at_var.clone(), vec![Item::integer(i as i64 + 1)]));
+                        new_tuple.push((at_var.clone(), vec![Item::integer(i as i64 + 1)]));
                     }
                     out.push(new_tuple);
                 }
@@ -117,11 +115,7 @@ fn order_tuples(
             let key = match v.len() {
                 0 => None,
                 1 => Some(atomize(&ctx.store.borrow(), &v[0])),
-                _ => {
-                    return Err(XdmError::type_error(
-                        "order by key must be a singleton",
-                    ))
-                }
+                _ => return Err(XdmError::type_error("order by key must be a singleton")),
             };
             keys.push(key);
         }

@@ -27,11 +27,7 @@ pub(crate) fn eval_ftcontains(
     Ok(vec![xqib_xdm::Item::boolean(false)])
 }
 
-fn selection_matches(
-    ctx: &mut DynamicContext,
-    text: &str,
-    sel: &FtSelection,
-) -> XdmResult<bool> {
+fn selection_matches(ctx: &mut DynamicContext, text: &str, sel: &FtSelection) -> XdmResult<bool> {
     match sel {
         FtSelection::Or(items) => {
             for s in items {
@@ -154,7 +150,10 @@ mod tests {
 
     #[test]
     fn stemming_conflates_variants() {
-        let o = FtMatchOptions { stemming: true, ..Default::default() };
+        let o = FtMatchOptions {
+            stemming: true,
+            ..Default::default()
+        };
         assert!(phrase_matches("three dogs barked", "dog", &o));
         assert!(phrase_matches("the dog barked", "dogs", &o));
         assert!(!phrase_matches("three dogs barked", "dog", &opts()));
@@ -162,14 +161,20 @@ mod tests {
 
     #[test]
     fn case_sensitivity_option() {
-        let o = FtMatchOptions { case_sensitive: true, ..Default::default() };
+        let o = FtMatchOptions {
+            case_sensitive: true,
+            ..Default::default()
+        };
         assert!(phrase_matches("Internet Explorer", "Internet", &o));
         assert!(!phrase_matches("internet explorer", "Internet", &o));
     }
 
     #[test]
     fn wildcards() {
-        let o = FtMatchOptions { wildcards: true, ..Default::default() };
+        let o = FtMatchOptions {
+            wildcards: true,
+            ..Default::default()
+        };
         assert!(phrase_matches("computers are great", "comput*", &o));
         assert!(!phrase_matches("cats are great", "comput*", &o));
     }
@@ -178,7 +183,11 @@ mod tests {
     fn url_words_tokenise() {
         // §4.2.1: `$x/location/href ftcontains "https://"` — the URL text
         // tokenises to the word `https`
-        assert!(phrase_matches("https://www.dbis.ethz.ch", "https://", &opts()));
+        assert!(phrase_matches(
+            "https://www.dbis.ethz.ch",
+            "https://",
+            &opts()
+        ));
         assert!(!phrase_matches("http://www.dbis.ethz.ch", "https", &opts()));
     }
 }

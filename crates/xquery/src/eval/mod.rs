@@ -9,8 +9,8 @@ pub mod update;
 
 use xqib_dom::{name::XS_NS, NodeRef, QName};
 use xqib_xdm::{
-    atomize, effective_boolean_value, general_compare, value_compare, Atomic,
-    Item, Sequence, XdmError, XdmResult,
+    atomize, effective_boolean_value, general_compare, value_compare, Atomic, Item, Sequence,
+    XdmError, XdmResult,
 };
 
 use crate::ast::*;
@@ -72,21 +72,24 @@ pub fn eval_expr(ctx: &mut DynamicContext, e: &Expr) -> XdmResult<Sequence> {
             }
         }
         Expr::Flwor { clauses, ret } => flwor::eval_flwor(ctx, clauses, ret),
-        Expr::Quantified { kind, bindings, satisfies } => {
-            flwor::eval_quantified(ctx, *kind, bindings, satisfies)
-        }
-        Expr::TypeSwitch { operand, cases, default_var, default } => {
-            eval_typeswitch(ctx, operand, cases, default_var.as_ref(), default)
-        }
+        Expr::Quantified {
+            kind,
+            bindings,
+            satisfies,
+        } => flwor::eval_quantified(ctx, *kind, bindings, satisfies),
+        Expr::TypeSwitch {
+            operand,
+            cases,
+            default_var,
+            default,
+        } => eval_typeswitch(ctx, operand, cases, default_var.as_ref(), default),
         Expr::Path { start, steps } => path::eval_path(ctx, *start, steps),
         Expr::Union(l, r) => eval_set_op(ctx, SetOp::Union, l, r),
         Expr::Intersect(l, r) => eval_set_op(ctx, SetOp::Intersect, l, r),
         Expr::Except(l, r) => eval_set_op(ctx, SetOp::Except, l, r),
         Expr::InstanceOf(inner, st) => eval_instance_of(ctx, inner, st),
         Expr::TreatAs(inner, st) => eval_treat_as(ctx, inner, st),
-        Expr::CastableAs(inner, ty, optional) => {
-            eval_castable(ctx, inner, *ty, *optional)
-        }
+        Expr::CastableAs(inner, ty, optional) => eval_castable(ctx, inner, *ty, *optional),
         Expr::CastAs(inner, ty, optional) => eval_cast(ctx, inner, *ty, *optional),
         Expr::FunctionCall { name, args } => eval_call(ctx, name, args),
         Expr::DirectElement { .. }
@@ -103,25 +106,27 @@ pub fn eval_expr(ctx: &mut DynamicContext, e: &Expr) -> XdmResult<Sequence> {
         | Expr::Rename { .. }
         | Expr::Transform { .. } => update::eval_update(ctx, e),
         Expr::Block(stmts) => eval_block(ctx, stmts),
-        Expr::FtContains { source, selection } => {
-            fulltext::eval_ftcontains(ctx, source, selection)
-        }
-        Expr::EventAttach { event, mode, target, listener } => {
-            eval_event_attach(ctx, event, *mode, target, listener)
-        }
-        Expr::EventDetach { event, target, listener } => {
-            eval_event_detach(ctx, event, target, listener)
-        }
-        Expr::EventTrigger { event, target } => {
-            eval_event_trigger(ctx, event, target)
-        }
-        Expr::SetStyle { prop, target, value } => {
-            eval_set_style(ctx, prop, target, value)
-        }
+        Expr::FtContains { source, selection } => fulltext::eval_ftcontains(ctx, source, selection),
+        Expr::EventAttach {
+            event,
+            mode,
+            target,
+            listener,
+        } => eval_event_attach(ctx, event, *mode, target, listener),
+        Expr::EventDetach {
+            event,
+            target,
+            listener,
+        } => eval_event_detach(ctx, event, target, listener),
+        Expr::EventTrigger { event, target } => eval_event_trigger(ctx, event, target),
+        Expr::SetStyle {
+            prop,
+            target,
+            value,
+        } => eval_set_style(ctx, prop, target, value),
         Expr::GetStyle { prop, target } => eval_get_style(ctx, prop, target),
     }
 }
-
 
 // ----- out-of-line arm implementations (keeps eval_expr's frame small) -------
 
@@ -189,8 +194,7 @@ fn eval_node_comp(
             xqib_dom::order::cmp_doc_order(&store, a, b) == std::cmp::Ordering::Less
         }
         NodeCompOp::Follows => {
-            xqib_dom::order::cmp_doc_order(&store, a, b)
-                == std::cmp::Ordering::Greater
+            xqib_dom::order::cmp_doc_order(&store, a, b) == std::cmp::Ordering::Greater
         }
     };
     Ok(vec![Item::boolean(result)])
@@ -232,12 +236,7 @@ enum SetOp {
     Except,
 }
 
-fn eval_set_op(
-    ctx: &mut DynamicContext,
-    op: SetOp,
-    l: &Expr,
-    r: &Expr,
-) -> XdmResult<Sequence> {
+fn eval_set_op(ctx: &mut DynamicContext, op: SetOp, l: &Expr, r: &Expr) -> XdmResult<Sequence> {
     let a = node_sequence(ctx, l)?;
     let b = node_sequence(ctx, r)?;
     let mut refs: Vec<NodeRef> = match op {
@@ -322,11 +321,7 @@ fn eval_cast(
     }
 }
 
-fn eval_call(
-    ctx: &mut DynamicContext,
-    name: &QName,
-    args: &[Expr],
-) -> XdmResult<Sequence> {
+fn eval_call(ctx: &mut DynamicContext, name: &QName, args: &[Expr]) -> XdmResult<Sequence> {
     let mut argv = Vec::with_capacity(args.len());
     for a in args {
         argv.push(eval_expr(ctx, a)?);
@@ -405,11 +400,7 @@ fn eval_set_style(
     Ok(vec![])
 }
 
-fn eval_get_style(
-    ctx: &mut DynamicContext,
-    prop: &Expr,
-    target: &Expr,
-) -> XdmResult<Sequence> {
+fn eval_get_style(ctx: &mut DynamicContext, prop: &Expr, target: &Expr) -> XdmResult<Sequence> {
     let p = eval_string(ctx, prop)?;
     let targets = eval_expr(ctx, target)?;
     let Some(Item::Node(n)) = targets.first() else {
@@ -436,9 +427,7 @@ fn promote_untyped_to_string(a: Atomic) -> Atomic {
     }
 }
 
-fn require_hooks(
-    ctx: &DynamicContext,
-) -> XdmResult<std::rc::Rc<dyn crate::context::EngineHooks>> {
+fn require_hooks(ctx: &DynamicContext) -> XdmResult<std::rc::Rc<dyn crate::context::EngineHooks>> {
     ctx.hooks.clone().ok_or_else(|| {
         XdmError::new(
             "XQIB0002",
@@ -454,17 +443,14 @@ pub fn eval_string(ctx: &mut DynamicContext, e: &Expr) -> XdmResult<String> {
 }
 
 /// Evaluates an expression expected to produce zero or more nodes.
-pub(crate) fn node_sequence(
-    ctx: &mut DynamicContext,
-    e: &Expr,
-) -> XdmResult<Vec<NodeRef>> {
+pub(crate) fn node_sequence(ctx: &mut DynamicContext, e: &Expr) -> XdmResult<Vec<NodeRef>> {
     let v = eval_expr(ctx, e)?;
     v.into_iter()
         .map(|i| match i {
             Item::Node(n) => Ok(n),
-            Item::Atomic(_) => {
-                Err(XdmError::type_error("expected nodes, found an atomic value"))
-            }
+            Item::Atomic(_) => Err(XdmError::type_error(
+                "expected nodes, found an atomic value",
+            )),
         })
         .collect()
 }
@@ -629,9 +615,7 @@ pub fn call_user_function(
     ctx.pop_function_frame();
     ctx.call_depth -= 1;
     match result {
-        Err(e) if e.code == EXIT_CODE => {
-            Ok(ctx.exit_value.take().unwrap_or_default())
-        }
+        Err(e) if e.code == EXIT_CODE => Ok(ctx.exit_value.take().unwrap_or_default()),
         other => other,
     }
 }
@@ -693,13 +677,11 @@ fn set_style_attribute(
     Ok(())
 }
 
-fn get_style_attribute(
-    ctx: &DynamicContext,
-    target: NodeRef,
-    prop: &str,
-) -> Option<String> {
+fn get_style_attribute(ctx: &DynamicContext, target: NodeRef, prop: &str) -> Option<String> {
     let store = ctx.store.borrow();
-    let style = store.doc(target.doc).get_attribute(target.node, None, "style")?;
+    let style = store
+        .doc(target.doc)
+        .get_attribute(target.node, None, "style")?;
     parse_style_attr(style)
         .into_iter()
         .find(|(p, _)| p == prop)

@@ -3,9 +3,7 @@
 //! the browser involves mostly XML (i.e., DOM) navigation" (paper abstract).
 
 use xqib_dom::{NodeKind, NodeRef, Store};
-use xqib_xdm::{
-    effective_boolean_value, Atomic, Item, Sequence, XdmError, XdmResult,
-};
+use xqib_xdm::{effective_boolean_value, Atomic, Item, Sequence, XdmError, XdmResult};
 
 use crate::ast::{Axis, AxisStep, KindTest, NodeTest, PathStart, StepExpr};
 use crate::context::DynamicContext;
@@ -17,8 +15,12 @@ pub(crate) fn eval_path(
     start: PathStart,
     steps: &[StepExpr],
 ) -> XdmResult<Sequence> {
-    // initial context sequence
+    // Initial context sequence, plus whether it is already known to be in
+    // document order without duplicates ("normalized") — the invariant the
+    // sort-elision below relies on. Singletons trivially are; a leading
+    // filter step keeps its expression's own order, so it is not.
     let mut steps = steps;
+    let mut normalized = true;
     let mut current: Sequence = match start {
         PathStart::Relative => match &ctx.focus {
             Some(f) => vec![f.item.clone()],
@@ -26,20 +28,22 @@ pub(crate) fn eval_path(
                 // A relative path whose first step is a primary expression
                 // (e.g. `doc("x")//y`, `$v/y`) needs no context item: the
                 // first step supplies the context for the rest.
-                let (first, rest) = steps.split_first().ok_or_else(|| {
-                    XdmError::undefined("relative path with no context item")
-                })?;
+                let (first, rest) = steps
+                    .split_first()
+                    .ok_or_else(|| XdmError::undefined("relative path with no context item"))?;
                 match first {
-                    StepExpr::Filter { primary, predicates } => {
+                    StepExpr::Filter {
+                        primary,
+                        predicates,
+                    } => {
                         let r = eval_expr(ctx, primary)?;
                         let filtered = apply_predicates(ctx, r, predicates)?;
                         steps = rest;
+                        normalized = filtered.len() <= 1;
                         filtered
                     }
                     StepExpr::Axis(_) => {
-                        return Err(XdmError::undefined(
-                            "relative path with no context item",
-                        ))
+                        return Err(XdmError::undefined("relative path with no context item"))
                     }
                 }
             }
@@ -66,38 +70,49 @@ pub(crate) fn eval_path(
                 test: NodeTest::Kind(KindTest::AnyKind),
                 predicates: vec![],
             },
+            normalized,
         )?;
+        // Axis steps always emit normalized output.
     }
     for step in steps {
-        current = apply_step(ctx, &current, step)?;
+        (current, normalized) = apply_step(ctx, &current, step, normalized)?;
     }
     Ok(current)
 }
 
+/// Applies one step; returns the result sequence plus whether it is
+/// normalized (document order, duplicate-free).
 fn apply_step(
     ctx: &mut DynamicContext,
     input: &Sequence,
     step: &StepExpr,
-) -> XdmResult<Sequence> {
+    input_normalized: bool,
+) -> XdmResult<(Sequence, bool)> {
     match step {
-        StepExpr::Axis(ax) => apply_axis_step(ctx, input, ax),
-        StepExpr::Filter { primary, predicates } => {
+        StepExpr::Axis(ax) => apply_axis_step(ctx, input, ax, input_normalized).map(|s| (s, true)),
+        StepExpr::Filter {
+            primary,
+            predicates,
+        } => {
             let mut combined: Sequence = Vec::new();
-            let mut any_node = false;
-            let mut any_atomic = false;
             let size = input.len();
             for (i, item) in input.iter().enumerate() {
-                let result = ctx.with_focus(item.clone(), i + 1, size, |ctx| {
-                    eval_expr(ctx, primary)
-                })?;
-                let filtered = apply_predicates(ctx, result, predicates)?;
-                for r in &filtered {
-                    match r {
-                        Item::Node(_) => any_node = true,
-                        Item::Atomic(_) => any_atomic = true,
-                    }
+                let result =
+                    ctx.with_focus(item.clone(), i + 1, size, |ctx| eval_expr(ctx, primary))?;
+                combined.extend(apply_predicates(ctx, result, predicates)?);
+            }
+            // An empty or singleton result needs neither the XPTY0018
+            // homogeneity scan nor normalisation.
+            if combined.len() <= 1 {
+                return Ok((combined, true));
+            }
+            let mut any_node = false;
+            let mut any_atomic = false;
+            for r in &combined {
+                match r {
+                    Item::Node(_) => any_node = true,
+                    Item::Atomic(_) => any_atomic = true,
                 }
-                combined.extend(filtered);
             }
             if any_node && any_atomic {
                 return Err(XdmError::new(
@@ -112,18 +127,41 @@ fn apply_step(
                     .collect();
                 let store = ctx.store.borrow();
                 xqib_dom::order::sort_dedup(&store, &mut refs);
-                Ok(refs.into_iter().map(Item::Node).collect())
+                Ok((refs.into_iter().map(Item::Node).collect(), true))
             } else {
-                Ok(combined)
+                // Atomic-only results keep expression order; mark them
+                // non-normalized so a later axis step (which would be a
+                // type error anyway) never elides on their account.
+                Ok((combined, false))
             }
         }
     }
+}
+
+/// True if concatenating per-input results of `axis` preserves document
+/// order and never duplicates, given inputs that are strictly ordered and
+/// pairwise non-nested: each input's results stay inside its own subtree
+/// (or are the node itself/its attributes), so they cannot interleave.
+fn axis_concat_stays_sorted(axis: Axis) -> bool {
+    matches!(
+        axis,
+        Axis::Child | Axis::Attribute | Axis::SelfAxis | Axis::Descendant | Axis::DescendantOrSelf
+    )
+}
+
+/// True if `axis` enumerates nodes in reverse document order.
+fn axis_is_reverse(axis: Axis) -> bool {
+    matches!(
+        axis,
+        Axis::Ancestor | Axis::AncestorOrSelf | Axis::PrecedingSibling | Axis::Preceding
+    )
 }
 
 fn apply_axis_step(
     ctx: &mut DynamicContext,
     input: &Sequence,
     step: &AxisStep,
+    input_normalized: bool,
 ) -> XdmResult<Sequence> {
     let mut out_refs: Vec<NodeRef> = Vec::new();
     for item in input {
@@ -144,8 +182,35 @@ fn apply_axis_step(
         let filtered = apply_predicates_to_nodes(ctx, candidates, &step.predicates)?;
         out_refs.extend(filtered);
     }
-    let store = ctx.store.borrow();
-    xqib_dom::order::sort_dedup(&store, &mut out_refs);
+
+    // Document-order normalisation, elided where the construction already
+    // guarantees it: a single context node emits each axis in (possibly
+    // reversed) document order with no duplicates, and subtree-confined
+    // axes concatenate in order over strictly-ordered, non-nested inputs.
+    if out_refs.len() > 1 {
+        let store = ctx.store.borrow();
+        let elide = if input.len() == 1 {
+            true
+        } else {
+            input_normalized
+                && axis_concat_stays_sorted(step.axis)
+                && xqib_dom::order::strictly_ordered_disjoint(
+                    &store,
+                    input.iter().filter_map(|i| i.as_node()),
+                )
+        };
+        if elide {
+            if input.len() == 1 && axis_is_reverse(step.axis) {
+                out_refs.reverse();
+            }
+            xqib_dom::order::stats::record_elided_sort();
+            debug_assert!(out_refs.windows(2).all(|w| {
+                xqib_dom::cmp_doc_order(&store, w[0], w[1]) == std::cmp::Ordering::Less
+            }));
+        } else {
+            xqib_dom::order::sort_dedup(&store, &mut out_refs);
+        }
+    }
     Ok(out_refs.into_iter().map(Item::Node).collect())
 }
 
@@ -226,13 +291,18 @@ pub fn axis_nodes(store: &Store, n: NodeRef, axis: Axis) -> Vec<NodeRef> {
         Axis::SelfAxis => vec![n],
         Axis::Parent => doc.parent(n.node).map(mk).into_iter().collect(),
         Axis::Descendant => {
-            let mut v = doc.descendants_or_self(n.node);
-            v.remove(0);
-            v.into_iter().map(mk).collect()
+            // skip(1) drops self without the O(n) front-shift of remove(0)
+            doc.descendants_or_self(n.node)
+                .into_iter()
+                .skip(1)
+                .map(mk)
+                .collect()
         }
-        Axis::DescendantOrSelf => {
-            doc.descendants_or_self(n.node).into_iter().map(mk).collect()
-        }
+        Axis::DescendantOrSelf => doc
+            .descendants_or_self(n.node)
+            .into_iter()
+            .map(mk)
+            .collect(),
         Axis::Ancestor => {
             let mut out = Vec::new();
             let mut cur = doc.parent(n.node);
@@ -252,7 +322,9 @@ pub fn axis_nodes(store: &Store, n: NodeRef, axis: Axis) -> Vec<NodeRef> {
             out
         }
         Axis::FollowingSibling => {
-            let Some(parent) = doc.parent(n.node) else { return vec![] };
+            let Some(parent) = doc.parent(n.node) else {
+                return vec![];
+            };
             if doc.kind(n.node).is_attribute() {
                 return vec![];
             }
@@ -263,7 +335,9 @@ pub fn axis_nodes(store: &Store, n: NodeRef, axis: Axis) -> Vec<NodeRef> {
             }
         }
         Axis::PrecedingSibling => {
-            let Some(parent) = doc.parent(n.node) else { return vec![] };
+            let Some(parent) = doc.parent(n.node) else {
+                return vec![];
+            };
             if doc.kind(n.node).is_attribute() {
                 return vec![];
             }
@@ -274,52 +348,52 @@ pub fn axis_nodes(store: &Store, n: NodeRef, axis: Axis) -> Vec<NodeRef> {
             }
         }
         Axis::Following => {
-            // all nodes after n in document order, excluding descendants
-            let mut out = Vec::new();
-            let mut cur = n.node;
-            while let Some(parent) = doc.parent(cur) {
-                let sibs = doc.children(parent);
-                if let Some(i) = sibs.iter().position(|&s| s == cur) {
-                    for &s in &sibs[i + 1..] {
-                        for d in doc.descendants_or_self(s) {
-                            out.push(mk(d));
-                        }
-                    }
+            // All nodes after n in document order, excluding descendants
+            // and attributes: with the order index this is one slice of the
+            // pre-order sequence, `(end(n), end-of-tree]`. Attribute context
+            // nodes follow from their owner element (their own "following
+            // within the owner" is the owner's remaining subtree, which the
+            // axis excludes).
+            let ix = doc.order_index();
+            let base = if doc.kind(n.node).is_attribute() {
+                match doc.parent(n.node) {
+                    Some(owner) => owner,
+                    None => return vec![],
                 }
-                cur = parent;
-            }
-            out
+            } else {
+                n.node
+            };
+            let root = ix.tree_root(base);
+            ix.pre_order()[ix.end(base) as usize + 1..]
+                .iter()
+                .take_while(|&&v| ix.tree_root(v) == root)
+                .filter(|&&v| !doc.kind(v).is_attribute())
+                .map(|&v| mk(v))
+                .collect()
         }
         Axis::Preceding => {
-            // all nodes before n in document order, excluding ancestors
-            let mut out = Vec::new();
-            let mut cur = n.node;
-            while let Some(parent) = doc.parent(cur) {
-                let sibs = doc.children(parent);
-                if let Some(i) = sibs.iter().position(|&s| s == cur) {
-                    for &s in sibs[..i].iter().rev() {
-                        let mut desc = doc.descendants_or_self(s);
-                        desc.reverse();
-                        for d in desc {
-                            out.push(mk(d));
-                        }
-                    }
-                }
-                cur = parent;
-            }
-            out
+            // All nodes before n in document order, excluding ancestors and
+            // attributes, in reverse document order: the pre-order slice
+            // `[start-of-tree, begin(n))` walked backwards. The ancestor
+            // filter is an O(1) interval test; it also removes an attribute
+            // context node's owner (attributes live inside the owner's
+            // interval).
+            let ix = doc.order_index();
+            let root = ix.tree_root(n.node);
+            let tree_start = ix.begin(root) as usize;
+            ix.pre_order()[tree_start..ix.begin(n.node) as usize]
+                .iter()
+                .rev()
+                .filter(|&&v| !doc.kind(v).is_attribute() && !ix.is_ancestor_of(v, n.node))
+                .map(|&v| mk(v))
+                .collect()
         }
     }
 }
 
 /// Does `node` satisfy the node test on the given axis? The principal node
 /// kind is attribute for the attribute axis, element otherwise.
-pub fn node_test_matches(
-    store: &Store,
-    node: NodeRef,
-    axis: Axis,
-    test: &NodeTest,
-) -> bool {
+pub fn node_test_matches(store: &Store, node: NodeRef, axis: Axis, test: &NodeTest) -> bool {
     let doc = store.doc(node.doc);
     let kind = doc.kind(node.node);
     let principal_is_attr = axis == Axis::Attribute;
@@ -346,12 +420,8 @@ pub fn node_test_matches(
             _ => false,
         },
         NodeTest::LocalWildcard(local) => match kind {
-            NodeKind::Element { name, .. } if !principal_is_attr => {
-                &*name.local == local
-            }
-            NodeKind::Attribute { name, .. } if principal_is_attr => {
-                &*name.local == local
-            }
+            NodeKind::Element { name, .. } if !principal_is_attr => &*name.local == local,
+            NodeKind::Attribute { name, .. } if principal_is_attr => &*name.local == local,
             _ => false,
         },
         NodeTest::Kind(kt) => kind_test_matches(kind, kt),
@@ -390,12 +460,7 @@ fn kind_test_matches(kind: &NodeKind, kt: &KindTest) -> bool {
 
 /// Convenience used by hosts (minijs `document.evaluate`, window views):
 /// evaluates an axis+test from a context node without predicates.
-pub fn simple_axis(
-    store: &Store,
-    n: NodeRef,
-    axis: Axis,
-    test: &NodeTest,
-) -> Vec<NodeRef> {
+pub fn simple_axis(store: &Store, n: NodeRef, axis: Axis, test: &NodeTest) -> Vec<NodeRef> {
     axis_nodes(store, n, axis)
         .into_iter()
         .filter(|&c| node_test_matches(store, c, axis, test))

@@ -13,7 +13,11 @@ use super::{eval_expr, node_sequence};
 
 pub(crate) fn eval_update(ctx: &mut DynamicContext, e: &Expr) -> XdmResult<Sequence> {
     match e {
-        Expr::Insert { source, pos, target } => {
+        Expr::Insert {
+            source,
+            pos,
+            target,
+        } => {
             let src_nodes = node_sequence(ctx, source)?;
             let targets = eval_expr(ctx, target)?;
             let target = exactly_one_node(&targets, "insert target")?;
@@ -44,17 +48,14 @@ pub(crate) fn eval_update(ctx: &mut DynamicContext, e: &Expr) -> XdmResult<Seque
                     let attrs = copy_all(ctx, target.doc, &attr_nodes);
                     let children = copy_all(ctx, target.doc, &content_nodes);
                     if !attrs.is_empty() {
-                        ctx.pul.push(UpdatePrimitive::InsertAttributes {
-                            target,
-                            attrs,
-                        });
+                        ctx.pul
+                            .push(UpdatePrimitive::InsertAttributes { target, attrs });
                     }
                     if !children.is_empty() {
                         ctx.pul.push(match pos {
-                            InsertPos::AsFirstInto => UpdatePrimitive::InsertFirst {
-                                target,
-                                children,
-                            },
+                            InsertPos::AsFirstInto => {
+                                UpdatePrimitive::InsertFirst { target, children }
+                            }
                             _ => UpdatePrimitive::InsertLast { target, children },
                         });
                     }
@@ -145,7 +146,8 @@ pub(crate) fn eval_update(ctx: &mut DynamicContext, e: &Expr) -> XdmResult<Seque
             let target = exactly_one_node(&targets, "replace value target")?;
             let value_seq = eval_expr(ctx, with)?;
             let value = super::constructor::sequence_to_string(ctx, &value_seq);
-            ctx.pul.push(UpdatePrimitive::ReplaceValue { target, value });
+            ctx.pul
+                .push(UpdatePrimitive::ReplaceValue { target, value });
             Ok(vec![])
         }
         Expr::Rename { target, name } => {
@@ -176,19 +178,21 @@ pub(crate) fn eval_update(ctx: &mut DynamicContext, e: &Expr) -> XdmResult<Seque
                             let s = i.string_value(&ctx.store.borrow());
                             xqib_dom::QName::local(&s)
                         }
-                        None => {
-                            return Err(XdmError::new(
-                                "XQDY0074",
-                                "empty rename name",
-                            ))
-                        }
+                        None => return Err(XdmError::new("XQDY0074", "empty rename name")),
                     }
                 }
             };
-            ctx.pul.push(UpdatePrimitive::Rename { target, name: qname });
+            ctx.pul.push(UpdatePrimitive::Rename {
+                target,
+                name: qname,
+            });
             Ok(vec![])
         }
-        Expr::Transform { bindings, modify, ret } => {
+        Expr::Transform {
+            bindings,
+            modify,
+            ret,
+        } => {
             ctx.push_scope();
             let result = (|| {
                 for (var, src) in bindings {

@@ -15,8 +15,8 @@ use std::rc::Rc;
 
 use xqib_dom::{name::FN_NS, NodeKind, QName};
 use xqib_xdm::{
-    atomize, effective_boolean_value, value_compare, Atomic, CompOp, DateTime,
-    Item, Sequence, TypeName, XdmError, XdmResult,
+    atomize, effective_boolean_value, value_compare, Atomic, CompOp, DateTime, Item, Sequence,
+    TypeName, XdmError, XdmResult,
 };
 
 use crate::context::DynamicContext;
@@ -36,16 +36,19 @@ pub fn call_builtin(
     let arity = args.len();
     let r = match (&*name.local, arity) {
         // ----- accessors -----
-        ("string", 0) => ctx.context_item().map(|i| {
-            vec![Item::string(i.string_value(&ctx.store.borrow()))]
-        }),
+        ("string", 0) => ctx
+            .context_item()
+            .map(|i| vec![Item::string(i.string_value(&ctx.store.borrow()))]),
         ("string", 1) => Ok(match args[0].first() {
             None => vec![Item::string("")],
             Some(i) => vec![Item::string(i.string_value(&ctx.store.borrow()))],
         }),
         ("data", 1) => {
             let store = ctx.store.borrow();
-            Ok(args[0].iter().map(|i| Item::Atomic(atomize(&store, i))).collect())
+            Ok(args[0]
+                .iter()
+                .map(|i| Item::Atomic(atomize(&store, i)))
+                .collect())
         }
         ("node-name", 1) => one_node(&args[0]).map(|n| match n {
             None => vec![],
@@ -72,9 +75,7 @@ pub fn call_builtin(
         ("true", 0) => Ok(vec![Item::boolean(true)]),
         ("false", 0) => Ok(vec![Item::boolean(false)]),
         ("not", 1) => effective_boolean_value(&args[0]).map(|b| vec![Item::boolean(!b)]),
-        ("boolean", 1) => {
-            effective_boolean_value(&args[0]).map(|b| vec![Item::boolean(b)])
-        }
+        ("boolean", 1) => effective_boolean_value(&args[0]).map(|b| vec![Item::boolean(b)]),
         // ----- numerics -----
         ("abs", 1) => numeric_unary(ctx, &args[0], |d| d.abs()),
         ("ceiling", 1) => numeric_unary(ctx, &args[0], f64::ceil),
@@ -125,8 +126,7 @@ pub fn call_builtin(
         ("string-join", 2) => {
             let sep = string_arg(ctx, &args[1]);
             let store = ctx.store.borrow();
-            let parts: Vec<String> =
-                args[0].iter().map(|i| i.string_value(&store)).collect();
+            let parts: Vec<String> = args[0].iter().map(|i| i.string_value(&store)).collect();
             Ok(vec![Item::string(parts.join(&sep))])
         }
         ("substring", 2 | 3) => substring(ctx, &args),
@@ -152,12 +152,8 @@ pub fn call_builtin(
                 s.split_whitespace().collect::<Vec<_>>().join(" "),
             )])
         }
-        ("upper-case", 1) => {
-            Ok(vec![Item::string(string_arg(ctx, &args[0]).to_uppercase())])
-        }
-        ("lower-case", 1) => {
-            Ok(vec![Item::string(string_arg(ctx, &args[0]).to_lowercase())])
-        }
+        ("upper-case", 1) => Ok(vec![Item::string(string_arg(ctx, &args[0]).to_uppercase())]),
+        ("lower-case", 1) => Ok(vec![Item::string(string_arg(ctx, &args[0]).to_lowercase())]),
         ("translate", 3) => {
             let s = string_arg(ctx, &args[0]);
             let from: Vec<char> = string_arg(ctx, &args[1]).chars().collect();
@@ -232,12 +228,7 @@ pub fn call_builtin(
                 match a.as_double() {
                     Ok(d) => match char::from_u32(d as u32) {
                         Some(c) => out.push(c),
-                        None => {
-                            return Some(Err(XdmError::new(
-                                "FOCH0001",
-                                "invalid code point",
-                            )))
-                        }
+                        None => return Some(Err(XdmError::new("FOCH0001", "invalid code point"))),
                     },
                     Err(e) => return Some(Err(e)),
                 }
@@ -253,8 +244,9 @@ pub fn call_builtin(
             let mut out = String::new();
             for b in s.bytes() {
                 match b {
-                    b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.'
-                    | b'~' => out.push(b as char),
+                    b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                        out.push(b as char)
+                    }
                     _ => out.push_str(&format!("%{b:02X}")),
                 }
             }
@@ -275,8 +267,7 @@ pub fn call_builtin(
                 let a = atomize(&store, i);
                 let dup = seen.iter().any(|s| {
                     value_compare(CompOp::Eq, s, &a).unwrap_or(false)
-                        || (s.string_value() == a.string_value()
-                            && s.type_name() == a.type_name())
+                        || (s.string_value() == a.string_value() && s.type_name() == a.type_name())
                 });
                 if !dup {
                     seen.push(a);
@@ -388,11 +379,7 @@ pub fn call_builtin(
             let node = if arity == 0 {
                 match ctx.context_item() {
                     Ok(Item::Node(n)) => Some(n),
-                    Ok(_) => {
-                        return Some(Err(XdmError::type_error(
-                            "context item is not a node",
-                        )))
-                    }
+                    Ok(_) => return Some(Err(XdmError::type_error("context item is not a node"))),
                     Err(e) => return Some(Err(e)),
                 }
             } else {
@@ -414,11 +401,7 @@ pub fn call_builtin(
             let node = if arity == 0 {
                 match ctx.context_item() {
                     Ok(Item::Node(n)) => Some(n),
-                    Ok(_) => {
-                        return Some(Err(XdmError::type_error(
-                            "context item is not a node",
-                        )))
-                    }
+                    Ok(_) => return Some(Err(XdmError::type_error("context item is not a node"))),
                     Err(e) => return Some(Err(e)),
                 }
             } else {
@@ -448,14 +431,14 @@ pub fn call_builtin(
                 match ctx.context_item() {
                     Ok(Item::Node(n)) => Some(n),
                     Ok(_) => {
-                        return Some(Err(XdmError::type_error(
-                            "fn:id requires a node context",
-                        )))
+                        return Some(Err(XdmError::type_error("fn:id requires a node context")))
                     }
                     Err(e) => return Some(Err(e)),
                 }
             };
-            let Some(node) = node else { return Some(Ok(vec![])) };
+            let Some(node) = node else {
+                return Some(Ok(vec![]));
+            };
             let store = ctx.store.borrow();
             let wanted: Vec<String> = args[0]
                 .iter()
@@ -501,17 +484,17 @@ pub fn call_builtin(
         }
         ("doc-available", 1) => {
             let uri = string_arg(ctx, &args[0]);
-            Ok(vec![Item::boolean(ctx.store.borrow().doc_by_uri(&uri).is_some())])
+            Ok(vec![Item::boolean(
+                ctx.store.borrow().doc_by_uri(&uri).is_some(),
+            )])
         }
         ("put", 2) => Err(XdmError::browser_blocked(
             "fn:put is blocked in the browser profile",
         )),
         // ----- dates & times (virtual clock) -----
-        ("current-dateTime", 0) => {
-            Ok(vec![Item::Atomic(Atomic::DateTime(DateTime::from_epoch_millis(
-                ctx.now_millis,
-            )))])
-        }
+        ("current-dateTime", 0) => Ok(vec![Item::Atomic(Atomic::DateTime(
+            DateTime::from_epoch_millis(ctx.now_millis),
+        ))]),
         ("current-date", 0) => Ok(vec![Item::Atomic(Atomic::Date(
             DateTime::from_epoch_millis(ctx.now_millis).date,
         ))]),
@@ -526,9 +509,7 @@ pub fn call_builtin(
         | ("day-from-dateTime", 1)
         | ("hours-from-dateTime", 1)
         | ("minutes-from-dateTime", 1)
-        | ("seconds-from-dateTime", 1) => {
-            date_component(ctx, &args[0], &name.local, true)
-        }
+        | ("seconds-from-dateTime", 1) => date_component(ctx, &args[0], &name.local, true),
         // ----- diagnostics -----
         ("error", 0) => Err(XdmError::new("FOER0000", "fn:error()")),
         ("error", 1 | 2) => {
@@ -538,7 +519,10 @@ pub fn call_builtin(
             } else {
                 "fn:error".to_string()
             };
-            Err(XdmError::new(if code.is_empty() { "FOER0000" } else { &code }, msg))
+            Err(XdmError::new(
+                if code.is_empty() { "FOER0000" } else { &code },
+                msg,
+            ))
         }
         ("trace", 2) => Ok(args.remove(0)),
         _ => return None,
@@ -641,11 +625,13 @@ fn aggregate(
         Agg::Min => vals.iter().copied().fold(f64::INFINITY, f64::min),
         Agg::Max => vals.iter().copied().fold(f64::NEG_INFINITY, f64::max),
     };
-    Ok(vec![if all_int && result == result.trunc() && !matches!(agg, Agg::Avg) {
-        Item::integer(result as i64)
-    } else {
-        Item::double(result)
-    }])
+    Ok(vec![
+        if all_int && result == result.trunc() && !matches!(agg, Agg::Avg) {
+            Item::integer(result as i64)
+        } else {
+            Item::double(result)
+        },
+    ])
 }
 
 fn substring(ctx: &DynamicContext, args: &[Sequence]) -> XdmResult<Sequence> {
@@ -675,9 +661,15 @@ fn date_component(
     func: &str,
     is_datetime: bool,
 ) -> XdmResult<Sequence> {
-    let Some(item) = seq.first() else { return Ok(vec![]) };
+    let Some(item) = seq.first() else {
+        return Ok(vec![]);
+    };
     let a = atomize(&ctx.store.borrow(), item);
-    let target = if is_datetime { TypeName::DateTime } else { TypeName::Date };
+    let target = if is_datetime {
+        TypeName::DateTime
+    } else {
+        TypeName::Date
+    };
     let cast = a.cast_to(target)?;
     let (date, time) = match cast {
         Atomic::DateTime(dt) => (dt.date, Some(dt.time)),
@@ -697,28 +689,18 @@ fn date_component(
 }
 
 /// `fn:deep-equal` over two sequences.
-pub fn deep_equal(
-    store: &xqib_dom::Store,
-    a: &Sequence,
-    b: &Sequence,
-) -> bool {
+pub fn deep_equal(store: &xqib_dom::Store, a: &Sequence, b: &Sequence) -> bool {
     if a.len() != b.len() {
         return false;
     }
     a.iter().zip(b.iter()).all(|(x, y)| match (x, y) {
-        (Item::Atomic(p), Item::Atomic(q)) => {
-            value_compare(CompOp::Eq, p, q).unwrap_or(false)
-        }
+        (Item::Atomic(p), Item::Atomic(q)) => value_compare(CompOp::Eq, p, q).unwrap_or(false),
         (Item::Node(p), Item::Node(q)) => deep_equal_nodes(store, *p, *q),
         _ => false,
     })
 }
 
-fn deep_equal_nodes(
-    store: &xqib_dom::Store,
-    a: xqib_dom::NodeRef,
-    b: xqib_dom::NodeRef,
-) -> bool {
+fn deep_equal_nodes(store: &xqib_dom::Store, a: xqib_dom::NodeRef, b: xqib_dom::NodeRef) -> bool {
     let da = store.doc(a.doc);
     let db = store.doc(b.doc);
     match (da.kind(a.node), db.kind(b.node)) {
@@ -729,8 +711,14 @@ fn deep_equal_nodes(
             NodeKind::Attribute { name: ny, value: y },
         ) => nx == ny && x == y,
         (
-            NodeKind::ProcessingInstruction { target: tx, value: x },
-            NodeKind::ProcessingInstruction { target: ty, value: y },
+            NodeKind::ProcessingInstruction {
+                target: tx,
+                value: x,
+            },
+            NodeKind::ProcessingInstruction {
+                target: ty,
+                value: y,
+            },
         ) => tx == ty && x == y,
         (NodeKind::Element { name: nx, .. }, NodeKind::Element { name: ny, .. }) => {
             if nx != ny {
@@ -760,23 +748,13 @@ fn deep_equal_nodes(
                 .children(a.node)
                 .iter()
                 .copied()
-                .filter(|&c| {
-                    matches!(
-                        da.kind(c),
-                        NodeKind::Element { .. } | NodeKind::Text { .. }
-                    )
-                })
+                .filter(|&c| matches!(da.kind(c), NodeKind::Element { .. } | NodeKind::Text { .. }))
                 .collect();
             let kb: Vec<_> = db
                 .children(b.node)
                 .iter()
                 .copied()
-                .filter(|&c| {
-                    matches!(
-                        db.kind(c),
-                        NodeKind::Element { .. } | NodeKind::Text { .. }
-                    )
-                })
+                .filter(|&c| matches!(db.kind(c), NodeKind::Element { .. } | NodeKind::Text { .. }))
                 .collect();
             ka.len() == kb.len()
                 && ka.iter().zip(kb.iter()).all(|(&x, &y)| {

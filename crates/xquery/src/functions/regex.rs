@@ -29,9 +29,17 @@ enum Node {
     Seq(Vec<Node>),
     Char(char),
     AnyChar,
-    Class { negated: bool, items: Vec<ClassItem> },
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
     Group(usize, Box<Node>),
-    Repeat { node: Box<Node>, min: usize, max: Option<usize>, greedy: bool },
+    Repeat {
+        node: Box<Node>,
+        min: usize,
+        max: Option<usize>,
+        greedy: bool,
+    },
     AnchorStart,
     AnchorEnd,
 }
@@ -125,9 +133,11 @@ impl<'a> PatParser<'a> {
                         while self.peek().is_some_and(|c| c.is_ascii_digit()) {
                             max_s.push(self.bump().expect("digit"));
                         }
-                        Some(max_s.parse().map_err(|_| {
-                            perr(self.src, "bad repetition count")
-                        })?)
+                        Some(
+                            max_s
+                                .parse()
+                                .map_err(|_| perr(self.src, "bad repetition count"))?,
+                        )
                     }
                 } else {
                     Some(min)
@@ -145,7 +155,12 @@ impl<'a> PatParser<'a> {
         } else {
             true
         };
-        Ok(Node::Repeat { node: Box::new(atom), min, max, greedy })
+        Ok(Node::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+            greedy,
+        })
     }
 
     fn parse_atom(&mut self) -> XdmResult<Node> {
@@ -178,7 +193,10 @@ impl<'a> PatParser<'a> {
             Some('$') => Ok(Node::AnchorEnd),
             Some('\\') => self.parse_escape(false).map(|item| match item {
                 ClassItem::Char(c) => Node::Char(c),
-                other => Node::Class { negated: false, items: vec![other] },
+                other => Node::Class {
+                    negated: false,
+                    items: vec![other],
+                },
             }),
             Some(c @ ('*' | '+' | '?' | '{' | '}' | ')')) => {
                 Err(perr(self.src, &format!("misplaced `{c}`")))
@@ -254,13 +272,17 @@ impl Regex {
         if p.pos != p.chars.len() {
             return Err(perr(pattern, "trailing characters"));
         }
-        Ok(Regex { root, n_groups: p.n_groups })
+        Ok(Regex {
+            root,
+            n_groups: p.n_groups,
+        })
     }
 
     /// Does the pattern match anywhere in `text` (XPath `fn:matches`
     /// semantics: unanchored)?
     pub fn is_match(&self, text: &str) -> bool {
-        self.find_at_any(&text.chars().collect::<Vec<_>>()).is_some()
+        self.find_at_any(&text.chars().collect::<Vec<_>>())
+            .is_some()
     }
 
     /// Finds the leftmost match; returns (start, end, groups).
@@ -268,7 +290,9 @@ impl Regex {
         for start in 0..=chars.len() {
             let mut groups = vec![None; self.n_groups];
             if let Some(end) =
-                match_node(&self.root, chars, start, start, &mut groups, &|_, p, _| Some(p))
+                match_node(&self.root, chars, start, start, &mut groups, &|_, p, _| {
+                    Some(p)
+                })
             {
                 return Some((start, end, groups));
             }
@@ -285,14 +309,11 @@ impl Regex {
             let mut found = None;
             for start in pos..=chars.len() {
                 let mut groups = vec![None; self.n_groups];
-                if let Some(end) = match_node(
-                    &self.root,
-                    &chars,
-                    start,
-                    start,
-                    &mut groups,
-                    &|_, p, _| Some(p),
-                ) {
+                if let Some(end) =
+                    match_node(&self.root, &chars, start, start, &mut groups, &|_, p, _| {
+                        Some(p)
+                    })
+                {
                     found = Some((start, end, groups));
                     break;
                 }
@@ -439,9 +460,12 @@ fn match_node(
             };
             match_node(inner, chars, pos, start, groups, &inner_k)
         }
-        Node::Repeat { node, min, max, greedy } => {
-            match_repeat(node, *min, *max, *greedy, chars, pos, start, groups, k)
-        }
+        Node::Repeat {
+            node,
+            min,
+            max,
+            greedy,
+        } => match_repeat(node, *min, *max, *greedy, chars, pos, start, groups, k),
         Node::AnchorStart => {
             if pos == 0 {
                 k(chars, pos, groups)
@@ -470,10 +494,11 @@ fn match_seq(
     match items.split_first() {
         None => k(chars, pos, groups),
         Some((first, rest)) => {
-            let rest_k = move |cs: &[char],
-                               p: usize,
-                               gs: &mut Vec<Option<(usize, usize)>>|
-                  -> Option<usize> { match_seq(rest, cs, p, start, gs, k) };
+            let rest_k =
+                move |cs: &[char],
+                      p: usize,
+                      gs: &mut Vec<Option<(usize, usize)>>|
+                      -> Option<usize> { match_seq(rest, cs, p, start, gs, k) };
             match_node(first, chars, pos, start, groups, &rest_k)
         }
     }
@@ -498,21 +523,19 @@ fn match_repeat(
     let take = |groups: &mut Vec<Option<(usize, usize)>>| -> Option<usize> {
         let next_min = min.saturating_sub(1);
         let next_max = max.map(|m| m - 1);
-        let inner_k = move |cs: &[char],
-                            p: usize,
-                            gs: &mut Vec<Option<(usize, usize)>>|
-              -> Option<usize> {
-            if p == pos {
-                // zero-width progress guard
-                if next_min == 0 {
-                    k(cs, p, gs)
+        let inner_k =
+            move |cs: &[char], p: usize, gs: &mut Vec<Option<(usize, usize)>>| -> Option<usize> {
+                if p == pos {
+                    // zero-width progress guard
+                    if next_min == 0 {
+                        k(cs, p, gs)
+                    } else {
+                        None
+                    }
                 } else {
-                    None
+                    match_repeat(node, next_min, next_max, greedy, cs, p, start, gs, k)
                 }
-            } else {
-                match_repeat(node, next_min, next_max, greedy, cs, p, start, gs, k)
-            }
-        };
+            };
         match_node(node, chars, pos, start, groups, &inner_k)
     };
     if must_take {

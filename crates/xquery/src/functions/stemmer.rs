@@ -129,9 +129,7 @@ pub fn stem(word: &str) -> String {
     if cleanup {
         if w.ends_with(b"at") || w.ends_with(b"bl") || w.ends_with(b"iz") {
             w.push(b'e');
-        } else if ends_double_consonant(&w)
-            && !matches!(w.last(), Some(b'l' | b's' | b'z'))
-        {
+        } else if ends_double_consonant(&w) && !matches!(w.last(), Some(b'l' | b's' | b'z')) {
             w.truncate(w.len() - 1);
         } else if measure(&w) == 1 && ends_cvc(&w) {
             w.push(b'e');

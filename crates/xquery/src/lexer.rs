@@ -73,7 +73,11 @@ impl<'a> Lexer<'a> {
         self.skip_trivia()?;
         let start = self.pos;
         let Some(b) = self.peek_byte() else {
-            return Ok(Token { tok: Tok::Eof, start, end: start });
+            return Ok(Token {
+                tok: Tok::Eof,
+                start,
+                end: start,
+            });
         };
         let tok = match b {
             b'(' => {
@@ -212,9 +216,7 @@ impl<'a> Lexer<'a> {
             b'*' => {
                 self.pos += 1;
                 // `*:local`
-                if self.peek_byte() == Some(b':')
-                    && self.peek_at(1).is_some_and(is_name_start)
-                {
+                if self.peek_byte() == Some(b':') && self.peek_at(1).is_some_and(is_name_start) {
                     self.pos += 1;
                     let local = self.lex_ncname();
                     Tok::LocalWildcard(local)
@@ -227,15 +229,11 @@ impl<'a> Lexer<'a> {
             c if is_name_start(c) => {
                 let first = self.lex_ncname();
                 // QName: name ':' name with no intervening '::' or ':='
-                if self.peek_byte() == Some(b':')
-                    && self.peek_at(1).is_some_and(is_name_start)
-                {
+                if self.peek_byte() == Some(b':') && self.peek_at(1).is_some_and(is_name_start) {
                     self.pos += 1;
                     let local = self.lex_ncname();
                     Tok::PrefixedName(first, local)
-                } else if self.peek_byte() == Some(b':')
-                    && self.peek_at(1) == Some(b'*')
-                {
+                } else if self.peek_byte() == Some(b':') && self.peek_at(1) == Some(b'*') {
                     self.pos += 2;
                     Tok::NsWildcard(first)
                 } else {
@@ -249,7 +247,11 @@ impl<'a> Lexer<'a> {
                 ))
             }
         };
-        Ok(Token { tok, start, end: self.pos })
+        Ok(Token {
+            tok,
+            start,
+            end: self.pos,
+        })
     }
 
     fn lex_ncname(&mut self) -> String {
@@ -289,20 +291,25 @@ impl<'a> Lexer<'a> {
             }
         }
         let text = &self.src[start..self.pos];
-        let tok = if saw_exp {
-            Tok::DoubleLit(text.parse::<f64>().map_err(|_| {
-                XdmError::new("XPST0003", format!("bad double literal `{text}`"))
-            })?)
-        } else if saw_dot {
-            Tok::DecimalLit(text.parse::<f64>().map_err(|_| {
-                XdmError::new("XPST0003", format!("bad decimal literal `{text}`"))
-            })?)
-        } else {
-            Tok::IntegerLit(text.parse::<i64>().map_err(|_| {
-                XdmError::new("XPST0003", format!("bad integer literal `{text}`"))
-            })?)
-        };
-        Ok(Token { tok, start, end: self.pos })
+        let tok =
+            if saw_exp {
+                Tok::DoubleLit(text.parse::<f64>().map_err(|_| {
+                    XdmError::new("XPST0003", format!("bad double literal `{text}`"))
+                })?)
+            } else if saw_dot {
+                Tok::DecimalLit(text.parse::<f64>().map_err(|_| {
+                    XdmError::new("XPST0003", format!("bad decimal literal `{text}`"))
+                })?)
+            } else {
+                Tok::IntegerLit(text.parse::<i64>().map_err(|_| {
+                    XdmError::new("XPST0003", format!("bad integer literal `{text}`"))
+                })?)
+            };
+        Ok(Token {
+            tok,
+            start,
+            end: self.pos,
+        })
     }
 
     fn lex_string(&mut self, start: usize) -> XdmResult<Token> {
@@ -336,11 +343,8 @@ impl<'a> Lexer<'a> {
                             "unterminated entity reference in string literal",
                         ));
                     };
-                    let decoded = xqib_dom::parser::decode_entities(
-                        &rest[..=semi],
-                        self.pos,
-                    )
-                    .map_err(|e| XdmError::new("XPST0003", e.to_string()))?;
+                    let decoded = xqib_dom::parser::decode_entities(&rest[..=semi], self.pos)
+                        .map_err(|e| XdmError::new("XPST0003", e.to_string()))?;
                     out.push_str(&decoded);
                     self.pos += semi + 1;
                 }
@@ -352,7 +356,11 @@ impl<'a> Lexer<'a> {
                 }
             }
         }
-        Ok(Token { tok: Tok::StringLit(out), start, end: self.pos })
+        Ok(Token {
+            tok: Tok::StringLit(out),
+            start,
+            end: self.pos,
+        })
     }
 }
 
@@ -428,7 +436,7 @@ mod tests {
     #[test]
     fn numbers() {
         assert_eq!(toks("42"), vec![Tok::IntegerLit(42)]);
-        assert_eq!(toks("3.14"), vec![Tok::DecimalLit(3.14)]);
+        assert_eq!(toks("3.25"), vec![Tok::DecimalLit(3.25)]);
         assert_eq!(toks("1.5e2"), vec![Tok::DoubleLit(150.0)]);
         assert_eq!(toks(".5"), vec![Tok::DecimalLit(0.5)]);
         // range: 1 to 2 written `1 .. ` is not XQuery, but `(1,2)` etc.
@@ -474,7 +482,12 @@ mod tests {
     fn slashes_and_dots() {
         assert_eq!(
             toks("//div/.."),
-            vec![Tok::SlashSlash, Tok::Name("div".into()), Tok::Slash, Tok::DotDot]
+            vec![
+                Tok::SlashSlash,
+                Tok::Name("div".into()),
+                Tok::Slash,
+                Tok::DotDot
+            ]
         );
         assert_eq!(toks("."), vec![Tok::Dot]);
     }
@@ -491,6 +504,9 @@ mod tests {
 
     #[test]
     fn unicode_in_strings() {
-        assert_eq!(toks("\"héllo wörld\""), vec![Tok::StringLit("héllo wörld".into())]);
+        assert_eq!(
+            toks("\"héllo wörld\""),
+            vec![Tok::StringLit("héllo wörld".into())]
+        );
     }
 }

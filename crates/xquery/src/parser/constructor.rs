@@ -102,8 +102,7 @@ impl<'a> Parser<'a> {
         let saved_default = self.default_element_ns.clone();
         for (p, u) in &local_ns {
             if p.is_empty() {
-                self.default_element_ns =
-                    if u.is_empty() { None } else { Some(u.clone()) };
+                self.default_element_ns = if u.is_empty() { None } else { Some(u.clone()) };
             } else {
                 self.namespaces.insert(p.clone(), u.clone());
             }
@@ -164,9 +163,7 @@ impl<'a> Parser<'a> {
         let mut text = String::new();
         loop {
             match self.ch(*pos) {
-                None => {
-                    return Err(self.err_at(*pos, "unterminated direct constructor"))
-                }
+                None => return Err(self.err_at(*pos, "unterminated direct constructor")),
                 Some(b'<') => {
                     if self.starts_with(*pos, "</") {
                         flush_text(&mut text, &mut children);
@@ -175,9 +172,7 @@ impl<'a> Parser<'a> {
                         if close != raw_name {
                             return Err(self.err_at(
                                 *pos,
-                                &format!(
-                                    "mismatched close tag </{close}> for <{raw_name}>"
-                                ),
+                                &format!("mismatched close tag </{close}> for <{raw_name}>"),
                             ));
                         }
                         self.skip_ws_raw(pos);
@@ -197,9 +192,7 @@ impl<'a> Parser<'a> {
                         let start = *pos;
                         while !self.starts_with(*pos, "-->") {
                             if self.ch(*pos).is_none() {
-                                return Err(
-                                    self.err_at(start, "unterminated comment")
-                                );
+                                return Err(self.err_at(start, "unterminated comment"));
                             }
                             *pos += 1;
                         }
@@ -261,22 +254,16 @@ impl<'a> Parser<'a> {
                         text.push('}');
                         *pos += 2;
                     } else {
-                        return Err(self.err_at(
-                            *pos,
-                            "`}` must be doubled inside element content",
-                        ));
+                        return Err(self.err_at(*pos, "`}` must be doubled inside element content"));
                     }
                 }
                 Some(b'&') => {
                     let rest = &self.lx.src[*pos..];
-                    let semi = rest.find(';').ok_or_else(|| {
-                        self.err_at(*pos, "unterminated entity reference")
-                    })?;
-                    let decoded = xqib_dom::parser::decode_entities(
-                        &rest[..=semi],
-                        *pos,
-                    )
-                    .map_err(|e| XdmError::new("XPST0003", e.to_string()))?;
+                    let semi = rest
+                        .find(';')
+                        .ok_or_else(|| self.err_at(*pos, "unterminated entity reference"))?;
+                    let decoded = xqib_dom::parser::decode_entities(&rest[..=semi], *pos)
+                        .map_err(|e| XdmError::new("XPST0003", e.to_string()))?;
                     text.push_str(&decoded);
                     *pos += semi + 1;
                 }
@@ -291,13 +278,10 @@ impl<'a> Parser<'a> {
 
     /// Attribute value template: quoted string with `{expr}` holes and
     /// `{{`/`}}`/doubled-quote escapes.
-    fn parse_attr_value_template(
-        &mut self,
-        pos: &mut usize,
-    ) -> XdmResult<Vec<AttrContent>> {
-        let quote = self.ch(*pos).ok_or_else(|| {
-            self.err_at(*pos, "expected attribute value")
-        })?;
+    fn parse_attr_value_template(&mut self, pos: &mut usize) -> XdmResult<Vec<AttrContent>> {
+        let quote = self
+            .ch(*pos)
+            .ok_or_else(|| self.err_at(*pos, "expected attribute value"))?;
         if quote != b'"' && quote != b'\'' {
             return Err(self.err_at(*pos, "attribute value must be quoted"));
         }
@@ -335,22 +319,18 @@ impl<'a> Parser<'a> {
                         text.push('}');
                         *pos += 2;
                     } else {
-                        return Err(self.err_at(
-                            *pos,
-                            "`}` must be doubled inside attribute values",
-                        ));
+                        return Err(
+                            self.err_at(*pos, "`}` must be doubled inside attribute values")
+                        );
                     }
                 }
                 Some(b'&') => {
                     let rest = &self.lx.src[*pos..];
-                    let semi = rest.find(';').ok_or_else(|| {
-                        self.err_at(*pos, "unterminated entity reference")
-                    })?;
-                    let decoded = xqib_dom::parser::decode_entities(
-                        &rest[..=semi],
-                        *pos,
-                    )
-                    .map_err(|e| XdmError::new("XPST0003", e.to_string()))?;
+                    let semi = rest
+                        .find(';')
+                        .ok_or_else(|| self.err_at(*pos, "unterminated entity reference"))?;
+                    let decoded = xqib_dom::parser::decode_entities(&rest[..=semi], *pos)
+                        .map_err(|e| XdmError::new("XPST0003", e.to_string()))?;
                     text.push_str(&decoded);
                     *pos += semi + 1;
                 }
@@ -385,18 +365,11 @@ impl<'a> Parser<'a> {
 
     /// Resolves a raw lexical name (`p:local` or `local`) from a direct
     /// constructor against in-scope namespaces.
-    fn resolve_raw_lexical(
-        &self,
-        raw: &str,
-        is_element: bool,
-    ) -> XdmResult<xqib_dom::QName> {
+    fn resolve_raw_lexical(&self, raw: &str, is_element: bool) -> XdmResult<xqib_dom::QName> {
         match raw.split_once(':') {
             Some((p, l)) => {
                 let uri = self.namespaces.get(p).ok_or_else(|| {
-                    XdmError::new(
-                        "XPST0081",
-                        format!("undeclared namespace prefix `{p}`"),
-                    )
+                    XdmError::new("XPST0081", format!("undeclared namespace prefix `{p}`"))
                 })?;
                 Ok(xqib_dom::QName::full(Some(p), Some(uri), l))
             }
@@ -470,7 +443,10 @@ impl<'a> Parser<'a> {
                 Ok(match kind {
                     "element" => Expr::ComputedElement { name, content },
                     "attribute" => Expr::ComputedAttribute { name, content },
-                    _ => Expr::ComputedPi { target: name, content },
+                    _ => Expr::ComputedPi {
+                        target: name,
+                        content,
+                    },
                 })
             }
             other => Err(self.error(format!("unknown constructor kind `{other}`"))),

@@ -49,8 +49,7 @@ impl<'a> Parser<'a> {
             return self.parse_flwor();
         }
         // quantified
-        if (self.at_kw("some") || self.at_kw("every")) && self.peek2()? == Tok::Dollar
-        {
+        if (self.at_kw("some") || self.at_kw("every")) && self.peek2()? == Tok::Dollar {
             return self.parse_quantified();
         }
         if self.at_kw("typeswitch") && self.peek2()? == Tok::LParen {
@@ -136,29 +135,28 @@ impl<'a> Parser<'a> {
     fn parse_binary_expr(&mut self, min_prec: u8) -> XdmResult<Expr> {
         let mut left = self.parse_type_ops()?;
         loop {
-            let Some((kind, prec)) = self.peek_binary_op()? else { break };
+            let Some((kind, prec)) = self.peek_binary_op()? else {
+                break;
+            };
             if prec < min_prec {
                 break;
             }
             self.consume_binary_op(&kind)?;
             if let BinKind::FtContains = kind {
                 let selection = self.parse_ft_selection()?;
-                left = Expr::FtContains { source: left.boxed(), selection };
+                left = Expr::FtContains {
+                    source: left.boxed(),
+                    selection,
+                };
                 continue;
             }
             let right = self.parse_binary_expr(prec + 1)?;
             left = match kind {
                 BinKind::Or => Expr::Or(left.boxed(), right.boxed()),
                 BinKind::And => Expr::And(left.boxed(), right.boxed()),
-                BinKind::GenComp(op) => {
-                    Expr::GeneralComp(op, left.boxed(), right.boxed())
-                }
-                BinKind::ValComp(op) => {
-                    Expr::ValueComp(op, left.boxed(), right.boxed())
-                }
-                BinKind::NodeComp(op) => {
-                    Expr::NodeComp(op, left.boxed(), right.boxed())
-                }
+                BinKind::GenComp(op) => Expr::GeneralComp(op, left.boxed(), right.boxed()),
+                BinKind::ValComp(op) => Expr::ValueComp(op, left.boxed(), right.boxed()),
+                BinKind::NodeComp(op) => Expr::NodeComp(op, left.boxed(), right.boxed()),
                 BinKind::Range => Expr::Range(left.boxed(), right.boxed()),
                 BinKind::Arith(op) => Expr::Arith(op, left.boxed(), right.boxed()),
                 BinKind::Union => Expr::Union(left.boxed(), right.boxed()),
@@ -287,22 +285,34 @@ impl<'a> Parser<'a> {
                 // "/" alone, or "/relative"
                 if self.starts_step() {
                     let steps = self.parse_relative_steps()?;
-                    Ok(Expr::Path { start: PathStart::Root, steps })
+                    Ok(Expr::Path {
+                        start: PathStart::Root,
+                        steps,
+                    })
                 } else {
-                    Ok(Expr::Path { start: PathStart::Root, steps: vec![] })
+                    Ok(Expr::Path {
+                        start: PathStart::Root,
+                        steps: vec![],
+                    })
                 }
             }
             Tok::SlashSlash => {
                 self.advance()?;
                 let steps = self.parse_relative_steps()?;
-                Ok(Expr::Path { start: PathStart::RootDescendant, steps })
+                Ok(Expr::Path {
+                    start: PathStart::RootDescendant,
+                    steps,
+                })
             }
             _ => {
                 let first = self.parse_step_expr()?;
                 if matches!(self.cur.tok, Tok::Slash | Tok::SlashSlash) {
                     let mut steps = vec![first];
                     self.parse_path_tail(&mut steps)?;
-                    Ok(Expr::Path { start: PathStart::Relative, steps })
+                    Ok(Expr::Path {
+                        start: PathStart::Relative,
+                        steps,
+                    })
                 } else {
                     // a lone step: axis steps still need path semantics
                     match first {
@@ -310,13 +320,19 @@ impl<'a> Parser<'a> {
                             start: PathStart::Relative,
                             steps: vec![first],
                         }),
-                        StepExpr::Filter { primary, predicates } => {
+                        StepExpr::Filter {
+                            primary,
+                            predicates,
+                        } => {
                             if predicates.is_empty() {
                                 Ok(*primary)
                             } else {
                                 Ok(Expr::Path {
                                     start: PathStart::Relative,
-                                    steps: vec![StepExpr::Filter { primary, predicates }],
+                                    steps: vec![StepExpr::Filter {
+                                        primary,
+                                        predicates,
+                                    }],
                                 })
                             }
                         }
@@ -414,15 +430,17 @@ impl<'a> Parser<'a> {
                     "preceding-sibling" => Axis::PrecedingSibling,
                     "preceding" => Axis::Preceding,
                     "ancestor-or-self" => Axis::AncestorOrSelf,
-                    other => {
-                        return Err(self.error(format!("unknown axis `{other}`")))
-                    }
+                    other => return Err(self.error(format!("unknown axis `{other}`"))),
                 };
                 self.advance()?; // axis name
                 self.advance()?; // ::
                 let test = self.parse_node_test(axis == Axis::Attribute)?;
                 let predicates = self.parse_predicates()?;
-                return Ok(StepExpr::Axis(AxisStep { axis, test, predicates }));
+                return Ok(StepExpr::Axis(AxisStep {
+                    axis,
+                    test,
+                    predicates,
+                }));
             }
         }
         // name test (child axis) — but not a function call, kind test or
@@ -437,10 +455,17 @@ impl<'a> Parser<'a> {
                     // kind tests are steps; function calls are primaries
                     matches!(
                         n.as_str(),
-                        "node" | "text" | "comment" | "processing-instruction"
-                            | "element" | "attribute" | "document-node"
+                        "node"
+                            | "text"
+                            | "comment"
+                            | "processing-instruction"
+                            | "element"
+                            | "attribute"
+                            | "document-node"
                     )
-                } else { !self.starts_computed_constructor(n, &next)? }
+                } else {
+                    !self.starts_computed_constructor(n, &next)?
+                }
             }
             _ => false,
         };
@@ -452,12 +477,19 @@ impl<'a> Parser<'a> {
                 NodeTest::Kind(KindTest::Attribute(_)) => Axis::Attribute,
                 _ => Axis::Child,
             };
-            return Ok(StepExpr::Axis(AxisStep { axis, test, predicates }));
+            return Ok(StepExpr::Axis(AxisStep {
+                axis,
+                test,
+                predicates,
+            }));
         }
         // primary expression with optional predicates
         let primary = self.parse_primary()?;
         let predicates = self.parse_predicates()?;
-        Ok(StepExpr::Filter { primary: primary.boxed(), predicates })
+        Ok(StepExpr::Filter {
+            primary: primary.boxed(),
+            predicates,
+        })
     }
 
     /// Is `name` (with `next` following) the start of a computed constructor
@@ -468,8 +500,9 @@ impl<'a> Parser<'a> {
         next: &Tok,
     ) -> XdmResult<bool> {
         match name {
-            "text" | "comment" | "document" | "ordered" | "unordered"
-            | "validate" => Ok(*next == Tok::LBrace),
+            "text" | "comment" | "document" | "ordered" | "unordered" | "validate" => {
+                Ok(*next == Tok::LBrace)
+            }
             "element" | "attribute" | "processing-instruction" => {
                 if *next == Tok::LBrace {
                     return Ok(true);
@@ -548,9 +581,7 @@ impl<'a> Parser<'a> {
                         "element" => {
                             self.advance()?;
                             self.expect_tok(Tok::LParen)?;
-                            let name = if self.cur.tok == Tok::RParen
-                                || self.cur.tok == Tok::Star
-                            {
+                            let name = if self.cur.tok == Tok::RParen || self.cur.tok == Tok::Star {
                                 let _ = self.eat_tok(&Tok::Star)?;
                                 None
                             } else {
@@ -562,9 +593,7 @@ impl<'a> Parser<'a> {
                         "attribute" => {
                             self.advance()?;
                             self.expect_tok(Tok::LParen)?;
-                            let name = if self.cur.tok == Tok::RParen
-                                || self.cur.tok == Tok::Star
-                            {
+                            let name = if self.cur.tok == Tok::RParen || self.cur.tok == Tok::Star {
                                 let _ = self.eat_tok(&Tok::Star)?;
                                 None
                             } else {
@@ -597,10 +626,7 @@ impl<'a> Parser<'a> {
                 let q = self.resolve_qname(p, l, !attr_axis)?;
                 Ok(NodeTest::Name(q))
             }
-            other => Err(self.error(format!(
-                "expected a node test, found {}",
-                other.describe()
-            ))),
+            other => Err(self.error(format!("expected a node test, found {}", other.describe()))),
         }
     }
 
@@ -665,42 +691,40 @@ impl<'a> Parser<'a> {
     fn parse_keyword_or_call(&mut self, name: &str) -> XdmResult<Expr> {
         // computed constructors
         match name {
-            "element" | "attribute" | "text" | "comment"
-            | "processing-instruction" | "document" => {
+            "element"
+            | "attribute"
+            | "text"
+            | "comment"
+            | "processing-instruction"
+            | "document" => {
                 let next = self.peek2()?;
-                let is_computed = matches!(
-                    next,
-                    Tok::LBrace | Tok::Name(_) | Tok::PrefixedName(..)
-                );
+                let is_computed =
+                    matches!(next, Tok::LBrace | Tok::Name(_) | Tok::PrefixedName(..));
                 if is_computed {
                     return self.parse_computed_constructor(name);
                 }
             }
-            "ordered" | "unordered"
-                if self.peek2()? == Tok::LBrace => {
-                    self.advance()?;
-                    self.expect_tok(Tok::LBrace)?;
-                    let e = self.parse_expr()?;
-                    self.expect_tok(Tok::RBrace)?;
-                    return Ok(e);
-                }
-            "validate"
-                if self.peek2()? == Tok::LBrace => {
-                    // schema validation is out of scope: validate { E } = E
-                    self.advance()?;
-                    self.expect_tok(Tok::LBrace)?;
-                    let e = self.parse_expr()?;
-                    self.expect_tok(Tok::RBrace)?;
-                    return Ok(e);
-                }
+            "ordered" | "unordered" if self.peek2()? == Tok::LBrace => {
+                self.advance()?;
+                self.expect_tok(Tok::LBrace)?;
+                let e = self.parse_expr()?;
+                self.expect_tok(Tok::RBrace)?;
+                return Ok(e);
+            }
+            "validate" if self.peek2()? == Tok::LBrace => {
+                // schema validation is out of scope: validate { E } = E
+                self.advance()?;
+                self.expect_tok(Tok::LBrace)?;
+                let e = self.parse_expr()?;
+                self.expect_tok(Tok::RBrace)?;
+                return Ok(e);
+            }
             _ => {}
         }
         if self.peek2()? == Tok::LParen && !Self::is_reserved_fn_name(name) {
             return self.parse_function_call();
         }
-        Err(self.error(format!(
-            "unexpected name `{name}` in expression position"
-        )))
+        Err(self.error(format!("unexpected name `{name}` in expression position")))
     }
 
     pub(crate) fn parse_function_call(&mut self) -> XdmResult<Expr> {
@@ -730,7 +754,11 @@ impl<'a> Parser<'a> {
         let then = self.parse_expr_single()?;
         self.expect_kw("else")?;
         let els = self.parse_expr_single()?;
-        Ok(Expr::If { cond: cond.boxed(), then: then.boxed(), els: els.boxed() })
+        Ok(Expr::If {
+            cond: cond.boxed(),
+            then: then.boxed(),
+            els: els.boxed(),
+        })
     }
 
     fn parse_flwor(&mut self) -> XdmResult<Expr> {
@@ -794,7 +822,10 @@ impl<'a> Parser<'a> {
         }
         self.expect_kw("return")?;
         let ret = self.parse_expr_single()?;
-        Ok(Expr::Flwor { clauses, ret: ret.boxed() })
+        Ok(Expr::Flwor {
+            clauses,
+            ret: ret.boxed(),
+        })
     }
 
     fn parse_order_by(&mut self, stable: bool) -> XdmResult<FlworClause> {
@@ -815,7 +846,11 @@ impl<'a> Parser<'a> {
                     self.expect_kw("least")?;
                 }
             }
-            specs.push(OrderSpec { key, descending, empty_least });
+            specs.push(OrderSpec {
+                key,
+                descending,
+                empty_least,
+            });
             if !self.eat_tok(&Tok::Comma)? {
                 break;
             }
@@ -846,7 +881,11 @@ impl<'a> Parser<'a> {
         }
         self.expect_kw("satisfies")?;
         let satisfies = self.parse_expr_single()?;
-        Ok(Expr::Quantified { kind, bindings, satisfies: satisfies.boxed() })
+        Ok(Expr::Quantified {
+            kind,
+            bindings,
+            satisfies: satisfies.boxed(),
+        })
     }
 
     fn parse_typeswitch(&mut self) -> XdmResult<Expr> {

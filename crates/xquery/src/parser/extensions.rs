@@ -39,9 +39,9 @@ impl<'a> Parser<'a> {
         } else if self.eat_kw("after")? {
             InsertPos::After
         } else {
-            return Err(self.error(
-                "expected `into`, `as first into`, `as last into`, `before` or `after`",
-            ));
+            return Err(
+                self.error("expected `into`, `as first into`, `as last into`, `before` or `after`")
+            );
         };
         let target = self.parse_expr_single()?;
         // the paper's §4.2.1 listing uses the postfix word order
@@ -57,7 +57,11 @@ impl<'a> Parser<'a> {
         } else {
             pos
         };
-        Ok(Expr::Insert { source: source.boxed(), pos, target: target.boxed() })
+        Ok(Expr::Insert {
+            source: source.boxed(),
+            pos,
+            target: target.boxed(),
+        })
     }
 
     /// `delete node(s) Target`
@@ -85,9 +89,15 @@ impl<'a> Parser<'a> {
         self.expect_kw("with")?;
         let with = self.parse_expr_single()?;
         Ok(if value_of {
-            Expr::ReplaceValue { target: target.boxed(), with: with.boxed() }
+            Expr::ReplaceValue {
+                target: target.boxed(),
+                with: with.boxed(),
+            }
         } else {
-            Expr::ReplaceNode { target: target.boxed(), with: with.boxed() }
+            Expr::ReplaceNode {
+                target: target.boxed(),
+                with: with.boxed(),
+            }
         })
     }
 
@@ -98,7 +108,10 @@ impl<'a> Parser<'a> {
         let target = self.parse_expr_single()?;
         self.expect_kw("as")?;
         let name = self.parse_name_expr()?;
-        Ok(Expr::Rename { target: target.boxed(), name })
+        Ok(Expr::Rename {
+            target: target.boxed(),
+            name,
+        })
     }
 
     /// `copy $x := E (, $y := E)* modify E return E` (with optional leading
@@ -119,7 +132,11 @@ impl<'a> Parser<'a> {
         let modify = self.parse_expr_single()?;
         self.expect_kw("return")?;
         let ret = self.parse_expr_single()?;
-        Ok(Expr::Transform { bindings, modify: modify.boxed(), ret: ret.boxed() })
+        Ok(Expr::Transform {
+            bindings,
+            modify: modify.boxed(),
+            ret: ret.boxed(),
+        })
     }
 
     /// Name expressions for `rename … as` and computed constructors: either a
@@ -187,7 +204,10 @@ impl<'a> Parser<'a> {
         let event = self.parse_expr_single()?;
         self.expect_kw("at")?;
         let target = self.parse_expr_single()?;
-        Ok(Expr::EventTrigger { event: event.boxed(), target: target.boxed() })
+        Ok(Expr::EventTrigger {
+            event: event.boxed(),
+            target: target.boxed(),
+        })
     }
 
     /// `set style ExprSingle of TargetExpr to ExprSingle`
@@ -217,7 +237,10 @@ impl<'a> Parser<'a> {
         let prop = self.parse_expr_single()?;
         self.expect_kw("of")?;
         let target = self.parse_expr_single()?;
-        Ok(Expr::GetStyle { prop: prop.boxed(), target: target.boxed() })
+        Ok(Expr::GetStyle {
+            prop: prop.boxed(),
+            target: target.boxed(),
+        })
     }
 
     // ----- full-text ----------------------------------------------------------
@@ -299,7 +322,8 @@ impl<'a> Parser<'a> {
             }
         };
         // match options apply to the nearest primary/group
-        while self.at_kw("with") || self.at_kw2("case", "sensitive")?
+        while self.at_kw("with")
+            || self.at_kw2("case", "sensitive")?
             || self.at_kw2("case", "insensitive")?
         {
             let opts = self.parse_ft_match_option()?;
@@ -339,14 +363,12 @@ fn apply_options(sel: FtSelection, opts: FtMatchOptions) -> FtSelection {
                 wildcards: options.wildcards || opts.wildcards,
             },
         },
-        FtSelection::And(items) => FtSelection::And(
-            items.into_iter().map(|s| apply_options(s, opts)).collect(),
-        ),
-        FtSelection::Or(items) => FtSelection::Or(
-            items.into_iter().map(|s| apply_options(s, opts)).collect(),
-        ),
-        FtSelection::Not(inner) => {
-            FtSelection::Not(Box::new(apply_options(*inner, opts)))
+        FtSelection::And(items) => {
+            FtSelection::And(items.into_iter().map(|s| apply_options(s, opts)).collect())
         }
+        FtSelection::Or(items) => {
+            FtSelection::Or(items.into_iter().map(|s| apply_options(s, opts)).collect())
+        }
+        FtSelection::Not(inner) => FtSelection::Not(Box::new(apply_options(*inner, opts))),
     }
 }

@@ -24,9 +24,19 @@ use crate::token::{Tok, Token};
 
 /// Reserved function-name words that must not be parsed as function calls.
 const RESERVED_FN_NAMES: &[&str] = &[
-    "attribute", "comment", "document-node", "element", "empty-sequence",
-    "if", "item", "node", "processing-instruction", "schema-attribute",
-    "schema-element", "text", "typeswitch",
+    "attribute",
+    "comment",
+    "document-node",
+    "element",
+    "empty-sequence",
+    "if",
+    "item",
+    "node",
+    "processing-instruction",
+    "schema-attribute",
+    "schema-element",
+    "text",
+    "typeswitch",
 ];
 
 /// The parser state.
@@ -57,8 +67,7 @@ impl<'a> Parser<'a> {
             "browser".to_string(),
             xqib_dom::name::BROWSER_NS.to_string(),
         );
-        namespaces
-            .insert("xml".to_string(), xqib_dom::name::XML_NS.to_string());
+        namespaces.insert("xml".to_string(), xqib_dom::name::XML_NS.to_string());
         Ok(Parser {
             lx,
             cur,
@@ -155,10 +164,7 @@ impl<'a> Parser<'a> {
                 self.advance()?;
                 Ok((Some(p), l))
             }
-            other => Err(self.error(format!(
-                "expected a QName, found {}",
-                other.describe()
-            ))),
+            other => Err(self.error(format!("expected a QName, found {}", other.describe()))),
         }
     }
 
@@ -174,10 +180,7 @@ impl<'a> Parser<'a> {
         match prefix {
             Some(p) => {
                 let uri = self.namespaces.get(&p).ok_or_else(|| {
-                    XdmError::new(
-                        "XPST0081",
-                        format!("undeclared namespace prefix `{p}`"),
-                    )
+                    XdmError::new("XPST0081", format!("undeclared namespace prefix `{p}`"))
                 })?;
                 Ok(QName::full(Some(&p), Some(uri), &local))
             }
@@ -226,10 +229,7 @@ impl<'a> Parser<'a> {
         let prolog = self.parse_prolog()?;
         let body = self.parse_program()?;
         if self.cur.tok != Tok::Eof {
-            return Err(self.error(format!(
-                "unexpected trailing {}",
-                self.cur.tok.describe()
-            )));
+            return Err(self.error(format!("unexpected trailing {}", self.cur.tok.describe())));
         }
         Ok(MainModule { prolog, body })
     }
@@ -260,9 +260,9 @@ impl<'a> Parser<'a> {
                     pos += 1;
                 }
                 let digits = &self.lx.src[start..pos];
-                let port: u16 = digits.parse().map_err(|_| {
-                    self.error(format!("bad port number `{digits}`"))
-                })?;
+                let port: u16 = digits
+                    .parse()
+                    .map_err(|_| self.error(format!("bad port number `{digits}`")))?;
                 self.lx.pos = pos;
                 self.advance()?;
                 Some(port)
@@ -281,7 +281,12 @@ impl<'a> Parser<'a> {
                 self.cur.tok.describe()
             )));
         }
-        Ok(LibraryModule { prefix, uri, port, prolog })
+        Ok(LibraryModule {
+            prefix,
+            uri,
+            port,
+            prolog,
+        })
     }
 
     fn skip_version_decl(&mut self) -> XdmResult<()> {
@@ -350,10 +355,7 @@ pub fn parse_expr_str(src: &str) -> XdmResult<Expr> {
     let mut p = Parser::new(src)?;
     let e = p.parse_expr()?;
     if p.cur.tok != Tok::Eof {
-        return Err(p.error(format!(
-            "unexpected trailing {}",
-            p.cur.tok.describe()
-        )));
+        return Err(p.error(format!("unexpected trailing {}", p.cur.tok.describe())));
     }
     Ok(e)
 }

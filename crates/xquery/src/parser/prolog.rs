@@ -37,8 +37,11 @@ impl<'a> Parser<'a> {
                     if self.eat_kw("element")? {
                         self.expect_kw("namespace")?;
                         let uri = self.parse_string_literal()?;
-                        self.default_element_ns =
-                            if uri.is_empty() { None } else { Some(uri.clone()) };
+                        self.default_element_ns = if uri.is_empty() {
+                            None
+                        } else {
+                            Some(uri.clone())
+                        };
                         prolog.default_element_ns = Some(uri);
                     } else if self.eat_kw("function")? {
                         self.expect_kw("namespace")?;
@@ -152,11 +155,13 @@ impl<'a> Parser<'a> {
                     }
                     self.expect_tok(Tok::Semicolon)?;
                     self.namespaces.insert(prefix.clone(), uri.clone());
-                    prolog.module_imports.push(ModuleImport { prefix, uri, locations });
+                    prolog.module_imports.push(ModuleImport {
+                        prefix,
+                        uri,
+                        locations,
+                    });
                 } else if next.is_kw("schema") {
-                    return Err(self.error(
-                        "schema import is not supported (untyped data model)",
-                    ));
+                    return Err(self.error("schema import is not supported (untyped data model)"));
                 } else {
                     break;
                 }
@@ -212,7 +217,6 @@ impl<'a> Parser<'a> {
                 args: vec![],
             }
         } else {
-            
             self.parse_block()?
         };
         Ok(FunctionDecl {

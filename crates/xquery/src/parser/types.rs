@@ -33,7 +33,11 @@ impl<'a> Parser<'a> {
             }
             _ => Occurrence::One,
         };
-        Ok(SequenceType { item, occurrence, empty_sequence: false })
+        Ok(SequenceType {
+            item,
+            occurrence,
+            empty_sequence: false,
+        })
     }
 
     fn parse_item_type(&mut self) -> XdmResult<ItemType> {
@@ -47,8 +51,13 @@ impl<'a> Parser<'a> {
         if let Tok::Name(n) = &self.cur.tok {
             if matches!(
                 n.as_str(),
-                "node" | "text" | "comment" | "processing-instruction"
-                    | "element" | "attribute" | "document-node"
+                "node"
+                    | "text"
+                    | "comment"
+                    | "processing-instruction"
+                    | "element"
+                    | "attribute"
+                    | "document-node"
             ) && self.peek2()? == Tok::LParen
             {
                 let test = self.parse_node_test(false)?;
@@ -66,7 +75,8 @@ impl<'a> Parser<'a> {
         }
         // atomic type name
         let (prefix, local) = self.parse_raw_qname()?;
-        self.atomic_type_from(prefix.as_deref(), &local).map(ItemType::Atomic)
+        self.atomic_type_from(prefix.as_deref(), &local)
+            .map(ItemType::Atomic)
     }
 
     /// SingleType ::= AtomicType "?"?  (for `cast as` / `castable as`)
@@ -77,17 +87,11 @@ impl<'a> Parser<'a> {
         Ok((ty, optional))
     }
 
-    fn atomic_type_from(
-        &self,
-        prefix: Option<&str>,
-        local: &str,
-    ) -> XdmResult<TypeName> {
+    fn atomic_type_from(&self, prefix: Option<&str>, local: &str) -> XdmResult<TypeName> {
         // accept `xs:` prefixed and bare names
         if let Some(p) = prefix {
             if p != "xs" && p != "xsd" {
-                return Err(self.error(format!(
-                    "unknown atomic type `{p}:{local}`"
-                )));
+                return Err(self.error(format!("unknown atomic type `{p}:{local}`")));
             }
         }
         TypeName::from_local(local)

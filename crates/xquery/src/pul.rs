@@ -17,17 +17,49 @@ use xqib_xdm::{XdmError, XdmResult};
 /// already *copies* living in the same document as their target.
 #[derive(Debug, Clone)]
 pub enum UpdatePrimitive {
-    InsertInto { target: NodeRef, children: Vec<NodeRef> },
-    InsertFirst { target: NodeRef, children: Vec<NodeRef> },
-    InsertLast { target: NodeRef, children: Vec<NodeRef> },
-    InsertBefore { anchor: NodeRef, children: Vec<NodeRef> },
-    InsertAfter { anchor: NodeRef, children: Vec<NodeRef> },
-    InsertAttributes { target: NodeRef, attrs: Vec<NodeRef> },
-    Delete { target: NodeRef },
-    ReplaceNode { target: NodeRef, replacements: Vec<NodeRef> },
-    ReplaceValue { target: NodeRef, value: String },
-    ReplaceElementContent { target: NodeRef, text: String },
-    Rename { target: NodeRef, name: QName },
+    InsertInto {
+        target: NodeRef,
+        children: Vec<NodeRef>,
+    },
+    InsertFirst {
+        target: NodeRef,
+        children: Vec<NodeRef>,
+    },
+    InsertLast {
+        target: NodeRef,
+        children: Vec<NodeRef>,
+    },
+    InsertBefore {
+        anchor: NodeRef,
+        children: Vec<NodeRef>,
+    },
+    InsertAfter {
+        anchor: NodeRef,
+        children: Vec<NodeRef>,
+    },
+    InsertAttributes {
+        target: NodeRef,
+        attrs: Vec<NodeRef>,
+    },
+    Delete {
+        target: NodeRef,
+    },
+    ReplaceNode {
+        target: NodeRef,
+        replacements: Vec<NodeRef>,
+    },
+    ReplaceValue {
+        target: NodeRef,
+        value: String,
+    },
+    ReplaceElementContent {
+        target: NodeRef,
+        text: String,
+    },
+    Rename {
+        target: NodeRef,
+        name: QName,
+    },
 }
 
 /// The pending update list.
@@ -60,7 +92,9 @@ impl Pul {
     }
 
     pub fn take(&mut self) -> Pul {
-        Pul { prims: std::mem::take(&mut self.prims) }
+        Pul {
+            prims: std::mem::take(&mut self.prims),
+        }
     }
 
     /// W3C compatibility checks performed before applying.
@@ -70,28 +104,27 @@ impl Pul {
         let mut node_replaced: HashSet<NodeRef> = HashSet::new();
         for p in &self.prims {
             match p {
-                UpdatePrimitive::Rename { target, .. }
-                    if !renamed.insert(*target) => {
-                        return Err(XdmError::new(
-                            "XUDY0015",
-                            "two rename operations target the same node",
-                        ));
-                    }
+                UpdatePrimitive::Rename { target, .. } if !renamed.insert(*target) => {
+                    return Err(XdmError::new(
+                        "XUDY0015",
+                        "two rename operations target the same node",
+                    ));
+                }
                 UpdatePrimitive::ReplaceValue { target, .. }
                 | UpdatePrimitive::ReplaceElementContent { target, .. }
-                    if !value_replaced.insert(*target) => {
-                        return Err(XdmError::new(
-                            "XUDY0017",
-                            "two replace-value operations target the same node",
-                        ));
-                    }
-                UpdatePrimitive::ReplaceNode { target, .. }
-                    if !node_replaced.insert(*target) => {
-                        return Err(XdmError::new(
-                            "XUDY0016",
-                            "two replace-node operations target the same node",
-                        ));
-                    }
+                    if !value_replaced.insert(*target) =>
+                {
+                    return Err(XdmError::new(
+                        "XUDY0017",
+                        "two replace-value operations target the same node",
+                    ));
+                }
+                UpdatePrimitive::ReplaceNode { target, .. } if !node_replaced.insert(*target) => {
+                    return Err(XdmError::new(
+                        "XUDY0016",
+                        "two replace-node operations target the same node",
+                    ));
+                }
                 _ => {}
             }
         }
@@ -121,7 +154,8 @@ impl Pul {
                 UpdatePrimitive::InsertFirst { target, children } => {
                     let doc = store.doc_mut(target.doc);
                     for (i, c) in children.iter().enumerate() {
-                        doc.insert_child_at(target.node, i, c.node).map_err(map_err)?;
+                        doc.insert_child_at(target.node, i, c.node)
+                            .map_err(map_err)?;
                     }
                     touched_parents.push(*target);
                 }
@@ -148,7 +182,8 @@ impl Pul {
                 UpdatePrimitive::InsertAttributes { target, attrs } => {
                     let doc = store.doc_mut(target.doc);
                     for a in attrs {
-                        doc.put_attribute_node(target.node, a.node).map_err(map_err)?;
+                        doc.put_attribute_node(target.node, a.node)
+                            .map_err(map_err)?;
                     }
                 }
                 _ => {}
@@ -158,7 +193,10 @@ impl Pul {
         // Phase 2: replaces
         for p in &self.prims {
             match p {
-                UpdatePrimitive::ReplaceNode { target, replacements } => {
+                UpdatePrimitive::ReplaceNode {
+                    target,
+                    replacements,
+                } => {
                     let doc = store.doc_mut(target.doc);
                     if replacements.is_empty() {
                         doc.detach(target.node).map_err(map_err)?;
@@ -188,7 +226,8 @@ impl Pul {
                 }
                 UpdatePrimitive::ReplaceElementContent { target, text } => {
                     let doc = store.doc_mut(target.doc);
-                    doc.replace_element_value(target.node, text).map_err(map_err)?;
+                    doc.replace_element_value(target.node, text)
+                        .map_err(map_err)?;
                 }
                 _ => {}
             }
@@ -258,7 +297,10 @@ mod tests {
             NodeRef::new(root.doc, e)
         };
         let mut pul = Pul::new();
-        pul.push(UpdatePrimitive::InsertInto { target: root, children: vec![new] });
+        pul.push(UpdatePrimitive::InsertInto {
+            target: root,
+            children: vec![new],
+        });
         pul.push(UpdatePrimitive::Delete { target: book });
         pul.apply(&mut s).unwrap();
         let doc = s.doc(root.doc);
@@ -279,13 +321,18 @@ mod tests {
             NodeRef::new(root.doc, doc.create_element(Q::local("note")))
         };
         let mut pul = Pul::new();
-        pul.push(UpdatePrimitive::InsertAfter { anchor: book, children: vec![new] });
+        pul.push(UpdatePrimitive::InsertAfter {
+            anchor: book,
+            children: vec![new],
+        });
         pul.push(UpdatePrimitive::Delete { target: book });
         pul.apply(&mut s).unwrap();
         let doc = s.doc(root.doc);
         assert_eq!(doc.children(root.node).len(), 1);
         assert_eq!(
-            doc.element_name(doc.children(root.node)[0]).unwrap().lexical(),
+            doc.element_name(doc.children(root.node)[0])
+                .unwrap()
+                .lexical(),
             "note"
         );
     }
@@ -294,8 +341,14 @@ mod tests {
     fn conflicting_renames_rejected() {
         let (mut s, _root, book) = setup();
         let mut pul = Pul::new();
-        pul.push(UpdatePrimitive::Rename { target: book, name: Q::local("a") });
-        pul.push(UpdatePrimitive::Rename { target: book, name: Q::local("b") });
+        pul.push(UpdatePrimitive::Rename {
+            target: book,
+            name: Q::local("a"),
+        });
+        pul.push(UpdatePrimitive::Rename {
+            target: book,
+            name: Q::local("b"),
+        });
         assert_eq!(pul.apply(&mut s).unwrap_err().code, "XUDY0015");
     }
 
@@ -303,8 +356,14 @@ mod tests {
     fn conflicting_replace_values_rejected() {
         let (mut s, _root, book) = setup();
         let mut pul = Pul::new();
-        pul.push(UpdatePrimitive::ReplaceValue { target: book, value: "a".into() });
-        pul.push(UpdatePrimitive::ReplaceValue { target: book, value: "b".into() });
+        pul.push(UpdatePrimitive::ReplaceValue {
+            target: book,
+            value: "a".into(),
+        });
+        pul.push(UpdatePrimitive::ReplaceValue {
+            target: book,
+            value: "b".into(),
+        });
         assert_eq!(pul.apply(&mut s).unwrap_err().code, "XUDY0017");
     }
 
@@ -317,8 +376,14 @@ mod tests {
             NodeRef::new(book.doc, a)
         };
         let mut pul = Pul::new();
-        pul.push(UpdatePrimitive::ReplaceValue { target: book, value: "1500".into() });
-        pul.push(UpdatePrimitive::ReplaceValue { target: attr, value: "2".into() });
+        pul.push(UpdatePrimitive::ReplaceValue {
+            target: book,
+            value: "1500".into(),
+        });
+        pul.push(UpdatePrimitive::ReplaceValue {
+            target: attr,
+            value: "2".into(),
+        });
         pul.apply(&mut s).unwrap();
         let doc = s.doc(book.doc);
         assert_eq!(doc.string_value(book.node), "1500");

@@ -61,7 +61,10 @@ pub fn compile_with(
     browser_profile: bool,
 ) -> XdmResult<CompiledQuery> {
     let module = parser::parse_main(src)?;
-    let mut sctx = StaticContext { browser_profile, ..Default::default() };
+    let mut sctx = StaticContext {
+        browser_profile,
+        ..Default::default()
+    };
     // import modules (transitively flat: imported modules may not import)
     for import in &module.prolog.module_imports {
         if let Some(lib) = registry.get(&import.uri) {
@@ -77,7 +80,10 @@ pub fn compile_with(
         sctx.declare_function(f.clone());
     }
     sctx.options = module.prolog.options.clone();
-    Ok(CompiledQuery { module, sctx: Rc::new(sctx) })
+    Ok(CompiledQuery {
+        module,
+        sctx: Rc::new(sctx),
+    })
 }
 
 impl CompiledQuery {
@@ -104,9 +110,7 @@ impl CompiledQuery {
         self.init_globals(ctx)?;
         let result = eval::eval_statements(ctx, &self.module.body);
         let result = match result {
-            Err(e) if e.code == EXIT_CODE => {
-                Ok(ctx.exit_value.take().unwrap_or_default())
-            }
+            Err(e) if e.code == EXIT_CODE => Ok(ctx.exit_value.take().unwrap_or_default()),
             other => other,
         }?;
         eval::apply_pending(ctx)?;
@@ -115,10 +119,7 @@ impl CompiledQuery {
 }
 
 /// Convenience: compile + execute against a fresh context built on `store`.
-pub fn run_query(
-    src: &str,
-    store: xqib_dom::SharedStore,
-) -> XdmResult<(Sequence, DynamicContext)> {
+pub fn run_query(src: &str, store: xqib_dom::SharedStore) -> XdmResult<(Sequence, DynamicContext)> {
     let q = compile(src)?;
     let mut ctx = DynamicContext::new(store, q.sctx.clone());
     let r = q.execute(&mut ctx)?;
@@ -139,9 +140,7 @@ pub fn render_sequence(ctx: &DynamicContext, seq: &Sequence) -> String {
     seq.iter()
         .map(|i| match i {
             Item::Atomic(a) => a.string_value(),
-            Item::Node(n) => {
-                xqib_dom::serialize::serialize_node(store.doc(n.doc), n.node)
-            }
+            Item::Node(n) => xqib_dom::serialize::serialize_node(store.doc(n.doc), n.node),
         })
         .collect::<Vec<_>>()
         .join(" ")
@@ -151,11 +150,7 @@ pub fn render_sequence(ctx: &DynamicContext, seq: &Sequence) -> String {
 /// when the browser dispatches an event (Figure 1's loop). Pending updates
 /// raised by the listener are applied before returning, so the page reflects
 /// the handler's effects.
-pub fn invoke(
-    ctx: &mut DynamicContext,
-    name: &QName,
-    args: Vec<Sequence>,
-) -> XdmResult<Sequence> {
+pub fn invoke(ctx: &mut DynamicContext, name: &QName, args: Vec<Sequence>) -> XdmResult<Sequence> {
     let r = eval::call_function(ctx, name, args);
     let r = match r {
         Err(e) if e.code == EXIT_CODE => Ok(ctx.exit_value.take().unwrap_or_default()),

@@ -78,7 +78,10 @@ fn comparison_matrix() {
         ("true() = true()", "true"),
         ("false() lt true()", "true"),
         ("xs:date('2009-01-01') lt xs:date('2009-01-02')", "true"),
-        ("xs:dateTime('2009-01-01T00:00:00') eq xs:dateTime('2009-01-01T00:00:00')", "true"),
+        (
+            "xs:dateTime('2009-01-01T00:00:00') eq xs:dateTime('2009-01-01T00:00:00')",
+            "true",
+        ),
         ("xs:time('09:00:00') lt xs:time('10:00:00')", "true"),
         // general comparisons over sequences
         ("(1, 2) = (2, 3)", "true"),
@@ -285,14 +288,29 @@ fn fo_dates() {
         ("year-from-date(xs:date('2009-04-20'))", "2009"),
         ("month-from-date(xs:date('2009-04-20'))", "4"),
         ("day-from-date(xs:date('2009-04-20'))", "20"),
-        ("hours-from-dateTime(xs:dateTime('2009-04-20T13:45:30'))", "13"),
-        ("minutes-from-dateTime(xs:dateTime('2009-04-20T13:45:30'))", "45"),
-        ("seconds-from-dateTime(xs:dateTime('2009-04-20T13:45:30'))", "30"),
+        (
+            "hours-from-dateTime(xs:dateTime('2009-04-20T13:45:30'))",
+            "13",
+        ),
+        (
+            "minutes-from-dateTime(xs:dateTime('2009-04-20T13:45:30'))",
+            "45",
+        ),
+        (
+            "seconds-from-dateTime(xs:dateTime('2009-04-20T13:45:30'))",
+            "30",
+        ),
         // duration arithmetic
-        ("string(xs:duration('P1D') + xs:duration('PT12H'))", "P1DT12H"),
+        (
+            "string(xs:duration('P1D') + xs:duration('PT12H'))",
+            "P1DT12H",
+        ),
         ("string(xs:duration('P2D') * 2)", "P4D"),
         ("string(xs:duration('P2D') div 2)", "P1D"),
-        ("string(xs:date('2009-04-20') - xs:date('2009-04-10'))", "P10D"),
+        (
+            "string(xs:date('2009-04-20') - xs:date('2009-04-10'))",
+            "P10D",
+        ),
     ]);
 }
 
@@ -374,10 +392,7 @@ fn predicates_on_reverse_axes_count_backwards() {
     let s = store("<a><b/><b/><b/><mark/></a>");
     // preceding-sibling::b[1] is the NEAREST preceding sibling
     assert_eq!(
-        runs(
-            "count(doc('t.xml')//mark/preceding-sibling::b[1])",
-            &s
-        ),
+        runs("count(doc('t.xml')//mark/preceding-sibling::b[1])", &s),
         "1"
     );
     let s2 = store("<a><b id='1'/><b id='2'/><b id='3'/><mark/></a>");
@@ -451,14 +466,11 @@ fn constructor_edge_cases() {
         // nested constructors
         ("<a>{<b>{<c/>}</b>}</a>", "<a><b><c/></b></a>"),
         // namespace declaration on constructor
-        (
-            "count(<p:a xmlns:p=\"urn:p\"/>/self::*)",
-            "1"
-        ),
+        ("count(<p:a xmlns:p=\"urn:p\"/>/self::*)", "1"),
         // computed everything
         (
             "element r { attribute n { 1 }, text { 'v' }, comment { 'c' } }",
-            "<r n=\"1\">v<!--c--></r>"
+            "<r n=\"1\">v<!--c--></r>",
         ),
         // document constructor
         ("count(document { <a/> }/a)", "1"),
@@ -501,21 +513,21 @@ fn flwor_corner_cases() {
         // order by with empty keys
         (
             "for $x in (3, 1, 2) order by (if ($x = 1) then () else $x) empty least return $x",
-            "1 2 3"
+            "1 2 3",
         ),
         (
             "for $x in (3, 1, 2) order by (if ($x = 1) then () else $x) empty greatest return $x",
-            "2 3 1"
+            "2 3 1",
         ),
         // stable order by: ties keep input order
         (
             "for $x in ('b1', 'a1', 'b2', 'a2') order by substring($x, 1, 1) return $x",
-            "a1 a2 b1 b2"
+            "a1 a2 b1 b2",
         ),
         // at-position with where
         (
             "for $x at $i in ('a', 'b', 'c') where $i mod 2 = 1 return $x",
-            "a c"
+            "a c",
         ),
     ]);
 }
@@ -529,7 +541,7 @@ fn quantifier_corner_cases() {
         // nested: some/every interplay
         (
             "every $x in (1, 2) satisfies some $y in (1, 2) satisfies $x = $y",
-            "true"
+            "true",
         ),
     ]);
 }
@@ -557,11 +569,7 @@ fn update_error_codes() {
     let s = store("<r><a/></r>");
     let e = run_to_string("insert node <x/> into doc('t.xml')//a/text()", s.clone());
     assert!(e.is_err());
-    let e = run_to_string(
-        "replace node doc('t.xml') with <x/>",
-        s.clone(),
-    )
-    .unwrap_err();
+    let e = run_to_string("replace node doc('t.xml') with <x/>", s.clone()).unwrap_err();
     assert_eq!(e.code, "XUDY0009", "cannot replace the document root");
     let e = run_to_string("delete node 42", s).unwrap_err();
     assert_eq!(e.code, "XPTY0004");
@@ -619,8 +627,5 @@ fn fn_id_over_id_attributes() {
     assert_eq!(runs("count(id(('x', 'z'), doc('t.xml')))", &s), "2");
     assert_eq!(runs("count(id('nope', doc('t.xml')))", &s), "0");
     // context-item form
-    assert_eq!(
-        runs("doc('t.xml')/r/id('y')/name(.)", &s),
-        "b"
-    );
+    assert_eq!(runs("doc('t.xml')/r/id('y')/name(.)", &s), "b");
 }

@@ -97,7 +97,10 @@ fn regex_functions() {
     assert_eq!(run("matches('xqib.org', '^[a-z]+\\.(org|com)$')"), "true");
     assert_eq!(run("replace('a-b-c', '-', '+')"), "a+b+c");
     assert_eq!(run("tokenize('a b  c', '\\s+')"), "a b c");
-    assert_eq!(run("replace('2009-04-20', '(\\d+)-(\\d+)-(\\d+)', '$3/$2/$1')"), "20/04/2009");
+    assert_eq!(
+        run("replace('2009-04-20', '(\\d+)-(\\d+)-(\\d+)', '$3/$2/$1')"),
+        "20/04/2009"
+    );
 }
 
 #[test]
@@ -169,10 +172,7 @@ fn typeswitch_dispatch() {
 fn flwor_basics() {
     assert_eq!(run("for $i in 1 to 3 return $i * 2"), "2 4 6");
     assert_eq!(run("for $i in 1 to 3 let $s := $i * $i return $s"), "1 4 9");
-    assert_eq!(
-        run("for $i in 1 to 5 where $i mod 2 = 0 return $i"),
-        "2 4"
-    );
+    assert_eq!(run("for $i in 1 to 5 where $i mod 2 = 0 return $i"), "2 4");
     assert_eq!(
         run("for $i at $p in ('a','b','c') return concat($p, $i)"),
         "1a 2b 3c"
@@ -181,10 +181,7 @@ fn flwor_basics() {
 
 #[test]
 fn flwor_order_by() {
-    assert_eq!(
-        run("for $i in (3, 1, 2) order by $i return $i"),
-        "1 2 3"
-    );
+    assert_eq!(run("for $i in (3, 1, 2) order by $i return $i"), "1 2 3");
     assert_eq!(
         run("for $i in (3, 1, 2) order by $i descending return $i"),
         "3 2 1"
@@ -194,10 +191,7 @@ fn flwor_order_by() {
         "a bb ccc"
     );
     // multiple keys
-    assert_eq!(
-        run("for $p in ((1,2), (1,1), (0,9)) return ()"),
-        ""
-    );
+    assert_eq!(run("for $p in ((1,2), (1,1), (0,9)) return ()"), "");
     assert_eq!(
         run("for $x in (2,1), $y in (1,2) order by $x, $y descending return concat($x,'-',$y)"),
         "1-2 1-1 2-2 2-1"
@@ -240,8 +234,11 @@ fn path_navigation() {
         "The Dog Handbook"
     );
     assert_eq!(
-        run_to_string("doc('lib.xml')//book[@year='2007']/author/text()", s.clone())
-            .unwrap(),
+        run_to_string(
+            "doc('lib.xml')//book[@year='2007']/author/text()",
+            s.clone()
+        )
+        .unwrap(),
         "Bob"
     );
     assert_eq!(
@@ -253,11 +250,7 @@ fn path_navigation() {
         "3"
     );
     assert_eq!(
-        run_to_string(
-            "doc('lib.xml')//book[price > 26]/title/text()",
-            s.clone()
-        )
-        .unwrap(),
+        run_to_string("doc('lib.xml')//book[price > 26]/title/text()", s.clone()).unwrap(),
         "The Dog Handbook Computer Science"
     );
 }
@@ -302,11 +295,7 @@ fn path_axes() {
         "1"
     );
     assert_eq!(
-        run_to_string(
-            "count(doc('lib.xml')//title[1]/following::*)",
-            s.clone()
-        )
-        .unwrap(),
+        run_to_string("count(doc('lib.xml')//title[1]/following::*)", s.clone()).unwrap(),
         "10"
     );
 }
@@ -409,11 +398,7 @@ fn direct_constructors() {
 #[test]
 fn constructors_copy_nodes() {
     let s = lib_store();
-    let out = run_to_string(
-        "<li>{doc('lib.xml')//book[1]/title}</li>",
-        s.clone(),
-    )
-    .unwrap();
+    let out = run_to_string("<li>{doc('lib.xml')//book[1]/title}</li>", s.clone()).unwrap();
     assert_eq!(out, "<li><title>The Dog Handbook</title></li>");
 }
 
@@ -426,7 +411,10 @@ fn computed_constructors() {
     );
     assert_eq!(run("text { 'plain' }"), "plain");
     assert_eq!(run("comment { 'note' }"), "<!--note-->");
-    assert_eq!(run("processing-instruction target { 'data' }"), "<?target data?>");
+    assert_eq!(
+        run("processing-instruction target { 'data' }"),
+        "<?target data?>"
+    );
 }
 
 #[test]
@@ -444,10 +432,7 @@ fn paper_flwor_listing_shape() {
         s,
     )
     .unwrap();
-    assert_eq!(
-        out,
-        "<li><name>super computer</name><eur>999</eur></li>"
-    );
+    assert_eq!(out, "<li><name>super computer</name><eur>999</eur></li>");
 }
 
 #[test]
@@ -477,10 +462,8 @@ fn paper_fulltext_listing() {
 fn paper_update_listing() {
     // §3.2: insert + replace value
     let s = store_with("library.xml", "<books><book title=\"Old\"/></books>");
-    let bill = parse_document(
-        r#"<bill><items id="computer"><price>2000</price></items></bill>"#,
-    )
-    .unwrap();
+    let bill =
+        parse_document(r#"<bill><items id="computer"><price>2000</price></items></bill>"#).unwrap();
     // note: the paper's path is bill/items[@id]/price
     let bill = {
         let mut st = s.borrow_mut();
@@ -558,10 +541,7 @@ fn update_replace_node() {
         s.clone(),
     )
     .unwrap();
-    assert_eq!(
-        run_to_string("doc('d.xml')/r/new/text()", s).unwrap(),
-        "2"
-    );
+    assert_eq!(run_to_string("doc('d.xml')/r/new/text()", s).unwrap(), "2");
 }
 
 #[test]
@@ -597,13 +577,14 @@ fn paper_scripting_listing() {
     // §3.3: block with declare/set; the inserted node is visible to later
     // statements in the same block
     let s = store_with("lib2.xml", "<books/>");
-    let src = store_with("src.xml", "<catalog><book><title>starwars</title></book></catalog>");
+    let src = store_with(
+        "src.xml",
+        "<catalog><book><title>starwars</title></book></catalog>",
+    );
     // merge the two stores: put src doc in same store as lib2
     {
-        let doc = parse_document(
-            "<catalog><book><title>starwars</title></book></catalog>",
-        )
-        .unwrap();
+        let doc =
+            parse_document("<catalog><book><title>starwars</title></book></catalog>").unwrap();
         s.borrow_mut().add_document(doc, Some("src.xml"));
     }
     drop(src);
@@ -618,11 +599,7 @@ fn paper_scripting_listing() {
     )
     .unwrap();
     assert_eq!(out, "1", "the insert is visible to the following statement");
-    let check = run_to_string(
-        "doc('lib2.xml')//book/comment/text()",
-        s,
-    )
-    .unwrap();
+    let check = run_to_string("doc('lib2.xml')//book/comment/text()", s).unwrap();
     assert_eq!(check, "6 movies");
 }
 
@@ -702,8 +679,7 @@ fn set_and_get_style_fall_back_to_attribute() {
 #[test]
 fn get_missing_style_is_empty() {
     let s = store_with("p.xml", "<html><div/></html>");
-    let out =
-        run_to_string("get style \"color\" of doc('p.xml')//div", s).unwrap();
+    let out = run_to_string("get style \"color\" of doc('p.xml')//div", s).unwrap();
     assert_eq!(out, "");
 }
 
@@ -732,10 +708,7 @@ fn current_datetime_is_deterministic() {
 
 #[test]
 fn date_arithmetic() {
-    assert_eq!(
-        run("xs:date('2009-04-24') - xs:date('2009-04-20')"),
-        "P4D"
-    );
+    assert_eq!(run("xs:date('2009-04-24') - xs:date('2009-04-20')"), "P4D");
     assert_eq!(
         run("xs:date('2009-04-20') + xs:duration('P10D')"),
         "2009-04-30"
@@ -754,7 +727,10 @@ fn date_arithmetic() {
 
 #[test]
 fn deep_equal_nodes() {
-    assert_eq!(run("deep-equal(<a x=\"1\">t</a>, <a x=\"1\">t</a>)"), "true");
+    assert_eq!(
+        run("deep-equal(<a x=\"1\">t</a>, <a x=\"1\">t</a>)"),
+        "true"
+    );
     assert_eq!(run("deep-equal(<a x=\"1\"/>, <a x=\"2\"/>)"), "false");
     assert_eq!(run("deep-equal((1,2), (1,2))"), "true");
     assert_eq!(run("deep-equal((1,2), (2,1))"), "false");
@@ -799,11 +775,7 @@ fn contains_div_example_from_paper() {
         r#"<html><body><div>I love XQuery</div><div>meh</div></body></html>"#,
     );
     assert_eq!(
-        run_to_string(
-            "count(doc('page.xml')//div[contains(., 'love')])",
-            s
-        )
-        .unwrap(),
+        run_to_string("count(doc('page.xml')//div[contains(., 'love')])", s).unwrap(),
         "1"
     );
 }
@@ -839,8 +811,7 @@ fn modules_and_imports() {
     )
     .unwrap();
     let store = shared_store();
-    let mut ctx =
-        xqib_xquery::DynamicContext::new(store, q.sctx.clone());
+    let mut ctx = xqib_xquery::DynamicContext::new(store, q.sctx.clone());
     let out = q.execute(&mut ctx).unwrap();
     assert_eq!(out.len(), 1);
     assert_eq!(out[0].as_atomic().unwrap().string_value(), "20");

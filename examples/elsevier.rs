@@ -26,7 +26,10 @@ fn main() {
         let r = server.handle(&format!("/page?article={id}"));
         assert_eq!(r.status, 200);
     }
-    println!("=== server-rendered deployment ({} interactions) ===", session.len() + 1);
+    println!(
+        "=== server-rendered deployment ({} interactions) ===",
+        session.len() + 1
+    );
     println!("server requests:      {}", server.metrics.requests);
     println!("server XQuery evals:  {}", server.metrics.xquery_evals);
     println!("bytes over the wire:  {}", server.metrics.bytes_out);
@@ -52,15 +55,25 @@ fn main() {
                 }
             });
     }
-    plugin.load_page(&migrate::migrated_page()).expect("page loads");
+    plugin
+        .load_page(&migrate::migrated_page())
+        .expect("page loads");
     plugin.eval("local:showIndex()").expect("index renders");
     for id in &session {
-        plugin.eval(&migrate::interaction(id)).expect("article renders");
+        plugin
+            .eval(&migrate::interaction(id))
+            .expect("article renders");
     }
     println!("\n=== migrated deployment (same session) ===");
     println!("server requests:      {}", server.borrow().metrics.requests);
-    println!("server XQuery evals:  {}", server.borrow().metrics.xquery_evals);
-    println!("bytes over the wire:  {}", server.borrow().metrics.bytes_out);
+    println!(
+        "server XQuery evals:  {}",
+        server.borrow().metrics.xquery_evals
+    );
+    println!(
+        "bytes over the wire:  {}",
+        server.borrow().metrics.bytes_out
+    );
     println!(
         "client cache:         {} documents",
         plugin.store.borrow().doc_count()
@@ -69,5 +82,8 @@ fn main() {
     println!("\nlast article rendered client-side:");
     let page = plugin.serialize_page();
     let start = page.find("<div id=\"content\">").unwrap_or(0);
-    println!("{}", &page[start..start.saturating_add(400).min(page.len())]);
+    println!(
+        "{}",
+        &page[start..start.saturating_add(400).min(page.len())]
+    );
 }

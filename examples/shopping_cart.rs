@@ -50,7 +50,10 @@ fn xquery_only() {
         let button = plugin.element_by_id(product).expect("buy button");
         plugin.click(button).expect("buy handler");
     }
-    println!("\nafter buying Laptop and Mouse:\n{}", plugin.serialize_page());
+    println!(
+        "\nafter buying Laptop and Mouse:\n{}",
+        plugin.serialize_page()
+    );
 }
 
 fn technology_jungle() {
@@ -95,7 +98,8 @@ fn technology_jungle() {
             .expect("button found");
         xqib::dom::NodeRef::new(id, n)
     };
-    js.dispatch_to(&buy, "onclick", button, 1).expect("buy handler");
+    js.dispatch_to(&buy, "onclick", button, 1)
+        .expect("buy handler");
     let page = {
         let s = store.borrow();
         xqib::dom::serialize::serialize_document(s.doc(id))

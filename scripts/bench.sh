@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# Runs the path-evaluation microbenchmarks and distils the Criterion
+# medians into BENCH_path_eval.json at the repo root:
+#
+#   { "benchmarks": { "<group>/<function>/<param>": <median ns/iter>, ... } }
+#
+# The vendored criterion stub writes the same estimates.json layout as the
+# real crate (target/criterion/<id>/new/estimates.json with
+# median.point_estimate in nanoseconds), so this script works with either.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# Start from a clean report dir so entries from earlier runs (or other
+# bench binaries) cannot leak into the harvest below.
+rm -rf target/criterion
+
+cargo bench -p xqib-bench --bench micro_engine
+
+out=BENCH_path_eval.json
+tmp="$out.tmp"
+
+{
+    printf '{\n  "benchmarks": {\n'
+    first=1
+    # Sorted for a stable, diffable report.
+    find target/criterion -name estimates.json -path '*/new/*' | sort | while read -r f; do
+        id=${f#target/criterion/}
+        id=${id%/new/estimates.json}
+        median=$(sed -n 's/.*"median":{"point_estimate":\([0-9.eE+-]*\).*/\1/p' "$f")
+        [ -n "$median" ] || continue
+        if [ "$first" -eq 1 ]; then
+            first=0
+        else
+            printf ',\n'
+        fi
+        printf '    "%s": %s' "$id" "$median"
+    done
+    printf '\n  }\n}\n'
+} > "$tmp"
+mv "$tmp" "$out"
+
+echo "wrote $out:"
+cat "$out"

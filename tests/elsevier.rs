@@ -53,7 +53,11 @@ fn plugin_with_server() -> (Plugin, Rc<RefCell<AppServer>>) {
             40, // simulated WAN round trip
             move |req| {
                 let r = server.borrow_mut().handle(&req.url);
-                Response { status: r.status, body: r.body, content_type: "application/xml".into() }
+                Response {
+                    status: r.status,
+                    body: r.body,
+                    content_type: "application/xml".into(),
+                }
             },
         );
     }

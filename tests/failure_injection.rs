@@ -16,38 +16,53 @@ fn plugin() -> Plugin {
 #[test]
 fn service_500_surfaces_as_error_and_page_is_untouched() {
     let mut p = plugin();
-    p.host.borrow_mut().net.register("http://flaky.example/", 5, |_| Response {
-        status: 500,
-        body: "<error>boom</error>".to_string(),
-        content_type: "application/xml".to_string(),
-    });
+    p.host
+        .borrow_mut()
+        .net
+        .register("http://flaky.example/", 5, |_| Response {
+            status: 500,
+            body: "<error>boom</error>".to_string(),
+            content_type: "application/xml".to_string(),
+        });
     let before = p.serialize_page();
     let e = p
         .eval("insert node browser:httpGet('http://flaky.example/x') into //div[@id='out']")
         .unwrap_err();
     assert_eq!(e.code, "XQIB0007");
-    assert_eq!(p.serialize_page(), before, "failed fetch left no partial update");
+    assert_eq!(
+        p.serialize_page(),
+        before,
+        "failed fetch left no partial update"
+    );
 }
 
 #[test]
 fn unroutable_host_is_a_clean_error() {
     let mut p = plugin();
-    let e = p.eval("browser:httpGet('http://no-such-host.example/')").unwrap_err();
+    let e = p
+        .eval("browser:httpGet('http://no-such-host.example/')")
+        .unwrap_err();
     assert_eq!(e.code, "XQIB0007");
 }
 
 #[test]
 fn malformed_xml_response_is_a_clean_error() {
     let mut p = plugin();
-    p.host.borrow_mut().net.register("http://bad.example/", 5, |_| {
-        Response::ok("<unclosed><tags")
-    });
-    let e = p.eval("browser:httpGet('http://bad.example/x')").unwrap_err();
+    p.host
+        .borrow_mut()
+        .net
+        .register("http://bad.example/", 5, |_| {
+            Response::ok("<unclosed><tags")
+        });
+    let e = p
+        .eval("browser:httpGet('http://bad.example/x')")
+        .unwrap_err();
     assert_eq!(e.code, "XQIB0007");
     // a later, well-formed fetch from the same host still works
-    p.host.borrow_mut().net.register("http://bad.example/good", 5, |_| {
-        Response::ok("<fine/>")
-    });
+    p.host
+        .borrow_mut()
+        .net
+        .register("http://bad.example/good", 5, |_| Response::ok("<fine/>"));
     let out = p
         .eval("count(browser:httpGet('http://bad.example/good'))")
         .unwrap();
@@ -150,7 +165,10 @@ fn deleted_listener_target_keeps_loop_sane() {
     let b = p.element_by_id("b").unwrap();
     p.click(b).unwrap();
     assert!(p.serialize_page().contains("<p>boom</p>"));
-    assert!(p.element_by_id("b").is_none(), "button removed from the page");
+    assert!(
+        p.element_by_id("b").is_none(),
+        "button removed from the page"
+    );
     // second click on the detached node: handler runs, inserting again is
     // fine; the delete is a no-op
     p.click(b).unwrap();

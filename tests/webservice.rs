@@ -42,7 +42,11 @@ fn remote_call_through_the_virtual_network() {
             10,
             move |req| {
                 let (status, body) = service.borrow_mut().handle(&req.url);
-                Response { status, body, content_type: "application/xml".into() }
+                Response {
+                    status,
+                    body,
+                    content_type: "application/xml".into(),
+                }
             },
         );
     }
@@ -62,8 +66,7 @@ fn remote_call_through_the_virtual_network() {
                     .first()
                     .map(|i| i.string_value(&ctx.store.borrow()))
                     .unwrap_or_default();
-                let url =
-                    format!("http://localhost:2001/call?fn=mul&arg={a}&arg={b}");
+                let url = format!("http://localhost:2001/call?fn=mul&arg={a}&arg={b}");
                 let (resp, _lat) = host.borrow_mut().net.get(&url);
                 // <result>10</result> → 10
                 let value = resp
@@ -77,7 +80,9 @@ fn remote_call_through_the_virtual_network() {
     }
     plugin.load_page(CLIENT_PAGE).unwrap();
     assert!(
-        plugin.serialize_page().contains(r#"<input name="textbox" value="10"/>"#),
+        plugin
+            .serialize_page()
+            .contains(r#"<input name="textbox" value="10"/>"#),
         "{}",
         plugin.serialize_page()
     );
@@ -108,6 +113,9 @@ fn wsdl_document_describes_the_service() {
     assert_eq!(status, 200);
     let doc = xqib::dom::parse_document(&wsdl).unwrap();
     let root = doc.children(doc.root())[0];
-    assert_eq!(doc.get_attribute(root, None, "namespace"), Some("www.example.ch"));
+    assert_eq!(
+        doc.get_attribute(root, None, "namespace"),
+        Some("www.example.ch")
+    );
     assert_eq!(doc.get_attribute(root, None, "port"), Some("2001"));
 }

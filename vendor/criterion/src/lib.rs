@@ -1,0 +1,271 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! The build container has no registry access, so this crate implements the
+//! subset of the criterion API the bench harness uses: `Criterion` with the
+//! builder knobs, `benchmark_group`/`bench_function`/`bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, and `final_summary`. Timing is a plain
+//! warm-up + batched-sample median; each finished benchmark is also written
+//! to `target/criterion/<id>/new/estimates.json` in the same shape the real
+//! crate uses, so tooling (`scripts/bench.sh`) can harvest medians.
+
+use std::fmt::Display;
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark registry + measurement configuration.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    results: Vec<BenchResult>,
+}
+
+struct BenchResult {
+    id: String,
+    median_ns: f64,
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// CLI filtering/plotting flags are not supported; accepted for
+    /// source-compatibility with the real crate.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn final_summary(&mut self) {
+        if self.results.is_empty() {
+            return;
+        }
+        println!("\n== criterion (offline stub) summary ==");
+        for r in &self.results {
+            println!(
+                "{:<64} {:>14.1} ns/iter  ({} samples)",
+                r.id, r.median_ns, r.samples
+            );
+        }
+    }
+
+    fn record(&mut self, id: String, median_ns: f64, samples: usize) {
+        println!("{id:<64} {median_ns:>14.1} ns/iter");
+        // The crate's own tests must not leak fake ids into the report dir.
+        if !cfg!(test) {
+            write_estimates(&id, median_ns);
+        }
+        self.results.push(BenchResult {
+            id,
+            median_ns,
+            samples,
+        });
+    }
+}
+
+/// Writes `target/criterion/<id>/new/estimates.json` next to the bench
+/// executable's `target` directory (falling back to `./target`).
+fn write_estimates(id: &str, median_ns: f64) {
+    let target = std::env::current_exe()
+        .ok()
+        .and_then(|exe| {
+            exe.ancestors()
+                .find(|p| p.file_name().is_some_and(|n| n == "target"))
+                .map(PathBuf::from)
+        })
+        .unwrap_or_else(|| PathBuf::from("target"));
+    let mut dir = target.join("criterion");
+    for part in id.split('/') {
+        dir.push(part);
+    }
+    dir.push("new");
+    if fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let json = format!(
+        "{{\"median\":{{\"point_estimate\":{median_ns}}},\
+         \"mean\":{{\"point_estimate\":{median_ns}}}}}"
+    );
+    let _ = fs::write(dir.join("estimates.json"), json);
+}
+
+/// Names a benchmark as `function/parameter`.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+/// Accepts both `&str` and [`BenchmarkId`] benchmark names.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        if self.parameter.is_empty() {
+            self.function
+        } else {
+            format!("{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher {
+            warm_up: self.criterion.warm_up,
+            measurement: self.criterion.measurement,
+            sample_size: self.criterion.sample_size,
+            median_ns: 0.0,
+            samples: 0,
+        };
+        f(&mut b);
+        self.criterion.record(full, b.median_ns, b.samples);
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Runs the measured routine; `iter` performs the whole warm-up + sampling
+/// schedule in one call (the closure passed to `bench_function` therefore
+/// runs once, not per-sample as in the real crate).
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    median_ns: f64,
+    samples: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up and estimate the per-iteration cost.
+        let warm_end = Instant::now() + self.warm_up;
+        let mut warm_iters = 0u64;
+        let warm_started = Instant::now();
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if Instant::now() >= warm_end || warm_iters >= 100_000 {
+                break;
+            }
+        }
+        let per_iter = warm_started.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Batch size targeting measurement_time / sample_size per batch.
+        let batch_budget = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let batch = ((batch_budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let deadline = Instant::now() + self.measurement * 2;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_secs_f64() * 1e9 / batch as f64);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[samples.len() / 2];
+        self.samples = samples.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("f", |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::new("p", 10), &10usize, |b, &n| {
+                b.iter(|| n * 2)
+            });
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 2);
+        assert_eq!(c.results[0].id, "g/f");
+        assert_eq!(c.results[1].id, "g/p/10");
+        assert!(c.results.iter().all(|r| r.median_ns > 0.0));
+        c.final_summary();
+    }
+}

@@ -1,0 +1,610 @@
+//! Offline stand-in for [proptest](https://crates.io/crates/proptest).
+//!
+//! The build container has no registry access, so this crate re-implements
+//! exactly the API surface the workspace's property tests use: the
+//! `proptest!` macro, `prop_assert*`, `prop_oneof!`, integer-range and
+//! `any::<T>()` strategies, tuple strategies, `prop::collection::vec`,
+//! `prop_map`/`prop_recursive`, and string strategies for the small
+//! character-class regex subset (`[a-z ]{0,8}`, `.{0,60}`, …) the tests
+//! rely on.
+//!
+//! Differences from the real crate: no shrinking (a failing case panics
+//! with the generated inputs instead of a minimised counterexample) and a
+//! fixed deterministic seed schedule per test, so failures reproduce
+//! run-to-run.
+
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// deterministic RNG
+// ---------------------------------------------------------------------------
+
+pub mod test_runner {
+    /// SplitMix64-based generator; seeded from the test name and case index
+    /// so every run explores the same schedule.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        pub fn for_case(name: &str, case: u64) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            // splitmix64
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..n` (`0` when `n == 0`).
+        pub fn below(&mut self, n: u64) -> u64 {
+            if n == 0 {
+                0
+            } else {
+                self.next_u64() % n
+            }
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+// ---------------------------------------------------------------------------
+// strategies
+// ---------------------------------------------------------------------------
+
+pub mod strategy {
+    use super::*;
+
+    /// Generates random values of `Self::Value`. Unlike the real crate this
+    /// is generation-only: there is no value tree and no shrinking.
+    pub trait Strategy: Clone + 'static {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U + Clone + 'static,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized,
+            Self::Value: 'static,
+        {
+            let s = self;
+            BoxedStrategy {
+                gen: Rc::new(move |rng| s.generate(rng)),
+            }
+        }
+
+        /// Ties the recursive knot by expanding `recurse` `depth` times with
+        /// the leaf strategy at the bottom (`desired_size` and
+        /// `expected_branch_size` only shape distributions in the real
+        /// crate, so they are accepted and ignored here).
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value>,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let mut cur = self.boxed();
+            for _ in 0..depth {
+                cur = recurse(cur).boxed();
+            }
+            cur
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + 'static>(pub T);
+
+    impl<T: Clone + 'static> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U + Clone + 'static,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy (the `prop_recursive` handle).
+    pub struct BoxedStrategy<T> {
+        #[allow(clippy::type_complexity)]
+        gen: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                gen: self.gen.clone(),
+            }
+        }
+    }
+
+    impl<T: 'static> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.gen)(rng)
+        }
+    }
+
+    /// Uniform choice between alternatives (the `prop_oneof!` backing type).
+    pub struct Union<T> {
+        arms: Rc<Vec<BoxedStrategy<T>>>,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+            }
+        }
+    }
+
+    impl<T: 'static> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union {
+                arms: Rc::new(arms),
+            }
+        }
+    }
+
+    impl<T: 'static> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    // ----- integer ranges -------------------------------------------------
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as i128) - (self.start as i128);
+                    assert!(span > 0, "empty range strategy");
+                    (self.start as i128 + rng.below(span as u64) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (*self.end() as i128) - (*self.start() as i128) + 1;
+                    (*self.start() as i128 + rng.below(span as u64) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    // ----- tuples ---------------------------------------------------------
+
+    macro_rules! tuple_strategy {
+        ($($s:ident : $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A: 0, B: 1);
+    tuple_strategy!(A: 0, B: 1, C: 2);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+    // ----- string patterns ------------------------------------------------
+
+    /// `&str` literals act as generators for the character-class/repetition
+    /// regex subset: `[class]{m,n}`, `.{m,n}`, escapes, and plain literals.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pat: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let set: Vec<char> = match chars[i] {
+                '.' => {
+                    i += 1;
+                    (0x20u8..=0x7e).map(|b| b as char).collect()
+                }
+                '[' => {
+                    i += 1;
+                    let mut set = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = if chars[i] == '\\' {
+                            i += 1;
+                            chars[i]
+                        } else {
+                            chars[i]
+                        };
+                        i += 1;
+                        // `a-z` range (but a trailing `-` is a literal)
+                        if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                            let hi = chars[i + 1];
+                            i += 2;
+                            for c in lo..=hi {
+                                set.push(c);
+                            }
+                        } else {
+                            set.push(lo);
+                        }
+                    }
+                    i += 1; // closing ']'
+                    set
+                }
+                '\\' => {
+                    i += 1;
+                    let c = chars[i];
+                    i += 1;
+                    vec![c]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unclosed {m,n} in pattern")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse::<usize>().unwrap(),
+                        n.trim().parse::<usize>().unwrap(),
+                    ),
+                    None => {
+                        let m = body.trim().parse::<usize>().unwrap();
+                        (m, m)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(!set.is_empty(), "empty character class in pattern");
+            let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..n {
+                let k = rng.below(set.len() as u64) as usize;
+                out.push(set[k]);
+            }
+        }
+        out
+    }
+
+    // ----- collections ----------------------------------------------------
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> VecStrategy<S> {
+        pub fn new(element: S, size: std::ops::Range<usize>) -> Self {
+            VecStrategy { element, size }
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod collection {
+    pub fn vec<S: crate::strategy::Strategy>(
+        element: S,
+        size: std::ops::Range<usize>,
+    ) -> crate::strategy::VecStrategy<S> {
+        crate::strategy::VecStrategy::new(element, size)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// `any::<T>()`
+// ---------------------------------------------------------------------------
+
+pub mod arbitrary {
+    use super::*;
+
+    pub trait Arbitrary: Sized + 'static {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    pub struct AnyStrategy<T>(std::marker::PhantomData<fn() -> T>);
+
+    impl<T> Clone for AnyStrategy<T> {
+        fn clone(&self) -> Self {
+            AnyStrategy(std::marker::PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> crate::strategy::Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(std::marker::PhantomData)
+    }
+}
+
+pub use arbitrary::any;
+
+// ---------------------------------------------------------------------------
+// macros
+// ---------------------------------------------------------------------------
+
+/// Number of random cases each `proptest!` test runs.
+pub const CASES: u64 = 64;
+
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for case in 0..$crate::CASES {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &$strat,
+                            &mut rng,
+                        );
+                    )+
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}  "),+),
+                        $(&$arg),+
+                    );
+                    let outcome = std::panic::catch_unwind(
+                        std::panic::AssertUnwindSafe(move || $body),
+                    );
+                    if let Err(payload) = outcome {
+                        eprintln!(
+                            "proptest case {case} of {} failed with inputs: {}",
+                            stringify!($name),
+                            inputs,
+                        );
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!("prop_assert! failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!("prop_assert! failed: {}: {}", stringify!($cond), format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (l, r) => {
+                if !(*l == *r) {
+                    panic!("prop_assert_eq! failed: {:?} != {:?}", l, r);
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        match (&$a, &$b) {
+            (l, r) => {
+                if !(*l == *r) {
+                    panic!(
+                        "prop_assert_eq! failed: {:?} != {:?}: {}",
+                        l, r, format!($($fmt)+)
+                    );
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (l, r) => {
+                if *l == *r {
+                    panic!("prop_assert_ne! failed: both sides are {:?}", l);
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+// ---------------------------------------------------------------------------
+// prelude
+// ---------------------------------------------------------------------------
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirrors `proptest::prelude::prop` (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..200 {
+            let v = (-50i64..50).generate(&mut rng);
+            assert!((-50..50).contains(&v));
+            let u = (1usize..10).generate(&mut rng);
+            assert!((1..10).contains(&u));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_class_and_len() {
+        let mut rng = TestRng::for_case("strings", 0);
+        for _ in 0..200 {
+            let s = "[a-c ]{0,8}".generate(&mut rng);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| c == ' ' || ('a'..='c').contains(&c)));
+            let t = "[ -~]{1,4}".generate(&mut rng);
+            assert!((1..=4).contains(&t.len()));
+            let dot = ".{0,5}".generate(&mut rng);
+            assert!(dot.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn escaped_class_members_parse() {
+        let mut rng = TestRng::for_case("escapes", 0);
+        for _ in 0..100 {
+            let s = "[a-z0-9 +*/()<>=$\\[\\]{}.,:;'\"@!-]{0,20}".generate(&mut rng);
+            assert!(s.len() <= 20);
+            assert!(!s.contains('\\'), "escape leaked into output: {s:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive_compose() {
+        #[derive(Debug, Clone)]
+        enum T {
+            Leaf(i32),
+            Node(Box<T>, Box<T>),
+        }
+        impl T {
+            fn leaf_sum(&self) -> i64 {
+                match self {
+                    T::Leaf(v) => *v as i64,
+                    T::Node(a, b) => a.leaf_sum() + b.leaf_sum(),
+                }
+            }
+        }
+        let leaf = (0i32..10).prop_map(T::Leaf);
+        let tree = leaf.prop_recursive(3, 16, 2, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(|t| t),
+                (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b))),
+            ]
+        });
+        let mut rng = TestRng::for_case("recursive", 0);
+        for _ in 0..50 {
+            // leaves draw from 0..10, so the sum is non-negative
+            assert!(tree.generate(&mut rng).leaf_sum() >= 0);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_len_in_range() {
+        let mut rng = TestRng::for_case("vec", 0);
+        let s = crate::collection::vec(0i32..5, 2..6);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Offline stand-in for [rand](https://crates.io/crates/rand).
+//!
+//! The workspace declares `rand` but (currently) never uses it; the build
+//! container has no registry access, so this placeholder satisfies the
+//! manifest. It exposes a tiny deterministic generator in case a future
+//! bench wants cheap pseudo-randomness without the real crate.
+
+/// SplitMix64 pseudo-random generator.
+#[derive(Debug, Clone)]
+pub struct SmallRng(u64);
+
+impl SmallRng {
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SmallRng(seed | 1)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`0` when `n == 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_bounded() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let x = a.below(10);
+            assert_eq!(x, b.below(10));
+            assert!(x < 10);
+        }
+    }
+}
