@@ -1,6 +1,7 @@
 //! Server-side metrics for the Figure 2 experiment: how much work and
 //! traffic each deployment (server-rendered vs migrated) costs the server.
 
+use xqib_browser::RecoveryStats;
 use xqib_dom::order::stats::EngineStats;
 
 /// Counters accumulated by the application server.
@@ -20,6 +21,20 @@ pub struct ServerMetrics {
     pub sorts_performed: u64,
     /// Path-step normalisations the evaluator proved unnecessary.
     pub sorts_elided: u64,
+    /// Web-service calls that ended in an error response.
+    pub failed_calls: u64,
+    /// Client fetch attempts (first tries + retries) observed via
+    /// [`record_recovery`](Self::record_recovery).
+    pub fetch_attempts: u64,
+    /// Retry tasks the clients scheduled.
+    pub fetch_retries: u64,
+    /// Client-side request deadlines hit.
+    pub fetch_timeouts: u64,
+    pub breaker_opens: u64,
+    pub breaker_half_opens: u64,
+    pub breaker_closes: u64,
+    /// Degraded fetches answered from the stale cache.
+    pub stale_served: u64,
 }
 
 impl ServerMetrics {
@@ -36,6 +51,19 @@ impl ServerMetrics {
             .saturating_sub(baseline.order_index_rebuilds);
         self.sorts_performed = now.sorts_performed.saturating_sub(baseline.sorts_performed);
         self.sorts_elided = now.sorts_elided.saturating_sub(baseline.sorts_elided);
+    }
+
+    /// Mirrors a client's recovery counters into the server's metrics (the
+    /// Figure 2 experiment reads one struct for the whole deployment). The
+    /// recovery counters are cumulative snapshots, so this overwrites.
+    pub fn record_recovery(&mut self, stats: &RecoveryStats) {
+        self.fetch_attempts = stats.attempts;
+        self.fetch_retries = stats.retries;
+        self.fetch_timeouts = stats.timeouts;
+        self.breaker_opens = stats.breaker_opens;
+        self.breaker_half_opens = stats.breaker_half_opens;
+        self.breaker_closes = stats.breaker_closes;
+        self.stale_served = stats.stale_served;
     }
 }
 
@@ -75,5 +103,31 @@ mod tests {
         // A counter reset elsewhere must not underflow.
         m.record_engine_stats(now, base);
         assert_eq!(m.order_index_rebuilds, 0);
+    }
+
+    #[test]
+    fn recovery_counters_mirror_the_client_snapshot() {
+        let mut m = ServerMetrics::default();
+        let stats = RecoveryStats {
+            attempts: 9,
+            retries: 4,
+            timeouts: 3,
+            breaker_opens: 2,
+            breaker_half_opens: 1,
+            breaker_closes: 1,
+            stale_served: 5,
+            ..Default::default()
+        };
+        m.record_recovery(&stats);
+        assert_eq!(m.fetch_attempts, 9);
+        assert_eq!(m.fetch_retries, 4);
+        assert_eq!(m.fetch_timeouts, 3);
+        assert_eq!(m.breaker_opens, 2);
+        assert_eq!(m.breaker_half_opens, 1);
+        assert_eq!(m.breaker_closes, 1);
+        assert_eq!(m.stale_served, 5);
+        // a later snapshot overwrites (the counters are cumulative)
+        m.record_recovery(&RecoveryStats::default());
+        assert_eq!(m.fetch_attempts, 0);
     }
 }

@@ -18,8 +18,10 @@ use xqib_xquery::parser;
 pub struct WebServiceHost {
     module: Rc<LibraryModule>,
     sctx: Rc<StaticContext>,
-    /// number of remote calls served
+    /// number of remote calls served (successful or not)
     pub calls: u64,
+    /// number of remote calls that ended in an error response
+    pub failed_calls: u64,
 }
 
 impl WebServiceHost {
@@ -46,6 +48,7 @@ impl WebServiceHost {
             module: Rc::new(module),
             sctx: Rc::new(sctx),
             calls: 0,
+            failed_calls: 0,
         })
     }
 
@@ -74,6 +77,14 @@ impl WebServiceHost {
     /// mirroring simple WSDL/REST marshalling).
     pub fn call(&mut self, local: &str, args: &[&str]) -> XdmResult<String> {
         self.calls += 1;
+        let r = self.call_inner(local, args);
+        if r.is_err() {
+            self.failed_calls += 1;
+        }
+        r
+    }
+
+    fn call_inner(&mut self, local: &str, args: &[&str]) -> XdmResult<String> {
         let qname = xqib_dom::QName::ns(&self.module.uri, local);
         let decl = self
             .sctx
@@ -133,17 +144,49 @@ impl WebServiceHost {
                     }
                 }
                 let Some(fname) = fname else {
-                    return (400, "<error>missing fn parameter</error>".to_string());
+                    self.failed_calls += 1;
+                    return (
+                        400,
+                        error_body("XQIB0011", "missing fn parameter").to_string(),
+                    );
                 };
                 let arg_refs: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
                 match self.call(&fname, &arg_refs) {
                     Ok(v) => (200, format!("<result>{v}</result>")),
-                    Err(e) => (500, format!("<error>{e}</error>")),
+                    // client errors (asking for a function the service does
+                    // not export) are 4xx; everything else is a service
+                    // fault — the distinction clients key retries on
+                    Err(e) if e.code == "XPST0017" => (404, error_body(&e.code, &e.message)),
+                    Err(e) => (500, error_body(&e.code, &e.message)),
                 }
             }
-            other => (404, format!("<error>no route {other}</error>")),
+            other => (404, error_body("XQIB0012", &format!("no route {other}"))),
         }
     }
+}
+
+/// A structured error payload: `<error code="…">message</error>` with the
+/// message XML-escaped, so clients can parse any failure uniformly.
+fn error_body(code: &str, message: &str) -> String {
+    format!(
+        "<error code=\"{}\">{}</error>",
+        xml_escape(code),
+        xml_escape(message)
+    )
+}
+
+fn xml_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
 }
 
 fn strip_host(url: &str) -> String {
@@ -187,12 +230,34 @@ declare function ex:mul($a,$b) {$a * $b};"#;
         let (status, body) = host.handle("http://localhost:2001/call?fn=mul&arg=6&arg=7");
         assert_eq!(status, 200);
         assert_eq!(body, "<result>42</result>");
-        let (status, _) = host.handle("/call?fn=nosuch&arg=1");
-        assert_eq!(status, 500);
-        let (status, _) = host.handle("/call");
-        assert_eq!(status, 400);
-        let (status, _) = host.handle("/other");
+        // asking for an unexported function is the client's fault: 404
+        let (status, body) = host.handle("/call?fn=nosuch&arg=1");
         assert_eq!(status, 404);
+        assert!(body.contains("code=\"XPST0017\""), "{body}");
+        let (status, body) = host.handle("/call");
+        assert_eq!(status, 400);
+        assert!(body.contains("code=\"XQIB0011\""), "{body}");
+        let (status, body) = host.handle("/other");
+        assert_eq!(status, 404);
+        assert!(body.contains("code=\"XQIB0012\""), "{body}");
+        assert_eq!(host.calls, 2, "only real invocations count as calls");
+        assert_eq!(host.failed_calls, 2, "nosuch + missing fn");
+    }
+
+    #[test]
+    fn dynamic_errors_are_service_faults() {
+        let mut host = WebServiceHost::new(
+            r#"module namespace d = "urn:div";
+declare option fn:webservice "true";
+declare function d:inv($x) { 1 div $x };"#,
+        )
+        .unwrap();
+        let (status, body) = host.handle("/call?fn=inv&arg=0");
+        assert_eq!(status, 500, "{body}");
+        assert!(body.starts_with("<error code=\""), "{body}");
+        assert_eq!(host.failed_calls, 1);
+        // the error body itself parses as XML
+        assert!(xqib_dom::parse_document(&body).is_ok(), "{body}");
     }
 
     #[test]

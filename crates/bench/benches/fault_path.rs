@@ -1,0 +1,75 @@
+//! Retry-overhead benchmark: throughput of the asynchronous `behind`
+//! pipeline fault-free vs under a 10% injected-fault plan — what the
+//! recovery machinery (retries, breaker checks, stale-cache bookkeeping)
+//! costs per call, and what a lossy host costs on top.
+
+use std::cell::Cell;
+
+use criterion::{BenchmarkId, Criterion};
+
+use xqib_bench::criterion as crit;
+use xqib_browser::net::{FaultPlan, Response};
+use xqib_browser::{RecoveryConfig, RetryPolicy};
+use xqib_core::plugin::{Plugin, PluginConfig};
+
+const PAGE: &str = r#"<html><head><script type="text/xquery"><![CDATA[
+declare function local:onResult($readyState, $result) { () };
+declare function local:onStale($evt, $obj) { () };
+declare function local:onError($evt, $obj) { () };
+on event "stale" at //body attach listener local:onStale;
+on event "error" at //body attach listener local:onError
+]]></script></head><body><p/></body></html>"#;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_path");
+    // 50‰ timeouts + 50‰ error responses = 10% of requests faulted
+    let faulty = FaultPlan::seeded(0xfa17)
+        .with_timeout_permille(50)
+        .with_error_permille(50);
+    for (label, plan) in [("fault_free", None), ("ten_pct_faults", Some(faulty))] {
+        let mut p = Plugin::new(PluginConfig {
+            recovery: RecoveryConfig {
+                retry: RetryPolicy {
+                    timeout_ms: 50,
+                    max_attempts: 3,
+                    backoff_base_ms: 10,
+                    backoff_factor: 2,
+                    backoff_cap_ms: 100,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        p.host
+            .borrow_mut()
+            .net
+            .register("http://api.test/", 5, |_req| Response::ok("<ok/>"));
+        if let Some(plan) = plan {
+            p.host.borrow_mut().net.set_fault_plan("api.test", plan);
+        }
+        p.load_page(PAGE).expect("bench page loads");
+        // distinct URLs per call: successful XML fetches are cached by URL
+        // and a cache hit would bypass the network (and the fault plan)
+        let n = Cell::new(0u64);
+        group.bench_with_input(BenchmarkId::new("behind_call", label), &label, |b, _| {
+            b.iter(|| {
+                let i = n.get();
+                n.set(i + 1);
+                p.eval(&format!(
+                    r#"on event "sc" behind browser:httpGet("http://api.test/{label}-{i}.xml")
+                       attach listener local:onResult"#
+                ))
+                .expect("attach");
+                p.run_until_idle().expect("drain")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = crit();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -75,6 +75,14 @@ impl<T> EventLoop<T> {
         });
     }
 
+    /// Advances the virtual clock by `ms` without running a task — the cost
+    /// of synchronous waits that happen *inside* a task (network round
+    /// trips, client-side request timeouts). Already-queued tasks keep
+    /// their due times; `pop` stays monotonic.
+    pub fn advance(&mut self, ms: u64) {
+        self.now += ms;
+    }
+
     /// Pops the next task, advancing the clock to its due time.
     pub fn pop(&mut self) -> Option<T> {
         let task = self.queue.pop()?;

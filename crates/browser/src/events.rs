@@ -38,6 +38,11 @@ pub struct DomEvent {
     pub button: u8,
     /// Free-form payload (readyState notifications, custom events).
     pub detail: String,
+    /// Optional document payload: for synthetic events that carry data
+    /// (e.g. a stale-cache response), the host deep-copies this subtree
+    /// into the event node as a `<payload>` child, so XQuery listeners can
+    /// read it as `$evt/payload/*`.
+    pub payload: Option<NodeRef>,
 }
 
 impl DomEvent {
@@ -50,6 +55,7 @@ impl DomEvent {
             shift_key: false,
             button: 1,
             detail: String::new(),
+            payload: None,
         }
     }
 

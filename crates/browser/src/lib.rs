@@ -16,7 +16,10 @@
 //!   latency, byte accounting — the measurement substrate for the Figure 2
 //!   and Figure 3 experiments;
 //! * a single-threaded **event loop** with a virtual clock, like a real
-//!   browser's main thread.
+//!   browser's main thread;
+//! * **fault injection & recovery**: seeded per-host failure schedules
+//!   ([`net::FaultPlan`]) and the client-side counterpart — retry policies,
+//!   circuit breakers and a stale-response cache ([`recovery`]).
 //!
 //! Everything is deterministic: no wall clock, no ambient randomness.
 
@@ -25,11 +28,16 @@ pub mod css;
 pub mod event_loop;
 pub mod events;
 pub mod net;
+pub mod recovery;
 pub mod security;
 
 pub use bom::{Browser, Location, Navigator, Screen, WindowId};
 pub use css::CssStore;
 pub use event_loop::{EventLoop, Task};
 pub use events::{DomEvent, EventPhase, EventSystem, ListenerId};
-pub use net::{Request, Response, VirtualNetwork};
+pub use net::{Fault, FaultPlan, NetOutcome, Request, Response, VirtualNetwork};
+pub use recovery::{
+    BreakerState, CircuitBreaker, RecoveryConfig, RecoveryState, RecoveryStats, RetryPolicy,
+    StaleCache,
+};
 pub use security::Origin;

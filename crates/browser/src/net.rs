@@ -5,6 +5,12 @@
 //! (weather services, web cams, the Elsevier/MarkLogic REST interface) and
 //! doubles as the measurement instrument for the Figure 2 experiment
 //! (requests and bytes saved by server-to-client migration).
+//!
+//! Hosts can carry a seeded [`FaultPlan`]: error responses, lost requests,
+//! latency jitter, truncated payloads and down-time windows in virtual
+//! time, all reproducible from a `u64` seed. The plan decides per request;
+//! the client-side recovery policy (retries, circuit breakers, stale
+//! serving) lives in [`crate::recovery`].
 
 use std::collections::HashMap;
 
@@ -33,13 +39,17 @@ impl Request {
         }
     }
 
-    /// The query parameter `name` from the URL, if any.
+    /// The query parameter `name` from the URL, if any. Pairs without `=`
+    /// are skipped rather than aborting the scan, and values are decoded
+    /// (`+` → space, `%xx` → byte).
     pub fn query_param(&self, name: &str) -> Option<String> {
         let q = self.url.split_once('?')?.1;
         for pair in q.split('&') {
-            let (k, v) = pair.split_once('=')?;
+            let Some((k, v)) = pair.split_once('=') else {
+                continue;
+            };
             if k == name {
-                return Some(v.replace('+', " "));
+                return Some(percent_decode(v));
             }
         }
         None
@@ -85,12 +95,146 @@ impl Response {
 
 type Handler = Box<dyn FnMut(&Request) -> Response>;
 
+/// One injected failure mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The service replies with this HTTP status (the request never reaches
+    /// the handler).
+    Error(u16),
+    /// The request is lost: no reply ever arrives; the client observes its
+    /// own deadline.
+    Timeout,
+    /// The reply arrives, but the payload is cut off mid-transfer.
+    Truncate,
+}
+
+/// A deterministic failure schedule for one host, reproducible from `seed`.
+///
+/// Decision order per request: scripted faults are consumed first, then the
+/// flap windows are checked against virtual time, then one probabilistic
+/// draw (seeded, per-request-index) partitions into timeout / error /
+/// truncation / none. Latency jitter is an independent seeded draw.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    pub seed: u64,
+    /// Outcomes forced onto the host's first requests, in order
+    /// (`None` = deliberate success), before any probabilistic draw.
+    pub scripted: Vec<Option<Fault>>,
+    /// ‰ of requests lost ([`Fault::Timeout`]).
+    pub timeout_permille: u16,
+    /// ‰ of requests answered with a 503 ([`Fault::Error`]).
+    pub error_permille: u16,
+    /// ‰ of requests with truncated payloads ([`Fault::Truncate`]).
+    pub truncate_permille: u16,
+    /// Uniform extra round-trip latency in `0..=jitter_ms`, per request.
+    pub jitter_ms: u64,
+    /// Virtual-time windows `[from, to)` during which the host is down
+    /// (every request in the window is lost).
+    pub flaps: Vec<(u64, u64)>,
+}
+
+impl FaultPlan {
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Forces the host's first `n` requests to fail with `fault`.
+    pub fn fail_first(mut self, n: usize, fault: Fault) -> Self {
+        self.scripted.extend((0..n).map(|_| Some(fault)));
+        self
+    }
+
+    pub fn with_timeout_permille(mut self, permille: u16) -> Self {
+        self.timeout_permille = permille;
+        self
+    }
+
+    pub fn with_error_permille(mut self, permille: u16) -> Self {
+        self.error_permille = permille;
+        self
+    }
+
+    pub fn with_truncate_permille(mut self, permille: u16) -> Self {
+        self.truncate_permille = permille;
+        self
+    }
+
+    pub fn with_jitter_ms(mut self, jitter_ms: u64) -> Self {
+        self.jitter_ms = jitter_ms;
+        self
+    }
+
+    /// The host is down (all requests lost) while `from <= now < to`.
+    pub fn down_between(mut self, from: u64, to: u64) -> Self {
+        self.flaps.push((from, to));
+        self
+    }
+
+    /// Every request fails: the permanently-dead-host plan.
+    pub fn always_down(seed: u64) -> Self {
+        FaultPlan::seeded(seed).with_timeout_permille(1000)
+    }
+
+    /// The fault (if any) and latency jitter for the host's `index`-th
+    /// request issued at virtual time `now`. Pure: same plan, index and
+    /// time give the same answer on every run.
+    fn decide(&self, index: u64, now: u64) -> (Option<Fault>, u64) {
+        let jitter = if self.jitter_ms == 0 {
+            0
+        } else {
+            mix64(self.seed ^ 0x6a09_e667_f3bc_c909 ^ index.wrapping_mul(0x9e37))
+                % (self.jitter_ms + 1)
+        };
+        if let Some(&f) = self.scripted.get(index as usize) {
+            return (f, jitter);
+        }
+        if self.flaps.iter().any(|&(from, to)| now >= from && now < to) {
+            return (Some(Fault::Timeout), jitter);
+        }
+        let draw = (mix64(self.seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15)) % 1000) as u16;
+        let fault = if draw < self.timeout_permille {
+            Some(Fault::Timeout)
+        } else if draw < self.timeout_permille + self.error_permille {
+            Some(Fault::Error(503))
+        } else if draw < self.timeout_permille + self.error_permille + self.truncate_permille {
+            Some(Fault::Truncate)
+        } else {
+            None
+        };
+        (fault, jitter)
+    }
+}
+
+/// SplitMix64 finaliser: one deterministic draw per distinct input.
+fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// What a fault-aware fetch produced.
+#[derive(Debug, Clone)]
+pub enum NetOutcome {
+    /// A reply — possibly an injected error status or a truncated payload —
+    /// after `latency_ms` of round-trip time.
+    Reply { resp: Response, latency_ms: u64 },
+    /// The request was lost; no reply will ever arrive. The client must
+    /// apply its own deadline.
+    Lost,
+}
+
 /// Per-host traffic counters.
 #[derive(Debug, Default, Clone)]
 pub struct HostStats {
     pub requests: u64,
     pub bytes_sent: u64,
     pub bytes_received: u64,
+    /// Requests on which the host's fault plan injected a failure.
+    pub faults: u64,
 }
 
 /// Aggregate network statistics.
@@ -99,6 +243,9 @@ pub struct NetStats {
     pub requests: u64,
     pub bytes_sent: u64,
     pub bytes_received: u64,
+    pub injected_timeouts: u64,
+    pub injected_errors: u64,
+    pub injected_truncations: u64,
     pub per_host: HashMap<String, HostStats>,
 }
 
@@ -106,6 +253,8 @@ pub struct NetStats {
 #[derive(Default)]
 pub struct VirtualNetwork {
     services: Vec<(String, u64, Handler)>,
+    /// host → (plan, requests issued to the host so far)
+    faults: HashMap<String, (FaultPlan, u64)>,
     pub stats: NetStats,
 }
 
@@ -129,26 +278,106 @@ impl VirtualNetwork {
             .sort_by_key(|(prefix, _, _)| std::cmp::Reverse(prefix.len()));
     }
 
-    /// Performs a request. Returns the response plus the simulated latency.
-    /// Unroutable URLs get a 404 with zero latency (connection refused).
-    pub fn fetch(&mut self, req: &Request) -> (Response, u64) {
+    /// Installs (or replaces) the fault plan for a host. The per-host
+    /// request index restarts at zero, so scripted faults apply from the
+    /// next request.
+    pub fn set_fault_plan(&mut self, host: &str, plan: FaultPlan) {
+        self.faults.insert(host.to_string(), (plan, 0));
+    }
+
+    /// Removes the fault plan for a host (the host heals).
+    pub fn clear_fault_plan(&mut self, host: &str) {
+        self.faults.remove(host);
+    }
+
+    /// Performs a request at virtual time `now`, applying the target host's
+    /// fault plan. Unroutable URLs get a 404 with zero latency (connection
+    /// refused) and, as before, don't count as service traffic.
+    pub fn fetch_at(&mut self, req: &Request, now: u64) -> NetOutcome {
         let host = host_of(&req.url);
         let sent = req.url.len() as u64 + req.body.as_ref().map_or(0, |b| b.len() as u64);
-        for (prefix, latency, handler) in self.services.iter_mut() {
-            if req.url.starts_with(prefix.as_str()) {
-                let resp = handler(req);
+        let Some(svc) = self
+            .services
+            .iter()
+            .position(|(prefix, _, _)| req.url.starts_with(prefix.as_str()))
+        else {
+            return NetOutcome::Reply {
+                resp: Response::not_found(),
+                latency_ms: 0,
+            };
+        };
+        let (fault, jitter) = match self.faults.get_mut(&host) {
+            Some((plan, index)) => {
+                let d = plan.decide(*index, now);
+                *index += 1;
+                d
+            }
+            None => (None, 0),
+        };
+        self.stats.requests += 1;
+        self.stats.bytes_sent += sent;
+        let hs = self.stats.per_host.entry(host).or_default();
+        hs.requests += 1;
+        hs.bytes_sent += sent;
+        if fault.is_some() {
+            hs.faults += 1;
+        }
+        let base_latency = self.services[svc].1;
+        let latency_ms = base_latency + jitter;
+        match fault {
+            Some(Fault::Timeout) => {
+                self.stats.injected_timeouts += 1;
+                NetOutcome::Lost
+            }
+            Some(Fault::Error(status)) => {
+                self.stats.injected_errors += 1;
+                NetOutcome::Reply {
+                    resp: Response {
+                        status,
+                        body: "<error>injected service fault</error>".to_string(),
+                        content_type: "application/xml".to_string(),
+                    },
+                    latency_ms,
+                }
+            }
+            Some(Fault::Truncate) => {
+                self.stats.injected_truncations += 1;
+                let mut resp = (self.services[svc].2)(req);
+                resp.body.truncate(resp.body.len() / 2);
                 let received = resp.body.len() as u64;
-                self.stats.requests += 1;
-                self.stats.bytes_sent += sent;
                 self.stats.bytes_received += received;
+                let host = host_of(&req.url);
                 let hs = self.stats.per_host.entry(host).or_default();
-                hs.requests += 1;
-                hs.bytes_sent += sent;
                 hs.bytes_received += received;
-                return (resp, *latency);
+                NetOutcome::Reply { resp, latency_ms }
+            }
+            None => {
+                let resp = (self.services[svc].2)(req);
+                let received = resp.body.len() as u64;
+                self.stats.bytes_received += received;
+                let host = host_of(&req.url);
+                let hs = self.stats.per_host.entry(host).or_default();
+                hs.bytes_received += received;
+                NetOutcome::Reply { resp, latency_ms }
             }
         }
-        (Response::not_found(), 0)
+    }
+
+    /// Performs a request at virtual time 0 with the legacy reply shape.
+    /// Lost requests surface as status-0 responses (the browser convention
+    /// for "no response at all").
+    pub fn fetch(&mut self, req: &Request) -> (Response, u64) {
+        match self.fetch_at(req, 0) {
+            NetOutcome::Reply { resp, latency_ms } => (resp, latency_ms),
+            NetOutcome::Lost => (
+                Response {
+                    status: 0,
+                    body: "<error>request lost</error>".to_string(),
+                    content_type: "application/xml".to_string(),
+                },
+                0,
+            ),
+        }
     }
 
     /// Convenience GET.
@@ -160,6 +389,45 @@ impl VirtualNetwork {
     pub fn reset_stats(&mut self) {
         self.stats = NetStats::default();
     }
+}
+
+/// Decodes `+` as space and `%xx` escapes (malformed escapes pass through
+/// verbatim); invalid UTF-8 becomes replacement characters.
+pub fn percent_decode(s: &str) -> String {
+    fn hex(b: u8) -> Option<u8> {
+        match b {
+            b'0'..=b'9' => Some(b - b'0'),
+            b'a'..=b'f' => Some(b - b'a' + 10),
+            b'A'..=b'F' => Some(b - b'A' + 10),
+            _ => None,
+        }
+    }
+    let bytes = s.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => match (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                (Some(hi), Some(lo)) => {
+                    out.push(hi << 4 | lo);
+                    i += 3;
+                }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
 }
 
 fn host_of(url: &str) -> String {
@@ -238,5 +506,173 @@ mod tests {
         net.get("http://a/1");
         net.reset_stats();
         assert_eq!(net.stats.requests, 0);
+    }
+
+    #[test]
+    fn malformed_query_pairs_are_skipped() {
+        let r = Request::get("http://h/p?flag&q=ok&alsoflag");
+        assert_eq!(r.query_param("q").as_deref(), Some("ok"));
+        assert_eq!(r.query_param("flag"), None);
+    }
+
+    #[test]
+    fn percent_escapes_decode() {
+        let r = Request::get("http://h/p?q=New%20York%2C+NY&bad=100%");
+        assert_eq!(r.query_param("q").as_deref(), Some("New York, NY"));
+        // malformed escape passes through verbatim
+        assert_eq!(r.query_param("bad").as_deref(), Some("100%"));
+    }
+
+    fn faulty_net() -> VirtualNetwork {
+        let mut net = VirtualNetwork::new();
+        net.register("http://svc.example/", 10, |_| {
+            Response::ok("<payload>0123456789</payload>")
+        });
+        net
+    }
+
+    #[test]
+    fn scripted_faults_fire_in_order_then_recover() {
+        let mut net = faulty_net();
+        net.set_fault_plan(
+            "svc.example",
+            FaultPlan::seeded(1).fail_first(2, Fault::Timeout),
+        );
+        assert!(matches!(
+            net.fetch_at(&Request::get("http://svc.example/a"), 0),
+            NetOutcome::Lost
+        ));
+        assert!(matches!(
+            net.fetch_at(&Request::get("http://svc.example/b"), 0),
+            NetOutcome::Lost
+        ));
+        match net.fetch_at(&Request::get("http://svc.example/c"), 0) {
+            NetOutcome::Reply { resp, .. } => assert_eq!(resp.status, 200),
+            NetOutcome::Lost => panic!("third request should succeed"),
+        }
+        assert_eq!(net.stats.injected_timeouts, 2);
+        assert_eq!(net.stats.per_host.get("svc.example").unwrap().faults, 2);
+    }
+
+    #[test]
+    fn flap_window_downs_the_host_in_virtual_time() {
+        let mut net = faulty_net();
+        net.set_fault_plan("svc.example", FaultPlan::seeded(2).down_between(100, 200));
+        assert!(matches!(
+            net.fetch_at(&Request::get("http://svc.example/a"), 50),
+            NetOutcome::Reply { .. }
+        ));
+        assert!(matches!(
+            net.fetch_at(&Request::get("http://svc.example/a"), 150),
+            NetOutcome::Lost
+        ));
+        assert!(matches!(
+            net.fetch_at(&Request::get("http://svc.example/a"), 200),
+            NetOutcome::Reply { .. }
+        ));
+    }
+
+    #[test]
+    fn injected_error_and_truncation() {
+        let mut net = faulty_net();
+        net.set_fault_plan(
+            "svc.example",
+            FaultPlan {
+                seed: 3,
+                scripted: vec![Some(Fault::Error(503)), Some(Fault::Truncate)],
+                ..Default::default()
+            },
+        );
+        match net.fetch_at(&Request::get("http://svc.example/a"), 0) {
+            NetOutcome::Reply { resp, .. } => {
+                assert_eq!(resp.status, 503);
+                assert!(resp.body.contains("injected"));
+            }
+            NetOutcome::Lost => panic!("error fault replies"),
+        }
+        match net.fetch_at(&Request::get("http://svc.example/a"), 0) {
+            NetOutcome::Reply { resp, .. } => {
+                assert_eq!(resp.status, 200);
+                assert_eq!(resp.body.len(), "<payload>0123456789</payload>".len() / 2);
+            }
+            NetOutcome::Lost => panic!("truncation replies"),
+        }
+        assert_eq!(net.stats.injected_errors, 1);
+        assert_eq!(net.stats.injected_truncations, 1);
+    }
+
+    #[test]
+    fn fault_schedule_is_reproducible_from_the_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let mut net = faulty_net();
+            net.set_fault_plan(
+                "svc.example",
+                FaultPlan::seeded(seed)
+                    .with_timeout_permille(300)
+                    .with_jitter_ms(7),
+            );
+            (0..64)
+                .map(|i| {
+                    matches!(
+                        net.fetch_at(&Request::get(&format!("http://svc.example/{i}")), i),
+                        NetOutcome::Lost
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(run(42), run(42), "same seed, same schedule");
+        assert_ne!(run(42), run(43), "different seeds diverge");
+        let lost = run(42).iter().filter(|&&l| l).count();
+        assert!((5..60).contains(&lost), "≈30% loss, got {lost}/64");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let latencies = |seed: u64| -> Vec<u64> {
+            let mut net = faulty_net();
+            net.set_fault_plan("svc.example", FaultPlan::seeded(seed).with_jitter_ms(5));
+            (0..32)
+                .map(
+                    |i| match net.fetch_at(&Request::get(&format!("http://svc.example/{i}")), 0) {
+                        NetOutcome::Reply { latency_ms, .. } => latency_ms,
+                        NetOutcome::Lost => panic!("no loss configured"),
+                    },
+                )
+                .collect()
+        };
+        let a = latencies(9);
+        assert_eq!(a, latencies(9));
+        assert!(a.iter().all(|&l| (10..=15).contains(&l)));
+        assert!(a.iter().any(|&l| l != a[0]), "jitter actually varies");
+    }
+
+    #[test]
+    fn legacy_fetch_maps_lost_to_status_zero() {
+        let mut net = faulty_net();
+        net.set_fault_plan(
+            "svc.example",
+            FaultPlan::seeded(4).fail_first(1, Fault::Timeout),
+        );
+        let (resp, lat) = net.get("http://svc.example/a");
+        assert_eq!(resp.status, 0);
+        assert_eq!(lat, 0);
+        // the plan heals after the scripted prefix
+        let (resp, _) = net.get("http://svc.example/a");
+        assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn clear_fault_plan_heals_host() {
+        let mut net = faulty_net();
+        net.set_fault_plan("svc.example", FaultPlan::always_down(5));
+        assert!(matches!(
+            net.fetch_at(&Request::get("http://svc.example/a"), 0),
+            NetOutcome::Lost
+        ));
+        net.clear_fault_plan("svc.example");
+        assert!(matches!(
+            net.fetch_at(&Request::get("http://svc.example/a"), 0),
+            NetOutcome::Reply { .. }
+        ));
     }
 }

@@ -1,0 +1,428 @@
+//! Client-side recovery policy for the async network path: request
+//! timeouts, bounded retries with deterministic-jitter exponential backoff,
+//! per-host circuit breakers driven by virtual time, and a stale-response
+//! cache for graceful degradation (the Figure 2 "survive server load from
+//! the client cache" story).
+//!
+//! Everything here is pure state-machine code over the virtual clock — no
+//! wall time, no ambient randomness — so any failure/recovery schedule is
+//! reproducible byte-for-byte from the seeds involved. The plug-in layer
+//! (`xqib-core`) owns the control flow: it schedules retry tasks on the
+//! event loop, consults the breaker before touching the network, and turns
+//! exhausted retries into `stale`/`error` DOM events.
+
+use std::collections::HashMap;
+
+use crate::net::Response;
+
+/// How a `behind` call's fetches are retried and timed out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Per-request deadline: a lost request costs this much virtual time
+    /// before the client gives up on it.
+    pub timeout_ms: u64,
+    /// Total attempts, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before retry k (1-based failed attempt) starts from
+    /// `backoff_base_ms * backoff_factor^(k-1)` …
+    pub backoff_base_ms: u64,
+    pub backoff_factor: u64,
+    /// … capped here, before jitter.
+    pub backoff_cap_ms: u64,
+    /// Deterministic jitter in `0..=jitter_ms` added to every backoff,
+    /// derived from `jitter_seed`, the call id and the attempt number.
+    pub jitter_ms: u64,
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            timeout_ms: 1_000,
+            max_attempts: 3,
+            backoff_base_ms: 100,
+            backoff_factor: 2,
+            backoff_cap_ms: 10_000,
+            jitter_ms: 50,
+            jitter_seed: 0x5eed_5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy without jitter (exact, hand-computable timestamps).
+    pub fn no_jitter(mut self) -> Self {
+        self.jitter_ms = 0;
+        self
+    }
+
+    /// The delay scheduled after `failed_attempt` (1-based) of call
+    /// `call_id` fails. Pure: tests can predict every retry timestamp.
+    pub fn backoff_delay(&self, failed_attempt: u32, call_id: u64) -> u64 {
+        let exp = self
+            .backoff_base_ms
+            .saturating_mul(
+                self.backoff_factor
+                    .saturating_pow(failed_attempt.saturating_sub(1)),
+            )
+            .min(self.backoff_cap_ms);
+        exp + self.jitter(failed_attempt, call_id)
+    }
+
+    fn jitter(&self, attempt: u32, call_id: u64) -> u64 {
+        if self.jitter_ms == 0 {
+            return 0;
+        }
+        let x = self.jitter_seed
+            ^ call_id.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ (attempt as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        mix64(x) % (self.jitter_ms + 1)
+    }
+}
+
+fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Circuit-breaker states, per the classic closed → open → half-open
+/// machine, with transitions driven by the virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow; consecutive failures are counted.
+    Closed,
+    /// Requests are refused without touching the network until `until`.
+    Open { until: u64 },
+    /// One probe request is allowed; its outcome closes or re-opens.
+    HalfOpen,
+}
+
+/// A per-host circuit breaker.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    pub state: BreakerState,
+    consecutive_failures: u32,
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long (virtual ms) the breaker stays open before a probe.
+    pub open_ms: u64,
+}
+
+impl CircuitBreaker {
+    pub fn new(failure_threshold: u32, open_ms: u64) -> Self {
+        CircuitBreaker {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            failure_threshold: failure_threshold.max(1),
+            open_ms,
+        }
+    }
+
+    /// Whether a request may be issued at `now`. An expired open window
+    /// transitions to half-open and admits the probe.
+    pub fn allow(&mut self, now: u64, stats: &mut RecoveryStats) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open { until } if now >= until => {
+                self.state = BreakerState::HalfOpen;
+                stats.breaker_half_opens += 1;
+                true
+            }
+            BreakerState::Open { .. } => false,
+        }
+    }
+
+    pub fn on_success(&mut self, stats: &mut RecoveryStats) {
+        if self.state != BreakerState::Closed {
+            stats.breaker_closes += 1;
+        }
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+    }
+
+    pub fn on_failure(&mut self, now: u64, stats: &mut RecoveryStats) {
+        match self.state {
+            BreakerState::HalfOpen => {
+                // failed probe: straight back to open
+                self.state = BreakerState::Open {
+                    until: now + self.open_ms,
+                };
+                stats.breaker_opens += 1;
+            }
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.failure_threshold {
+                    self.state = BreakerState::Open {
+                        until: now + self.open_ms,
+                    };
+                    stats.breaker_opens += 1;
+                }
+            }
+            BreakerState::Open { .. } => {}
+        }
+    }
+}
+
+/// Last-good responses for degradation: exact-URL entries first, with a
+/// per-host "most recent good response" fallback (the suggest-page case:
+/// serve the hints for the previous query when the current one is down).
+#[derive(Debug, Default)]
+pub struct StaleCache {
+    by_url: HashMap<String, Response>,
+    by_host: HashMap<String, Response>,
+}
+
+impl StaleCache {
+    /// Records a successful response as the last-good for its URL and host.
+    pub fn store(&mut self, url: &str, host: &str, resp: &Response) {
+        self.by_url.insert(url.to_string(), resp.clone());
+        self.by_host.insert(host.to_string(), resp.clone());
+    }
+
+    /// The freshest applicable last-good response, URL match preferred.
+    pub fn lookup(&self, url: &str, host: &str) -> Option<&Response> {
+        self.by_url.get(url).or_else(|| self.by_host.get(host))
+    }
+
+    pub fn len(&self) -> usize {
+        self.by_url.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.by_url.is_empty()
+    }
+}
+
+/// Counters for the whole fault/recovery path (mirrored into the app
+/// server's `ServerMetrics` next to the PR 1 engine counters).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// `behind` attempts executed (first tries + retries).
+    pub attempts: u64,
+    /// Retry tasks scheduled on the event loop.
+    pub retries: u64,
+    /// Fetches that hit the client-side deadline (lost requests).
+    pub timeouts: u64,
+    /// Non-200 or unparsable replies observed.
+    pub fetch_errors: u64,
+    pub breaker_opens: u64,
+    pub breaker_half_opens: u64,
+    pub breaker_closes: u64,
+    /// Requests refused without touching the network (breaker open).
+    pub breaker_fast_fails: u64,
+    /// Degraded fetches answered from the stale cache.
+    pub stale_served: u64,
+    /// `behind` calls that delivered a fresh result.
+    pub completions: u64,
+    /// `stale` DOM events delivered.
+    pub stale_events: u64,
+    /// `error` DOM events delivered.
+    pub error_events: u64,
+}
+
+/// Knobs for [`RecoveryState`] (what the plug-in config carries).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    pub retry: RetryPolicy,
+    pub breaker_failure_threshold: u32,
+    pub breaker_open_ms: u64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            retry: RetryPolicy::default(),
+            breaker_failure_threshold: 3,
+            breaker_open_ms: 5_000,
+        }
+    }
+}
+
+/// The whole client-side recovery state a host environment owns.
+#[derive(Debug, Default)]
+pub struct RecoveryState {
+    pub policy: RetryPolicy,
+    breaker_failure_threshold: u32,
+    breaker_open_ms: u64,
+    breakers: HashMap<String, CircuitBreaker>,
+    pub stale: StaleCache,
+    pub stats: RecoveryStats,
+    /// Degraded mode for the current attempt: failed fetches may fall back
+    /// to the stale cache.
+    pub serve_stale: bool,
+    /// URL a stale response was served for during the current attempt.
+    pub stale_url: Option<String>,
+}
+
+impl RecoveryState {
+    pub fn new(config: RecoveryConfig) -> Self {
+        RecoveryState {
+            policy: config.retry,
+            breaker_failure_threshold: config.breaker_failure_threshold,
+            breaker_open_ms: config.breaker_open_ms,
+            ..Default::default()
+        }
+    }
+
+    /// Whether `host` may be contacted at `now` (open-breaker fast-fails
+    /// are counted here).
+    pub fn breaker_allow(&mut self, host: &str, now: u64) -> bool {
+        let (threshold, open_ms) = (self.breaker_failure_threshold, self.breaker_open_ms);
+        let breaker = self
+            .breakers
+            .entry(host.to_string())
+            .or_insert_with(|| CircuitBreaker::new(threshold, open_ms));
+        let allowed = breaker.allow(now, &mut self.stats);
+        if !allowed {
+            self.stats.breaker_fast_fails += 1;
+        }
+        allowed
+    }
+
+    pub fn breaker_success(&mut self, host: &str) {
+        if let Some(b) = self.breakers.get_mut(host) {
+            b.on_success(&mut self.stats);
+        }
+    }
+
+    pub fn breaker_failure(&mut self, host: &str, now: u64) {
+        let (threshold, open_ms) = (self.breaker_failure_threshold, self.breaker_open_ms);
+        self.breakers
+            .entry(host.to_string())
+            .or_insert_with(|| CircuitBreaker::new(threshold, open_ms))
+            .on_failure(now, &mut self.stats);
+    }
+
+    /// The breaker state for a host (closed if never contacted).
+    pub fn breaker_state(&self, host: &str) -> BreakerState {
+        self.breakers
+            .get(host)
+            .map(|b| b.state)
+            .unwrap_or(BreakerState::Closed)
+    }
+
+    /// Hosts with a breaker, with their states (for introspection).
+    pub fn breaker_states(&self) -> Vec<(String, BreakerState)> {
+        let mut v: Vec<(String, BreakerState)> = self
+            .breakers
+            .iter()
+            .map(|(h, b)| (h.clone(), b.state))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_exponential_capped_and_pure() {
+        let p = RetryPolicy {
+            backoff_base_ms: 100,
+            backoff_factor: 2,
+            backoff_cap_ms: 350,
+            jitter_ms: 0,
+            ..Default::default()
+        };
+        assert_eq!(p.backoff_delay(1, 7), 100);
+        assert_eq!(p.backoff_delay(2, 7), 200);
+        assert_eq!(p.backoff_delay(3, 7), 350, "capped");
+        assert_eq!(p.backoff_delay(10, 7), 350);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_bounded_and_spread() {
+        let p = RetryPolicy {
+            jitter_ms: 40,
+            ..Default::default()
+        };
+        let a: Vec<u64> = (1..20).map(|k| p.backoff_delay(k, 1)).collect();
+        let b: Vec<u64> = (1..20).map(|k| p.backoff_delay(k, 1)).collect();
+        assert_eq!(a, b, "pure function of (policy, attempt, call)");
+        for k in 1..20u32 {
+            let base = p
+                .backoff_base_ms
+                .saturating_mul(p.backoff_factor.saturating_pow(k - 1))
+                .min(p.backoff_cap_ms);
+            let d = p.backoff_delay(k, 1);
+            assert!(d >= base && d <= base + p.jitter_ms);
+        }
+        // different calls decorrelate
+        assert_ne!(
+            (1..20).map(|k| p.backoff_delay(k, 1)).collect::<Vec<_>>(),
+            (1..20).map(|k| p.backoff_delay(k, 2)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_half_opens() {
+        let mut stats = RecoveryStats::default();
+        let mut b = CircuitBreaker::new(3, 1000);
+        assert!(b.allow(0, &mut stats));
+        b.on_failure(10, &mut stats);
+        b.on_failure(20, &mut stats);
+        assert_eq!(b.state, BreakerState::Closed);
+        b.on_failure(30, &mut stats);
+        assert_eq!(b.state, BreakerState::Open { until: 1030 });
+        assert_eq!(stats.breaker_opens, 1);
+        assert!(!b.allow(500, &mut stats), "open: refuse");
+        assert!(b.allow(1030, &mut stats), "window over: probe");
+        assert_eq!(b.state, BreakerState::HalfOpen);
+        assert_eq!(stats.breaker_half_opens, 1);
+        // failed probe re-opens immediately
+        b.on_failure(1040, &mut stats);
+        assert_eq!(b.state, BreakerState::Open { until: 2040 });
+        assert_eq!(stats.breaker_opens, 2);
+        // successful probe closes
+        assert!(b.allow(2040, &mut stats));
+        b.on_success(&mut stats);
+        assert_eq!(b.state, BreakerState::Closed);
+        assert_eq!(stats.breaker_closes, 1);
+    }
+
+    #[test]
+    fn success_resets_consecutive_failures() {
+        let mut stats = RecoveryStats::default();
+        let mut b = CircuitBreaker::new(2, 100);
+        b.on_failure(0, &mut stats);
+        b.on_success(&mut stats);
+        b.on_failure(1, &mut stats);
+        assert_eq!(b.state, BreakerState::Closed, "counter was reset");
+        b.on_failure(2, &mut stats);
+        assert!(matches!(b.state, BreakerState::Open { .. }));
+    }
+
+    #[test]
+    fn stale_cache_prefers_exact_url_then_host() {
+        let mut c = StaleCache::default();
+        c.store("http://h/a", "h", &Response::ok("<a/>"));
+        c.store("http://h/b", "h", &Response::ok("<b/>"));
+        assert_eq!(c.lookup("http://h/a", "h").unwrap().body, "<a/>");
+        // unseen URL on a known host: the host's most recent good response
+        assert_eq!(c.lookup("http://h/zzz", "h").unwrap().body, "<b/>");
+        assert!(c.lookup("http://other/x", "other").is_none());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn recovery_state_tracks_fast_fails() {
+        let mut r = RecoveryState::new(RecoveryConfig {
+            breaker_failure_threshold: 1,
+            breaker_open_ms: 500,
+            ..Default::default()
+        });
+        assert!(r.breaker_allow("h", 0));
+        r.breaker_failure("h", 0);
+        assert_eq!(r.breaker_state("h"), BreakerState::Open { until: 500 });
+        assert!(!r.breaker_allow("h", 10));
+        assert_eq!(r.stats.breaker_fast_fails, 1);
+        assert!(r.breaker_allow("h", 500));
+        r.breaker_success("h");
+        assert_eq!(r.breaker_state("h"), BreakerState::Closed);
+        assert_eq!(r.breaker_states(), vec![("h".into(), BreakerState::Closed)]);
+    }
+}

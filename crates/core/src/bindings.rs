@@ -16,6 +16,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use xqib_browser::events::DomEvent;
+use xqib_browser::{BreakerState, NetOutcome, Origin, Request};
 use xqib_dom::{name::BROWSER_NS, NodeRef, QName};
 use xqib_xdm::{Item, Sequence, XdmError, XdmResult};
 use xqib_xquery::context::DynamicContext;
@@ -373,6 +374,72 @@ pub fn install(ctx: &mut DynamicContext, host: Rc<RefCell<HostState>>) {
             native(move |ctx, args| http_get(ctx, &h, &seq_string(ctx, &args[0]))),
         );
     }
+    {
+        // fetch-path introspection: one element with the recovery counters
+        // as attributes and a <host> child per circuit breaker
+        let h = host.clone();
+        reg(
+            ctx,
+            "fetchStatus",
+            0,
+            native(move |ctx, _args| {
+                let host = h.borrow();
+                let s = host.recovery.stats.clone();
+                let breakers = host.recovery.breaker_states();
+                drop(host);
+                let doc_id = ctx.construction_doc;
+                let mut store = ctx.store.borrow_mut();
+                let doc = store.doc_mut(doc_id);
+                let elem = doc.create_element(QName::local("fetch-status"));
+                let counters: [(&str, u64); 12] = [
+                    ("attempts", s.attempts),
+                    ("retries", s.retries),
+                    ("timeouts", s.timeouts),
+                    ("fetch-errors", s.fetch_errors),
+                    ("breaker-opens", s.breaker_opens),
+                    ("breaker-half-opens", s.breaker_half_opens),
+                    ("breaker-closes", s.breaker_closes),
+                    ("breaker-fast-fails", s.breaker_fast_fails),
+                    ("stale-served", s.stale_served),
+                    ("completions", s.completions),
+                    ("stale-events", s.stale_events),
+                    ("error-events", s.error_events),
+                ];
+                for (name, v) in counters {
+                    doc.set_attribute(elem, QName::local(name), v.to_string())
+                        .map_err(|e| XdmError::new("XQIB0006", e.to_string()))?;
+                }
+                for (hname, state) in breakers {
+                    let hel = doc.create_element(QName::local("host"));
+                    doc.set_attribute(hel, QName::local("name"), hname)
+                        .map_err(|e| XdmError::new("XQIB0006", e.to_string()))?;
+                    doc.set_attribute(hel, QName::local("breaker"), breaker_label(state))
+                        .map_err(|e| XdmError::new("XQIB0006", e.to_string()))?;
+                    if let BreakerState::Open { until } = state {
+                        doc.set_attribute(hel, QName::local("until"), until.to_string())
+                            .map_err(|e| XdmError::new("XQIB0006", e.to_string()))?;
+                    }
+                    doc.append_child(elem, hel)
+                        .map_err(|e| XdmError::new("XQIB0006", e.to_string()))?;
+                }
+                Ok(vec![Item::Node(NodeRef::new(doc_id, elem))])
+            }),
+        );
+    }
+    {
+        // breakerState("api.example") → "closed" | "open" | "half-open"
+        let h = host.clone();
+        reg(
+            ctx,
+            "breakerState",
+            1,
+            native(move |ctx, args| {
+                let hostname = seq_string(ctx, &args[0]);
+                let state = h.borrow().recovery.breaker_state(&hostname);
+                Ok(vec![Item::string(breaker_label(state))])
+            }),
+        );
+    }
 
     // ----- HOF event/style registration (the §5.1 Zorba workaround) -------------
     {
@@ -476,6 +543,13 @@ pub fn install(ctx: &mut DynamicContext, host: Rc<RefCell<HostState>>) {
 /// responses into the store (registered under the URL, so they are cached
 /// and `fn:doc(url)` finds them — the Elsevier §6.1 caching model), returns
 /// the document root (or the body text for non-XML).
+///
+/// The fetch is fault- and recovery-aware: the per-host circuit breaker is
+/// consulted first (an open breaker fast-fails with `XQIB0010` without
+/// touching the network), lost requests cost the policy's request deadline
+/// in virtual time and fail with `XQIB0009`, and every failure outcome may
+/// fall back to the stale cache when the host is in degraded mode
+/// (`RecoveryState::serve_stale` — set by the plug-in's last-chance pass).
 pub fn http_get(
     ctx: &mut DynamicContext,
     host: &Rc<RefCell<HostState>>,
@@ -488,22 +562,153 @@ pub fn http_get(
             return Ok(vec![Item::Node(store.root(doc))]);
         }
     }
-    let (resp, latency) = host.borrow_mut().net.get(url);
-    host.borrow_mut().total_latency_ms += latency;
-    if resp.status != 200 {
-        return Err(XdmError::new(
-            "XQIB0007",
-            format!("GET {url} failed with status {}", resp.status),
-        ));
+    let hostname = Origin::from_url(url).host;
+    let allowed = {
+        let mut h = host.borrow_mut();
+        let now = h.tasks.now();
+        h.recovery.breaker_allow(&hostname, now)
+    };
+    if !allowed {
+        return degraded_fallback(
+            ctx,
+            host,
+            url,
+            &hostname,
+            XdmError::new("XQIB0010", format!("circuit breaker open for {hostname}")),
+        );
+    }
+    let outcome = {
+        let mut h = host.borrow_mut();
+        let now = h.tasks.now();
+        h.net.fetch_at(&Request::get(url), now)
+    };
+    match outcome {
+        NetOutcome::Lost => {
+            let deadline = {
+                let mut h = host.borrow_mut();
+                let deadline = h.recovery.policy.timeout_ms;
+                h.tasks.advance(deadline);
+                h.total_latency_ms += deadline;
+                h.recovery.stats.timeouts += 1;
+                let now = h.tasks.now();
+                h.recovery.breaker_failure(&hostname, now);
+                deadline
+            };
+            degraded_fallback(
+                ctx,
+                host,
+                url,
+                &hostname,
+                XdmError::new(
+                    "XQIB0009",
+                    format!("GET {url} timed out after {deadline}ms"),
+                ),
+            )
+        }
+        NetOutcome::Reply { resp, latency_ms } => {
+            {
+                let mut h = host.borrow_mut();
+                h.tasks.advance(latency_ms);
+                h.total_latency_ms += latency_ms;
+            }
+            if resp.status != 200 {
+                record_fetch_error(host, &hostname);
+                return degraded_fallback(
+                    ctx,
+                    host,
+                    url,
+                    &hostname,
+                    XdmError::new(
+                        "XQIB0007",
+                        format!("GET {url} failed with status {}", resp.status),
+                    ),
+                );
+            }
+            if resp.content_type.contains("xml") {
+                match xqib_dom::parse_document(&resp.body) {
+                    Ok(doc) => {
+                        {
+                            let mut h = host.borrow_mut();
+                            h.recovery.breaker_success(&hostname);
+                            h.recovery.stale.store(url, &hostname, &resp);
+                        }
+                        let mut store = ctx.store.borrow_mut();
+                        let id = store.add_document(doc, Some(url));
+                        Ok(vec![Item::Node(store.root(id))])
+                    }
+                    Err(e) => {
+                        // truncated/garbled payloads count as fetch errors
+                        record_fetch_error(host, &hostname);
+                        degraded_fallback(
+                            ctx,
+                            host,
+                            url,
+                            &hostname,
+                            XdmError::new("XQIB0007", e.to_string()),
+                        )
+                    }
+                }
+            } else {
+                {
+                    let mut h = host.borrow_mut();
+                    h.recovery.breaker_success(&hostname);
+                    h.recovery.stale.store(url, &hostname, &resp);
+                }
+                Ok(vec![Item::string(resp.body)])
+            }
+        }
+    }
+}
+
+fn record_fetch_error(host: &Rc<RefCell<HostState>>, hostname: &str) {
+    let mut h = host.borrow_mut();
+    h.recovery.stats.fetch_errors += 1;
+    let now = h.tasks.now();
+    h.recovery.breaker_failure(hostname, now);
+}
+
+/// In degraded mode a failed fetch falls back to the last-good response for
+/// the URL (or host); otherwise the error propagates. Stale documents are
+/// added to the store *without* a URI: registering them under the URL would
+/// poison the permanent document cache and a later fetch of the same URL
+/// must go back to the network once the host heals.
+fn degraded_fallback(
+    ctx: &mut DynamicContext,
+    host: &Rc<RefCell<HostState>>,
+    url: &str,
+    hostname: &str,
+    err: XdmError,
+) -> XdmResult<Sequence> {
+    let stale = {
+        let h = host.borrow();
+        if h.recovery.serve_stale {
+            h.recovery.stale.lookup(url, hostname).cloned()
+        } else {
+            None
+        }
+    };
+    let Some(resp) = stale else { return Err(err) };
+    {
+        let mut h = host.borrow_mut();
+        h.recovery.stats.stale_served += 1;
+        h.recovery.stale_url = Some(url.to_string());
     }
     if resp.content_type.contains("xml") {
         let doc = xqib_dom::parse_document(&resp.body)
             .map_err(|e| XdmError::new("XQIB0007", e.to_string()))?;
         let mut store = ctx.store.borrow_mut();
-        let id = store.add_document(doc, Some(url));
+        let id = store.add_document(doc, None);
         Ok(vec![Item::Node(store.root(id))])
     } else {
         Ok(vec![Item::string(resp.body)])
+    }
+}
+
+fn breaker_label(state: BreakerState) -> &'static str {
+    match state {
+        BreakerState::Closed => "closed",
+        BreakerState::Open { .. } => "open",
+        BreakerState::HalfOpen => "half-open",
     }
 }
 

@@ -7,7 +7,7 @@ use std::rc::Rc;
 
 use xqib_browser::bom::Browser;
 use xqib_browser::events::{DispatchStep, DomEvent, EventSystem, ListenerId};
-use xqib_browser::{CssStore, EventLoop, VirtualNetwork, WindowId};
+use xqib_browser::{CssStore, EventLoop, RecoveryConfig, RecoveryState, VirtualNetwork, WindowId};
 use xqib_dom::{name::LOCAL_NS, DocId, NodeKind, NodeRef, QName, SharedStore};
 use xqib_xdm::{Item, Sequence, XdmError, XdmResult};
 use xqib_xquery::ast::{Expr, MainModule};
@@ -39,11 +39,15 @@ pub enum PluginTask {
     /// Dispatch a DOM event through capture/target/bubble.
     Dispatch(DomEvent),
     /// An asynchronous `behind` call (§4.4): evaluate `call` in `env`, then
-    /// invoke `listener($readyState, $result)`.
+    /// invoke `listener($readyState, $result)`. Failed attempts are
+    /// rescheduled with exponential backoff up to the retry policy's
+    /// `max_attempts`; `call_id` keys the deterministic backoff jitter.
     Behind {
         call: Rc<Expr>,
         env: Vec<(QName, Sequence)>,
         listener: QName,
+        attempt: u32,
+        call_id: u64,
     },
 }
 
@@ -68,6 +72,10 @@ pub struct HostState {
     pub page_window: WindowId,
     /// accumulated simulated network latency (ms)
     pub total_latency_ms: u64,
+    /// retry policy, circuit breakers, stale cache and recovery counters
+    pub recovery: RecoveryState,
+    /// monotonically increasing id handed to each `behind` call (jitter key)
+    next_behind_id: u64,
 }
 
 impl HostState {
@@ -104,6 +112,9 @@ pub struct PluginConfig {
     pub modules: ModuleRegistry,
     /// Use the CSS store (true) or the style-attribute fallback (false).
     pub use_css_store: bool,
+    /// Retry/timeout/backoff policy and circuit-breaker settings for the
+    /// asynchronous network path.
+    pub recovery: RecoveryConfig,
 }
 
 impl Default for PluginConfig {
@@ -113,6 +124,7 @@ impl Default for PluginConfig {
             window_name: "top_window".to_string(),
             modules: ModuleRegistry::new(),
             use_css_store: true,
+            recovery: RecoveryConfig::default(),
         }
     }
 }
@@ -189,12 +201,17 @@ impl EngineHooks for Hooks {
         listener: &QName,
     ) -> XdmResult<()> {
         let env = ctx.snapshot_visible_vars();
-        self.host.borrow_mut().tasks.schedule(
+        let mut host = self.host.borrow_mut();
+        host.next_behind_id += 1;
+        let call_id = host.next_behind_id;
+        host.tasks.schedule(
             0,
             PluginTask::Behind {
                 call: Rc::new(call.clone()),
                 env,
                 listener: listener.clone(),
+                attempt: 1,
+                call_id,
             },
         );
         Ok(())
@@ -263,6 +280,8 @@ impl Plugin {
             use_css_store: config.use_css_store,
             page_window,
             total_latency_ms: 0,
+            recovery: RecoveryState::new(config.recovery),
+            next_behind_id: 0,
         }));
         let sctx = Rc::new(StaticContext {
             browser_profile: true,
@@ -446,8 +465,10 @@ impl Plugin {
                     call,
                     env,
                     listener,
+                    attempt,
+                    call_id,
                 } => {
-                    self.run_behind(&call, env, &listener)?;
+                    self.run_behind(&call, env, &listener, attempt, call_id)?;
                 }
             }
             if n > 1_000_000 {
@@ -457,38 +478,173 @@ impl Plugin {
         Ok(n)
     }
 
-    /// Executes one `behind` call: readyState 1 (loading) notification, the
-    /// call itself, then readyState 4 with the result (§4.4's AJAX model).
+    /// Executes one attempt of a `behind` call: readyState 1 (loading)
+    /// notification on the first attempt, the call itself, then readyState 4
+    /// with the result (§4.4's AJAX model). A failed attempt discards its
+    /// pending updates and is rescheduled with exponential backoff; once the
+    /// retry policy is exhausted the call degrades (stale cache, synthetic
+    /// `stale`/`error` DOM events) instead of erroring the event loop.
     fn run_behind(
         &mut self,
-        call: &Expr,
+        call: &Rc<Expr>,
         env: Vec<(QName, Sequence)>,
         listener: &QName,
+        attempt: u32,
+        call_id: u64,
     ) -> XdmResult<()> {
         self.ctx.reset_stack_base();
-        // readyState 1: request started, no result yet
-        runtime::invoke(
-            &mut self.ctx,
-            listener,
-            vec![vec![Item::integer(1)], vec![]],
-        )?;
-        // evaluate the call in its captured environment
+        self.host.borrow_mut().recovery.stats.attempts += 1;
+        if attempt == 1 {
+            // readyState 1: request started, no result yet
+            runtime::invoke(
+                &mut self.ctx,
+                listener,
+                vec![vec![Item::integer(1)], vec![]],
+            )?;
+        }
+        match self.eval_behind_call(call, &env) {
+            Ok(result) => {
+                xqib_xquery::eval::apply_pending(&mut self.ctx)?;
+                self.host.borrow_mut().recovery.stats.completions += 1;
+                // readyState 4: done
+                runtime::invoke(
+                    &mut self.ctx,
+                    listener,
+                    vec![vec![Item::integer(4)], result],
+                )?;
+                self.sync_views()
+            }
+            Err(_) => {
+                // a failed attempt must not leak half-built page updates
+                self.ctx.pul.take();
+                let (max_attempts, delay) = {
+                    let host = self.host.borrow();
+                    (
+                        host.recovery.policy.max_attempts,
+                        host.recovery.policy.backoff_delay(attempt, call_id),
+                    )
+                };
+                if attempt < max_attempts {
+                    let mut host = self.host.borrow_mut();
+                    host.recovery.stats.retries += 1;
+                    host.tasks.schedule(
+                        delay,
+                        PluginTask::Behind {
+                            call: call.clone(),
+                            env,
+                            listener: listener.clone(),
+                            attempt: attempt + 1,
+                            call_id,
+                        },
+                    );
+                    Ok(())
+                } else {
+                    self.degrade_behind(call, &env, listener)
+                }
+            }
+        }
+    }
+
+    /// Evaluates the `behind` call expression in its captured environment.
+    fn eval_behind_call(&mut self, call: &Expr, env: &[(QName, Sequence)]) -> XdmResult<Sequence> {
         self.ctx.push_scope();
         for (name, value) in env {
-            self.ctx.bind_var(name, value);
+            self.ctx.bind_var(name.clone(), value.clone());
         }
         let result = xqib_xquery::eval::eval_expr(&mut self.ctx, call);
         self.ctx.pop_scope();
-        let result = result?;
-        xqib_xquery::eval::apply_pending(&mut self.ctx)?;
-        // readyState 4: done
-        runtime::invoke(
-            &mut self.ctx,
-            listener,
-            vec![vec![Item::integer(4)], result],
-        )?;
-        self.sync_views()?;
-        Ok(())
+        result
+    }
+
+    /// Retries exhausted: one stale-enabled pass over the call. A fresh
+    /// success (e.g. the host healed between the last retry and now) still
+    /// completes normally; a stale-cache hit becomes a single `stale` DOM
+    /// event carrying the served payload; anything else becomes a single
+    /// `error` DOM event. Exactly one of the three outcomes is delivered.
+    fn degrade_behind(
+        &mut self,
+        call: &Expr,
+        env: &[(QName, Sequence)],
+        listener: &QName,
+    ) -> XdmResult<()> {
+        {
+            let mut host = self.host.borrow_mut();
+            host.recovery.serve_stale = true;
+            host.recovery.stale_url = None;
+        }
+        let result = self.eval_behind_call(call, env);
+        let stale_url = {
+            let mut host = self.host.borrow_mut();
+            host.recovery.serve_stale = false;
+            host.recovery.stale_url.take()
+        };
+        match (result, stale_url) {
+            (Ok(result), None) => {
+                xqib_xquery::eval::apply_pending(&mut self.ctx)?;
+                self.host.borrow_mut().recovery.stats.completions += 1;
+                runtime::invoke(
+                    &mut self.ctx,
+                    listener,
+                    vec![vec![Item::integer(4)], result],
+                )?;
+                self.sync_views()
+            }
+            (Ok(result), Some(url)) => {
+                // the stale pass's own updates are applied (the call ran to
+                // completion); the listener is told via the event instead of
+                // a readyState-4 completion
+                xqib_xquery::eval::apply_pending(&mut self.ctx)?;
+                // document nodes are normalised to their root element: the
+                // payload is deep-copied *under* the event node, where a
+                // document node would be ill-formed
+                let payload = result.iter().find_map(|i| i.as_node()).map(|n| {
+                    let store = self.store.borrow();
+                    let doc = store.doc(n.doc);
+                    if matches!(doc.kind(n.node), NodeKind::Document { .. }) {
+                        doc.children(n.node)
+                            .iter()
+                            .copied()
+                            .find(|&c| matches!(doc.kind(c), NodeKind::Element { .. }))
+                            .map(|c| NodeRef::new(n.doc, c))
+                            .unwrap_or(n)
+                    } else {
+                        n
+                    }
+                });
+                self.host.borrow_mut().recovery.stats.stale_events += 1;
+                self.dispatch_degradation_event("stale", &url, payload)
+            }
+            (Err(err), _) => {
+                self.ctx.pul.take();
+                self.host.borrow_mut().recovery.stats.error_events += 1;
+                let detail = format!("{} {}", err.code, err.message);
+                self.dispatch_degradation_event("error", &detail, None)
+            }
+        }
+    }
+
+    /// Dispatches a synthetic degradation event at the page `<body>` (or the
+    /// document root when there is no body). Listeners attached via
+    /// `on event "stale"`/`"error"` observe it like any DOM event.
+    fn dispatch_degradation_event(
+        &mut self,
+        event_type: &str,
+        detail: &str,
+        payload: Option<NodeRef>,
+    ) -> XdmResult<()> {
+        let target = self.first_element_named("body").or_else(|| {
+            self.page_doc.map(|d| {
+                let store = self.store.borrow();
+                store.root(d)
+            })
+        });
+        let Some(target) = target else {
+            return Ok(()); // no page loaded: nothing to notify
+        };
+        let mut event = DomEvent::new(event_type, target);
+        event.detail = detail.to_string();
+        event.payload = payload;
+        self.dispatch(&event)
     }
 
     /// Applies window-view write-backs to the BOM (status/name changes,
@@ -684,6 +840,18 @@ pub fn build_event_node(ctx: &mut DynamicContext, event: &DomEvent) -> XdmResult
             doc.append_child(f, t)
                 .map_err(|e| XdmError::new("XQIB0006", e.to_string()))?;
         }
+    }
+    // events may carry a document payload (stale-cache responses): deep-copy
+    // it under a <payload> child so listeners read it as $evt/payload/*
+    if let Some(p) = event.payload {
+        let wrapper = doc.create_element(QName::local("payload"));
+        doc.append_child(elem, wrapper)
+            .map_err(|e| XdmError::new("XQIB0006", e.to_string()))?;
+        let copy = store.copy_node_between(p, doc_id);
+        store
+            .doc_mut(doc_id)
+            .append_child(wrapper, copy)
+            .map_err(|e| XdmError::new("XQIB0006", e.to_string()))?;
     }
     Ok(NodeRef::new(doc_id, elem))
 }

@@ -1,6 +1,12 @@
 #!/usr/bin/env sh
-# Runs the path-evaluation microbenchmarks and distils the Criterion
-# medians into BENCH_path_eval.json at the repo root:
+# Runs the microbenchmarks and distils the Criterion medians into JSON
+# reports at the repo root:
+#
+#   BENCH_path_eval.json  — path-evaluation microbenchmarks (micro_engine)
+#   BENCH_fault_path.json — behind-pipeline retry overhead (fault_path):
+#                           fault-free vs 10%-fault throughput
+#
+# Each report has the shape
 #
 #   { "benchmarks": { "<group>/<function>/<param>": <median ns/iter>, ... } }
 #
@@ -12,34 +18,40 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+# Distils target/criterion into $1. The report dir must contain only the
+# wanted bench's entries — callers clean it before each run.
+harvest() {
+    out=$1
+    tmp="$out.tmp"
+    {
+        printf '{\n  "benchmarks": {\n'
+        first=1
+        # Sorted for a stable, diffable report.
+        find target/criterion -name estimates.json -path '*/new/*' | sort | while read -r f; do
+            id=${f#target/criterion/}
+            id=${id%/new/estimates.json}
+            median=$(sed -n 's/.*"median":{"point_estimate":\([0-9.eE+-]*\).*/\1/p' "$f")
+            [ -n "$median" ] || continue
+            if [ "$first" -eq 1 ]; then
+                first=0
+            else
+                printf ',\n'
+            fi
+            printf '    "%s": %s' "$id" "$median"
+        done
+        printf '\n  }\n}\n'
+    } > "$tmp"
+    mv "$tmp" "$out"
+    echo "wrote $out:"
+    cat "$out"
+}
+
 # Start from a clean report dir so entries from earlier runs (or other
-# bench binaries) cannot leak into the harvest below.
+# bench binaries) cannot leak into the harvest.
 rm -rf target/criterion
-
 cargo bench -p xqib-bench --bench micro_engine
+harvest BENCH_path_eval.json
 
-out=BENCH_path_eval.json
-tmp="$out.tmp"
-
-{
-    printf '{\n  "benchmarks": {\n'
-    first=1
-    # Sorted for a stable, diffable report.
-    find target/criterion -name estimates.json -path '*/new/*' | sort | while read -r f; do
-        id=${f#target/criterion/}
-        id=${id%/new/estimates.json}
-        median=$(sed -n 's/.*"median":{"point_estimate":\([0-9.eE+-]*\).*/\1/p' "$f")
-        [ -n "$median" ] || continue
-        if [ "$first" -eq 1 ]; then
-            first=0
-        else
-            printf ',\n'
-        fi
-        printf '    "%s": %s' "$id" "$median"
-    done
-    printf '\n  }\n}\n'
-} > "$tmp"
-mv "$tmp" "$out"
-
-echo "wrote $out:"
-cat "$out"
+rm -rf target/criterion
+cargo bench -p xqib-bench --bench fault_path
+harvest BENCH_fault_path.json

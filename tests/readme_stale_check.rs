@@ -1,0 +1,54 @@
+//! Keeps the README "stale event" example honest: this is the snippet
+//! from README.md, verbatim, as a regression test.
+
+use xqib::browser::net::FaultPlan;
+use xqib::browser::Response;
+use xqib::core::plugin::{Plugin, PluginConfig};
+
+#[test]
+fn readme_stale_example() {
+    let mut plugin = Plugin::new(PluginConfig::default());
+    plugin
+        .host
+        .borrow_mut()
+        .net
+        .register("http://api.test/", 25, |_req| {
+            Response::ok("<quotes><item>ETH 42</item></quotes>")
+        });
+    plugin
+        .load_page(
+            r#"<html><head><script type="text/xquery"><![CDATA[
+  declare updating function local:onResult($readyState, $result) { () };
+  declare updating function local:onStale($evt, $obj) {
+    (: $evt/detail is the URL; $evt/payload holds the cached response :)
+    replace value of node //span[@id="ticker"]
+    with concat(string-join($evt/payload//item, ", "), " (stale)")
+  };
+  on event "stale" at //body attach listener local:onStale
+]]></script></head>
+<body><span id="ticker"/></body></html>"#,
+        )
+        .unwrap();
+
+    plugin
+        .eval(r#"browser:httpGet("http://api.test/quotes.xml")"#)
+        .unwrap();
+    plugin
+        .host
+        .borrow_mut()
+        .net
+        .set_fault_plan("api.test", FaultPlan::always_down(7));
+
+    plugin
+        .eval(
+            r#"on event "sc" behind browser:httpGet("http://api.test/live.xml")
+               attach listener local:onResult"#,
+        )
+        .unwrap();
+    plugin.run_until_idle().unwrap();
+    assert!(
+        plugin.serialize_page().contains("ETH 42 (stale)"),
+        "{}",
+        plugin.serialize_page()
+    );
+}
