@@ -1,7 +1,7 @@
 //! Server-side metrics for the Figure 2 experiment: how much work and
 //! traffic each deployment (server-rendered vs migrated) costs the server.
 
-use xqib_browser::RecoveryStats;
+use xqib_browser::{QuarantineStats, RecoveryStats};
 use xqib_dom::order::stats::EngineStats;
 
 /// Counters accumulated by the application server.
@@ -35,6 +35,16 @@ pub struct ServerMetrics {
     pub breaker_closes: u64,
     /// Degraded fetches answered from the stale cache.
     pub stale_served: u64,
+    /// Listener invocations that raised a dynamic error (contained).
+    pub listener_errors: u64,
+    /// Listener invocations that panicked (caught at dispatch).
+    pub listener_panics: u64,
+    /// Listener invocations preempted for exhausting their fuel budget.
+    pub fuel_exhausted: u64,
+    /// Listeners quarantined after repeated failures.
+    pub quarantine_trips: u64,
+    /// Dispatches skipped because the listener was quarantined.
+    pub quarantine_skips: u64,
 }
 
 impl ServerMetrics {
@@ -64,6 +74,16 @@ impl ServerMetrics {
         self.breaker_half_opens = stats.breaker_half_opens;
         self.breaker_closes = stats.breaker_closes;
         self.stale_served = stats.stale_served;
+    }
+
+    /// Mirrors a client's listener-isolation counters (cumulative snapshots,
+    /// like [`record_recovery`](Self::record_recovery) — overwrites).
+    pub fn record_isolation(&mut self, stats: &QuarantineStats) {
+        self.listener_errors = stats.listener_errors;
+        self.listener_panics = stats.listener_panics;
+        self.fuel_exhausted = stats.fuel_exhausted;
+        self.quarantine_trips = stats.trips;
+        self.quarantine_skips = stats.skipped;
     }
 }
 
@@ -129,5 +149,26 @@ mod tests {
         // a later snapshot overwrites (the counters are cumulative)
         m.record_recovery(&RecoveryStats::default());
         assert_eq!(m.fetch_attempts, 0);
+    }
+
+    #[test]
+    fn isolation_counters_mirror_the_client_snapshot() {
+        let mut m = ServerMetrics::default();
+        let stats = QuarantineStats {
+            listener_errors: 6,
+            listener_panics: 2,
+            fuel_exhausted: 1,
+            trips: 3,
+            skipped: 4,
+            ..Default::default()
+        };
+        m.record_isolation(&stats);
+        assert_eq!(m.listener_errors, 6);
+        assert_eq!(m.listener_panics, 2);
+        assert_eq!(m.fuel_exhausted, 1);
+        assert_eq!(m.quarantine_trips, 3);
+        assert_eq!(m.quarantine_skips, 4);
+        m.record_isolation(&QuarantineStats::default());
+        assert_eq!(m.listener_errors, 0);
     }
 }

@@ -1,0 +1,100 @@
+//! Transactional-apply overhead: what the undo log costs on the PUL hot
+//! path. A 1 000-primitive update list is applied to a fresh clone of the
+//! same store with full undo tracking (`apply`) and with tracking disabled
+//! (`apply_untracked`); the gap between the two is the price of crash
+//! consistency (target: <15%). A third arm measures a near-complete apply
+//! that crashes on the last step and rolls everything back — the worst
+//! case for the undo log.
+
+use criterion::{BenchmarkId, Criterion};
+
+use xqib_bench::criterion as crit;
+use xqib_dom::{NodeRef, QName, Store};
+use xqib_xquery::pul::{CrashPoint, Pul, UpdatePrimitive};
+
+const PRIMS: usize = 1_000;
+
+/// A flat `<r>` with one `<c{i}>t{i}</c{i}>` child per primitive, and a
+/// conflict-free PUL cycling through the four primitive families that
+/// dominate listener updates.
+fn setup() -> (Store, Pul) {
+    let mut s = Store::new();
+    let d = s.new_document(None);
+    let doc = s.doc_mut(d);
+    let root = doc.create_element(QName::local("r"));
+    doc.append_child(doc.root(), root).unwrap();
+    let mut pul = Pul::new();
+    for i in 0..PRIMS {
+        let c = doc.create_element(QName::local(format!("c{i}")));
+        doc.append_child(root, c).unwrap();
+        let t = doc.create_text(format!("t{i}"));
+        doc.append_child(c, t).unwrap();
+        let elem = NodeRef::new(d, c);
+        pul.push(match i % 4 {
+            0 => {
+                let n = doc.create_element(QName::local(format!("new{i}")));
+                UpdatePrimitive::InsertInto {
+                    target: elem,
+                    children: vec![NodeRef::new(d, n)],
+                }
+            }
+            1 => UpdatePrimitive::ReplaceValue {
+                target: NodeRef::new(d, t),
+                value: format!("v{i}"),
+            },
+            2 => UpdatePrimitive::Rename {
+                target: elem,
+                name: QName::local(format!("ren{i}")),
+            },
+            _ => {
+                let a = doc.create_attribute(QName::local("k"), format!("v{i}"));
+                UpdatePrimitive::InsertAttributes {
+                    target: elem,
+                    attrs: vec![NodeRef::new(d, a)],
+                }
+            }
+        });
+    }
+    (s, pul)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("txn_apply");
+    let (store, pul) = setup();
+    group.bench_with_input(BenchmarkId::new("1k_prims", "tracked"), &(), |b, _| {
+        b.iter(|| {
+            let mut s = store.clone();
+            pul.clone().apply(&mut s).unwrap();
+            s
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("1k_prims", "untracked"), &(), |b, _| {
+        b.iter(|| {
+            let mut s = store.clone();
+            pul.clone().apply_untracked(&mut s).unwrap();
+            s
+        });
+    });
+    // crash on the last primitive: build the full undo log, then replay it
+    let last = (PRIMS - 1) as u64;
+    group.bench_with_input(
+        BenchmarkId::new("1k_prims", "crash_rollback"),
+        &(),
+        |b, _| {
+            b.iter(|| {
+                let mut s = store.clone();
+                pul.clone()
+                    .apply_with_crash(&mut s, CrashPoint::at(last))
+                    .unwrap_err();
+                s
+            });
+        },
+    );
+    group.finish();
+}
+
+fn main() {
+    let mut c = crit();
+    bench(&mut c);
+    c.final_summary();
+}

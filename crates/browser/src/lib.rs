@@ -28,6 +28,7 @@ pub mod css;
 pub mod event_loop;
 pub mod events;
 pub mod net;
+pub mod quarantine;
 pub mod recovery;
 pub mod security;
 
@@ -36,6 +37,9 @@ pub use css::CssStore;
 pub use event_loop::{EventLoop, Task};
 pub use events::{DomEvent, EventPhase, EventSystem, ListenerId};
 pub use net::{Fault, FaultPlan, NetOutcome, Request, Response, VirtualNetwork};
+pub use quarantine::{
+    IsolationConfig, ListenerGuard, ListenerQuarantine, QuarantineState, QuarantineStats,
+};
 pub use recovery::{
     BreakerState, CircuitBreaker, RecoveryConfig, RecoveryState, RecoveryStats, RetryPolicy,
     StaleCache,

@@ -16,7 +16,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use xqib_browser::events::DomEvent;
-use xqib_browser::{BreakerState, NetOutcome, Origin, Request};
+use xqib_browser::{BreakerState, NetOutcome, Origin, QuarantineState, Request};
 use xqib_dom::{name::BROWSER_NS, NodeRef, QName};
 use xqib_xdm::{Item, Sequence, XdmError, XdmResult};
 use xqib_xquery::context::DynamicContext;
@@ -437,6 +437,78 @@ pub fn install(ctx: &mut DynamicContext, host: Rc<RefCell<HostState>>) {
                 let hostname = seq_string(ctx, &args[0]);
                 let state = h.borrow().recovery.breaker_state(&hostname);
                 Ok(vec![Item::string(breaker_label(state))])
+            }),
+        );
+    }
+    {
+        // listener-isolation introspection: one element with the quarantine
+        // counters as attributes and a <listener> child per tracked guard
+        let h = host.clone();
+        reg(
+            ctx,
+            "listenerStatus",
+            0,
+            native(move |ctx, _args| {
+                let host = h.borrow();
+                let s = host.quarantine.stats.clone();
+                let guards: Vec<(u64, String, u32, u64, u64, Option<u64>)> = host
+                    .quarantine
+                    .guards()
+                    .into_iter()
+                    .map(|(id, g)| {
+                        let until = match g.state {
+                            QuarantineState::Quarantined { until } => Some(until),
+                            _ => None,
+                        };
+                        (
+                            id.0,
+                            g.state.label().to_string(),
+                            g.consecutive_failures(),
+                            g.failures,
+                            g.invocations,
+                            until,
+                        )
+                    })
+                    .collect();
+                drop(host);
+                let doc_id = ctx.construction_doc;
+                let mut store = ctx.store.borrow_mut();
+                let doc = store.doc_mut(doc_id);
+                let elem = doc.create_element(QName::local("listener-status"));
+                let counters: [(&str, u64); 7] = [
+                    ("listener-errors", s.listener_errors),
+                    ("listener-panics", s.listener_panics),
+                    ("fuel-exhausted", s.fuel_exhausted),
+                    ("trips", s.trips),
+                    ("probes", s.probes),
+                    ("recoveries", s.recoveries),
+                    ("skipped", s.skipped),
+                ];
+                for (name, v) in counters {
+                    doc.set_attribute(elem, QName::local(name), v.to_string())
+                        .map_err(|e| XdmError::new("XQIB0006", e.to_string()))?;
+                }
+                for (id, state, streak, failures, invocations, until) in guards {
+                    let lel = doc.create_element(QName::local("listener"));
+                    let attrs: [(&str, String); 5] = [
+                        ("id", id.to_string()),
+                        ("state", state),
+                        ("consecutive-failures", streak.to_string()),
+                        ("failures", failures.to_string()),
+                        ("invocations", invocations.to_string()),
+                    ];
+                    for (name, v) in attrs {
+                        doc.set_attribute(lel, QName::local(name), v)
+                            .map_err(|e| XdmError::new("XQIB0006", e.to_string()))?;
+                    }
+                    if let Some(until) = until {
+                        doc.set_attribute(lel, QName::local("until"), until.to_string())
+                            .map_err(|e| XdmError::new("XQIB0006", e.to_string()))?;
+                    }
+                    doc.append_child(elem, lel)
+                        .map_err(|e| XdmError::new("XQIB0006", e.to_string()))?;
+                }
+                Ok(vec![Item::Node(NodeRef::new(doc_id, elem))])
             }),
         );
     }

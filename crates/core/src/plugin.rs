@@ -1,5 +1,12 @@
 //! The plug-in proper: page lifecycle, event dispatch loop and the
 //! asynchronous `behind` bridge (Figure 1 of the paper).
+//!
+//! Listener invocations are *fault-isolated*: a panicking or erroring
+//! listener is caught at the dispatch boundary, surfaces as a synthetic
+//! `error` DOM event, and repeated failures quarantine the listener
+//! (see [`xqib_browser::quarantine`]) — one bad handler cannot wedge the
+//! single event loop of Figure 1.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -7,7 +14,10 @@ use std::rc::Rc;
 
 use xqib_browser::bom::Browser;
 use xqib_browser::events::{DispatchStep, DomEvent, EventSystem, ListenerId};
-use xqib_browser::{CssStore, EventLoop, RecoveryConfig, RecoveryState, VirtualNetwork, WindowId};
+use xqib_browser::{
+    CssStore, EventLoop, IsolationConfig, ListenerQuarantine, RecoveryConfig, RecoveryState,
+    VirtualNetwork, WindowId,
+};
 use xqib_dom::{name::LOCAL_NS, DocId, NodeKind, NodeRef, QName, SharedStore};
 use xqib_xdm::{Item, Sequence, XdmError, XdmResult};
 use xqib_xquery::ast::{Expr, MainModule};
@@ -74,6 +84,10 @@ pub struct HostState {
     pub total_latency_ms: u64,
     /// retry policy, circuit breakers, stale cache and recovery counters
     pub recovery: RecoveryState,
+    /// per-listener fault containment state and counters
+    pub quarantine: ListenerQuarantine,
+    /// isolation knobs (quarantine thresholds, listener fuel budget)
+    pub isolation: IsolationConfig,
     /// monotonically increasing id handed to each `behind` call (jitter key)
     next_behind_id: u64,
 }
@@ -115,6 +129,9 @@ pub struct PluginConfig {
     /// Retry/timeout/backoff policy and circuit-breaker settings for the
     /// asynchronous network path.
     pub recovery: RecoveryConfig,
+    /// Listener fault-isolation settings: quarantine threshold/window and
+    /// the per-invocation evaluation fuel budget.
+    pub isolation: IsolationConfig,
 }
 
 impl Default for PluginConfig {
@@ -125,6 +142,7 @@ impl Default for PluginConfig {
             modules: ModuleRegistry::new(),
             use_css_store: true,
             recovery: RecoveryConfig::default(),
+            isolation: IsolationConfig::default(),
         }
     }
 }
@@ -281,6 +299,8 @@ impl Plugin {
             page_window,
             total_latency_ms: 0,
             recovery: RecoveryState::new(config.recovery),
+            quarantine: ListenerQuarantine::new(&config.isolation),
+            isolation: config.isolation,
             next_behind_id: 0,
         }));
         let sctx = Rc::new(StaticContext {
@@ -415,7 +435,10 @@ impl Plugin {
     }
 
     pub fn page_doc(&self) -> DocId {
-        self.page_doc.expect("page loaded")
+        match self.page_doc {
+            Some(d) => d,
+            None => panic!("no page loaded"),
+        }
     }
 
     /// Registers an external (JavaScript) listener on a node — the §6.2
@@ -737,7 +760,24 @@ impl Plugin {
     }
 }
 
+/// How one isolated listener invocation ended.
+#[derive(Debug)]
+pub enum ListenerRun {
+    /// Returned normally; its pending updates were applied.
+    Completed,
+    /// Raised a dynamic error; context repaired, pending updates discarded.
+    Failed(XdmError),
+    /// Panicked; the unwind was caught at the dispatch boundary.
+    Panicked(String),
+}
+
 /// Core of the dispatch loop: plan the propagation path, invoke listeners.
+///
+/// Every listener runs isolated: a dynamic error or panic never unwinds
+/// through the loop. Failures are recorded against the listener's
+/// quarantine guard and surface as a synthetic `error` DOM event queued on
+/// the event loop (observable after the next drain); the remaining
+/// listeners of the plan still fire. Quarantined listeners are skipped.
 pub fn dispatch_event_inner(
     ctx: &mut DynamicContext,
     host: &Rc<RefCell<HostState>>,
@@ -750,11 +790,125 @@ pub fn dispatch_event_inner(
     };
     for step in plan {
         let kind = host.borrow().listeners.get(&step.listener).cloned();
-        if let Some(kind) = kind {
-            invoke_listener(ctx, host, &kind, event, step.current_target)?;
+        let Some(kind) = kind else { continue };
+        let admitted = {
+            let mut h = host.borrow_mut();
+            let now = h.tasks.now();
+            h.quarantine.allow(step.listener, now)
+        };
+        if !admitted {
+            continue; // quarantined: contained out of the dispatch plan
+        }
+        let budget = host.borrow().isolation.listener_fuel;
+        ctx.set_fuel(budget);
+        let outcome = run_listener_isolated(ctx, host, &kind, event, step.current_target);
+        ctx.set_fuel(None);
+        match outcome {
+            ListenerRun::Completed => {
+                host.borrow_mut().quarantine.on_success(step.listener);
+            }
+            ListenerRun::Failed(err) => {
+                record_listener_failure(host, step.listener, false, err.code == "XQIB0011");
+                raise_error_event(ctx, host, event, format!("{} {}", err.code, err.message));
+            }
+            ListenerRun::Panicked(msg) => {
+                record_listener_failure(host, step.listener, true, false);
+                raise_error_event(ctx, host, event, format!("panic {msg}"));
+            }
         }
     }
     Ok(())
+}
+
+/// Invokes one listener behind `catch_unwind`, repairing the dynamic
+/// context (scope/barrier stacks, focus, call depth) and discarding the
+/// half-built pending update list when the listener does not return
+/// normally. The context checkpoint plus the transactional PUL apply make
+/// a failed listener invisible to engine state and DOM alike.
+fn run_listener_isolated(
+    ctx: &mut DynamicContext,
+    host: &Rc<RefCell<HostState>>,
+    kind: &ListenerKind,
+    event: &DomEvent,
+    current_target: NodeRef,
+) -> ListenerRun {
+    let checkpoint = ctx.checkpoint();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        invoke_listener(ctx, host, kind, event, current_target)
+    }));
+    match result {
+        Ok(Ok(())) => ListenerRun::Completed,
+        Ok(Err(err)) => {
+            ctx.restore(&checkpoint);
+            ctx.pul.take();
+            ListenerRun::Failed(err)
+        }
+        Err(payload) => {
+            ctx.restore(&checkpoint);
+            ctx.pul.take();
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "listener panicked".to_string()
+            };
+            ListenerRun::Panicked(msg)
+        }
+    }
+}
+
+/// Books a failed invocation against the listener's quarantine guard.
+fn record_listener_failure(
+    host: &Rc<RefCell<HostState>>,
+    listener: ListenerId,
+    panicked: bool,
+    fuel_exhausted: bool,
+) {
+    let mut h = host.borrow_mut();
+    let now = h.tasks.now();
+    if panicked {
+        h.quarantine.stats.listener_panics += 1;
+    } else {
+        h.quarantine.stats.listener_errors += 1;
+    }
+    if fuel_exhausted {
+        h.quarantine.stats.fuel_exhausted += 1;
+    }
+    h.quarantine.on_failure(listener, now);
+}
+
+/// Queues a synthetic `error` DOM event for a failed listener, delivered at
+/// the `<body>` (or document root) of the failed event's document — the
+/// same shape as the network degradation events. Queuing on the event loop
+/// (rather than dispatching synchronously) bounds error-listener recursion:
+/// an error listener that itself keeps failing is quarantined after the
+/// usual threshold, at which point no further events are generated.
+fn raise_error_event(
+    ctx: &mut DynamicContext,
+    host: &Rc<RefCell<HostState>>,
+    failed: &DomEvent,
+    detail: String,
+) {
+    let doc_id = failed.target.doc;
+    let target = {
+        let store = ctx.store.borrow();
+        let doc = store.doc(doc_id);
+        doc.descendants_or_self(doc.root())
+            .into_iter()
+            .find(|&n| {
+                doc.element_name(n)
+                    .map(|q| &*q.local == "body")
+                    .unwrap_or(false)
+            })
+            .map(|n| NodeRef::new(doc_id, n))
+            .unwrap_or_else(|| NodeRef::new(doc_id, doc.root()))
+    };
+    let mut ev = DomEvent::new("error", target);
+    ev.detail = detail;
+    host.borrow_mut()
+        .tasks
+        .schedule(0, PluginTask::Dispatch(ev));
 }
 
 /// Invokes a single listener of whatever kind.

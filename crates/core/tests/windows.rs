@@ -159,7 +159,7 @@ fn queued_events_drain_in_order() {
 }
 
 #[test]
-fn listener_errors_propagate() {
+fn listener_errors_are_contained_and_counted() {
     let mut p = Plugin::new(PluginConfig::default());
     p.load_page(
         r#"<html><head><script type="text/xquery"><![CDATA[
@@ -169,8 +169,11 @@ fn listener_errors_propagate() {
     )
     .unwrap();
     let b = p.element_by_id("b").unwrap();
-    let e = p.click(b).unwrap_err();
-    assert_eq!(e.code, "FOAR0001");
+    // contained at the dispatch boundary: the click itself succeeds
+    p.click(b).unwrap();
+    let stats = p.host.borrow().quarantine.stats.clone();
+    assert_eq!(stats.listener_errors, 1);
+    assert_eq!(stats.listener_panics, 0);
 }
 
 #[test]

@@ -291,6 +291,12 @@ impl Document {
         self.tree_root(id) == self.root()
     }
 
+    /// True if `id` names a slot that exists in this arena.
+    #[inline]
+    pub fn contains(&self, id: NodeId) -> bool {
+        id.index() < self.nodes.len()
+    }
+
     /// Namespace declarations written on an element.
     pub fn ns_decls(&self, id: NodeId) -> &[(String, String)] {
         match &self.nodes[id.index()].kind {
@@ -737,6 +743,79 @@ impl Document {
             let _ = self.append_child(id, c);
         }
         id
+    }
+
+    /// Forcibly restores `parent`'s child list to a previously captured
+    /// snapshot (undo-log rollback). Children currently in the list but not
+    /// in the snapshot are orphaned; snapshot members are re-parented here,
+    /// being pulled out of whatever list they moved to in the meantime.
+    /// Unlike the checked mutation API this trusts the snapshot: it was
+    /// taken from a consistent document, so replaying it cannot create
+    /// cycles or attribute children that did not already exist.
+    pub fn restore_children(&mut self, parent: NodeId, snapshot: &[NodeId]) -> DomResult<()> {
+        self.check_exists(parent)?;
+        self.touch();
+        let current: Vec<NodeId> = self.children(parent).to_vec();
+        for c in current {
+            if !snapshot.contains(&c) {
+                self.nodes[c.index()].parent = None;
+            }
+        }
+        for &c in snapshot {
+            self.unlink_from_other_parent(c, parent);
+            self.nodes[c.index()].parent = Some(parent);
+        }
+        *self.children_mut(parent)? = snapshot.to_vec();
+        Ok(())
+    }
+
+    /// Forcibly restores `elem`'s attribute list to a captured snapshot
+    /// (undo-log rollback); the counterpart of [`Self::restore_children`].
+    pub fn restore_attributes(&mut self, elem: NodeId, snapshot: &[NodeId]) -> DomResult<()> {
+        self.check_exists(elem)?;
+        self.touch();
+        let current: Vec<NodeId> = self.attributes(elem).to_vec();
+        for a in current {
+            if !snapshot.contains(&a) {
+                self.nodes[a.index()].parent = None;
+            }
+        }
+        for &a in snapshot {
+            self.unlink_from_other_parent(a, elem);
+            self.nodes[a.index()].parent = Some(elem);
+        }
+        match &mut self.nodes[elem.index()].kind {
+            NodeKind::Element { attrs, .. } => {
+                *attrs = snapshot.to_vec();
+                Ok(())
+            }
+            k => Err(DomError::InvalidMutation(format!(
+                "{} node has no attributes to restore",
+                k.kind_name()
+            ))),
+        }
+    }
+
+    /// Removes `node` from the child/attribute list of its current parent if
+    /// that parent is not `keep` (rollback helper: a snapshot member may have
+    /// been moved elsewhere by a later, already-undone primitive).
+    fn unlink_from_other_parent(&mut self, node: NodeId, keep: NodeId) {
+        let Some(cur) = self.nodes[node.index()].parent else {
+            return;
+        };
+        if cur == keep {
+            return;
+        }
+        match &mut self.nodes[cur.index()].kind {
+            NodeKind::Element {
+                attrs, children, ..
+            } => {
+                attrs.retain(|&a| a != node);
+                children.retain(|&c| c != node);
+            }
+            NodeKind::Document { children } => children.retain(|&c| c != node),
+            _ => {}
+        }
     }
 
     /// Merges adjacent text children of `parent` and drops empty text nodes,

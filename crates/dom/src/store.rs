@@ -31,7 +31,7 @@ impl NodeRef {
 }
 
 /// Owns every document visible to an engine instance.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Store {
     docs: Vec<Document>,
     by_uri: HashMap<String, DocId>,

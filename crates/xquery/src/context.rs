@@ -141,6 +141,24 @@ pub struct DynamicContext {
     /// Stack address recorded at context creation; used to bound actual
     /// stack consumption of deep recursion (debug frames are large).
     pub stack_base: usize,
+    /// Remaining evaluation fuel. Every expression step charges one unit;
+    /// reaching zero raises `XQIB0011`. `None` disables preemption (ad-hoc
+    /// queries, page load). Hosts set a budget per listener invocation.
+    pub fuel: Option<u64>,
+    /// Units charged since the fuel budget was last (re)set.
+    pub fuel_used: u64,
+}
+
+/// A restore point for the parts of the dynamic context a panicking or
+/// erroring listener can leave inconsistent (scope/barrier stacks, call
+/// depth, focus). Captured before each isolated listener invocation and
+/// replayed by the host when the listener does not return normally.
+#[derive(Debug, Clone)]
+pub struct CtxCheckpoint {
+    scopes_len: usize,
+    barriers_len: usize,
+    call_depth: usize,
+    focus: Option<Focus>,
 }
 
 /// Approximate current stack pointer (stacks grow downward on all supported
@@ -169,7 +187,56 @@ impl DynamicContext {
             call_depth: 0,
             loop_guard: 10_000_000,
             stack_base: approx_stack_ptr(),
+            fuel: None,
+            fuel_used: 0,
         }
+    }
+
+    /// Installs (or clears) the preemption budget and resets the usage
+    /// counter. Called by the host once per listener invocation.
+    pub fn set_fuel(&mut self, budget: Option<u64>) {
+        self.fuel = budget;
+        self.fuel_used = 0;
+    }
+
+    /// Charges `n` fuel units, raising `XQIB0011` once the budget is spent.
+    /// Free when no budget is installed.
+    #[inline]
+    pub fn charge_fuel(&mut self, n: u64) -> XdmResult<()> {
+        self.fuel_used += n;
+        if let Some(fuel) = self.fuel.as_mut() {
+            if *fuel < n {
+                self.fuel = Some(0);
+                return Err(XdmError::new(
+                    "XQIB0011",
+                    format!("evaluation fuel exhausted after {} steps", self.fuel_used),
+                ));
+            }
+            *fuel -= n;
+        }
+        Ok(())
+    }
+
+    /// Captures the scope/barrier/focus state for later [`Self::restore`].
+    pub fn checkpoint(&self) -> CtxCheckpoint {
+        CtxCheckpoint {
+            scopes_len: self.scopes.len(),
+            barriers_len: self.barriers.len(),
+            call_depth: self.call_depth,
+            focus: self.focus.clone(),
+        }
+    }
+
+    /// Rewinds the context to a checkpoint taken earlier on the same
+    /// context: scopes and barriers pushed since are dropped, call depth and
+    /// focus are restored. Used to repair state after a listener panicked or
+    /// errored mid-evaluation.
+    pub fn restore(&mut self, cp: &CtxCheckpoint) {
+        self.scopes.truncate(cp.scopes_len.max(1));
+        self.barriers.truncate(cp.barriers_len);
+        self.call_depth = cp.call_depth;
+        self.focus = cp.focus.clone();
+        self.exit_value = None;
     }
 
     /// Re-anchors the stack guard to the current thread position. Hosts that

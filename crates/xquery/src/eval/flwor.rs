@@ -55,6 +55,10 @@ fn apply_clause(
             for tuple in tuples {
                 let items = with_tuple(ctx, &tuple, |ctx| eval_expr(ctx, seq))?;
                 for (i, item) in items.into_iter().enumerate() {
+                    // one fuel unit per tuple the `for` clause materialises:
+                    // cartesian blow-ups are preempted even though each
+                    // binding evaluates only a handful of expressions
+                    ctx.charge_fuel(1)?;
                     if let Some(t) = ty {
                         let single = vec![item.clone()];
                         let ok = ctx.with_store(|s| t.matches(s, &single));

@@ -27,6 +27,8 @@ const MAX_STACK_BYTES: usize = 1_000_000;
 
 /// Evaluates an expression to a sequence.
 pub fn eval_expr(ctx: &mut DynamicContext, e: &Expr) -> XdmResult<Sequence> {
+    // one fuel unit per expression step — the preemption granularity
+    ctx.charge_fuel(1)?;
     match e {
         Expr::Literal(a) => Ok(vec![Item::Atomic(a.clone())]),
         Expr::VarRef(name) => ctx

@@ -88,6 +88,10 @@ fn apply_step(
     step: &StepExpr,
     input_normalized: bool,
 ) -> XdmResult<(Sequence, bool)> {
+    // fuel is charged per (step, context item): a step over a huge node set
+    // costs proportionally, so runaway traversals are preempted even when
+    // the query text is a single path expression
+    ctx.charge_fuel(1 + input.len() as u64)?;
     match step {
         StepExpr::Axis(ax) => apply_axis_step(ctx, input, ax, input_normalized).map(|s| (s, true)),
         StepExpr::Filter {

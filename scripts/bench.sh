@@ -5,6 +5,9 @@
 #   BENCH_path_eval.json  — path-evaluation microbenchmarks (micro_engine)
 #   BENCH_fault_path.json — behind-pipeline retry overhead (fault_path):
 #                           fault-free vs 10%-fault throughput
+#   BENCH_txn_apply.json  — transactional PUL apply (txn_apply): undo-log
+#                           tracking vs untracked baseline, plus worst-case
+#                           full rollback (target: <15% tracking overhead)
 #
 # Each report has the shape
 #
@@ -55,3 +58,7 @@ harvest BENCH_path_eval.json
 rm -rf target/criterion
 cargo bench -p xqib-bench --bench fault_path
 harvest BENCH_fault_path.json
+
+rm -rf target/criterion
+cargo bench -p xqib-bench --bench txn_apply
+harvest BENCH_txn_apply.json

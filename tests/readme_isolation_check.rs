@@ -1,0 +1,42 @@
+//! Keeps the README "listener isolation" example honest: this is the
+//! snippet from README.md, verbatim, as a regression test.
+
+use xqib::core::plugin::{Plugin, PluginConfig};
+
+#[test]
+fn readme_isolation_example() {
+    let mut plugin = Plugin::new(PluginConfig::default());
+    plugin
+        .load_page(
+            r#"<html><head><script type="text/xquery"><![CDATA[
+  declare updating function local:bad($evt, $obj) {
+    error("APPBOOM", "listener exploded")
+  };
+  declare updating function local:good($evt, $obj) {
+    insert node <p>still here</p> into //body[1]
+  };
+  on event "onclick" at //input attach listener local:bad,
+  on event "onclick" at //input attach listener local:good
+]]></script></head><body><input id="b"/></body></html>"#,
+        )
+        .unwrap();
+
+    let button = plugin.element_by_id("b").unwrap();
+    plugin.register_external_listener(button, "onclick", |_| panic!("bomb"));
+
+    plugin.click(button).unwrap();
+    assert!(
+        plugin.serialize_page().contains("<p>still here</p>"),
+        "{}",
+        plugin.serialize_page()
+    );
+
+    let out = plugin
+        .eval(
+            r#"string-join((
+    string(browser:listenerStatus()/@listener-errors),
+    string(browser:listenerStatus()/@listener-panics)), "/")"#,
+        )
+        .unwrap();
+    assert_eq!(plugin.render(&out), "1/1");
+}
