@@ -28,4 +28,4 @@ pub use corpus::{generate_corpus, CorpusSpec};
 pub use metrics::ServerMetrics;
 pub use server::AppServer;
 pub use webservice::WebServiceHost;
-pub use xmldb::XmlDb;
+pub use xmldb::{DurabilityConfig, XmlDb};

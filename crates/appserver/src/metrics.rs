@@ -3,6 +3,7 @@
 
 use xqib_browser::{QuarantineStats, RecoveryStats};
 use xqib_dom::order::stats::EngineStats;
+use xqib_storage::DurabilityStats;
 
 /// Counters accumulated by the application server.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -45,6 +46,16 @@ pub struct ServerMetrics {
     pub quarantine_trips: u64,
     /// Dispatches skipped because the listener was quarantined.
     pub quarantine_skips: u64,
+    /// Redo records appended to the write-ahead log.
+    pub wal_appends: u64,
+    /// Successful WAL/checkpoint fsyncs (group commits).
+    pub wal_fsyncs: u64,
+    /// Checkpoints written (each truncates the WAL).
+    pub checkpoints: u64,
+    /// Recoveries performed over the disk image.
+    pub recoveries: u64,
+    /// Recoveries that dropped a torn/corrupt WAL tail.
+    pub torn_tails_dropped: u64,
 }
 
 impl ServerMetrics {
@@ -84,6 +95,16 @@ impl ServerMetrics {
         self.fuel_exhausted = stats.fuel_exhausted;
         self.quarantine_trips = stats.trips;
         self.quarantine_skips = stats.skipped;
+    }
+
+    /// Mirrors the database's durability counters (cumulative snapshots —
+    /// overwrites, same convention as the recovery/isolation mirrors).
+    pub fn record_durability(&mut self, stats: &DurabilityStats) {
+        self.wal_appends = stats.wal_appends;
+        self.wal_fsyncs = stats.fsyncs;
+        self.checkpoints = stats.checkpoints;
+        self.recoveries = stats.recoveries;
+        self.torn_tails_dropped = stats.torn_tails_dropped;
     }
 }
 
@@ -170,5 +191,25 @@ mod tests {
         assert_eq!(m.quarantine_skips, 4);
         m.record_isolation(&QuarantineStats::default());
         assert_eq!(m.listener_errors, 0);
+    }
+
+    #[test]
+    fn durability_counters_mirror_the_db_snapshot() {
+        let mut m = ServerMetrics::default();
+        let stats = DurabilityStats {
+            wal_appends: 8,
+            fsyncs: 5,
+            checkpoints: 2,
+            recoveries: 1,
+            torn_tails_dropped: 1,
+        };
+        m.record_durability(&stats);
+        assert_eq!(m.wal_appends, 8);
+        assert_eq!(m.wal_fsyncs, 5);
+        assert_eq!(m.checkpoints, 2);
+        assert_eq!(m.recoveries, 1);
+        assert_eq!(m.torn_tails_dropped, 1);
+        m.record_durability(&DurabilityStats::default());
+        assert_eq!(m.wal_appends, 0);
     }
 }

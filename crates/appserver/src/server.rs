@@ -1,13 +1,15 @@
 //! The application server: HTTP-ish routing over the XML database, with
 //! the per-deployment metrics of the Figure 2 experiment.
 
+use xqib_browser::net::percent_decode;
 use xqib_dom::order::stats as engine_stats;
 use xqib_dom::order::stats::EngineStats;
+use xqib_storage::VirtualDisk;
 use xqib_xdm::XdmResult;
 
 use crate::metrics::ServerMetrics;
 use crate::render;
-use crate::xmldb::XmlDb;
+use crate::xmldb::{DurabilityConfig, XmlDb};
 
 /// An application-server response.
 #[derive(Debug, Clone)]
@@ -28,7 +30,33 @@ pub struct AppServer {
 impl AppServer {
     /// Builds a server over a corpus document.
     pub fn new(corpus_xml: &str) -> XdmResult<Self> {
-        let mut db = XmlDb::new();
+        Self::with_db(XmlDb::new(), corpus_xml)
+    }
+
+    /// Builds a durable server: the corpus load and every applied update
+    /// are journaled to `disk` (see [`XmlDb::durable`]).
+    pub fn new_durable(
+        corpus_xml: &str,
+        disk: VirtualDisk,
+        cfg: DurabilityConfig,
+    ) -> XdmResult<Self> {
+        Self::with_db(XmlDb::durable(disk, cfg), corpus_xml)
+    }
+
+    /// Rebuilds a durable server from a crashed disk image (checkpoint +
+    /// committed WAL suffix; see [`XmlDb::recover`]).
+    pub fn recover(disk: VirtualDisk, cfg: DurabilityConfig) -> XdmResult<Self> {
+        let db = XmlDb::recover(disk, cfg)?;
+        let mut metrics = ServerMetrics::default();
+        metrics.record_durability(&db.durability_stats());
+        Ok(AppServer {
+            db,
+            metrics,
+            engine_baseline: engine_stats::snapshot(),
+        })
+    }
+
+    fn with_db(mut db: XmlDb, corpus_xml: &str) -> XdmResult<Self> {
         db.load(render::CORPUS_URI, corpus_xml)?;
         Ok(AppServer {
             db,
@@ -45,7 +73,8 @@ impl AppServer {
     /// * `/doc?uri=U` — a whole stored document (the migrated deployment's
     ///   cache-friendly REST API: "serve whole documents rather than
     ///   individual queries to documents", §6.1);
-    /// * `/query?xq=Q` — ad-hoc server-side XQuery (legacy fine-grained API).
+    /// * `/query?xq=Q` — ad-hoc server-side XQuery (legacy fine-grained API);
+    /// * `/update?xq=Q` — updating XQuery (journaled in durable mode).
     pub fn handle(&mut self, url: &str) -> ServerResponse {
         self.metrics.requests += 1;
         let (path, query) = split_url(url);
@@ -62,7 +91,7 @@ impl AppServer {
                 },
                 None => not_found("missing uri parameter"),
             },
-            "/query" => match param(&query, "xq") {
+            "/query" | "/update" => match param(&query, "xq") {
                 Some(xq) => self.render_query(&xq),
                 None => not_found("missing xq parameter"),
             },
@@ -71,6 +100,7 @@ impl AppServer {
         self.metrics.bytes_out += resp.body.len() as u64;
         self.metrics
             .record_engine_stats(self.engine_baseline, engine_stats::snapshot());
+        self.metrics.record_durability(&self.db.durability_stats());
         resp
     }
 
@@ -81,10 +111,23 @@ impl AppServer {
                 ServerResponse { status: 200, body }
             }
             Err(e) => ServerResponse {
-                status: 500,
+                status: status_for(&e.code),
                 body: format!("<error>{e}</error>"),
             },
         }
+    }
+}
+
+/// Maps an engine error code to an HTTP status: a missing source document
+/// is the client's 404, static (parse/type) errors are the client's 400,
+/// anything dynamic is the server's 500.
+fn status_for(code: &str) -> u16 {
+    if code == "FODC0002" {
+        404
+    } else if code.starts_with("XPST") || code.starts_with("XQST") || code.starts_with("XQTY") {
+        400
+    } else {
+        500
     }
 }
 
@@ -103,12 +146,17 @@ fn split_url(url: &str) -> (String, String) {
     }
 }
 
+/// The query parameter `name`, with the same semantics as
+/// `xqib_browser::net::Request::query_param`: pairs without `=` are
+/// skipped rather than aborting the scan, and values get real `%xx`
+/// percent-decoding (one shared helper, not a second buggy copy).
 fn param(query: &str, name: &str) -> Option<String> {
     for pair in query.split('&') {
-        if let Some((k, v)) = pair.split_once('=') {
-            if k == name {
-                return Some(v.replace('+', " ").replace("%20", " "));
-            }
+        let Some((k, v)) = pair.split_once('=') else {
+            continue;
+        };
+        if k == name {
+            return Some(percent_decode(v));
         }
     }
     None
@@ -171,7 +219,52 @@ mod tests {
         assert_eq!(r.status, 200);
         assert_eq!(r.body, "48");
         let r = s.handle("/query?xq=1+div+0");
-        assert_eq!(r.status, 500);
+        assert_eq!(r.status, 500, "dynamic error stays a server error");
+    }
+
+    #[test]
+    fn error_codes_map_to_http_statuses() {
+        let mut s = server();
+        // missing source document → client 404
+        let r = s.handle("/query?xq=doc('nope.xml')");
+        assert_eq!(r.status, 404);
+        assert!(r.body.contains("FODC0002"));
+        // parse error → client 400
+        let r = s.handle("/query?xq=1+%2B");
+        assert_eq!(r.status, 400);
+        // unknown function → static error → client 400
+        let r = s.handle("/query?xq=no:such-function()");
+        assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn params_are_percent_decoded_and_flags_are_skipped() {
+        let mut s = server();
+        // %28/%29 parens and a valueless flag before the real parameter
+        let r = s.handle("/query?flag&xq=count%28doc%28%27corpus.xml%27%29%2F%2Farticle%29");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "48");
+    }
+
+    #[test]
+    fn update_route_mutates_and_journals() {
+        let disk = xqib_storage::VirtualDisk::new();
+        let corpus = generate_corpus(&CorpusSpec::default());
+        let mut s =
+            AppServer::new_durable(&corpus, disk.clone(), DurabilityConfig::default()).unwrap();
+        let r = s.handle(
+            "/update?xq=insert+node+%3Cnote%3Ehi%3C%2Fnote%3E+into+doc(%27corpus.xml%27)%2F*",
+        );
+        assert_eq!(r.status, 200);
+        assert!(s.metrics.wal_appends >= 2, "corpus load + update journaled");
+        let r = s.handle("/query?xq=count(doc('corpus.xml')//note)");
+        assert_eq!(r.body, "1");
+        // the journaled update survives a crash + recovery
+        disk.crash();
+        let mut s2 = AppServer::recover(disk, DurabilityConfig::default()).unwrap();
+        assert_eq!(s2.metrics.recoveries, 1);
+        let r = s2.handle("/query?xq=count(doc('corpus.xml')//note)");
+        assert_eq!(r.body, "1");
     }
 
     #[test]

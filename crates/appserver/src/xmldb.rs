@@ -1,19 +1,82 @@
 //! The XML database (the MarkLogic stand-in of §6.1): a document store
-//! with a server-side XQuery execution facility.
+//! with a server-side XQuery execution facility, optionally made durable
+//! over a fault-injected [`VirtualDisk`].
+//!
+//! # Durability
+//!
+//! In durable mode every mutation is journaled to a write-ahead log
+//! *before* it is acknowledged: document loads as [`WalRecord::Load`],
+//! applied pending update lists as wire-encoded [`WalRecord::Pul`] redo
+//! records (see `xqib_xquery::wire`). Appends are grouped: the log is
+//! fsynced once every [`DurabilityConfig::group_commit`] operations. An
+//! fsync failure is *soft* — the operation stays applied in memory, the
+//! committed sequence simply does not advance, and the next group commit
+//! retries the whole outstanding batch (fsync covers the file, not a
+//! range).
+//!
+//! When the log outgrows [`DurabilityConfig::checkpoint_threshold`], a
+//! [`Checkpoint`] snapshot of every bound document is written to the
+//! alternate slot and the log is truncated. Checkpoints record the WAL
+//! sequence they absorb, so [`XmlDb::recover`] — checkpoint load + replay
+//! of the committed WAL suffix, stopping at the first torn or corrupt
+//! frame — is idempotent even when a crash lands between the checkpoint
+//! write and the log truncation.
 
+use std::cell::RefCell;
 use std::rc::Rc;
 
 use xqib_dom::store::shared_store;
 use xqib_dom::{DocId, SharedStore};
+use xqib_storage::{
+    Checkpoint, DiskError, DurabilityStats, VirtualDisk, Wal, WalRecord, CKPT_SLOTS, WAL_FILE,
+};
 use xqib_xdm::{Item, XdmResult};
 use xqib_xquery::context::{DynamicContext, StaticContext};
 use xqib_xquery::runtime;
+use xqib_xquery::wire;
+
+/// Tuning knobs for durable mode.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Fsync the WAL once every `group_commit` journaled operations.
+    pub group_commit: u64,
+    /// Checkpoint (and truncate the WAL) once the log exceeds this many
+    /// bytes. `0` disables automatic checkpoints.
+    pub checkpoint_threshold: usize,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            group_commit: 1,
+            checkpoint_threshold: 64 * 1024,
+        }
+    }
+}
+
+/// Durable-mode state: the device, the open log, and commit bookkeeping.
+struct Durable {
+    disk: VirtualDisk,
+    wal: Wal,
+    cfg: DurabilityConfig,
+    /// Generation of the newest checkpoint on disk.
+    ckpt_gen: u64,
+    /// Highest WAL sequence acknowledged by a successful fsync (or covered
+    /// by the recovery checkpoint).
+    last_committed: u64,
+    /// Highest WAL sequence appended (≥ `last_committed`).
+    last_appended: u64,
+    /// Journaled operations since the last successful fsync.
+    pending_ops: u64,
+    stats: DurabilityStats,
+}
 
 /// A server-side XML database.
 pub struct XmlDb {
     pub store: SharedStore,
     /// number of queries evaluated (CPU proxy)
     pub evals: u64,
+    durable: Option<Durable>,
 }
 
 impl Default for XmlDb {
@@ -23,18 +86,154 @@ impl Default for XmlDb {
 }
 
 impl XmlDb {
+    /// An ephemeral, in-memory database (no journaling).
     pub fn new() -> Self {
         XmlDb {
             store: shared_store(),
             evals: 0,
+            durable: None,
         }
     }
 
-    /// Loads a document under a URI.
+    /// A fresh durable database over `disk`, wiping any previous image.
+    pub fn durable(disk: VirtualDisk, cfg: DurabilityConfig) -> Self {
+        disk.delete(WAL_FILE);
+        for slot in CKPT_SLOTS {
+            disk.delete(slot);
+        }
+        let wal = Wal::create(disk.clone(), WAL_FILE);
+        XmlDb {
+            store: shared_store(),
+            evals: 0,
+            durable: Some(Durable {
+                disk,
+                wal,
+                cfg,
+                ckpt_gen: 0,
+                last_committed: 0,
+                last_appended: 0,
+                pending_ops: 0,
+                stats: DurabilityStats::default(),
+            }),
+        }
+    }
+
+    /// Recovers a durable database from a (possibly crashed) disk image:
+    /// loads the newest intact checkpoint, then replays the committed WAL
+    /// suffix, stopping at the first torn or corrupt frame (the
+    /// prefix-durability contract). Recovering the same image twice yields
+    /// the same state.
+    pub fn recover(disk: VirtualDisk, cfg: DurabilityConfig) -> XdmResult<XmlDb> {
+        let mut stats = DurabilityStats {
+            recoveries: 1,
+            ..Default::default()
+        };
+        let ckpt = Checkpoint::read_latest(&disk);
+        let (ckpt_gen, ckpt_seq) = ckpt.as_ref().map_or((0, 0), |c| (c.gen, c.seq));
+
+        let store = shared_store();
+        if let Some(ckpt) = &ckpt {
+            let mut s = store.borrow_mut();
+            for (uri, xml) in &ckpt.docs {
+                let doc = xqib_dom::parse_document(xml).map_err(|e| {
+                    xqib_xdm::XdmError::new(
+                        wire::WIRE_ERR,
+                        format!("checkpoint document {uri} unreadable: {e}"),
+                    )
+                })?;
+                s.add_document(doc, Some(uri));
+            }
+        }
+
+        let mut replay = Wal::scan(&disk, WAL_FILE);
+        let mut torn = replay.torn_tail_dropped;
+        let mut applied_seq = ckpt_seq;
+        let mut good = 0usize;
+        for (seq, record, _end) in &replay.records {
+            if *seq <= ckpt_seq {
+                good += 1; // absorbed by the checkpoint; keep the frame
+                continue;
+            }
+            let ok = match record {
+                WalRecord::Load { uri, xml } => match xqib_dom::parse_document(xml) {
+                    Ok(doc) => {
+                        let mut s = store.borrow_mut();
+                        match s.doc_by_uri(uri) {
+                            Some(id) => s.replace_document(id, doc),
+                            None => {
+                                s.add_document(doc, Some(uri));
+                            }
+                        }
+                        true
+                    }
+                    Err(_) => false,
+                },
+                WalRecord::Pul(bytes) => {
+                    let mut s = store.borrow_mut();
+                    match wire::decode_pul(&mut s, bytes) {
+                        Ok(pul) => pul.apply(&mut s).is_ok(),
+                        Err(_) => false,
+                    }
+                }
+            };
+            if !ok {
+                torn = true;
+                break;
+            }
+            good += 1;
+            applied_seq = *seq;
+        }
+        if good < replay.records.len() {
+            replay.records.truncate(good);
+            replay.valid_bytes = replay.records.last().map_or(0, |(_, _, end)| *end);
+        }
+        let mut wal = Wal::open_after(disk.clone(), WAL_FILE, &replay);
+        wal.fast_forward(ckpt_seq);
+        if torn {
+            stats.torn_tails_dropped = 1;
+        }
+        Ok(XmlDb {
+            store,
+            evals: 0,
+            durable: Some(Durable {
+                disk,
+                wal,
+                cfg,
+                ckpt_gen,
+                last_committed: applied_seq,
+                last_appended: applied_seq,
+                pending_ops: 0,
+                stats,
+            }),
+        })
+    }
+
+    /// Loads a document under a URI. If the URI is already bound the
+    /// binding is **replaced** (same `DocId`, new content). In durable
+    /// mode the load is journaled before it is acknowledged.
     pub fn load(&mut self, uri: &str, xml: &str) -> XdmResult<DocId> {
         let doc = xqib_dom::parse_document(xml)
             .map_err(|e| xqib_xdm::XdmError::new("FODC0002", e.to_string()))?;
-        Ok(self.store.borrow_mut().add_document(doc, Some(uri)))
+        if let Some(d) = &mut self.durable {
+            d.stats.wal_appends += 1;
+            d.last_appended = d.wal.append(&WalRecord::Load {
+                uri: uri.to_string(),
+                xml: xml.to_string(),
+            });
+            d.pending_ops += 1;
+        }
+        let id = {
+            let mut store = self.store.borrow_mut();
+            match store.doc_by_uri(uri) {
+                Some(id) => {
+                    store.replace_document(id, doc);
+                    id
+                }
+                None => store.add_document(doc, Some(uri)),
+            }
+        };
+        self.after_journaled_ops();
+        Ok(id)
     }
 
     /// Serialises a stored document (whole-document REST responses).
@@ -44,12 +243,30 @@ impl XmlDb {
         Some(xqib_dom::serialize::serialize_document(store.doc(id)))
     }
 
+    /// Serialises every bound document, sorted by URI (checkpoint input).
+    pub fn dump(&self) -> Vec<(String, String)> {
+        let store = self.store.borrow();
+        store
+            .uri_bindings()
+            .into_iter()
+            .map(|(uri, id)| {
+                let xml = xqib_dom::serialize::serialize_document(store.doc(id));
+                (uri, xml)
+            })
+            .collect()
+    }
+
     /// Runs an XQuery against the database; returns the rendered result.
+    /// In durable mode any pending update lists the query applies are
+    /// journaled as redo records.
     pub fn query(&mut self, src: &str) -> XdmResult<String> {
         self.evals += 1;
         let q = runtime::compile(src)?;
         let mut ctx = DynamicContext::new(self.store.clone(), q.sctx.clone());
-        let result = q.execute(&mut ctx)?;
+        let journal = self.install_journal(&mut ctx);
+        let result = q.execute(&mut ctx);
+        self.drain_journal(journal);
+        let result = result?;
         Ok(runtime::render_sequence(&ctx, &result))
     }
 
@@ -71,14 +288,112 @@ impl XmlDb {
             position: 1,
             size: 1,
         });
-        let result = q.execute(&mut ctx)?;
+        let journal = self.install_journal(&mut ctx);
+        let result = q.execute(&mut ctx);
+        self.drain_journal(journal);
+        let result = result?;
         Ok(runtime::render_sequence(&ctx, &result))
+    }
+
+    /// Hard group commit: fsyncs the WAL so every journaled operation
+    /// becomes durable. No-op in ephemeral mode.
+    pub fn commit(&mut self) -> Result<(), DiskError> {
+        let Some(d) = &mut self.durable else {
+            return Ok(());
+        };
+        if d.last_committed == d.last_appended {
+            d.pending_ops = 0;
+            return Ok(());
+        }
+        d.wal.sync()?;
+        d.stats.fsyncs += 1;
+        d.last_committed = d.last_appended;
+        d.pending_ops = 0;
+        Ok(())
+    }
+
+    /// Hard checkpoint: commits, snapshots every document into the
+    /// alternate slot, then truncates the WAL. Skipped (with an error) if
+    /// the commit or the snapshot fsync fails — the previous checkpoint
+    /// and the log stay authoritative.
+    pub fn checkpoint(&mut self) -> Result<(), DiskError> {
+        self.commit()?;
+        let docs = self.dump();
+        let Some(d) = &mut self.durable else {
+            return Ok(());
+        };
+        let ckpt = Checkpoint {
+            gen: d.ckpt_gen + 1,
+            seq: d.last_committed,
+            docs,
+        };
+        ckpt.write(&d.disk)?;
+        d.ckpt_gen += 1;
+        d.stats.checkpoints += 1;
+        d.wal.truncate();
+        Ok(())
+    }
+
+    /// Durability counters (zeroed in ephemeral mode).
+    pub fn durability_stats(&self) -> DurabilityStats {
+        self.durable
+            .as_ref()
+            .map(|d| d.stats.clone())
+            .unwrap_or_default()
+    }
+
+    /// Highest WAL sequence known durable (0 in ephemeral mode).
+    pub fn committed_seq(&self) -> u64 {
+        self.durable.as_ref().map_or(0, |d| d.last_committed)
+    }
+
+    /// The backing device, if durable.
+    pub fn disk(&self) -> Option<VirtualDisk> {
+        self.durable.as_ref().map(|d| d.disk.clone())
+    }
+
+    fn install_journal(&self, ctx: &mut DynamicContext) -> Option<Rc<RefCell<Vec<Vec<u8>>>>> {
+        self.durable.as_ref()?;
+        let journal = Rc::new(RefCell::new(Vec::new()));
+        ctx.pul_journal = Some(journal.clone());
+        Some(journal)
+    }
+
+    /// Appends the redo records a query produced — even when the query
+    /// later failed, any PUL it already applied (mid-script) must be
+    /// journaled — then runs the group-commit / checkpoint policy.
+    fn drain_journal(&mut self, journal: Option<Rc<RefCell<Vec<Vec<u8>>>>>) {
+        let Some(journal) = journal else { return };
+        let records = journal.take();
+        if let Some(d) = &mut self.durable {
+            for bytes in records {
+                d.stats.wal_appends += 1;
+                d.last_appended = d.wal.append(&WalRecord::Pul(bytes));
+                d.pending_ops += 1;
+            }
+        }
+        self.after_journaled_ops();
+    }
+
+    /// Group-commit policy: soft fsync once enough operations are
+    /// outstanding (a failure leaves them pending for the next try), then
+    /// checkpoint if the log outgrew its threshold.
+    fn after_journaled_ops(&mut self) {
+        let Some(d) = &self.durable else { return };
+        if d.pending_ops >= d.cfg.group_commit {
+            let _ = self.commit();
+        }
+        let Some(d) = &self.durable else { return };
+        if d.cfg.checkpoint_threshold > 0 && d.wal.size_bytes() > d.cfg.checkpoint_threshold {
+            let _ = self.checkpoint();
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xqib_storage::StorageFaultPlan;
 
     #[test]
     fn load_and_query() {
@@ -111,5 +426,110 @@ mod tests {
         let mut db = XmlDb::new();
         assert!(db.query("1 +").is_err());
         assert!(db.query_doc("nope.xml", "1").is_err());
+    }
+
+    #[test]
+    fn reload_replaces_the_binding() {
+        let mut db = XmlDb::new();
+        let id1 = db.load("d.xml", "<old/>").unwrap();
+        let id2 = db.load("d.xml", "<new><child/></new>").unwrap();
+        assert_eq!(id1, id2, "same DocId slot");
+        assert_eq!(db.serialize("d.xml").unwrap(), "<new><child/></new>");
+        assert_eq!(db.query("count(doc('d.xml')//child)").unwrap(), "1");
+    }
+
+    #[test]
+    fn durable_load_and_update_survive_recovery() {
+        let disk = VirtualDisk::new();
+        let mut db = XmlDb::durable(disk.clone(), DurabilityConfig::default());
+        db.load("d.xml", "<r><v>1</v></r>").unwrap();
+        db.query("replace value of node doc('d.xml')//v with '2'")
+            .unwrap();
+        assert_eq!(db.serialize("d.xml").unwrap(), "<r><v>2</v></r>");
+        drop(db);
+        disk.crash();
+        let db2 = XmlDb::recover(disk, DurabilityConfig::default()).unwrap();
+        assert_eq!(db2.serialize("d.xml").unwrap(), "<r><v>2</v></r>");
+        assert_eq!(db2.durability_stats().recoveries, 1);
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let disk = VirtualDisk::new();
+        let mut db = XmlDb::durable(disk.clone(), DurabilityConfig::default());
+        db.load("d.xml", "<r/>").unwrap();
+        db.query("insert node <a>x</a> into doc('d.xml')/r")
+            .unwrap();
+        db.checkpoint().unwrap();
+        db.query("insert node <b>y</b> into doc('d.xml')/r")
+            .unwrap();
+        let expect = db.serialize("d.xml").unwrap();
+        drop(db);
+        disk.crash();
+        let db2 = XmlDb::recover(disk.clone(), DurabilityConfig::default()).unwrap();
+        assert_eq!(db2.serialize("d.xml").unwrap(), expect);
+        let seq = db2.committed_seq();
+        drop(db2);
+        disk.crash();
+        let db3 = XmlDb::recover(disk, DurabilityConfig::default()).unwrap();
+        assert_eq!(db3.serialize("d.xml").unwrap(), expect);
+        assert_eq!(db3.committed_seq(), seq);
+    }
+
+    #[test]
+    fn unsynced_tail_is_dropped_but_committed_prefix_survives() {
+        let disk = VirtualDisk::with_plan(StorageFaultPlan::seeded(5));
+        // group_commit = 100: nothing fsyncs until commit() is called
+        let cfg = DurabilityConfig {
+            group_commit: 100,
+            checkpoint_threshold: 0,
+        };
+        let mut db = XmlDb::durable(disk.clone(), cfg.clone());
+        db.load("d.xml", "<r><v>committed</v></r>").unwrap();
+        db.commit().unwrap();
+        db.query("replace value of node doc('d.xml')//v with 'lost-on-crash'")
+            .unwrap();
+        assert_eq!(db.committed_seq(), 1);
+        drop(db);
+        disk.crash();
+        let db2 = XmlDb::recover(disk, cfg).unwrap();
+        assert_eq!(
+            db2.serialize("d.xml").unwrap(),
+            "<r><v>committed</v></r>",
+            "unsynced update is gone, committed load intact"
+        );
+    }
+
+    #[test]
+    fn sync_failure_is_soft_and_retried() {
+        // sync always fails at permille 1000
+        let disk =
+            VirtualDisk::with_plan(StorageFaultPlan::seeded(7).with_sync_fail_permille(1000));
+        let mut db = XmlDb::durable(disk.clone(), DurabilityConfig::default());
+        db.load("d.xml", "<r/>").unwrap(); // group commit fails softly
+        assert_eq!(db.committed_seq(), 0, "not acknowledged");
+        assert_eq!(db.serialize("d.xml").unwrap(), "<r/>", "still applied");
+        // heal the device: the next journaled op commits the whole batch
+        disk.set_plan(StorageFaultPlan::seeded(7));
+        db.load("e.xml", "<e/>").unwrap();
+        assert_eq!(db.committed_seq(), 2, "both loads acknowledged");
+    }
+
+    #[test]
+    fn checkpoint_threshold_triggers_and_truncates() {
+        let disk = VirtualDisk::new();
+        let cfg = DurabilityConfig {
+            group_commit: 1,
+            checkpoint_threshold: 256,
+        };
+        let mut db = XmlDb::durable(disk.clone(), cfg.clone());
+        let big = format!("<r>{}</r>", "<x>padding</x>".repeat(20));
+        db.load("d.xml", &big).unwrap();
+        assert!(db.durability_stats().checkpoints >= 1, "threshold crossed");
+        assert!(disk.len(WAL_FILE) < 256, "log truncated");
+        drop(db);
+        disk.crash();
+        let db2 = XmlDb::recover(disk, cfg).unwrap();
+        assert_eq!(db2.serialize("d.xml").unwrap(), big);
     }
 }

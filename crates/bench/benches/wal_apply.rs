@@ -1,0 +1,95 @@
+//! Durability overhead and recovery speed. Three arms:
+//!
+//! * `ephemeral` — a batch of updating queries against an in-memory
+//!   `XmlDb` (the baseline);
+//! * `durable` — the same batch with WAL journaling and per-op group
+//!   commit (the full price of wire-encoding + append + fsync);
+//! * `recover` — replaying the resulting image (checkpoint + WAL suffix)
+//!   back into a fresh store, i.e. restart latency per journaled op.
+
+use criterion::{BenchmarkId, Criterion};
+
+use xqib_appserver::xmldb::{DurabilityConfig, XmlDb};
+use xqib_bench::criterion as crit;
+use xqib_storage::VirtualDisk;
+
+const OPS: usize = 200;
+
+fn corpus() -> String {
+    let items: String = (0..50)
+        .map(|i| format!("<item id=\"i{i}\"><v>t{i}</v></item>"))
+        .collect();
+    format!("<db>{items}</db>")
+}
+
+fn queries() -> Vec<String> {
+    (0..OPS)
+        .map(|k| match k % 3 {
+            0 => format!("insert node <e{k}>x{k}</e{k}> into (doc('db.xml')/*)[1]"),
+            1 => format!(
+                "replace value of node (doc('db.xml')//item[@id='i{}']/v)[1] with 'w{k}'",
+                k % 50
+            ),
+            _ => format!("insert node attribute a{k} {{'v{k}'}} into (doc('db.xml')/*)[1]"),
+        })
+        .collect()
+}
+
+fn run_batch(db: &mut XmlDb, queries: &[String]) {
+    for q in queries {
+        db.query(q).unwrap();
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_apply");
+    let corpus = corpus();
+    let queries = queries();
+    // no auto-checkpoint: the log keeps all 200 ops, so `recover` replays
+    // a real suffix rather than reading one snapshot
+    let cfg = DurabilityConfig {
+        group_commit: 1,
+        checkpoint_threshold: 0,
+    };
+
+    group.bench_with_input(BenchmarkId::new("200_ops", "ephemeral"), &(), |b, _| {
+        b.iter(|| {
+            let mut db = XmlDb::new();
+            db.load("db.xml", &corpus).unwrap();
+            run_batch(&mut db, &queries);
+            db.evals
+        });
+    });
+
+    group.bench_with_input(BenchmarkId::new("200_ops", "durable"), &(), |b, _| {
+        b.iter(|| {
+            let mut db = XmlDb::durable(VirtualDisk::new(), cfg.clone());
+            db.load("db.xml", &corpus).unwrap();
+            run_batch(&mut db, &queries);
+            db.committed_seq()
+        });
+    });
+
+    // a fully committed image to recover from, built once
+    let disk = VirtualDisk::new();
+    let mut db = XmlDb::durable(disk.clone(), cfg.clone());
+    db.load("db.xml", &corpus).unwrap();
+    run_batch(&mut db, &queries);
+    db.commit().unwrap();
+    drop(db);
+    group.bench_with_input(BenchmarkId::new("200_ops", "recover"), &(), |b, _| {
+        b.iter(|| {
+            let image = disk.clone_image();
+            let recovered = XmlDb::recover(image, cfg.clone()).unwrap();
+            assert_eq!(recovered.committed_seq(), (OPS + 1) as u64);
+            recovered.committed_seq()
+        });
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = crit();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -15,6 +15,10 @@ use crate::name::QName;
 use crate::node::{NodeData, NodeId, NodeKind};
 use crate::order::OrderIndex;
 
+/// Tag bit marking an attribute step in a stable node path; the remaining
+/// bits index the owner element's attribute list. See [`Document::node_path`].
+pub const PATH_ATTR_BIT: u32 = 0x8000_0000;
+
 /// A single XML document (or document fragment host) backed by an arena.
 #[derive(Debug, Clone)]
 pub struct Document {
@@ -295,6 +299,53 @@ impl Document {
     #[inline]
     pub fn contains(&self, id: NodeId) -> bool {
         id.index() < self.nodes.len()
+    }
+
+    /// Stable structural address of an attached node: the child indices from
+    /// the document root down to the node, with an attribute addressed by a
+    /// final [`PATH_ATTR_BIT`]-tagged index into its owner's attribute list.
+    /// Unlike a [`NodeId`] — which depends on arena allocation history and
+    /// tombstones — the path survives a serialize → parse round trip, which
+    /// is what redo-log records are keyed on. Returns `None` for detached
+    /// nodes and for the document node itself an empty path.
+    pub fn node_path(&self, id: NodeId) -> Option<Vec<u32>> {
+        if !self.contains(id) || !self.is_attached(id) {
+            return None;
+        }
+        let mut steps = Vec::new();
+        let mut cur = id;
+        if self.kind(cur).is_attribute() {
+            let owner = self.parent(cur)?;
+            let idx = self.attributes(owner).iter().position(|&a| a == cur)?;
+            steps.push(PATH_ATTR_BIT | idx as u32);
+            cur = owner;
+        }
+        while cur != self.root() {
+            let parent = self.parent(cur)?;
+            let idx = self.child_index(parent, cur)?;
+            steps.push(idx as u32);
+            cur = parent;
+        }
+        steps.reverse();
+        Some(steps)
+    }
+
+    /// Resolves a path produced by [`node_path`](Self::node_path) against
+    /// this document. Returns `None` when any step is out of range or an
+    /// attribute step is not last.
+    pub fn resolve_path(&self, path: &[u32]) -> Option<NodeId> {
+        let mut cur = self.root();
+        for (i, &step) in path.iter().enumerate() {
+            if step & PATH_ATTR_BIT != 0 {
+                if i + 1 != path.len() {
+                    return None;
+                }
+                cur = *self.attributes(cur).get((step & !PATH_ATTR_BIT) as usize)?;
+            } else {
+                cur = *self.children(cur).get(step as usize)?;
+            }
+        }
+        Some(cur)
     }
 
     /// Namespace declarations written on an element.
@@ -1070,6 +1121,42 @@ mod tests {
         d.merge_adjacent_text(html).unwrap();
         assert_eq!(d.children(html).len(), 3);
         assert_eq!(d.string_value(html), "abc");
+    }
+
+    #[test]
+    fn node_paths_round_trip_and_survive_reparse() {
+        let (mut d, html) = doc_with_root();
+        let a = d.create_element(QName::local("a"));
+        d.append_child(html, a).unwrap();
+        let t = d.create_text("hello");
+        d.append_child(a, t).unwrap();
+        let b = d.create_element(QName::local("b"));
+        d.append_child(html, b).unwrap();
+        let attr = d.create_attribute(QName::local("k"), "v");
+        d.put_attribute_node(b, attr).unwrap();
+
+        for n in [html, a, t, b, attr] {
+            let path = d.node_path(n).unwrap();
+            assert_eq!(d.resolve_path(&path), Some(n), "path {path:?}");
+        }
+        assert_eq!(d.node_path(d.root()).unwrap(), Vec::<u32>::new());
+        let attr_path = d.node_path(attr).unwrap();
+        assert_eq!(attr_path.last().copied(), Some(PATH_ATTR_BIT));
+
+        // detached nodes have no path
+        let loose = d.create_element(QName::local("x"));
+        assert_eq!(d.node_path(loose), None);
+        // out-of-range / non-final attribute steps resolve to None
+        assert_eq!(d.resolve_path(&[9]), None);
+        assert_eq!(d.resolve_path(&[PATH_ATTR_BIT, 0]), None);
+
+        // the address is stable across a serialize → parse round trip
+        let xml = crate::serialize::serialize_document(&d);
+        let re = crate::parse_document(&xml).unwrap();
+        let rt = re.resolve_path(&d.node_path(t).unwrap()).unwrap();
+        assert_eq!(re.string_value(rt), "hello");
+        let ra = re.resolve_path(&attr_path).unwrap();
+        assert!(re.kind(ra).is_attribute());
     }
 
     #[test]

@@ -88,6 +88,24 @@ impl Store {
         self.by_uri.remove(uri)
     }
 
+    /// Replaces the document stored under `id` in place, keeping the `DocId`
+    /// (and any URI binding) stable. The old arena is dropped — outstanding
+    /// `NodeRef`s into it become dangling and must not be dereferenced,
+    /// which is why reloads happen between query evaluations only.
+    pub fn replace_document(&mut self, id: DocId, mut doc: Document) {
+        doc.base_uri = self.docs[id.0 as usize].base_uri.clone();
+        self.docs[id.0 as usize] = doc;
+    }
+
+    /// Every `uri → document` binding, sorted by URI (a stable order for
+    /// snapshots and dumps).
+    pub fn uri_bindings(&self) -> Vec<(String, DocId)> {
+        let mut all: Vec<(String, DocId)> =
+            self.by_uri.iter().map(|(u, &id)| (u.clone(), id)).collect();
+        all.sort();
+        all
+    }
+
     pub fn doc_count(&self) -> usize {
         self.docs.len()
     }

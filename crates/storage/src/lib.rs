@@ -1,0 +1,72 @@
+//! # xqib-storage
+//!
+//! Crash-consistent persistence for the server tier, in the same
+//! deterministic-simulation style as the virtual network (PR 2) and the
+//! engine crash points (PR 3): everything here is reproducible from a
+//! single `u64` seed.
+//!
+//! * [`VirtualDisk`] — an in-memory file device that distinguishes written
+//!   from *synced* bytes and simulates power loss: on [`VirtualDisk::crash`]
+//!   the unsynced tail of every file survives only as a torn prefix, with
+//!   seeded bit corruption, per the installed [`StorageFaultPlan`].
+//! * [`Wal`] — an append-only redo log of length-prefixed, CRC-checked,
+//!   sequence-numbered frames. Replay stops at the first bad frame (torn
+//!   tail, CRC mismatch, sequence break): the **prefix-durability
+//!   contract** — recovery yields exactly the state of some frame boundary,
+//!   never a torn or corrupted state.
+//! * [`Checkpoint`] — dual-slot, generation-numbered, CRC-guarded document
+//!   snapshots. A checkpoint records the WAL sequence it covers so the log
+//!   can be truncated afterwards, and so that replay after a crash between
+//!   checkpoint and truncate skips already-absorbed records (idempotent
+//!   recovery).
+
+pub mod checkpoint;
+pub mod disk;
+pub mod wal;
+
+pub use checkpoint::{Checkpoint, CKPT_SLOTS};
+pub use disk::{DiskError, DiskStats, StorageFaultPlan, VirtualDisk};
+pub use wal::{Wal, WalRecord, WalReplay, WAL_FILE};
+
+/// CRC-32 (IEEE 802.3, reflected) — the frame and snapshot checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Durability counters the server tier surfaces through `ServerMetrics`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// Redo records appended to the WAL.
+    pub wal_appends: u64,
+    /// Successful WAL fsyncs (group commits).
+    pub fsyncs: u64,
+    /// Checkpoints written (each truncates the WAL).
+    pub checkpoints: u64,
+    /// Recoveries performed over the disk image.
+    pub recoveries: u64,
+    /// Recoveries that dropped a torn/corrupt WAL tail.
+    pub torn_tails_dropped: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+}

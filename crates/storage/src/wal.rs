@@ -1,0 +1,330 @@
+//! The write-ahead log: an append-only redo stream over a [`VirtualDisk`]
+//! file.
+//!
+//! Frame layout (little-endian):
+//!
+//! ```text
+//! ┌─────────┬─────────┬─────────┬───────┬──────────────┐
+//! │ len u32 │ crc u32 │ seq u64 │ tag u8│ payload[len] │
+//! └─────────┴─────────┴─────────┴───────┴──────────────┘
+//! ```
+//!
+//! `crc` covers `seq ‖ tag ‖ payload`. [`Wal::scan`] accepts the longest
+//! prefix of intact frames with strictly increasing sequence numbers and
+//! stops at the first bad frame — a torn tail (partial write lost in a
+//! crash), a CRC mismatch (bit rot in an in-flight sector), an unknown tag
+//! or a sequence break all end replay at the previous frame boundary.
+//! Appended frames become durable only when [`Wal::sync`] succeeds; callers
+//! batch appends per group commit.
+
+use crate::crc32;
+use crate::disk::{DiskError, VirtualDisk};
+
+/// Default WAL file name on the device.
+pub const WAL_FILE: &str = "wal.log";
+
+const HEADER: usize = 4 + 4 + 8 + 1;
+
+const TAG_LOAD: u8 = 1;
+const TAG_PUL: u8 = 2;
+
+/// One redo record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A document (re)load: on replay, bind `xml` under `uri`, replacing
+    /// any existing binding.
+    Load { uri: String, xml: String },
+    /// A wire-encoded pending update list (see `xqib_xquery::wire`),
+    /// opaque to the storage layer.
+    Pul(Vec<u8>),
+}
+
+/// Result of scanning a WAL file.
+#[derive(Debug, Clone, Default)]
+pub struct WalReplay {
+    /// Intact frames, in order: `(seq, record, end_offset_in_file)`.
+    pub records: Vec<(u64, WalRecord, usize)>,
+    /// Bytes covered by intact frames; anything beyond is a torn/corrupt
+    /// tail.
+    pub valid_bytes: usize,
+    /// True when the file held bytes past the last intact frame.
+    pub torn_tail_dropped: bool,
+}
+
+/// An open write-ahead log.
+#[derive(Debug)]
+pub struct Wal {
+    disk: VirtualDisk,
+    file: String,
+    next_seq: u64,
+    /// Appends since the last successful sync.
+    unsynced: u64,
+}
+
+impl Wal {
+    /// Creates a fresh, empty log (truncating any leftover file).
+    pub fn create(disk: VirtualDisk, file: &str) -> Wal {
+        disk.write_file(file, &[]);
+        Wal {
+            disk,
+            file: file.to_string(),
+            next_seq: 1,
+            unsynced: 0,
+        }
+    }
+
+    /// Opens an existing log after [`scan`](Self::scan): physically drops
+    /// the torn tail (so new appends start at a frame boundary) and
+    /// continues the sequence after the last intact frame.
+    pub fn open_after(disk: VirtualDisk, file: &str, replay: &WalReplay) -> Wal {
+        disk.truncate_to(file, replay.valid_bytes);
+        let last_seq = replay.records.last().map_or(0, |(seq, _, _)| *seq);
+        Wal {
+            disk,
+            file: file.to_string(),
+            next_seq: last_seq + 1,
+            unsynced: 0,
+        }
+    }
+
+    /// Scans a WAL file into the longest intact frame prefix.
+    pub fn scan(disk: &VirtualDisk, file: &str) -> WalReplay {
+        let data = disk.read(file).unwrap_or_default();
+        let mut replay = WalReplay::default();
+        let mut pos = 0usize;
+        let mut prev_seq = 0u64;
+        while pos + HEADER <= data.len() {
+            let len = u32::from_le_bytes([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]])
+                as usize;
+            let end = pos + HEADER + len;
+            if end > data.len() {
+                break; // torn frame
+            }
+            let crc =
+                u32::from_le_bytes([data[pos + 4], data[pos + 5], data[pos + 6], data[pos + 7]]);
+            let body = &data[pos + 8..end];
+            if crc32(body) != crc {
+                break; // corrupt frame
+            }
+            let seq = u64::from_le_bytes([
+                body[0], body[1], body[2], body[3], body[4], body[5], body[6], body[7],
+            ]);
+            if seq <= prev_seq {
+                break; // sequence break: stale bytes past a truncate
+            }
+            let Some(record) = decode_record(body[8], &body[9..]) else {
+                break; // unknown tag / malformed payload
+            };
+            replay.records.push((seq, record, end));
+            replay.valid_bytes = end;
+            prev_seq = seq;
+            pos = end;
+        }
+        replay.torn_tail_dropped = replay.valid_bytes < data.len();
+        replay
+    }
+
+    /// Appends a record, returning its sequence number. Not durable until
+    /// [`sync`](Self::sync) succeeds.
+    pub fn append(&mut self, record: &WalRecord) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let payload = encode_record(record);
+        let mut body = Vec::with_capacity(9 + payload.len());
+        body.extend_from_slice(&seq.to_le_bytes());
+        body.push(match record {
+            WalRecord::Load { .. } => TAG_LOAD,
+            WalRecord::Pul(_) => TAG_PUL,
+        });
+        body.extend_from_slice(&payload);
+        let mut frame = Vec::with_capacity(8 + body.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&body).to_le_bytes());
+        frame.extend_from_slice(&body);
+        self.disk.append(&self.file, &frame);
+        self.unsynced += 1;
+        seq
+    }
+
+    /// Group commit: fsync the log. On success every appended frame is
+    /// durable; on failure the caller must keep the batch unacknowledged.
+    pub fn sync(&mut self) -> Result<(), DiskError> {
+        self.disk.sync(&self.file)?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Truncates the log after a checkpoint. Sequence numbers keep
+    /// counting — replay uses them to skip records a checkpoint absorbed.
+    pub fn truncate(&mut self) {
+        self.disk.truncate(&self.file);
+        self.unsynced = 0;
+    }
+
+    pub fn size_bytes(&self) -> usize {
+        self.disk.len(&self.file)
+    }
+
+    pub fn unsynced_appends(&self) -> u64 {
+        self.unsynced
+    }
+
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Continues the sequence from a checkpoint that is ahead of the log
+    /// (an empty WAL right after truncation).
+    pub fn fast_forward(&mut self, seq: u64) {
+        if self.next_seq <= seq {
+            self.next_seq = seq + 1;
+        }
+    }
+}
+
+fn encode_record(record: &WalRecord) -> Vec<u8> {
+    match record {
+        WalRecord::Load { uri, xml } => {
+            let mut out = Vec::with_capacity(8 + uri.len() + xml.len());
+            out.extend_from_slice(&(uri.len() as u32).to_le_bytes());
+            out.extend_from_slice(uri.as_bytes());
+            out.extend_from_slice(&(xml.len() as u32).to_le_bytes());
+            out.extend_from_slice(xml.as_bytes());
+            out
+        }
+        WalRecord::Pul(bytes) => bytes.clone(),
+    }
+}
+
+fn decode_record(tag: u8, payload: &[u8]) -> Option<WalRecord> {
+    match tag {
+        TAG_LOAD => {
+            let ulen = u32::from_le_bytes(payload.get(0..4)?.try_into().ok()?) as usize;
+            let uri = String::from_utf8(payload.get(4..4 + ulen)?.to_vec()).ok()?;
+            let xoff = 4 + ulen;
+            let xlen = u32::from_le_bytes(payload.get(xoff..xoff + 4)?.try_into().ok()?) as usize;
+            let xml = String::from_utf8(payload.get(xoff + 4..xoff + 4 + xlen)?.to_vec()).ok()?;
+            if xoff + 4 + xlen != payload.len() {
+                return None;
+            }
+            Some(WalRecord::Load { uri, xml })
+        }
+        TAG_PUL => Some(WalRecord::Pul(payload.to_vec())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::StorageFaultPlan;
+
+    fn load(uri: &str, xml: &str) -> WalRecord {
+        WalRecord::Load {
+            uri: uri.to_string(),
+            xml: xml.to_string(),
+        }
+    }
+
+    #[test]
+    fn append_sync_scan_round_trips() {
+        let disk = VirtualDisk::new();
+        let mut wal = Wal::create(disk.clone(), WAL_FILE);
+        assert_eq!(wal.append(&load("a.xml", "<a/>")), 1);
+        assert_eq!(wal.append(&WalRecord::Pul(vec![1, 2, 3])), 2);
+        wal.sync().unwrap();
+        let replay = Wal::scan(&disk, WAL_FILE);
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.records[0].0, 1);
+        assert_eq!(replay.records[0].1, load("a.xml", "<a/>"));
+        assert_eq!(replay.records[1].1, WalRecord::Pul(vec![1, 2, 3]));
+        assert!(!replay.torn_tail_dropped);
+        assert_eq!(replay.valid_bytes, disk.len(WAL_FILE));
+    }
+
+    #[test]
+    fn unsynced_tail_is_dropped_after_a_crash() {
+        let disk = VirtualDisk::with_plan(StorageFaultPlan::seeded(11));
+        let mut wal = Wal::create(disk.clone(), WAL_FILE);
+        wal.append(&load("a.xml", "<a/>"));
+        wal.sync().unwrap();
+        // a large unsynced record: the crash tears it
+        wal.append(&load("b.xml", &format!("<b>{}</b>", "x".repeat(500))));
+        disk.crash();
+        let replay = Wal::scan(&disk, WAL_FILE);
+        assert_eq!(replay.records.len(), 1, "only the synced frame survives");
+        assert_eq!(replay.records[0].1, load("a.xml", "<a/>"));
+    }
+
+    #[test]
+    fn corrupt_frame_stops_replay_at_the_previous_boundary() {
+        let disk = VirtualDisk::new();
+        let mut wal = Wal::create(disk.clone(), WAL_FILE);
+        wal.append(&load("a.xml", "<a/>"));
+        wal.append(&load("b.xml", "<b/>"));
+        wal.sync().unwrap();
+        // flip a bit inside the second frame's payload
+        let mut data = disk.read(WAL_FILE).unwrap();
+        let first_end = Wal::scan(&disk, WAL_FILE).records[0].2;
+        data[first_end + HEADER] ^= 0x40;
+        disk.write_file(WAL_FILE, &data);
+        let replay = Wal::scan(&disk, WAL_FILE);
+        assert_eq!(replay.records.len(), 1);
+        assert!(replay.torn_tail_dropped);
+        assert_eq!(replay.valid_bytes, first_end);
+    }
+
+    #[test]
+    fn open_after_drops_the_tail_and_continues_the_sequence() {
+        let disk = VirtualDisk::new();
+        let mut wal = Wal::create(disk.clone(), WAL_FILE);
+        wal.append(&load("a.xml", "<a/>"));
+        wal.sync().unwrap();
+        wal.append(&load("b.xml", "<b/>"));
+        disk.crash(); // tears the unsynced second frame
+        let replay = Wal::scan(&disk, WAL_FILE);
+        let mut wal = Wal::open_after(disk.clone(), WAL_FILE, &replay);
+        assert_eq!(disk.len(WAL_FILE), replay.valid_bytes, "tail dropped");
+        let seq = wal.append(&load("c.xml", "<c/>"));
+        assert_eq!(seq, replay.records.last().unwrap().0 + 1);
+        wal.sync().unwrap();
+        let again = Wal::scan(&disk, WAL_FILE);
+        assert_eq!(again.records.len(), replay.records.len() + 1);
+    }
+
+    #[test]
+    fn truncate_then_fast_forward_keeps_seq_monotone() {
+        let disk = VirtualDisk::new();
+        let mut wal = Wal::create(disk.clone(), WAL_FILE);
+        wal.append(&load("a.xml", "<a/>"));
+        wal.append(&load("b.xml", "<b/>"));
+        wal.sync().unwrap();
+        wal.truncate();
+        assert_eq!(wal.size_bytes(), 0);
+        let seq = wal.append(&load("c.xml", "<c/>"));
+        assert_eq!(seq, 3, "sequence survives truncation");
+
+        let mut fresh = Wal::create(VirtualDisk::new(), WAL_FILE);
+        fresh.fast_forward(9);
+        assert_eq!(fresh.append(&load("d.xml", "<d/>")), 10);
+    }
+
+    #[test]
+    fn stale_bytes_with_old_seq_do_not_replay() {
+        // a truncate that "came back" with stale frames: the sequence
+        // check refuses to replay them after newer frames
+        let disk = VirtualDisk::new();
+        let mut wal = Wal::create(disk.clone(), WAL_FILE);
+        wal.append(&load("new.xml", "<new/>")); // seq 1
+        wal.sync().unwrap();
+        let newer = disk.read(WAL_FILE).unwrap();
+        let mut stale = Wal::create(disk.clone(), WAL_FILE);
+        stale.append(&load("old.xml", "<old/>")); // seq 1 again
+        disk.sync(WAL_FILE).unwrap();
+        let mut combined = disk.read(WAL_FILE).unwrap();
+        combined.extend_from_slice(&newer); // stale frame followed by seq 1
+        disk.write_file(WAL_FILE, &combined);
+        let replay = Wal::scan(&disk, WAL_FILE);
+        assert_eq!(replay.records.len(), 1, "duplicate seq stops the scan");
+    }
+}

@@ -147,6 +147,10 @@ pub struct DynamicContext {
     pub fuel: Option<u64>,
     /// Units charged since the fuel budget was last (re)set.
     pub fuel_used: u64,
+    /// Redo-log sink: when set, every successfully applied PUL is wire-
+    /// encoded (against the pre-apply store) and pushed here, in apply
+    /// order. The durable `XmlDb` drains this into its write-ahead log.
+    pub pul_journal: Option<Rc<std::cell::RefCell<Vec<Vec<u8>>>>>,
 }
 
 /// A restore point for the parts of the dynamic context a panicking or
@@ -189,6 +193,7 @@ impl DynamicContext {
             stack_base: approx_stack_ptr(),
             fuel: None,
             fuel_used: 0,
+            pul_journal: None,
         }
     }
 

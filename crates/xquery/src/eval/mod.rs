@@ -542,14 +542,26 @@ fn eval_statement(ctx: &mut DynamicContext, stmt: &Statement) -> XdmResult<Seque
     }
 }
 
-/// Applies the accumulated pending update list to the store.
+/// Applies the accumulated pending update list to the store. When a redo
+/// journal is installed (durable server tier), the list is wire-encoded
+/// against the pre-apply store first and pushed to the journal only if the
+/// apply succeeds — a rolled-back apply must not leave a redo record.
 pub fn apply_pending(ctx: &mut DynamicContext) -> XdmResult<()> {
     if ctx.pul.is_empty() {
         return Ok(());
     }
     let pul = ctx.pul.take();
+    let journal = ctx.pul_journal.clone();
     let mut store = ctx.store.borrow_mut();
-    pul.apply(&mut store)
+    let encoded = match &journal {
+        Some(_) => Some(crate::wire::encode_pul(&store, &pul)?),
+        None => None,
+    };
+    pul.apply(&mut store)?;
+    if let (Some(journal), Some(bytes)) = (journal, encoded) {
+        journal.borrow_mut().push(bytes);
+    }
+    Ok(())
 }
 
 // ----- function calls -------------------------------------------------------

@@ -41,6 +41,7 @@ pub mod parser;
 pub mod pul;
 pub mod runtime;
 pub mod token;
+pub mod wire;
 
 pub use context::{DynamicContext, EngineHooks, NativeFn, StaticContext};
 pub use runtime::{compile, compile_with, CompiledQuery, ModuleRegistry};

@@ -270,6 +270,12 @@ impl Pul {
         self.prims.push(p);
     }
 
+    /// The accumulated primitives, in accumulation order (the order the
+    /// wire codec in [`crate::wire`] encodes and replays them in).
+    pub fn primitives(&self) -> &[UpdatePrimitive] {
+        &self.prims
+    }
+
     /// Merges another PUL into this one (used when combining results of
     /// sub-expressions). Compatibility invariants are *not* re-checked here;
     /// [`Pul::apply`] runs the full `check()` over the merged list, so

@@ -1,0 +1,592 @@
+//! Wire encoding of pending update lists — the redo records of the
+//! server tier's write-ahead log.
+//!
+//! A [`Pul`](crate::pul::Pul) holds `NodeRef`s: arena indices that depend on
+//! allocation history and tombstones, so they are meaningless after a crash.
+//! The codec therefore addresses **targets** by `(document URI, stable node
+//! path)` — see [`Document::node_path`](xqib_dom::arena::Document::node_path)
+//! — and carries **payload** nodes (insertions, replacements) structurally,
+//! re-creating them in the recovered arena at decode time. Replaying the
+//! same records in the same order against the same starting state therefore
+//! reconstructs the same logical documents, which is the prefix-durability
+//! contract the crash-restart suite checks.
+//!
+//! All integers are little-endian; strings are `u32` length + UTF-8 bytes.
+
+use xqib_dom::{NodeKind, NodeRef, QName, Store};
+use xqib_xdm::{XdmError, XdmResult};
+
+use crate::pul::{Pul, UpdatePrimitive};
+
+/// Error code for records that cannot be made durable or decoded.
+pub const WIRE_ERR: &str = "XQIB0013";
+
+fn err(msg: impl Into<String>) -> XdmError {
+    XdmError::new(WIRE_ERR, msg)
+}
+
+// ---------------------------------------------------------------------------
+// primitive writers/readers
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_opt_str(out: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        Some(s) => {
+            out.push(1);
+            put_str(out, s);
+        }
+        None => out.push(0),
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn u8(&mut self) -> XdmResult<u8> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| err("truncated record"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> XdmResult<u32> {
+        let end = self.pos + 4;
+        let bytes = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| err("truncated record"))?;
+        self.pos = end;
+        Ok(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+    }
+
+    fn str(&mut self) -> XdmResult<String> {
+        let len = self.u32()? as usize;
+        let end = self.pos + len;
+        let bytes = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| err("truncated record"))?;
+        self.pos = end;
+        String::from_utf8(bytes.to_vec()).map_err(|_| err("record is not UTF-8"))
+    }
+
+    fn opt_str(&mut self) -> XdmResult<Option<String>> {
+        Ok(if self.u8()? == 1 {
+            Some(self.str()?)
+        } else {
+            None
+        })
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn put_qname(out: &mut Vec<u8>, name: &QName) {
+    put_opt_str(out, name.prefix.as_deref());
+    put_opt_str(out, name.ns.as_deref());
+    put_str(out, &name.local);
+}
+
+fn read_qname(r: &mut Reader) -> XdmResult<QName> {
+    let prefix = r.opt_str()?;
+    let ns = r.opt_str()?;
+    let local = r.str()?;
+    Ok(QName::full(prefix.as_deref(), ns.as_deref(), local))
+}
+
+// ---------------------------------------------------------------------------
+// target addressing
+// ---------------------------------------------------------------------------
+
+fn put_target(out: &mut Vec<u8>, store: &Store, n: NodeRef) -> XdmResult<()> {
+    let doc = store.doc(n.doc);
+    let uri = doc
+        .base_uri
+        .as_deref()
+        .ok_or_else(|| err("update target lives in a document with no URI — not durable"))?;
+    let path = doc
+        .node_path(n.node)
+        .ok_or_else(|| err("update target is detached — not addressable"))?;
+    put_str(out, uri);
+    put_u32(out, path.len() as u32);
+    for step in path {
+        put_u32(out, step);
+    }
+    Ok(())
+}
+
+fn read_target(r: &mut Reader, store: &Store) -> XdmResult<NodeRef> {
+    let uri = r.str()?;
+    let len = r.u32()? as usize;
+    let mut path = Vec::with_capacity(len);
+    for _ in 0..len {
+        path.push(r.u32()?);
+    }
+    let id = store
+        .doc_by_uri(&uri)
+        .ok_or_else(|| err(format!("no document {uri} in recovered store")))?;
+    let node = store
+        .doc(id)
+        .resolve_path(&path)
+        .ok_or_else(|| err(format!("path {path:?} does not resolve in {uri}")))?;
+    Ok(NodeRef::new(id, node))
+}
+
+// ---------------------------------------------------------------------------
+// payload trees
+// ---------------------------------------------------------------------------
+
+const K_ELEM: u8 = 0;
+const K_TEXT: u8 = 1;
+const K_COMMENT: u8 = 2;
+const K_PI: u8 = 3;
+const K_ATTR: u8 = 4;
+
+fn put_tree(out: &mut Vec<u8>, store: &Store, n: NodeRef) -> XdmResult<()> {
+    let doc = store.doc(n.doc);
+    match doc.kind(n.node) {
+        NodeKind::Element { name, .. } => {
+            out.push(K_ELEM);
+            put_qname(out, name);
+            let decls = doc.ns_decls(n.node);
+            put_u32(out, decls.len() as u32);
+            for (p, u) in decls {
+                put_str(out, p);
+                put_str(out, u);
+            }
+            let attrs = doc.attributes(n.node);
+            put_u32(out, attrs.len() as u32);
+            for &a in attrs {
+                put_tree(out, store, NodeRef::new(n.doc, a))?;
+            }
+            let children = doc.children(n.node);
+            put_u32(out, children.len() as u32);
+            for &c in children {
+                put_tree(out, store, NodeRef::new(n.doc, c))?;
+            }
+        }
+        NodeKind::Attribute { name, value } => {
+            out.push(K_ATTR);
+            put_qname(out, name);
+            put_str(out, value);
+        }
+        NodeKind::Text { value } => {
+            out.push(K_TEXT);
+            put_str(out, value);
+        }
+        NodeKind::Comment { value } => {
+            out.push(K_COMMENT);
+            put_str(out, value);
+        }
+        NodeKind::ProcessingInstruction { target, value } => {
+            out.push(K_PI);
+            put_str(out, target);
+            put_str(out, value);
+        }
+        NodeKind::Document { .. } => {
+            return Err(err("document nodes cannot be update payloads"));
+        }
+    }
+    Ok(())
+}
+
+/// Re-creates an encoded payload tree inside document `dst`.
+fn read_tree(r: &mut Reader, store: &mut Store, dst: xqib_dom::DocId) -> XdmResult<NodeRef> {
+    let map_err = |e: xqib_dom::DomError| err(e.to_string());
+    let kind = r.u8()?;
+    let node = match kind {
+        K_ELEM => {
+            let name = read_qname(r)?;
+            let n_decls = r.u32()? as usize;
+            let mut decls = Vec::with_capacity(n_decls);
+            for _ in 0..n_decls {
+                let p = r.str()?;
+                let u = r.str()?;
+                decls.push((p, u));
+            }
+            let n_attrs = r.u32()? as usize;
+            let elem = store.doc_mut(dst).create_element(name);
+            for (p, u) in decls {
+                store
+                    .doc_mut(dst)
+                    .add_ns_decl(elem, p, u)
+                    .map_err(map_err)?;
+            }
+            for _ in 0..n_attrs {
+                let a = read_tree(r, store, dst)?;
+                store
+                    .doc_mut(dst)
+                    .put_attribute_node(elem, a.node)
+                    .map_err(map_err)?;
+            }
+            let n_children = r.u32()? as usize;
+            for _ in 0..n_children {
+                let c = read_tree(r, store, dst)?;
+                store
+                    .doc_mut(dst)
+                    .append_child(elem, c.node)
+                    .map_err(map_err)?;
+            }
+            elem
+        }
+        K_ATTR => {
+            let name = read_qname(r)?;
+            let value = r.str()?;
+            store.doc_mut(dst).create_attribute(name, value)
+        }
+        K_TEXT => {
+            let value = r.str()?;
+            store.doc_mut(dst).create_text(value)
+        }
+        K_COMMENT => {
+            let value = r.str()?;
+            store.doc_mut(dst).create_comment(value)
+        }
+        K_PI => {
+            let target = r.str()?;
+            let value = r.str()?;
+            store.doc_mut(dst).create_pi(target, value)
+        }
+        other => return Err(err(format!("unknown payload node kind {other}"))),
+    };
+    Ok(NodeRef::new(dst, node))
+}
+
+fn put_trees(out: &mut Vec<u8>, store: &Store, nodes: &[NodeRef]) -> XdmResult<()> {
+    put_u32(out, nodes.len() as u32);
+    for &n in nodes {
+        put_tree(out, store, n)?;
+    }
+    Ok(())
+}
+
+fn read_trees(r: &mut Reader, store: &mut Store, dst: xqib_dom::DocId) -> XdmResult<Vec<NodeRef>> {
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(read_tree(r, store, dst)?);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// primitives
+// ---------------------------------------------------------------------------
+
+const T_INSERT_INTO: u8 = 1;
+const T_INSERT_FIRST: u8 = 2;
+const T_INSERT_LAST: u8 = 3;
+const T_INSERT_BEFORE: u8 = 4;
+const T_INSERT_AFTER: u8 = 5;
+const T_INSERT_ATTRS: u8 = 6;
+const T_DELETE: u8 = 7;
+const T_REPLACE_NODE: u8 = 8;
+const T_REPLACE_VALUE: u8 = 9;
+const T_REPLACE_CONTENT: u8 = 10;
+const T_RENAME: u8 = 11;
+
+/// Encodes a pending update list against the **pre-apply** store (targets
+/// must still sit at the paths the records name). Fails with [`WIRE_ERR`]
+/// when a target is detached or lives in a URI-less document.
+pub fn encode_pul(store: &Store, pul: &Pul) -> XdmResult<Vec<u8>> {
+    let mut out = Vec::new();
+    let prims = pul.primitives();
+    put_u32(&mut out, prims.len() as u32);
+    for p in prims {
+        match p {
+            UpdatePrimitive::InsertInto { target, children } => {
+                out.push(T_INSERT_INTO);
+                put_target(&mut out, store, *target)?;
+                put_trees(&mut out, store, children)?;
+            }
+            UpdatePrimitive::InsertFirst { target, children } => {
+                out.push(T_INSERT_FIRST);
+                put_target(&mut out, store, *target)?;
+                put_trees(&mut out, store, children)?;
+            }
+            UpdatePrimitive::InsertLast { target, children } => {
+                out.push(T_INSERT_LAST);
+                put_target(&mut out, store, *target)?;
+                put_trees(&mut out, store, children)?;
+            }
+            UpdatePrimitive::InsertBefore { anchor, children } => {
+                out.push(T_INSERT_BEFORE);
+                put_target(&mut out, store, *anchor)?;
+                put_trees(&mut out, store, children)?;
+            }
+            UpdatePrimitive::InsertAfter { anchor, children } => {
+                out.push(T_INSERT_AFTER);
+                put_target(&mut out, store, *anchor)?;
+                put_trees(&mut out, store, children)?;
+            }
+            UpdatePrimitive::InsertAttributes { target, attrs } => {
+                out.push(T_INSERT_ATTRS);
+                put_target(&mut out, store, *target)?;
+                put_trees(&mut out, store, attrs)?;
+            }
+            UpdatePrimitive::Delete { target } => {
+                out.push(T_DELETE);
+                put_target(&mut out, store, *target)?;
+            }
+            UpdatePrimitive::ReplaceNode {
+                target,
+                replacements,
+            } => {
+                out.push(T_REPLACE_NODE);
+                put_target(&mut out, store, *target)?;
+                put_trees(&mut out, store, replacements)?;
+            }
+            UpdatePrimitive::ReplaceValue { target, value } => {
+                out.push(T_REPLACE_VALUE);
+                put_target(&mut out, store, *target)?;
+                put_str(&mut out, value);
+            }
+            UpdatePrimitive::ReplaceElementContent { target, text } => {
+                out.push(T_REPLACE_CONTENT);
+                put_target(&mut out, store, *target)?;
+                put_str(&mut out, text);
+            }
+            UpdatePrimitive::Rename { target, name } => {
+                out.push(T_RENAME);
+                put_target(&mut out, store, *target)?;
+                put_qname(&mut out, name);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Decodes a redo record against the recovered store, re-creating payload
+/// nodes in the target's document. The returned list is ready for
+/// [`Pul::apply`](crate::pul::Pul::apply).
+pub fn decode_pul(store: &mut Store, bytes: &[u8]) -> XdmResult<Pul> {
+    let mut r = Reader::new(bytes);
+    let count = r.u32()? as usize;
+    let mut pul = Pul::new();
+    for _ in 0..count {
+        let tag = r.u8()?;
+        let prim = match tag {
+            T_INSERT_INTO | T_INSERT_FIRST | T_INSERT_LAST | T_INSERT_BEFORE | T_INSERT_AFTER
+            | T_INSERT_ATTRS | T_REPLACE_NODE => {
+                let target = read_target(&mut r, store)?;
+                let nodes = read_trees(&mut r, store, target.doc)?;
+                match tag {
+                    T_INSERT_INTO => UpdatePrimitive::InsertInto {
+                        target,
+                        children: nodes,
+                    },
+                    T_INSERT_FIRST => UpdatePrimitive::InsertFirst {
+                        target,
+                        children: nodes,
+                    },
+                    T_INSERT_LAST => UpdatePrimitive::InsertLast {
+                        target,
+                        children: nodes,
+                    },
+                    T_INSERT_BEFORE => UpdatePrimitive::InsertBefore {
+                        anchor: target,
+                        children: nodes,
+                    },
+                    T_INSERT_AFTER => UpdatePrimitive::InsertAfter {
+                        anchor: target,
+                        children: nodes,
+                    },
+                    T_INSERT_ATTRS => UpdatePrimitive::InsertAttributes {
+                        target,
+                        attrs: nodes,
+                    },
+                    _ => UpdatePrimitive::ReplaceNode {
+                        target,
+                        replacements: nodes,
+                    },
+                }
+            }
+            T_DELETE => UpdatePrimitive::Delete {
+                target: read_target(&mut r, store)?,
+            },
+            T_REPLACE_VALUE => UpdatePrimitive::ReplaceValue {
+                target: read_target(&mut r, store)?,
+                value: r.str()?,
+            },
+            T_REPLACE_CONTENT => UpdatePrimitive::ReplaceElementContent {
+                target: read_target(&mut r, store)?,
+                text: r.str()?,
+            },
+            T_RENAME => UpdatePrimitive::Rename {
+                target: read_target(&mut r, store)?,
+                name: read_qname(&mut r)?,
+            },
+            other => return Err(err(format!("unknown primitive tag {other}"))),
+        };
+        pul.push(prim);
+    }
+    if !r.done() {
+        return Err(err("trailing bytes after the last primitive"));
+    }
+    Ok(pul)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqib_dom::serialize::serialize_document;
+    use xqib_dom::DocId;
+
+    fn store_with(xml: &str) -> (Store, DocId) {
+        let mut s = Store::new();
+        let doc = xqib_dom::parse_document(xml).unwrap();
+        let id = s.add_document(doc, Some("db.xml"));
+        (s, id)
+    }
+
+    #[test]
+    fn round_trips_every_primitive_family() {
+        let (mut s, d) = store_with("<r a=\"1\"><c>t</c><c2/></r>");
+        let doc_root = s.doc(d).root();
+        let root = s.doc(d).children(doc_root)[0];
+        let c = s.doc(d).children(root)[0];
+        let c2 = s.doc(d).children(root)[1];
+        let t = s.doc(d).children(c)[0];
+        let attr = s.doc(d).attributes(root)[0];
+
+        let mut pul = Pul::new();
+        let (new_elem, new_attr, new_text) = {
+            let doc = s.doc_mut(d);
+            let e = doc.create_element(QName::ns("urn:x", "nx"));
+            let grand = doc.create_text("payload");
+            doc.append_child(e, grand).unwrap();
+            let a = doc.create_attribute(QName::local("k"), "v");
+            let tx = doc.create_text("tail");
+            (e, a, tx)
+        };
+        pul.push(UpdatePrimitive::InsertInto {
+            target: NodeRef::new(d, root),
+            children: vec![NodeRef::new(d, new_elem)],
+        });
+        pul.push(UpdatePrimitive::InsertAfter {
+            anchor: NodeRef::new(d, c2),
+            children: vec![NodeRef::new(d, new_text)],
+        });
+        pul.push(UpdatePrimitive::InsertAttributes {
+            target: NodeRef::new(d, c2),
+            attrs: vec![NodeRef::new(d, new_attr)],
+        });
+        pul.push(UpdatePrimitive::ReplaceValue {
+            target: NodeRef::new(d, t),
+            value: "newval".into(),
+        });
+        pul.push(UpdatePrimitive::ReplaceValue {
+            target: NodeRef::new(d, attr),
+            value: "2".into(),
+        });
+        pul.push(UpdatePrimitive::Rename {
+            target: NodeRef::new(d, c),
+            name: QName::local("renamed"),
+        });
+
+        let bytes = encode_pul(&s, &pul).unwrap();
+
+        // decode against a structurally identical, freshly parsed store
+        let (mut fresh, _) = store_with("<r a=\"1\"><c>t</c><c2/></r>");
+        let decoded = decode_pul(&mut fresh, &bytes).unwrap();
+        assert_eq!(decoded.len(), pul.len());
+
+        let mut s1 = s.clone();
+        pul.apply(&mut s1).unwrap();
+        decoded.apply(&mut fresh).unwrap();
+        assert_eq!(
+            serialize_document(s1.doc(d)),
+            serialize_document(fresh.doc(DocId(0))),
+            "replayed apply must serialize identically"
+        );
+    }
+
+    #[test]
+    fn delete_and_replace_node_replay() {
+        let (mut s, d) = store_with("<r><a/><b/><c/></r>");
+        let doc_root = s.doc(d).root();
+        let root = s.doc(d).children(doc_root)[0];
+        let a = s.doc(d).children(root)[0];
+        let b = s.doc(d).children(root)[1];
+        let repl = {
+            let doc = s.doc_mut(d);
+            let e = doc.create_element(QName::local("swapped"));
+            NodeRef::new(d, e)
+        };
+        let mut pul = Pul::new();
+        pul.push(UpdatePrimitive::Delete {
+            target: NodeRef::new(d, a),
+        });
+        pul.push(UpdatePrimitive::ReplaceNode {
+            target: NodeRef::new(d, b),
+            replacements: vec![repl],
+        });
+        let bytes = encode_pul(&s, &pul).unwrap();
+
+        let (mut fresh, _) = store_with("<r><a/><b/><c/></r>");
+        decode_pul(&mut fresh, &bytes)
+            .unwrap()
+            .apply(&mut fresh)
+            .unwrap();
+        assert_eq!(
+            serialize_document(fresh.doc(DocId(0))),
+            "<r><swapped/><c/></r>"
+        );
+    }
+
+    #[test]
+    fn unaddressable_targets_refuse_to_encode() {
+        let (mut s, d) = store_with("<r/>");
+        // a detached node is not addressable
+        let loose = s.doc_mut(d).create_element(QName::local("x"));
+        let mut pul = Pul::new();
+        pul.push(UpdatePrimitive::Delete {
+            target: NodeRef::new(d, loose),
+        });
+        assert_eq!(encode_pul(&s, &pul).unwrap_err().code, WIRE_ERR);
+
+        // a URI-less document is not durable
+        let temp = s.new_document(None);
+        let e = {
+            let doc = s.doc_mut(temp);
+            let e = doc.create_element(QName::local("y"));
+            doc.append_child(doc.root(), e).unwrap();
+            e
+        };
+        let mut pul = Pul::new();
+        pul.push(UpdatePrimitive::Rename {
+            target: NodeRef::new(temp, e),
+            name: QName::local("z"),
+        });
+        assert_eq!(encode_pul(&s, &pul).unwrap_err().code, WIRE_ERR);
+    }
+
+    #[test]
+    fn corrupt_records_error_cleanly() {
+        let (mut s, _) = store_with("<r/>");
+        assert!(decode_pul(&mut s, &[]).is_err());
+        assert!(decode_pul(&mut s, &[1, 0, 0, 0, 99]).is_err());
+        // trailing garbage after a valid empty list
+        assert!(decode_pul(&mut s, &[0, 0, 0, 0, 7]).is_err());
+    }
+}

@@ -8,6 +8,9 @@
 #   BENCH_txn_apply.json  — transactional PUL apply (txn_apply): undo-log
 #                           tracking vs untracked baseline, plus worst-case
 #                           full rollback (target: <15% tracking overhead)
+#   BENCH_wal_apply.json  — durable server tier (wal_apply): ephemeral vs
+#                           WAL-journaled update batches, plus recovery
+#                           (checkpoint + redo replay) latency
 #
 # Each report has the shape
 #
@@ -62,3 +65,7 @@ harvest BENCH_fault_path.json
 rm -rf target/criterion
 cargo bench -p xqib-bench --bench txn_apply
 harvest BENCH_txn_apply.json
+
+rm -rf target/criterion
+cargo bench -p xqib-bench --bench wal_apply
+harvest BENCH_wal_apply.json

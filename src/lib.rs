@@ -16,7 +16,9 @@
 //!   function bindings, event/async bridges);
 //! * [`minijs`] — the JavaScript-subset baseline interpreter;
 //! * [`appserver`] — the server tier (XML DB, REST, server-side rendering,
-//!   server-to-client migration).
+//!   server-to-client migration);
+//! * [`storage`] — crash-consistent persistence (fault-injected virtual
+//!   disk, write-ahead log, checkpoints).
 //!
 //! See `examples/quickstart.rs` for the "Hello, World!" page of §4.1.
 
@@ -25,5 +27,6 @@ pub use xqib_browser as browser;
 pub use xqib_core as core;
 pub use xqib_dom as dom;
 pub use xqib_minijs as minijs;
+pub use xqib_storage as storage;
 pub use xqib_xdm as xdm;
 pub use xqib_xquery as xquery;
