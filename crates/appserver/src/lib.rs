@@ -17,15 +17,21 @@
 //! experiment reports.
 
 pub mod corpus;
+pub mod governor;
 pub mod metrics;
 pub mod migrate;
 pub mod render;
 pub mod server;
+pub mod simulate;
 pub mod webservice;
 pub mod xmldb;
 
 pub use corpus::{generate_corpus, CorpusSpec};
+pub use governor::{Admission, Class, GovernedServer, GovernorConfig, Outcome, RequestGovernor};
 pub use metrics::ServerMetrics;
 pub use server::AppServer;
+pub use simulate::{
+    run_sim, run_sim_with_server, ArrivalPattern, ClientSpec, RouteMix, SimConfig, SimReport,
+};
 pub use webservice::WebServiceHost;
 pub use xmldb::{DurabilityConfig, XmlDb};

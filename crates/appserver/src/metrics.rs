@@ -5,6 +5,8 @@ use xqib_browser::{QuarantineStats, RecoveryStats};
 use xqib_dom::order::stats::EngineStats;
 use xqib_storage::DurabilityStats;
 
+use crate::governor::OverloadStats;
+
 /// Counters accumulated by the application server.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct ServerMetrics {
@@ -56,6 +58,21 @@ pub struct ServerMetrics {
     pub recoveries: u64,
     /// Recoveries that dropped a torn/corrupt WAL tail.
     pub torn_tails_dropped: u64,
+    /// Requests the governor admitted into the bounded queue.
+    pub admitted: u64,
+    /// Requests shed with 503 + `Retry-After` (queue overflow or CoDel
+    /// queue-delay shedding).
+    pub shed: u64,
+    /// Render-class requests degraded to a whole-document cached snapshot
+    /// (`X-XQIB-Degraded`).
+    pub degraded: u64,
+    /// Requests whose deadline expired (`XQIB0014`), in queue or in the
+    /// evaluator.
+    pub deadline_exceeded: u64,
+    /// Median admission-queue delay, virtual milliseconds.
+    pub queue_delay_p50_ms: u64,
+    /// 99th-percentile admission-queue delay, virtual milliseconds.
+    pub queue_delay_p99_ms: u64,
 }
 
 impl ServerMetrics {
@@ -106,22 +123,177 @@ impl ServerMetrics {
         self.recoveries = stats.recoveries;
         self.torn_tails_dropped = stats.torn_tails_dropped;
     }
+
+    /// Mirrors the request governor's overload counters (cumulative
+    /// snapshots — overwrites, same convention as the other mirrors).
+    pub fn record_overload(&mut self, stats: &OverloadStats) {
+        self.admitted = stats.admitted;
+        self.shed = stats.shed();
+        self.degraded = stats.degraded;
+        self.deadline_exceeded = stats.deadline_exceeded;
+        self.queue_delay_p50_ms = stats.queue_delay_percentile(50);
+        self.queue_delay_p99_ms = stats.queue_delay_percentile(99);
+    }
+
+    /// Serialises every counter as XML (the `/metrics` route). The
+    /// exhaustive destructuring means a newly added counter fails to
+    /// compile until it is serialized here too.
+    pub fn to_xml(&self) -> String {
+        let ServerMetrics {
+            requests,
+            bytes_out,
+            xquery_evals,
+            order_index_rebuilds,
+            sorts_performed,
+            sorts_elided,
+            failed_calls,
+            fetch_attempts,
+            fetch_retries,
+            fetch_timeouts,
+            breaker_opens,
+            breaker_half_opens,
+            breaker_closes,
+            stale_served,
+            listener_errors,
+            listener_panics,
+            fuel_exhausted,
+            quarantine_trips,
+            quarantine_skips,
+            wal_appends,
+            wal_fsyncs,
+            checkpoints,
+            recoveries,
+            torn_tails_dropped,
+            admitted,
+            shed,
+            degraded,
+            deadline_exceeded,
+            queue_delay_p50_ms,
+            queue_delay_p99_ms,
+        } = self;
+        let fields: &[(&str, u64)] = &[
+            ("requests", *requests),
+            ("bytes-out", *bytes_out),
+            ("xquery-evals", *xquery_evals),
+            ("order-index-rebuilds", *order_index_rebuilds),
+            ("sorts-performed", *sorts_performed),
+            ("sorts-elided", *sorts_elided),
+            ("failed-calls", *failed_calls),
+            ("fetch-attempts", *fetch_attempts),
+            ("fetch-retries", *fetch_retries),
+            ("fetch-timeouts", *fetch_timeouts),
+            ("breaker-opens", *breaker_opens),
+            ("breaker-half-opens", *breaker_half_opens),
+            ("breaker-closes", *breaker_closes),
+            ("stale-served", *stale_served),
+            ("listener-errors", *listener_errors),
+            ("listener-panics", *listener_panics),
+            ("fuel-exhausted", *fuel_exhausted),
+            ("quarantine-trips", *quarantine_trips),
+            ("quarantine-skips", *quarantine_skips),
+            ("wal-appends", *wal_appends),
+            ("wal-fsyncs", *wal_fsyncs),
+            ("checkpoints", *checkpoints),
+            ("recoveries", *recoveries),
+            ("torn-tails-dropped", *torn_tails_dropped),
+            ("admitted", *admitted),
+            ("shed", *shed),
+            ("degraded", *degraded),
+            ("deadline-exceeded", *deadline_exceeded),
+            ("queue-delay-p50-ms", *queue_delay_p50_ms),
+            ("queue-delay-p99-ms", *queue_delay_p99_ms),
+        ];
+        let mut out = String::from("<metrics>");
+        for (name, value) in fields {
+            out.push_str(&format!("<{name}>{value}</{name}>"));
+        }
+        out.push_str("</metrics>");
+        out
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Every counter, set to a distinct non-default value, via an
+    /// **exhaustive** struct literal: adding a `ServerMetrics` field
+    /// without extending this constructor is a compile error, so a new
+    /// counter can never silently survive [`ServerMetrics::reset`].
+    fn all_counters_nonzero() -> ServerMetrics {
+        ServerMetrics {
+            requests: 1,
+            bytes_out: 2,
+            xquery_evals: 3,
+            order_index_rebuilds: 4,
+            sorts_performed: 5,
+            sorts_elided: 6,
+            failed_calls: 7,
+            fetch_attempts: 8,
+            fetch_retries: 9,
+            fetch_timeouts: 10,
+            breaker_opens: 11,
+            breaker_half_opens: 12,
+            breaker_closes: 13,
+            stale_served: 14,
+            listener_errors: 15,
+            listener_panics: 16,
+            fuel_exhausted: 17,
+            quarantine_trips: 18,
+            quarantine_skips: 19,
+            wal_appends: 20,
+            wal_fsyncs: 21,
+            checkpoints: 22,
+            recoveries: 23,
+            torn_tails_dropped: 24,
+            admitted: 25,
+            shed: 26,
+            degraded: 27,
+            deadline_exceeded: 28,
+            queue_delay_p50_ms: 29,
+            queue_delay_p99_ms: 30,
+        }
+    }
+
     #[test]
-    fn reset_clears() {
-        let mut m = ServerMetrics {
-            requests: 3,
-            bytes_out: 100,
-            ..Default::default()
-        };
-        m.xquery_evals = 2;
+    fn reset_clears_every_counter() {
+        let mut m = all_counters_nonzero();
         m.reset();
         assert_eq!(m, ServerMetrics::default());
+    }
+
+    #[test]
+    fn to_xml_serializes_every_counter() {
+        let xml = all_counters_nonzero().to_xml();
+        assert!(xml.starts_with("<metrics>") && xml.ends_with("</metrics>"));
+        // each field was set to a distinct value, so each must appear
+        assert!(xml.contains("<requests>1</requests>"), "{xml}");
+        assert!(xml.contains("<queue-delay-p99-ms>30</queue-delay-p99-ms>"));
+        // 30 counters → 30 distinct element names
+        assert_eq!(xml.matches("</").count(), 30 + 1, "{xml}");
+    }
+
+    #[test]
+    fn overload_counters_mirror_the_governor_snapshot() {
+        let mut m = ServerMetrics::default();
+        let stats = OverloadStats {
+            admitted: 10,
+            shed_queue_full: 2,
+            shed_queue_delay: 3,
+            degraded: 4,
+            deadline_exceeded: 5,
+            queue_delays: vec![5, 1, 9, 2, 40],
+            ..Default::default()
+        };
+        m.record_overload(&stats);
+        assert_eq!(m.admitted, 10);
+        assert_eq!(m.shed, 5, "both shedding flavours combined");
+        assert_eq!(m.degraded, 4);
+        assert_eq!(m.deadline_exceeded, 5);
+        assert_eq!(m.queue_delay_p50_ms, 5);
+        assert_eq!(m.queue_delay_p99_ms, 40);
+        m.record_overload(&OverloadStats::default());
+        assert_eq!(m.admitted, 0, "cumulative snapshot overwrites");
     }
 
     #[test]

@@ -1,5 +1,16 @@
 //! The application server: HTTP-ish routing over the XML database, with
 //! the per-deployment metrics of the Figure 2 experiment.
+//!
+//! Requests can carry a *deadline budget* (engine fuel units, see
+//! [`AppServer::handle_budgeted`]): the evaluator is preempted with
+//! `XQIB0014` once the budget is spent, which the HTTP layer maps to 504.
+//! The server also keeps whole-document snapshots of every bound document
+//! (refreshed after successful updates) so the request governor can degrade
+//! render-class requests to a cached snapshot instead of failing them —
+//! the paper's own "serve whole documents rather than individual queries
+//! to documents" caching argument (§6.1).
+
+use std::collections::HashMap;
 
 use xqib_browser::net::percent_decode;
 use xqib_dom::order::stats as engine_stats;
@@ -12,10 +23,35 @@ use crate::render;
 use crate::xmldb::{DurabilityConfig, XmlDb};
 
 /// An application-server response.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerResponse {
     pub status: u16,
     pub body: String,
+    /// Response headers (`Retry-After`, `X-XQIB-Degraded`, …).
+    pub headers: Vec<(String, String)>,
+}
+
+impl ServerResponse {
+    pub fn new(status: u16, body: impl Into<String>) -> Self {
+        ServerResponse {
+            status,
+            body: body.into(),
+            headers: Vec::new(),
+        }
+    }
+
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// The first header with this name (case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// The Reference 2.0 application server.
@@ -25,6 +61,11 @@ pub struct AppServer {
     /// Process-global engine counters at construction time; `metrics`
     /// reports the delta from here.
     engine_baseline: EngineStats,
+    /// Whole-document snapshots by URI: the degradation cache. Refreshed at
+    /// construction and after every successful `/update`, so a degraded
+    /// response is always a well-formed document the server once served —
+    /// possibly stale, never torn.
+    snapshots: HashMap<String, String>,
 }
 
 impl AppServer {
@@ -49,20 +90,49 @@ impl AppServer {
         let db = XmlDb::recover(disk, cfg)?;
         let mut metrics = ServerMetrics::default();
         metrics.record_durability(&db.durability_stats());
-        Ok(AppServer {
+        let mut server = AppServer {
             db,
             metrics,
             engine_baseline: engine_stats::snapshot(),
-        })
+            snapshots: HashMap::new(),
+        };
+        server.refresh_snapshots();
+        Ok(server)
     }
 
     fn with_db(mut db: XmlDb, corpus_xml: &str) -> XdmResult<Self> {
         db.load(render::CORPUS_URI, corpus_xml)?;
-        Ok(AppServer {
+        let mut server = AppServer {
             db,
             metrics: ServerMetrics::default(),
             engine_baseline: engine_stats::snapshot(),
-        })
+            snapshots: HashMap::new(),
+        };
+        server.refresh_snapshots();
+        Ok(server)
+    }
+
+    /// Re-serialises every bound document into the degradation cache.
+    pub fn refresh_snapshots(&mut self) {
+        self.snapshots = self.db.dump().into_iter().collect();
+    }
+
+    /// The cached whole-document snapshot a degraded request falls back to:
+    /// `/doc?uri=U` degrades to the snapshot of `U`, every other
+    /// render-class route (`/page`, `/index`) to the corpus snapshot. The
+    /// response carries an `X-XQIB-Degraded` marker so clients can tell a
+    /// fallback from a fresh render.
+    pub fn degraded_snapshot(&self, url: &str) -> Option<ServerResponse> {
+        let (path, query) = split_url(url);
+        let uri = match path.as_str() {
+            "/doc" => param(&query, "uri")?,
+            _ => render::CORPUS_URI.to_string(),
+        };
+        let body = self.snapshots.get(&uri)?.clone();
+        Some(
+            ServerResponse::new(200, body)
+                .with_header("X-XQIB-Degraded", "whole-document-snapshot"),
+        )
     }
 
     /// Handles one request URL (path + query). Routes:
@@ -74,75 +144,108 @@ impl AppServer {
     ///   cache-friendly REST API: "serve whole documents rather than
     ///   individual queries to documents", §6.1);
     /// * `/query?xq=Q` — ad-hoc server-side XQuery (legacy fine-grained API);
-    /// * `/update?xq=Q` — updating XQuery (journaled in durable mode).
+    /// * `/update?xq=Q` — updating XQuery (journaled in durable mode);
+    /// * `/metrics` — the [`ServerMetrics`] counters as XML.
     pub fn handle(&mut self, url: &str) -> ServerResponse {
+        self.handle_budgeted(url, None).0
+    }
+
+    /// Like [`Self::handle`], but with an optional deadline budget in
+    /// engine fuel units. Returns the response and the fuel the evaluation
+    /// consumed (0 for routes that evaluate nothing), which the request
+    /// governor converts back into virtual service time.
+    pub fn handle_budgeted(&mut self, url: &str, budget: Option<u64>) -> (ServerResponse, u64) {
         self.metrics.requests += 1;
         let (path, query) = split_url(url);
-        let resp = match path.as_str() {
+        let (resp, fuel_used) = match path.as_str() {
             "/page" => match param(&query, "article") {
-                Some(id) => self.render_query(&render::article_page_query(&id)),
-                None => not_found("missing article parameter"),
+                Some(id) => self.render_query(&render::article_page_query(&id), budget),
+                None => (bad_request("missing article parameter"), 0),
             },
-            "/index" => self.render_query(&render::index_page_query()),
+            "/index" => self.render_query(&render::index_page_query(), budget),
             "/doc" => match param(&query, "uri") {
                 Some(uri) => match self.db.serialize(&uri) {
-                    Some(body) => ServerResponse { status: 200, body },
-                    None => not_found(&format!("no document {uri}")),
+                    Some(body) => (ServerResponse::new(200, body), 0),
+                    None => (not_found(&format!("no document {uri}")), 0),
                 },
-                None => not_found("missing uri parameter"),
+                None => (bad_request("missing uri parameter"), 0),
             },
             "/query" | "/update" => match param(&query, "xq") {
-                Some(xq) => self.render_query(&xq),
-                None => not_found("missing xq parameter"),
+                Some(xq) => {
+                    let r = self.render_query(&xq, budget);
+                    if path == "/update" && r.0.status == 200 {
+                        // keep the degradation cache fresh: a later degraded
+                        // response reflects the last successful update
+                        self.refresh_snapshots();
+                    }
+                    r
+                }
+                None => (bad_request("missing xq parameter"), 0),
             },
-            other => not_found(&format!("no route {other}")),
+            "/metrics" => (ServerResponse::new(200, self.metrics.to_xml()), 0),
+            other => (not_found(&format!("no route {other}")), 0),
         };
         self.metrics.bytes_out += resp.body.len() as u64;
         self.metrics
             .record_engine_stats(self.engine_baseline, engine_stats::snapshot());
         self.metrics.record_durability(&self.db.durability_stats());
-        resp
+        (resp, fuel_used)
     }
 
-    fn render_query(&mut self, xq: &str) -> ServerResponse {
-        match self.db.query(xq) {
-            Ok(body) => {
-                self.metrics.xquery_evals = self.db.evals;
-                ServerResponse { status: 200, body }
-            }
-            Err(e) => ServerResponse {
-                status: status_for(&e.code),
-                body: format!("<error>{e}</error>"),
-            },
-        }
+    fn render_query(&mut self, xq: &str, budget: Option<u64>) -> (ServerResponse, u64) {
+        let (result, fuel_used) = self.db.query_with_deadline(xq, budget);
+        self.metrics.xquery_evals = self.db.evals;
+        let resp = match result {
+            Ok(body) => ServerResponse::new(200, body),
+            Err(e) => ServerResponse::new(status_for(&e.code), format!("<error>{e}</error>")),
+        };
+        (resp, fuel_used)
     }
 }
 
 /// Maps an engine error code to an HTTP status: a missing source document
-/// is the client's 404, static (parse/type) errors are the client's 400,
-/// anything dynamic is the server's 500.
+/// is the client's 404, static (parse/type) errors are the client's 400, a
+/// blown request deadline is a 504, anything dynamic is the server's 500.
 fn status_for(code: &str) -> u16 {
     if code == "FODC0002" {
         404
     } else if code.starts_with("XPST") || code.starts_with("XQST") || code.starts_with("XQTY") {
         400
+    } else if code == "XQIB0014" {
+        504
     } else {
         500
     }
 }
 
-fn split_url(url: &str) -> (String, String) {
-    // strip scheme://host if present
+/// Splits a request URL into `(path, query)`. The scheme/host prefix and
+/// any `#fragment` suffix are stripped; a URL with no path at all
+/// (`http://host?x=1`) keeps its query and gets the root path.
+pub(crate) fn split_url(url: &str) -> (String, String) {
+    // strip #fragment first: fragments are client-side only
+    let url = url.split_once('#').map_or(url, |(u, _)| u);
+    // strip scheme://host if present; the path starts at the first '/',
+    // or at '?' for empty-path URLs
     let rest = match url.split_once("://") {
-        Some((_, r)) => match r.find('/') {
-            Some(i) => &r[i..],
-            None => "/",
+        Some((_, r)) => match (r.find('/'), r.find('?')) {
+            (Some(slash), Some(q)) if q < slash => &r[q..],
+            (Some(slash), _) => &r[slash..],
+            (None, Some(q)) => &r[q..],
+            (None, None) => "",
         },
         None => url,
     };
     match rest.split_once('?') {
-        Some((p, q)) => (p.to_string(), q.to_string()),
-        None => (rest.to_string(), String::new()),
+        Some((p, q)) => (normalize_path(p), q.to_string()),
+        None => (normalize_path(rest), String::new()),
+    }
+}
+
+fn normalize_path(p: &str) -> String {
+    if p.is_empty() {
+        "/".to_string()
+    } else {
+        p.to_string()
     }
 }
 
@@ -150,7 +253,7 @@ fn split_url(url: &str) -> (String, String) {
 /// `xqib_browser::net::Request::query_param`: pairs without `=` are
 /// skipped rather than aborting the scan, and values get real `%xx`
 /// percent-decoding (one shared helper, not a second buggy copy).
-fn param(query: &str, name: &str) -> Option<String> {
+pub(crate) fn param(query: &str, name: &str) -> Option<String> {
     for pair in query.split('&') {
         let Some((k, v)) = pair.split_once('=') else {
             continue;
@@ -163,16 +266,20 @@ fn param(query: &str, name: &str) -> Option<String> {
 }
 
 fn not_found(msg: &str) -> ServerResponse {
-    ServerResponse {
-        status: 404,
-        body: format!("<error>{msg}</error>"),
-    }
+    ServerResponse::new(404, format!("<error>{msg}</error>"))
+}
+
+/// A malformed request (missing/invalid parameters) is the client's fault:
+/// 400 with a distinct error class, never the 404 of a missing resource.
+fn bad_request(msg: &str) -> ServerResponse {
+    ServerResponse::new(400, format!("<error class=\"bad-request\">{msg}</error>"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::corpus::{generate_corpus, CorpusSpec};
+    use proptest::prelude::*;
 
     fn server() -> AppServer {
         AppServer::new(&generate_corpus(&CorpusSpec::default())).unwrap()
@@ -204,12 +311,28 @@ mod tests {
     }
 
     #[test]
-    fn unknown_routes_404() {
+    fn statuses_split_client_errors_from_missing_resources() {
         let mut s = server();
-        assert_eq!(s.handle("/nope").status, 404);
-        assert_eq!(s.handle("/page").status, 404);
-        assert_eq!(s.handle("/doc?uri=missing.xml").status, 404);
-        assert_eq!(s.metrics.requests, 3);
+        // 400: syntactically broken requests (missing required parameters)
+        for url in ["/page", "/doc", "/query", "/update", "/doc?x=1"] {
+            let r = s.handle(url);
+            assert_eq!(r.status, 400, "{url} is a client error");
+            assert!(
+                r.body.contains("class=\"bad-request\""),
+                "{url}: {}",
+                r.body
+            );
+            assert!(r.body.contains("missing"), "{url}: {}", r.body);
+        }
+        // 404: well-formed requests for resources that do not exist
+        for url in ["/nope", "/doc?uri=missing.xml"] {
+            let r = s.handle(url);
+            assert_eq!(r.status, 404, "{url} is a missing resource");
+            assert!(!r.body.contains("bad-request"), "{url}: {}", r.body);
+        }
+        // 500: a well-formed request whose evaluation fails dynamically
+        assert_eq!(s.handle("/query?xq=1+div+0").status, 500);
+        assert_eq!(s.metrics.requests, 8);
     }
 
     #[test]
@@ -272,5 +395,153 @@ mod tests {
         let mut s = server();
         let r = s.handle("/index");
         assert!(r.body.contains("<ul id=\"journals\">"));
+    }
+
+    #[test]
+    fn metrics_route_serializes_every_counter() {
+        let mut s = server();
+        s.handle("/page?article=j0-v0-i0-a0");
+        let r = s.handle("/metrics");
+        assert_eq!(r.status, 200);
+        assert!(r.body.starts_with("<metrics>"), "{}", r.body);
+        assert!(r.body.ends_with("</metrics>"));
+        // a handful of load-bearing fields, incl. the overload counters
+        for field in [
+            "<requests>2</requests>",
+            "<xquery-evals>1</xquery-evals>",
+            "<admitted>0</admitted>",
+            "<shed>0</shed>",
+            "<degraded>0</degraded>",
+            "<deadline-exceeded>0</deadline-exceeded>",
+            "<queue-delay-p50-ms>0</queue-delay-p50-ms>",
+            "<queue-delay-p99-ms>0</queue-delay-p99-ms>",
+        ] {
+            assert!(r.body.contains(field), "missing {field} in {}", r.body);
+        }
+    }
+
+    #[test]
+    fn deadline_budget_preempts_with_504() {
+        let mut s = server();
+        let (r, fuel) = s.handle_budgeted("/page?article=j0-v0-i0-a0", Some(10));
+        assert_eq!(r.status, 504, "{}", r.body);
+        assert!(r.body.contains("XQIB0014"), "{}", r.body);
+        assert!(fuel >= 10, "charged at least the budget");
+        // an unbudgeted retry succeeds
+        let (r, fuel) = s.handle_budgeted("/page?article=j0-v0-i0-a0", None);
+        assert_eq!(r.status, 200);
+        assert!(fuel > 10, "a real render costs far more than the budget");
+    }
+
+    #[test]
+    fn deadline_killed_update_has_no_effects() {
+        let mut s = server();
+        let (r, _) = s.handle_budgeted(
+            "/update?xq=insert+node+%3Cnote%3Ehi%3C%2Fnote%3E+into+doc(%27corpus.xml%27)%2F*",
+            Some(3),
+        );
+        assert_eq!(r.status, 504, "{}", r.body);
+        let r = s.handle("/query?xq=count(doc('corpus.xml')//note)");
+        assert_eq!(r.body, "0", "the killed update applied nothing");
+    }
+
+    #[test]
+    fn degraded_snapshot_serves_whole_documents() {
+        let mut s = server();
+        let snap = s.degraded_snapshot("/page?article=j0-v0-i0-a0").unwrap();
+        assert_eq!(snap.status, 200);
+        assert!(snap.body.starts_with("<library>"));
+        assert_eq!(
+            snap.header("X-XQIB-Degraded"),
+            Some("whole-document-snapshot")
+        );
+        assert_eq!(
+            s.degraded_snapshot("/doc?uri=corpus.xml").unwrap().body,
+            snap.body
+        );
+        assert!(s.degraded_snapshot("/doc?uri=missing.xml").is_none());
+        // the cache follows successful updates
+        s.handle("/update?xq=insert+node+%3Cnote%3Ehi%3C%2Fnote%3E+into+doc(%27corpus.xml%27)%2F*");
+        let snap = s.degraded_snapshot("/index").unwrap();
+        assert!(snap.body.contains("<note>hi</note>"));
+    }
+
+    // ----- split_url / param edge cases -------------------------------------
+
+    #[test]
+    fn split_url_edge_cases() {
+        assert_eq!(split_url("/page?a=1"), ("/page".into(), "a=1".into()));
+        assert_eq!(
+            split_url("http://h/page?a=1"),
+            ("/page".into(), "a=1".into())
+        );
+        // fragments are stripped from path and query alike
+        assert_eq!(split_url("/page#frag"), ("/page".into(), "".into()));
+        assert_eq!(
+            split_url("http://h/page?a=1#frag"),
+            ("/page".into(), "a=1".into())
+        );
+        // empty-path URLs keep their query
+        assert_eq!(split_url("http://h?x=1"), ("/".into(), "x=1".into()));
+        assert_eq!(split_url("http://h"), ("/".into(), "".into()));
+        assert_eq!(split_url("http://h#f"), ("/".into(), "".into()));
+        // '?' before the first '/' still means empty path
+        assert_eq!(
+            split_url("http://h?x=/page"),
+            ("/".into(), "x=/page".into())
+        );
+    }
+
+    #[test]
+    fn param_edge_cases() {
+        assert_eq!(param("a=1&&b=2", "b").as_deref(), Some("2"));
+        assert_eq!(param("a=1&b=2&", "b").as_deref(), Some("2"));
+        assert_eq!(param("&a=1", "a").as_deref(), Some("1"));
+        assert_eq!(param("flag&a=1", "flag"), None, "valueless pair skipped");
+        // truncated %-escapes survive undecoded rather than panicking
+        assert_eq!(param("a=%4", "a").as_deref(), Some("%4"));
+        assert_eq!(param("a=%", "a").as_deref(), Some("%"));
+        assert_eq!(param("a=%zz", "a").as_deref(), Some("%zz"));
+    }
+
+    proptest! {
+        /// Round trip: a path/query pair assembled into each URL shape
+        /// splits back into exactly the same pair, with or without a
+        /// scheme/host prefix or a fragment suffix.
+        #[test]
+        fn split_url_round_trips(
+            path_seg in "[a-z]{0,8}",
+            query in "[a-z0-9=&%+]{0,16}",
+            frag in "[a-z]{0,4}",
+            host in "[a-z]{1,6}",
+        ) {
+            let path = format!("/{path_seg}");
+            let assembled = [
+                format!("{path}?{query}"),
+                format!("http://{host}{path}?{query}"),
+                format!("{path}?{query}#{frag}"),
+                format!("http://{host}{path}?{query}#{frag}"),
+            ];
+            for url in &assembled {
+                let (p, q) = split_url(url);
+                prop_assert_eq!(&p, &path, "{}", url);
+                prop_assert_eq!(&q, &query, "{}", url);
+            }
+        }
+
+        /// `param` never panics and finds a present key through arbitrary
+        /// junk separators (`&&`, trailing `&`, truncated escapes).
+        #[test]
+        fn param_is_total_and_finds_planted_keys(
+            junk in "[a-z0-9=&%+]{0,24}",
+            value in "[a-z0-9+%]{0,8}",
+        ) {
+            let q = format!("{junk}&needle={value}&{junk}");
+            let got = param(&q, "needle");
+            // the planted pair is always found unless the junk itself
+            // plants an earlier `needle=`; either way a value comes back
+            prop_assert!(got.is_some(), "{}", q);
+            let _ = param(&junk, "absent"); // must not panic
+        }
     }
 }

@@ -1,0 +1,504 @@
+//! The deterministic multi-client chaos simulator: N seeded virtual
+//! clients with arrival-rate schedules drive a (governed or ungoverned)
+//! [`AppServer`] through virtual time, optionally through the browser
+//! substrate's network fault layer ([`FaultPlan`]) and over a
+//! fault-injected [`VirtualDisk`] — the end-to-end "the system survives
+//! overload and partial failure at once" experiment.
+//!
+//! Open-loop load: arrivals follow each client's schedule regardless of how
+//! the server is doing (the overload-realistic model — real users keep
+//! clicking). The virtual clock is the browser substrate's
+//! [`EventLoop`], the same deterministic task queue that drives the
+//! client-side experiments, so a whole simulation is reproducible from a
+//! single `u64` seed: identical seeds produce identical reports, bit for
+//! bit.
+
+use std::collections::HashMap;
+
+use xqib_browser::event_loop::EventLoop;
+use xqib_browser::net::{Fault, FaultPlan};
+use xqib_storage::{StorageFaultPlan, VirtualDisk};
+
+use crate::corpus::{generate_corpus, CorpusSpec};
+use crate::governor::{Admission, Class, Completion, GovernedServer, GovernorConfig, Outcome};
+use crate::metrics::ServerMetrics;
+use crate::server::AppServer;
+use crate::xmldb::DurabilityConfig;
+
+/// An open-loop arrival schedule, in requests per (virtual) second.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArrivalPattern {
+    /// A constant rate for the whole run.
+    Steady { rps: u64 },
+    /// A constant base rate with a burst window at `burst_rps`.
+    Burst {
+        base_rps: u64,
+        burst_rps: u64,
+        from_ms: u64,
+        to_ms: u64,
+    },
+    /// A linear ramp from `from_rps` (at t=0) to `to_rps` (at the end).
+    Ramp { from_rps: u64, to_rps: u64 },
+}
+
+impl ArrivalPattern {
+    /// The arrival rate during the second starting at `t_ms`.
+    fn rate_at(&self, t_ms: u64, duration_ms: u64) -> u64 {
+        match *self {
+            ArrivalPattern::Steady { rps } => rps,
+            ArrivalPattern::Burst {
+                base_rps,
+                burst_rps,
+                from_ms,
+                to_ms,
+            } => {
+                if t_ms >= from_ms && t_ms < to_ms {
+                    burst_rps
+                } else {
+                    base_rps
+                }
+            }
+            ArrivalPattern::Ramp { from_rps, to_rps } => {
+                if duration_ms == 0 {
+                    return from_rps;
+                }
+                let t = t_ms.min(duration_ms);
+                if to_rps >= from_rps {
+                    from_rps + (to_rps - from_rps) * t / duration_ms
+                } else {
+                    from_rps - (from_rps - to_rps) * t / duration_ms
+                }
+            }
+        }
+    }
+}
+
+/// Relative weights of the routes one client hits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteMix {
+    pub page: u32,
+    pub index: u32,
+    pub doc: u32,
+    pub query: u32,
+    pub update: u32,
+}
+
+impl Default for RouteMix {
+    fn default() -> Self {
+        // a browse-heavy session with occasional ad-hoc queries and edits
+        RouteMix {
+            page: 6,
+            index: 1,
+            doc: 2,
+            query: 2,
+            update: 1,
+        }
+    }
+}
+
+/// One virtual client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientSpec {
+    pub pattern: ArrivalPattern,
+    pub mix: RouteMix,
+}
+
+/// The whole experiment.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Master seed: route choices, article picks and update payloads all
+    /// derive from it.
+    pub seed: u64,
+    /// Virtual duration over which arrivals are generated (the backlog is
+    /// always drained to completion afterwards).
+    pub duration_ms: u64,
+    pub clients: Vec<ClientSpec>,
+    /// `Some` = governed (the overload-control arm); `None` = the
+    /// ungoverned baseline (unbounded FIFO, no deadlines, no shedding).
+    pub governor: Option<GovernorConfig>,
+    /// Client→server network faults (lost requests, injected errors,
+    /// truncations, latency jitter), decided per request index in virtual
+    /// time by the browser substrate's fault model.
+    pub net_fault: Option<FaultPlan>,
+    /// When set, the server runs durably over a [`VirtualDisk`] carrying
+    /// this storage fault plan.
+    pub disk_fault: Option<StorageFaultPlan>,
+    pub corpus: CorpusSpec,
+}
+
+impl SimConfig {
+    /// A small governed steady-state run — the starting point tests tweak.
+    pub fn steady(seed: u64, rps: u64, duration_ms: u64) -> Self {
+        SimConfig {
+            seed,
+            duration_ms,
+            clients: vec![ClientSpec {
+                pattern: ArrivalPattern::Steady { rps },
+                mix: RouteMix::default(),
+            }],
+            governor: Some(GovernorConfig::default()),
+            net_fault: None,
+            disk_fault: None,
+            corpus: CorpusSpec::default(),
+        }
+    }
+}
+
+/// Per-class outcome counters and latency samples.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Arrivals generated for this class.
+    pub issued: u64,
+    /// 200-class responses served fresh.
+    pub ok: u64,
+    /// Responses served from the degradation cache (`X-XQIB-Degraded`).
+    pub degraded: u64,
+    /// Shed with 503 + `Retry-After` (admission overflow or CoDel).
+    pub shed: u64,
+    /// Failed with 504 (deadline exceeded, no fallback).
+    pub deadline_exceeded: u64,
+    /// Other non-200 responses the handler itself produced.
+    pub errors: u64,
+    /// Requests the network lost before they reached the server.
+    pub lost: u64,
+    /// Network-injected error replies (the request never reached the
+    /// server either).
+    pub net_errors: u64,
+    /// Replies truncated in flight (delivered, but cut off).
+    pub truncated: u64,
+    /// Arrival→response latency of every delivered response, virtual ms
+    /// (includes network jitter; excludes lost requests).
+    pub latencies: Vec<u64>,
+}
+
+impl ClassStats {
+    /// Nearest-rank percentile over the delivered latencies (0 if none).
+    pub fn latency_percentile(&self, pct: u64) -> u64 {
+        if self.latencies.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let rank = (sorted.len() * pct.min(100) as usize).div_ceil(100);
+        sorted[rank.max(1) - 1]
+    }
+
+    /// Useful responses (fresh + degraded).
+    pub fn goodput(&self) -> u64 {
+        self.ok + self.degraded
+    }
+}
+
+/// The simulation result. Two runs with identical configs compare equal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimReport {
+    pub duration_ms: u64,
+    /// Indexed by [`Class::index`].
+    pub per_class: [ClassStats; 3],
+    /// The server's final metrics snapshot (includes the mirrored overload
+    /// counters — what the `/metrics` route would serve).
+    pub metrics: ServerMetrics,
+}
+
+impl SimReport {
+    pub fn class(&self, class: Class) -> &ClassStats {
+        &self.per_class[class.index()]
+    }
+
+    pub fn issued(&self) -> u64 {
+        self.per_class.iter().map(|c| c.issued).sum()
+    }
+
+    pub fn goodput(&self) -> u64 {
+        self.per_class.iter().map(|c| c.goodput()).sum()
+    }
+
+    pub fn shed(&self) -> u64 {
+        self.per_class.iter().map(|c| c.shed).sum()
+    }
+
+    /// Goodput rate in responses per virtual second.
+    pub fn goodput_rps(&self) -> u64 {
+        (self.goodput() * 1000)
+            .checked_div(self.duration_ms)
+            .unwrap_or(0)
+    }
+
+    /// p99 latency across every class, virtual ms.
+    pub fn latency_p99(&self) -> u64 {
+        let mut all: Vec<u64> = self
+            .per_class
+            .iter()
+            .flat_map(|c| c.latencies.iter().copied())
+            .collect();
+        if all.is_empty() {
+            return 0;
+        }
+        all.sort_unstable();
+        all[(all.len() * 99).div_ceil(100).max(1) - 1]
+    }
+}
+
+/// SplitMix64 finaliser — the same draw-per-input idiom as the fault
+/// plans, so one master seed derives every decision.
+fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The URL the `n`-th arrival of client `c` requests, drawn from the mix.
+fn pick_url(cfg: &SimConfig, client: usize, n: u64) -> String {
+    let mix = &cfg.clients[client].mix;
+    let spec = &cfg.corpus;
+    let total = (mix.page + mix.index + mix.doc + mix.query + mix.update).max(1);
+    let key = cfg.seed ^ ((client as u64) << 40) ^ n.wrapping_mul(0x9e37);
+    let draw = (mix64(key) % total as u64) as u32;
+    let article = |salt: u64| {
+        let d = mix64(key ^ salt);
+        format!(
+            "j{}-v{}-i{}-a{}",
+            d % spec.journals.max(1) as u64,
+            (d >> 8) % spec.volumes_per_journal.max(1) as u64,
+            (d >> 16) % spec.issues_per_volume.max(1) as u64,
+            (d >> 24) % spec.articles_per_issue.max(1) as u64,
+        )
+    };
+    if draw < mix.page {
+        format!("/page?article={}", article(1))
+    } else if draw < mix.page + mix.index {
+        "/index".to_string()
+    } else if draw < mix.page + mix.index + mix.doc {
+        "/doc?uri=corpus.xml".to_string()
+    } else if draw < mix.page + mix.index + mix.doc + mix.query {
+        format!(
+            "/query?xq=count(doc('corpus.xml')//article[@id='{}']/references/reference)",
+            article(2)
+        )
+    } else {
+        // every update plants a uniquely identified marker node, so tests
+        // can reconcile applied effects against 200 responses exactly
+        format!(
+            "/update?xq=insert node <sim-update id=\"c{client}n{n}\"/> into doc('corpus.xml')/*"
+        )
+    }
+}
+
+/// One generated arrival.
+#[derive(Debug, Clone)]
+struct ArrivalEvent {
+    client: usize,
+    n: u64,
+    url: String,
+}
+
+/// Runs the simulation to completion and reports per-class outcome
+/// counters, latency percentiles and the server's final metrics.
+pub fn run_sim(cfg: &SimConfig) -> SimReport {
+    run_sim_with_server(cfg).0
+}
+
+/// [`run_sim`], but also hands back the final [`GovernedServer`] so tests
+/// can reconcile observed responses against actual server state (applied
+/// update effects, durable disk images, `/metrics` output).
+pub fn run_sim_with_server(cfg: &SimConfig) -> (SimReport, GovernedServer) {
+    let corpus = generate_corpus(&cfg.corpus);
+    let server = match &cfg.disk_fault {
+        Some(plan) => AppServer::new_durable(
+            &corpus,
+            VirtualDisk::with_plan(plan.clone()),
+            DurabilityConfig::default(),
+        )
+        .expect("corpus load"),
+        None => AppServer::new(&corpus).expect("corpus load"),
+    };
+    let gov_cfg = cfg
+        .governor
+        .clone()
+        .unwrap_or_else(GovernorConfig::unbounded);
+    let mut g = GovernedServer::new(server, gov_cfg);
+
+    // --- generate every arrival on the shared virtual clock ---------------
+    let mut clock: EventLoop<ArrivalEvent> = EventLoop::new();
+    let mut per_class: [ClassStats; 3] = Default::default();
+    for (client, spec) in cfg.clients.iter().enumerate() {
+        let mut n = 0u64;
+        let mut sec_start = 0u64;
+        while sec_start < cfg.duration_ms {
+            let window = (cfg.duration_ms - sec_start).min(1000);
+            let rate = spec.pattern.rate_at(sec_start, cfg.duration_ms);
+            // arrivals spread evenly across the second (open loop)
+            let in_window = rate * window / 1000;
+            for k in 0..in_window {
+                let at = sec_start + k * window / in_window.max(1);
+                let url = pick_url(cfg, client, n);
+                clock.schedule(at, ArrivalEvent { client, n, url });
+                n += 1;
+            }
+            sec_start += window;
+        }
+    }
+
+    // --- drive arrivals through the fault layer into the governor ---------
+    let mut inflight: HashMap<u64, u64> = HashMap::new(); // id → net jitter
+    let mut truncated_ids: Vec<u64> = Vec::new();
+    let record = |c: &Completion, jitter: u64, truncated: bool, stats: &mut [ClassStats; 3]| {
+        let s = &mut stats[c.class.index()];
+        s.latencies.push(c.finished - c.arrival + jitter);
+        if truncated {
+            s.truncated += 1;
+        }
+        match c.outcome {
+            Outcome::Served if c.response.status == 200 => s.ok += 1,
+            Outcome::Served => s.errors += 1,
+            Outcome::Degraded => s.degraded += 1,
+            Outcome::ShedQueueFull | Outcome::ShedQueueDelay => s.shed += 1,
+            Outcome::DeadlineExceeded => s.deadline_exceeded += 1,
+        }
+    };
+
+    let mut req_index = 0u64;
+    while let Some(ev) = clock.pop() {
+        let now = clock.now();
+        let class = Class::of_url(&ev.url);
+        per_class[class.index()].issued += 1;
+        let (fault, jitter) = match &cfg.net_fault {
+            Some(plan) => plan.decide(req_index, now),
+            None => (None, 0),
+        };
+        req_index += 1;
+        match fault {
+            Some(Fault::Timeout) => {
+                // lost on the wire: the server never sees it
+                per_class[class.index()].lost += 1;
+                continue;
+            }
+            Some(Fault::Error(_)) => {
+                // answered by the (virtual) front network, not the server
+                per_class[class.index()].net_errors += 1;
+                continue;
+            }
+            Some(Fault::Truncate) | None => {}
+        }
+        let truncate = matches!(fault, Some(Fault::Truncate));
+        match g.submit(&ev.url, now) {
+            Admission::Rejected(c) => record(&c, jitter, false, &mut per_class),
+            Admission::Queued(id) => {
+                inflight.insert(id, jitter);
+                if truncate {
+                    truncated_ids.push(id);
+                }
+            }
+        }
+        for c in g.run_until(now) {
+            let jitter = inflight.remove(&c.id).unwrap_or(0);
+            record(&c, jitter, truncated_ids.contains(&c.id), &mut per_class);
+        }
+        let _ = ev.client;
+        let _ = ev.n;
+    }
+    for c in g.drain() {
+        let jitter = inflight.remove(&c.id).unwrap_or(0);
+        record(&c, jitter, truncated_ids.contains(&c.id), &mut per_class);
+    }
+    debug_assert!(inflight.is_empty(), "every admitted request completed");
+
+    g.sync_metrics();
+    let report = SimReport {
+        duration_ms: cfg.duration_ms,
+        per_class,
+        metrics: g.server.metrics.clone(),
+    };
+    (report, g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patterns_compute_rates() {
+        let steady = ArrivalPattern::Steady { rps: 10 };
+        assert_eq!(steady.rate_at(0, 5000), 10);
+        let burst = ArrivalPattern::Burst {
+            base_rps: 5,
+            burst_rps: 50,
+            from_ms: 1000,
+            to_ms: 3000,
+        };
+        assert_eq!(burst.rate_at(0, 5000), 5);
+        assert_eq!(burst.rate_at(1000, 5000), 50);
+        assert_eq!(burst.rate_at(2999, 5000), 50);
+        assert_eq!(burst.rate_at(3000, 5000), 5);
+        let ramp = ArrivalPattern::Ramp {
+            from_rps: 0,
+            to_rps: 100,
+        };
+        assert_eq!(ramp.rate_at(0, 10_000), 0);
+        assert_eq!(ramp.rate_at(5_000, 10_000), 50);
+        assert_eq!(ramp.rate_at(10_000, 10_000), 100);
+        let down = ArrivalPattern::Ramp {
+            from_rps: 100,
+            to_rps: 0,
+        };
+        assert_eq!(down.rate_at(5_000, 10_000), 50);
+    }
+
+    #[test]
+    fn steady_under_capacity_is_all_goodput() {
+        let report = run_sim(&SimConfig::steady(7, 5, 4_000));
+        assert_eq!(report.issued(), 20);
+        assert_eq!(report.shed(), 0, "{report:?}");
+        assert_eq!(report.metrics.shed, 0);
+        assert_eq!(report.metrics.degraded, 0);
+        assert_eq!(report.goodput() + report.errors(), 20);
+        assert!(report.metrics.admitted >= 20);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_reports() {
+        let mut cfg = SimConfig::steady(42, 30, 3_000);
+        cfg.net_fault = Some(
+            FaultPlan::seeded(9)
+                .with_timeout_permille(50)
+                .with_error_permille(50)
+                .with_jitter_ms(20),
+        );
+        cfg.disk_fault = Some(StorageFaultPlan::seeded(11));
+        let a = run_sim(&cfg);
+        let b = run_sim(&cfg);
+        assert_eq!(a, b);
+        // a different seed explores a different trajectory
+        cfg.seed = 43;
+        let c = run_sim(&cfg);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn overload_burst_sheds_under_governance() {
+        let mut cfg = SimConfig::steady(3, 10, 6_000);
+        cfg.clients[0].pattern = ArrivalPattern::Burst {
+            base_rps: 10,
+            burst_rps: 200,
+            from_ms: 1_000,
+            to_ms: 3_000,
+        };
+        let report = run_sim(&cfg);
+        assert!(report.shed() > 0, "the burst must overwhelm the queue");
+        assert!(
+            report.goodput() > 0,
+            "shedding keeps the server making progress"
+        );
+        assert_eq!(report.metrics.shed, report.shed());
+    }
+
+    impl SimReport {
+        fn errors(&self) -> u64 {
+            self.per_class
+                .iter()
+                .map(|c| c.errors + c.deadline_exceeded)
+                .sum()
+        }
+    }
+}

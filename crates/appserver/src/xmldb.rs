@@ -260,14 +260,40 @@ impl XmlDb {
     /// In durable mode any pending update lists the query applies are
     /// journaled as redo records.
     pub fn query(&mut self, src: &str) -> XdmResult<String> {
+        self.query_with_deadline(src, None).0
+    }
+
+    /// Runs an XQuery under an optional deadline budget, in engine fuel
+    /// units (the server converts milliseconds-to-deadline into fuel).
+    /// Exhausting the budget raises `XQIB0014`; committing a pending update
+    /// list is a point of no return (the budget stops applying), so a
+    /// deadline-killed query has applied — and journaled — nothing.
+    ///
+    /// Returns the result alongside the fuel actually consumed, which the
+    /// request governor uses as the virtual-time cost of the evaluation.
+    pub fn query_with_deadline(
+        &mut self,
+        src: &str,
+        budget: Option<u64>,
+    ) -> (XdmResult<String>, u64) {
         self.evals += 1;
-        let q = runtime::compile(src)?;
+        let q = match runtime::compile(src) {
+            Ok(q) => q,
+            Err(e) => return (Err(e), 0),
+        };
         let mut ctx = DynamicContext::new(self.store.clone(), q.sctx.clone());
+        if let Some(budget) = budget {
+            ctx.set_deadline_fuel(budget);
+            ctx.fuel_commit_exempt = true;
+        }
         let journal = self.install_journal(&mut ctx);
         let result = q.execute(&mut ctx);
         self.drain_journal(journal);
-        let result = result?;
-        Ok(runtime::render_sequence(&ctx, &result))
+        let fuel_used = ctx.fuel_used;
+        (
+            result.map(|r| runtime::render_sequence(&ctx, &r)),
+            fuel_used,
+        )
     }
 
     /// Runs an XQuery with the context item set to a stored document.

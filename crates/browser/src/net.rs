@@ -180,8 +180,10 @@ impl FaultPlan {
 
     /// The fault (if any) and latency jitter for the host's `index`-th
     /// request issued at virtual time `now`. Pure: same plan, index and
-    /// time give the same answer on every run.
-    fn decide(&self, index: u64, now: u64) -> (Option<Fault>, u64) {
+    /// time give the same answer on every run. Public so other deterministic
+    /// harnesses (the app-server overload simulator) can reuse the exact
+    /// fault model without routing through a [`VirtualNetwork`].
+    pub fn decide(&self, index: u64, now: u64) -> (Option<Fault>, u64) {
         let jitter = if self.jitter_ms == 0 {
             0
         } else {

@@ -142,11 +142,22 @@ pub struct DynamicContext {
     /// stack consumption of deep recursion (debug frames are large).
     pub stack_base: usize,
     /// Remaining evaluation fuel. Every expression step charges one unit;
-    /// reaching zero raises `XQIB0011`. `None` disables preemption (ad-hoc
-    /// queries, page load). Hosts set a budget per listener invocation.
+    /// reaching zero raises [`Self::fuel_code`]. `None` disables preemption
+    /// (ad-hoc queries, page load). Hosts set a budget per listener
+    /// invocation; the server tier sets one per request deadline.
     pub fuel: Option<u64>,
     /// Units charged since the fuel budget was last (re)set.
     pub fuel_used: u64,
+    /// Error code raised on fuel exhaustion: `XQIB0011` for a host's
+    /// listener budget (the default), `XQIB0014` when the budget encodes a
+    /// request deadline (see [`Self::set_deadline_fuel`]).
+    pub fuel_code: &'static str,
+    /// When set, committing a pending update list is a point of no return:
+    /// `apply_pending` clears the fuel budget before the first non-empty
+    /// apply, so a deadline can only kill a request that has not mutated
+    /// anything yet — a deadline-killed request has exactly zero applied
+    /// (and zero journaled) effects.
+    pub fuel_commit_exempt: bool,
     /// Redo-log sink: when set, every successfully applied PUL is wire-
     /// encoded (against the pre-apply store) and pushed here, in apply
     /// order. The durable `XmlDb` drains this into its write-ahead log.
@@ -193,6 +204,8 @@ impl DynamicContext {
             stack_base: approx_stack_ptr(),
             fuel: None,
             fuel_used: 0,
+            fuel_code: "XQIB0011",
+            fuel_commit_exempt: false,
             pul_journal: None,
         }
     }
@@ -202,19 +215,37 @@ impl DynamicContext {
     pub fn set_fuel(&mut self, budget: Option<u64>) {
         self.fuel = budget;
         self.fuel_used = 0;
+        self.fuel_code = "XQIB0011";
     }
 
-    /// Charges `n` fuel units, raising `XQIB0011` once the budget is spent.
-    /// Free when no budget is installed.
+    /// Installs a *deadline* budget: the same preemption mechanism as
+    /// [`Self::set_fuel`], but exhaustion raises `XQIB0014` ("deadline
+    /// exceeded") so hosts can distinguish a request that ran out of its
+    /// per-request deadline from a listener that ran out of its fuel
+    /// allowance. The server tier converts the milliseconds remaining until
+    /// a request's deadline into fuel units before evaluation.
+    pub fn set_deadline_fuel(&mut self, budget: u64) {
+        self.fuel = Some(budget);
+        self.fuel_used = 0;
+        self.fuel_code = "XQIB0014";
+    }
+
+    /// Charges `n` fuel units, raising [`Self::fuel_code`] once the budget
+    /// is spent. Free when no budget is installed.
     #[inline]
     pub fn charge_fuel(&mut self, n: u64) -> XdmResult<()> {
         self.fuel_used += n;
         if let Some(fuel) = self.fuel.as_mut() {
             if *fuel < n {
                 self.fuel = Some(0);
+                let what = if self.fuel_code == "XQIB0014" {
+                    "request deadline exceeded"
+                } else {
+                    "evaluation fuel exhausted"
+                };
                 return Err(XdmError::new(
-                    "XQIB0011",
-                    format!("evaluation fuel exhausted after {} steps", self.fuel_used),
+                    self.fuel_code,
+                    format!("{what} after {} steps", self.fuel_used),
                 ));
             }
             *fuel -= n;

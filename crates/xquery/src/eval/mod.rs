@@ -550,6 +550,14 @@ pub fn apply_pending(ctx: &mut DynamicContext) -> XdmResult<()> {
     if ctx.pul.is_empty() {
         return Ok(());
     }
+    // Point of no return for deadline-budgeted requests: once the first
+    // non-empty pending update list starts committing, the deadline may no
+    // longer preempt — shedding mid-transaction would trade a late response
+    // for a torn one. The invariant the server tier relies on: a request
+    // killed by `XQIB0014` has applied (and journaled) nothing.
+    if ctx.fuel_commit_exempt {
+        ctx.fuel = None;
+    }
     let pul = ctx.pul.take();
     let journal = ctx.pul_journal.clone();
     let mut store = ctx.store.borrow_mut();

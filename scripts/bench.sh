@@ -11,6 +11,10 @@
 #   BENCH_wal_apply.json  — durable server tier (wal_apply): ephemeral vs
 #                           WAL-journaled update batches, plus recovery
 #                           (checkpoint + redo replay) latency
+#   BENCH_overload.json   — overload control (overload): ungoverned vs
+#                           governed goodput and latency percentiles under
+#                           a 2x overload burst, in virtual time (the
+#                           bench binary writes this report itself)
 #
 # Each report has the shape
 #
@@ -69,3 +73,8 @@ harvest BENCH_txn_apply.json
 rm -rf target/criterion
 cargo bench -p xqib-bench --bench wal_apply
 harvest BENCH_wal_apply.json
+
+# The overload experiment measures virtual-time goodput/latency, not
+# wall-clock ns/iter, so its binary writes BENCH_overload.json directly
+# (no criterion harvest).
+cargo bench -p xqib-bench --bench overload

@@ -1,0 +1,31 @@
+//! Keeps the README "overload" example honest: this is the snippet from
+//! README.md, verbatim, as a regression test.
+
+use xqib::appserver::{
+    generate_corpus, Admission, AppServer, CorpusSpec, GovernedServer, GovernorConfig,
+};
+
+#[test]
+fn readme_overload_example() {
+    let corpus = generate_corpus(&CorpusSpec::default());
+    let server = AppServer::new(&corpus).unwrap();
+    let mut g = GovernedServer::new(server, GovernorConfig::default());
+
+    // a flash crowd: 100 page hits in the same virtual millisecond
+    let mut shed = 0;
+    for _ in 0..100 {
+        if let Admission::Rejected(c) = g.submit("/page?article=j0-v0-i0-a0", 0) {
+            assert_eq!(c.response.status, 503); // honest refusal...
+            assert_eq!(c.response.header("Retry-After"), Some("1")); // ...with advice
+            shed += 1;
+        }
+    }
+    assert_eq!(shed, 36); // the 64-slot render queue cannot hold 100
+    g.drain(); // the backlog is served — fresh or degraded — in virtual time
+
+    // once the burst has passed, the next request sails through untouched
+    g.submit("/page?article=j0-v0-i0-a0", 60_000);
+    let done = g.run_until(60_000);
+    assert_eq!(done[0].response.status, 200);
+    assert!(done[0].response.header("X-XQIB-Degraded").is_none()); // fresh
+}
