@@ -32,4 +32,6 @@ fn main() {
     println!("order_index_rebuilds:{}", m.order_index_rebuilds);
     println!("sorts_performed:     {}", m.sorts_performed);
     println!("sorts_elided:        {}", m.sorts_elided);
+    println!("plan_cache_hits:     {}", m.plan_cache_hits);
+    println!("plan_cache_misses:   {}", m.plan_cache_misses);
 }

@@ -6,6 +6,7 @@ use xqib_dom::order::stats::EngineStats;
 use xqib_storage::DurabilityStats;
 
 use crate::governor::OverloadStats;
+use xqib_xquery::plancache::PlanCacheStats;
 
 /// Counters accumulated by the application server.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -73,6 +74,14 @@ pub struct ServerMetrics {
     pub queue_delay_p50_ms: u64,
     /// 99th-percentile admission-queue delay, virtual milliseconds.
     pub queue_delay_p99_ms: u64,
+    /// Query evaluations answered by a cached compiled plan (no re-parse).
+    pub plan_cache_hits: u64,
+    /// Query evaluations that compiled and lowered a fresh plan.
+    pub plan_cache_misses: u64,
+    /// Cached plans evicted to respect the capacity bound.
+    pub plan_cache_evictions: u64,
+    /// Whole-cache invalidations (epoch bumps).
+    pub plan_cache_invalidations: u64,
 }
 
 impl ServerMetrics {
@@ -124,6 +133,15 @@ impl ServerMetrics {
         self.torn_tails_dropped = stats.torn_tails_dropped;
     }
 
+    /// Mirrors the database's plan-cache counters (cumulative snapshots —
+    /// overwrites, same convention as the other mirrors).
+    pub fn record_plan_cache(&mut self, stats: &PlanCacheStats) {
+        self.plan_cache_hits = stats.hits;
+        self.plan_cache_misses = stats.misses;
+        self.plan_cache_evictions = stats.evictions;
+        self.plan_cache_invalidations = stats.invalidations;
+    }
+
     /// Mirrors the request governor's overload counters (cumulative
     /// snapshots — overwrites, same convention as the other mirrors).
     pub fn record_overload(&mut self, stats: &OverloadStats) {
@@ -170,6 +188,10 @@ impl ServerMetrics {
             deadline_exceeded,
             queue_delay_p50_ms,
             queue_delay_p99_ms,
+            plan_cache_hits,
+            plan_cache_misses,
+            plan_cache_evictions,
+            plan_cache_invalidations,
         } = self;
         let fields: &[(&str, u64)] = &[
             ("requests", *requests),
@@ -202,6 +224,10 @@ impl ServerMetrics {
             ("deadline-exceeded", *deadline_exceeded),
             ("queue-delay-p50-ms", *queue_delay_p50_ms),
             ("queue-delay-p99-ms", *queue_delay_p99_ms),
+            ("plan-cache-hits", *plan_cache_hits),
+            ("plan-cache-misses", *plan_cache_misses),
+            ("plan-cache-evictions", *plan_cache_evictions),
+            ("plan-cache-invalidations", *plan_cache_invalidations),
         ];
         let mut out = String::from("<metrics>");
         for (name, value) in fields {
@@ -252,6 +278,10 @@ mod tests {
             deadline_exceeded: 28,
             queue_delay_p50_ms: 29,
             queue_delay_p99_ms: 30,
+            plan_cache_hits: 31,
+            plan_cache_misses: 32,
+            plan_cache_evictions: 33,
+            plan_cache_invalidations: 34,
         }
     }
 
@@ -269,8 +299,9 @@ mod tests {
         // each field was set to a distinct value, so each must appear
         assert!(xml.contains("<requests>1</requests>"), "{xml}");
         assert!(xml.contains("<queue-delay-p99-ms>30</queue-delay-p99-ms>"));
-        // 30 counters → 30 distinct element names
-        assert_eq!(xml.matches("</").count(), 30 + 1, "{xml}");
+        // 34 counters → 34 distinct element names
+        assert_eq!(xml.matches("</").count(), 34 + 1, "{xml}");
+        assert!(xml.contains("<plan-cache-hits>31</plan-cache-hits>"));
     }
 
     #[test]

@@ -195,6 +195,7 @@ impl AppServer {
     fn render_query(&mut self, xq: &str, budget: Option<u64>) -> (ServerResponse, u64) {
         let (result, fuel_used) = self.db.query_with_deadline(xq, budget);
         self.metrics.xquery_evals = self.db.evals;
+        self.metrics.record_plan_cache(&self.db.plan_stats());
         let resp = match result {
             Ok(body) => ServerResponse::new(200, body),
             Err(e) => ServerResponse::new(status_for(&e.code), format!("<error>{e}</error>")),
@@ -415,6 +416,8 @@ mod tests {
             "<deadline-exceeded>0</deadline-exceeded>",
             "<queue-delay-p50-ms>0</queue-delay-p50-ms>",
             "<queue-delay-p99-ms>0</queue-delay-p99-ms>",
+            "<plan-cache-hits>0</plan-cache-hits>",
+            "<plan-cache-misses>1</plan-cache-misses>",
         ] {
             assert!(r.body.contains(field), "missing {field} in {}", r.body);
         }

@@ -30,10 +30,17 @@ use xqib_dom::{DocId, SharedStore};
 use xqib_storage::{
     Checkpoint, DiskError, DurabilityStats, VirtualDisk, Wal, WalRecord, CKPT_SLOTS, WAL_FILE,
 };
-use xqib_xdm::{Item, XdmResult};
+use xqib_xdm::{Item, Sequence, XdmResult};
 use xqib_xquery::context::{DynamicContext, StaticContext};
-use xqib_xquery::runtime;
+use xqib_xquery::plan::CompiledPlan;
+use xqib_xquery::plancache::{compile_plan, static_fingerprint, PlanCache, PlanCacheStats};
+use xqib_xquery::runtime::{self, ModuleRegistry};
 use xqib_xquery::wire;
+
+/// Plans kept per database. Render workloads cycle through a handful of
+/// templates; 64 leaves generous room for ad-hoc `/query` traffic while
+/// keeping the O(n) LRU scan trivial.
+const PLAN_CACHE_CAPACITY: usize = 64;
 
 /// Tuning knobs for durable mode.
 #[derive(Debug, Clone)]
@@ -71,11 +78,42 @@ struct Durable {
     stats: DurabilityStats,
 }
 
+/// A query ready to run: a plan shared out of the cache, or a one-shot
+/// interpreter compilation when plan mode is off.
+enum Executable {
+    Plan(Rc<CompiledPlan>),
+    Interp(runtime::CompiledQuery),
+}
+
+impl Executable {
+    fn static_context(&self) -> Rc<StaticContext> {
+        match self {
+            Executable::Plan(p) => p.static_context().clone(),
+            Executable::Interp(q) => q.sctx.clone(),
+        }
+    }
+
+    fn run(&self, ctx: &mut DynamicContext) -> XdmResult<Sequence> {
+        match self {
+            Executable::Plan(p) => p.execute(ctx),
+            Executable::Interp(q) => q.execute(ctx),
+        }
+    }
+}
+
 /// A server-side XML database.
 pub struct XmlDb {
     pub store: SharedStore,
     /// number of queries evaluated (CPU proxy)
     pub evals: u64,
+    /// Library modules visible to server-side queries (`import module`).
+    modules: ModuleRegistry,
+    /// Compiled plans keyed by (query text, static-context fingerprint).
+    plans: PlanCache,
+    /// `false` routes every query through the tree-walking interpreter
+    /// instead of the compiled pipeline — the differential-testing and
+    /// regression-triage escape hatch.
+    pub plan_mode: bool,
     durable: Option<Durable>,
 }
 
@@ -91,6 +129,9 @@ impl XmlDb {
         XmlDb {
             store: shared_store(),
             evals: 0,
+            modules: ModuleRegistry::new(),
+            plans: PlanCache::new(PLAN_CACHE_CAPACITY),
+            plan_mode: true,
             durable: None,
         }
     }
@@ -105,6 +146,9 @@ impl XmlDb {
         XmlDb {
             store: shared_store(),
             evals: 0,
+            modules: ModuleRegistry::new(),
+            plans: PlanCache::new(PLAN_CACHE_CAPACITY),
+            plan_mode: true,
             durable: Some(Durable {
                 disk,
                 wal,
@@ -195,6 +239,9 @@ impl XmlDb {
         Ok(XmlDb {
             store,
             evals: 0,
+            modules: ModuleRegistry::new(),
+            plans: PlanCache::new(PLAN_CACHE_CAPACITY),
+            plan_mode: true,
             durable: Some(Durable {
                 disk,
                 wal,
@@ -277,17 +324,17 @@ impl XmlDb {
         budget: Option<u64>,
     ) -> (XdmResult<String>, u64) {
         self.evals += 1;
-        let q = match runtime::compile(src) {
-            Ok(q) => q,
+        let exec = match self.executable(src) {
+            Ok(e) => e,
             Err(e) => return (Err(e), 0),
         };
-        let mut ctx = DynamicContext::new(self.store.clone(), q.sctx.clone());
+        let mut ctx = DynamicContext::new(self.store.clone(), exec.static_context());
         if let Some(budget) = budget {
             ctx.set_deadline_fuel(budget);
             ctx.fuel_commit_exempt = true;
         }
         let journal = self.install_journal(&mut ctx);
-        let result = q.execute(&mut ctx);
+        let result = exec.run(&mut ctx);
         self.drain_journal(journal);
         let fuel_used = ctx.fuel_used;
         (
@@ -299,9 +346,8 @@ impl XmlDb {
     /// Runs an XQuery with the context item set to a stored document.
     pub fn query_doc(&mut self, uri: &str, src: &str) -> XdmResult<String> {
         self.evals += 1;
-        let q = runtime::compile(src)?;
-        let sctx: Rc<StaticContext> = q.sctx.clone();
-        let mut ctx = DynamicContext::new(self.store.clone(), sctx);
+        let exec = self.executable(src)?;
+        let mut ctx = DynamicContext::new(self.store.clone(), exec.static_context());
         let root = {
             let store = self.store.borrow();
             let id = store
@@ -315,10 +361,53 @@ impl XmlDb {
             size: 1,
         });
         let journal = self.install_journal(&mut ctx);
-        let result = q.execute(&mut ctx);
+        let result = exec.run(&mut ctx);
         self.drain_journal(journal);
         let result = result?;
         Ok(runtime::render_sequence(&ctx, &result))
+    }
+
+    /// Resolves `src` to something runnable: a cached (or freshly lowered)
+    /// plan in plan mode, a one-shot interpreter compilation otherwise.
+    fn executable(&mut self, src: &str) -> XdmResult<Executable> {
+        if self.plan_mode {
+            let fp = static_fingerprint(&self.modules, false);
+            let modules = &self.modules;
+            let plan = self
+                .plans
+                .get_or_compile(src, fp, || compile_plan(src, modules, false))?;
+            Ok(Executable::Plan(plan))
+        } else {
+            Ok(Executable::Interp(runtime::compile_with(
+                src,
+                &self.modules,
+                false,
+            )?))
+        }
+    }
+
+    /// Parses and registers a library module for `import module` in later
+    /// queries. The registry feeds the plan-cache fingerprint, so plans
+    /// compiled against the previous registry contents stop matching
+    /// immediately — no manual invalidation needed.
+    pub fn register_module(&mut self, src: &str) -> XdmResult<String> {
+        self.modules.register_source(src)
+    }
+
+    /// Drops every cached plan (new cache epoch). For environment changes
+    /// the static-context fingerprint cannot observe.
+    pub fn invalidate_plans(&mut self) {
+        self.plans.invalidate();
+    }
+
+    /// Plan-cache hit/miss/eviction/invalidation counters.
+    pub fn plan_stats(&self) -> PlanCacheStats {
+        self.plans.stats()
+    }
+
+    /// Number of plans currently cached.
+    pub fn plans_cached(&self) -> usize {
+        self.plans.len()
     }
 
     /// Hard group commit: fsyncs the WAL so every journaled operation

@@ -8,7 +8,7 @@
 //! single event loop of Figure 1.
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -18,10 +18,16 @@ use xqib_browser::{
     CssStore, EventLoop, IsolationConfig, ListenerQuarantine, RecoveryConfig, RecoveryState,
     VirtualNetwork, WindowId,
 };
-use xqib_dom::{name::LOCAL_NS, DocId, NodeKind, NodeRef, QName, SharedStore};
+use xqib_dom::{
+    name::{BROWSER_NS, LOCAL_NS},
+    DocId, NodeKind, NodeRef, QName, SharedStore,
+};
 use xqib_xdm::{Item, Sequence, XdmError, XdmResult};
 use xqib_xquery::ast::{Expr, MainModule};
 use xqib_xquery::context::{DynamicContext, EngineHooks, StaticContext};
+use xqib_xquery::functions::native;
+use xqib_xquery::plan::lower;
+use xqib_xquery::plancache::{self, PlanCache};
 use xqib_xquery::runtime::{self, ModuleRegistry};
 
 use crate::bindings;
@@ -147,6 +153,9 @@ impl Default for PluginConfig {
     }
 }
 
+/// Eval-snippet plans kept per plug-in (REPL-ish traffic: small).
+const EVAL_PLAN_CAPACITY: usize = 32;
+
 /// The XQIB plug-in instance for one page.
 pub struct Plugin {
     pub store: SharedStore,
@@ -156,6 +165,13 @@ pub struct Plugin {
     pub scripts: Vec<MainModule>,
     pub page_doc: Option<DocId>,
     modules: ModuleRegistry,
+    /// Compiled plans for [`Plugin::eval`] snippets, shared with the
+    /// `browser:planCache()` introspection function.
+    plans: Rc<RefCell<PlanCache>>,
+    /// Bumped whenever the page scripts are (re)compiled: eval snippets
+    /// merge the page's function library into their static context, so a
+    /// cached snippet plan must not survive a script reload.
+    script_version: Rc<Cell<u64>>,
 }
 
 /// The [`EngineHooks`] bridge: routes the paper's grammar extensions into
@@ -310,6 +326,40 @@ impl Plugin {
         let mut ctx = DynamicContext::new(store.clone(), sctx);
         ctx.hooks = Some(Rc::new(Hooks { host: host.clone() }));
         bindings::install(&mut ctx, host.clone());
+        let plans = Rc::new(RefCell::new(PlanCache::new(EVAL_PLAN_CAPACITY)));
+        let script_version = Rc::new(Cell::new(0u64));
+        {
+            // browser:planCache() → one element carrying the cache counters
+            let p = plans.clone();
+            let v = script_version.clone();
+            ctx.register_native(
+                QName::ns(BROWSER_NS, "planCache"),
+                0,
+                native(move |ctx, _args| {
+                    let cache = p.borrow();
+                    let s = cache.stats();
+                    let doc_id = ctx.construction_doc;
+                    let mut store = ctx.store.borrow_mut();
+                    let doc = store.doc_mut(doc_id);
+                    let elem = doc.create_element(QName::local("plan-cache"));
+                    let counters: [(&str, u64); 8] = [
+                        ("hits", s.hits),
+                        ("misses", s.misses),
+                        ("evictions", s.evictions),
+                        ("invalidations", s.invalidations),
+                        ("size", cache.len() as u64),
+                        ("capacity", cache.capacity() as u64),
+                        ("epoch", cache.epoch()),
+                        ("script-version", v.get()),
+                    ];
+                    for (name, val) in counters {
+                        doc.set_attribute(elem, QName::local(name), val.to_string())
+                            .map_err(|e| XdmError::new("XQIB0006", e.to_string()))?;
+                    }
+                    Ok(vec![Item::Node(NodeRef::new(doc_id, elem))])
+                }),
+            );
+        }
         Plugin {
             store,
             host,
@@ -317,6 +367,8 @@ impl Plugin {
             scripts: Vec::new(),
             page_doc: None,
             modules: config.modules,
+            plans,
+            script_version,
         }
     }
 
@@ -427,6 +479,9 @@ impl Plugin {
             self.sync_views()?;
         }
         self.scripts = modules_compiled;
+        // eval-snippet plans baked the old page functions in; stop
+        // matching them
+        self.script_version.set(self.script_version.get() + 1);
         Ok(js_sources)
     }
 
@@ -729,25 +784,38 @@ impl Plugin {
     /// item is the page document). Useful in tests and examples.
     pub fn eval(&mut self, src: &str) -> XdmResult<Sequence> {
         self.ctx.reset_stack_base();
-        let q = runtime::compile_with(src, &self.modules, true)?;
-        // merge page functions so snippets can call local: listeners
-        let mut merged = StaticContext {
-            browser_profile: true,
-            ..Default::default()
+        // the fingerprint covers everything the snippet compilation reads
+        // besides its text: the module registry and (via the version
+        // counter) the page functions merged in below
+        let fp = plancache::mix(
+            plancache::static_fingerprint(&self.modules, true),
+            self.script_version.get(),
+        );
+        let plan = {
+            let modules = &self.modules;
+            let page_sctx = self.ctx.sctx.clone();
+            self.plans.borrow_mut().get_or_compile(src, fp, || {
+                let q = runtime::compile_with(src, modules, true)?;
+                // merge page functions so snippets can call local: listeners
+                let mut merged = StaticContext {
+                    browser_profile: true,
+                    ..Default::default()
+                };
+                for f in page_sctx.functions.values() {
+                    merged.declare_function((**f).clone());
+                }
+                for f in q.sctx.functions.values() {
+                    merged.declare_function((**f).clone());
+                }
+                Ok(lower(&runtime::CompiledQuery {
+                    module: q.module,
+                    sctx: Rc::new(merged),
+                }))
+            })?
         };
-        for f in self.ctx.sctx.functions.values() {
-            merged.declare_function((**f).clone());
-        }
-        for f in q.sctx.functions.values() {
-            merged.declare_function((**f).clone());
-        }
         let saved = self.ctx.sctx.clone();
-        self.ctx.sctx = Rc::new(merged);
-        let q = runtime::CompiledQuery {
-            module: q.module,
-            sctx: self.ctx.sctx.clone(),
-        };
-        let r = q.execute(&mut self.ctx);
+        self.ctx.sctx = plan.static_context().clone();
+        let r = plan.execute(&mut self.ctx);
         self.ctx.sctx = saved;
         let out = r?;
         self.sync_views()?;

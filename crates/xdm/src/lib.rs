@@ -21,6 +21,7 @@ pub mod datetime;
 pub mod ebv;
 pub mod error;
 pub mod item;
+pub mod stream;
 pub mod types;
 
 pub use atomic::Atomic;
@@ -29,4 +30,5 @@ pub use datetime::{Date, DateTime, Duration, Time};
 pub use ebv::effective_boolean_value;
 pub use error::{XdmError, XdmResult};
 pub use item::{atomize, atomize_sequence, Item, Sequence};
+pub use stream::EbvProbe;
 pub use types::{ItemType, Occurrence, SequenceType, TypeName};

@@ -1,0 +1,111 @@
+//! Incremental (pull-friendly) views over sequences.
+//!
+//! The streaming evaluator in `xqib-xquery` pulls items one at a time; the
+//! helpers here let it decide sequence-level properties — today the
+//! effective boolean value — without materialising the sequence, while
+//! agreeing item-for-item with the eager functions in [`crate::ebv`].
+
+use crate::ebv::effective_boolean_value;
+use crate::error::XdmResult;
+use crate::item::Item;
+
+/// Incremental effective-boolean-value computation.
+///
+/// Feed pulled items with [`EbvProbe::push`]; it returns `Some(verdict)` as
+/// soon as the EBV is decided (a leading node decides `true` after one pull,
+/// a second atomic item decides the `FORG0006` error after two), so a lazy
+/// producer can stop pulling early. Call [`EbvProbe::finish`] when the
+/// stream ends undecided. The verdicts match
+/// [`effective_boolean_value`] exactly.
+#[derive(Default)]
+pub struct EbvProbe {
+    first: Option<Item>,
+}
+
+impl EbvProbe {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds the next pulled item. `Ok(Some(v))` means the EBV is decided
+    /// and no further items need to be pulled; `Ok(None)` means undecided.
+    pub fn push(&mut self, item: Item) -> XdmResult<Option<bool>> {
+        match &self.first {
+            None => match item {
+                Item::Node(_) => Ok(Some(true)),
+                atomic => {
+                    self.first = Some(atomic);
+                    Ok(None)
+                }
+            },
+            // a second item with an atomic first: the eager path raises
+            // FORG0006 regardless of what follows
+            Some(first) => effective_boolean_value(&[first.clone(), item]).map(Some),
+        }
+    }
+
+    /// The stream is exhausted: resolve the EBV of what was seen.
+    pub fn finish(self) -> XdmResult<bool> {
+        match self.first {
+            None => Ok(false),
+            Some(item) => effective_boolean_value(&[item]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomic::Atomic;
+    use crate::datetime::Date;
+    use xqib_dom::{DocId, NodeId, NodeRef};
+
+    fn node_item() -> Item {
+        Item::Node(NodeRef::new(DocId(0), NodeId(0)))
+    }
+
+    /// The probe must agree with the eager function on every prefix-decision.
+    fn probe(seq: &[Item]) -> XdmResult<bool> {
+        let mut p = EbvProbe::new();
+        for item in seq {
+            if let Some(v) = p.push(item.clone())? {
+                return Ok(v);
+            }
+        }
+        p.finish()
+    }
+
+    #[test]
+    fn agrees_with_eager_ebv() {
+        let date = Item::Atomic(Atomic::Date(Date::parse("2009-04-20").unwrap()));
+        let cases: Vec<Vec<Item>> = vec![
+            vec![],
+            vec![node_item()],
+            vec![node_item(), Item::integer(0)],
+            vec![Item::boolean(false)],
+            vec![Item::string("")],
+            vec![Item::string("x")],
+            vec![Item::integer(0)],
+            vec![Item::double(f64::NAN)],
+            vec![Item::integer(1), Item::integer(2)],
+            vec![Item::integer(1), node_item()],
+            vec![date.clone()],
+            vec![date, Item::integer(1)],
+        ];
+        for seq in cases {
+            let eager = effective_boolean_value(&seq);
+            let lazy = probe(&seq);
+            match (eager, lazy) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "{seq:?}"),
+                (Err(a), Err(b)) => assert_eq!(a.code, b.code, "{seq:?}"),
+                other => panic!("probe diverged on {seq:?}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn leading_node_decides_after_one_pull() {
+        let mut p = EbvProbe::new();
+        assert_eq!(p.push(node_item()).unwrap(), Some(true));
+    }
+}

@@ -11,19 +11,33 @@ use super::eval_expr;
 pub(crate) fn eval_range(ctx: &mut DynamicContext, lo: &Expr, hi: &Expr) -> XdmResult<Sequence> {
     let l = atomic_operand(ctx, lo)?;
     let h = atomic_operand(ctx, hi)?;
-    let (Some(l), Some(h)) = (l, h) else {
+    let Some((l, h)) = range_bounds(l, h)? else {
         return Ok(vec![]);
+    };
+    Ok((l..=h).map(Item::integer).collect())
+}
+
+/// Resolves range endpoints to inclusive integer bounds; `None` when the
+/// range is empty (an empty operand or `lo > hi`).
+pub(crate) fn range_bounds(
+    lo: Option<Atomic>,
+    hi: Option<Atomic>,
+) -> XdmResult<Option<(i64, i64)>> {
+    let (Some(l), Some(h)) = (lo, hi) else {
+        return Ok(None);
     };
     let l = l.as_double()? as i64;
     let h = h.as_double()? as i64;
-    if l > h {
-        return Ok(vec![]);
-    }
-    Ok((l..=h).map(Item::integer).collect())
+    Ok(if l > h { None } else { Some((l, h)) })
 }
 
 pub(crate) fn eval_neg(ctx: &mut DynamicContext, inner: &Expr) -> XdmResult<Sequence> {
     let v = atomic_operand(ctx, inner)?;
+    neg_atomic(v)
+}
+
+/// Unary minus over an optional atomized operand.
+pub(crate) fn neg_atomic(v: Option<Atomic>) -> XdmResult<Sequence> {
     match v {
         None => Ok(vec![]),
         Some(a) => match a {
@@ -37,6 +51,11 @@ pub(crate) fn eval_neg(ctx: &mut DynamicContext, inner: &Expr) -> XdmResult<Sequ
 /// Evaluates to at most one atomized item (arithmetic operand rule).
 fn atomic_operand(ctx: &mut DynamicContext, e: &Expr) -> XdmResult<Option<Atomic>> {
     let v = eval_expr(ctx, e)?;
+    atomic_from_seq(ctx, &v)
+}
+
+/// The arithmetic operand rule applied to an already-evaluated sequence.
+pub(crate) fn atomic_from_seq(ctx: &DynamicContext, v: &Sequence) -> XdmResult<Option<Atomic>> {
     match v.len() {
         0 => Ok(None),
         1 => {

@@ -125,21 +125,35 @@ fn order_tuples(
         }
         keyed.push((keys, tuple));
     }
-    // stable sort with spec-directed comparisons
+    let dirs: Vec<(bool, bool)> = specs
+        .iter()
+        .map(|s| (s.descending, s.empty_least))
+        .collect();
+    sort_keyed(keyed, &dirs)
+}
+
+/// Stable, spec-directed sort of keyed values. `dirs` is one
+/// `(descending, empty_least)` pair per order key. Shared between the
+/// interpreter and the compiled evaluator so `order by` ties, empty-key
+/// placement and the NaN-skip rule agree exactly.
+pub(crate) fn sort_keyed<T>(
+    mut keyed: Vec<(Vec<Option<Atomic>>, T)>,
+    dirs: &[(bool, bool)],
+) -> XdmResult<Vec<T>> {
     let mut err: Option<XdmError> = None;
     keyed.sort_by(|(ka, _), (kb, _)| {
-        for (i, spec) in specs.iter().enumerate() {
+        for (i, &(descending, empty_least)) in dirs.iter().enumerate() {
             let ord = match (&ka[i], &kb[i]) {
                 (None, None) => std::cmp::Ordering::Equal,
                 (None, Some(_)) => {
-                    if spec.empty_least {
+                    if empty_least {
                         std::cmp::Ordering::Less
                     } else {
                         std::cmp::Ordering::Greater
                     }
                 }
                 (Some(_), None) => {
-                    if spec.empty_least {
+                    if empty_least {
                         std::cmp::Ordering::Greater
                     } else {
                         std::cmp::Ordering::Less
@@ -155,7 +169,7 @@ fn order_tuples(
                     }
                 },
             };
-            let ord = if spec.descending { ord.reverse() } else { ord };
+            let ord = if descending { ord.reverse() } else { ord };
             if ord != std::cmp::Ordering::Equal {
                 return ord;
             }

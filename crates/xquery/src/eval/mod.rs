@@ -140,6 +140,17 @@ fn eval_value_comp(
 ) -> XdmResult<Sequence> {
     let ls = eval_expr(ctx, l)?;
     let rs = eval_expr(ctx, r)?;
+    value_comp_seqs(ctx, op, &ls, &rs)
+}
+
+/// Value comparison over already-evaluated operand sequences (shared with
+/// the compiled evaluator so both tiers agree exactly).
+pub(crate) fn value_comp_seqs(
+    ctx: &DynamicContext,
+    op: xqib_xdm::CompOp,
+    ls: &Sequence,
+    rs: &Sequence,
+) -> XdmResult<Sequence> {
     if ls.is_empty() || rs.is_empty() {
         return Ok(vec![]);
     }
@@ -166,6 +177,17 @@ fn eval_general_comp(
 ) -> XdmResult<Sequence> {
     let ls = eval_expr(ctx, l)?;
     let rs = eval_expr(ctx, r)?;
+    general_comp_seqs(ctx, op, &ls, &rs)
+}
+
+/// General comparison over already-evaluated operand sequences (shared with
+/// the compiled evaluator so both tiers agree exactly).
+pub(crate) fn general_comp_seqs(
+    ctx: &DynamicContext,
+    op: xqib_xdm::CompOp,
+    ls: &Sequence,
+    rs: &Sequence,
+) -> XdmResult<Sequence> {
     let (la, ra) = {
         let store = ctx.store.borrow();
         (

@@ -146,7 +146,7 @@ fn apply_step(
 /// order and never duplicates, given inputs that are strictly ordered and
 /// pairwise non-nested: each input's results stay inside its own subtree
 /// (or are the node itself/its attributes), so they cannot interleave.
-fn axis_concat_stays_sorted(axis: Axis) -> bool {
+pub(crate) fn axis_concat_stays_sorted(axis: Axis) -> bool {
     matches!(
         axis,
         Axis::Child | Axis::Attribute | Axis::SelfAxis | Axis::Descendant | Axis::DescendantOrSelf
@@ -154,7 +154,7 @@ fn axis_concat_stays_sorted(axis: Axis) -> bool {
 }
 
 /// True if `axis` enumerates nodes in reverse document order.
-fn axis_is_reverse(axis: Axis) -> bool {
+pub(crate) fn axis_is_reverse(axis: Axis) -> bool {
     matches!(
         axis,
         Axis::Ancestor | Axis::AncestorOrSelf | Axis::PrecedingSibling | Axis::Preceding
@@ -218,15 +218,79 @@ fn apply_axis_step(
     Ok(out_refs.into_iter().map(Item::Node).collect())
 }
 
+/// A predicate whose selection is a pure position lookup: a numeric literal
+/// (`[1]`, `[2.5]`) or a bare `last()` call resolving to the built-in.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum PosTake {
+    Index(f64),
+    Last,
+}
+
+/// Recognises positional-take predicates. `last()` qualifies only when it
+/// is not shadowed by a user-declared function — the decision is static
+/// (the `fn:` namespace is reserved, natives live in `browser:`) so the
+/// interpreter and the compiled plan always agree on it.
+pub(crate) fn positional_take(ctx: &DynamicContext, pred: &crate::ast::Expr) -> Option<PosTake> {
+    static_positional_take(&ctx.sctx, pred)
+}
+
+pub(crate) fn static_positional_take(
+    sctx: &crate::context::StaticContext,
+    pred: &crate::ast::Expr,
+) -> Option<PosTake> {
+    match pred {
+        crate::ast::Expr::Literal(a) if a.is_numeric() && !matches!(a, Atomic::Untyped(_)) => {
+            Some(PosTake::Index(a.as_double().ok()?))
+        }
+        crate::ast::Expr::FunctionCall { name, args }
+            if args.is_empty()
+                && &*name.local == "last"
+                && name.ns.as_deref() == Some(xqib_dom::name::FN_NS)
+                && sctx.lookup_function(name, 0).is_none() =>
+        {
+            Some(PosTake::Last)
+        }
+        _ => None,
+    }
+}
+
+/// Resolves a positional take against a list of `len` items: the selected
+/// index (0-based), or `None` for an empty selection. Matches
+/// `predicate_truth`'s `d == position` test: fractional, negative and NaN
+/// positions select nothing.
+pub(crate) fn take_index(take: &PosTake, len: usize) -> Option<usize> {
+    match take {
+        PosTake::Index(d) => {
+            if *d >= 1.0 && d.fract() == 0.0 && (*d as usize) <= len {
+                Some(*d as usize - 1)
+            } else {
+                None
+            }
+        }
+        PosTake::Last => len.checked_sub(1),
+    }
+}
+
 /// Applies predicates to a node list (in axis order: positions count along
 /// the axis direction).
-fn apply_predicates_to_nodes(
+pub(crate) fn apply_predicates_to_nodes(
     ctx: &mut DynamicContext,
     nodes: Vec<NodeRef>,
     predicates: &[crate::ast::Expr],
 ) -> XdmResult<Vec<NodeRef>> {
     let mut current = nodes;
     for pred in predicates {
+        // Positional short-circuit: `[k]` / `[last()]` index directly
+        // instead of evaluating the predicate against every node — `//x[1]`
+        // must not pay for every sibling it discards.
+        if let Some(take) = positional_take(ctx, pred) {
+            ctx.charge_fuel(1)?;
+            current = match take_index(&take, current.len()) {
+                Some(i) => vec![current[i]],
+                None => vec![],
+            };
+            continue;
+        }
         let size = current.len();
         let mut next = Vec::with_capacity(current.len());
         for (i, n) in current.iter().enumerate() {
@@ -250,6 +314,14 @@ pub(crate) fn apply_predicates(
 ) -> XdmResult<Sequence> {
     let mut current = seq;
     for pred in predicates {
+        if let Some(take) = positional_take(ctx, pred) {
+            ctx.charge_fuel(1)?;
+            current = match take_index(&take, current.len()) {
+                Some(i) => vec![current[i].clone()],
+                None => vec![],
+            };
+            continue;
+        }
         let size = current.len();
         let mut next = Vec::with_capacity(current.len());
         for (i, item) in current.iter().enumerate() {
@@ -267,7 +339,7 @@ pub(crate) fn apply_predicates(
 
 /// Predicate semantics: a numeric singleton is a position test, everything
 /// else takes the effective boolean value.
-fn predicate_truth(
+pub(crate) fn predicate_truth(
     ctx: &mut DynamicContext,
     pred: &crate::ast::Expr,
     position: usize,

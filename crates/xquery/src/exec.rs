@@ -1,0 +1,1439 @@
+//! The streaming pull evaluator for [`CompiledPlan`]s.
+//!
+//! Where the interpreter materialises every intermediate sequence, this
+//! executor evaluates plan paths through *cursors*: each axis step pulls
+//! nodes from the step before it one at a time, so `exists(//a)` touches a
+//! single node, `//x[1]` stops at the first match per context node, and a
+//! long path never holds more than one per-step frontier in memory. Fuel is
+//! charged per pulled candidate, so `XQIB0011`/`XQIB0014` preemption
+//! semantics are preserved — a streamed query pays proportionally to the
+//! nodes it actually touches.
+//!
+//! # Equivalence contract
+//!
+//! For every query, `CompiledPlan::execute` produces the same sequence,
+//! the same dynamic error codes and the same pending-update effects as
+//! `CompiledQuery::execute`, with one documented exception: under a fuel
+//! budget a streamed early exit may *succeed* where the interpreter runs
+//! out of fuel (never the other way around — the executor charges at least
+//! as eagerly). The machinery behind the guarantee:
+//!
+//! * lazy cursors are only built for paths lowering marked `lazy` (every
+//!   predicate stage statically infallible), so a cursor can fail only
+//!   before its first item or on fuel — pull order can never reorder which
+//!   error surfaces;
+//! * steps whose per-node output cannot be concatenated in document order
+//!   (`streamed == false`) run as buffered barriers inside the pipeline,
+//!   draining their input and sorting exactly like the interpreter;
+//! * anything outside the streaming subset — multi-item path starts,
+//!   fallible predicates, general FLWOR shapes — replays the interpreter's
+//!   breadth-first algorithm over the plan, value for value and charge
+//!   point for charge point.
+
+use xqib_dom::{NodeRef, QName, Store};
+use xqib_xdm::{
+    atomize, effective_boolean_value, Atomic, EbvProbe, Item, Sequence, XdmError, XdmResult,
+};
+
+use crate::ast::Axis;
+use crate::context::DynamicContext;
+use crate::eval::arith::{apply_arith, atomic_from_seq, neg_atomic, range_bounds};
+use crate::eval::flwor::sort_keyed;
+use crate::eval::path::{
+    axis_concat_stays_sorted, axis_is_reverse, axis_nodes, node_test_matches, take_index, PosTake,
+};
+use crate::eval::{self, EXIT_CODE};
+use crate::plan::{
+    comparable_infallible, plan_class, yields_nodes_only, CompiledPlan, PathPlan, PathStartPlan,
+    Plan, PlanAxisStep, PlanClause, PlanPred, PlanStep, PlanStmt, PredStage, ValClass,
+};
+
+impl CompiledPlan {
+    /// Executes the lowered program: globals, body statements with
+    /// scripting visibility between them, `exit with` unwinding, final
+    /// update application. Mirrors `CompiledQuery::execute`.
+    pub fn execute(&self, ctx: &mut DynamicContext) -> XdmResult<Sequence> {
+        self.init_globals(ctx)?;
+        let result = exec_statements(ctx, &self.body);
+        let result = match result {
+            Err(e) if e.code == EXIT_CODE => Ok(ctx.exit_value.take().unwrap_or_default()),
+            other => other,
+        }?;
+        eval::apply_pending(ctx)?;
+        Ok(result)
+    }
+
+    fn init_globals(&self, ctx: &mut DynamicContext) -> XdmResult<()> {
+        for g in &self.globals {
+            if let Some(init) = &g.init {
+                let v = eval_plan(ctx, init)?;
+                ctx.bind_global(g.name.clone(), v);
+            } else if ctx.lookup_var(&g.name).is_none() {
+                return Err(XdmError::undefined(format!(
+                    "external variable ${} was not provided",
+                    g.name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn exec_statements(ctx: &mut DynamicContext, stmts: &[PlanStmt]) -> XdmResult<Sequence> {
+    let mut last: Sequence = vec![];
+    for (i, stmt) in stmts.iter().enumerate() {
+        let is_last = i + 1 == stmts.len();
+        last = exec_statement(ctx, stmt)?;
+        if !is_last {
+            eval::apply_pending(ctx)?;
+        }
+    }
+    Ok(last)
+}
+
+fn exec_statement(ctx: &mut DynamicContext, stmt: &PlanStmt) -> XdmResult<Sequence> {
+    match stmt {
+        PlanStmt::VarDecl { name, init } => {
+            let v = match init {
+                Some(p) => eval_plan(ctx, p)?,
+                None => vec![],
+            };
+            ctx.bind_var(name.clone(), v);
+            Ok(vec![])
+        }
+        PlanStmt::Assign { name, value } => {
+            let v = eval_plan(ctx, value)?;
+            ctx.assign_var(name, v)?;
+            Ok(vec![])
+        }
+        PlanStmt::While { cond, body } => {
+            let mut guard = 0u64;
+            loop {
+                let c = effective_boolean_value(&eval_plan(ctx, cond)?)?;
+                if !c {
+                    break;
+                }
+                ctx.push_scope();
+                let r = exec_statements(ctx, body);
+                ctx.pop_scope();
+                r?;
+                eval::apply_pending(ctx)?;
+                guard += 1;
+                if guard > ctx.loop_guard {
+                    return Err(XdmError::new(
+                        "XQSE0001",
+                        "while loop exceeded the iteration guard",
+                    ));
+                }
+            }
+            Ok(vec![])
+        }
+        PlanStmt::ExitWith(p) => {
+            let v = eval_plan(ctx, p)?;
+            ctx.exit_value = Some(v);
+            Err(XdmError::new(EXIT_CODE, "exit"))
+        }
+        PlanStmt::Expr(p) => eval_plan(ctx, p),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// expression evaluation
+// ---------------------------------------------------------------------------
+
+pub(crate) fn eval_plan(ctx: &mut DynamicContext, p: &Plan) -> XdmResult<Sequence> {
+    // fallbacks charge for themselves inside `eval_expr`
+    if let Plan::Fallback(e) = p {
+        return eval::eval_expr(ctx, e);
+    }
+    ctx.charge_fuel(1)?;
+    match p {
+        Plan::Fallback(_) => unreachable!("handled above"),
+        Plan::Const(seq) => Ok(seq.clone()),
+        Plan::Var(name) => ctx
+            .lookup_var(name)
+            .cloned()
+            .ok_or_else(|| XdmError::undefined(format!("undefined variable ${name}"))),
+        Plan::ContextItem => ctx.context_item().map(|i| vec![i]),
+        Plan::Seq(ps) => {
+            let mut out = Vec::new();
+            for part in ps {
+                out.extend(eval_plan(ctx, part)?);
+            }
+            Ok(out)
+        }
+        Plan::Range(lo, hi) => {
+            let l = plan_atomic(ctx, lo)?;
+            let h = plan_atomic(ctx, hi)?;
+            let Some((l, h)) = range_bounds(l, h)? else {
+                return Ok(vec![]);
+            };
+            Ok((l..=h).map(Item::integer).collect())
+        }
+        Plan::Arith(op, l, r) => {
+            let (Some(a), Some(b)) = (plan_atomic(ctx, l)?, plan_atomic(ctx, r)?) else {
+                return Ok(vec![]);
+            };
+            apply_arith(*op, &a, &b).map(|v| vec![Item::Atomic(v)])
+        }
+        Plan::Neg(inner) => {
+            let v = plan_atomic(ctx, inner)?;
+            neg_atomic(v)
+        }
+        Plan::ValueComp(op, l, r) => {
+            let ls = eval_plan(ctx, l)?;
+            let rs = eval_plan(ctx, r)?;
+            eval::value_comp_seqs(ctx, *op, &ls, &rs)
+        }
+        Plan::GeneralComp(op, l, r) => {
+            let ls = eval_plan(ctx, l)?;
+            let rs = eval_plan(ctx, r)?;
+            eval::general_comp_seqs(ctx, *op, &ls, &rs)
+        }
+        Plan::And(l, r) => {
+            let lv = effective_boolean_value(&eval_plan(ctx, l)?)?;
+            if !lv {
+                return Ok(vec![Item::boolean(false)]);
+            }
+            let rv = effective_boolean_value(&eval_plan(ctx, r)?)?;
+            Ok(vec![Item::boolean(rv)])
+        }
+        Plan::Or(l, r) => {
+            let lv = effective_boolean_value(&eval_plan(ctx, l)?)?;
+            if lv {
+                return Ok(vec![Item::boolean(true)]);
+            }
+            let rv = effective_boolean_value(&eval_plan(ctx, r)?)?;
+            Ok(vec![Item::boolean(rv)])
+        }
+        Plan::If { cond, then, els } => {
+            if effective_boolean_value(&eval_plan(ctx, cond)?)? {
+                eval_plan(ctx, then)
+            } else {
+                eval_plan(ctx, els)
+            }
+        }
+        Plan::Flwor { clauses, ret } => exec_flwor(ctx, clauses, ret),
+        Plan::Path(pp) => eval_path_plan(ctx, pp),
+        Plan::Exists { src, negate } => {
+            let mut cur = open_cursor(ctx, src)?;
+            let found = cur.next(ctx)?.is_some();
+            Ok(vec![Item::boolean(found != *negate)])
+        }
+        Plan::Count(src) => {
+            let mut cur = open_cursor(ctx, src)?;
+            let mut n: i64 = 0;
+            while cur.next(ctx)?.is_some() {
+                n += 1;
+            }
+            Ok(vec![Item::integer(n)])
+        }
+        Plan::Not(src) => {
+            let mut cur = open_cursor(ctx, src)?;
+            let mut probe = EbvProbe::new();
+            loop {
+                match cur.next(ctx)? {
+                    Some(item) => {
+                        if let Some(b) = probe.push(item)? {
+                            return Ok(vec![Item::boolean(!b)]);
+                        }
+                    }
+                    None => return Ok(vec![Item::boolean(!probe.finish()?)]),
+                }
+            }
+        }
+        Plan::Call { name, args } => {
+            let mut argv = Vec::with_capacity(args.len());
+            for a in args {
+                argv.push(eval_plan(ctx, a)?);
+            }
+            eval::call_function(ctx, name, argv)
+        }
+    }
+}
+
+/// The arithmetic operand rule over a plan operand.
+fn plan_atomic(ctx: &mut DynamicContext, p: &Plan) -> XdmResult<Option<Atomic>> {
+    let v = eval_plan(ctx, p)?;
+    atomic_from_seq(ctx, &v)
+}
+
+// ---------------------------------------------------------------------------
+// cursors
+// ---------------------------------------------------------------------------
+
+/// A pull source over a plan's result. Only lazy paths and ranges stream;
+/// everything else materialises once and iterates.
+enum Cursor<'p> {
+    Seq(std::vec::IntoIter<Item>),
+    Range(std::ops::RangeInclusive<i64>),
+    Path(Box<PathCursor<'p>>),
+}
+
+fn open_cursor<'p>(ctx: &mut DynamicContext, p: &'p Plan) -> XdmResult<Cursor<'p>> {
+    match p {
+        Plan::Range(lo, hi) => {
+            ctx.charge_fuel(1)?;
+            let l = plan_atomic(ctx, lo)?;
+            let h = plan_atomic(ctx, hi)?;
+            Ok(match range_bounds(l, h)? {
+                Some((l, h)) => Cursor::Range(l..=h),
+                None => Cursor::Seq(Vec::new().into_iter()),
+            })
+        }
+        Plan::Path(pp) if pp.lazy => {
+            ctx.charge_fuel(1)?;
+            match open_path(ctx, pp)? {
+                Opened::Stream(cur) => Ok(Cursor::Path(Box::new(cur))),
+                Opened::Eager(seq) => Ok(Cursor::Seq(seq.into_iter())),
+            }
+        }
+        other => Ok(Cursor::Seq(eval_plan(ctx, other)?.into_iter())),
+    }
+}
+
+impl Cursor<'_> {
+    fn next(&mut self, ctx: &mut DynamicContext) -> XdmResult<Option<Item>> {
+        match self {
+            Cursor::Seq(it) => Ok(it.next()),
+            Cursor::Range(r) => match r.next() {
+                Some(i) => {
+                    ctx.charge_fuel(1)?;
+                    Ok(Some(Item::integer(i)))
+                }
+                None => Ok(None),
+            },
+            Cursor::Path(pc) => pc.next(ctx),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// path evaluation
+// ---------------------------------------------------------------------------
+
+enum Opened<'p> {
+    Stream(PathCursor<'p>),
+    Eager(Sequence),
+}
+
+fn eval_path_plan(ctx: &mut DynamicContext, pp: &PathPlan) -> XdmResult<Sequence> {
+    match open_path(ctx, pp)? {
+        Opened::Eager(seq) => Ok(seq),
+        Opened::Stream(mut cur) => {
+            let mut out = Vec::new();
+            while let Some(item) = cur.next(ctx)? {
+                out.push(item);
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Resolves the path start exactly like the interpreter and decides between
+/// a streaming cursor and an eager replay. Streaming requires the `lazy`
+/// flag plus a single-node start: the static invariants were computed under
+/// that assumption, so anything else replays breadth-first.
+fn open_path<'p>(ctx: &mut DynamicContext, pp: &'p PathPlan) -> XdmResult<Opened<'p>> {
+    let (mut start, mut normalized, mut steps) = resolve_start(ctx, pp)?;
+    if !pp.lazy {
+        return exec_steps_eager(ctx, start, normalized, steps).map(Opened::Eager);
+    }
+    // a leading filter step (focus-present case) runs as one eager step
+    if let Some((PlanStep::Filter { primary, preds }, rest)) = steps.split_first() {
+        ctx.charge_fuel(1 + start.len() as u64)?;
+        let (seq, norm) = apply_filter_step(ctx, &start, primary, preds)?;
+        start = seq;
+        normalized = norm;
+        steps = rest;
+    }
+    if steps.is_empty() || start.len() != 1 || !matches!(start[0], Item::Node(_)) {
+        // non-node starts raise XPTY0019 with the interpreter's charge order
+        return exec_steps_eager(ctx, start, normalized, steps).map(Opened::Eager);
+    }
+    let Item::Node(n) = start[0] else {
+        unreachable!("checked above")
+    };
+    Ok(Opened::Stream(PathCursor::new(n, steps)))
+}
+
+fn resolve_start<'p>(
+    ctx: &mut DynamicContext,
+    pp: &'p PathPlan,
+) -> XdmResult<(Sequence, bool, &'p [PlanStep])> {
+    match pp.start {
+        PathStartPlan::Root => {
+            let item = ctx.context_item()?;
+            let Item::Node(n) = item else {
+                return Err(XdmError::new(
+                    "XPTY0020",
+                    "`/` requires the context item to be a node",
+                ));
+            };
+            let root = {
+                let store = ctx.store.borrow();
+                store.doc(n.doc).tree_root(n.node)
+            };
+            Ok((vec![Item::Node(NodeRef::new(n.doc, root))], true, &pp.steps))
+        }
+        PathStartPlan::Relative => {
+            if let Some(f) = &ctx.focus {
+                return Ok((vec![f.item.clone()], true, &pp.steps));
+            }
+            match pp.steps.split_first() {
+                Some((PlanStep::Filter { primary, preds }, rest)) => {
+                    let r = eval_plan(ctx, primary)?;
+                    let filtered = apply_plan_preds(ctx, r, preds)?;
+                    let normalized = filtered.len() <= 1;
+                    Ok((filtered, normalized, rest))
+                }
+                _ => Err(XdmError::undefined("relative path with no context item")),
+            }
+        }
+    }
+}
+
+// ----- eager replay (interpreter algorithm over the plan) -------------------
+
+fn exec_steps_eager(
+    ctx: &mut DynamicContext,
+    mut current: Sequence,
+    mut normalized: bool,
+    steps: &[PlanStep],
+) -> XdmResult<Sequence> {
+    for step in steps {
+        ctx.charge_fuel(1 + current.len() as u64)?;
+        match step {
+            PlanStep::Axis(ax) => {
+                current = eager_axis_step(ctx, &current, ax, normalized)?;
+                normalized = true;
+            }
+            PlanStep::Filter { primary, preds } => {
+                let (seq, norm) = apply_filter_step(ctx, &current, primary, preds)?;
+                current = seq;
+                normalized = norm;
+            }
+        }
+    }
+    Ok(current)
+}
+
+fn eager_axis_step(
+    ctx: &mut DynamicContext,
+    input: &Sequence,
+    step: &PlanAxisStep,
+    input_normalized: bool,
+) -> XdmResult<Sequence> {
+    let mut out_refs: Vec<NodeRef> = Vec::new();
+    for item in input {
+        let Item::Node(n) = item else {
+            return Err(XdmError::new(
+                "XPTY0019",
+                "axis step applied to an atomic value",
+            ));
+        };
+        out_refs.extend(node_survivors(ctx, *n, step, false)?);
+    }
+    if out_refs.len() > 1 {
+        let store = ctx.store.borrow();
+        let elide = if input.len() == 1 {
+            true
+        } else {
+            input_normalized
+                && axis_concat_stays_sorted(step.axis)
+                && xqib_dom::order::strictly_ordered_disjoint(
+                    &store,
+                    input.iter().filter_map(|i| i.as_node()),
+                )
+        };
+        if elide {
+            if input.len() == 1 && axis_is_reverse(step.axis) {
+                out_refs.reverse();
+            }
+            xqib_dom::order::stats::record_elided_sort();
+        } else {
+            xqib_dom::order::sort_dedup(&store, &mut out_refs);
+        }
+    }
+    Ok(out_refs.into_iter().map(Item::Node).collect())
+}
+
+/// The interpreter's filter-step arm: per-item focus, predicates,
+/// homogeneity check, node normalisation.
+fn apply_filter_step(
+    ctx: &mut DynamicContext,
+    input: &Sequence,
+    primary: &Plan,
+    preds: &[PlanPred],
+) -> XdmResult<(Sequence, bool)> {
+    let mut combined: Sequence = Vec::new();
+    let size = input.len();
+    for (i, item) in input.iter().enumerate() {
+        let result = ctx.with_focus(item.clone(), i + 1, size, |ctx| eval_plan(ctx, primary))?;
+        combined.extend(apply_plan_preds(ctx, result, preds)?);
+    }
+    if combined.len() <= 1 {
+        return Ok((combined, true));
+    }
+    let mut any_node = false;
+    let mut any_atomic = false;
+    for r in &combined {
+        match r {
+            Item::Node(_) => any_node = true,
+            Item::Atomic(_) => any_atomic = true,
+        }
+    }
+    if any_node && any_atomic {
+        return Err(XdmError::new(
+            "XPTY0018",
+            "path step mixes nodes and atomic values",
+        ));
+    }
+    if any_node {
+        let mut refs: Vec<NodeRef> = combined
+            .iter()
+            .map(|i| i.as_node().expect("all nodes"))
+            .collect();
+        let store = ctx.store.borrow();
+        xqib_dom::order::sort_dedup(&store, &mut refs);
+        Ok((refs.into_iter().map(Item::Node).collect(), true))
+    } else {
+        Ok((combined, false))
+    }
+}
+
+/// Lowered-predicate application to a general sequence (the interpreter's
+/// `apply_predicates`).
+fn apply_plan_preds(
+    ctx: &mut DynamicContext,
+    seq: Sequence,
+    preds: &[PlanPred],
+) -> XdmResult<Sequence> {
+    let mut current = seq;
+    for pred in preds {
+        if let Some(take) = &pred.take {
+            ctx.charge_fuel(1)?;
+            current = match take_index(take, current.len()) {
+                Some(i) => vec![current[i].clone()],
+                None => vec![],
+            };
+            continue;
+        }
+        let size = current.len();
+        let mut next = Vec::with_capacity(size);
+        for (i, item) in current.iter().enumerate() {
+            let keep = ctx.with_focus(item.clone(), i + 1, size, |ctx| {
+                plan_pred_truth(ctx, &pred.plan, i + 1)
+            })?;
+            if keep {
+                next.push(item.clone());
+            }
+        }
+        current = next;
+    }
+    Ok(current)
+}
+
+/// Predicate semantics: a numeric singleton is a position test, everything
+/// else takes the effective boolean value.
+fn plan_pred_truth(ctx: &mut DynamicContext, p: &Plan, position: usize) -> XdmResult<bool> {
+    let v = eval_plan(ctx, p)?;
+    if v.len() == 1 {
+        if let Item::Atomic(a) = &v[0] {
+            if a.is_numeric() && !matches!(a, Atomic::Untyped(_)) {
+                let d = a.as_double()?;
+                return Ok(d == position as f64);
+            }
+        }
+    }
+    effective_boolean_value(&v)
+}
+
+// ----- per-node stage machinery --------------------------------------------
+
+/// Candidates of one axis step from one context node, with all predicate
+/// stages applied (positions count along the axis direction). When
+/// `reverse` is set, reverse-axis output is flipped to document order —
+/// the interpreter's single-input elision.
+fn node_survivors(
+    ctx: &mut DynamicContext,
+    n: NodeRef,
+    step: &PlanAxisStep,
+    reverse: bool,
+) -> XdmResult<Vec<NodeRef>> {
+    let candidates: Vec<NodeRef> = {
+        let store = ctx.store.borrow();
+        axis_nodes(&store, n, step.axis)
+            .into_iter()
+            .filter(|&c| node_test_matches(&store, c, step.axis, &step.test))
+            .collect()
+    };
+    ctx.charge_fuel(candidates.len() as u64)?;
+    let mut survivors = apply_stages(ctx, candidates, &step.stages)?;
+    if reverse && axis_is_reverse(step.axis) && survivors.len() > 1 {
+        survivors.reverse();
+    }
+    Ok(survivors)
+}
+
+fn apply_stages(
+    ctx: &mut DynamicContext,
+    nodes: Vec<NodeRef>,
+    stages: &[PredStage],
+) -> XdmResult<Vec<NodeRef>> {
+    let mut current = nodes;
+    for stage in stages {
+        match stage {
+            PredStage::Take(t) => {
+                ctx.charge_fuel(1)?;
+                current = match take_index(t, current.len()) {
+                    Some(i) => vec![current[i]],
+                    None => vec![],
+                };
+            }
+            PredStage::AttrEq { name, value } => {
+                ctx.charge_fuel(current.len() as u64)?;
+                let store = ctx.store.borrow();
+                current.retain(|&c| attr_eq(&store, c, name, value));
+            }
+            PredStage::Filter(p) => {
+                let size = current.len();
+                let mut next = Vec::with_capacity(size);
+                for (i, &c) in current.iter().enumerate() {
+                    let keep = ctx.with_focus(Item::Node(c), i + 1, size, |ctx| {
+                        let v = eval_plan(ctx, &p.plan)?;
+                        effective_boolean_value(&v)
+                    })?;
+                    if keep {
+                        next.push(c);
+                    }
+                }
+                current = next;
+            }
+            PredStage::General(preds) => {
+                for pred in preds {
+                    if let Some(take) = &pred.take {
+                        ctx.charge_fuel(1)?;
+                        current = match take_index(take, current.len()) {
+                            Some(i) => vec![current[i]],
+                            None => vec![],
+                        };
+                        continue;
+                    }
+                    let size = current.len();
+                    let mut next = Vec::with_capacity(size);
+                    for (i, &c) in current.iter().enumerate() {
+                        let keep = ctx.with_focus(Item::Node(c), i + 1, size, |ctx| {
+                            plan_pred_truth(ctx, &pred.plan, i + 1)
+                        })?;
+                        if keep {
+                            next.push(c);
+                        }
+                    }
+                    current = next;
+                }
+            }
+        }
+    }
+    Ok(current)
+}
+
+fn attr_eq(store: &Store, c: NodeRef, name: &QName, value: &str) -> bool {
+    store
+        .doc(c.doc)
+        .get_attribute(c.node, name.ns.as_deref(), &name.local)
+        == Some(value)
+}
+
+// ----- the streaming cursor -------------------------------------------------
+
+/// A chain of per-step cursors over an all-axis-step path with a single
+/// node start. Pulling the last step pulls its input from the previous one
+/// on demand (volcano-style).
+struct PathCursor<'p> {
+    start: Option<NodeRef>,
+    steps: Vec<StepCursor<'p>>,
+}
+
+enum StepCursor<'p> {
+    /// per-node concatenation preserves document order
+    Streamed {
+        step: &'p PlanAxisStep,
+        out: StepOut,
+    },
+    /// sort barrier: drains its whole input, applies the step eagerly
+    Barrier {
+        step: &'p PlanAxisStep,
+        out: Option<std::vec::IntoIter<NodeRef>>,
+    },
+}
+
+enum StepOut {
+    Idle,
+    Walk(WalkState),
+    List(std::vec::IntoIter<NodeRef>),
+}
+
+impl<'p> PathCursor<'p> {
+    fn new(start: NodeRef, steps: &'p [PlanStep]) -> Self {
+        let steps = steps
+            .iter()
+            .map(|s| {
+                let PlanStep::Axis(ax) = s else {
+                    unreachable!("open_path consumes filter steps before streaming")
+                };
+                if ax.streamed {
+                    StepCursor::Streamed {
+                        step: ax,
+                        out: StepOut::Idle,
+                    }
+                } else {
+                    StepCursor::Barrier {
+                        step: ax,
+                        out: None,
+                    }
+                }
+            })
+            .collect();
+        PathCursor {
+            start: Some(start),
+            steps,
+        }
+    }
+
+    fn next(&mut self, ctx: &mut DynamicContext) -> XdmResult<Option<Item>> {
+        let last = self.steps.len() - 1;
+        Ok(self.step_next(ctx, last)?.map(Item::Node))
+    }
+
+    fn pull_input(&mut self, ctx: &mut DynamicContext, i: usize) -> XdmResult<Option<NodeRef>> {
+        if i == 0 {
+            Ok(self.start.take())
+        } else {
+            self.step_next(ctx, i - 1)
+        }
+    }
+
+    fn step_next(&mut self, ctx: &mut DynamicContext, i: usize) -> XdmResult<Option<NodeRef>> {
+        if matches!(self.steps[i], StepCursor::Barrier { .. }) {
+            if matches!(&self.steps[i], StepCursor::Barrier { out: None, .. }) {
+                let mut inputs: Vec<NodeRef> = Vec::new();
+                while let Some(n) = self.pull_input(ctx, i)? {
+                    inputs.push(n);
+                }
+                let StepCursor::Barrier { step, .. } = &self.steps[i] else {
+                    unreachable!()
+                };
+                let step = *step;
+                let result = barrier_apply(ctx, inputs, step)?;
+                let StepCursor::Barrier { out, .. } = &mut self.steps[i] else {
+                    unreachable!()
+                };
+                *out = Some(result.into_iter());
+            }
+            let StepCursor::Barrier { out: Some(it), .. } = &mut self.steps[i] else {
+                unreachable!()
+            };
+            return Ok(it.next());
+        }
+        loop {
+            {
+                let StepCursor::Streamed { step, out } = &mut self.steps[i] else {
+                    unreachable!()
+                };
+                match out {
+                    StepOut::Idle => {}
+                    StepOut::Walk(ws) => {
+                        if let Some(n) = walk_next(ctx, ws, step)? {
+                            return Ok(Some(n));
+                        }
+                    }
+                    StepOut::List(it) => {
+                        if let Some(n) = it.next() {
+                            return Ok(Some(n));
+                        }
+                    }
+                }
+            }
+            let Some(n) = self.pull_input(ctx, i)? else {
+                return Ok(None);
+            };
+            // the interpreter charges one unit per (step, context item)
+            ctx.charge_fuel(1)?;
+            let StepCursor::Streamed { step, .. } = &self.steps[i] else {
+                unreachable!()
+            };
+            let step = *step;
+            let new_out = open_node(ctx, n, step)?;
+            let StepCursor::Streamed { out, .. } = &mut self.steps[i] else {
+                unreachable!()
+            };
+            *out = new_out;
+        }
+    }
+}
+
+/// Drain-and-sort application of a non-streamable step inside the lazy
+/// pipeline. Input from a streamed upstream is always normalized.
+fn barrier_apply(
+    ctx: &mut DynamicContext,
+    inputs: Vec<NodeRef>,
+    step: &PlanAxisStep,
+) -> XdmResult<Vec<NodeRef>> {
+    ctx.charge_fuel(1 + inputs.len() as u64)?;
+    let seq: Sequence = inputs.into_iter().map(Item::Node).collect();
+    let out = eager_axis_step(ctx, &seq, step, true)?;
+    Ok(out
+        .into_iter()
+        .map(|i| i.as_node().expect("axis output is nodes"))
+        .collect())
+}
+
+/// Opens one context node's axis enumeration: a lazy walker when the axis
+/// and stages support incremental admission, otherwise a buffered list.
+fn open_node(ctx: &mut DynamicContext, n: NodeRef, step: &PlanAxisStep) -> XdmResult<StepOut> {
+    let walkable = matches!(
+        step.axis,
+        Axis::Child | Axis::Attribute | Axis::SelfAxis | Axis::Descendant | Axis::DescendantOrSelf
+    ) && step.stages.iter().all(|s| {
+        matches!(
+            s,
+            PredStage::AttrEq { .. } | PredStage::Filter(_) | PredStage::Take(PosTake::Index(_))
+        )
+    });
+    if !walkable {
+        // reverse axes are only streamed off a single context node, where
+        // the interpreter elides the sort and reverses into document order
+        let survivors = node_survivors(ctx, n, step, true)?;
+        return Ok(StepOut::List(survivors.into_iter()));
+    }
+    let walker = match step.axis {
+        Axis::Child => Walker::Children { parent: n, idx: 0 },
+        Axis::Attribute => Walker::Attrs { owner: n, idx: 0 },
+        Axis::SelfAxis => Walker::SelfOnce(Some(n)),
+        Axis::Descendant => {
+            let store = ctx.store.borrow();
+            let stack = store
+                .doc(n.doc)
+                .children(n.node)
+                .iter()
+                .rev()
+                .map(|&k| NodeRef::new(n.doc, k))
+                .collect();
+            Walker::Desc { stack }
+        }
+        Axis::DescendantOrSelf => Walker::Desc { stack: vec![n] },
+        _ => unreachable!("walkable axes checked above"),
+    };
+    let takes = vec![
+        0u64;
+        step.stages
+            .iter()
+            .filter(|s| matches!(s, PredStage::Take(_)))
+            .count()
+    ];
+    Ok(StepOut::Walk(WalkState {
+        walker,
+        takes,
+        closed: false,
+    }))
+}
+
+/// Incremental enumeration of one context node's candidates.
+struct WalkState {
+    walker: Walker,
+    /// survivor counters, one per `Take` stage
+    takes: Vec<u64>,
+    /// a take stage consumed its selected index — nothing later can pass
+    closed: bool,
+}
+
+enum Walker {
+    Children {
+        parent: NodeRef,
+        idx: usize,
+    },
+    Attrs {
+        owner: NodeRef,
+        idx: usize,
+    },
+    SelfOnce(Option<NodeRef>),
+    /// pre-order traversal (seeded with `[self]` for descendant-or-self,
+    /// the reversed child list for descendant)
+    Desc {
+        stack: Vec<NodeRef>,
+    },
+}
+
+impl Walker {
+    fn next(&mut self, store: &Store) -> Option<NodeRef> {
+        match self {
+            Walker::Children { parent, idx } => {
+                let r = store
+                    .doc(parent.doc)
+                    .children(parent.node)
+                    .get(*idx)
+                    .map(|&k| NodeRef::new(parent.doc, k));
+                if r.is_some() {
+                    *idx += 1;
+                }
+                r
+            }
+            Walker::Attrs { owner, idx } => {
+                let r = store
+                    .doc(owner.doc)
+                    .attributes(owner.node)
+                    .get(*idx)
+                    .map(|&k| NodeRef::new(owner.doc, k));
+                if r.is_some() {
+                    *idx += 1;
+                }
+                r
+            }
+            Walker::SelfOnce(slot) => slot.take(),
+            Walker::Desc { stack } => {
+                let n = stack.pop()?;
+                let doc = store.doc(n.doc);
+                for &k in doc.children(n.node).iter().rev() {
+                    stack.push(NodeRef::new(n.doc, k));
+                }
+                Some(n)
+            }
+        }
+    }
+}
+
+fn walk_next(
+    ctx: &mut DynamicContext,
+    ws: &mut WalkState,
+    step: &PlanAxisStep,
+) -> XdmResult<Option<NodeRef>> {
+    if ws.closed {
+        return Ok(None);
+    }
+    loop {
+        let cand = {
+            let store = ctx.store.borrow();
+            ws.walker.next(&store)
+        };
+        let Some(c) = cand else {
+            return Ok(None);
+        };
+        // one fuel unit per candidate examined: streamed traversals pay
+        // proportionally to the nodes they touch, preserving preemption
+        ctx.charge_fuel(1)?;
+        if !ctx.with_store(|s| node_test_matches(s, c, step.axis, &step.test)) {
+            continue;
+        }
+        if admit(ctx, c, step, ws)? {
+            return Ok(Some(c));
+        }
+        if ws.closed {
+            return Ok(None);
+        }
+    }
+}
+
+/// Runs the stage pipeline over one candidate. `Take(Index)` stages count
+/// survivors of the stages before them, pass exactly the k-th, and close
+/// the node afterwards — the streaming form of the positional short-circuit.
+fn admit(
+    ctx: &mut DynamicContext,
+    c: NodeRef,
+    step: &PlanAxisStep,
+    ws: &mut WalkState,
+) -> XdmResult<bool> {
+    let mut take_i = 0;
+    for stage in &step.stages {
+        match stage {
+            PredStage::Take(PosTake::Index(d)) => {
+                ws.takes[take_i] += 1;
+                let pos = ws.takes[take_i];
+                take_i += 1;
+                let sel = if *d >= 1.0 && d.fract() == 0.0 {
+                    Some(*d as u64)
+                } else {
+                    None
+                };
+                match sel {
+                    Some(k) if pos == k => {
+                        // selected: later stages may still reject it, but no
+                        // other candidate can ever pass this stage
+                        ws.closed = true;
+                    }
+                    Some(k) if pos < k => return Ok(false),
+                    _ => {
+                        // fractional/negative index selects nothing
+                        ws.closed = true;
+                        return Ok(false);
+                    }
+                }
+            }
+            PredStage::Take(PosTake::Last) => unreachable!("last-takes are buffered"),
+            PredStage::AttrEq { name, value } => {
+                let hit = ctx.with_store(|s| attr_eq(s, c, name, value));
+                if !hit {
+                    return Ok(false);
+                }
+            }
+            PredStage::Filter(p) => {
+                // position-free: the (1, 1) focus is observationally
+                // equivalent for these predicates
+                let keep = ctx.with_focus(Item::Node(c), 1, 1, |ctx| {
+                    let v = eval_plan(ctx, &p.plan)?;
+                    effective_boolean_value(&v)
+                })?;
+                if !keep {
+                    return Ok(false);
+                }
+            }
+            PredStage::General(_) => unreachable!("general stages are buffered"),
+        }
+    }
+    Ok(true)
+}
+
+// ---------------------------------------------------------------------------
+// FLWOR
+// ---------------------------------------------------------------------------
+
+type Tuple = Vec<(QName, Sequence)>;
+
+fn with_tuple<R>(
+    ctx: &mut DynamicContext,
+    tuple: &Tuple,
+    f: impl FnOnce(&mut DynamicContext) -> XdmResult<R>,
+) -> XdmResult<R> {
+    ctx.push_scope();
+    for (name, value) in tuple {
+        ctx.bind_var(name.clone(), value.clone());
+    }
+    let r = f(ctx);
+    ctx.pop_scope();
+    r
+}
+
+fn exec_flwor(ctx: &mut DynamicContext, clauses: &[PlanClause], ret: &Plan) -> XdmResult<Sequence> {
+    if let Some(out) = try_stream_flwor(ctx, clauses, ret)? {
+        return Ok(out);
+    }
+    // interpreter-identical breadth-first tuple pipeline
+    let mut tuples: Vec<Tuple> = vec![Vec::new()];
+    for clause in clauses {
+        tuples = apply_plan_clause(ctx, tuples, clause)?;
+    }
+    let mut out = Vec::new();
+    for tuple in tuples {
+        let v = with_tuple(ctx, &tuple, |ctx| eval_plan(ctx, ret))?;
+        out.extend(v);
+    }
+    Ok(out)
+}
+
+fn apply_plan_clause(
+    ctx: &mut DynamicContext,
+    tuples: Vec<Tuple>,
+    clause: &PlanClause,
+) -> XdmResult<Vec<Tuple>> {
+    match clause {
+        PlanClause::For { var, at, ty, seq } => {
+            let mut out = Vec::new();
+            for tuple in tuples {
+                let items = with_tuple(ctx, &tuple, |ctx| eval_plan(ctx, seq))?;
+                for (i, item) in items.into_iter().enumerate() {
+                    ctx.charge_fuel(1)?;
+                    if let Some(t) = ty {
+                        let single = vec![item.clone()];
+                        let ok = ctx.with_store(|s| t.matches(s, &single));
+                        if !ok {
+                            return Err(XdmError::type_error(format!(
+                                "for ${var} as {t}: item does not match"
+                            )));
+                        }
+                    }
+                    let mut new_tuple = tuple.clone();
+                    new_tuple.push((var.clone(), vec![item]));
+                    if let Some(at_var) = at {
+                        new_tuple.push((at_var.clone(), vec![Item::integer(i as i64 + 1)]));
+                    }
+                    out.push(new_tuple);
+                }
+            }
+            Ok(out)
+        }
+        PlanClause::Let { var, expr } => {
+            let mut out = Vec::with_capacity(tuples.len());
+            for tuple in tuples {
+                let v = with_tuple(ctx, &tuple, |ctx| eval_plan(ctx, expr))?;
+                let mut new_tuple = tuple;
+                new_tuple.push((var.clone(), v));
+                out.push(new_tuple);
+            }
+            Ok(out)
+        }
+        PlanClause::Where(cond) => {
+            let mut out = Vec::with_capacity(tuples.len());
+            for tuple in tuples {
+                let keep = with_tuple(ctx, &tuple, |ctx| {
+                    let v = eval_plan(ctx, cond)?;
+                    effective_boolean_value(&v)
+                })?;
+                if keep {
+                    out.push(tuple);
+                }
+            }
+            Ok(out)
+        }
+        PlanClause::OrderBy(specs) => {
+            let mut keyed: Vec<(Vec<Option<Atomic>>, Tuple)> = Vec::with_capacity(tuples.len());
+            for tuple in tuples {
+                let mut keys = Vec::with_capacity(specs.len());
+                for spec in specs {
+                    let v = with_tuple(ctx, &tuple, |ctx| eval_plan(ctx, &spec.key))?;
+                    let key = match v.len() {
+                        0 => None,
+                        1 => Some(atomize(&ctx.store.borrow(), &v[0])),
+                        _ => return Err(XdmError::type_error("order by key must be a singleton")),
+                    };
+                    keys.push(key);
+                }
+                keyed.push((keys, tuple));
+            }
+            let dirs: Vec<(bool, bool)> = specs
+                .iter()
+                .map(|s| (s.descending, s.empty_least))
+                .collect();
+            sort_keyed(keyed, &dirs)
+        }
+    }
+}
+
+// ----- streaming FLWOR ------------------------------------------------------
+
+/// Streams `for $v in <lazy node path> (let|where)* return R` in two
+/// phases: phase 1 pulls source bindings one at a time and applies the
+/// `let`/`where` chain immediately (all clause expressions are statically
+/// infallible and read-only, so neither error order nor the store can
+/// diverge from the interpreter's breadth-first pipeline); phase 2 runs the
+/// return clause over the surviving tuples only after the cursor is fully
+/// drained, so `R` may allocate, update or raise freely. Anything outside
+/// this shape falls back to the breadth-first replica.
+fn try_stream_flwor(
+    ctx: &mut DynamicContext,
+    clauses: &[PlanClause],
+    ret: &Plan,
+) -> XdmResult<Option<Sequence>> {
+    let Some((first, rest)) = clauses.split_first() else {
+        return Ok(None);
+    };
+    let PlanClause::For {
+        var,
+        at,
+        ty,
+        seq: Plan::Path(pp),
+    } = first
+    else {
+        return Ok(None);
+    };
+    if ty.is_some() || !pp.lazy || !yields_nodes_only(pp) {
+        return Ok(None);
+    }
+    for clause in rest {
+        let ok = match clause {
+            PlanClause::Where(cond) => stream_cond_ok(cond, var),
+            PlanClause::Let { expr, .. } => {
+                matches!(expr, Plan::Const(_)) || node_var_path(expr, var)
+            }
+            _ => false,
+        };
+        if !ok {
+            return Ok(None);
+        }
+    }
+
+    let mut source = match open_path(ctx, pp)? {
+        Opened::Stream(c) => Cursor::Path(Box::new(c)),
+        Opened::Eager(seq) => Cursor::Seq(seq.into_iter()),
+    };
+    let mut tuples: Vec<Tuple> = Vec::new();
+    let mut pos: i64 = 0;
+    while let Some(item) = source.next(ctx)? {
+        // one fuel unit per tuple, like the interpreter's `for` clause
+        ctx.charge_fuel(1)?;
+        pos += 1;
+        let mut tuple: Tuple = vec![(var.clone(), vec![item])];
+        if let Some(at_var) = at {
+            tuple.push((at_var.clone(), vec![Item::integer(pos)]));
+        }
+        let mut keep = true;
+        for clause in rest {
+            match clause {
+                PlanClause::Let { var: lv, expr } => {
+                    let v = with_tuple(ctx, &tuple, |ctx| eval_plan(ctx, expr))?;
+                    tuple.push((lv.clone(), v));
+                }
+                PlanClause::Where(cond) => {
+                    keep = with_tuple(ctx, &tuple, |ctx| {
+                        let v = eval_plan(ctx, cond)?;
+                        effective_boolean_value(&v)
+                    })?;
+                    if !keep {
+                        break;
+                    }
+                }
+                _ => unreachable!("gated above"),
+            }
+        }
+        if keep {
+            tuples.push(tuple);
+        }
+    }
+    let mut out = Vec::new();
+    for tuple in &tuples {
+        let v = with_tuple(ctx, tuple, |ctx| eval_plan(ctx, ret))?;
+        out.extend(v);
+    }
+    Ok(Some(out))
+}
+
+/// `$v/axis…` — a relative path reading only the bound node: a bare-`$v`
+/// leading filter step followed by axis steps with infallible stages.
+/// With `$v` holding a single node, evaluation cannot raise and yields
+/// nodes only.
+fn node_var_path(p: &Plan, var: &QName) -> bool {
+    let Plan::Path(pp) = p else {
+        return false;
+    };
+    if pp.start != PathStartPlan::Relative {
+        return false;
+    }
+    let Some((PlanStep::Filter { primary, preds }, rest)) = pp.steps.split_first() else {
+        return false;
+    };
+    if !matches!(primary, Plan::Var(v) if v == var) || !preds.is_empty() {
+        return false;
+    }
+    !rest.is_empty()
+        && rest.iter().all(|s| match s {
+            PlanStep::Axis(ax) => ax.stages.iter().all(|st| st.infallible()),
+            PlanStep::Filter { .. } => false,
+        })
+}
+
+/// Infallible-and-EBV-safe under "`$var` holds one node, focus unknown".
+/// Deliberately narrow: the common `where` shapes over the bound variable.
+fn stream_cond_ok(p: &Plan, var: &QName) -> bool {
+    match p {
+        Plan::Const(seq) => effective_boolean_value(seq).is_ok(),
+        Plan::GeneralComp(_, l, r) => match (stream_class(l, var), stream_class(r, var)) {
+            (Some(a), Some(b)) => comparable_infallible(a, b),
+            _ => false,
+        },
+        Plan::And(l, r) | Plan::Or(l, r) => stream_cond_ok(l, var) && stream_cond_ok(r, var),
+        Plan::Exists { src, .. } => node_var_path(src, var) || matches!(&**src, Plan::Const(_)),
+        Plan::Not(src) => stream_cond_ok(src, var),
+        _ => node_var_path(p, var),
+    }
+}
+
+/// Value class of an infallible comparison operand in the same context;
+/// `None` means "may raise". A node sequence atomizes to untyped, which
+/// general comparison treats as string-like.
+fn stream_class(p: &Plan, var: &QName) -> Option<ValClass> {
+    match p {
+        Plan::Const(_) => Some(plan_class(p)),
+        Plan::Var(v) if v == var => Some(ValClass::StrLike),
+        _ if node_var_path(p, var) => Some(ValClass::StrLike),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::lower;
+    use crate::runtime::{self, render_sequence};
+    use xqib_dom::store::shared_store;
+    use xqib_dom::SharedStore;
+
+    const DOC: &str = r#"<site><items><item id="a"><price>10</price></item><item id="b"><price>20</price></item><item id="c"><price>30</price></item></items><names><name>x</name><name>y</name></names></site>"#;
+
+    fn store_with_doc(xml: &str) -> SharedStore {
+        let store = shared_store();
+        let doc = xqib_dom::parse_document(xml).unwrap();
+        store.borrow_mut().add_document(doc, Some("t.xml"));
+        store
+    }
+
+    fn interp(src: &str, store: SharedStore, fuel: Option<u64>) -> Result<String, String> {
+        let q = runtime::compile(src).map_err(|e| e.code)?;
+        let mut ctx = DynamicContext::new(store, q.sctx.clone());
+        ctx.set_fuel(fuel);
+        match q.execute(&mut ctx) {
+            Ok(seq) => Ok(render_sequence(&ctx, &seq)),
+            Err(e) => Err(e.code),
+        }
+    }
+
+    fn compiled(src: &str, store: SharedStore, fuel: Option<u64>) -> Result<String, String> {
+        let q = runtime::compile(src).map_err(|e| e.code)?;
+        let plan = lower(&q);
+        let mut ctx = DynamicContext::new(store, q.sctx.clone());
+        ctx.set_fuel(fuel);
+        match plan.execute(&mut ctx) {
+            Ok(seq) => Ok(render_sequence(&ctx, &seq)),
+            Err(e) => Err(e.code),
+        }
+    }
+
+    fn same(src: &str) {
+        let a = interp(src, store_with_doc(DOC), None);
+        let b = compiled(src, store_with_doc(DOC), None);
+        assert_eq!(a, b, "compiled/interpreted divergence on `{src}`");
+    }
+
+    #[test]
+    fn paths_agree() {
+        same("doc('t.xml')//item");
+        same("doc('t.xml')//item/price");
+        same("doc('t.xml')/site/items/item");
+        same("doc('t.xml')//item/@id");
+        same("doc('t.xml')//item[@id = 'b']");
+        same("doc('t.xml')//item[price]");
+        same("doc('t.xml')//item[1]");
+        same("doc('t.xml')//item[last()]");
+        same("doc('t.xml')//item[2]/price");
+        same("(doc('t.xml')//item)[2]");
+        same("doc('t.xml')//item/parent::items");
+        same("doc('t.xml')//price/ancestor::*");
+        same("doc('t.xml')//item[2]/preceding-sibling::item");
+        same("doc('t.xml')//name/../name");
+        same("doc('t.xml')//*[@id][price/text() = '20']");
+    }
+
+    #[test]
+    fn scalars_and_flwor_agree() {
+        same("1 to 10");
+        same("sum(1 to 100)");
+        same("for $i in 1 to 5 return $i * $i");
+        same("for $i in doc('t.xml')//item return $i/price");
+        same("for $i in doc('t.xml')//item where $i/@id = 'b' return $i");
+        same("for $i at $p in doc('t.xml')//item return $p");
+        same("for $i in doc('t.xml')//item order by $i/@id descending return $i/@id");
+        same("for $i in doc('t.xml')//item let $p := $i/price where $p = 20 return $i/@id");
+        same("exists(doc('t.xml')//item)");
+        same("empty(doc('t.xml')//missing)");
+        same("count(doc('t.xml')//item)");
+        same("not(doc('t.xml')//missing)");
+        same("if (doc('t.xml')//item) then 'y' else 'n'");
+        same("some $i in doc('t.xml')//item satisfies $i/@id = 'c'");
+    }
+
+    #[test]
+    fn errors_agree() {
+        same("1 div 0");
+        same("$undeclared");
+        same("doc('t.xml')//item/(price, 7)");
+        same("('a','b')/self::node()");
+        same("doc('t.xml')//item[price div 0 = 1]");
+    }
+
+    #[test]
+    fn scripting_and_updates_agree() {
+        same("declare variable $n := 0; while ($n < 5) { set $n := $n + 1; }; $n");
+        same("declare variable $n := 3; if ($n > 2) then exit with 'big' else (); 'small'");
+        let a = {
+            let store = store_with_doc(DOC);
+            let r = interp(
+                "insert node <new/> into doc('t.xml')/site, 0",
+                store.clone(),
+                None,
+            );
+            (
+                r,
+                runtime::run_to_string("doc('t.xml')/site/new", store).unwrap(),
+            )
+        };
+        let b = {
+            let store = store_with_doc(DOC);
+            let r = compiled(
+                "insert node <new/> into doc('t.xml')/site, 0",
+                store.clone(),
+                None,
+            );
+            (
+                r,
+                runtime::run_to_string("doc('t.xml')/site/new", store).unwrap(),
+            )
+        };
+        assert_eq!(a, b, "update effects diverge");
+        assert_eq!(b.1, "<new/>");
+    }
+
+    #[test]
+    fn streamed_early_exit_uses_less_fuel() {
+        // a budget the interpreter exhausts but the streaming cursor,
+        // stopping at the first match, does not
+        let mut wide = String::from("<d><hit/>");
+        for _ in 0..500 {
+            wide.push_str("<pad><x/><x/></pad>");
+        }
+        wide.push_str("</d>");
+        let q = "exists(doc('t.xml')//hit)";
+        assert_eq!(
+            interp(q, store_with_doc(&wide), Some(200)).unwrap_err(),
+            "XQIB0011"
+        );
+        assert_eq!(
+            compiled(q, store_with_doc(&wide), Some(200)).unwrap(),
+            "true"
+        );
+        // and the streamed result is never *cheaper but wrong*: unlimited
+        // budgets agree
+        let a = interp(q, store_with_doc(&wide), None).unwrap();
+        let b = compiled(q, store_with_doc(&wide), None).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fuel_exhaustion_still_raises() {
+        let q = "count(doc('t.xml')//item)";
+        assert_eq!(
+            compiled(q, store_with_doc(DOC), Some(3)).unwrap_err(),
+            "XQIB0011"
+        );
+    }
+
+    #[test]
+    fn positional_walker_stops_early() {
+        let mut wide = String::from("<d>");
+        for i in 0..1000 {
+            wide.push_str(&format!("<item n=\"{i}\"/>"));
+        }
+        wide.push_str("</d>");
+        // the interpreter evaluates the attribute predicate under a focus
+        // for every child; the walker probes one candidate, takes it, and
+        // closes the node
+        let q = "doc('t.xml')/d/item[@n = '0'][1]/@n";
+        let fuel_of = |use_plan: bool, src: &str, xml: &str| {
+            let store = store_with_doc(xml);
+            let q = runtime::compile(src).unwrap();
+            let mut ctx = DynamicContext::new(store, q.sctx.clone());
+            // a huge budget so `fuel_used` is tracked without preemption
+            ctx.set_fuel(Some(u64::MAX));
+            let out = if use_plan {
+                lower(&q).execute(&mut ctx).unwrap()
+            } else {
+                q.execute(&mut ctx).unwrap()
+            };
+            (render_sequence(&ctx, &out), ctx.fuel_used)
+        };
+        let (iv, ifuel) = fuel_of(false, q, &wide);
+        let (cv, cfuel) = fuel_of(true, q, &wide);
+        assert_eq!(iv, cv);
+        assert!(
+            cfuel * 10 < ifuel,
+            "walker should examine ~1 candidate, not 1000 (compiled {cfuel} vs interpreted {ifuel})"
+        );
+    }
+}

@@ -35,9 +35,12 @@
 pub mod ast;
 pub mod context;
 pub mod eval;
+pub mod exec;
 pub mod functions;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
+pub mod plancache;
 pub mod pul;
 pub mod runtime;
 pub mod token;

@@ -22,6 +22,8 @@ use crate::parser;
 #[derive(Default, Clone)]
 pub struct ModuleRegistry {
     modules: HashMap<String, Rc<LibraryModule>>,
+    /// FNV hash of each module's source, for the plan-cache fingerprint.
+    source_hashes: std::collections::BTreeMap<String, u64>,
 }
 
 impl ModuleRegistry {
@@ -33,12 +35,27 @@ impl ModuleRegistry {
     pub fn register_source(&mut self, src: &str) -> XdmResult<String> {
         let module = parser::parse_library(src)?;
         let uri = module.uri.clone();
+        self.source_hashes
+            .insert(uri.clone(), crate::plancache::hash_bytes(src.as_bytes()));
         self.modules.insert(uri.clone(), Rc::new(module));
         Ok(uri)
     }
 
     pub fn get(&self, uri: &str) -> Option<Rc<LibraryModule>> {
         self.modules.get(uri).cloned()
+    }
+
+    /// Deterministic digest of the registry's contents — every URI and
+    /// the hash of the source registered under it, in URI order. Part of
+    /// the plan-cache key: a compiled plan bakes in the imported function
+    /// declarations, so it must not outlive them.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::plancache::hash_bytes(b"modules");
+        for (uri, src_hash) in &self.source_hashes {
+            h = crate::plancache::mix(h, crate::plancache::hash_bytes(uri.as_bytes()));
+            h = crate::plancache::mix(h, *src_hash);
+        }
+        h
     }
 }
 

@@ -15,6 +15,11 @@
 #                           governed goodput and latency percentiles under
 #                           a 2x overload burst, in virtual time (the
 #                           bench binary writes this report itself)
+#   BENCH_plan_eval.json  — compiled query pipeline (plan_eval): render
+#                           route interpreted vs compiled-cold vs
+#                           compiled-cached, §7-style path/FLWOR/exists
+#                           workloads, early-exit scaling (1k vs 12k
+#                           nodes), and governed-capacity delta
 #
 # Each report has the shape
 #
@@ -73,6 +78,10 @@ harvest BENCH_txn_apply.json
 rm -rf target/criterion
 cargo bench -p xqib-bench --bench wal_apply
 harvest BENCH_wal_apply.json
+
+rm -rf target/criterion
+cargo bench -p xqib-bench --bench plan_eval
+harvest BENCH_plan_eval.json
 
 # The overload experiment measures virtual-time goodput/latency, not
 # wall-clock ns/iter, so its binary writes BENCH_overload.json directly

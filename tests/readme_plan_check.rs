@@ -1,0 +1,33 @@
+//! Keeps the README "plan cache" example honest: this is the snippet from
+//! README.md, verbatim, as a regression test.
+
+use xqib::core::plugin::{Plugin, PluginConfig};
+
+#[test]
+fn readme_plan_cache_example() {
+    let mut plugin = Plugin::new(PluginConfig::default());
+    plugin
+        .load_page(
+            r#"<html><head></head><body>
+  <p>alpha</p><p>beta</p></body></html>"#,
+        )
+        .unwrap();
+
+    // the first evaluation of a snippet compiles it to a plan; identical
+    // snippets afterwards re-execute the cached plan without re-parsing
+    for _ in 0..3 {
+        let out = plugin.eval("count(//p)").unwrap();
+        assert_eq!(plugin.render(&out), "2");
+    }
+
+    // browser:planCache() reports the cache counters as an element
+    let out = plugin
+        .eval(
+            r#"string-join((
+    string(browser:planCache()/@hits),
+    string(browser:planCache()/@misses),
+    string(browser:planCache()/@size)), "/")"#,
+        )
+        .unwrap();
+    assert_eq!(plugin.render(&out), "2/2/2");
+}
