@@ -1,0 +1,1874 @@
+//! # Replicated XmlDb cluster
+//!
+//! A leader/follower tier over N [`XmlDb`] shards. Documents are routed to
+//! shards by a consistent-hash ring; each shard is one durable leader
+//! ([`AppServer`]) plus K followers that replicate by **WAL shipping**: the
+//! leader sends its committed WAL frames — the exact on-disk bytes, CRC
+//! and all — over a fault-injected [`VirtualNetwork`], and each follower
+//! replays them through the same [`apply_wal_record`] redo path recovery
+//! uses, appending the raw frames to its *own* WAL so its disk image stays
+//! a byte-prefix of the leader's log (modulo its own checkpoints).
+//!
+//! The protocol leans on three properties the storage tier already has:
+//!
+//! * **Torn-tail tolerance** — a truncated shipment decodes to the longest
+//!   intact frame prefix ([`Wal::scan_bytes`]), so a cut-off message just
+//!   acks less and the rest is resent.
+//! * **Idempotent replay** — frames at or below the follower's applied
+//!   sequence are skipped, so a resend after a lost ack
+//!   ([`xqib_browser::net::Fault::ReplyLost`]) is harmless.
+//! * **Checkpoint = snapshot** — when the leader has checkpointed past a
+//!   straggler's position (log gap), it ships a [`Checkpoint`] as a full
+//!   snapshot instead.
+//!
+//! An update is **acked** (HTTP 200 surfaced to the client) only once the
+//! leader has fsynced it *and* at least `ack_replicas` followers have
+//! durably acknowledged its sequence. On leader crash, the cluster waits
+//! `failover_detect_ms`, then probes followers over the (possibly
+//! partitioned) network until it hears from `K - ack_replicas + 1` of them
+//! — a set that must intersect every ack quorum — and promotes the
+//! most-caught-up one via the ordinary [`AppServer::recover`] path. The
+//! new term starts by asserting the new leader's state: every surviving
+//! follower gets a term-stamped snapshot, which fences stale leaders and
+//! erases any un-acked divergent suffix a partitioned follower may hold
+//! (a deliberately simplified Raft-style log reset). Under partition the
+//! blackout simply extends until a quorum is reachable — consistency over
+//! availability, by construction.
+//!
+//! Everything runs on virtual time and seeded draws: identical seeds give
+//! bit-identical replication schedules, failovers and reports.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use xqib_browser::recovery::{CircuitBreaker, RecoveryStats, RetryPolicy};
+use xqib_browser::{FaultPlan, NetOutcome, Request, Response, VirtualNetwork};
+use xqib_dom::store::shared_store;
+use xqib_dom::SharedStore;
+use xqib_storage::{Checkpoint, VirtualDisk, Wal, WalRecord, WAL_FILE};
+use xqib_xquery::wire;
+
+use crate::governor::Class;
+use crate::metrics::ServerMetrics;
+use crate::render;
+use crate::server::{param, split_url, AppServer, ServerResponse};
+use crate::xmldb::{apply_wal_record, DurabilityConfig, XmlDb};
+
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Lowercase-hex encodes replication payloads for the text-bodied
+/// [`Request`] transport.
+fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit(u32::from(b >> 4), 16).unwrap_or('0'));
+        out.push(char::from_digit(u32::from(b & 0xf), 16).unwrap_or('0'));
+    }
+    out
+}
+
+/// Decodes as many whole hex pairs as are intact; a truncated or mangled
+/// tail yields a byte *prefix* — exactly the torn-shipment shape the WAL
+/// scanner is built to absorb.
+fn from_hex(s: &str) -> Vec<u8> {
+    let b = s.as_bytes();
+    let mut out = Vec::with_capacity(b.len() / 2);
+    let mut i = 0;
+    while i + 1 < b.len() {
+        match ((b[i] as char).to_digit(16), (b[i + 1] as char).to_digit(16)) {
+            (Some(hi), Some(lo)) => out.push((hi * 16 + lo) as u8),
+            _ => break,
+        }
+        i += 2;
+    }
+    out
+}
+
+/// First `u64` attribute with this name in a tiny XML reply.
+fn parse_attr(xml: &str, name: &str) -> Option<u64> {
+    let pat = format!("{name}=\"");
+    let start = xml.find(&pat)? + pat.len();
+    let rest = &xml[start..];
+    rest[..rest.find('"')?].parse().ok()
+}
+
+// ---------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------
+
+/// Consistent-hash ring mapping document URIs to shards. Every shard
+/// contributes `VNODES` seeded points; a URI belongs to the first point at
+/// or after its own hash (wrapping). Deterministic in `(shards, seed)`.
+#[derive(Debug, Clone)]
+pub struct Router {
+    ring: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+const VNODES: u64 = 16;
+
+impl Router {
+    pub fn new(shards: usize, seed: u64) -> Router {
+        let shards = shards.max(1);
+        let mut ring = Vec::with_capacity(shards * VNODES as usize);
+        for s in 0..shards {
+            for v in 0..VNODES {
+                ring.push((mix64(seed ^ ((s as u64) << 20) ^ v), s));
+            }
+        }
+        ring.sort_unstable();
+        ring.dedup_by_key(|(h, _)| *h);
+        Router { ring, shards }
+    }
+
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard that owns `uri`.
+    pub fn owner(&self, uri: &str) -> usize {
+        if self.ring.is_empty() {
+            return 0;
+        }
+        let h = mix64(fnv1a(uri));
+        let i = match self.ring.binary_search_by(|(p, _)| p.cmp(&h)) {
+            Ok(i) => i,
+            Err(i) => i % self.ring.len(),
+        };
+        self.ring[i].1
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------
+
+/// Cumulative replication counters, mirrored into [`ServerMetrics`] via
+/// [`ServerMetrics::record_replication`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ReplicationStats {
+    /// WAL frames shipped to followers (every attempt, including resends).
+    pub frames_shipped: u64,
+    /// Frame sequence numbers durably acknowledged by followers.
+    pub frames_acked: u64,
+    /// Frames re-shipped after a lost/failed attempt.
+    pub frames_retried: u64,
+    /// Full snapshots shipped (log gap, or term-change reset).
+    pub snapshots_shipped: u64,
+    /// Failover probes sent to followers.
+    pub probes: u64,
+    /// Leader promotions performed.
+    pub failovers: u64,
+    /// Render reads served by a follower instead of the leader.
+    pub follower_reads: u64,
+    /// Shipments or requests refused because the document is not owned by
+    /// the shard.
+    pub ownership_rejections: u64,
+    /// Total virtual milliseconds some shard spent leaderless.
+    pub blackout_ms: u64,
+    /// High-water replica lag (leader committed − follower acked frames).
+    pub max_replica_lag: u64,
+}
+
+// ---------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------
+
+/// Cluster topology and replication tuning.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    pub seed: u64,
+    /// Shards (consistent-hash partitions), each with its own leader.
+    pub shards: usize,
+    /// Followers per shard.
+    pub followers: usize,
+    /// Followers that must durably ack an update before the client sees
+    /// 200 (clamped to the live follower count; 0 = leader-only acks).
+    pub ack_replicas: usize,
+    /// Leader durability (group commit, checkpoint threshold).
+    pub durability: DurabilityConfig,
+    /// Follower durability (checkpoint threshold for the shipped log).
+    pub follower_durability: DurabilityConfig,
+    /// Fault plan template for every replication link; reseeded per
+    /// follower host so links fail independently.
+    pub repl_fault: Option<FaultPlan>,
+    /// ‰ of shipments truncated in flight by the cluster itself (exercises
+    /// torn-frame acceptance end to end, on top of any network plan).
+    pub ship_truncate_permille: u16,
+    /// Max frames per shipment.
+    pub max_batch_frames: usize,
+    /// Round-trip latency of every replication link, virtual ms.
+    pub link_latency_ms: u64,
+    /// Backoff schedule for failed shipments.
+    pub retry: RetryPolicy,
+    /// Consecutive link failures before the breaker opens.
+    pub breaker_failures: u32,
+    /// How long an open link breaker stays open, virtual ms.
+    pub breaker_open_ms: u64,
+    /// Leaderless time before failover probing starts.
+    pub failover_detect_ms: u64,
+    /// Delay between probe rounds while gathering the failover quorum.
+    pub probe_retry_ms: u64,
+    /// Pending updates time out with 503 after this long un-acked.
+    pub ack_timeout_ms: u64,
+    /// Serve `/doc` renders from followers within `max_read_lag`.
+    pub follower_reads: bool,
+    /// Bounded staleness for healthy-path follower reads, in frames.
+    pub max_read_lag: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            seed: 0,
+            shards: 2,
+            followers: 1,
+            ack_replicas: 1,
+            durability: DurabilityConfig::default(),
+            follower_durability: DurabilityConfig::default(),
+            repl_fault: None,
+            ship_truncate_permille: 0,
+            max_batch_frames: 64,
+            link_latency_ms: 5,
+            retry: RetryPolicy::default(),
+            breaker_failures: 5,
+            breaker_open_ms: 100,
+            failover_detect_ms: 150,
+            probe_retry_ms: 25,
+            ack_timeout_ms: 1500,
+            follower_reads: true,
+            max_read_lag: 64,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Follower
+// ---------------------------------------------------------------------
+
+/// A follower replica: its own store, disk and WAL position. Lives behind
+/// the seat's network handler; the leader only ever talks to it through
+/// [`VirtualNetwork`] messages.
+pub struct ReplicaNode {
+    shard: usize,
+    term: u64,
+    store: SharedStore,
+    disk: VirtualDisk,
+    cfg: DurabilityConfig,
+    router: Rc<Router>,
+    stats: Rc<RefCell<ReplicationStats>>,
+    ckpt_gen: u64,
+    /// Highest frame applied to the in-memory store.
+    applied: u64,
+    /// Highest frame durable on this follower's own disk.
+    acked: u64,
+}
+
+impl ReplicaNode {
+    fn fresh(
+        shard: usize,
+        disk: VirtualDisk,
+        router: Rc<Router>,
+        stats: Rc<RefCell<ReplicationStats>>,
+        cfg: DurabilityConfig,
+    ) -> ReplicaNode {
+        disk.delete(WAL_FILE);
+        ReplicaNode {
+            shard,
+            term: 0,
+            store: shared_store(),
+            disk,
+            cfg,
+            router,
+            stats,
+            ckpt_gen: 0,
+            applied: 0,
+            acked: 0,
+        }
+    }
+
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    pub fn acked(&self) -> u64 {
+        self.acked
+    }
+
+    pub fn serialize(&self, uri: &str) -> Option<String> {
+        let store = self.store.borrow();
+        let id = store.doc_by_uri(uri)?;
+        Some(xqib_dom::serialize::serialize_document(store.doc(id)))
+    }
+
+    fn owns(&self, record: &WalRecord) -> bool {
+        match record {
+            WalRecord::Load { uri, .. } => self.router.owner(uri) == self.shard,
+            WalRecord::Pul(bytes) => match wire::pul_doc_uris(bytes) {
+                Ok(uris) => uris.iter().all(|u| self.router.owner(u) == self.shard),
+                Err(_) => false,
+            },
+        }
+    }
+
+    /// Replays a shipped byte stream: skip what's already applied, stop at
+    /// the first gap, foreign document or inapplicable record, persist the
+    /// accepted raw frames, and report the new durable position. `None`
+    /// fences a stale-term sender.
+    fn accept_frames(&mut self, term: u64, data: &[u8]) -> Option<u64> {
+        if term < self.term {
+            return None;
+        }
+        self.term = term;
+        let replay = Wal::scan_bytes(data);
+        let mut start = 0usize;
+        for (seq, record, end) in replay.records {
+            let bytes = &data[start..end];
+            start = end;
+            if seq <= self.applied {
+                continue; // idempotent resend after a lost ack
+            }
+            if seq != self.applied + 1 {
+                break; // gap: the sender must fall back to a snapshot
+            }
+            if !self.owns(&record) {
+                self.stats.borrow_mut().ownership_rejections += 1;
+                break;
+            }
+            if !apply_wal_record(&self.store, &record) {
+                break;
+            }
+            self.disk.append(WAL_FILE, bytes);
+            self.applied = seq;
+        }
+        if self.applied > self.acked && self.disk.sync(WAL_FILE).is_ok() {
+            self.acked = self.applied;
+        }
+        self.maybe_checkpoint();
+        Some(self.acked)
+    }
+
+    /// Installs a full snapshot (log-gap resync or new-term reset),
+    /// replacing local state wholesale. `None` fences stale terms, refuses
+    /// foreign documents and undecodable payloads.
+    fn install_snapshot(&mut self, term: u64, data: &[u8]) -> Option<u64> {
+        if term < self.term {
+            return None;
+        }
+        let ck = Checkpoint::decode(data)?;
+        for (uri, _) in &ck.docs {
+            if self.router.owner(uri) != self.shard {
+                self.stats.borrow_mut().ownership_rejections += 1;
+                return None;
+            }
+        }
+        let store = shared_store();
+        for (uri, xml) in &ck.docs {
+            let doc = xqib_dom::parse_document(xml).ok()?;
+            store.borrow_mut().add_document(doc, Some(uri));
+        }
+        let local = Checkpoint {
+            gen: self.ckpt_gen + 1,
+            seq: ck.seq,
+            docs: ck.docs,
+        };
+        if local.write(&self.disk).is_err() {
+            return None;
+        }
+        self.ckpt_gen += 1;
+        self.disk.truncate(WAL_FILE);
+        self.term = term;
+        self.store = store;
+        self.applied = local.seq;
+        self.acked = local.seq;
+        Some(self.acked)
+    }
+
+    /// Followers checkpoint independently once their copy of the log grows
+    /// past the threshold, truncating it just like the leader does.
+    fn maybe_checkpoint(&mut self) {
+        let threshold = self.cfg.checkpoint_threshold;
+        if threshold == 0 || self.disk.len(WAL_FILE) <= threshold {
+            return;
+        }
+        let docs = {
+            let store = self.store.borrow();
+            store
+                .uri_bindings()
+                .into_iter()
+                .map(|(uri, id)| (uri, xqib_dom::serialize::serialize_document(store.doc(id))))
+                .collect()
+        };
+        let ck = Checkpoint {
+            gen: self.ckpt_gen + 1,
+            seq: self.applied,
+            docs,
+        };
+        if ck.write(&self.disk).is_ok() {
+            self.ckpt_gen += 1;
+            self.disk.truncate(WAL_FILE);
+            // the checkpoint write fsynced the slot: state is durable
+            self.acked = self.applied;
+        }
+    }
+
+    fn handle(node: &Rc<RefCell<Option<ReplicaNode>>>, req: &Request) -> Response {
+        let mut guard = node.borrow_mut();
+        let Some(n) = guard.as_mut() else {
+            return Response {
+                status: 503,
+                body: "<error>not a replica</error>".to_string(),
+                content_type: "application/xml".to_string(),
+            };
+        };
+        if req.query_param("probe").is_some() {
+            return Response::ok(format!(
+                "<state term=\"{}\" acked=\"{}\" applied=\"{}\"/>",
+                n.term, n.acked, n.applied
+            ));
+        }
+        let term = req
+            .query_param("term")
+            .and_then(|t| t.parse().ok())
+            .unwrap_or(0);
+        let body = req.body.as_deref().unwrap_or("");
+        let acked = match body.split_at(usize::from(!body.is_empty())) {
+            ("F", hex) => n.accept_frames(term, &from_hex(hex)),
+            ("S", hex) => n.install_snapshot(term, &from_hex(hex)),
+            _ => {
+                return Response {
+                    status: 400,
+                    body: "<error>bad replication payload</error>".to_string(),
+                    content_type: "application/xml".to_string(),
+                }
+            }
+        };
+        match acked {
+            Some(seq) => Response::ok(format!("<ack seq=\"{seq}\"/>")),
+            None => Response {
+                status: 409,
+                body: format!("<nack term=\"{}\"/>", n.term),
+                content_type: "application/xml".to_string(),
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cluster plumbing
+// ---------------------------------------------------------------------
+
+/// One node slot in a shard: a stable host name and disk, plus the
+/// leader-side link state used while the seat is a follower.
+struct Seat {
+    host: String,
+    disk: VirtualDisk,
+    /// `Some` while this seat is a follower; `None` while it's the leader.
+    replica: Rc<RefCell<Option<ReplicaNode>>>,
+    /// Leader's knowledge of this follower's durable position — learned
+    /// exclusively from ack replies, never by peeking.
+    acked: u64,
+    attempt: u32,
+    next_send_at: u64,
+    /// Ship a term-stamped snapshot before any frames (new-term reset).
+    force_snapshot: bool,
+    breaker: CircuitBreaker,
+    rstats: RecoveryStats,
+}
+
+/// An update applied on the leader but not yet covered by the ack rule.
+struct PendingUpdate {
+    id: u64,
+    seq: u64,
+    arrival: u64,
+    url: String,
+    response: ServerResponse,
+}
+
+struct Shard {
+    term: u64,
+    leader: Option<AppServer>,
+    leader_seat: usize,
+    seats: Vec<Seat>,
+    pending: VecDeque<PendingUpdate>,
+    leaderless_since: Option<u64>,
+    next_probe_at: u64,
+    /// Probe answers (`acked`) gathered during the current failover.
+    probed: Vec<Option<u64>>,
+}
+
+/// How a cluster request ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterOutcome {
+    /// Served by the shard leader (any class, any status).
+    Served,
+    /// Render read served by an in-sync follower.
+    FollowerRead,
+    /// Render read served stale by a follower during a blackout.
+    DegradedRead,
+    /// Update durably acked per the replication ack rule.
+    AckedUpdate,
+    /// Update applied on the leader but not ack-covered in time.
+    AckTimeout,
+    /// Update applied on a leader that crashed before the ack rule held;
+    /// the promoted leader does not have it.
+    LostInFailover,
+    /// No leader and no degraded path could serve it.
+    NoLeader,
+    /// The target shard does not own the document.
+    Misrouted,
+}
+
+/// A finished cluster request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterCompletion {
+    pub id: u64,
+    pub shard: usize,
+    pub class: Class,
+    pub url: String,
+    pub arrival: u64,
+    pub finished: u64,
+    pub outcome: ClusterOutcome,
+    pub response: ServerResponse,
+}
+
+/// What `submit` produced: an immediate completion, or a pending update id
+/// whose completion a later [`Cluster::advance`] will emit.
+#[derive(Debug)]
+pub enum Submitted {
+    Done(Box<ClusterCompletion>),
+    Pending(u64),
+}
+
+/// The replicated tier. See the module docs for the protocol.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    router: Rc<Router>,
+    net: VirtualNetwork,
+    shards: Vec<Shard>,
+    stats: Rc<RefCell<ReplicationStats>>,
+    crashes: Vec<(u64, usize)>,
+    next_id: u64,
+    read_rr: u64,
+    send_seq: u64,
+}
+
+impl Cluster {
+    pub fn new(cfg: ClusterConfig) -> Cluster {
+        let nshards = cfg.shards.max(1);
+        let router = Rc::new(Router::new(nshards, cfg.seed));
+        let stats = Rc::new(RefCell::new(ReplicationStats::default()));
+        let mut net = VirtualNetwork::new();
+        let mut shards = Vec::with_capacity(nshards);
+        for s in 0..nshards {
+            let mut seats = Vec::with_capacity(cfg.followers + 1);
+            for slot in 0..=cfg.followers {
+                let host = format!("s{s}r{slot}.xqib");
+                let disk = VirtualDisk::new();
+                let replica: Rc<RefCell<Option<ReplicaNode>>> = Rc::new(RefCell::new(None));
+                if slot != 0 {
+                    *replica.borrow_mut() = Some(ReplicaNode::fresh(
+                        s,
+                        disk.clone(),
+                        router.clone(),
+                        stats.clone(),
+                        cfg.follower_durability,
+                    ));
+                    if let Some(plan) = &cfg.repl_fault {
+                        let mut plan = plan.clone();
+                        plan.seed = mix64(cfg.seed ^ ((s as u64) << 32) ^ slot as u64);
+                        net.set_fault_plan(&host, plan);
+                    }
+                }
+                let handler_node = replica.clone();
+                net.register(
+                    &format!("http://{host}/"),
+                    cfg.link_latency_ms,
+                    move |req| ReplicaNode::handle(&handler_node, req),
+                );
+                seats.push(Seat {
+                    host,
+                    disk,
+                    replica,
+                    acked: 0,
+                    attempt: 0,
+                    next_send_at: 0,
+                    force_snapshot: false,
+                    breaker: CircuitBreaker::new(cfg.breaker_failures, cfg.breaker_open_ms),
+                    rstats: RecoveryStats::default(),
+                });
+            }
+            let db = XmlDb::durable(seats[0].disk.clone(), cfg.durability);
+            shards.push(Shard {
+                term: 1,
+                leader: Some(AppServer::from_db(db)),
+                leader_seat: 0,
+                seats,
+                pending: VecDeque::new(),
+                leaderless_since: None,
+                next_probe_at: 0,
+                probed: vec![None; cfg.followers + 1],
+            });
+        }
+        Cluster {
+            cfg,
+            router,
+            net,
+            shards,
+            stats,
+            crashes: Vec::new(),
+            next_id: 0,
+            read_rr: 0,
+            send_seq: 0,
+        }
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn owner(&self, uri: &str) -> usize {
+        self.router.owner(uri)
+    }
+
+    pub fn term(&self, shard: usize) -> u64 {
+        self.shards[shard].term
+    }
+
+    pub fn leader_seat(&self, shard: usize) -> usize {
+        self.shards[shard].leader_seat
+    }
+
+    pub fn has_leader(&self, shard: usize) -> bool {
+        self.shards[shard].leader.is_some()
+    }
+
+    pub fn stats(&self) -> ReplicationStats {
+        self.stats.borrow().clone()
+    }
+
+    /// Leader committed sequence, `None` during a blackout.
+    pub fn leader_committed(&self, shard: usize) -> Option<u64> {
+        self.shards[shard]
+            .leader
+            .as_ref()
+            .map(|l| l.db.committed_seq())
+    }
+
+    /// Per-follower lag (leader committed − follower acked), leader's view.
+    pub fn replica_lag(&self, shard: usize) -> Vec<u64> {
+        let sh = &self.shards[shard];
+        let committed = sh
+            .leader
+            .as_ref()
+            .map(|l| l.db.committed_seq())
+            .unwrap_or(0);
+        sh.seats
+            .iter()
+            .enumerate()
+            .filter(|(i, seat)| *i != sh.leader_seat && seat.replica.borrow().is_some())
+            .map(|(_, seat)| committed.saturating_sub(seat.acked))
+            .collect()
+    }
+
+    /// Serialized document from the owning shard's leader.
+    pub fn serialize(&self, uri: &str) -> Option<String> {
+        let shard = &self.shards[self.router.owner(uri)];
+        shard.leader.as_ref().and_then(|l| l.db.serialize(uri))
+    }
+
+    /// True when the owning leader's copy of `uri` contains `needle`.
+    pub fn contains(&self, uri: &str, needle: &str) -> bool {
+        self.serialize(uri).is_some_and(|xml| xml.contains(needle))
+    }
+
+    /// Loads a document into its owning shard; returns the shard index.
+    pub fn load(&mut self, uri: &str, xml: &str) -> Option<usize> {
+        let s = self.router.owner(uri);
+        let leader = self.shards[s].leader.as_mut()?;
+        leader.db.load(uri, xml).ok()?;
+        let _ = leader.db.commit();
+        leader.refresh_snapshots();
+        Some(s)
+    }
+
+    /// Schedules a leader crash; [`advance`](Self::advance) executes it.
+    pub fn crash_leader_at(&mut self, at: u64, shard: usize) {
+        self.crashes.push((at, shard));
+        self.crashes.sort_unstable();
+    }
+
+    /// Crashes the shard's leader now: power-loss on its disk (torn
+    /// unsynced tail), leadership vacated.
+    pub fn crash_leader(&mut self, shard: usize, now: u64) {
+        let sh = &mut self.shards[shard];
+        if sh.leader.take().is_none() {
+            return;
+        }
+        sh.seats[sh.leader_seat].disk.crash();
+        sh.leaderless_since = Some(now);
+        sh.next_probe_at = now + self.cfg.failover_detect_ms;
+        sh.probed = vec![None; sh.seats.len()];
+    }
+
+    /// Partitions one follower link for `[from, to)` virtual ms.
+    pub fn partition(&mut self, shard: usize, slot: usize, from: u64, to: u64) {
+        let host = self.shards[shard].seats[slot].host.clone();
+        let mut plan = self
+            .cfg
+            .repl_fault
+            .clone()
+            .unwrap_or_else(|| FaultPlan::seeded(0));
+        plan.seed = mix64(self.cfg.seed ^ ((shard as u64) << 32) ^ slot as u64);
+        plan.flaps.push((from, to));
+        self.net.set_fault_plan(&host, plan);
+    }
+
+    fn routing_uri(url: &str) -> String {
+        let (path, query) = split_url(url);
+        if let Some(uri) = param(&query, "uri") {
+            return uri;
+        }
+        if path == "/query" || path == "/update" {
+            if let Some(xq) = param(&query, "xq") {
+                if let Some(uri) = first_doc_literal(&xq) {
+                    return uri;
+                }
+            }
+        }
+        render::CORPUS_URI.to_string()
+    }
+
+    /// Routes a request to its owning shard and serves it.
+    pub fn submit(&mut self, url: &str, now: u64) -> Submitted {
+        let shard = self.router.owner(&Self::routing_uri(url));
+        self.serve_at(shard, url, now)
+    }
+
+    /// Serves a request on a specific shard, refusing documents the shard
+    /// does not own (421). `submit` always routes correctly; this is the
+    /// enforcement point a misconfigured router or client would hit.
+    pub fn serve_at(&mut self, shard: usize, url: &str, now: u64) -> Submitted {
+        let class = Class::of_url(url);
+        let id = self.next_id;
+        self.next_id += 1;
+        let done = |response: ServerResponse, outcome: ClusterOutcome, finished: u64| {
+            Submitted::Done(Box::new(ClusterCompletion {
+                id,
+                shard,
+                class,
+                url: url.to_string(),
+                arrival: now,
+                finished,
+                outcome,
+                response,
+            }))
+        };
+        let (path, _) = split_url(url);
+        if path == "/metrics" {
+            let resp = self.metrics_response();
+            return done(resp, ClusterOutcome::Served, now);
+        }
+        let uri = Self::routing_uri(url);
+        if self.router.owner(&uri) != shard {
+            self.stats.borrow_mut().ownership_rejections += 1;
+            return done(
+                ServerResponse::new(
+                    421,
+                    format!("<error code=\"XQIB0015\">shard {shard} does not own {uri}</error>"),
+                ),
+                ClusterOutcome::Misrouted,
+                now,
+            );
+        }
+        match class {
+            Class::Update => self.serve_update(shard, url, id, now),
+            Class::Query => match self.shards[shard].leader.as_mut() {
+                Some(leader) => {
+                    let resp = leader.handle(url);
+                    done(resp, ClusterOutcome::Served, now)
+                }
+                None => done(no_leader_response(), ClusterOutcome::NoLeader, now),
+            },
+            Class::Render => self.serve_render(shard, url, &uri, id, now),
+        }
+    }
+
+    fn serve_update(&mut self, shard: usize, url: &str, id: u64, now: u64) -> Submitted {
+        let need = self.cfg.ack_replicas.min(self.cfg.followers);
+        let sh = &mut self.shards[shard];
+        let Some(leader) = sh.leader.as_mut() else {
+            return Submitted::Done(Box::new(ClusterCompletion {
+                id,
+                shard,
+                class: Class::Update,
+                url: url.to_string(),
+                arrival: now,
+                finished: now,
+                outcome: ClusterOutcome::NoLeader,
+                response: no_leader_response(),
+            }));
+        };
+        let response = leader.handle(url);
+        if response.status != 200 {
+            return Submitted::Done(Box::new(ClusterCompletion {
+                id,
+                shard,
+                class: Class::Update,
+                url: url.to_string(),
+                arrival: now,
+                finished: now,
+                outcome: ClusterOutcome::Served,
+                response,
+            }));
+        }
+        let seq = leader.db.appended_seq();
+        let _ = leader.db.commit();
+        let committed = leader.db.committed_seq();
+        let leader_seat = sh.leader_seat;
+        let acks = sh
+            .seats
+            .iter()
+            .enumerate()
+            .filter(|(i, seat)| {
+                *i != leader_seat && seat.replica.borrow().is_some() && seat.acked >= seq
+            })
+            .count();
+        if committed >= seq && acks >= need {
+            return Submitted::Done(Box::new(ClusterCompletion {
+                id,
+                shard,
+                class: Class::Update,
+                url: url.to_string(),
+                arrival: now,
+                finished: now,
+                outcome: ClusterOutcome::AckedUpdate,
+                response,
+            }));
+        }
+        sh.pending.push_back(PendingUpdate {
+            id,
+            seq,
+            arrival: now,
+            url: url.to_string(),
+            response,
+        });
+        Submitted::Pending(id)
+    }
+
+    fn serve_render(&mut self, shard: usize, url: &str, uri: &str, id: u64, now: u64) -> Submitted {
+        let (path, _) = split_url(url);
+        let done = |response: ServerResponse, outcome: ClusterOutcome| {
+            Submitted::Done(Box::new(ClusterCompletion {
+                id,
+                shard,
+                class: Class::Render,
+                url: url.to_string(),
+                arrival: now,
+                finished: now,
+                outcome,
+                response,
+            }))
+        };
+        let has_leader = self.shards[shard].leader.is_some();
+        if has_leader {
+            // bounded-staleness follower read for whole-document fetches
+            if self.cfg.follower_reads && path == "/doc" {
+                if let Some(resp) = self.follower_doc(shard, uri, false) {
+                    return done(resp, ClusterOutcome::FollowerRead);
+                }
+            }
+            let resp = match self.shards[shard].leader.as_mut() {
+                Some(leader) => leader.handle(url),
+                None => no_leader_response(),
+            };
+            return done(resp, ClusterOutcome::Served);
+        }
+        // Blackout: a stale whole-document read beats a 503 for the
+        // render surface — same contract as the governor's degrade path.
+        let stale_uri = if path == "/doc" {
+            uri.to_string()
+        } else {
+            render::CORPUS_URI.to_string()
+        };
+        if self.router.owner(&stale_uri) == shard {
+            if let Some(resp) = self.follower_doc(shard, &stale_uri, true) {
+                return done(
+                    resp.with_header("X-XQIB-Degraded", "no-leader"),
+                    ClusterOutcome::DegradedRead,
+                );
+            }
+        }
+        done(no_leader_response(), ClusterOutcome::NoLeader)
+    }
+
+    /// A `/doc` body served from a follower replica. Healthy path
+    /// (`any_lag = false`): round-robin over followers within
+    /// `max_read_lag`. Blackout path (`any_lag = true`): the most
+    /// caught-up follower, whatever its lag.
+    fn follower_doc(&mut self, shard: usize, uri: &str, any_lag: bool) -> Option<ServerResponse> {
+        let sh = &self.shards[shard];
+        let committed = sh.leader.as_ref().map(|l| l.db.committed_seq());
+        let mut candidates: Vec<(usize, u64, u64)> = Vec::new(); // (seat, lag, applied)
+        for (i, seat) in sh.seats.iter().enumerate() {
+            if i == sh.leader_seat {
+                continue;
+            }
+            let guard = seat.replica.borrow();
+            let Some(node) = guard.as_ref() else {
+                continue;
+            };
+            let lag = committed.unwrap_or(node.applied).saturating_sub(seat.acked);
+            if !any_lag && lag > self.cfg.max_read_lag {
+                continue;
+            }
+            candidates.push((i, lag, node.applied));
+        }
+        if candidates.is_empty() {
+            return None;
+        }
+        let (seat_idx, lag) = if any_lag {
+            // most caught-up wins; ties go to the lowest seat
+            let best = candidates
+                .iter()
+                .max_by_key(|&&(i, _, applied)| (applied, usize::MAX - i))?;
+            (best.0, best.1)
+        } else {
+            let pick = candidates[(self.read_rr as usize) % candidates.len()];
+            self.read_rr += 1;
+            (pick.0, pick.1)
+        };
+        let sh = &self.shards[shard];
+        let seat = &sh.seats[seat_idx];
+        let guard = seat.replica.borrow();
+        let body = guard.as_ref()?.serialize(uri)?;
+        self.stats.borrow_mut().follower_reads += 1;
+        Some(
+            ServerResponse::new(200, body)
+                .with_header("X-XQIB-Replica", &seat.host)
+                .with_header("X-XQIB-Replica-Lag", &lag.to_string()),
+        )
+    }
+
+    /// One tick of cluster housekeeping: executes due scheduled crashes,
+    /// drives failovers, pumps replication links, and resolves pending
+    /// updates. Returns the completions that finished at `now`.
+    pub fn advance(&mut self, now: u64) -> Vec<ClusterCompletion> {
+        let mut out = Vec::new();
+        let due: Vec<usize> = self
+            .crashes
+            .iter()
+            .filter(|(at, _)| *at <= now)
+            .map(|(_, s)| *s)
+            .collect();
+        self.crashes.retain(|(at, _)| *at > now);
+        for s in due {
+            self.crash_leader(s, now);
+        }
+        for s in 0..self.shards.len() {
+            self.try_failover(s, now, &mut out);
+        }
+        // resolve before pumping: an ack earned by this tick's shipment is
+        // only *observed* on a later tick, so acks always cost wall time
+        for s in 0..self.shards.len() {
+            self.resolve_pending(s, now, &mut out);
+        }
+        for s in 0..self.shards.len() {
+            self.pump(s, now);
+        }
+        out
+    }
+
+    /// Steps virtual time from `from` until every shard has a leader, no
+    /// update is pending, and every follower is fully caught up (or the
+    /// iteration cap trips). Returns the final time and the completions.
+    pub fn quiesce(&mut self, from: u64) -> (u64, Vec<ClusterCompletion>) {
+        let step = self.cfg.link_latency_ms.max(1);
+        let mut now = from;
+        let mut out = Vec::new();
+        for _ in 0..200_000 {
+            out.extend(self.advance(now));
+            if self.settled() {
+                break;
+            }
+            now += step;
+        }
+        (now, out)
+    }
+
+    fn settled(&self) -> bool {
+        self.shards.iter().all(|sh| {
+            let Some(leader) = sh.leader.as_ref() else {
+                return false;
+            };
+            let committed = leader.db.committed_seq();
+            sh.pending.is_empty()
+                && sh.seats.iter().enumerate().all(|(i, seat)| {
+                    i == sh.leader_seat
+                        || seat.replica.borrow().is_none()
+                        || seat.acked >= committed
+                })
+        })
+    }
+
+    fn try_failover(&mut self, s: usize, now: u64, out: &mut Vec<ClusterCompletion>) {
+        let detect = self.cfg.failover_detect_ms;
+        let probe_retry = self.cfg.probe_retry_ms;
+        if self.shards[s].leader.is_some() {
+            return;
+        }
+        let since = self.shards[s].leaderless_since.unwrap_or(now);
+        if now < since + detect {
+            return;
+        }
+        let follower_seats: Vec<usize> = self.shards[s]
+            .seats
+            .iter()
+            .enumerate()
+            .filter(|(_, seat)| seat.replica.borrow().is_some())
+            .map(|(i, _)| i)
+            .collect();
+        if follower_seats.is_empty() {
+            // leader-only shard: recover from the crashed disk itself
+            let seat = self.shards[s].leader_seat;
+            let disk = self.shards[s].seats[seat].disk.clone();
+            match AppServer::recover(disk, self.cfg.durability) {
+                Ok(server) => self.install_leader(s, seat, server, since, now, out),
+                Err(_) => self.shards[s].next_probe_at = now + probe_retry,
+            }
+            return;
+        }
+        // probe round: every follower we have not heard from yet
+        if now >= self.shards[s].next_probe_at {
+            for &i in &follower_seats {
+                if self.shards[s].probed[i].is_some() {
+                    continue;
+                }
+                let host = self.shards[s].seats[i].host.clone();
+                self.stats.borrow_mut().probes += 1;
+                let req = Request::get(&format!("http://{host}/replicate?probe=1"));
+                if let NetOutcome::Reply { resp, .. } = self.net.fetch_at(&req, now) {
+                    if resp.status == 200 {
+                        if let Some(acked) = parse_attr(&resp.body, "acked") {
+                            self.shards[s].probed[i] = Some(acked);
+                        }
+                    }
+                }
+            }
+            self.shards[s].next_probe_at = now + probe_retry;
+        }
+        // Quorum: any K − ack_replicas + 1 followers must include one that
+        // holds every acked update (pigeonhole against the ack rule).
+        let k = follower_seats.len();
+        let quorum = k - self.cfg.ack_replicas.min(k) + 1;
+        let heard: Vec<(usize, u64)> = follower_seats
+            .iter()
+            .filter_map(|&i| self.shards[s].probed[i].map(|a| (i, a)))
+            .collect();
+        if heard.len() < quorum {
+            return;
+        }
+        let (win, _) = heard
+            .iter()
+            .fold(None::<(usize, u64)>, |best, &(i, a)| match best {
+                Some((_, ba)) if ba >= a => best,
+                _ => Some((i, a)),
+            })
+            .unwrap_or((follower_seats[0], 0));
+        let disk = self.shards[s].seats[win].disk.clone();
+        match AppServer::recover(disk, self.cfg.durability) {
+            Ok(server) => self.install_leader(s, win, server, since, now, out),
+            Err(_) => {
+                // damaged candidate: drop it and re-probe the rest
+                self.shards[s].probed[win] = None;
+                self.shards[s].next_probe_at = now + probe_retry;
+            }
+        }
+    }
+
+    /// Seats `server` as shard `s`'s leader at seat `win`, demotes the old
+    /// leader seat to a fresh follower, resets every surviving follower
+    /// with a term-stamped snapshot, and fails pending updates the new
+    /// leader does not have.
+    fn install_leader(
+        &mut self,
+        s: usize,
+        win: usize,
+        server: AppServer,
+        since: u64,
+        now: u64,
+        out: &mut Vec<ClusterCompletion>,
+    ) {
+        let committed = server.db.committed_seq();
+        let follower_cfg = self.cfg.follower_durability;
+        let router = self.router.clone();
+        let stats = self.stats.clone();
+        let sh = &mut self.shards[s];
+        let old = sh.leader_seat;
+        if old != win {
+            // the crashed leader's seat rejoins as an empty follower and
+            // resyncs over the wire like any straggler
+            let oseat = &mut sh.seats[old];
+            for f in oseat.disk.files() {
+                oseat.disk.delete(&f);
+            }
+            *oseat.replica.borrow_mut() = Some(ReplicaNode::fresh(
+                s,
+                oseat.disk.clone(),
+                router,
+                stats,
+                follower_cfg,
+            ));
+            oseat.acked = 0;
+            oseat.attempt = 0;
+            oseat.force_snapshot = false;
+            oseat.next_send_at = now;
+            *sh.seats[win].replica.borrow_mut() = None;
+        }
+        sh.leader_seat = win;
+        sh.leader = Some(server);
+        sh.term += 1;
+        sh.leaderless_since = None;
+        sh.probed = vec![None; sh.seats.len()];
+        for (i, seat) in sh.seats.iter_mut().enumerate() {
+            if i == win || i == old || seat.replica.borrow().is_none() {
+                continue;
+            }
+            // new term asserts the new leader's log: snapshot reset wipes
+            // any divergent un-acked suffix and fences the old term
+            seat.force_snapshot = true;
+            seat.acked = 0;
+            seat.attempt = 0;
+            seat.next_send_at = now;
+        }
+        {
+            let mut st = self.stats.borrow_mut();
+            st.failovers += 1;
+            st.blackout_ms += now.saturating_sub(since);
+        }
+        // pending updates beyond the new leader's log are gone for good
+        let mut keep = VecDeque::new();
+        while let Some(p) = self.shards[s].pending.pop_front() {
+            if p.seq > committed {
+                out.push(ClusterCompletion {
+                    id: p.id,
+                    shard: s,
+                    class: Class::Update,
+                    url: p.url,
+                    arrival: p.arrival,
+                    finished: now,
+                    outcome: ClusterOutcome::LostInFailover,
+                    response: ServerResponse::new(
+                        503,
+                        "<error code=\"XQIB0016\">update lost in failover; retry</error>",
+                    )
+                    .with_header("Retry-After", "1"),
+                });
+            } else {
+                keep.push_back(p);
+            }
+        }
+        self.shards[s].pending = keep;
+    }
+
+    /// Ships committed WAL frames (or snapshots) to every follower link
+    /// whose send timer is due, with breaker + backoff on failures.
+    fn pump(&mut self, s: usize, now: u64) {
+        let nseats = self.shards[s].seats.len();
+        for i in 0..nseats {
+            if self.shards[s].leader.is_none() || i == self.shards[s].leader_seat {
+                continue;
+            }
+            if self.shards[s].seats[i].replica.borrow().is_none() {
+                continue;
+            }
+            // phase 1: decide what to ship (leader + seat borrows only)
+            let (payload, host, term, nframes, was_snapshot) = {
+                let cfg = &self.cfg;
+                let sh = &mut self.shards[s];
+                let seat = &mut sh.seats[i];
+                if now < seat.next_send_at {
+                    continue;
+                }
+                if !seat.breaker.allow(now, &mut seat.rstats) {
+                    seat.next_send_at = now + cfg.probe_retry_ms.max(1);
+                    continue;
+                }
+                let Some(leader) = sh.leader.as_mut() else {
+                    continue;
+                };
+                let mut snapshot = seat.force_snapshot;
+                let mut frames = Vec::new();
+                if !snapshot {
+                    match leader.db.committed_frames_after(seat.acked) {
+                        Some(f) if f.is_empty() => continue, // caught up
+                        Some(f) => frames = f,
+                        None => snapshot = true, // log gap: checkpointed past
+                    }
+                }
+                if snapshot {
+                    match leader.db.replication_snapshot() {
+                        Some(ck) => (
+                            format!("S{}", to_hex(&ck.encode())),
+                            seat.host.clone(),
+                            sh.term,
+                            0u64,
+                            true,
+                        ),
+                        None => {
+                            seat.attempt += 1;
+                            seat.next_send_at = now
+                                + cfg.retry.backoff_delay(
+                                    seat.attempt,
+                                    mix64(((s as u64) << 8) | i as u64),
+                                );
+                            continue;
+                        }
+                    }
+                } else {
+                    frames.truncate(cfg.max_batch_frames.max(1));
+                    let n = frames.len() as u64;
+                    let mut bytes = Vec::new();
+                    for f in &frames {
+                        bytes.extend_from_slice(&f.bytes);
+                    }
+                    (
+                        format!("F{}", to_hex(&bytes)),
+                        seat.host.clone(),
+                        sh.term,
+                        n,
+                        false,
+                    )
+                }
+            };
+            // deterministic in-flight truncation (torn shipments)
+            let draw = mix64(self.cfg.seed ^ 0x5eed ^ self.send_seq);
+            self.send_seq += 1;
+            let body = if self.cfg.ship_truncate_permille > 0
+                && draw % 1000 < u64::from(self.cfg.ship_truncate_permille)
+            {
+                let cut = 1 + (mix64(draw) as usize) % payload.len().max(2);
+                payload[..cut.min(payload.len())].to_string()
+            } else {
+                payload
+            };
+            {
+                let mut st = self.stats.borrow_mut();
+                if was_snapshot {
+                    st.snapshots_shipped += 1;
+                } else {
+                    st.frames_shipped += nframes;
+                    if self.shards[s].seats[i].attempt > 0 {
+                        st.frames_retried += nframes;
+                    }
+                }
+            }
+            // phase 2: the network call (handler may borrow replica/stats)
+            let req = Request::post(
+                &format!("http://{host}/replicate?shard={s}&term={term}"),
+                &body,
+            );
+            let outcome = self.net.fetch_at(&req, now);
+            // phase 3: apply the outcome to the link
+            let cfg = &self.cfg;
+            let seat = &mut self.shards[s].seats[i];
+            let acked = match outcome {
+                NetOutcome::Reply { resp, latency_ms } if resp.status == 200 => {
+                    parse_attr(&resp.body, "seq").map(|a| (a, latency_ms))
+                }
+                _ => None,
+            };
+            match acked {
+                Some((ack, latency_ms)) => {
+                    seat.breaker.on_success(&mut seat.rstats);
+                    seat.attempt = 0;
+                    if was_snapshot {
+                        seat.force_snapshot = false;
+                    }
+                    if ack > seat.acked {
+                        self.stats.borrow_mut().frames_acked += ack - seat.acked;
+                        seat.acked = ack;
+                    }
+                    // an ack below the shipped top (torn shipment) leaves
+                    // committed frames unshipped: the next tick resends
+                    seat.next_send_at = now + latency_ms.max(1);
+                }
+                None => {
+                    seat.breaker.on_failure(now, &mut seat.rstats);
+                    seat.attempt += 1;
+                    seat.next_send_at = now
+                        + cfg
+                            .retry
+                            .backoff_delay(seat.attempt, mix64(((s as u64) << 8) | i as u64));
+                }
+            }
+            let committed = self.shards[s]
+                .leader
+                .as_ref()
+                .map(|l| l.db.committed_seq())
+                .unwrap_or(0);
+            let lag = committed.saturating_sub(self.shards[s].seats[i].acked);
+            let mut st = self.stats.borrow_mut();
+            if lag > st.max_replica_lag {
+                st.max_replica_lag = lag;
+            }
+        }
+    }
+
+    /// Emits completions for pending updates whose ack rule now holds, and
+    /// times out the rest per `ack_timeout_ms`.
+    fn resolve_pending(&mut self, s: usize, now: u64, out: &mut Vec<ClusterCompletion>) {
+        let need = self.cfg.ack_replicas.min(self.cfg.followers);
+        let timeout = self.cfg.ack_timeout_ms;
+        let sh = &mut self.shards[s];
+        let committed = sh.leader.as_ref().map(|l| l.db.committed_seq());
+        let leader_seat = sh.leader_seat;
+        let mut keep = VecDeque::new();
+        while let Some(p) = sh.pending.pop_front() {
+            let acks = sh
+                .seats
+                .iter()
+                .enumerate()
+                .filter(|(i, seat)| {
+                    *i != leader_seat && seat.replica.borrow().is_some() && seat.acked >= p.seq
+                })
+                .count();
+            let satisfied = committed.is_some_and(|c| c >= p.seq) && acks >= need;
+            if satisfied {
+                out.push(ClusterCompletion {
+                    id: p.id,
+                    shard: s,
+                    class: Class::Update,
+                    url: p.url,
+                    arrival: p.arrival,
+                    finished: now,
+                    outcome: ClusterOutcome::AckedUpdate,
+                    response: p.response,
+                });
+            } else if now.saturating_sub(p.arrival) >= timeout {
+                out.push(ClusterCompletion {
+                    id: p.id,
+                    shard: s,
+                    class: Class::Update,
+                    url: p.url,
+                    arrival: p.arrival,
+                    finished: now,
+                    outcome: ClusterOutcome::AckTimeout,
+                    response: ServerResponse::new(
+                        503,
+                        "<error code=\"XQIB0017\">replication ack timeout; \
+                         update applied on the leader but not replicated</error>",
+                    )
+                    .with_header("Retry-After", "1"),
+                });
+            } else {
+                keep.push_back(p);
+            }
+        }
+        sh.pending = keep;
+    }
+
+    /// The `/metrics` surface: shard 0's leader metrics with the cluster's
+    /// replication counters mirrored in (every live leader gets the same
+    /// replication snapshot, so any shard's endpoint agrees).
+    fn metrics_response(&mut self) -> ServerResponse {
+        let stats = self.stats.borrow().clone();
+        for sh in &mut self.shards {
+            if let Some(leader) = sh.leader.as_mut() {
+                leader.metrics.record_replication(&stats);
+            }
+        }
+        match self.shards[0].leader.as_mut() {
+            Some(leader) => leader.handle("/metrics"),
+            None => {
+                let mut m = ServerMetrics::default();
+                m.record_replication(&stats);
+                ServerResponse::new(200, m.to_xml())
+            }
+        }
+    }
+}
+
+fn no_leader_response() -> ServerResponse {
+    ServerResponse::new(
+        503,
+        "<error code=\"XQIB0016\">no leader; failover in progress</error>",
+    )
+    .with_header("Retry-After", "1")
+}
+
+/// First `doc("…")` / `doc('…')` literal in an XQuery — the routing key
+/// for `/query` and `/update` requests that don't pass `uri=` explicitly.
+fn first_doc_literal(xq: &str) -> Option<String> {
+    let start = xq.find("doc(")? + 4;
+    let rest = &xq[start..];
+    let quote = rest.chars().next()?;
+    if quote != '"' && quote != '\'' {
+        return None;
+    }
+    let inner = &rest[1..];
+    Some(inner[..inner.find(quote)?].to_string())
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn doc_url(uri: &str) -> String {
+        format!("/doc?uri={uri}")
+    }
+
+    fn update_url(uri: &str, marker: &str) -> String {
+        format!("/update?xq=insert node <m id=\"{marker}\"/> into doc(\"{uri}\")/*")
+    }
+
+    fn seeded(mut cfg: ClusterConfig) -> Cluster {
+        cfg.seed = 42;
+        let mut c = Cluster::new(cfg);
+        for i in 0..6 {
+            let uri = format!("d{i}.xml");
+            c.load(&uri, &format!("<root n=\"{i}\"/>")).unwrap();
+        }
+        c
+    }
+
+    /// Drives `c` until the pending update `id` completes (or panics).
+    fn await_update(c: &mut Cluster, id: u64, mut now: u64) -> (ClusterCompletion, u64) {
+        for _ in 0..10_000 {
+            for done in c.advance(now) {
+                if done.id == id {
+                    return (done, now);
+                }
+            }
+            now += 1;
+        }
+        panic!("update {id} never completed");
+    }
+
+    #[test]
+    fn router_is_deterministic_and_covers_every_shard() {
+        let a = Router::new(4, 7);
+        let b = Router::new(4, 7);
+        let mut hit = [false; 4];
+        for i in 0..200 {
+            let uri = format!("doc-{i}.xml");
+            assert_eq!(a.owner(&uri), b.owner(&uri));
+            hit[a.owner(&uri)] = true;
+        }
+        assert!(hit.iter().all(|h| *h), "200 URIs should touch all 4 shards");
+    }
+
+    #[test]
+    fn replicated_update_acks_only_after_the_follower_is_durable() {
+        let mut c = seeded(ClusterConfig {
+            shards: 1,
+            followers: 1,
+            ack_replicas: 1,
+            ..ClusterConfig::default()
+        });
+        let url = update_url("d0.xml", "k1");
+        let id = match c.submit(&url, 10) {
+            Submitted::Pending(id) => id,
+            Submitted::Done(d) => panic!("acked before replication: {:?}", d.outcome),
+        };
+        let (done, _) = await_update(&mut c, id, 10);
+        assert_eq!(done.outcome, ClusterOutcome::AckedUpdate);
+        assert_eq!(done.response.status, 200);
+        assert!(done.finished > done.arrival, "ack must cost round trips");
+        // the follower replica holds the marker via shipped WAL frames
+        let sh0 = &c.shards[0];
+        let follower = sh0.seats[1].replica.borrow();
+        let xml = follower.as_ref().unwrap().serialize("d0.xml").unwrap();
+        assert!(xml.contains("k1"), "follower missing the update: {xml}");
+        assert!(c.stats().frames_shipped > 0);
+        assert!(c.stats().frames_acked > 0);
+    }
+
+    #[test]
+    fn leader_only_cluster_acks_immediately_and_self_recovers() {
+        let mut c = seeded(ClusterConfig {
+            shards: 1,
+            followers: 0,
+            ack_replicas: 0,
+            ..ClusterConfig::default()
+        });
+        let done = match c.submit(&update_url("d0.xml", "solo"), 5) {
+            Submitted::Done(d) => d,
+            Submitted::Pending(_) => panic!("leader-only update should ack synchronously"),
+        };
+        assert_eq!(done.outcome, ClusterOutcome::AckedUpdate);
+        c.crash_leader(0, 100);
+        assert!(!c.has_leader(0));
+        let (_, _) = c.quiesce(100);
+        assert!(c.has_leader(0), "self-recovery should restore the leader");
+        assert!(
+            c.contains("d0.xml", "solo"),
+            "acked update lost in self-recovery"
+        );
+        assert_eq!(c.stats().failovers, 1);
+    }
+
+    #[test]
+    fn leader_crash_promotes_a_follower_and_keeps_every_acked_update() {
+        let mut c = seeded(ClusterConfig {
+            shards: 1,
+            followers: 2,
+            ack_replicas: 1,
+            ..ClusterConfig::default()
+        });
+        let mut acked = Vec::new();
+        let mut now = 0;
+        for i in 0..8 {
+            let marker = format!("m{i}");
+            match c.submit(&update_url("d0.xml", &marker), now) {
+                Submitted::Pending(id) => {
+                    let (done, at) = await_update(&mut c, id, now);
+                    assert_eq!(done.outcome, ClusterOutcome::AckedUpdate);
+                    now = at + 1;
+                }
+                Submitted::Done(d) => {
+                    assert_eq!(d.outcome, ClusterOutcome::AckedUpdate);
+                    now += 1;
+                }
+            }
+            acked.push(marker);
+        }
+        c.crash_leader(0, now);
+        let (_, _) = c.quiesce(now);
+        assert!(c.has_leader(0), "failover should elect a new leader");
+        assert_ne!(c.leader_seat(0), 0, "a follower must have been promoted");
+        assert_eq!(c.term(0), 2);
+        for marker in &acked {
+            assert!(
+                c.contains("d0.xml", marker),
+                "acked update {marker} lost across failover"
+            );
+        }
+        assert_eq!(c.stats().failovers, 1);
+        assert!(c.stats().blackout_ms > 0);
+    }
+
+    #[test]
+    fn double_failover_is_idempotent_on_acked_state() {
+        let mut c = seeded(ClusterConfig {
+            shards: 1,
+            followers: 2,
+            ack_replicas: 1,
+            ..ClusterConfig::default()
+        });
+        let mut now = 0;
+        for round in 0..2 {
+            let marker = format!("r{round}");
+            match c.submit(&update_url("d0.xml", &marker), now) {
+                Submitted::Pending(id) => {
+                    let (done, at) = await_update(&mut c, id, now);
+                    assert_eq!(done.outcome, ClusterOutcome::AckedUpdate);
+                    now = at + 1;
+                }
+                Submitted::Done(_) => now += 1,
+            }
+            c.crash_leader(0, now);
+            let (settled, _) = c.quiesce(now);
+            now = settled + 1;
+            assert!(c.has_leader(0), "round {round}: no leader after failover");
+        }
+        assert_eq!(c.term(0), 3);
+        assert_eq!(c.stats().failovers, 2);
+        for round in 0..2 {
+            assert!(
+                c.contains("d0.xml", &format!("r{round}")),
+                "acked update r{round} lost after double failover"
+            );
+        }
+    }
+
+    #[test]
+    fn misrouted_requests_are_refused_with_421() {
+        let mut c = seeded(ClusterConfig {
+            shards: 4,
+            followers: 0,
+            ack_replicas: 0,
+            ..ClusterConfig::default()
+        });
+        let owner = c.owner("d0.xml");
+        let wrong = (owner + 1) % c.shard_count();
+        let before = c.stats().ownership_rejections;
+        let done = match c.serve_at(wrong, &doc_url("d0.xml"), 0) {
+            Submitted::Done(d) => d,
+            Submitted::Pending(_) => panic!("misroute cannot pend"),
+        };
+        assert_eq!(done.response.status, 421);
+        assert_eq!(done.outcome, ClusterOutcome::Misrouted);
+        assert_eq!(c.stats().ownership_rejections, before + 1);
+        // and the rightful owner serves it fine
+        let ok = match c.serve_at(owner, &doc_url("d0.xml"), 0) {
+            Submitted::Done(d) => d,
+            Submitted::Pending(_) => panic!("doc reads cannot pend"),
+        };
+        assert_eq!(ok.response.status, 200);
+    }
+
+    #[test]
+    fn followers_refuse_shipped_frames_for_foreign_documents() {
+        // Craft a follower for shard 0 and feed it frames that belong to a
+        // different shard: it must refuse and not advance its ack.
+        let router = Rc::new(Router::new(4, 9));
+        let stats = Rc::new(RefCell::new(ReplicationStats::default()));
+        let mut foreign = None;
+        for i in 0..64 {
+            let uri = format!("x{i}.xml");
+            if router.owner(&uri) != 0 {
+                foreign = Some(uri);
+                break;
+            }
+        }
+        let foreign = foreign.expect("some uri must hash off shard 0");
+        let mut node = ReplicaNode::fresh(
+            0,
+            VirtualDisk::new(),
+            router,
+            stats.clone(),
+            DurabilityConfig::default(),
+        );
+        // build a real frame stream via a scratch durable db
+        let scratch = VirtualDisk::new();
+        let mut db = XmlDb::durable(scratch.clone(), DurabilityConfig::default());
+        db.load(&foreign, "<root/>").unwrap();
+        db.commit().unwrap();
+        let data = scratch.read(WAL_FILE).unwrap();
+        let acked = node.accept_frames(1, &data).unwrap();
+        assert_eq!(acked, 0, "foreign document must not be acked");
+        assert_eq!(node.applied(), 0);
+        assert_eq!(stats.borrow().ownership_rejections, 1);
+        assert!(node.serialize(&foreign).is_none());
+    }
+
+    #[test]
+    fn follower_reads_carry_replica_and_lag_headers() {
+        let mut c = seeded(ClusterConfig {
+            shards: 1,
+            followers: 1,
+            ack_replicas: 1,
+            ..ClusterConfig::default()
+        });
+        let (_, _) = c.quiesce(0);
+        let done = match c.submit(&doc_url("d1.xml"), 500) {
+            Submitted::Done(d) => d,
+            Submitted::Pending(_) => panic!("doc reads cannot pend"),
+        };
+        assert_eq!(done.outcome, ClusterOutcome::FollowerRead);
+        assert_eq!(done.response.status, 200);
+        assert!(done.response.header("X-XQIB-Replica").is_some());
+        assert_eq!(done.response.header("X-XQIB-Replica-Lag"), Some("0"));
+        assert!(c.stats().follower_reads > 0);
+    }
+
+    #[test]
+    fn blackout_doc_reads_degrade_to_the_most_caught_up_follower() {
+        let mut c = seeded(ClusterConfig {
+            shards: 1,
+            followers: 2,
+            ack_replicas: 1,
+            ..ClusterConfig::default()
+        });
+        let (now, _) = c.quiesce(0);
+        c.crash_leader(0, now + 1);
+        // before failover completes, a doc read still gets a stale body
+        let done = match c.submit(&doc_url("d2.xml"), now + 2) {
+            Submitted::Done(d) => d,
+            Submitted::Pending(_) => panic!("doc reads cannot pend"),
+        };
+        assert_eq!(done.outcome, ClusterOutcome::DegradedRead);
+        assert_eq!(done.response.status, 200);
+        assert_eq!(done.response.header("X-XQIB-Degraded"), Some("no-leader"));
+        // but an update during the blackout is refused
+        let refused = match c.submit(&update_url("d2.xml", "nope"), now + 3) {
+            Submitted::Done(d) => d,
+            Submitted::Pending(_) => panic!("no leader to pend on"),
+        };
+        assert_eq!(refused.outcome, ClusterOutcome::NoLeader);
+        assert_eq!(refused.response.status, 503);
+    }
+
+    #[test]
+    fn lost_replies_and_truncated_shipments_still_converge() {
+        let mut cfg = ClusterConfig {
+            shards: 1,
+            followers: 2,
+            ack_replicas: 2,
+            ship_truncate_permille: 250,
+            ..ClusterConfig::default()
+        };
+        cfg.repl_fault = Some(FaultPlan::seeded(0).with_reply_lost_permille(200));
+        let mut c = seeded(cfg);
+        let mut now = 0;
+        let mut ids = Vec::new();
+        for i in 0..10 {
+            match c.submit(&update_url("d3.xml", &format!("t{i}")), now) {
+                Submitted::Pending(id) => ids.push(id),
+                Submitted::Done(d) => assert_eq!(d.outcome, ClusterOutcome::AckedUpdate),
+            }
+            now += 3;
+        }
+        let (_, done) = c.quiesce(now);
+        for d in &done {
+            assert_eq!(
+                d.outcome,
+                ClusterOutcome::AckedUpdate,
+                "update should ack despite lost replies: {d:?}"
+            );
+        }
+        assert_eq!(done.len(), ids.len());
+        // both followers hold every marker, byte-for-byte the same doc
+        let leader_xml = c.serialize("d3.xml").unwrap();
+        for slot in 0..3 {
+            if slot == c.leader_seat(0) {
+                continue;
+            }
+            let guard = c.shards[0].seats[slot].replica.borrow();
+            let xml = guard.as_ref().unwrap().serialize("d3.xml").unwrap();
+            assert_eq!(xml, leader_xml, "follower {slot} diverged");
+        }
+    }
+
+    #[test]
+    fn partition_extends_the_blackout_until_a_quorum_is_reachable() {
+        let mut c = seeded(ClusterConfig {
+            shards: 1,
+            followers: 2,
+            ack_replicas: 2,
+            ..ClusterConfig::default()
+        });
+        let (now, _) = c.quiesce(0);
+        // with ack_replicas = 2, quorum is 1 probe — partition BOTH
+        // followers so no probe lands until the window closes
+        c.partition(0, 1, now, now + 2_000);
+        c.partition(0, 2, now, now + 2_000);
+        c.crash_leader(0, now + 1);
+        let mut t = now + 1;
+        while t < now + 1_900 {
+            let _ = c.advance(t);
+            t += 10;
+        }
+        assert!(!c.has_leader(0), "partitioned shard must stay leaderless");
+        let (_, _) = c.quiesce(now + 2_100);
+        assert!(c.has_leader(0), "healed partition should allow promotion");
+        let stats = c.stats();
+        assert!(
+            stats.blackout_ms >= 2_000,
+            "blackout should span the partition: {}ms",
+            stats.blackout_ms
+        );
+    }
+
+    #[test]
+    fn snapshot_resync_catches_up_a_follower_behind_a_checkpoint() {
+        let mut cfg = ClusterConfig {
+            shards: 1,
+            followers: 1,
+            ack_replicas: 0,
+            ..ClusterConfig::default()
+        };
+        // tiny leader checkpoint threshold: the log truncates constantly
+        cfg.durability.checkpoint_threshold = 64;
+        // keep the follower dark while the leader churns
+        let mut c = seeded(cfg);
+        c.partition(0, 1, 0, 5_000);
+        let mut now = 0;
+        for i in 0..12 {
+            match c.submit(&update_url("d4.xml", &format!("s{i}")), now) {
+                Submitted::Done(d) => assert_eq!(d.outcome, ClusterOutcome::AckedUpdate),
+                Submitted::Pending(_) => panic!("ack_replicas=0 acks synchronously"),
+            }
+            now += 5;
+        }
+        let (_, _) = c.quiesce(5_100);
+        assert!(
+            c.stats().snapshots_shipped > 0,
+            "resync must ship a snapshot"
+        );
+        let guard = c.shards[0].seats[1].replica.borrow();
+        let xml = guard.as_ref().unwrap().serialize("d4.xml").unwrap();
+        for i in 0..12 {
+            assert!(
+                xml.contains(&format!("s{i}")),
+                "follower missing s{i}: {xml}"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_replication_stats() {
+        let run = || {
+            let mut cfg = ClusterConfig {
+                shards: 2,
+                followers: 1,
+                ack_replicas: 1,
+                ship_truncate_permille: 150,
+                ..ClusterConfig::default()
+            };
+            cfg.repl_fault = Some(FaultPlan::seeded(0).with_reply_lost_permille(100));
+            let mut c = seeded(cfg);
+            let mut now = 0;
+            let mut done = Vec::new();
+            for i in 0..12 {
+                let uri = format!("d{}.xml", i % 6);
+                match c.submit(&update_url(&uri, &format!("det{i}")), now) {
+                    Submitted::Done(d) => done.push(*d),
+                    Submitted::Pending(_) => {}
+                }
+                now += 7;
+            }
+            c.crash_leader_at(now + 10, 0);
+            let (_, rest) = c.quiesce(now);
+            done.extend(rest);
+            (done, c.stats())
+        };
+        let (a_done, a_stats) = run();
+        let (b_done, b_stats) = run();
+        assert_eq!(a_stats, b_stats, "stats must be bit-identical per seed");
+        assert_eq!(a_done, b_done, "completions must be bit-identical per seed");
+    }
+
+    #[test]
+    fn metrics_surface_carries_replication_counters() {
+        let mut c = seeded(ClusterConfig {
+            shards: 1,
+            followers: 1,
+            ack_replicas: 1,
+            ..ClusterConfig::default()
+        });
+        match c.submit(&update_url("d5.xml", "mx"), 0) {
+            Submitted::Pending(id) => {
+                let _ = await_update(&mut c, id, 0);
+            }
+            Submitted::Done(_) => {}
+        }
+        let done = match c.submit("/metrics", 100) {
+            Submitted::Done(d) => d,
+            Submitted::Pending(_) => panic!("metrics cannot pend"),
+        };
+        assert_eq!(done.response.status, 200);
+        assert!(
+            done.response.body.contains("<repl-frames-shipped>"),
+            "metrics body missing replication counters: {}",
+            done.response.body
+        );
+    }
+}

@@ -144,6 +144,7 @@ pub fn article_ids(spec: &CorpusSpec) -> Vec<String> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

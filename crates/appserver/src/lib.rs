@@ -16,6 +16,11 @@
 //! proprietary content, and the per-deployment metrics the Figure 2
 //! experiment reports.
 
+// The server tier must degrade, never die: every fallible path returns a
+// typed error. Tests opt back in per-module.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod cluster;
 pub mod corpus;
 pub mod governor;
 pub mod metrics;
@@ -26,6 +31,9 @@ pub mod simulate;
 pub mod webservice;
 pub mod xmldb;
 
+pub use cluster::{
+    Cluster, ClusterCompletion, ClusterConfig, ClusterOutcome, ReplicationStats, Router, Submitted,
+};
 pub use corpus::{generate_corpus, CorpusSpec};
 pub use governor::{Admission, Class, GovernedServer, GovernorConfig, Outcome, RequestGovernor};
 pub use metrics::ServerMetrics;

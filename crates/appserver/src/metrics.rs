@@ -82,6 +82,26 @@ pub struct ServerMetrics {
     pub plan_cache_evictions: u64,
     /// Whole-cache invalidations (epoch bumps).
     pub plan_cache_invalidations: u64,
+    /// WAL frames shipped to followers (every attempt, including resends).
+    pub repl_frames_shipped: u64,
+    /// Frame sequence numbers durably acknowledged by followers.
+    pub repl_frames_acked: u64,
+    /// Frames re-shipped after a lost or failed attempt.
+    pub repl_frames_retried: u64,
+    /// Full snapshots shipped (log-gap resync or new-term reset).
+    pub repl_snapshots_shipped: u64,
+    /// Failover probes sent to followers.
+    pub repl_probes: u64,
+    /// Leader promotions performed.
+    pub repl_failovers: u64,
+    /// Render reads served by a follower instead of the leader.
+    pub repl_follower_reads: u64,
+    /// Shipments or requests refused for documents the shard doesn't own.
+    pub repl_ownership_rejections: u64,
+    /// Total virtual milliseconds some shard spent leaderless.
+    pub repl_blackout_ms: u64,
+    /// High-water replica lag (leader committed − follower acked frames).
+    pub repl_max_replica_lag: u64,
 }
 
 impl ServerMetrics {
@@ -153,6 +173,21 @@ impl ServerMetrics {
         self.queue_delay_p99_ms = stats.queue_delay_percentile(99);
     }
 
+    /// Mirrors the cluster's replication counters (cumulative snapshots —
+    /// overwrites, same convention as the other mirrors).
+    pub fn record_replication(&mut self, stats: &crate::cluster::ReplicationStats) {
+        self.repl_frames_shipped = stats.frames_shipped;
+        self.repl_frames_acked = stats.frames_acked;
+        self.repl_frames_retried = stats.frames_retried;
+        self.repl_snapshots_shipped = stats.snapshots_shipped;
+        self.repl_probes = stats.probes;
+        self.repl_failovers = stats.failovers;
+        self.repl_follower_reads = stats.follower_reads;
+        self.repl_ownership_rejections = stats.ownership_rejections;
+        self.repl_blackout_ms = stats.blackout_ms;
+        self.repl_max_replica_lag = stats.max_replica_lag;
+    }
+
     /// Serialises every counter as XML (the `/metrics` route). The
     /// exhaustive destructuring means a newly added counter fails to
     /// compile until it is serialized here too.
@@ -192,6 +227,16 @@ impl ServerMetrics {
             plan_cache_misses,
             plan_cache_evictions,
             plan_cache_invalidations,
+            repl_frames_shipped,
+            repl_frames_acked,
+            repl_frames_retried,
+            repl_snapshots_shipped,
+            repl_probes,
+            repl_failovers,
+            repl_follower_reads,
+            repl_ownership_rejections,
+            repl_blackout_ms,
+            repl_max_replica_lag,
         } = self;
         let fields: &[(&str, u64)] = &[
             ("requests", *requests),
@@ -228,6 +273,16 @@ impl ServerMetrics {
             ("plan-cache-misses", *plan_cache_misses),
             ("plan-cache-evictions", *plan_cache_evictions),
             ("plan-cache-invalidations", *plan_cache_invalidations),
+            ("repl-frames-shipped", *repl_frames_shipped),
+            ("repl-frames-acked", *repl_frames_acked),
+            ("repl-frames-retried", *repl_frames_retried),
+            ("repl-snapshots-shipped", *repl_snapshots_shipped),
+            ("repl-probes", *repl_probes),
+            ("repl-failovers", *repl_failovers),
+            ("repl-follower-reads", *repl_follower_reads),
+            ("repl-ownership-rejections", *repl_ownership_rejections),
+            ("repl-blackout-ms", *repl_blackout_ms),
+            ("repl-max-replica-lag", *repl_max_replica_lag),
         ];
         let mut out = String::from("<metrics>");
         for (name, value) in fields {
@@ -239,6 +294,7 @@ impl ServerMetrics {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -282,6 +338,16 @@ mod tests {
             plan_cache_misses: 32,
             plan_cache_evictions: 33,
             plan_cache_invalidations: 34,
+            repl_frames_shipped: 35,
+            repl_frames_acked: 36,
+            repl_frames_retried: 37,
+            repl_snapshots_shipped: 38,
+            repl_probes: 39,
+            repl_failovers: 40,
+            repl_follower_reads: 41,
+            repl_ownership_rejections: 42,
+            repl_blackout_ms: 43,
+            repl_max_replica_lag: 44,
         }
     }
 
@@ -299,9 +365,41 @@ mod tests {
         // each field was set to a distinct value, so each must appear
         assert!(xml.contains("<requests>1</requests>"), "{xml}");
         assert!(xml.contains("<queue-delay-p99-ms>30</queue-delay-p99-ms>"));
-        // 34 counters → 34 distinct element names
-        assert_eq!(xml.matches("</").count(), 34 + 1, "{xml}");
+        // 44 counters → 44 distinct element names
+        assert_eq!(xml.matches("</").count(), 44 + 1, "{xml}");
         assert!(xml.contains("<plan-cache-hits>31</plan-cache-hits>"));
+        assert!(xml.contains("<repl-frames-shipped>35</repl-frames-shipped>"));
+        assert!(xml.contains("<repl-max-replica-lag>44</repl-max-replica-lag>"));
+    }
+
+    #[test]
+    fn replication_counters_mirror_the_cluster_snapshot() {
+        let mut m = ServerMetrics::default();
+        let stats = crate::cluster::ReplicationStats {
+            frames_shipped: 7,
+            frames_acked: 6,
+            frames_retried: 2,
+            snapshots_shipped: 1,
+            probes: 3,
+            failovers: 1,
+            follower_reads: 9,
+            ownership_rejections: 1,
+            blackout_ms: 250,
+            max_replica_lag: 4,
+        };
+        m.record_replication(&stats);
+        assert_eq!(m.repl_frames_shipped, 7);
+        assert_eq!(m.repl_frames_acked, 6);
+        assert_eq!(m.repl_frames_retried, 2);
+        assert_eq!(m.repl_snapshots_shipped, 1);
+        assert_eq!(m.repl_probes, 3);
+        assert_eq!(m.repl_failovers, 1);
+        assert_eq!(m.repl_follower_reads, 9);
+        assert_eq!(m.repl_ownership_rejections, 1);
+        assert_eq!(m.repl_blackout_ms, 250);
+        assert_eq!(m.repl_max_replica_lag, 4);
+        m.record_replication(&crate::cluster::ReplicationStats::default());
+        assert_eq!(m.repl_frames_shipped, 0, "cumulative snapshot overwrites");
     }
 
     #[test]

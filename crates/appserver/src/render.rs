@@ -64,6 +64,7 @@ pub fn index_page_query() -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::corpus::{generate_corpus, CorpusSpec};

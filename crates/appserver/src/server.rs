@@ -87,7 +87,18 @@ impl AppServer {
     /// Rebuilds a durable server from a crashed disk image (checkpoint +
     /// committed WAL suffix; see [`XmlDb::recover`]).
     pub fn recover(disk: VirtualDisk, cfg: DurabilityConfig) -> XdmResult<Self> {
-        let db = XmlDb::recover(disk, cfg)?;
+        Ok(Self::from_db(XmlDb::recover(disk, cfg)?))
+    }
+
+    fn with_db(mut db: XmlDb, corpus_xml: &str) -> XdmResult<Self> {
+        db.load(render::CORPUS_URI, corpus_xml)?;
+        Ok(Self::from_db(db))
+    }
+
+    /// Wraps an already-populated database — no corpus load. Cluster
+    /// shards use this: only the shard owning `corpus.xml` holds the
+    /// corpus; the rest serve whatever documents route to them.
+    pub fn from_db(db: XmlDb) -> Self {
         let mut metrics = ServerMetrics::default();
         metrics.record_durability(&db.durability_stats());
         let mut server = AppServer {
@@ -97,19 +108,7 @@ impl AppServer {
             snapshots: HashMap::new(),
         };
         server.refresh_snapshots();
-        Ok(server)
-    }
-
-    fn with_db(mut db: XmlDb, corpus_xml: &str) -> XdmResult<Self> {
-        db.load(render::CORPUS_URI, corpus_xml)?;
-        let mut server = AppServer {
-            db,
-            metrics: ServerMetrics::default(),
-            engine_baseline: engine_stats::snapshot(),
-            snapshots: HashMap::new(),
-        };
-        server.refresh_snapshots();
-        Ok(server)
+        server
     }
 
     /// Re-serialises every bound document into the degradation cache.
@@ -277,6 +276,7 @@ fn bad_request(msg: &str) -> ServerResponse {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::corpus::{generate_corpus, CorpusSpec};

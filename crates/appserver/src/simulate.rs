@@ -18,7 +18,11 @@ use std::collections::HashMap;
 use xqib_browser::event_loop::EventLoop;
 use xqib_browser::net::{Fault, FaultPlan};
 use xqib_storage::{StorageFaultPlan, VirtualDisk};
+use xqib_xdm::XdmResult;
 
+use crate::cluster::{
+    Cluster, ClusterCompletion, ClusterConfig, ClusterOutcome, ReplicationStats, Submitted,
+};
 use crate::corpus::{generate_corpus, CorpusSpec};
 use crate::governor::{Admission, Class, Completion, GovernedServer, GovernorConfig, Outcome};
 use crate::metrics::ServerMetrics;
@@ -294,24 +298,25 @@ struct ArrivalEvent {
 }
 
 /// Runs the simulation to completion and reports per-class outcome
-/// counters, latency percentiles and the server's final metrics.
-pub fn run_sim(cfg: &SimConfig) -> SimReport {
-    run_sim_with_server(cfg).0
+/// counters, latency percentiles and the server's final metrics. Fails
+/// only when the generated corpus cannot be loaded (e.g. the seeded disk
+/// fault plan refuses the initial bulk load).
+pub fn run_sim(cfg: &SimConfig) -> XdmResult<SimReport> {
+    Ok(run_sim_with_server(cfg)?.0)
 }
 
 /// [`run_sim`], but also hands back the final [`GovernedServer`] so tests
 /// can reconcile observed responses against actual server state (applied
 /// update effects, durable disk images, `/metrics` output).
-pub fn run_sim_with_server(cfg: &SimConfig) -> (SimReport, GovernedServer) {
+pub fn run_sim_with_server(cfg: &SimConfig) -> XdmResult<(SimReport, GovernedServer)> {
     let corpus = generate_corpus(&cfg.corpus);
     let server = match &cfg.disk_fault {
         Some(plan) => AppServer::new_durable(
             &corpus,
             VirtualDisk::with_plan(plan.clone()),
             DurabilityConfig::default(),
-        )
-        .expect("corpus load"),
-        None => AppServer::new(&corpus).expect("corpus load"),
+        )?,
+        None => AppServer::new(&corpus)?,
     };
     let gov_cfg = cfg
         .governor
@@ -343,6 +348,7 @@ pub fn run_sim_with_server(cfg: &SimConfig) -> (SimReport, GovernedServer) {
     // --- drive arrivals through the fault layer into the governor ---------
     let mut inflight: HashMap<u64, u64> = HashMap::new(); // id → net jitter
     let mut truncated_ids: Vec<u64> = Vec::new();
+    let mut reply_lost_ids: Vec<u64> = Vec::new();
     let record = |c: &Completion, jitter: u64, truncated: bool, stats: &mut [ClassStats; 3]| {
         let s = &mut stats[c.class.index()];
         s.latencies.push(c.finished - c.arrival + jitter);
@@ -379,9 +385,13 @@ pub fn run_sim_with_server(cfg: &SimConfig) -> (SimReport, GovernedServer) {
                 per_class[class.index()].net_errors += 1;
                 continue;
             }
-            Some(Fault::Truncate) | None => {}
+            // ReplyLost still reaches the server: the request is admitted
+            // and served, the client just never sees the reply — for the
+            // open-loop report it lands in the lost column below.
+            Some(Fault::Truncate) | Some(Fault::ReplyLost) | None => {}
         }
         let truncate = matches!(fault, Some(Fault::Truncate));
+        let reply_lost = matches!(fault, Some(Fault::ReplyLost));
         match g.submit(&ev.url, now) {
             Admission::Rejected(c) => record(&c, jitter, false, &mut per_class),
             Admission::Queued(id) => {
@@ -389,10 +399,18 @@ pub fn run_sim_with_server(cfg: &SimConfig) -> (SimReport, GovernedServer) {
                 if truncate {
                     truncated_ids.push(id);
                 }
+                if reply_lost {
+                    reply_lost_ids.push(id);
+                }
             }
         }
         for c in g.run_until(now) {
             let jitter = inflight.remove(&c.id).unwrap_or(0);
+            if reply_lost_ids.contains(&c.id) {
+                // served, but the reply vanished: the client sees a loss
+                per_class[c.class.index()].lost += 1;
+                continue;
+            }
             record(&c, jitter, truncated_ids.contains(&c.id), &mut per_class);
         }
         let _ = ev.client;
@@ -400,6 +418,10 @@ pub fn run_sim_with_server(cfg: &SimConfig) -> (SimReport, GovernedServer) {
     }
     for c in g.drain() {
         let jitter = inflight.remove(&c.id).unwrap_or(0);
+        if reply_lost_ids.contains(&c.id) {
+            per_class[c.class.index()].lost += 1;
+            continue;
+        }
         record(&c, jitter, truncated_ids.contains(&c.id), &mut per_class);
     }
     debug_assert!(inflight.is_empty(), "every admitted request completed");
@@ -410,10 +432,233 @@ pub fn run_sim_with_server(cfg: &SimConfig) -> (SimReport, GovernedServer) {
         per_class,
         metrics: g.server.metrics.clone(),
     };
-    (report, g)
+    Ok((report, g))
+}
+
+// ---------------------------------------------------------------------
+// Cluster chaos scenarios
+// ---------------------------------------------------------------------
+
+/// A replicated-cluster chaos experiment: seeded open-loop updates and
+/// reads against a [`Cluster`], through partitions, in-flight shipment
+/// truncation and scheduled leader crashes. Deterministic per seed.
+#[derive(Debug, Clone)]
+pub struct ClusterSimConfig {
+    pub seed: u64,
+    /// Arrivals are generated for this long; the backlog (pending acks,
+    /// failovers, resyncs) is always drained to completion afterwards.
+    pub duration_ms: u64,
+    /// Documents `d0.xml … d{docs-1}.xml` spread across the ring.
+    pub docs: usize,
+    /// Update arrivals per virtual second (across all clients).
+    pub update_rps: u64,
+    /// `/doc` read arrivals per virtual second.
+    pub read_rps: u64,
+    pub cluster: ClusterConfig,
+    /// Scheduled leader crashes: `(at_ms, shard)`.
+    pub leader_crashes: Vec<(u64, usize)>,
+    /// Follower partitions: `(shard, slot, from_ms, to_ms)`.
+    pub partitions: Vec<(usize, usize, u64, u64)>,
+}
+
+impl ClusterSimConfig {
+    /// A small steady cluster run — the starting point tests tweak.
+    pub fn steady(seed: u64, duration_ms: u64) -> Self {
+        ClusterSimConfig {
+            seed,
+            duration_ms,
+            docs: 8,
+            update_rps: 40,
+            read_rps: 60,
+            cluster: ClusterConfig {
+                seed,
+                ..ClusterConfig::default()
+            },
+            leader_crashes: Vec::new(),
+            partitions: Vec::new(),
+        }
+    }
+}
+
+/// One issued update's fate, for exact reconciliation: an `acked` entry's
+/// marker must exist in the owning shard's state, now and after any
+/// number of failovers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateRecord {
+    pub marker: String,
+    pub uri: String,
+    pub acked: bool,
+}
+
+/// The cluster simulation result. Two runs with identical configs compare
+/// equal, bit for bit.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ClusterReport {
+    pub issued_updates: u64,
+    pub issued_reads: u64,
+    /// Updates durably acked per the replication ack rule (HTTP 200).
+    pub acked_updates: u64,
+    /// Updates refused because their leader died before the ack rule held.
+    pub lost_in_failover: u64,
+    /// Updates that timed out waiting for follower acks.
+    pub ack_timeouts: u64,
+    /// Requests refused during a blackout (no degraded path).
+    pub no_leader: u64,
+    /// Non-200 responses the leader's handler itself produced.
+    pub errors: u64,
+    /// Reads served 200 (fresh, follower or degraded).
+    pub reads_ok: u64,
+    /// … of which served by an in-sync follower.
+    pub follower_reads: u64,
+    /// … of which served stale during a blackout.
+    pub degraded_reads: u64,
+    /// Requests a shard refused as not-owned (must stay 0 via `submit`).
+    pub misrouted: u64,
+    /// Ack latency percentiles over acked updates, virtual ms.
+    pub ack_latency_p50: u64,
+    pub ack_latency_p99: u64,
+    /// Every issued update, in issue order, with its final fate.
+    pub updates: Vec<UpdateRecord>,
+    pub stats: ReplicationStats,
+}
+
+impl ClusterReport {
+    /// Checks the headline invariant against live cluster state: every
+    /// acked update's marker is present in its owning shard's document.
+    /// Returns the markers that are missing (empty = invariant holds).
+    pub fn missing_acked_updates(&self, cluster: &Cluster) -> Vec<String> {
+        self.updates
+            .iter()
+            .filter(|u| u.acked && !cluster.contains(&u.uri, &u.marker))
+            .map(|u| u.marker.clone())
+            .collect()
+    }
+}
+
+fn nearest_rank(sorted: &[u64], pct: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() * pct.min(100) as usize).div_ceil(100).max(1) - 1]
+}
+
+/// Runs the cluster chaos scenario to completion. Returns the report and
+/// the cluster itself so tests can keep tormenting it (crash every
+/// leader, re-verify the ledger) after the run.
+pub fn run_cluster_sim(cfg: &ClusterSimConfig) -> (ClusterReport, Cluster) {
+    let mut c = Cluster::new(cfg.cluster.clone());
+    let docs = cfg.docs.max(1);
+    for i in 0..docs {
+        let _ = c.load(&format!("d{i}.xml"), &format!("<root doc=\"{i}\"/>"));
+    }
+    for &(shard, slot, from, to) in &cfg.partitions {
+        c.partition(shard, slot, from, to);
+    }
+    for &(at, shard) in &cfg.leader_crashes {
+        c.crash_leader_at(at, shard);
+    }
+    let mut report = ClusterReport::default();
+    // completion id → ledger index, for pending updates
+    let mut in_flight: HashMap<u64, usize> = HashMap::new();
+    let mut ack_latencies: Vec<u64> = Vec::new();
+    let settle = |done: ClusterCompletion,
+                  report: &mut ClusterReport,
+                  in_flight: &mut HashMap<u64, usize>,
+                  lat: &mut Vec<u64>| {
+        let ledger = in_flight.remove(&done.id);
+        match done.outcome {
+            ClusterOutcome::AckedUpdate => {
+                report.acked_updates += 1;
+                lat.push(done.finished - done.arrival);
+                if let Some(ix) = ledger {
+                    report.updates[ix].acked = true;
+                }
+            }
+            ClusterOutcome::LostInFailover => report.lost_in_failover += 1,
+            ClusterOutcome::AckTimeout => report.ack_timeouts += 1,
+            ClusterOutcome::NoLeader => report.no_leader += 1,
+            ClusterOutcome::Misrouted => report.misrouted += 1,
+            ClusterOutcome::FollowerRead => {
+                report.follower_reads += 1;
+                report.reads_ok += 1;
+            }
+            ClusterOutcome::DegradedRead => {
+                report.degraded_reads += 1;
+                report.reads_ok += 1;
+            }
+            ClusterOutcome::Served => {
+                if done.response.status == 200 {
+                    if done.class == Class::Render || done.class == Class::Query {
+                        report.reads_ok += 1;
+                    }
+                } else {
+                    report.errors += 1;
+                }
+            }
+        }
+    };
+    let (mut un, mut rn) = (0u64, 0u64);
+    for now in 0..=cfg.duration_ms {
+        while un < cfg.update_rps * now / 1000 {
+            let uri = format!(
+                "d{}.xml",
+                mix64(cfg.seed ^ un.wrapping_mul(0x51ab)) % docs as u64
+            );
+            let marker = format!("u{un}");
+            let url = format!(
+                "/update?xq=insert node <sim-update id=\"{marker}\"/> into doc(\"{uri}\")/*"
+            );
+            report.issued_updates += 1;
+            report.updates.push(UpdateRecord {
+                marker,
+                uri,
+                acked: false,
+            });
+            let ix = report.updates.len() - 1;
+            match c.submit(&url, now) {
+                Submitted::Pending(id) => {
+                    in_flight.insert(id, ix);
+                }
+                Submitted::Done(done) => {
+                    if done.outcome == ClusterOutcome::AckedUpdate {
+                        report.updates[ix].acked = true;
+                        report.acked_updates += 1;
+                        ack_latencies.push(0);
+                    } else {
+                        settle(*done, &mut report, &mut in_flight, &mut ack_latencies);
+                    }
+                }
+            }
+            un += 1;
+        }
+        while rn < cfg.read_rps * now / 1000 {
+            let uri = format!("d{}.xml", mix64(cfg.seed ^ 0xbead ^ rn) % docs as u64);
+            report.issued_reads += 1;
+            match c.submit(&format!("/doc?uri={uri}"), now) {
+                Submitted::Done(done) => {
+                    settle(*done, &mut report, &mut in_flight, &mut ack_latencies)
+                }
+                Submitted::Pending(_) => {}
+            }
+            rn += 1;
+        }
+        for done in c.advance(now) {
+            settle(done, &mut report, &mut in_flight, &mut ack_latencies);
+        }
+    }
+    let (_, rest) = c.quiesce(cfg.duration_ms + 1);
+    for done in rest {
+        settle(done, &mut report, &mut in_flight, &mut ack_latencies);
+    }
+    ack_latencies.sort_unstable();
+    report.ack_latency_p50 = nearest_rank(&ack_latencies, 50);
+    report.ack_latency_p99 = nearest_rank(&ack_latencies, 99);
+    report.stats = c.stats();
+    (report, c)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -447,7 +692,7 @@ mod tests {
 
     #[test]
     fn steady_under_capacity_is_all_goodput() {
-        let report = run_sim(&SimConfig::steady(7, 5, 4_000));
+        let report = run_sim(&SimConfig::steady(7, 5, 4_000)).unwrap();
         assert_eq!(report.issued(), 20);
         assert_eq!(report.shed(), 0, "{report:?}");
         assert_eq!(report.metrics.shed, 0);
@@ -466,12 +711,12 @@ mod tests {
                 .with_jitter_ms(20),
         );
         cfg.disk_fault = Some(StorageFaultPlan::seeded(11));
-        let a = run_sim(&cfg);
-        let b = run_sim(&cfg);
+        let a = run_sim(&cfg).unwrap();
+        let b = run_sim(&cfg).unwrap();
         assert_eq!(a, b);
         // a different seed explores a different trajectory
         cfg.seed = 43;
-        let c = run_sim(&cfg);
+        let c = run_sim(&cfg).unwrap();
         assert_ne!(a, c);
     }
 
@@ -484,7 +729,7 @@ mod tests {
             from_ms: 1_000,
             to_ms: 3_000,
         };
-        let report = run_sim(&cfg);
+        let report = run_sim(&cfg).unwrap();
         assert!(report.shed() > 0, "the burst must overwhelm the queue");
         assert!(
             report.goodput() > 0,
@@ -500,5 +745,54 @@ mod tests {
                 .map(|c| c.errors + c.deadline_exceeded)
                 .sum()
         }
+    }
+
+    #[test]
+    fn cluster_sim_is_deterministic_per_seed() {
+        let cfg = ClusterSimConfig::steady(11, 1_500);
+        let (a, _) = run_cluster_sim(&cfg);
+        let (b, _) = run_cluster_sim(&cfg);
+        assert_eq!(a, b, "identical seeds must give bit-identical reports");
+        assert!(a.issued_updates > 0 && a.acked_updates > 0);
+        assert_eq!(a.misrouted, 0, "submit always routes to the owner");
+        let (c, _) = run_cluster_sim(&ClusterSimConfig::steady(12, 1_500));
+        assert_ne!(a, c, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn cluster_sim_crash_mid_run_loses_no_acked_update() {
+        let mut cfg = ClusterSimConfig::steady(21, 2_500);
+        cfg.cluster.followers = 2;
+        cfg.cluster.ack_replicas = 1;
+        cfg.leader_crashes = vec![(1_200, 0), (1_400, 1)];
+        let (report, cluster) = run_cluster_sim(&cfg);
+        assert_eq!(report.stats.failovers, 2, "both shards must fail over");
+        assert!(report.acked_updates > 0);
+        assert_eq!(
+            report.missing_acked_updates(&cluster),
+            Vec::<String>::new(),
+            "every acked update must survive the failovers"
+        );
+    }
+
+    #[test]
+    fn cluster_sim_partition_forces_timeouts_or_degraded_service() {
+        let mut cfg = ClusterSimConfig::steady(31, 2_000);
+        cfg.cluster.followers = 1;
+        cfg.cluster.ack_replicas = 1;
+        cfg.cluster.ack_timeout_ms = 300;
+        // the only follower is dark for most of the run: updates cannot
+        // satisfy the ack rule while the partition holds
+        cfg.partitions = vec![(0, 1, 0, 1_500), (1, 1, 0, 1_500)];
+        let (report, cluster) = run_cluster_sim(&cfg);
+        assert!(
+            report.ack_timeouts > 0,
+            "partitioned followers must starve acks: {report:?}"
+        );
+        assert_eq!(
+            report.missing_acked_updates(&cluster),
+            Vec::<String>::new(),
+            "acked updates still all present"
+        );
     }
 }

@@ -28,7 +28,8 @@ use std::rc::Rc;
 use xqib_dom::store::shared_store;
 use xqib_dom::{DocId, SharedStore};
 use xqib_storage::{
-    Checkpoint, DiskError, DurabilityStats, VirtualDisk, Wal, WalRecord, CKPT_SLOTS, WAL_FILE,
+    Checkpoint, DiskError, DurabilityStats, ShippedFrame, VirtualDisk, Wal, WalRecord, CKPT_SLOTS,
+    WAL_FILE,
 };
 use xqib_xdm::{Item, Sequence, XdmResult};
 use xqib_xquery::context::{DynamicContext, StaticContext};
@@ -42,8 +43,38 @@ use xqib_xquery::wire;
 /// keeping the O(n) LRU scan trivial.
 const PLAN_CACHE_CAPACITY: usize = 64;
 
+/// Applies one redo record to a store, returning `false` when the record
+/// cannot be applied (unparseable document, undecodable or inapplicable
+/// PUL). The replay-stopping condition shared by [`XmlDb::recover`] and
+/// the cluster replication receiver — both stop at the first record that
+/// refuses to apply, keeping state at a frame boundary.
+pub fn apply_wal_record(store: &SharedStore, record: &WalRecord) -> bool {
+    match record {
+        WalRecord::Load { uri, xml } => match xqib_dom::parse_document(xml) {
+            Ok(doc) => {
+                let mut s = store.borrow_mut();
+                match s.doc_by_uri(uri) {
+                    Some(id) => s.replace_document(id, doc),
+                    None => {
+                        s.add_document(doc, Some(uri));
+                    }
+                }
+                true
+            }
+            Err(_) => false,
+        },
+        WalRecord::Pul(bytes) => {
+            let mut s = store.borrow_mut();
+            match wire::decode_pul(&mut s, bytes) {
+                Ok(pul) => pul.apply(&mut s).is_ok(),
+                Err(_) => false,
+            }
+        }
+    }
+}
+
 /// Tuning knobs for durable mode.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct DurabilityConfig {
     /// Fsync the WAL once every `group_commit` journaled operations.
     pub group_commit: u64,
@@ -198,29 +229,7 @@ impl XmlDb {
                 good += 1; // absorbed by the checkpoint; keep the frame
                 continue;
             }
-            let ok = match record {
-                WalRecord::Load { uri, xml } => match xqib_dom::parse_document(xml) {
-                    Ok(doc) => {
-                        let mut s = store.borrow_mut();
-                        match s.doc_by_uri(uri) {
-                            Some(id) => s.replace_document(id, doc),
-                            None => {
-                                s.add_document(doc, Some(uri));
-                            }
-                        }
-                        true
-                    }
-                    Err(_) => false,
-                },
-                WalRecord::Pul(bytes) => {
-                    let mut s = store.borrow_mut();
-                    match wire::decode_pul(&mut s, bytes) {
-                        Ok(pul) => pul.apply(&mut s).is_ok(),
-                        Err(_) => false,
-                    }
-                }
-            };
-            if !ok {
+            if !apply_wal_record(&store, record) {
                 torn = true;
                 break;
             }
@@ -462,9 +471,54 @@ impl XmlDb {
         self.durable.as_ref().map_or(0, |d| d.last_committed)
     }
 
+    /// Highest WAL sequence appended — it may still be awaiting its group
+    /// commit (0 in ephemeral mode). The cluster stamps each update with
+    /// this to know when the ack rule covers it.
+    pub fn appended_seq(&self) -> u64 {
+        self.durable.as_ref().map_or(0, |d| d.last_appended)
+    }
+
     /// The backing device, if durable.
     pub fn disk(&self) -> Option<VirtualDisk> {
         self.durable.as_ref().map(|d| d.disk.clone())
+    }
+
+    /// The committed WAL frames with `after < seq <= committed_seq`, for
+    /// shipping to a follower. `None` when the follower has fallen off the
+    /// log — a checkpoint truncated frames it still needs — or the
+    /// database is ephemeral; the caller must resync by snapshot instead
+    /// ([`Self::replication_snapshot`]).
+    pub fn committed_frames_after(&self, after: u64) -> Option<Vec<ShippedFrame>> {
+        let d = self.durable.as_ref()?;
+        if after >= d.last_committed {
+            return Some(Vec::new());
+        }
+        let data = d.disk.read(WAL_FILE).unwrap_or_default();
+        let frames = Wal::frames_in(&data, after, d.last_committed);
+        match frames.first() {
+            Some(f) if f.seq == after + 1 => Some(frames),
+            _ => None, // gap: the needed suffix was absorbed by a checkpoint
+        }
+    }
+
+    /// A consistent snapshot of the committed state, in the checkpoint
+    /// wire format, for resyncing a follower that has fallen off the WAL.
+    /// Commits first so the document dump and the stamped sequence agree;
+    /// `None` when the database is ephemeral or the commit fsync fails
+    /// (retry later — shipping an inconsistent snapshot would double-apply
+    /// frames at the follower).
+    pub fn replication_snapshot(&mut self) -> Option<Checkpoint> {
+        self.durable.as_ref()?;
+        if self.commit().is_err() {
+            return None;
+        }
+        let docs = self.dump();
+        let d = self.durable.as_ref()?;
+        Some(Checkpoint {
+            gen: d.ckpt_gen,
+            seq: d.last_committed,
+            docs,
+        })
     }
 
     fn install_journal(&self, ctx: &mut DynamicContext) -> Option<Rc<RefCell<Vec<Vec<u8>>>>> {
@@ -506,6 +560,7 @@ impl XmlDb {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use xqib_storage::StorageFaultPlan;
@@ -599,7 +654,7 @@ mod tests {
             group_commit: 100,
             checkpoint_threshold: 0,
         };
-        let mut db = XmlDb::durable(disk.clone(), cfg.clone());
+        let mut db = XmlDb::durable(disk.clone(), cfg);
         db.load("d.xml", "<r><v>committed</v></r>").unwrap();
         db.commit().unwrap();
         db.query("replace value of node doc('d.xml')//v with 'lost-on-crash'")
@@ -637,7 +692,7 @@ mod tests {
             group_commit: 1,
             checkpoint_threshold: 256,
         };
-        let mut db = XmlDb::durable(disk.clone(), cfg.clone());
+        let mut db = XmlDb::durable(disk.clone(), cfg);
         let big = format!("<r>{}</r>", "<x>padding</x>".repeat(20));
         db.load("d.xml", &big).unwrap();
         assert!(db.durability_stats().checkpoints >= 1, "threshold crossed");
@@ -646,5 +701,101 @@ mod tests {
         disk.crash();
         let db2 = XmlDb::recover(disk, cfg).unwrap();
         assert_eq!(db2.serialize("d.xml").unwrap(), big);
+    }
+
+    #[test]
+    fn both_checkpoint_slots_corrupt_recovers_from_the_wal_alone() {
+        let disk = VirtualDisk::new();
+        let mut db = XmlDb::durable(disk.clone(), DurabilityConfig::default());
+        db.load("d.xml", "<r><v>1</v></r>").unwrap();
+        db.checkpoint().unwrap();
+        db.query("insert node <a/> into doc('d.xml')/r").unwrap();
+        drop(db);
+        // wreck both slots: recovery must fall back cleanly, not panic
+        for slot in CKPT_SLOTS {
+            if let Some(mut data) = disk.read(slot) {
+                let mid = data.len() / 2;
+                data[mid] ^= 0xff;
+                disk.write_file(slot, &data);
+            } else {
+                disk.write_file(slot, b"garbage");
+            }
+        }
+        let db2 = XmlDb::recover(disk, DurabilityConfig::default()).unwrap();
+        // the checkpoint absorbed seq 1..=2 and truncated the WAL, so only
+        // the post-checkpoint insert replays onto an empty store: with the
+        // snapshot gone, its PUL cannot resolve and recovery stops at the
+        // empty frame boundary — a clean (if empty) state, never a panic
+        assert_eq!(db2.committed_seq(), 0);
+        assert!(db2.serialize("d.xml").is_none());
+    }
+
+    #[test]
+    fn unreadable_checkpoint_document_is_a_typed_recovery_failure() {
+        let disk = VirtualDisk::new();
+        let mut db = XmlDb::durable(disk.clone(), DurabilityConfig::default());
+        db.load("d.xml", "<r/>").unwrap();
+        db.checkpoint().unwrap();
+        drop(db);
+        // forge a checkpoint whose CRC is intact but whose document body is
+        // not XML: read_latest accepts it, the parse must fail *typed*
+        let forged = Checkpoint {
+            gen: 2,
+            seq: 1,
+            docs: vec![("d.xml".into(), "<unclosed".into())],
+        };
+        forged.write(&disk).unwrap();
+        let err = XmlDb::recover(disk, DurabilityConfig::default())
+            .err()
+            .expect("recovery must fail, not panic");
+        assert_eq!(err.code, wire::WIRE_ERR);
+        assert!(err.message.contains("d.xml"), "names the bad document");
+    }
+
+    #[test]
+    fn committed_frames_after_ships_exactly_the_committed_suffix() {
+        let disk = VirtualDisk::new();
+        let cfg = DurabilityConfig {
+            group_commit: 100, // manual commits only
+            checkpoint_threshold: 0,
+        };
+        let mut db = XmlDb::durable(disk.clone(), cfg);
+        db.load("d.xml", "<r/>").unwrap(); // seq 1
+        db.load("e.xml", "<e/>").unwrap(); // seq 2
+        db.commit().unwrap();
+        db.load("f.xml", "<f/>").unwrap(); // seq 3, uncommitted
+        assert_eq!(db.appended_seq(), 3);
+        assert_eq!(db.committed_seq(), 2);
+        let frames = db.committed_frames_after(0).unwrap();
+        assert_eq!(
+            frames.iter().map(|f| f.seq).collect::<Vec<_>>(),
+            vec![1, 2],
+            "only committed frames ship"
+        );
+        let tail = db.committed_frames_after(1).unwrap();
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].seq, 2);
+        assert!(db.committed_frames_after(2).unwrap().is_empty());
+        // ephemeral databases have nothing to ship
+        assert!(XmlDb::new().committed_frames_after(0).is_none());
+    }
+
+    #[test]
+    fn frames_absorbed_by_a_checkpoint_force_a_snapshot_resync() {
+        let disk = VirtualDisk::new();
+        let mut db = XmlDb::durable(disk.clone(), DurabilityConfig::default());
+        db.load("d.xml", "<r/>").unwrap(); // seq 1
+        db.checkpoint().unwrap(); // truncates the WAL
+        db.load("e.xml", "<e/>").unwrap(); // seq 2
+        assert!(
+            db.committed_frames_after(0).is_none(),
+            "seq 1 is gone from the log: follower at 0 needs a snapshot"
+        );
+        let snap = db.replication_snapshot().unwrap();
+        assert_eq!(snap.seq, db.committed_seq());
+        assert_eq!(snap.docs.len(), 2);
+        // a follower already past the checkpoint still gets frames
+        let frames = db.committed_frames_after(1).unwrap();
+        assert_eq!(frames.iter().map(|f| f.seq).collect::<Vec<_>>(), vec![2]);
     }
 }

@@ -131,7 +131,7 @@ proptest! {
         };
 
         let disk = VirtualDisk::with_plan(plan);
-        let mut db = XmlDb::durable(disk.clone(), cfg.clone());
+        let mut db = XmlDb::durable(disk.clone(), cfg);
         // expected[s] = serialization right after WAL sequence s
         let mut expected = vec![db.dump()];
         for op in &ops[..crash_after] {
@@ -142,7 +142,7 @@ proptest! {
         drop(db);
         disk.crash();
 
-        let recovered = XmlDb::recover(disk.clone(), cfg.clone()).unwrap();
+        let recovered = XmlDb::recover(disk.clone(), cfg).unwrap();
         let seq = recovered.committed_seq() as usize;
         prop_assert!(
             seq >= committed_at_crash as usize,
@@ -173,7 +173,7 @@ proptest! {
         let ops = gen_ops(&mut Rng(mixed), len);
         let disk = VirtualDisk::new();
         let cfg = DurabilityConfig { group_commit: 1, checkpoint_threshold: 512 };
-        let mut db = XmlDb::durable(disk.clone(), cfg.clone());
+        let mut db = XmlDb::durable(disk.clone(), cfg);
         for op in &ops {
             apply_op(&mut db, op);
         }

@@ -55,7 +55,7 @@ fn torn_tails_are_counted() {
         group_commit: 1000,
         checkpoint_threshold: 0,
     };
-    let mut db = XmlDb::durable(disk.clone(), cfg.clone());
+    let mut db = XmlDb::durable(disk.clone(), cfg);
     db.load("d.xml", "<r><v>keep</v></r>").unwrap();
     db.commit().unwrap();
     // an unsynced update: the crash tears it off the log mid-frame
@@ -68,7 +68,7 @@ fn torn_tails_are_counted() {
         let probe = disk.clone_image();
         probe.set_plan(xqib_storage::StorageFaultPlan::seeded(seed));
         probe.crash();
-        let recovered = XmlDb::recover(probe, cfg.clone()).unwrap();
+        let recovered = XmlDb::recover(probe, cfg).unwrap();
         let stats = recovered.durability_stats();
         assert_eq!(stats.recoveries, 1);
         // committed prefix (tail torn) or one state further (the whole

@@ -116,7 +116,7 @@ proptest! {
             cfg.governor = None;
         }
 
-        let (report, mut g) = run_sim_with_server(&cfg);
+        let (report, mut g) = run_sim_with_server(&cfg).unwrap();
         assert_conservation(&report);
 
         // invariant 2: acknowledged updates — and only those — left effects
@@ -134,7 +134,7 @@ proptest! {
         }
 
         // invariant 5: the same config replays to the same report
-        let (again, _) = run_sim_with_server(&cfg);
+        let (again, _) = run_sim_with_server(&cfg).unwrap();
         prop_assert_eq!(report, again);
     }
 }
@@ -152,7 +152,7 @@ proptest! {
         if !governed {
             cfg.governor = None;
         }
-        let (report, _) = run_sim_with_server(&cfg);
+        let (report, _) = run_sim_with_server(&cfg).unwrap();
         assert_conservation(&report);
         prop_assert_eq!(report.shed(), 0);
         prop_assert_eq!(report.metrics.degraded, 0);

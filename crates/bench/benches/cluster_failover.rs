@@ -1,0 +1,101 @@
+//! Cluster failover experiment: the same steady update/read workload with
+//! one mid-run leader crash, replayed against three deployments — leader
+//! only (K=0), one follower (K=1, ack_replicas=1) and two followers (K=2,
+//! ack_replicas=2) — in deterministic virtual time. As with the overload
+//! experiment the interesting numbers (acked-update throughput, ack
+//! latency, failover blackout) come out of the simulator itself, so the
+//! binary writes `BENCH_cluster.json` directly.
+//!
+//! What the arms show: replication buys crash-survivable acks at the cost
+//! of ack latency (each extra required replica adds a WAL-shipping round
+//! trip), while the failover blackout stays bounded by the detection
+//! window + probe/promotion time.
+
+use xqib_appserver::simulate::{run_cluster_sim, ClusterReport, ClusterSimConfig};
+
+fn arm_config(seed: u64, followers: usize) -> ClusterSimConfig {
+    let mut cfg = ClusterSimConfig::steady(seed, 6_000);
+    cfg.cluster.shards = 1;
+    cfg.cluster.followers = followers;
+    cfg.cluster.ack_replicas = followers; // every follower must ack
+    cfg.leader_crashes = vec![(2_000, 0)]; // one mid-run power loss
+    cfg
+}
+
+fn arm_json(name: &str, r: &ClusterReport, duration_ms: u64) -> String {
+    format!(
+        concat!(
+            "    \"{}\": {{\n",
+            "      \"issued_updates\": {},\n",
+            "      \"acked_updates\": {},\n",
+            "      \"acked_rps\": {},\n",
+            "      \"ack_latency_p50_ms\": {},\n",
+            "      \"ack_latency_p99_ms\": {},\n",
+            "      \"ack_timeouts\": {},\n",
+            "      \"lost_in_failover\": {},\n",
+            "      \"no_leader\": {},\n",
+            "      \"failovers\": {},\n",
+            "      \"blackout_ms\": {},\n",
+            "      \"follower_reads\": {},\n",
+            "      \"degraded_reads\": {},\n",
+            "      \"frames_shipped\": {},\n",
+            "      \"snapshots_shipped\": {}\n",
+            "    }}"
+        ),
+        name,
+        r.issued_updates,
+        r.acked_updates,
+        r.acked_updates * 1_000 / duration_ms.max(1),
+        r.ack_latency_p50,
+        r.ack_latency_p99,
+        r.ack_timeouts,
+        r.lost_in_failover,
+        r.no_leader,
+        r.stats.failovers,
+        r.stats.blackout_ms,
+        r.follower_reads,
+        r.degraded_reads,
+        r.stats.frames_shipped,
+        r.stats.snapshots_shipped,
+    )
+}
+
+fn main() {
+    // `cargo bench` passes harness flags we don't use
+    let _ = std::env::args();
+
+    let seed = 0xC105;
+    let duration = 6_000;
+    let mut arms = Vec::new();
+    for (name, followers) in [
+        ("leader_only", 0),
+        ("one_follower", 1),
+        ("two_followers", 2),
+    ] {
+        let cfg = arm_config(seed, followers);
+        let (report, cluster) = run_cluster_sim(&cfg);
+        // the headline invariant must hold in the benchmarked runs too
+        assert_eq!(
+            report.missing_acked_updates(&cluster),
+            Vec::<String>::new(),
+            "{name}: acked updates lost"
+        );
+        assert!(report.acked_updates > 0, "{name}: no acked updates");
+        assert_eq!(report.stats.failovers, 1, "{name}: expected one failover");
+        assert!(
+            report.stats.blackout_ms > 0,
+            "{name}: crash must cost a blackout"
+        );
+        arms.push(arm_json(name, &report, duration));
+    }
+
+    let json = format!(
+        "{{\n  \"cluster_failover\": {{\n{}\n  }}\n}}\n",
+        arms.join(",\n")
+    );
+    // cargo runs benches with the package as CWD; the report belongs at
+    // the repo root next to the harvested BENCH_*.json files
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
+    std::fs::write(out, &json).expect("write BENCH_cluster.json");
+    println!("wrote BENCH_cluster.json:\n{json}");
+}

@@ -63,8 +63,8 @@ fn main() {
     let _ = std::env::args();
 
     let seed = 0xB02D;
-    let baseline = run_sim(&burst_config(seed, false));
-    let governed = run_sim(&burst_config(seed, true));
+    let baseline = run_sim(&burst_config(seed, false)).expect("corpus load");
+    let governed = run_sim(&burst_config(seed, true)).expect("corpus load");
 
     let json = format!(
         "{{\n  \"overload_burst_2x\": {{\n{},\n{}\n  }}\n}}\n",

@@ -63,7 +63,7 @@ fn bench(c: &mut Criterion) {
 
     group.bench_with_input(BenchmarkId::new("200_ops", "durable"), &(), |b, _| {
         b.iter(|| {
-            let mut db = XmlDb::durable(VirtualDisk::new(), cfg.clone());
+            let mut db = XmlDb::durable(VirtualDisk::new(), cfg);
             db.load("db.xml", &corpus).unwrap();
             run_batch(&mut db, &queries);
             db.committed_seq()
@@ -72,7 +72,7 @@ fn bench(c: &mut Criterion) {
 
     // a fully committed image to recover from, built once
     let disk = VirtualDisk::new();
-    let mut db = XmlDb::durable(disk.clone(), cfg.clone());
+    let mut db = XmlDb::durable(disk.clone(), cfg);
     db.load("db.xml", &corpus).unwrap();
     run_batch(&mut db, &queries);
     db.commit().unwrap();
@@ -80,7 +80,7 @@ fn bench(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("200_ops", "recover"), &(), |b, _| {
         b.iter(|| {
             let image = disk.clone_image();
-            let recovered = XmlDb::recover(image, cfg.clone()).unwrap();
+            let recovered = XmlDb::recover(image, cfg).unwrap();
             assert_eq!(recovered.committed_seq(), (OPS + 1) as u64);
             recovered.committed_seq()
         });

@@ -106,6 +106,11 @@ pub enum Fault {
     Timeout,
     /// The reply arrives, but the payload is cut off mid-transfer.
     Truncate,
+    /// The request reaches the service and is processed, but the *reply*
+    /// is lost in flight: the client observes its own deadline while the
+    /// side effects stand. The failure mode that makes idempotent resend
+    /// (WAL seq-skip on the replication receiver) load-bearing.
+    ReplyLost,
 }
 
 /// A deterministic failure schedule for one host, reproducible from `seed`.
@@ -126,6 +131,8 @@ pub struct FaultPlan {
     pub error_permille: u16,
     /// ‰ of requests with truncated payloads ([`Fault::Truncate`]).
     pub truncate_permille: u16,
+    /// ‰ of requests processed whose reply is lost ([`Fault::ReplyLost`]).
+    pub reply_lost_permille: u16,
     /// Uniform extra round-trip latency in `0..=jitter_ms`, per request.
     pub jitter_ms: u64,
     /// Virtual-time windows `[from, to)` during which the host is down
@@ -159,6 +166,11 @@ impl FaultPlan {
 
     pub fn with_truncate_permille(mut self, permille: u16) -> Self {
         self.truncate_permille = permille;
+        self
+    }
+
+    pub fn with_reply_lost_permille(mut self, permille: u16) -> Self {
+        self.reply_lost_permille = permille;
         self
     }
 
@@ -203,6 +215,13 @@ impl FaultPlan {
             Some(Fault::Error(503))
         } else if draw < self.timeout_permille + self.error_permille + self.truncate_permille {
             Some(Fault::Truncate)
+        } else if draw
+            < self.timeout_permille
+                + self.error_permille
+                + self.truncate_permille
+                + self.reply_lost_permille
+        {
+            Some(Fault::ReplyLost)
         } else {
             None
         };
@@ -248,6 +267,7 @@ pub struct NetStats {
     pub injected_timeouts: u64,
     pub injected_errors: u64,
     pub injected_truncations: u64,
+    pub injected_reply_losses: u64,
     pub per_host: HashMap<String, HostStats>,
 }
 
@@ -341,6 +361,13 @@ impl VirtualNetwork {
                     },
                     latency_ms,
                 }
+            }
+            Some(Fault::ReplyLost) => {
+                // the handler runs — side effects stand — but the reply
+                // never reaches the caller
+                self.stats.injected_reply_losses += 1;
+                let _ = (self.services[svc].2)(req);
+                NetOutcome::Lost
             }
             Some(Fault::Truncate) => {
                 self.stats.injected_truncations += 1;
@@ -601,6 +628,38 @@ mod tests {
         }
         assert_eq!(net.stats.injected_errors, 1);
         assert_eq!(net.stats.injected_truncations, 1);
+    }
+
+    #[test]
+    fn reply_lost_runs_the_handler_but_loses_the_reply() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let served = Rc::new(Cell::new(0u32));
+        let mut net = VirtualNetwork::new();
+        let s = served.clone();
+        net.register("http://svc.example/", 5, move |_req| {
+            s.set(s.get() + 1);
+            Response::ok("<done/>")
+        });
+        net.set_fault_plan(
+            "svc.example",
+            FaultPlan {
+                seed: 4,
+                scripted: vec![Some(Fault::ReplyLost), None],
+                ..Default::default()
+            },
+        );
+        assert!(matches!(
+            net.fetch_at(&Request::get("http://svc.example/a"), 0),
+            NetOutcome::Lost
+        ));
+        assert_eq!(served.get(), 1, "the service processed the request");
+        assert_eq!(net.stats.injected_reply_losses, 1);
+        assert!(matches!(
+            net.fetch_at(&Request::get("http://svc.example/a"), 0),
+            NetOutcome::Reply { .. }
+        ));
+        assert_eq!(served.get(), 2);
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod wal;
 
 pub use checkpoint::{Checkpoint, CKPT_SLOTS};
 pub use disk::{DiskError, DiskStats, StorageFaultPlan, VirtualDisk};
-pub use wal::{Wal, WalRecord, WalReplay, WAL_FILE};
+pub use wal::{ShippedFrame, Wal, WalRecord, WalReplay, WAL_FILE};
 
 /// CRC-32 (IEEE 802.3, reflected) — the frame and snapshot checksum.
 pub fn crc32(bytes: &[u8]) -> u32 {

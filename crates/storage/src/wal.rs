@@ -39,6 +39,17 @@ pub enum WalRecord {
     Pul(Vec<u8>),
 }
 
+/// One raw WAL frame as shipped to a replica: the sequence number, the
+/// decoded record, and the exact frame bytes (header included, CRC
+/// intact), so a follower can append what it received verbatim and its
+/// log stays a byte-prefix of the leader's.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShippedFrame {
+    pub seq: u64,
+    pub record: WalRecord,
+    pub bytes: Vec<u8>,
+}
+
 /// Result of scanning a WAL file.
 #[derive(Debug, Clone, Default)]
 pub struct WalReplay {
@@ -90,6 +101,15 @@ impl Wal {
     /// Scans a WAL file into the longest intact frame prefix.
     pub fn scan(disk: &VirtualDisk, file: &str) -> WalReplay {
         let data = disk.read(file).unwrap_or_default();
+        Self::scan_bytes(&data)
+    }
+
+    /// Scans an in-memory frame stream — the same accept rule as
+    /// [`scan`](Self::scan), shared with the replication receiver: the
+    /// longest prefix of intact frames with strictly increasing sequence
+    /// numbers, stopping at the first torn, corrupt, unknown-tag or
+    /// sequence-breaking frame.
+    pub fn scan_bytes(data: &[u8]) -> WalReplay {
         let mut replay = WalReplay::default();
         let mut pos = 0usize;
         let mut prev_seq = 0u64;
@@ -122,6 +142,29 @@ impl Wal {
         }
         replay.torn_tail_dropped = replay.valid_bytes < data.len();
         replay
+    }
+
+    /// Extracts shippable frames from a raw WAL image: the intact prefix
+    /// per [`scan_bytes`](Self::scan_bytes), filtered to
+    /// `after < seq <= upto`. The leader uses this to cut a replication
+    /// batch of committed frames; each [`ShippedFrame`] carries the exact
+    /// on-disk bytes so the follower's log stays a byte-prefix of the
+    /// leader's.
+    pub fn frames_in(data: &[u8], after: u64, upto: u64) -> Vec<ShippedFrame> {
+        let replay = Self::scan_bytes(data);
+        let mut start = 0usize;
+        let mut out = Vec::new();
+        for (seq, record, end) in replay.records {
+            if seq > after && seq <= upto {
+                out.push(ShippedFrame {
+                    seq,
+                    record,
+                    bytes: data[start..end].to_vec(),
+                });
+            }
+            start = end;
+        }
+        out
     }
 
     /// Appends a record, returning its sequence number. Not durable until

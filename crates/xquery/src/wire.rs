@@ -446,6 +446,98 @@ pub fn decode_pul(store: &mut Store, bytes: &[u8]) -> XdmResult<Pul> {
     Ok(pul)
 }
 
+// ---------------------------------------------------------------------------
+// skimming: target URIs without a store
+// ---------------------------------------------------------------------------
+
+/// Skips an encoded payload tree without materialising it.
+fn skim_tree(r: &mut Reader) -> XdmResult<()> {
+    match r.u8()? {
+        K_ELEM => {
+            read_qname(r)?;
+            let n_decls = r.u32()? as usize;
+            for _ in 0..n_decls {
+                r.str()?;
+                r.str()?;
+            }
+            let n_attrs = r.u32()? as usize;
+            for _ in 0..n_attrs {
+                skim_tree(r)?;
+            }
+            let n_children = r.u32()? as usize;
+            for _ in 0..n_children {
+                skim_tree(r)?;
+            }
+        }
+        K_ATTR => {
+            read_qname(r)?;
+            r.str()?;
+        }
+        K_TEXT | K_COMMENT => {
+            r.str()?;
+        }
+        K_PI => {
+            r.str()?;
+            r.str()?;
+        }
+        other => return Err(err(format!("unknown payload node kind {other}"))),
+    }
+    Ok(())
+}
+
+fn skim_trees(r: &mut Reader) -> XdmResult<()> {
+    let n = r.u32()? as usize;
+    for _ in 0..n {
+        skim_tree(r)?;
+    }
+    Ok(())
+}
+
+/// Skips a target, returning only its document URI.
+fn skim_target(r: &mut Reader) -> XdmResult<String> {
+    let uri = r.str()?;
+    let len = r.u32()? as usize;
+    for _ in 0..len {
+        r.u32()?;
+    }
+    Ok(uri)
+}
+
+/// The distinct document URIs an encoded PUL touches, in first-touch
+/// order, without resolving targets against any store. A replication
+/// receiver uses this to refuse frames addressing documents its shard does
+/// not own — the record cannot even be *decoded* against a store that
+/// lacks the document, but the ownership check must fire before any decode
+/// attempt and report the offending URI.
+pub fn pul_doc_uris(bytes: &[u8]) -> XdmResult<Vec<String>> {
+    let mut r = Reader::new(bytes);
+    let count = r.u32()? as usize;
+    let mut uris: Vec<String> = Vec::new();
+    for _ in 0..count {
+        let tag = r.u8()?;
+        let uri = skim_target(&mut r)?;
+        match tag {
+            T_INSERT_INTO | T_INSERT_FIRST | T_INSERT_LAST | T_INSERT_BEFORE | T_INSERT_AFTER
+            | T_INSERT_ATTRS | T_REPLACE_NODE => skim_trees(&mut r)?,
+            T_DELETE => {}
+            T_REPLACE_VALUE | T_REPLACE_CONTENT => {
+                r.str()?;
+            }
+            T_RENAME => {
+                read_qname(&mut r)?;
+            }
+            other => return Err(err(format!("unknown primitive tag {other}"))),
+        }
+        if !uris.contains(&uri) {
+            uris.push(uri);
+        }
+    }
+    if !r.done() {
+        return Err(err("trailing bytes after the last primitive"));
+    }
+    Ok(uris)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -588,5 +680,35 @@ mod tests {
         assert!(decode_pul(&mut s, &[1, 0, 0, 0, 99]).is_err());
         // trailing garbage after a valid empty list
         assert!(decode_pul(&mut s, &[0, 0, 0, 0, 7]).is_err());
+    }
+
+    #[test]
+    fn pul_doc_uris_skims_targets_without_a_store() {
+        let (mut s, d) = store_with("<r><c>t</c></r>");
+        let doc_root = s.doc(d).root();
+        let root = s.doc(d).children(doc_root)[0];
+        let c = s.doc(d).children(root)[0];
+        let payload = {
+            let doc = s.doc_mut(d);
+            let e = doc.create_element(QName::ns("urn:x", "nx"));
+            let t = doc.create_text("inside");
+            doc.append_child(e, t).unwrap();
+            e
+        };
+        let mut pul = Pul::new();
+        pul.push(UpdatePrimitive::InsertInto {
+            target: NodeRef::new(d, root),
+            children: vec![NodeRef::new(d, payload)],
+        });
+        pul.push(UpdatePrimitive::Rename {
+            target: NodeRef::new(d, c),
+            name: QName::local("renamed"),
+        });
+        let bytes = encode_pul(&s, &pul).unwrap();
+        // skim works without any store — the receiver-side ownership check
+        assert_eq!(pul_doc_uris(&bytes).unwrap(), vec!["db.xml".to_string()]);
+        // corrupt records skim to a clean error, never a panic
+        assert!(pul_doc_uris(&bytes[..bytes.len() - 2]).is_err());
+        assert!(pul_doc_uris(&[9, 0, 0, 0]).is_err());
     }
 }

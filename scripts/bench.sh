@@ -20,6 +20,12 @@
 #                           compiled-cached, §7-style path/FLWOR/exists
 #                           workloads, early-exit scaling (1k vs 12k
 #                           nodes), and governed-capacity delta
+#   BENCH_cluster.json    — replicated cluster (cluster_failover):
+#                           acked-update throughput, ack latency and
+#                           failover blackout for leader-only vs
+#                           1-follower vs 2-follower deployments under a
+#                           mid-run leader crash, in virtual time (the
+#                           bench binary writes this report itself)
 #
 # Each report has the shape
 #
@@ -83,7 +89,9 @@ rm -rf target/criterion
 cargo bench -p xqib-bench --bench plan_eval
 harvest BENCH_plan_eval.json
 
-# The overload experiment measures virtual-time goodput/latency, not
-# wall-clock ns/iter, so its binary writes BENCH_overload.json directly
-# (no criterion harvest).
+# The overload and cluster experiments measure virtual-time
+# goodput/latency, not wall-clock ns/iter, so their binaries write
+# BENCH_overload.json / BENCH_cluster.json directly (no criterion
+# harvest).
 cargo bench -p xqib-bench --bench overload
+cargo bench -p xqib-bench --bench cluster_failover

@@ -1,0 +1,50 @@
+//! Keeps the README "replicated cluster" example honest: this is the
+//! snippet from README.md, verbatim, as a regression test.
+
+use xqib::appserver::{Cluster, ClusterConfig, ClusterOutcome, Submitted};
+
+#[test]
+fn readme_cluster_example() {
+    // one shard: a leader and two WAL-shipping followers; an update is
+    // acked only once one follower holds it durably
+    let mut cluster = Cluster::new(ClusterConfig {
+        shards: 1,
+        followers: 2,
+        ack_replicas: 1,
+        ..ClusterConfig::default()
+    });
+    cluster.load("news.xml", "<root/>").unwrap();
+
+    let url = r#"/update?xq=insert node <m id="scoop"/> into doc("news.xml")/*"#;
+    let id = match cluster.submit(url, 0) {
+        Submitted::Pending(id) => id, // the ack costs a replication round trip
+        Submitted::Done(_) => unreachable!(),
+    };
+    let mut now = 0;
+    let done = loop {
+        now += 1;
+        if let Some(done) = cluster.advance(now).pop() {
+            break done;
+        }
+    };
+    assert_eq!(done.id, id);
+    assert_eq!(done.outcome, ClusterOutcome::AckedUpdate);
+    assert_eq!(done.response.status, 200);
+
+    // reads fan out to in-sync followers, exposing their replication lag
+    let read = match cluster.submit("/doc?uri=news.xml", now) {
+        Submitted::Done(read) => read,
+        Submitted::Pending(_) => unreachable!(),
+    };
+    assert_eq!(read.outcome, ClusterOutcome::FollowerRead);
+    assert!(read.response.header("X-XQIB-Replica-Lag").is_some());
+
+    // the leader dies; the most-caught-up follower is promoted under a
+    // new term — and the acked update is still there
+    cluster.crash_leader(0, now);
+    let (_, _) = cluster.quiesce(now);
+    assert!(cluster.has_leader(0));
+    assert_ne!(cluster.leader_seat(0), 0);
+    assert_eq!(cluster.term(0), 2);
+    assert!(cluster.contains("news.xml", "scoop"));
+}
