@@ -26,8 +26,9 @@
 //! durably acknowledged its sequence. On leader crash, the cluster waits
 //! `failover_detect_ms`, then probes followers over the (possibly
 //! partitioned) network until it hears from `K - ack_replicas + 1` of them
-//! — a set that must intersect every ack quorum — and promotes the
-//! most-caught-up one via the ordinary [`AppServer::recover`] path. The
+//! — a set that must intersect every ack quorum — and promotes the one
+//! with the greatest `(term, acked)` pair (Raft's election restriction)
+//! via the ordinary [`AppServer::recover`] path. The
 //! new term starts by asserting the new leader's state: every surviving
 //! follower gets a term-stamped snapshot, which fences stale leaders and
 //! erases any un-acked divergent suffix a partitioned follower may hold
@@ -328,15 +329,17 @@ impl ReplicaNode {
 
     /// Replays a shipped byte stream: skip what's already applied, stop at
     /// the first gap, foreign document or inapplicable record, persist the
-    /// accepted raw frames, and report the new durable position. `None`
-    /// fences a stale-term sender.
-    fn accept_frames(&mut self, term: u64, data: &[u8]) -> Option<u64> {
+    /// accepted raw frames, and report the new durable position plus
+    /// whether the batch was refused over ownership. `None` fences a
+    /// stale-term sender.
+    fn accept_frames(&mut self, term: u64, data: &[u8]) -> Option<(u64, bool)> {
         if term < self.term {
             return None;
         }
         self.term = term;
         let replay = Wal::scan_bytes(data);
         let mut start = 0usize;
+        let mut refused = false;
         for (seq, record, end) in replay.records {
             let bytes = &data[start..end];
             start = end;
@@ -348,6 +351,7 @@ impl ReplicaNode {
             }
             if !self.owns(&record) {
                 self.stats.borrow_mut().ownership_rejections += 1;
+                refused = true;
                 break;
             }
             if !apply_wal_record(&self.store, &record) {
@@ -360,7 +364,7 @@ impl ReplicaNode {
             self.acked = self.applied;
         }
         self.maybe_checkpoint();
-        Some(self.acked)
+        Some((self.acked, refused))
     }
 
     /// Installs a full snapshot (log-gap resync or new-term reset),
@@ -449,7 +453,7 @@ impl ReplicaNode {
         let body = req.body.as_deref().unwrap_or("");
         let acked = match body.split_at(usize::from(!body.is_empty())) {
             ("F", hex) => n.accept_frames(term, &from_hex(hex)),
-            ("S", hex) => n.install_snapshot(term, &from_hex(hex)),
+            ("S", hex) => n.install_snapshot(term, &from_hex(hex)).map(|a| (a, false)),
             _ => {
                 return Response {
                     status: 400,
@@ -459,7 +463,15 @@ impl ReplicaNode {
             }
         };
         match acked {
-            Some(seq) => Response::ok(format!("<ack seq=\"{seq}\"/>")),
+            Some((seq, false)) => Response::ok(format!("<ack seq=\"{seq}\"/>")),
+            // foreign document in the batch: a non-200 reply makes the
+            // leader count a failure (backoff, breaker) instead of
+            // hot-looping the identical shipment on every tick
+            Some((seq, true)) => Response {
+                status: 421,
+                body: format!("<nack reason=\"ownership\" seq=\"{seq}\"/>"),
+                content_type: "application/xml".to_string(),
+            },
             None => Response {
                 status: 409,
                 body: format!("<nack term=\"{}\"/>", n.term),
@@ -483,6 +495,10 @@ struct Seat {
     /// Leader's knowledge of this follower's durable position — learned
     /// exclusively from ack replies, never by peeking.
     acked: u64,
+    /// Highest frame seq ever put on the wire to this seat, counted after
+    /// in-flight truncation; frames at or below it are retries when
+    /// re-shipped.
+    shipped_top: u64,
     attempt: u32,
     next_send_at: u64,
     /// Ship a term-stamped snapshot before any frames (new-term reset).
@@ -508,8 +524,8 @@ struct Shard {
     pending: VecDeque<PendingUpdate>,
     leaderless_since: Option<u64>,
     next_probe_at: u64,
-    /// Probe answers (`acked`) gathered during the current failover.
-    probed: Vec<Option<u64>>,
+    /// Probe answers `(term, acked)` gathered during the current failover.
+    probed: Vec<Option<(u64, u64)>>,
 }
 
 /// How a cluster request ended.
@@ -606,6 +622,7 @@ impl Cluster {
                     disk,
                     replica,
                     acked: 0,
+                    shipped_top: 0,
                     attempt: 0,
                     next_send_at: 0,
                     force_snapshot: false,
@@ -1064,8 +1081,11 @@ impl Cluster {
                 let req = Request::get(&format!("http://{host}/replicate?probe=1"));
                 if let NetOutcome::Reply { resp, .. } = self.net.fetch_at(&req, now) {
                     if resp.status == 200 {
-                        if let Some(acked) = parse_attr(&resp.body, "acked") {
-                            self.shards[s].probed[i] = Some(acked);
+                        if let (Some(term), Some(acked)) = (
+                            parse_attr(&resp.body, "term"),
+                            parse_attr(&resp.body, "acked"),
+                        ) {
+                            self.shards[s].probed[i] = Some((term, acked));
                         }
                     }
                 }
@@ -1076,20 +1096,23 @@ impl Cluster {
         // holds every acked update (pigeonhole against the ack rule).
         let k = follower_seats.len();
         let quorum = k - self.cfg.ack_replicas.min(k) + 1;
-        let heard: Vec<(usize, u64)> = follower_seats
+        let heard: Vec<(usize, (u64, u64))> = follower_seats
             .iter()
-            .filter_map(|&i| self.shards[s].probed[i].map(|a| (i, a)))
+            .filter_map(|&i| self.shards[s].probed[i].map(|ta| (i, ta)))
             .collect();
         if heard.len() < quorum {
             return;
         }
+        // Raft's election restriction, lexicographic on (term, acked): a
+        // longer log from a dead term must never beat a shorter one that
+        // holds acked updates from a newer term.
         let (win, _) = heard
             .iter()
-            .fold(None::<(usize, u64)>, |best, &(i, a)| match best {
-                Some((_, ba)) if ba >= a => best,
-                _ => Some((i, a)),
+            .fold(None::<(usize, (u64, u64))>, |best, &(i, ta)| match best {
+                Some((_, bta)) if bta >= ta => best,
+                _ => Some((i, ta)),
             })
-            .unwrap_or((follower_seats[0], 0));
+            .unwrap_or((follower_seats[0], (0, 0)));
         let disk = self.shards[s].seats[win].disk.clone();
         match AppServer::recover(disk, self.cfg.durability) {
             Ok(server) => self.install_leader(s, win, server, since, now, out),
@@ -1135,6 +1158,7 @@ impl Cluster {
                 follower_cfg,
             ));
             oseat.acked = 0;
+            oseat.shipped_top = 0;
             oseat.attempt = 0;
             oseat.force_snapshot = false;
             oseat.next_send_at = now;
@@ -1153,6 +1177,7 @@ impl Cluster {
             // any divergent un-acked suffix and fences the old term
             seat.force_snapshot = true;
             seat.acked = 0;
+            seat.shipped_top = 0;
             seat.attempt = 0;
             seat.next_send_at = now;
         }
@@ -1198,7 +1223,7 @@ impl Cluster {
                 continue;
             }
             // phase 1: decide what to ship (leader + seat borrows only)
-            let (payload, host, term, nframes, was_snapshot) = {
+            let (payload, host, term, frame_meta, was_snapshot) = {
                 let cfg = &self.cfg;
                 let sh = &mut self.shards[s];
                 let seat = &mut sh.seats[i];
@@ -1227,7 +1252,7 @@ impl Cluster {
                             format!("S{}", to_hex(&ck.encode())),
                             seat.host.clone(),
                             sh.term,
-                            0u64,
+                            Vec::new(),
                             true,
                         ),
                         None => {
@@ -1242,16 +1267,17 @@ impl Cluster {
                     }
                 } else {
                     frames.truncate(cfg.max_batch_frames.max(1));
-                    let n = frames.len() as u64;
                     let mut bytes = Vec::new();
+                    let mut meta: Vec<(u64, usize)> = Vec::with_capacity(frames.len());
                     for f in &frames {
                         bytes.extend_from_slice(&f.bytes);
+                        meta.push((f.seq, bytes.len()));
                     }
                     (
                         format!("F{}", to_hex(&bytes)),
                         seat.host.clone(),
                         sh.term,
-                        n,
+                        meta,
                         false,
                     )
                 }
@@ -1267,15 +1293,22 @@ impl Cluster {
             } else {
                 payload
             };
+            // frames whose bytes fully survived the in-flight cut (one tag
+            // char, then two hex chars per byte) are the ones on the wire
+            let delivered = body.len().saturating_sub(1) / 2;
+            let sent: Vec<u64> = frame_meta
+                .iter()
+                .take_while(|&&(_, end)| end <= delivered)
+                .map(|&(seq, _)| seq)
+                .collect();
             {
+                let shipped_top = self.shards[s].seats[i].shipped_top;
                 let mut st = self.stats.borrow_mut();
                 if was_snapshot {
                     st.snapshots_shipped += 1;
                 } else {
-                    st.frames_shipped += nframes;
-                    if self.shards[s].seats[i].attempt > 0 {
-                        st.frames_retried += nframes;
-                    }
+                    st.frames_shipped += sent.len() as u64;
+                    st.frames_retried += sent.iter().filter(|&&q| q <= shipped_top).count() as u64;
                 }
             }
             // phase 2: the network call (handler may borrow replica/stats)
@@ -1287,9 +1320,17 @@ impl Cluster {
             // phase 3: apply the outcome to the link
             let cfg = &self.cfg;
             let seat = &mut self.shards[s].seats[i];
+            if let Some(&top) = sent.last() {
+                seat.shipped_top = seat.shipped_top.max(top);
+            }
+            let mut refused_seq = None;
             let acked = match outcome {
                 NetOutcome::Reply { resp, latency_ms } if resp.status == 200 => {
                     parse_attr(&resp.body, "seq").map(|a| (a, latency_ms))
+                }
+                NetOutcome::Reply { resp, .. } => {
+                    refused_seq = parse_attr(&resp.body, "seq");
+                    None
                 }
                 _ => None,
             };
@@ -1299,6 +1340,8 @@ impl Cluster {
                     seat.attempt = 0;
                     if was_snapshot {
                         seat.force_snapshot = false;
+                        // log reset: frames beyond the snapshot are fresh
+                        seat.shipped_top = ack;
                     }
                     if ack > seat.acked {
                         self.stats.borrow_mut().frames_acked += ack - seat.acked;
@@ -1309,6 +1352,14 @@ impl Cluster {
                     seat.next_send_at = now + latency_ms.max(1);
                 }
                 None => {
+                    // an ownership refusal still reports the follower's
+                    // durable position for the frames before the break
+                    if let Some(a) = refused_seq {
+                        if a > seat.acked {
+                            self.stats.borrow_mut().frames_acked += a - seat.acked;
+                            seat.acked = a;
+                        }
+                    }
                     seat.breaker.on_failure(now, &mut seat.rstats);
                     seat.attempt += 1;
                     seat.next_send_at = now
@@ -1496,8 +1547,12 @@ mod tests {
         let follower = sh0.seats[1].replica.borrow();
         let xml = follower.as_ref().unwrap().serialize("d0.xml").unwrap();
         assert!(xml.contains("k1"), "follower missing the update: {xml}");
-        assert!(c.stats().frames_shipped > 0);
-        assert!(c.stats().frames_acked > 0);
+        let stats = c.stats();
+        assert!(stats.frames_shipped > 0);
+        assert!(stats.frames_acked > 0);
+        // clean links: every shipped frame acks exactly once, none re-sent
+        assert_eq!(stats.frames_shipped, stats.frames_acked);
+        assert_eq!(stats.frames_retried, 0);
     }
 
     #[test]
@@ -1599,6 +1654,99 @@ mod tests {
     }
 
     #[test]
+    fn stale_term_follower_with_longer_log_never_wins_failover() {
+        // In term 1, follower B (seat 2) alone durably holds a tail of
+        // updates the client never saw acked; term 2 then acks new updates
+        // through the other seats while B is partitioned. When the term-2
+        // leader crashes and B is heard again, promotion must weigh
+        // (term, acked): promoting B on raw acked length would resurrect
+        // the dead term-1 tail and drop the acked term-2 updates.
+        let mut c = seeded(ClusterConfig {
+            shards: 1,
+            followers: 3,
+            ack_replicas: 2,
+            ..ClusterConfig::default()
+        });
+        // A = seat 1 dark for all of term 1, C = seat 3 dark only for the
+        // un-acked tail, B = seat 2 dark from just before the first crash
+        // until the second one
+        c.partition(0, 1, 0, 500);
+        c.partition(0, 3, 300, 650);
+        c.partition(0, 2, 490, 900);
+        let mut now = 10;
+        for i in 0..3 {
+            match c.submit(&update_url("d0.xml", &format!("m{i}")), now) {
+                Submitted::Pending(id) => {
+                    let (done, at) = await_update(&mut c, id, now);
+                    assert_eq!(done.outcome, ClusterOutcome::AckedUpdate);
+                    now = at + 1;
+                }
+                Submitted::Done(d) => {
+                    assert_eq!(d.outcome, ClusterOutcome::AckedUpdate);
+                    now += 1;
+                }
+            }
+        }
+        assert!(now < 300, "acked phase must finish before C goes dark");
+        // un-acked tail: only B receives e0..e2 (C dark, so 1 ack < 2)
+        now = 310;
+        for i in 0..3 {
+            match c.submit(&update_url("d0.xml", &format!("e{i}")), now) {
+                Submitted::Pending(_) => {}
+                Submitted::Done(d) => panic!("tail update cannot ack: {:?}", d.outcome),
+            }
+            now += 5;
+        }
+        while now < 480 {
+            let _ = c.advance(now);
+            now += 5;
+        }
+        assert_eq!(c.shards[0].seats[2].acked, 12, "B must hold the tail");
+        assert_eq!(c.shards[0].seats[3].acked, 9, "C stops at the acked prefix");
+        // first failover: B is unheard, C (acked 9) beats A (acked 0)
+        c.crash_leader(0, 500);
+        now = 500;
+        while !c.has_leader(0) && now < 900 {
+            let _ = c.advance(now);
+            now += 5;
+        }
+        assert!(c.has_leader(0), "first failover must complete");
+        assert_eq!(c.leader_seat(0), 3, "most-caught-up heard follower wins");
+        assert_eq!(c.term(0), 2);
+        // term 2 acks two updates through seat 0 and A while B stays dark
+        for i in 0..2 {
+            match c.submit(&update_url("d0.xml", &format!("n{i}")), now) {
+                Submitted::Pending(id) => {
+                    let (done, at) = await_update(&mut c, id, now);
+                    assert_eq!(done.outcome, ClusterOutcome::AckedUpdate);
+                    now = at + 1;
+                }
+                Submitted::Done(d) => {
+                    assert_eq!(d.outcome, ClusterOutcome::AckedUpdate);
+                    now += 1;
+                }
+            }
+        }
+        assert!(now < 900, "term-2 acks must land before B heals");
+        // second failover: B (term 1, acked 12) is heard alongside seats
+        // at (term 2, acked 11) — the newer term wins despite less log
+        c.crash_leader(0, 900);
+        let (_, _) = c.quiesce(900);
+        assert!(c.has_leader(0), "second failover must complete");
+        assert_ne!(c.leader_seat(0), 2, "stale-term B must not be promoted");
+        assert_eq!(c.term(0), 3);
+        for marker in ["m0", "m1", "m2", "n0", "n1"] {
+            assert!(c.contains("d0.xml", marker), "acked update {marker} lost");
+        }
+        for marker in ["e0", "e1", "e2"] {
+            assert!(
+                !c.contains("d0.xml", marker),
+                "dead term-1 tail {marker} resurrected"
+            );
+        }
+    }
+
+    #[test]
     fn misrouted_requests_are_refused_with_421() {
         let mut c = seeded(ClusterConfig {
             shards: 4,
@@ -1652,11 +1800,25 @@ mod tests {
         db.load(&foreign, "<root/>").unwrap();
         db.commit().unwrap();
         let data = scratch.read(WAL_FILE).unwrap();
-        let acked = node.accept_frames(1, &data).unwrap();
+        let (acked, refused) = node.accept_frames(1, &data).unwrap();
         assert_eq!(acked, 0, "foreign document must not be acked");
+        assert!(refused, "ownership break must be reported");
         assert_eq!(node.applied(), 0);
         assert_eq!(stats.borrow().ownership_rejections, 1);
         assert!(node.serialize(&foreign).is_none());
+        // over the wire the refusal is a non-200 reply, so a leader with a
+        // broken router backs off instead of hot-looping the same batch
+        let node = Rc::new(RefCell::new(Some(node)));
+        let req = Request::post(
+            "http://s0r1.xqib/replicate?shard=0&term=1",
+            &format!("F{}", to_hex(&data)),
+        );
+        let resp = ReplicaNode::handle(&node, &req);
+        assert_eq!(
+            resp.status, 421,
+            "ownership refusal must not read as success"
+        );
+        assert_eq!(stats.borrow().ownership_rejections, 2);
     }
 
     #[test]
@@ -1745,6 +1907,15 @@ mod tests {
             let xml = guard.as_ref().unwrap().serialize("d3.xml").unwrap();
             assert_eq!(xml, leader_xml, "follower {slot} diverged");
         }
+        // shipped counts only frames whose bytes survived the in-flight
+        // cut, so every per-seat ack maps to a counted shipment
+        let stats = c.stats();
+        assert!(stats.frames_acked <= stats.frames_shipped);
+        assert!(stats.frames_retried <= stats.frames_shipped);
+        assert!(
+            stats.frames_retried > 0,
+            "chaos config must exercise resends"
+        );
     }
 
     #[test]
