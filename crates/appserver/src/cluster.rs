@@ -47,7 +47,7 @@ use xqib_browser::recovery::{CircuitBreaker, RecoveryStats, RetryPolicy};
 use xqib_browser::{FaultPlan, NetOutcome, Request, Response, VirtualNetwork};
 use xqib_dom::store::shared_store;
 use xqib_dom::SharedStore;
-use xqib_storage::{Checkpoint, VirtualDisk, Wal, WalRecord, WAL_FILE};
+use xqib_storage::{Checkpoint, StorageFaultPlan, VirtualDisk, Wal, WalRecord, WAL_FILE};
 use xqib_xquery::wire;
 
 use crate::governor::Class;
@@ -231,6 +231,9 @@ pub struct ClusterConfig {
     pub follower_reads: bool,
     /// Bounded staleness for healthy-path follower reads, in frames.
     pub max_read_lag: u64,
+    /// Fault plan template for every seat's virtual disk; reseeded per seat
+    /// so disks fail independently.
+    pub disk_fault: Option<StorageFaultPlan>,
 }
 
 impl Default for ClusterConfig {
@@ -254,6 +257,7 @@ impl Default for ClusterConfig {
             ack_timeout_ms: 1500,
             follower_reads: true,
             max_read_lag: 64,
+            disk_fault: None,
         }
     }
 }
@@ -595,7 +599,14 @@ impl Cluster {
             let mut seats = Vec::with_capacity(cfg.followers + 1);
             for slot in 0..=cfg.followers {
                 let host = format!("s{s}r{slot}.xqib");
-                let disk = VirtualDisk::new();
+                let disk = match &cfg.disk_fault {
+                    Some(plan) => {
+                        let mut plan = plan.clone();
+                        plan.seed = mix64(cfg.seed ^ 0xd15c ^ ((s as u64) << 32) ^ slot as u64);
+                        VirtualDisk::with_plan(plan)
+                    }
+                    None => VirtualDisk::new(),
+                };
                 let replica: Rc<RefCell<Option<ReplicaNode>>> = Rc::new(RefCell::new(None));
                 if slot != 0 {
                     *replica.borrow_mut() = Some(ReplicaNode::fresh(
@@ -1450,6 +1461,17 @@ impl Cluster {
                 let mut m = ServerMetrics::default();
                 m.record_replication(&stats);
                 ServerResponse::new(200, m.to_xml())
+            }
+        }
+    }
+
+    /// Mirrors a fleet run's aggregate counters into every live leader's
+    /// metrics, so the next `/metrics` render reports the client side of
+    /// the deployment alongside the server and replication counters.
+    pub fn record_fleet(&mut self, stats: &crate::fleet::FleetStats) {
+        for sh in &mut self.shards {
+            if let Some(leader) = sh.leader.as_mut() {
+                leader.metrics.record_fleet(stats);
             }
         }
     }

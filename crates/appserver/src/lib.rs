@@ -22,6 +22,7 @@
 
 pub mod cluster;
 pub mod corpus;
+pub mod fleet;
 pub mod governor;
 pub mod metrics;
 pub mod migrate;
@@ -35,6 +36,9 @@ pub use cluster::{
     Cluster, ClusterCompletion, ClusterConfig, ClusterOutcome, ReplicationStats, Router, Submitted,
 };
 pub use corpus::{generate_corpus, CorpusSpec};
+pub use fleet::{
+    run_fleet, ClientReport, FleetChaos, FleetConfig, FleetReport, FleetStats, Scenario,
+};
 pub use governor::{Admission, Class, GovernedServer, GovernorConfig, Outcome, RequestGovernor};
 pub use metrics::ServerMetrics;
 pub use server::AppServer;

@@ -102,6 +102,45 @@ pub struct ServerMetrics {
     pub repl_blackout_ms: u64,
     /// High-water replica lag (leader committed − follower acked frames).
     pub repl_max_replica_lag: u64,
+    /// Simulated browsers in the last fleet run reported to this server.
+    pub fleet_clients: u64,
+    /// Interactions the fleet performed (clicks, searches, cart ops).
+    pub fleet_interactions: u64,
+    /// Asynchronous `behind` fetches the fleet's pages issued.
+    pub fleet_behind_calls: u64,
+    /// Fleet-wide fetch attempts (first tries + retries).
+    pub fleet_attempts: u64,
+    /// Retry tasks the fleet's clients scheduled.
+    pub fleet_retries: u64,
+    /// Client-side request deadlines hit across the fleet.
+    pub fleet_timeouts: u64,
+    /// Fetches that exhausted retries and surfaced an error.
+    pub fleet_fetch_errors: u64,
+    /// Circuit breakers opened across the fleet.
+    pub fleet_breaker_opens: u64,
+    /// Fetches rejected without touching the wire (breaker open).
+    pub fleet_breaker_fast_fails: u64,
+    /// Degraded fetches answered from a client's stale cache.
+    pub fleet_stale_served: u64,
+    /// `stale` events delivered to page listeners.
+    pub fleet_stale_events: u64,
+    /// `error` events delivered to page listeners.
+    pub fleet_error_events: u64,
+    /// readyState-4 completions (fresh responses) observed by pages.
+    pub fleet_completions: u64,
+    /// Stale-cache entries LRU-evicted across the fleet.
+    pub fleet_evictions: u64,
+    /// Listeners quarantined across the fleet.
+    pub fleet_quarantine_trips: u64,
+    /// Turns where a 503's `Retry-After` gated the next interaction.
+    pub fleet_retry_after_honored: u64,
+    /// Turns that saw `X-XQIB-Degraded`/high replica lag and backed off.
+    pub fleet_degraded_observed: u64,
+    /// Requests that actually reached the wire towards the cluster.
+    pub fleet_origin_requests: u64,
+    /// `(behind_calls − origin_requests) * 1000 / behind_calls`: the §6.1
+    /// offload claim as a number.
+    pub fleet_cache_hit_permille: u64,
 }
 
 impl ServerMetrics {
@@ -188,6 +227,30 @@ impl ServerMetrics {
         self.repl_max_replica_lag = stats.max_replica_lag;
     }
 
+    /// Mirrors a fleet run's aggregate counters (cumulative snapshots —
+    /// overwrites, same convention as the other mirrors).
+    pub fn record_fleet(&mut self, stats: &crate::fleet::FleetStats) {
+        self.fleet_clients = stats.clients;
+        self.fleet_interactions = stats.interactions;
+        self.fleet_behind_calls = stats.behind_calls;
+        self.fleet_attempts = stats.attempts;
+        self.fleet_retries = stats.retries;
+        self.fleet_timeouts = stats.timeouts;
+        self.fleet_fetch_errors = stats.fetch_errors;
+        self.fleet_breaker_opens = stats.breaker_opens;
+        self.fleet_breaker_fast_fails = stats.breaker_fast_fails;
+        self.fleet_stale_served = stats.stale_served;
+        self.fleet_stale_events = stats.stale_events;
+        self.fleet_error_events = stats.error_events;
+        self.fleet_completions = stats.completions;
+        self.fleet_evictions = stats.evictions;
+        self.fleet_quarantine_trips = stats.quarantine_trips;
+        self.fleet_retry_after_honored = stats.retry_after_honored;
+        self.fleet_degraded_observed = stats.degraded_observed;
+        self.fleet_origin_requests = stats.origin_requests;
+        self.fleet_cache_hit_permille = stats.cache_hit_permille;
+    }
+
     /// Serialises every counter as XML (the `/metrics` route). The
     /// exhaustive destructuring means a newly added counter fails to
     /// compile until it is serialized here too.
@@ -237,6 +300,25 @@ impl ServerMetrics {
             repl_ownership_rejections,
             repl_blackout_ms,
             repl_max_replica_lag,
+            fleet_clients,
+            fleet_interactions,
+            fleet_behind_calls,
+            fleet_attempts,
+            fleet_retries,
+            fleet_timeouts,
+            fleet_fetch_errors,
+            fleet_breaker_opens,
+            fleet_breaker_fast_fails,
+            fleet_stale_served,
+            fleet_stale_events,
+            fleet_error_events,
+            fleet_completions,
+            fleet_evictions,
+            fleet_quarantine_trips,
+            fleet_retry_after_honored,
+            fleet_degraded_observed,
+            fleet_origin_requests,
+            fleet_cache_hit_permille,
         } = self;
         let fields: &[(&str, u64)] = &[
             ("requests", *requests),
@@ -283,6 +365,25 @@ impl ServerMetrics {
             ("repl-ownership-rejections", *repl_ownership_rejections),
             ("repl-blackout-ms", *repl_blackout_ms),
             ("repl-max-replica-lag", *repl_max_replica_lag),
+            ("fleet-clients", *fleet_clients),
+            ("fleet-interactions", *fleet_interactions),
+            ("fleet-behind-calls", *fleet_behind_calls),
+            ("fleet-attempts", *fleet_attempts),
+            ("fleet-retries", *fleet_retries),
+            ("fleet-timeouts", *fleet_timeouts),
+            ("fleet-fetch-errors", *fleet_fetch_errors),
+            ("fleet-breaker-opens", *fleet_breaker_opens),
+            ("fleet-breaker-fast-fails", *fleet_breaker_fast_fails),
+            ("fleet-stale-served", *fleet_stale_served),
+            ("fleet-stale-events", *fleet_stale_events),
+            ("fleet-error-events", *fleet_error_events),
+            ("fleet-completions", *fleet_completions),
+            ("fleet-evictions", *fleet_evictions),
+            ("fleet-quarantine-trips", *fleet_quarantine_trips),
+            ("fleet-retry-after-honored", *fleet_retry_after_honored),
+            ("fleet-degraded-observed", *fleet_degraded_observed),
+            ("fleet-origin-requests", *fleet_origin_requests),
+            ("fleet-cache-hit-permille", *fleet_cache_hit_permille),
         ];
         let mut out = String::from("<metrics>");
         for (name, value) in fields {
@@ -348,6 +449,25 @@ mod tests {
             repl_ownership_rejections: 42,
             repl_blackout_ms: 43,
             repl_max_replica_lag: 44,
+            fleet_clients: 45,
+            fleet_interactions: 46,
+            fleet_behind_calls: 47,
+            fleet_attempts: 48,
+            fleet_retries: 49,
+            fleet_timeouts: 50,
+            fleet_fetch_errors: 51,
+            fleet_breaker_opens: 52,
+            fleet_breaker_fast_fails: 53,
+            fleet_stale_served: 54,
+            fleet_stale_events: 55,
+            fleet_error_events: 56,
+            fleet_completions: 57,
+            fleet_evictions: 58,
+            fleet_quarantine_trips: 59,
+            fleet_retry_after_honored: 60,
+            fleet_degraded_observed: 61,
+            fleet_origin_requests: 62,
+            fleet_cache_hit_permille: 63,
         }
     }
 
@@ -365,11 +485,61 @@ mod tests {
         // each field was set to a distinct value, so each must appear
         assert!(xml.contains("<requests>1</requests>"), "{xml}");
         assert!(xml.contains("<queue-delay-p99-ms>30</queue-delay-p99-ms>"));
-        // 44 counters → 44 distinct element names
-        assert_eq!(xml.matches("</").count(), 44 + 1, "{xml}");
+        // 63 counters → 63 distinct element names
+        assert_eq!(xml.matches("</").count(), 63 + 1, "{xml}");
         assert!(xml.contains("<plan-cache-hits>31</plan-cache-hits>"));
         assert!(xml.contains("<repl-frames-shipped>35</repl-frames-shipped>"));
         assert!(xml.contains("<repl-max-replica-lag>44</repl-max-replica-lag>"));
+        assert!(xml.contains("<fleet-clients>45</fleet-clients>"));
+        assert!(xml.contains("<fleet-cache-hit-permille>63</fleet-cache-hit-permille>"));
+    }
+
+    #[test]
+    fn fleet_counters_mirror_the_fleet_snapshot() {
+        let mut m = ServerMetrics::default();
+        let stats = crate::fleet::FleetStats {
+            clients: 12,
+            interactions: 60,
+            behind_calls: 70,
+            attempts: 90,
+            retries: 20,
+            timeouts: 4,
+            fetch_errors: 6,
+            breaker_opens: 3,
+            breaker_fast_fails: 5,
+            stale_served: 11,
+            stale_events: 11,
+            error_events: 2,
+            completions: 57,
+            evictions: 1,
+            quarantine_trips: 0,
+            retry_after_honored: 3,
+            degraded_observed: 2,
+            origin_requests: 36,
+            cache_hit_permille: 485,
+        };
+        m.record_fleet(&stats);
+        assert_eq!(m.fleet_clients, 12);
+        assert_eq!(m.fleet_interactions, 60);
+        assert_eq!(m.fleet_behind_calls, 70);
+        assert_eq!(m.fleet_attempts, 90);
+        assert_eq!(m.fleet_retries, 20);
+        assert_eq!(m.fleet_timeouts, 4);
+        assert_eq!(m.fleet_fetch_errors, 6);
+        assert_eq!(m.fleet_breaker_opens, 3);
+        assert_eq!(m.fleet_breaker_fast_fails, 5);
+        assert_eq!(m.fleet_stale_served, 11);
+        assert_eq!(m.fleet_stale_events, 11);
+        assert_eq!(m.fleet_error_events, 2);
+        assert_eq!(m.fleet_completions, 57);
+        assert_eq!(m.fleet_evictions, 1);
+        assert_eq!(m.fleet_quarantine_trips, 0);
+        assert_eq!(m.fleet_retry_after_honored, 3);
+        assert_eq!(m.fleet_degraded_observed, 2);
+        assert_eq!(m.fleet_origin_requests, 36);
+        assert_eq!(m.fleet_cache_hit_permille, 485);
+        m.record_fleet(&crate::fleet::FleetStats::default());
+        assert_eq!(m.fleet_clients, 0, "cumulative snapshot overwrites");
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! WPT-style declarative conformance runner (ISSUE 8).
+//!
+//! Each directory under `tests/conformance/` (repo root) is one case:
+//!
+//! - `page.xml` — the XHTML+XQuery page loaded into a fresh [`Plugin`]
+//! - `actions.txt` — one command per line (see [`apply_action`]); `#`
+//!   starts a comment
+//! - `expect.dom` — expected `serialize_page()` output (optional)
+//! - `expect.events` — expected alert trace, one entry per line
+//!   (optional; listeners emit trace entries with `browser:alert`)
+//!
+//! At least one expectation file must exist. New scenarios are data, not
+//! Rust: drop a directory in, run once with `XQIB_CONFORMANCE_BLESS=1`
+//! to record the observed DOM/trace, eyeball the diff, commit.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::fs;
+use std::path::Path;
+
+use xqib_browser::net::{FaultPlan, Response};
+use xqib_core::plugin::{Plugin, PluginConfig};
+
+fn cases_dir() -> &'static Path {
+    Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/conformance"
+    ))
+}
+
+/// Applies one `actions.txt` command to the plugin. Commands:
+///
+/// ```text
+/// serve <url-prefix> <latency-ms> <status> <body...>   # register a service
+/// down <host> <seed>                                   # host goes dark
+/// eval <xquery...>                                     # ad-hoc snippet
+/// click <id>                                           # onclick on #id
+/// keyup <id>                                           # onkeyup on #id
+/// set <id> <attr> <value...>                           # host-side attribute
+/// advance <ms>                                         # virtual clock
+/// drain                                                # run event loop dry
+/// ```
+fn apply_action(p: &mut Plugin, line: &str) -> Result<(), String> {
+    let mut words = line.split_whitespace();
+    let cmd = words.next().unwrap_or("");
+    let rest_after = |n: usize| -> String {
+        line.split_whitespace()
+            .skip(n)
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    let err = |e: String| -> Result<(), String> { Err(format!("`{line}`: {e}")) };
+    match cmd {
+        "serve" => {
+            let prefix = words.next().ok_or("serve: missing prefix")?.to_string();
+            let latency: u64 = words
+                .next()
+                .and_then(|w| w.parse().ok())
+                .ok_or("serve: bad latency")?;
+            let status: u16 = words
+                .next()
+                .and_then(|w| w.parse().ok())
+                .ok_or("serve: bad status")?;
+            let body = rest_after(4);
+            p.host
+                .borrow_mut()
+                .net
+                .register(&prefix, latency, move |_req| Response {
+                    status,
+                    body: body.clone(),
+                    content_type: "application/xml".to_string(),
+                });
+            Ok(())
+        }
+        "down" => {
+            let host = words.next().ok_or("down: missing host")?;
+            let seed: u64 = words
+                .next()
+                .and_then(|w| w.parse().ok())
+                .ok_or("down: bad seed")?;
+            p.host
+                .borrow_mut()
+                .net
+                .set_fault_plan(host, FaultPlan::always_down(seed));
+            Ok(())
+        }
+        "eval" => match p.eval(&rest_after(1)) {
+            Ok(_) => Ok(()),
+            Err(e) => err(format!("{e:?}")),
+        },
+        "click" => {
+            let id = words.next().ok_or("click: missing id")?;
+            p.click_id(id).map_err(|e| format!("`{line}`: {e:?}"))
+        }
+        "keyup" => {
+            let id = words.next().ok_or("keyup: missing id")?;
+            let target = p
+                .element_by_id(id)
+                .ok_or_else(|| format!("`{line}`: no element #{id}"))?;
+            p.keyup(target).map_err(|e| format!("`{line}`: {e:?}"))
+        }
+        "set" => {
+            let id = words.next().ok_or("set: missing id")?.to_string();
+            let attr = words.next().ok_or("set: missing attr")?.to_string();
+            p.set_attr_by_id(&id, &attr, &rest_after(3))
+                .map_err(|e| format!("`{line}`: {e:?}"))
+        }
+        "advance" => {
+            let ms: u64 = words
+                .next()
+                .and_then(|w| w.parse().ok())
+                .ok_or("advance: bad ms")?;
+            p.advance_clock(ms);
+            Ok(())
+        }
+        "drain" => match p.run_until_idle() {
+            Ok(_) => Ok(()),
+            Err(e) => err(format!("{e:?}")),
+        },
+        other => Err(format!("unknown action `{other}` in `{line}`")),
+    }
+}
+
+/// Compares (or, under `XQIB_CONFORMANCE_BLESS=1`, records) one
+/// expectation file. Returns an error string on mismatch.
+fn check_expectation(path: &Path, label: &str, actual: &str) -> Result<(), String> {
+    if std::env::var("XQIB_CONFORMANCE_BLESS").is_ok() {
+        fs::write(path, format!("{}\n", actual.trim_end()))
+            .map_err(|e| format!("bless {label}: {e}"))?;
+        return Ok(());
+    }
+    if !path.exists() {
+        return Ok(());
+    }
+    let expected = fs::read_to_string(path).map_err(|e| format!("read {label}: {e}"))?;
+    if expected.trim_end() != actual.trim_end() {
+        return Err(format!(
+            "{label} mismatch\n--- expected ---\n{}\n--- actual ---\n{}",
+            expected.trim_end(),
+            actual.trim_end()
+        ));
+    }
+    Ok(())
+}
+
+fn run_case(dir: &Path) -> Result<(), String> {
+    let page = fs::read_to_string(dir.join("page.xml")).map_err(|e| format!("page.xml: {e}"))?;
+    let actions =
+        fs::read_to_string(dir.join("actions.txt")).map_err(|e| format!("actions.txt: {e}"))?;
+    let has_dom = dir.join("expect.dom").exists();
+    let has_events = dir.join("expect.events").exists();
+    if !has_dom && !has_events && std::env::var("XQIB_CONFORMANCE_BLESS").is_err() {
+        return Err("no expect.dom or expect.events — nothing to check".to_string());
+    }
+
+    let mut p = Plugin::new(PluginConfig::default());
+    p.load_page(&page)
+        .map_err(|e| format!("load_page: {e:?}"))?;
+    for line in actions.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        apply_action(&mut p, line)?;
+    }
+
+    check_expectation(&dir.join("expect.dom"), "expect.dom", &p.serialize_page())?;
+    check_expectation(
+        &dir.join("expect.events"),
+        "expect.events",
+        &p.alerts().join("\n"),
+    )?;
+    Ok(())
+}
+
+#[test]
+fn conformance_suite() {
+    let mut dirs: Vec<_> = fs::read_dir(cases_dir())
+        .expect("tests/conformance missing")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    assert!(
+        dirs.len() >= 3,
+        "expected at least 3 conformance cases, found {}",
+        dirs.len()
+    );
+    let mut failures = Vec::new();
+    for dir in &dirs {
+        let name = dir.file_name().unwrap().to_string_lossy().to_string();
+        if let Err(e) = run_case(dir) {
+            failures.push(format!("[{name}] {e}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} conformance case(s) failed:\n{}",
+        failures.len(),
+        failures.join("\n\n")
+    );
+}

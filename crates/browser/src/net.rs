@@ -93,7 +93,7 @@ impl Response {
     }
 }
 
-type Handler = Box<dyn FnMut(&Request) -> Response>;
+type Handler = Box<dyn FnMut(&Request, u64) -> Response>;
 
 /// One injected failure mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -291,7 +291,19 @@ impl VirtualNetwork {
         &mut self,
         prefix: &str,
         latency_ms: u64,
-        handler: impl FnMut(&Request) -> Response + 'static,
+        mut handler: impl FnMut(&Request) -> Response + 'static,
+    ) {
+        self.register_with_now(prefix, latency_ms, move |req, _now| handler(req));
+    }
+
+    /// Like [`register`](Self::register), but the handler also receives the
+    /// virtual time of the request — for services whose behaviour depends on
+    /// the clock (a simulated cluster resolving replication acks).
+    pub fn register_with_now(
+        &mut self,
+        prefix: &str,
+        latency_ms: u64,
+        handler: impl FnMut(&Request, u64) -> Response + 'static,
     ) {
         self.services
             .push((prefix.to_string(), latency_ms, Box::new(handler)));
@@ -366,12 +378,12 @@ impl VirtualNetwork {
                 // the handler runs — side effects stand — but the reply
                 // never reaches the caller
                 self.stats.injected_reply_losses += 1;
-                let _ = (self.services[svc].2)(req);
+                let _ = (self.services[svc].2)(req, now);
                 NetOutcome::Lost
             }
             Some(Fault::Truncate) => {
                 self.stats.injected_truncations += 1;
-                let mut resp = (self.services[svc].2)(req);
+                let mut resp = (self.services[svc].2)(req, now);
                 resp.body.truncate(resp.body.len() / 2);
                 let received = resp.body.len() as u64;
                 self.stats.bytes_received += received;
@@ -381,7 +393,7 @@ impl VirtualNetwork {
                 NetOutcome::Reply { resp, latency_ms }
             }
             None => {
-                let resp = (self.services[svc].2)(req);
+                let resp = (self.services[svc].2)(req, now);
                 let received = resp.body.len() as u64;
                 self.stats.bytes_received += received;
                 let host = host_of(&req.url);

@@ -165,25 +165,108 @@ impl CircuitBreaker {
     }
 }
 
+/// One cached response with its virtual-time birth and recency stamps.
+#[derive(Debug, Clone)]
+struct StaleEntry {
+    resp: Response,
+    stored_at: u64,
+    used: u64,
+}
+
 /// Last-good responses for degradation: exact-URL entries first, with a
 /// per-host "most recent good response" fallback (the suggest-page case:
 /// serve the hints for the previous query when the current one is down).
-#[derive(Debug, Default)]
+///
+/// The per-URL map is **bounded**: at most `capacity` entries, evicted
+/// least-recently-used first, and entries older than `ttl_ms` of virtual
+/// time are invisible to `lookup` (an entry stored at `t` expires at
+/// exactly `t + ttl_ms`). Without the bound a long-lived client fetching
+/// many distinct URLs grows without limit — fatal for a simulated fleet of
+/// thousands of browsers. The host fallback keeps one entry per host (one
+/// of the bounded URL entries can vanish under it; the host copy is its
+/// own clone, refreshed on every successful fetch to the host).
+#[derive(Debug)]
 pub struct StaleCache {
-    by_url: HashMap<String, Response>,
-    by_host: HashMap<String, Response>,
+    by_url: HashMap<String, StaleEntry>,
+    by_host: HashMap<String, StaleEntry>,
+    capacity: usize,
+    ttl_ms: u64,
+    tick: u64,
+}
+
+impl Default for StaleCache {
+    fn default() -> Self {
+        StaleCache::bounded(StaleCache::DEFAULT_CAPACITY, u64::MAX)
+    }
 }
 
 impl StaleCache {
-    /// Records a successful response as the last-good for its URL and host.
-    pub fn store(&mut self, url: &str, host: &str, resp: &Response) {
-        self.by_url.insert(url.to_string(), resp.clone());
-        self.by_host.insert(host.to_string(), resp.clone());
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    /// A cache holding at most `capacity` URL entries (min 1), each valid
+    /// for `ttl_ms` of virtual time after it was stored.
+    pub fn bounded(capacity: usize, ttl_ms: u64) -> Self {
+        StaleCache {
+            by_url: HashMap::new(),
+            by_host: HashMap::new(),
+            capacity: capacity.max(1),
+            ttl_ms,
+            tick: 0,
+        }
     }
 
-    /// The freshest applicable last-good response, URL match preferred.
-    pub fn lookup(&self, url: &str, host: &str) -> Option<&Response> {
-        self.by_url.get(url).or_else(|| self.by_host.get(host))
+    /// Records a successful response as the last-good for its URL and host
+    /// at virtual time `now`. Returns how many entries were evicted to
+    /// respect the capacity bound (the caller accounts them in
+    /// [`RecoveryStats::evictions`]).
+    pub fn store(&mut self, url: &str, host: &str, resp: &Response, now: u64) -> u64 {
+        self.tick += 1;
+        let entry = StaleEntry {
+            resp: resp.clone(),
+            stored_at: now,
+            used: self.tick,
+        };
+        self.by_host.insert(host.to_string(), entry.clone());
+        self.by_url.insert(url.to_string(), entry);
+        let mut evicted = 0;
+        while self.by_url.len() > self.capacity {
+            // LRU victim; `used` stamps are unique, so this is
+            // deterministic regardless of hash iteration order
+            let Some(victim) = self
+                .by_url
+                .iter()
+                .min_by_key(|(_, e)| e.used)
+                .map(|(u, _)| u.clone())
+            else {
+                break;
+            };
+            self.by_url.remove(&victim);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    fn fresh(&self, entry: &StaleEntry, now: u64) -> bool {
+        now.saturating_sub(entry.stored_at) < self.ttl_ms
+    }
+
+    /// The freshest applicable last-good response at `now`, URL match
+    /// preferred; expired entries are invisible. A URL hit refreshes the
+    /// entry's LRU recency.
+    pub fn lookup(&mut self, url: &str, host: &str, now: u64) -> Option<&Response> {
+        self.tick += 1;
+        let tick = self.tick;
+        let url_fresh = self.by_url.get(url).is_some_and(|e| self.fresh(e, now));
+        if url_fresh {
+            let e = self.by_url.get_mut(url)?;
+            e.used = tick;
+            return Some(&e.resp);
+        }
+        let host_fresh = self.by_host.get(host).is_some_and(|e| self.fresh(e, now));
+        if host_fresh {
+            return self.by_host.get(host).map(|e| &e.resp);
+        }
+        None
     }
 
     pub fn len(&self) -> usize {
@@ -220,6 +303,8 @@ pub struct RecoveryStats {
     pub stale_events: u64,
     /// `error` DOM events delivered.
     pub error_events: u64,
+    /// Stale-cache entries evicted to respect the capacity bound.
+    pub evictions: u64,
 }
 
 /// Knobs for [`RecoveryState`] (what the plug-in config carries).
@@ -228,6 +313,10 @@ pub struct RecoveryConfig {
     pub retry: RetryPolicy,
     pub breaker_failure_threshold: u32,
     pub breaker_open_ms: u64,
+    /// Max URL entries the stale cache holds (LRU-evicted beyond this).
+    pub stale_capacity: usize,
+    /// Virtual-time TTL of a stale-cache entry (`u64::MAX` = never expires).
+    pub stale_ttl_ms: u64,
 }
 
 impl Default for RecoveryConfig {
@@ -236,6 +325,8 @@ impl Default for RecoveryConfig {
             retry: RetryPolicy::default(),
             breaker_failure_threshold: 3,
             breaker_open_ms: 5_000,
+            stale_capacity: StaleCache::DEFAULT_CAPACITY,
+            stale_ttl_ms: u64::MAX,
         }
     }
 }
@@ -262,8 +353,15 @@ impl RecoveryState {
             policy: config.retry,
             breaker_failure_threshold: config.breaker_failure_threshold,
             breaker_open_ms: config.breaker_open_ms,
+            stale: StaleCache::bounded(config.stale_capacity, config.stale_ttl_ms),
             ..Default::default()
         }
+    }
+
+    /// Stores a last-good response in the stale cache at `now`, accounting
+    /// any LRU evictions in [`RecoveryStats::evictions`].
+    pub fn store_stale(&mut self, url: &str, host: &str, resp: &Response, now: u64) {
+        self.stats.evictions += self.stale.store(url, host, resp, now);
     }
 
     /// Whether `host` may be contacted at `now` (open-breaker fast-fails
@@ -399,13 +497,104 @@ mod tests {
     #[test]
     fn stale_cache_prefers_exact_url_then_host() {
         let mut c = StaleCache::default();
-        c.store("http://h/a", "h", &Response::ok("<a/>"));
-        c.store("http://h/b", "h", &Response::ok("<b/>"));
-        assert_eq!(c.lookup("http://h/a", "h").unwrap().body, "<a/>");
+        c.store("http://h/a", "h", &Response::ok("<a/>"), 0);
+        c.store("http://h/b", "h", &Response::ok("<b/>"), 0);
+        assert_eq!(c.lookup("http://h/a", "h", 0).unwrap().body, "<a/>");
         // unseen URL on a known host: the host's most recent good response
-        assert_eq!(c.lookup("http://h/zzz", "h").unwrap().body, "<b/>");
-        assert!(c.lookup("http://other/x", "other").is_none());
+        assert_eq!(c.lookup("http://h/zzz", "h", 0).unwrap().body, "<b/>");
+        assert!(c.lookup("http://other/x", "other", 0).is_none());
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn stale_cache_same_path_on_two_hosts_stays_separate() {
+        let mut c = StaleCache::default();
+        c.store("http://a/x", "a", &Response::ok("<from-a/>"), 0);
+        c.store("http://b/x", "b", &Response::ok("<from-b/>"), 0);
+        assert_eq!(c.lookup("http://a/x", "a", 0).unwrap().body, "<from-a/>");
+        assert_eq!(c.lookup("http://b/x", "b", 0).unwrap().body, "<from-b/>");
+        // host fallback never crosses hosts
+        assert_eq!(c.lookup("http://a/zzz", "a", 0).unwrap().body, "<from-a/>");
+        assert_eq!(c.lookup("http://b/zzz", "b", 0).unwrap().body, "<from-b/>");
+    }
+
+    #[test]
+    fn stale_cache_entry_expires_at_exactly_now() {
+        let mut c = StaleCache::bounded(8, 100);
+        c.store("http://h/a", "h", &Response::ok("<a/>"), 50);
+        // one tick before the deadline the entry is still served …
+        assert!(c.lookup("http://h/a", "h", 149).is_some());
+        // … at exactly stored_at + ttl it is expired, URL and host alike
+        assert!(c.lookup("http://h/a", "h", 150).is_none());
+        assert!(c.lookup("http://h/zzz", "h", 150).is_none());
+    }
+
+    #[test]
+    fn stale_cache_capacity_one_thrash_evicts_every_store() {
+        let mut c = StaleCache::bounded(1, u64::MAX);
+        let mut evicted = 0;
+        for i in 0..5 {
+            evicted += c.store(&format!("http://h/{i}"), "h", &Response::ok("<x/>"), i);
+            assert_eq!(c.len(), 1, "capacity bound holds");
+        }
+        assert_eq!(evicted, 4, "every store after the first evicted one");
+        // only the newest URL survives; the host fallback still answers
+        assert!(c.lookup("http://h/0", "h", 10).is_some(), "host fallback");
+        assert_eq!(c.lookup("http://h/4", "h", 10).unwrap().body, "<x/>");
+    }
+
+    #[test]
+    fn stale_cache_evicts_least_recently_used_not_oldest_stored() {
+        let mut c = StaleCache::bounded(2, u64::MAX);
+        c.store("http://h/a", "h", &Response::ok("<a/>"), 0);
+        c.store("http://h/b", "h", &Response::ok("<b/>"), 1);
+        // touch `a`, making `b` the LRU victim
+        assert!(c.lookup("http://h/a", "h", 2).is_some());
+        c.store("http://h/c", "h", &Response::ok("<c/>"), 3);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.lookup("http://h/a", "h", 4).unwrap().body, "<a/>");
+        // `b` was evicted: the URL now answers via the host fallback (`c`)
+        assert_eq!(c.lookup("http://h/b", "h", 4).unwrap().body, "<c/>");
+    }
+
+    #[test]
+    fn recovery_state_counts_evictions_in_stats() {
+        let mut r = RecoveryState::new(RecoveryConfig {
+            stale_capacity: 1,
+            ..Default::default()
+        });
+        r.store_stale("http://h/a", "h", &Response::ok("<a/>"), 0);
+        r.store_stale("http://h/b", "h", &Response::ok("<b/>"), 1);
+        r.store_stale("http://h/c", "h", &Response::ok("<c/>"), 2);
+        assert_eq!(r.stats.evictions, 2);
+        assert_eq!(r.stale.len(), 1);
+    }
+
+    #[test]
+    fn backoff_base_is_monotone_and_jitter_bounded_across_call_ids() {
+        let p = RetryPolicy::default();
+        for call_id in 0..200u64 {
+            for k in 1..12u32 {
+                let base = |k: u32| {
+                    p.backoff_base_ms
+                        .saturating_mul(p.backoff_factor.saturating_pow(k - 1))
+                        .min(p.backoff_cap_ms)
+                };
+                let d = p.backoff_delay(k, call_id);
+                assert!(
+                    d >= base(k) && d <= base(k) + p.jitter_ms,
+                    "call {call_id} attempt {k}: delay {d} outside envelope"
+                );
+                // the jitter-free envelope is monotone in the attempt, so
+                // consecutive delays can regress by at most the jitter span
+                let next = p.backoff_delay(k + 1, call_id);
+                assert!(
+                    next + p.jitter_ms >= d,
+                    "call {call_id}: delay dropped {d} -> {next}"
+                );
+                assert!(base(k + 1) >= base(k));
+            }
+        }
     }
 
     #[test]

@@ -702,7 +702,8 @@ pub fn http_get(
                         {
                             let mut h = host.borrow_mut();
                             h.recovery.breaker_success(&hostname);
-                            h.recovery.stale.store(url, &hostname, &resp);
+                            let now = h.tasks.now();
+                            h.recovery.store_stale(url, &hostname, &resp, now);
                         }
                         let mut store = ctx.store.borrow_mut();
                         let id = store.add_document(doc, Some(url));
@@ -724,7 +725,8 @@ pub fn http_get(
                 {
                     let mut h = host.borrow_mut();
                     h.recovery.breaker_success(&hostname);
-                    h.recovery.stale.store(url, &hostname, &resp);
+                    let now = h.tasks.now();
+                    h.recovery.store_stale(url, &hostname, &resp, now);
                 }
                 Ok(vec![Item::string(resp.body)])
             }
@@ -752,9 +754,11 @@ fn degraded_fallback(
     err: XdmError,
 ) -> XdmResult<Sequence> {
     let stale = {
-        let h = host.borrow();
+        let mut h = host.borrow_mut();
         if h.recovery.serve_stale {
-            h.recovery.stale.lookup(url, hostname).cloned()
+            let now = h.tasks.now();
+            let rec = &mut h.recovery;
+            rec.stale.lookup(url, hostname, now).cloned()
         } else {
             None
         }

@@ -529,6 +529,39 @@ impl Plugin {
         self.dispatch(&DomEvent::new("onkeyup", target))
     }
 
+    /// Current virtual time of this plug-in's event loop, in milliseconds.
+    pub fn now(&self) -> u64 {
+        self.host.borrow().tasks.now()
+    }
+
+    /// Advances this plug-in's virtual clock without running tasks — a fleet
+    /// driver uses it to keep many plug-ins on one shared timeline.
+    pub fn advance_clock(&mut self, ms: u64) {
+        self.host.borrow_mut().tasks.advance(ms);
+    }
+
+    /// Clicks the element with the given `id`, erroring if absent.
+    pub fn click_id(&mut self, id: &str) -> XdmResult<()> {
+        let target = self
+            .element_by_id(id)
+            .ok_or_else(|| XdmError::new("XQIB0006", format!("no element with id '{id}'")))?;
+        self.click(target)
+    }
+
+    /// Host-side form input: sets an attribute on the element with the given
+    /// `id` (e.g. a search box's `value` before dispatching `onkeyup`).
+    pub fn set_attr_by_id(&mut self, id: &str, attr: &str, value: &str) -> XdmResult<()> {
+        let target = self
+            .element_by_id(id)
+            .ok_or_else(|| XdmError::new("XQIB0006", format!("no element with id '{id}'")))?;
+        let mut store = self.store.borrow_mut();
+        store
+            .doc_mut(target.doc)
+            .set_attribute(target.node, QName::local(attr), value)
+            .map_err(|e| XdmError::new("XQIB0006", format!("set_attr_by_id({id}): {e:?}")))?;
+        Ok(())
+    }
+
     /// Drains the event loop (async `behind` completions, queued events).
     /// Returns the number of tasks processed.
     pub fn run_until_idle(&mut self) -> XdmResult<u64> {

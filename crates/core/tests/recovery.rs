@@ -151,6 +151,7 @@ fn breaker_fast_fails_then_half_opens_and_heals() {
         .no_jitter(),
         breaker_failure_threshold: 1,
         breaker_open_ms: 500,
+        ..Default::default()
     });
     p.host
         .borrow_mut()
