@@ -47,7 +47,10 @@ use xqib_browser::recovery::{CircuitBreaker, RecoveryStats, RetryPolicy};
 use xqib_browser::{FaultPlan, NetOutcome, Request, Response, VirtualNetwork};
 use xqib_dom::store::shared_store;
 use xqib_dom::SharedStore;
-use xqib_storage::{Checkpoint, StorageFaultPlan, VirtualDisk, Wal, WalRecord, WAL_FILE};
+use xqib_storage::{
+    content_digest, Checkpoint, IntegrityError, StorageFaultPlan, VirtualDisk, Wal, WalRecord,
+    WAL_FILE,
+};
 use xqib_xquery::wire;
 
 use crate::governor::Class;
@@ -186,6 +189,49 @@ pub struct ReplicationStats {
     pub max_replica_lag: u64,
 }
 
+/// Cumulative end-to-end integrity counters: latent decay observed, scrub
+/// verdicts, quarantines and verified repairs. Mirrored into
+/// [`ServerMetrics`] via [`ServerMetrics::record_integrity`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct IntegrityStats {
+    /// Anti-entropy scrub cycles run across the cluster.
+    pub scrub_cycles: u64,
+    /// Per-document digest comparisons performed by the scrubber.
+    pub scrub_docs_checked: u64,
+    /// Replica documents whose content digest disagreed with the digest
+    /// the leader recorded at journal time.
+    pub scrub_digest_mismatches: u64,
+    /// Mid-prefix WAL damage the scrubber found on a live node's disk
+    /// (never a legal crash shape — latent rot or a replication fault).
+    pub scrub_wal_corruptions: u64,
+    /// Corrupt checkpoint slots the scrubber found.
+    pub scrub_ckpt_corruptions: u64,
+    /// Scrub passes that found every written checkpoint slot corrupt.
+    pub scrub_ckpt_lost: u64,
+    /// Followers pulled from the read pool over damage or divergence.
+    pub quarantines: u64,
+    /// Repairs begun (node-local re-checkpoint or full snapshot resync).
+    pub repairs_started: u64,
+    /// Quarantined followers readmitted to the read pool after their
+    /// digests matched the leader's again.
+    pub repairs_verified: u64,
+    /// Leaders demoted for sitting on a damaged WAL; failover follows
+    /// rather than ever serving bad bytes.
+    pub leader_demotions: u64,
+    /// Failover winners healed from intact memory before promotion, so
+    /// recovery would not truncate acked state at a rotted frame.
+    pub promote_heals: u64,
+    /// Follower `/doc` bodies digest-verified before being served.
+    pub reads_verified: u64,
+    /// Follower `/doc` bodies refused (and the seat quarantined) over a
+    /// digest mismatch.
+    pub reads_refused: u64,
+    /// Decay periods swept across every seat disk.
+    pub decay_sweeps: u64,
+    /// At-rest synced sectors hit by latent bit rot.
+    pub sectors_decayed: u64,
+}
+
 // ---------------------------------------------------------------------
 // Configuration
 // ---------------------------------------------------------------------
@@ -234,6 +280,11 @@ pub struct ClusterConfig {
     /// Fault plan template for every seat's virtual disk; reseeded per seat
     /// so disks fail independently.
     pub disk_fault: Option<StorageFaultPlan>,
+    /// Anti-entropy scrub interval, virtual ms (`0` disables scrubbing).
+    pub scrub_interval_ms: u64,
+    /// How long a quarantined follower stays out of the read pool before
+    /// probation; readmission still requires its digests to match.
+    pub quarantine_ms: u64,
 }
 
 impl Default for ClusterConfig {
@@ -258,6 +309,8 @@ impl Default for ClusterConfig {
             follower_reads: true,
             max_read_lag: 64,
             disk_fault: None,
+            scrub_interval_ms: 250,
+            quarantine_ms: 400,
         }
     }
 }
@@ -328,6 +381,7 @@ impl ReplicaNode {
                 Ok(uris) => uris.iter().all(|u| self.router.owner(u) == self.shard),
                 Err(_) => false,
             },
+            WalRecord::Digest { uri, .. } => self.router.owner(uri) == self.shard,
         }
     }
 
@@ -414,6 +468,15 @@ impl ReplicaNode {
         if threshold == 0 || self.disk.len(WAL_FILE) <= threshold {
             return;
         }
+        self.force_checkpoint();
+    }
+
+    /// Writes a fresh checkpoint from the replica's intact in-memory state
+    /// and truncates its WAL. Beyond the size-triggered housekeeping this
+    /// is the node-local *repair* path: a rotted WAL frame or checkpoint
+    /// slot is superseded wholesale by a new snapshot of memory, with no
+    /// window where acked state exists only on damaged media.
+    fn force_checkpoint(&mut self) -> bool {
         let docs = {
             let store = self.store.borrow();
             store
@@ -432,7 +495,39 @@ impl ReplicaNode {
             self.disk.truncate(WAL_FILE);
             // the checkpoint write fsynced the slot: state is durable
             self.acked = self.applied;
+            true
+        } else {
+            false
         }
+    }
+
+    /// Recomputed content digest of one locally-held document.
+    fn digest_for(&self, uri: &str) -> Option<u64> {
+        self.serialize(uri).map(|xml| content_digest(uri, &xml))
+    }
+
+    /// Typed integrity verdicts for this replica's own disk image:
+    /// mid-prefix WAL damage plus any checkpoint-slot verdicts. A torn WAL
+    /// tail is *not* reported — it is the expected crash shape.
+    fn disk_damage(&self) -> (bool, Vec<IntegrityError>) {
+        let wal_rot = Wal::scan(&self.disk, WAL_FILE).mid_prefix_damage();
+        let (_, verdicts) = Checkpoint::read_latest_verified(&self.disk);
+        (wal_rot, verdicts)
+    }
+
+    /// Fault-injection hook: silently replaces a document in the replica's
+    /// *memory*, modelling the divergence a mis-apply or memory fault
+    /// would cause. Disk and shipped digests are untouched, so only a
+    /// digest cross-check can notice.
+    pub fn poison_document(&mut self, uri: &str) -> bool {
+        if self.store.borrow().doc_by_uri(uri).is_none() {
+            return false;
+        }
+        let Ok(doc) = xqib_dom::parse_document("<rotted/>") else {
+            return false;
+        };
+        self.store.borrow_mut().add_document(doc, Some(uri));
+        true
     }
 
     fn handle(node: &Rc<RefCell<Option<ReplicaNode>>>, req: &Request) -> Response {
@@ -489,6 +584,21 @@ impl ReplicaNode {
 // Cluster plumbing
 // ---------------------------------------------------------------------
 
+/// Read-pool standing of a follower seat — the same trip/cool-off/probe
+/// shape as `xqib_browser::quarantine`, driven by the scrubber instead of
+/// listener failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SeatHealth {
+    /// In the read pool; digests clean as far as the scrubber knows.
+    Healthy,
+    /// Out of the read pool while a repair is in flight; stays out at
+    /// least until the deadline even if it catches up sooner.
+    Quarantined { until: u64 },
+    /// Cool-off served; readmission waits on the scrubber verifying the
+    /// seat is caught up with matching digests.
+    Probation,
+}
+
 /// One node slot in a shard: a stable host name and disk, plus the
 /// leader-side link state used while the seat is a follower.
 struct Seat {
@@ -509,6 +619,8 @@ struct Seat {
     force_snapshot: bool,
     breaker: CircuitBreaker,
     rstats: RecoveryStats,
+    /// Scrubber-managed read-pool standing.
+    health: SeatHealth,
 }
 
 /// An update applied on the leader but not yet covered by the ack rule.
@@ -582,10 +694,12 @@ pub struct Cluster {
     net: VirtualNetwork,
     shards: Vec<Shard>,
     stats: Rc<RefCell<ReplicationStats>>,
+    istats: IntegrityStats,
     crashes: Vec<(u64, usize)>,
     next_id: u64,
     read_rr: u64,
     send_seq: u64,
+    next_scrub_at: u64,
 }
 
 impl Cluster {
@@ -639,6 +753,7 @@ impl Cluster {
                     force_snapshot: false,
                     breaker: CircuitBreaker::new(cfg.breaker_failures, cfg.breaker_open_ms),
                     rstats: RecoveryStats::default(),
+                    health: SeatHealth::Healthy,
                 });
             }
             let db = XmlDb::durable(seats[0].disk.clone(), cfg.durability);
@@ -659,10 +774,12 @@ impl Cluster {
             net,
             shards,
             stats,
+            istats: IntegrityStats::default(),
             crashes: Vec::new(),
             next_id: 0,
             read_rr: 0,
             send_seq: 0,
+            next_scrub_at: 0,
         }
     }
 
@@ -688,6 +805,20 @@ impl Cluster {
 
     pub fn stats(&self) -> ReplicationStats {
         self.stats.borrow().clone()
+    }
+
+    /// Cluster-wide integrity counters; decay sweeps and rotted sectors
+    /// are summed live from every seat disk's own stats.
+    pub fn integrity_stats(&self) -> IntegrityStats {
+        let mut st = self.istats.clone();
+        for sh in &self.shards {
+            for seat in &sh.seats {
+                let ds = seat.disk.stats();
+                st.decay_sweeps += ds.decay_sweeps;
+                st.sectors_decayed += ds.sectors_decayed;
+            }
+        }
+        st
     }
 
     /// Leader committed sequence, `None` during a blackout.
@@ -917,7 +1048,7 @@ impl Cluster {
         if has_leader {
             // bounded-staleness follower read for whole-document fetches
             if self.cfg.follower_reads && path == "/doc" {
-                if let Some(resp) = self.follower_doc(shard, uri, false) {
+                if let Some(resp) = self.follower_doc(shard, uri, false, now) {
                     return done(resp, ClusterOutcome::FollowerRead);
                 }
             }
@@ -935,7 +1066,7 @@ impl Cluster {
             render::CORPUS_URI.to_string()
         };
         if self.router.owner(&stale_uri) == shard {
-            if let Some(resp) = self.follower_doc(shard, &stale_uri, true) {
+            if let Some(resp) = self.follower_doc(shard, &stale_uri, true, now) {
                 return done(
                     resp.with_header("X-XQIB-Degraded", "no-leader"),
                     ClusterOutcome::DegradedRead,
@@ -946,15 +1077,32 @@ impl Cluster {
     }
 
     /// A `/doc` body served from a follower replica. Healthy path
-    /// (`any_lag = false`): round-robin over followers within
-    /// `max_read_lag`. Blackout path (`any_lag = true`): the most
-    /// caught-up follower, whatever its lag.
-    fn follower_doc(&mut self, shard: usize, uri: &str, any_lag: bool) -> Option<ServerResponse> {
+    /// (`any_lag = false`): round-robin over *healthy* followers within
+    /// `max_read_lag`, and the body's content digest is verified against
+    /// the leader's recorded digest before it leaves the cluster — a
+    /// mismatch quarantines the seat for resync and falls back to the
+    /// leader. Blackout path (`any_lag = true`): the most caught-up
+    /// non-quarantined follower, whatever its lag.
+    fn follower_doc(
+        &mut self,
+        shard: usize,
+        uri: &str,
+        any_lag: bool,
+        now: u64,
+    ) -> Option<ServerResponse> {
         let sh = &self.shards[shard];
         let committed = sh.leader.as_ref().map(|l| l.db.committed_seq());
         let mut candidates: Vec<(usize, u64, u64)> = Vec::new(); // (seat, lag, applied)
         for (i, seat) in sh.seats.iter().enumerate() {
             if i == sh.leader_seat {
+                continue;
+            }
+            let usable = if any_lag {
+                !matches!(seat.health, SeatHealth::Quarantined { .. })
+            } else {
+                seat.health == SeatHealth::Healthy
+            };
+            if !usable {
                 continue;
             }
             let guard = seat.replica.borrow();
@@ -970,34 +1118,271 @@ impl Cluster {
         if candidates.is_empty() {
             return None;
         }
-        let (seat_idx, lag) = if any_lag {
+        let (seat_idx, lag, applied) = if any_lag {
             // most caught-up wins; ties go to the lowest seat
-            let best = candidates
+            *candidates
                 .iter()
-                .max_by_key(|&&(i, _, applied)| (applied, usize::MAX - i))?;
-            (best.0, best.1)
+                .max_by_key(|&&(i, _, applied)| (applied, usize::MAX - i))?
         } else {
             let pick = candidates[(self.read_rr as usize) % candidates.len()];
             self.read_rr += 1;
-            (pick.0, pick.1)
+            pick
         };
-        let sh = &self.shards[shard];
-        let seat = &sh.seats[seat_idx];
-        let guard = seat.replica.borrow();
-        let body = guard.as_ref()?.serialize(uri)?;
+        let (body, host, want) = {
+            let sh = &self.shards[shard];
+            let seat = &sh.seats[seat_idx];
+            let guard = seat.replica.borrow();
+            let body = guard.as_ref()?.serialize(uri)?;
+            let want = sh.leader.as_ref().and_then(|l| l.db.digest_of(uri));
+            (body, seat.host.clone(), want)
+        };
+        // End-to-end read verification: a caught-up follower's body must
+        // hash to the digest the leader sealed at journal time. A lagged
+        // follower is serving an older (but internally consistent)
+        // version, which bounded staleness already permits — only an
+        // in-sync body that hashes wrong is corruption.
+        if let (Some(c), Some(want)) = (committed, want) {
+            if applied >= c {
+                if content_digest(uri, &body) != want {
+                    self.istats.reads_refused += 1;
+                    self.quarantine_and_resync(shard, seat_idx, now);
+                    return None;
+                }
+                self.istats.reads_verified += 1;
+            }
+        }
         self.stats.borrow_mut().follower_reads += 1;
         Some(
             ServerResponse::new(200, body)
-                .with_header("X-XQIB-Replica", &seat.host)
+                .with_header("X-XQIB-Replica", &host)
                 .with_header("X-XQIB-Replica-Lag", &lag.to_string()),
         )
     }
 
-    /// One tick of cluster housekeeping: executes due scheduled crashes,
+    /// Quarantines a follower seat over divergence and restarts it from
+    /// nothing: files wiped, a fresh replica installed, and the leader
+    /// forced to ship a full checkpoint snapshot (the ordinary straggler
+    /// resync path). The seat re-enters the read pool only after the
+    /// scrubber sees it caught up with matching digests.
+    fn quarantine_and_resync(&mut self, s: usize, i: usize, now: u64) {
+        let router = self.router.clone();
+        let stats = self.stats.clone();
+        let follower_cfg = self.cfg.follower_durability;
+        let until = now + self.cfg.quarantine_ms;
+        let seat = &mut self.shards[s].seats[i];
+        for f in seat.disk.files() {
+            seat.disk.delete(&f);
+        }
+        *seat.replica.borrow_mut() = Some(ReplicaNode::fresh(
+            s,
+            seat.disk.clone(),
+            router,
+            stats,
+            follower_cfg,
+        ));
+        seat.acked = 0;
+        seat.shipped_top = 0;
+        seat.attempt = 0;
+        seat.force_snapshot = true;
+        seat.next_send_at = now;
+        seat.health = SeatHealth::Quarantined { until };
+        self.istats.quarantines += 1;
+        self.istats.repairs_started += 1;
+    }
+
+    /// One anti-entropy pass over every shard: probe the leader's own WAL
+    /// and checkpoint slots, probe every follower's disk, cross-check
+    /// replica digests against the leader's recorded digests, and drive
+    /// the quarantine → repair → verified-readmission lifecycle.
+    fn scrub(&mut self, now: u64) {
+        self.istats.scrub_cycles += 1;
+        for s in 0..self.shards.len() {
+            self.scrub_shard(s, now);
+        }
+    }
+
+    fn scrub_shard(&mut self, s: usize, now: u64) {
+        // --- leader side -------------------------------------------------
+        let leader_probe = self.shards[s]
+            .leader
+            .as_ref()
+            .map(|l| (l.db.wal_integrity(), l.db.checkpoint_integrity()));
+        if let Some((wal, ckpts)) = leader_probe {
+            let mut slot_damage = false;
+            for v in &ckpts {
+                match v {
+                    IntegrityError::CheckpointSlotCorrupt { .. } => {
+                        self.istats.scrub_ckpt_corruptions += 1;
+                        slot_damage = true;
+                    }
+                    IntegrityError::AllCheckpointSlotsCorrupt => {
+                        self.istats.scrub_ckpt_lost += 1;
+                        slot_damage = true;
+                    }
+                    _ => {}
+                }
+            }
+            let mid_prefix = matches!(wal, Some(IntegrityError::WalCorruption { .. }));
+            if mid_prefix {
+                self.istats.scrub_wal_corruptions += 1;
+            }
+            let has_followers = {
+                let sh = &self.shards[s];
+                sh.seats
+                    .iter()
+                    .enumerate()
+                    .any(|(i, seat)| i != sh.leader_seat && seat.replica.borrow().is_some())
+            };
+            if mid_prefix && has_followers {
+                // The durable log under an otherwise-live leader is rotten.
+                // Demote it and let the ordinary election promote a replica
+                // whose bytes still verify, rather than ever serving or
+                // shipping from damaged media. Unlike a crash, a voluntary
+                // step-down must not shrink the candidate set: right after
+                // a failover, acked state can exist on the leader alone
+                // (follower acks are reset under the new term until their
+                // snapshots land). So first supersede the rot with a
+                // checkpoint from intact memory, then leave the seat behind
+                // as a follower candidate carrying the full committed log —
+                // the election restriction re-promotes it, or an equally
+                // caught-up peer, with nothing lost. Backdating
+                // `leaderless_since` makes the failover detector fire
+                // immediately.
+                let detect = self.cfg.failover_detect_ms;
+                let router = self.router.clone();
+                let stats = self.stats.clone();
+                let follower_cfg = self.cfg.follower_durability;
+                let sh = &mut self.shards[s];
+                if let Some(mut leader) = sh.leader.take() {
+                    let committed = leader.db.committed_seq();
+                    let _ = leader.db.checkpoint();
+                    let seat = sh.leader_seat;
+                    let disk = sh.seats[seat].disk.clone();
+                    let (ck, _) = Checkpoint::read_latest_verified(&disk);
+                    *sh.seats[seat].replica.borrow_mut() = Some(ReplicaNode {
+                        shard: s,
+                        term: sh.term,
+                        store: leader.db.store.clone(),
+                        disk,
+                        cfg: follower_cfg,
+                        router,
+                        stats,
+                        ckpt_gen: ck.map(|c| c.gen).unwrap_or(0),
+                        applied: committed,
+                        acked: committed,
+                    });
+                    sh.seats[seat].health = SeatHealth::Healthy;
+                }
+                sh.leaderless_since = Some(now.saturating_sub(detect));
+                sh.next_probe_at = now;
+                sh.probed = vec![None; sh.seats.len()];
+                self.istats.leader_demotions += 1;
+                return; // follower scrubbing resumes once a leader exists
+            }
+            if mid_prefix || slot_damage {
+                // No quorum to hand off to (or only slot damage): rewrite
+                // durable state from intact memory — checkpoint + truncate
+                // supersede the damaged bytes.
+                if let Some(leader) = self.shards[s].leader.as_mut() {
+                    let _ = leader.db.checkpoint();
+                }
+            }
+        }
+        // --- follower side -----------------------------------------------
+        let Some(leader) = self.shards[s].leader.as_ref() else {
+            return;
+        };
+        let committed = leader.db.committed_seq();
+        let digests = leader.db.recorded_digests();
+        let leader_seat = self.shards[s].leader_seat;
+        for i in 0..self.shards[s].seats.len() {
+            if i == leader_seat {
+                continue;
+            }
+            // lifecycle: a quarantine cool-off elapses into probation
+            if let SeatHealth::Quarantined { until } = self.shards[s].seats[i].health {
+                if now >= until {
+                    self.shards[s].seats[i].health = SeatHealth::Probation;
+                }
+            }
+            let rep = self.shards[s].seats[i].replica.clone();
+            let mut guard = rep.borrow_mut();
+            let Some(node) = guard.as_mut() else {
+                continue;
+            };
+            // own-disk probe: typed damage self-heals from intact memory
+            // (every applied frame was CRC-checked on arrival), so a fresh
+            // checkpoint supersedes the rot without losing acked state
+            let (wal_rot, verdicts) = node.disk_damage();
+            if wal_rot {
+                self.istats.scrub_wal_corruptions += 1;
+            }
+            for v in &verdicts {
+                match v {
+                    IntegrityError::CheckpointSlotCorrupt { .. } => {
+                        self.istats.scrub_ckpt_corruptions += 1;
+                    }
+                    IntegrityError::AllCheckpointSlotsCorrupt => {
+                        self.istats.scrub_ckpt_lost += 1;
+                    }
+                    _ => {}
+                }
+            }
+            if wal_rot || !verdicts.is_empty() {
+                node.force_checkpoint();
+                self.istats.repairs_started += 1;
+                if self.shards[s].seats[i].health == SeatHealth::Healthy {
+                    self.shards[s].seats[i].health = SeatHealth::Quarantined {
+                        until: now + self.cfg.quarantine_ms,
+                    };
+                    self.istats.quarantines += 1;
+                }
+            }
+            // digest cross-check: only meaningful when the replica claims
+            // to hold the leader's whole committed log — a lagged replica
+            // is old, not wrong
+            let caught_up = node.applied >= committed;
+            let mut diverged = false;
+            if caught_up {
+                for (uri, want) in &digests {
+                    self.istats.scrub_docs_checked += 1;
+                    if node.digest_for(uri) != Some(*want) {
+                        self.istats.scrub_digest_mismatches += 1;
+                        diverged = true;
+                    }
+                }
+            }
+            drop(guard);
+            if diverged {
+                // divergence means this replica's *memory* can no longer be
+                // trusted: wipe and resync from a leader snapshot
+                self.quarantine_and_resync(s, i, now);
+                continue;
+            }
+            // probation → healthy only once caught up with clean digests
+            if self.shards[s].seats[i].health == SeatHealth::Probation
+                && caught_up
+                && self.shards[s].seats[i].acked >= committed
+            {
+                self.shards[s].seats[i].health = SeatHealth::Healthy;
+                self.istats.repairs_verified += 1;
+            }
+        }
+    }
+
+    /// One tick of cluster housekeeping: advances latent disk decay,
+    /// executes due scheduled crashes, runs the anti-entropy scrubber,
     /// drives failovers, pumps replication links, and resolves pending
     /// updates. Returns the completions that finished at `now`.
     pub fn advance(&mut self, now: u64) -> Vec<ClusterCompletion> {
         let mut out = Vec::new();
+        // latent bit rot accrues with virtual time on every seat disk,
+        // leader and follower alike — decay never waits for a crash
+        for sh in &self.shards {
+            for seat in &sh.seats {
+                seat.disk.decay_at(now);
+            }
+        }
         let due: Vec<usize> = self
             .crashes
             .iter()
@@ -1007,6 +1392,10 @@ impl Cluster {
         self.crashes.retain(|(at, _)| *at > now);
         for s in due {
             self.crash_leader(s, now);
+        }
+        if self.cfg.scrub_interval_ms > 0 && now >= self.next_scrub_at {
+            self.next_scrub_at = now + self.cfg.scrub_interval_ms;
+            self.scrub(now);
         }
         for s in 0..self.shards.len() {
             self.try_failover(s, now, &mut out);
@@ -1124,6 +1513,24 @@ impl Cluster {
                 _ => Some((i, ta)),
             })
             .unwrap_or((follower_seats[0], (0, 0)));
+        // Promotion guard: the winner's disk may carry latent rot that
+        // recovery would truncate at, silently dropping acked frames its
+        // memory still holds — and rot on the log's last frames is
+        // indistinguishable from an ordinary torn tail, so detection can
+        // never be complete. A live follower's memory is always at least
+        // as new as its disk (`applied >= acked`), so unconditionally
+        // checkpoint from memory — truncating whatever the log carried —
+        // before handing the disk to recovery.
+        {
+            let rep = self.shards[s].seats[win].replica.clone();
+            let mut guard = rep.borrow_mut();
+            if let Some(node) = guard.as_mut() {
+                let (wal_rot, verdicts) = node.disk_damage();
+                if node.force_checkpoint() && (wal_rot || !verdicts.is_empty()) {
+                    self.istats.promote_heals += 1;
+                }
+            }
+        }
         let disk = self.shards[s].seats[win].disk.clone();
         match AppServer::recover(disk, self.cfg.durability) {
             Ok(server) => self.install_leader(s, win, server, since, now, out),
@@ -1450,9 +1857,11 @@ impl Cluster {
     /// replication snapshot, so any shard's endpoint agrees).
     fn metrics_response(&mut self) -> ServerResponse {
         let stats = self.stats.borrow().clone();
+        let istats = self.integrity_stats();
         for sh in &mut self.shards {
             if let Some(leader) = sh.leader.as_mut() {
                 leader.metrics.record_replication(&stats);
+                leader.metrics.record_integrity(&istats);
             }
         }
         match self.shards[0].leader.as_mut() {
@@ -1460,6 +1869,7 @@ impl Cluster {
             None => {
                 let mut m = ServerMetrics::default();
                 m.record_replication(&stats);
+                m.record_integrity(&istats);
                 ServerResponse::new(200, m.to_xml())
             }
         }
@@ -1723,8 +2133,14 @@ mod tests {
             let _ = c.advance(now);
             now += 5;
         }
-        assert_eq!(c.shards[0].seats[2].acked, 12, "B must hold the tail");
-        assert_eq!(c.shards[0].seats[3].acked, 9, "C stops at the acked prefix");
+        // every load/update journals a content-digest frame alongside its
+        // redo record, so seqs advance by 2: 6 seed loads + 3 acked + 3
+        // tail updates put B at 24; C stops at the acked prefix (18)
+        assert_eq!(c.shards[0].seats[2].acked, 24, "B must hold the tail");
+        assert_eq!(
+            c.shards[0].seats[3].acked, 18,
+            "C stops at the acked prefix"
+        );
         // first failover: B is unheard, C (acked 9) beats A (acked 0)
         c.crash_leader(0, 500);
         now = 500;
@@ -2037,6 +2453,214 @@ mod tests {
         let (b_done, b_stats) = run();
         assert_eq!(a_stats, b_stats, "stats must be bit-identical per seed");
         assert_eq!(a_done, b_done, "completions must be bit-identical per seed");
+    }
+
+    /// Runs `n` sequential acked updates against `uri`, asserting each one
+    /// reaches `AckedUpdate`; returns the markers and the time after the
+    /// last ack.
+    fn acked_markers(
+        c: &mut Cluster,
+        uri: &str,
+        n: usize,
+        mut now: u64,
+        tag: &str,
+    ) -> (Vec<String>, u64) {
+        let mut acked = Vec::new();
+        for i in 0..n {
+            let marker = format!("{tag}{i}");
+            match c.submit(&update_url(uri, &marker), now) {
+                Submitted::Pending(id) => {
+                    let (done, at) = await_update(c, id, now);
+                    assert_eq!(done.outcome, ClusterOutcome::AckedUpdate);
+                    now = at + 1;
+                }
+                Submitted::Done(d) => {
+                    assert_eq!(d.outcome, ClusterOutcome::AckedUpdate);
+                    now += 1;
+                }
+            }
+            acked.push(marker);
+        }
+        (acked, now)
+    }
+
+    /// Advances the cluster tick by tick across `[from, to)`.
+    fn drive(c: &mut Cluster, from: u64, to: u64) -> u64 {
+        for t in from..to {
+            let _ = c.advance(t);
+        }
+        to
+    }
+
+    /// Flips one payload byte of the first WAL frame on `disk`: with later
+    /// frames behind it, the scan must classify this as mid-prefix CRC
+    /// damage (an alarm), never as an ordinary torn tail.
+    fn rot_first_frame(disk: &VirtualDisk) {
+        let mut img = disk.read(WAL_FILE).expect("a journaled WAL to rot");
+        // frame layout [len u32][crc u32][seq u64][tag u8][payload]: byte
+        // 17 is the first payload byte
+        img[17] ^= 0x01;
+        disk.write_file(WAL_FILE, &img);
+    }
+
+    #[test]
+    fn scrub_repairs_a_follower_with_mid_prefix_wal_rot() {
+        let mut c = seeded(ClusterConfig {
+            shards: 1,
+            followers: 1,
+            ack_replicas: 1,
+            ..ClusterConfig::default()
+        });
+        let (_, now) = acked_markers(&mut c, "d0.xml", 3, 10, "rot");
+        let disk = c.shards[0].seats[1].disk.clone();
+        rot_first_frame(&disk);
+        {
+            let rep = c.shards[0].seats[1].replica.borrow();
+            let (rot, _) = rep.as_ref().unwrap().disk_damage();
+            assert!(rot, "the flip must read as mid-prefix WAL damage");
+        }
+        // the next scrub pass detects the rot, re-checkpoints the replica
+        // from intact memory and pulls the seat out of the read pool
+        let scrub = c.cfg.scrub_interval_ms;
+        let now = drive(&mut c, now, now + scrub + 2);
+        let ist = c.integrity_stats();
+        assert!(
+            ist.scrub_wal_corruptions >= 1,
+            "rot went undetected: {ist:?}"
+        );
+        assert!(ist.repairs_started >= 1);
+        assert_eq!(ist.quarantines, 1);
+        assert!(matches!(
+            c.shards[0].seats[1].health,
+            SeatHealth::Quarantined { .. }
+        ));
+        {
+            let rep = c.shards[0].seats[1].replica.borrow();
+            let (rot, verdicts) = rep.as_ref().unwrap().disk_damage();
+            assert!(
+                !rot && verdicts.is_empty(),
+                "the repair checkpoint must supersede the rot"
+            );
+        }
+        // cool-off elapses into probation; the scrubber readmits the seat
+        // only after seeing it caught up with matching digests
+        let end = now + c.cfg.quarantine_ms + 2 * scrub + 10;
+        drive(&mut c, now, end);
+        assert_eq!(c.shards[0].seats[1].health, SeatHealth::Healthy);
+        assert!(c.integrity_stats().repairs_verified >= 1);
+    }
+
+    #[test]
+    fn a_divergent_follower_is_wiped_resynced_and_readmitted() {
+        let mut c = seeded(ClusterConfig {
+            shards: 1,
+            followers: 1,
+            ack_replicas: 1,
+            ..ClusterConfig::default()
+        });
+        let (acked, now) = acked_markers(&mut c, "d0.xml", 2, 10, "div");
+        {
+            let rep = c.shards[0].seats[1].replica.clone();
+            let mut guard = rep.borrow_mut();
+            assert!(guard.as_mut().unwrap().poison_document("d0.xml"));
+        }
+        // disk and WAL digests are untouched — only the digest cross-check
+        // against the leader's sealed digests can notice the divergence
+        let scrub = c.cfg.scrub_interval_ms;
+        let now = drive(&mut c, now, now + scrub + 2);
+        let ist = c.integrity_stats();
+        assert!(
+            ist.scrub_digest_mismatches >= 1,
+            "divergence unseen: {ist:?}"
+        );
+        assert_eq!(ist.quarantines, 1);
+        assert!(matches!(
+            c.shards[0].seats[1].health,
+            SeatHealth::Quarantined { .. }
+        ));
+        // the wiped seat resyncs from a leader snapshot, serves cool-off,
+        // and is readmitted once its digests match again
+        let end = now + c.cfg.quarantine_ms + 3 * scrub;
+        drive(&mut c, now, end);
+        assert_eq!(c.shards[0].seats[1].health, SeatHealth::Healthy);
+        assert!(c.integrity_stats().repairs_verified >= 1);
+        let rep = c.shards[0].seats[1].replica.borrow();
+        let xml = rep.as_ref().unwrap().serialize("d0.xml").unwrap();
+        assert!(!xml.contains("rotted"), "poison survived the resync: {xml}");
+        for m in &acked {
+            assert!(xml.contains(m.as_str()), "resync lost acked {m}: {xml}");
+        }
+    }
+
+    #[test]
+    fn a_leader_on_rotted_wal_is_demoted_without_losing_acked_updates() {
+        let mut c = seeded(ClusterConfig {
+            shards: 1,
+            followers: 2,
+            ack_replicas: 1,
+            // never checkpoint on its own: the damaged log must survive
+            // until the scrubber looks at it
+            durability: DurabilityConfig {
+                group_commit: 1,
+                checkpoint_threshold: 0,
+            },
+            ..ClusterConfig::default()
+        });
+        let (acked, now) = acked_markers(&mut c, "d0.xml", 4, 10, "dem");
+        let seat = c.shards[0].leader_seat;
+        rot_first_frame(&c.shards[0].seats[seat].disk.clone());
+        // the next scrub pass steps the leader down rather than ever
+        // serving or shipping from damaged media; the backdated failover
+        // detector re-elects within the same housekeeping tick, with the
+        // demoted seat still in the candidate set carrying its full log
+        let scrub = c.cfg.scrub_interval_ms;
+        let now = drive(&mut c, now, now + 2 * scrub + 2);
+        let ist = c.integrity_stats();
+        assert_eq!(ist.leader_demotions, 1, "rot must demote the leader");
+        assert!(ist.scrub_wal_corruptions >= 1);
+        assert!(c.has_leader(0), "demotion must end in a new election");
+        assert_eq!(c.stats().failovers, 1);
+        let (_, _) = c.quiesce(now);
+        for m in &acked {
+            assert!(c.contains("d0.xml", m), "acked {m} lost across demotion");
+        }
+    }
+
+    #[test]
+    fn a_poisoned_follower_read_is_refused_and_served_by_the_leader() {
+        let mut c = seeded(ClusterConfig {
+            shards: 1,
+            followers: 1,
+            ack_replicas: 1,
+            ..ClusterConfig::default()
+        });
+        let (_, now) = acked_markers(&mut c, "d0.xml", 1, 10, "rr");
+        {
+            let rep = c.shards[0].seats[1].replica.clone();
+            let mut guard = rep.borrow_mut();
+            assert!(guard.as_mut().unwrap().poison_document("d0.xml"));
+        }
+        // the follower is in-sync and healthy, so the read router picks it;
+        // its body hashes wrong against the leader's sealed digest, so the
+        // read is refused, the seat quarantined, and the leader serves
+        let done = match c.submit(&doc_url("d0.xml"), now) {
+            Submitted::Done(d) => d,
+            Submitted::Pending(_) => panic!("reads cannot pend"),
+        };
+        assert_eq!(done.response.status, 200);
+        assert_eq!(done.outcome, ClusterOutcome::Served, "leader fallback");
+        assert!(
+            done.response.body.contains("rr0"),
+            "the verified body must carry the acked update: {}",
+            done.response.body
+        );
+        assert!(
+            !done.response.body.contains("rotted"),
+            "a digest-mismatched body must never be served"
+        );
+        let ist = c.integrity_stats();
+        assert_eq!(ist.reads_refused, 1);
+        assert_eq!(ist.quarantines, 1);
     }
 
     #[test]

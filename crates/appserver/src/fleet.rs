@@ -29,7 +29,7 @@ use xqib_minijs::JsEngine;
 use xqib_storage::StorageFaultPlan;
 use xqib_xdm::{XdmError, XdmResult};
 
-use crate::cluster::{Cluster, ClusterConfig, ReplicationStats, Submitted};
+use crate::cluster::{Cluster, ClusterConfig, IntegrityStats, ReplicationStats, Submitted};
 use crate::corpus::{article_ids, generate_corpus, CorpusSpec};
 
 /// The origin every simulated browser talks to.
@@ -164,6 +164,10 @@ impl FleetConfig {
                     sync_fail_permille: 30,
                     corrupt_permille: 20,
                     corrupt_synced_permille: 0,
+                    // latent at-rest bit rot: a couple permille per synced
+                    // sector per decay period, scrubbed and repaired live
+                    decay_permille: 2,
+                    decay_period_ms: 100,
                 }),
                 partitions: vec![(0, 1, 400, 2500)],
                 // both shards lose their leader mid-run, so every document
@@ -261,6 +265,9 @@ pub struct FleetReport {
     /// Largest client clock at the end, virtual ms.
     pub duration_ms: u64,
     pub replication: ReplicationStats,
+    /// End-to-end integrity counters (scrub verdicts, quarantines,
+    /// verified repairs, decay sweeps) for the whole run.
+    pub integrity: IntegrityStats,
 }
 
 // ---------------------------------------------------------------------
@@ -912,6 +919,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> XdmResult<(FleetReport, Cluster)> {
         .unwrap_or(0);
     let duration_ms = reports.iter().map(|r| r.finished_at).max().unwrap_or(0);
     let replication = cluster.borrow().stats();
+    let integrity = cluster.borrow().integrity_stats();
     let report = FleetReport {
         seed: cfg.seed,
         clients: reports,
@@ -921,6 +929,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> XdmResult<(FleetReport, Cluster)> {
         converged,
         duration_ms,
         replication,
+        integrity,
     };
     // the bridge handlers inside each plugin's virtual network hold clones
     // of the cluster Rc — drop the fleet before unwrapping it

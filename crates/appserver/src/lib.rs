@@ -33,7 +33,8 @@ pub mod webservice;
 pub mod xmldb;
 
 pub use cluster::{
-    Cluster, ClusterCompletion, ClusterConfig, ClusterOutcome, ReplicationStats, Router, Submitted,
+    Cluster, ClusterCompletion, ClusterConfig, ClusterOutcome, IntegrityStats, ReplicationStats,
+    Router, Submitted,
 };
 pub use corpus::{generate_corpus, CorpusSpec};
 pub use fleet::{

@@ -59,6 +59,15 @@ pub struct ServerMetrics {
     pub recoveries: u64,
     /// Recoveries that dropped a torn/corrupt WAL tail.
     pub torn_tails_dropped: u64,
+    /// Recoveries that found every written checkpoint slot corrupt and
+    /// had to rebuild from the WAL alone (typed, not a panic).
+    pub ckpt_slots_lost: u64,
+    /// Mid-prefix WAL damage seen during recovery — never a legal crash
+    /// shape, so it indicates latent media rot.
+    pub wal_corruptions: u64,
+    /// Recovered documents whose content digest disagreed with the digest
+    /// recorded in the WAL.
+    pub recovery_digest_mismatches: u64,
     /// Requests the governor admitted into the bounded queue.
     pub admitted: u64,
     /// Requests shed with 503 + `Retry-After` (queue overflow or CoDel
@@ -141,6 +150,40 @@ pub struct ServerMetrics {
     /// `(behind_calls − origin_requests) * 1000 / behind_calls`: the §6.1
     /// offload claim as a number.
     pub fleet_cache_hit_permille: u64,
+    /// Anti-entropy scrub cycles run across the cluster.
+    pub scrub_cycles: u64,
+    /// Per-document digest comparisons performed by the scrubber.
+    pub scrub_docs_checked: u64,
+    /// Replica documents whose digest disagreed with the leader's record.
+    pub scrub_digest_mismatches: u64,
+    /// Mid-prefix WAL damage the scrubber found on live nodes' disks.
+    pub scrub_wal_corruptions: u64,
+    /// Corrupt checkpoint slots the scrubber found.
+    pub scrub_ckpt_corruptions: u64,
+    /// Scrub passes that found every written checkpoint slot corrupt.
+    pub scrub_ckpt_lost: u64,
+    /// Followers pulled from the read pool over damage or divergence.
+    pub integrity_quarantines: u64,
+    /// Repairs begun (node-local re-checkpoint or snapshot resync).
+    pub integrity_repairs_started: u64,
+    /// Quarantined followers readmitted after digests matched again.
+    pub integrity_repairs_verified: u64,
+    /// Leaders demoted for sitting on a damaged WAL.
+    pub integrity_leader_demotions: u64,
+    /// Failover winners healed from intact memory before promotion.
+    pub integrity_promote_heals: u64,
+    /// Follower `/doc` bodies digest-verified before being served.
+    pub integrity_reads_verified: u64,
+    /// Follower `/doc` bodies refused over a digest mismatch.
+    pub integrity_reads_refused: u64,
+    /// Decay periods swept across every seat disk.
+    pub decay_sweeps: u64,
+    /// At-rest synced sectors hit by latent bit rot.
+    pub decay_sectors: u64,
+    /// Leader `/doc` bodies digest-verified before being served.
+    pub doc_reads_verified: u64,
+    /// Leader `/doc` bodies refused with `XQIB0019` (digest mismatch).
+    pub doc_reads_refused: u64,
 }
 
 impl ServerMetrics {
@@ -190,6 +233,29 @@ impl ServerMetrics {
         self.checkpoints = stats.checkpoints;
         self.recoveries = stats.recoveries;
         self.torn_tails_dropped = stats.torn_tails_dropped;
+        self.ckpt_slots_lost = stats.ckpt_slots_lost;
+        self.wal_corruptions = stats.wal_corruptions;
+        self.recovery_digest_mismatches = stats.recovery_digest_mismatches;
+    }
+
+    /// Mirrors the cluster's end-to-end integrity counters (cumulative
+    /// snapshots — overwrites, same convention as the other mirrors).
+    pub fn record_integrity(&mut self, stats: &crate::cluster::IntegrityStats) {
+        self.scrub_cycles = stats.scrub_cycles;
+        self.scrub_docs_checked = stats.scrub_docs_checked;
+        self.scrub_digest_mismatches = stats.scrub_digest_mismatches;
+        self.scrub_wal_corruptions = stats.scrub_wal_corruptions;
+        self.scrub_ckpt_corruptions = stats.scrub_ckpt_corruptions;
+        self.scrub_ckpt_lost = stats.scrub_ckpt_lost;
+        self.integrity_quarantines = stats.quarantines;
+        self.integrity_repairs_started = stats.repairs_started;
+        self.integrity_repairs_verified = stats.repairs_verified;
+        self.integrity_leader_demotions = stats.leader_demotions;
+        self.integrity_promote_heals = stats.promote_heals;
+        self.integrity_reads_verified = stats.reads_verified;
+        self.integrity_reads_refused = stats.reads_refused;
+        self.decay_sweeps = stats.decay_sweeps;
+        self.decay_sectors = stats.sectors_decayed;
     }
 
     /// Mirrors the database's plan-cache counters (cumulative snapshots —
@@ -280,6 +346,9 @@ impl ServerMetrics {
             checkpoints,
             recoveries,
             torn_tails_dropped,
+            ckpt_slots_lost,
+            wal_corruptions,
+            recovery_digest_mismatches,
             admitted,
             shed,
             degraded,
@@ -319,6 +388,23 @@ impl ServerMetrics {
             fleet_degraded_observed,
             fleet_origin_requests,
             fleet_cache_hit_permille,
+            scrub_cycles,
+            scrub_docs_checked,
+            scrub_digest_mismatches,
+            scrub_wal_corruptions,
+            scrub_ckpt_corruptions,
+            scrub_ckpt_lost,
+            integrity_quarantines,
+            integrity_repairs_started,
+            integrity_repairs_verified,
+            integrity_leader_demotions,
+            integrity_promote_heals,
+            integrity_reads_verified,
+            integrity_reads_refused,
+            decay_sweeps,
+            decay_sectors,
+            doc_reads_verified,
+            doc_reads_refused,
         } = self;
         let fields: &[(&str, u64)] = &[
             ("requests", *requests),
@@ -345,6 +431,9 @@ impl ServerMetrics {
             ("checkpoints", *checkpoints),
             ("recoveries", *recoveries),
             ("torn-tails-dropped", *torn_tails_dropped),
+            ("ckpt-slots-lost", *ckpt_slots_lost),
+            ("wal-corruptions", *wal_corruptions),
+            ("recovery-digest-mismatches", *recovery_digest_mismatches),
             ("admitted", *admitted),
             ("shed", *shed),
             ("degraded", *degraded),
@@ -384,6 +473,23 @@ impl ServerMetrics {
             ("fleet-degraded-observed", *fleet_degraded_observed),
             ("fleet-origin-requests", *fleet_origin_requests),
             ("fleet-cache-hit-permille", *fleet_cache_hit_permille),
+            ("scrub-cycles", *scrub_cycles),
+            ("scrub-docs-checked", *scrub_docs_checked),
+            ("scrub-digest-mismatches", *scrub_digest_mismatches),
+            ("scrub-wal-corruptions", *scrub_wal_corruptions),
+            ("scrub-ckpt-corruptions", *scrub_ckpt_corruptions),
+            ("scrub-ckpt-lost", *scrub_ckpt_lost),
+            ("integrity-quarantines", *integrity_quarantines),
+            ("integrity-repairs-started", *integrity_repairs_started),
+            ("integrity-repairs-verified", *integrity_repairs_verified),
+            ("integrity-leader-demotions", *integrity_leader_demotions),
+            ("integrity-promote-heals", *integrity_promote_heals),
+            ("integrity-reads-verified", *integrity_reads_verified),
+            ("integrity-reads-refused", *integrity_reads_refused),
+            ("decay-sweeps", *decay_sweeps),
+            ("decay-sectors", *decay_sectors),
+            ("doc-reads-verified", *doc_reads_verified),
+            ("doc-reads-refused", *doc_reads_refused),
         ];
         let mut out = String::from("<metrics>");
         for (name, value) in fields {
@@ -429,6 +535,9 @@ mod tests {
             checkpoints: 22,
             recoveries: 23,
             torn_tails_dropped: 24,
+            ckpt_slots_lost: 64,
+            wal_corruptions: 65,
+            recovery_digest_mismatches: 66,
             admitted: 25,
             shed: 26,
             degraded: 27,
@@ -468,6 +577,23 @@ mod tests {
             fleet_degraded_observed: 61,
             fleet_origin_requests: 62,
             fleet_cache_hit_permille: 63,
+            scrub_cycles: 67,
+            scrub_docs_checked: 68,
+            scrub_digest_mismatches: 69,
+            scrub_wal_corruptions: 70,
+            scrub_ckpt_corruptions: 71,
+            scrub_ckpt_lost: 72,
+            integrity_quarantines: 73,
+            integrity_repairs_started: 74,
+            integrity_repairs_verified: 75,
+            integrity_leader_demotions: 76,
+            integrity_promote_heals: 77,
+            integrity_reads_verified: 78,
+            integrity_reads_refused: 79,
+            decay_sweeps: 80,
+            decay_sectors: 81,
+            doc_reads_verified: 82,
+            doc_reads_refused: 83,
         }
     }
 
@@ -485,13 +611,18 @@ mod tests {
         // each field was set to a distinct value, so each must appear
         assert!(xml.contains("<requests>1</requests>"), "{xml}");
         assert!(xml.contains("<queue-delay-p99-ms>30</queue-delay-p99-ms>"));
-        // 63 counters → 63 distinct element names
-        assert_eq!(xml.matches("</").count(), 63 + 1, "{xml}");
+        // 83 counters → 83 distinct element names
+        assert_eq!(xml.matches("</").count(), 83 + 1, "{xml}");
         assert!(xml.contains("<plan-cache-hits>31</plan-cache-hits>"));
         assert!(xml.contains("<repl-frames-shipped>35</repl-frames-shipped>"));
         assert!(xml.contains("<repl-max-replica-lag>44</repl-max-replica-lag>"));
         assert!(xml.contains("<fleet-clients>45</fleet-clients>"));
         assert!(xml.contains("<fleet-cache-hit-permille>63</fleet-cache-hit-permille>"));
+        assert!(xml.contains("<ckpt-slots-lost>64</ckpt-slots-lost>"));
+        assert!(xml.contains("<scrub-cycles>67</scrub-cycles>"));
+        assert!(xml.contains("<integrity-quarantines>73</integrity-quarantines>"));
+        assert!(xml.contains("<decay-sectors>81</decay-sectors>"));
+        assert!(xml.contains("<doc-reads-refused>83</doc-reads-refused>"));
     }
 
     #[test]
@@ -673,6 +804,9 @@ mod tests {
             checkpoints: 2,
             recoveries: 1,
             torn_tails_dropped: 1,
+            ckpt_slots_lost: 1,
+            wal_corruptions: 2,
+            recovery_digest_mismatches: 3,
         };
         m.record_durability(&stats);
         assert_eq!(m.wal_appends, 8);
@@ -680,7 +814,51 @@ mod tests {
         assert_eq!(m.checkpoints, 2);
         assert_eq!(m.recoveries, 1);
         assert_eq!(m.torn_tails_dropped, 1);
+        assert_eq!(m.ckpt_slots_lost, 1);
+        assert_eq!(m.wal_corruptions, 2);
+        assert_eq!(m.recovery_digest_mismatches, 3);
         m.record_durability(&DurabilityStats::default());
         assert_eq!(m.wal_appends, 0);
+        assert_eq!(m.ckpt_slots_lost, 0, "cumulative snapshot overwrites");
+    }
+
+    #[test]
+    fn integrity_counters_mirror_the_cluster_snapshot() {
+        let mut m = ServerMetrics::default();
+        let stats = crate::cluster::IntegrityStats {
+            scrub_cycles: 4,
+            scrub_docs_checked: 40,
+            scrub_digest_mismatches: 1,
+            scrub_wal_corruptions: 2,
+            scrub_ckpt_corruptions: 1,
+            scrub_ckpt_lost: 1,
+            quarantines: 3,
+            repairs_started: 3,
+            repairs_verified: 2,
+            leader_demotions: 1,
+            promote_heals: 1,
+            reads_verified: 25,
+            reads_refused: 1,
+            decay_sweeps: 90,
+            sectors_decayed: 7,
+        };
+        m.record_integrity(&stats);
+        assert_eq!(m.scrub_cycles, 4);
+        assert_eq!(m.scrub_docs_checked, 40);
+        assert_eq!(m.scrub_digest_mismatches, 1);
+        assert_eq!(m.scrub_wal_corruptions, 2);
+        assert_eq!(m.scrub_ckpt_corruptions, 1);
+        assert_eq!(m.scrub_ckpt_lost, 1);
+        assert_eq!(m.integrity_quarantines, 3);
+        assert_eq!(m.integrity_repairs_started, 3);
+        assert_eq!(m.integrity_repairs_verified, 2);
+        assert_eq!(m.integrity_leader_demotions, 1);
+        assert_eq!(m.integrity_promote_heals, 1);
+        assert_eq!(m.integrity_reads_verified, 25);
+        assert_eq!(m.integrity_reads_refused, 1);
+        assert_eq!(m.decay_sweeps, 90);
+        assert_eq!(m.decay_sectors, 7);
+        m.record_integrity(&crate::cluster::IntegrityStats::default());
+        assert_eq!(m.scrub_cycles, 0, "cumulative snapshot overwrites");
     }
 }

@@ -163,10 +163,31 @@ impl AppServer {
             },
             "/index" => self.render_query(&render::index_page_query(), budget),
             "/doc" => match param(&query, "uri") {
-                Some(uri) => match self.db.serialize(&uri) {
-                    Some(body) => (ServerResponse::new(200, body), 0),
-                    None => (not_found(&format!("no document {uri}")), 0),
-                },
+                // the read path recomputes the document's content digest
+                // against the one sealed at journal time: bytes that no
+                // longer hash to what was acknowledged are never served
+                Some(uri) => {
+                    let recorded = self.db.digest_of(&uri).is_some();
+                    match self.db.verified_serialize(&uri) {
+                        Ok(Some(body)) => {
+                            if recorded {
+                                self.metrics.doc_reads_verified += 1;
+                            }
+                            (ServerResponse::new(200, body), 0)
+                        }
+                        Ok(None) => (not_found(&format!("no document {uri}")), 0),
+                        Err(e) => {
+                            self.metrics.doc_reads_refused += 1;
+                            (
+                                ServerResponse::new(
+                                    500,
+                                    format!("<error code=\"XQIB0019\">{e}</error>"),
+                                ),
+                                0,
+                            )
+                        }
+                    }
+                }
                 None => (bad_request("missing uri parameter"), 0),
             },
             "/query" | "/update" => match param(&query, "xq") {

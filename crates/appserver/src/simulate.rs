@@ -21,7 +21,8 @@ use xqib_storage::{StorageFaultPlan, VirtualDisk};
 use xqib_xdm::XdmResult;
 
 use crate::cluster::{
-    Cluster, ClusterCompletion, ClusterConfig, ClusterOutcome, ReplicationStats, Submitted,
+    Cluster, ClusterCompletion, ClusterConfig, ClusterOutcome, IntegrityStats, ReplicationStats,
+    Submitted,
 };
 use crate::corpus::{generate_corpus, CorpusSpec};
 use crate::governor::{Admission, Class, Completion, GovernedServer, GovernorConfig, Outcome};
@@ -520,6 +521,8 @@ pub struct ClusterReport {
     /// Every issued update, in issue order, with its final fate.
     pub updates: Vec<UpdateRecord>,
     pub stats: ReplicationStats,
+    /// Anti-entropy scrub / verified-repair counters at end of run.
+    pub integrity: IntegrityStats,
 }
 
 impl ClusterReport {
@@ -654,6 +657,7 @@ pub fn run_cluster_sim(cfg: &ClusterSimConfig) -> (ClusterReport, Cluster) {
     report.ack_latency_p50 = nearest_rank(&ack_latencies, 50);
     report.ack_latency_p99 = nearest_rank(&ack_latencies, 99);
     report.stats = c.stats();
+    report.integrity = c.integrity_stats();
     (report, c)
 }
 

@@ -23,13 +23,14 @@
 //! write and the log truncation.
 
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use xqib_dom::store::shared_store;
 use xqib_dom::{DocId, SharedStore};
 use xqib_storage::{
-    Checkpoint, DiskError, DurabilityStats, ShippedFrame, VirtualDisk, Wal, WalRecord, CKPT_SLOTS,
-    WAL_FILE,
+    content_digest, mix64, Checkpoint, DiskError, DurabilityStats, IntegrityError, ShippedFrame,
+    VirtualDisk, Wal, WalRecord, CKPT_SLOTS, WAL_FILE,
 };
 use xqib_xdm::{Item, Sequence, XdmResult};
 use xqib_xquery::context::{DynamicContext, StaticContext};
@@ -68,6 +69,16 @@ pub fn apply_wal_record(store: &SharedStore, record: &WalRecord) -> bool {
             match wire::decode_pul(&mut s, bytes) {
                 Ok(pul) => pul.apply(&mut s).is_ok(),
                 Err(_) => false,
+            }
+        }
+        WalRecord::Digest { uri, digest } => {
+            let s = store.borrow();
+            match s.doc_by_uri(uri) {
+                Some(id) => {
+                    let xml = xqib_dom::serialize::serialize_document(s.doc(id));
+                    content_digest(uri, &xml) == *digest
+                }
+                None => false,
             }
         }
     }
@@ -146,6 +157,10 @@ pub struct XmlDb {
     /// regression-triage escape hatch.
     pub plan_mode: bool,
     durable: Option<Durable>,
+    /// Recorded content digest per document, sealed at journal time
+    /// (durable mode only): what the read path and the scrubber verify
+    /// served bytes against.
+    digests: BTreeMap<String, u64>,
 }
 
 impl Default for XmlDb {
@@ -164,6 +179,7 @@ impl XmlDb {
             plans: PlanCache::new(PLAN_CACHE_CAPACITY),
             plan_mode: true,
             durable: None,
+            digests: BTreeMap::new(),
         }
     }
 
@@ -190,6 +206,7 @@ impl XmlDb {
                 pending_ops: 0,
                 stats: DurabilityStats::default(),
             }),
+            digests: BTreeMap::new(),
         }
     }
 
@@ -203,10 +220,17 @@ impl XmlDb {
             recoveries: 1,
             ..Default::default()
         };
-        let ckpt = Checkpoint::read_latest(&disk);
+        let (ckpt, slot_verdicts) = Checkpoint::read_latest_verified(&disk);
+        if slot_verdicts
+            .iter()
+            .any(|v| matches!(v, IntegrityError::AllCheckpointSlotsCorrupt))
+        {
+            stats.ckpt_slots_lost = 1;
+        }
         let (ckpt_gen, ckpt_seq) = ckpt.as_ref().map_or((0, 0), |c| (c.gen, c.seq));
 
         let store = shared_store();
+        let mut digests = BTreeMap::new();
         if let Some(ckpt) = &ckpt {
             let mut s = store.borrow_mut();
             for (uri, xml) in &ckpt.docs {
@@ -218,9 +242,15 @@ impl XmlDb {
                 })?;
                 s.add_document(doc, Some(uri));
             }
+            for (uri, digest) in ckpt.digests() {
+                digests.insert(uri, digest);
+            }
         }
 
         let mut replay = Wal::scan(&disk, WAL_FILE);
+        if replay.mid_prefix_damage() {
+            stats.wal_corruptions = 1;
+        }
         let mut torn = replay.torn_tail_dropped;
         let mut applied_seq = ckpt_seq;
         let mut good = 0usize;
@@ -230,8 +260,16 @@ impl XmlDb {
                 continue;
             }
             if !apply_wal_record(&store, record) {
+                if let WalRecord::Digest { .. } = record {
+                    // the replayed state no longer hashes to what was
+                    // acknowledged: silent damage, not a torn append
+                    stats.recovery_digest_mismatches += 1;
+                }
                 torn = true;
                 break;
+            }
+            if let WalRecord::Digest { uri, digest } = record {
+                digests.insert(uri.clone(), *digest);
             }
             good += 1;
             applied_seq = *seq;
@@ -261,6 +299,7 @@ impl XmlDb {
                 pending_ops: 0,
                 stats,
             }),
+            digests,
         })
     }
 
@@ -288,6 +327,7 @@ impl XmlDb {
                 None => store.add_document(doc, Some(uri)),
             }
         };
+        self.seal_digests(&[uri.to_string()]);
         self.after_journaled_ops();
         Ok(id)
     }
@@ -458,6 +498,78 @@ impl XmlDb {
         Ok(())
     }
 
+    /// The recorded (acknowledged) content digest of a document. `None`
+    /// for unbound URIs, ephemeral databases, and loads whose digest frame
+    /// was lost to a torn tail before it could seal.
+    pub fn digest_of(&self, uri: &str) -> Option<u64> {
+        self.digests.get(uri).copied()
+    }
+
+    /// Every recorded digest, sorted by URI — the scrubber's cross-check
+    /// input, comparable across replicas without shipping bodies.
+    pub fn recorded_digests(&self) -> Vec<(String, u64)> {
+        self.digests
+            .iter()
+            .map(|(uri, d)| (uri.clone(), *d))
+            .collect()
+    }
+
+    /// Serialises a document with the end-to-end check: recomputes the
+    /// content digest of the bytes about to be served and refuses to
+    /// respond when they no longer hash to what was acknowledged.
+    /// `Ok(None)` for unbound URIs; documents without a recorded digest
+    /// (ephemeral mode, unsealed loads) serve unchecked.
+    pub fn verified_serialize(&self, uri: &str) -> Result<Option<String>, IntegrityError> {
+        let Some(xml) = self.serialize(uri) else {
+            return Ok(None);
+        };
+        if let Some(want) = self.digest_of(uri) {
+            let got = content_digest(uri, &xml);
+            if got != want {
+                return Err(IntegrityError::DigestMismatch {
+                    uri: uri.to_string(),
+                    want,
+                    got,
+                });
+            }
+        }
+        Ok(Some(xml))
+    }
+
+    /// Scrubber probe: rescans the on-disk WAL and classifies the first
+    /// break, if any. `None` when the log is clean or the database is
+    /// ephemeral. A torn tail is the expected crash shape; mid-prefix
+    /// damage means the durable prefix itself rotted after it was acked.
+    pub fn wal_integrity(&self) -> Option<IntegrityError> {
+        let d = self.durable.as_ref()?;
+        Wal::scan(&d.disk, WAL_FILE).integrity_error()
+    }
+
+    /// Scrubber probe: typed verdicts for every written-but-corrupt
+    /// checkpoint slot on the backing device (empty when clean or
+    /// ephemeral).
+    pub fn checkpoint_integrity(&self) -> Vec<IntegrityError> {
+        match self.durable.as_ref() {
+            Some(d) => Checkpoint::read_latest_verified(&d.disk).1,
+            None => Vec::new(),
+        }
+    }
+
+    /// Fault-injection hook: overwrites the recorded digest of `uri`,
+    /// simulating undetected rot between the store and its seal so tests
+    /// can prove the read path refuses to serve state that no longer
+    /// hashes to what was acknowledged. Returns `false` if nothing was
+    /// recorded for `uri`.
+    pub fn poison_recorded_digest(&mut self, uri: &str) -> bool {
+        match self.digests.get_mut(uri) {
+            Some(d) => {
+                *d = mix64(*d ^ 0xBAD);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Durability counters (zeroed in ephemeral mode).
     pub fn durability_stats(&self) -> DurabilityStats {
         self.durable
@@ -534,6 +646,16 @@ impl XmlDb {
     fn drain_journal(&mut self, journal: Option<Rc<RefCell<Vec<Vec<u8>>>>>) {
         let Some(journal) = journal else { return };
         let records = journal.take();
+        let mut touched: Vec<String> = Vec::new();
+        for bytes in &records {
+            if let Ok(uris) = wire::pul_doc_uris(bytes) {
+                for uri in uris {
+                    if !touched.contains(&uri) {
+                        touched.push(uri);
+                    }
+                }
+            }
+        }
         if let Some(d) = &mut self.durable {
             for bytes in records {
                 d.stats.wal_appends += 1;
@@ -541,7 +663,34 @@ impl XmlDb {
                 d.pending_ops += 1;
             }
         }
+        self.seal_digests(&touched);
         self.after_journaled_ops();
+    }
+
+    /// Seals the content digest of each touched document: recomputes it
+    /// from the applied store, records it, and journals a digest frame per
+    /// document — the end-to-end integrity assertion recovery, replication
+    /// and the scrubber all verify against. Durable mode only: the digest
+    /// map tracks *acknowledged* state, which ephemeral databases lack.
+    fn seal_digests(&mut self, uris: &[String]) {
+        if self.durable.is_none() {
+            return;
+        }
+        for uri in uris {
+            let Some(xml) = self.serialize(uri) else {
+                continue;
+            };
+            let digest = content_digest(uri, &xml);
+            self.digests.insert(uri.clone(), digest);
+            if let Some(d) = &mut self.durable {
+                d.stats.wal_appends += 1;
+                d.last_appended = d.wal.append(&WalRecord::Digest {
+                    uri: uri.clone(),
+                    digest,
+                });
+                d.pending_ops += 1;
+            }
+        }
     }
 
     /// Group-commit policy: soft fsync once enough operations are
@@ -659,7 +808,7 @@ mod tests {
         db.commit().unwrap();
         db.query("replace value of node doc('d.xml')//v with 'lost-on-crash'")
             .unwrap();
-        assert_eq!(db.committed_seq(), 1);
+        assert_eq!(db.committed_seq(), 2, "load frame + its digest seal");
         drop(db);
         disk.crash();
         let db2 = XmlDb::recover(disk, cfg).unwrap();
@@ -682,7 +831,11 @@ mod tests {
         // heal the device: the next journaled op commits the whole batch
         disk.set_plan(StorageFaultPlan::seeded(7));
         db.load("e.xml", "<e/>").unwrap();
-        assert_eq!(db.committed_seq(), 2, "both loads acknowledged");
+        assert_eq!(
+            db.committed_seq(),
+            4,
+            "both loads (and their digest seals) acknowledged"
+        );
     }
 
     #[test]
@@ -728,6 +881,128 @@ mod tests {
         // empty frame boundary — a clean (if empty) state, never a panic
         assert_eq!(db2.committed_seq(), 0);
         assert!(db2.serialize("d.xml").is_none());
+        assert_eq!(
+            db2.durability_stats().ckpt_slots_lost,
+            1,
+            "losing every snapshot slot is surfaced, not silent"
+        );
+    }
+
+    #[test]
+    fn digests_are_sealed_journaled_and_survive_recovery() {
+        let disk = VirtualDisk::new();
+        let mut db = XmlDb::durable(disk.clone(), DurabilityConfig::default());
+        db.load("d.xml", "<r><v>1</v></r>").unwrap();
+        db.query("replace value of node doc('d.xml')//v with '2'")
+            .unwrap();
+        let sealed = db.digest_of("d.xml").expect("digest recorded");
+        let xml = db.serialize("d.xml").unwrap();
+        assert_eq!(sealed, xqib_storage::content_digest("d.xml", &xml));
+        drop(db);
+        disk.crash();
+        let db2 = XmlDb::recover(disk, DurabilityConfig::default()).unwrap();
+        assert_eq!(db2.digest_of("d.xml"), Some(sealed));
+        assert_eq!(db2.durability_stats().recovery_digest_mismatches, 0);
+        assert_eq!(
+            db2.verified_serialize("d.xml").unwrap().unwrap(),
+            "<r><v>2</v></r>"
+        );
+    }
+
+    #[test]
+    fn poisoned_digest_refuses_the_read() {
+        let disk = VirtualDisk::new();
+        let mut db = XmlDb::durable(disk, DurabilityConfig::default());
+        db.load("d.xml", "<r/>").unwrap();
+        assert!(db.verified_serialize("d.xml").is_ok());
+        assert!(db.poison_recorded_digest("d.xml"));
+        let err = db.verified_serialize("d.xml").unwrap_err();
+        assert!(matches!(
+            err,
+            xqib_storage::IntegrityError::DigestMismatch { .. }
+        ));
+        // unbound URIs and unpoisoned docs still serve
+        assert_eq!(db.verified_serialize("missing.xml").unwrap(), None);
+        assert!(!db.poison_recorded_digest("missing.xml"));
+    }
+
+    #[test]
+    fn mid_prefix_rot_is_counted_and_truncated_by_recovery() {
+        let disk = VirtualDisk::new();
+        let mut db = XmlDb::durable(disk.clone(), DurabilityConfig::default());
+        db.load("d.xml", "<r/>").unwrap(); // seq 1..=2
+        db.load("e.xml", "<e/>").unwrap(); // seq 3..=4
+        drop(db);
+        // flip a payload byte inside the second frame: damage strictly
+        // inside the durable prefix, which no legal crash produces
+        let mut data = disk.read(WAL_FILE).unwrap();
+        let first_end = xqib_storage::Wal::scan(&disk, WAL_FILE).records[0].2;
+        data[first_end + 17] ^= 0x40;
+        disk.write_file(WAL_FILE, &data);
+        let db2 = XmlDb::recover(disk, DurabilityConfig::default()).unwrap();
+        let stats = db2.durability_stats();
+        assert_eq!(stats.wal_corruptions, 1, "rot classified as the alarm");
+        assert_eq!(db2.committed_seq(), 1, "replay stops before the damage");
+        assert_eq!(db2.serialize("d.xml").unwrap(), "<r/>");
+        assert!(db2.serialize("e.xml").is_none());
+    }
+
+    #[test]
+    fn forged_digest_frame_stops_replay_with_a_mismatch_count() {
+        let disk = VirtualDisk::new();
+        let mut db = XmlDb::durable(disk.clone(), DurabilityConfig::default());
+        db.load("d.xml", "<r/>").unwrap(); // seq 1..=2
+        drop(db);
+        // append a digest frame asserting a hash the store cannot match
+        let replay = xqib_storage::Wal::scan(&disk, WAL_FILE);
+        let mut wal = xqib_storage::Wal::open_after(disk.clone(), WAL_FILE, &replay);
+        wal.append(&WalRecord::Digest {
+            uri: "d.xml".to_string(),
+            digest: 0xBAD0_BAD0_BAD0_BAD0,
+        });
+        wal.sync().unwrap();
+        let db2 = XmlDb::recover(disk, DurabilityConfig::default()).unwrap();
+        let stats = db2.durability_stats();
+        assert_eq!(stats.recovery_digest_mismatches, 1);
+        assert_eq!(db2.committed_seq(), 2, "state stops at the last seal");
+        assert_eq!(db2.serialize("d.xml").unwrap(), "<r/>");
+    }
+
+    #[test]
+    fn wal_and_checkpoint_integrity_probes_classify_the_device() {
+        let disk = VirtualDisk::new();
+        let mut db = XmlDb::durable(disk.clone(), DurabilityConfig::default());
+        db.load("d.xml", "<r/>").unwrap();
+        db.load("e.xml", "<e/>").unwrap();
+        db.checkpoint().unwrap();
+        db.load("f.xml", "<f/>").unwrap();
+        assert_eq!(db.wal_integrity(), None, "clean log");
+        assert!(db.checkpoint_integrity().is_empty(), "clean slots");
+        // rot the WAL mid-prefix and one checkpoint slot
+        let mut data = disk.read(WAL_FILE).unwrap();
+        let first_end = xqib_storage::Wal::scan(&disk, WAL_FILE).records[0].2;
+        data[first_end + 17] ^= 0x01;
+        disk.write_file(WAL_FILE, &data);
+        let slot = CKPT_SLOTS[1]; // gen 1 went to slot 1
+        let mut ck = disk.read(slot).unwrap();
+        let mid = ck.len() / 2;
+        ck[mid] ^= 0x01;
+        disk.write_file(slot, &ck);
+        assert!(matches!(
+            db.wal_integrity(),
+            Some(xqib_storage::IntegrityError::WalCorruption { .. })
+        ));
+        assert_eq!(
+            db.checkpoint_integrity(),
+            vec![
+                xqib_storage::IntegrityError::CheckpointSlotCorrupt { slot: 1 },
+                xqib_storage::IntegrityError::AllCheckpointSlotsCorrupt,
+            ],
+            "the only written slot rotted: the alarm verdict fires"
+        );
+        // ephemeral databases have nothing to probe
+        assert_eq!(XmlDb::new().wal_integrity(), None);
+        assert!(XmlDb::new().checkpoint_integrity().is_empty());
     }
 
     #[test]
@@ -760,22 +1035,22 @@ mod tests {
             checkpoint_threshold: 0,
         };
         let mut db = XmlDb::durable(disk.clone(), cfg);
-        db.load("d.xml", "<r/>").unwrap(); // seq 1
-        db.load("e.xml", "<e/>").unwrap(); // seq 2
+        db.load("d.xml", "<r/>").unwrap(); // seq 1 + digest seq 2
+        db.load("e.xml", "<e/>").unwrap(); // seq 3 + digest seq 4
         db.commit().unwrap();
-        db.load("f.xml", "<f/>").unwrap(); // seq 3, uncommitted
-        assert_eq!(db.appended_seq(), 3);
-        assert_eq!(db.committed_seq(), 2);
+        db.load("f.xml", "<f/>").unwrap(); // seq 5..=6, uncommitted
+        assert_eq!(db.appended_seq(), 6);
+        assert_eq!(db.committed_seq(), 4);
         let frames = db.committed_frames_after(0).unwrap();
         assert_eq!(
             frames.iter().map(|f| f.seq).collect::<Vec<_>>(),
-            vec![1, 2],
+            vec![1, 2, 3, 4],
             "only committed frames ship"
         );
-        let tail = db.committed_frames_after(1).unwrap();
+        let tail = db.committed_frames_after(3).unwrap();
         assert_eq!(tail.len(), 1);
-        assert_eq!(tail[0].seq, 2);
-        assert!(db.committed_frames_after(2).unwrap().is_empty());
+        assert_eq!(tail[0].seq, 4);
+        assert!(db.committed_frames_after(4).unwrap().is_empty());
         // ephemeral databases have nothing to ship
         assert!(XmlDb::new().committed_frames_after(0).is_none());
     }
@@ -784,9 +1059,9 @@ mod tests {
     fn frames_absorbed_by_a_checkpoint_force_a_snapshot_resync() {
         let disk = VirtualDisk::new();
         let mut db = XmlDb::durable(disk.clone(), DurabilityConfig::default());
-        db.load("d.xml", "<r/>").unwrap(); // seq 1
+        db.load("d.xml", "<r/>").unwrap(); // seq 1..=2
         db.checkpoint().unwrap(); // truncates the WAL
-        db.load("e.xml", "<e/>").unwrap(); // seq 2
+        db.load("e.xml", "<e/>").unwrap(); // seq 3..=4
         assert!(
             db.committed_frames_after(0).is_none(),
             "seq 1 is gone from the log: follower at 0 needs a snapshot"
@@ -795,7 +1070,7 @@ mod tests {
         assert_eq!(snap.seq, db.committed_seq());
         assert_eq!(snap.docs.len(), 2);
         // a follower already past the checkpoint still gets frames
-        let frames = db.committed_frames_after(1).unwrap();
-        assert_eq!(frames.iter().map(|f| f.seq).collect::<Vec<_>>(), vec![2]);
+        let frames = db.committed_frames_after(2).unwrap();
+        assert_eq!(frames.iter().map(|f| f.seq).collect::<Vec<_>>(), vec![3, 4]);
     }
 }

@@ -20,9 +20,19 @@ use proptest::prelude::*;
 use xqib_appserver::simulate::{run_cluster_sim, ClusterSimConfig};
 use xqib_appserver::{ClusterOutcome, Submitted};
 use xqib_browser::FaultPlan;
+use xqib_storage::StorageFaultPlan;
 
 fn env_seed() -> u64 {
     std::env::var("XQIB_CLUSTER_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Scrub-chaos matrix axis: like `XQIB_CLUSTER_SEED`, but reserved for the
+/// latent-decay scenarios so the two matrices explore independent regions.
+fn scrub_env_seed() -> u64 {
+    std::env::var("XQIB_SCRUB_SEED")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(0)
@@ -74,6 +84,27 @@ fn scenario(seed: u64) -> ClusterSimConfig {
     }
     cfg.update_rps = 20 + mix(seed, 70) % 40;
     cfg.read_rps = 20 + mix(seed, 71) % 60;
+    cfg
+}
+
+/// The full integrity composition: the base chaos scenario (net faults,
+/// partitions, leader crashes) plus silent bit rot on every seat disk.
+fn scrub_scenario(seed: u64) -> ClusterSimConfig {
+    let seed = mix(seed, scrub_env_seed());
+    let mut cfg = scenario(seed);
+    // silent rot on a replication-factor-1 shard is unrecoverable by
+    // construction (no surviving copy to repair from once the leader
+    // crashes) — the integrity contract is about the replicated tier, so
+    // the decay scenarios always carry at least one follower
+    if cfg.cluster.followers == 0 {
+        cfg.cluster.followers = 1;
+        cfg.cluster.ack_replicas = 1;
+    }
+    cfg.cluster.disk_fault = Some(
+        StorageFaultPlan::seeded(mix(seed, 90))
+            .with_decay_permille(1 + (mix(seed, 91) % 3) as u16)
+            .with_decay_period_ms(40 + mix(seed, 92) % 120),
+    );
     cfg
 }
 
@@ -156,6 +187,112 @@ proptest! {
         let (b, _) = run_cluster_sim(&cfg);
         prop_assert_eq!(a, b);
     }
+}
+
+proptest! {
+    /// Tentpole chaos composition: latent decay on every disk, on top of
+    /// link faults, partitions and leader crashes. No acked update may be
+    /// lost — not at the end of the run and not after one more forced
+    /// failover per shard — and every detected mid-prefix corruption must
+    /// be answered with a repair (follower re-checkpoint / resync) or an
+    /// escalation (leader demotion), never merely logged.
+    #[test]
+    fn latent_decay_is_scrubbed_without_losing_acked_updates(case_seed in 0u64..1u64 << 48) {
+        let cfg = scrub_scenario(case_seed);
+        let (report, mut cluster) = run_cluster_sim(&cfg);
+        prop_assert_eq!(
+            report.missing_acked_updates(&cluster),
+            Vec::<String>::new(),
+            "acked updates missing under decay: {:?}",
+            cfg
+        );
+        prop_assert_eq!(report.misrouted, 0);
+        // the decay schedule really ticked and the scrubber really looked
+        prop_assert!(report.integrity.decay_sweeps > 0, "decay never ran");
+        prop_assert!(report.integrity.scrub_cycles > 0, "scrubber never ran");
+        // with followers present, detected WAL rot always has a consequence:
+        // follower rot starts a repair, leader rot forces a demotion
+        if cfg.cluster.followers > 0 && report.integrity.scrub_wal_corruptions > 0 {
+            prop_assert!(
+                report.integrity.repairs_started + report.integrity.leader_demotions > 0,
+                "mid-prefix rot detected but never repaired or escalated: {:?}",
+                report.integrity
+            );
+        }
+        // torment round: promotion under decay must still pick verified
+        // candidates and keep the ledger intact
+        let mut now = cfg.duration_ms + 10_000;
+        for s in 0..cluster.shard_count() {
+            if cluster.has_leader(s) {
+                cluster.crash_leader(s, now);
+            }
+        }
+        let (settled, _) = cluster.quiesce(now);
+        now = settled;
+        for s in 0..cluster.shard_count() {
+            prop_assert!(
+                cluster.has_leader(s),
+                "shard {} failed to re-elect by {}ms under decay ({:?})", s, now, cfg
+            );
+        }
+        prop_assert_eq!(
+            report.missing_acked_updates(&cluster),
+            Vec::<String>::new(),
+            "decay + extra failover round lost acked updates: {:?}",
+            cfg
+        );
+    }
+
+    /// Determinism with the whole integrity machinery on: the report —
+    /// including every scrub/repair/decay counter — is a pure function of
+    /// the config, bit for bit.
+    #[test]
+    fn scrub_reports_are_bit_identical_per_seed(case_seed in 0u64..1u64 << 48) {
+        let cfg = scrub_scenario(case_seed);
+        let (a, _) = run_cluster_sim(&cfg);
+        let (b, _) = run_cluster_sim(&cfg);
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// Satellite regression: a follower partitioned long enough to fall past
+/// the leader's WAL-truncation horizon resyncs via the checkpoint-snapshot
+/// path mid-run; the leader then crashes twice, so the second promotion
+/// can land on the very seat that was snapshot-resynced. No acked update
+/// may be lost at any step.
+#[test]
+fn double_failover_after_a_snapshot_resync_past_the_truncation_horizon() {
+    let mut cfg = ClusterSimConfig::steady(mix(171, env_seed()), 2_400);
+    cfg.cluster.shards = 1;
+    cfg.cluster.followers = 2;
+    cfg.cluster.ack_replicas = 1;
+    // aggressive checkpointing keeps the durable logs short, so the healed
+    // straggler finds a gap and must take the snapshot path
+    cfg.cluster.durability.checkpoint_threshold = 96;
+    cfg.cluster.follower_durability.checkpoint_threshold = 96;
+    cfg.partitions = vec![(0, 2, 200, 1_200)];
+    cfg.leader_crashes = vec![(1_600, 0)];
+    cfg.update_rps = 60;
+    let (report, mut cluster) = run_cluster_sim(&cfg);
+    assert!(report.acked_updates > 0);
+    assert!(
+        report.stats.snapshots_shipped > 0,
+        "the healed straggler must resync via snapshot: {:?}",
+        report.stats
+    );
+    assert_eq!(report.stats.failovers, 1);
+    assert_eq!(report.missing_acked_updates(&cluster), Vec::<String>::new());
+    // second failover: the promoted leader (possibly the resynced seat)
+    // dies too, past the first leader's truncation horizon
+    cluster.crash_leader(0, 60_000);
+    let (_, _) = cluster.quiesce(60_000);
+    assert!(cluster.has_leader(0));
+    assert_eq!(cluster.stats().failovers, 2);
+    assert_eq!(
+        report.missing_acked_updates(&cluster),
+        Vec::<String>::new(),
+        "the second failover must keep every update acked before the first"
+    );
 }
 
 /// Scripted (non-random) regression: a double failover with a partition

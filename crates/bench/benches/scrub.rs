@@ -1,0 +1,111 @@
+//! Anti-entropy scrubbing experiment: the same steady update/read workload
+//! with one mid-run leader crash, replayed across rising latent-decay
+//! intensities (no rot, mild rot, heavy rot) on a 1-shard/2-follower
+//! deployment, in deterministic virtual time. The interesting numbers —
+//! how much corruption landed, how much the scrubber caught and repaired,
+//! how often reads had to be refused, and whether any acked update was
+//! lost — come out of the simulator itself, so the binary writes
+//! `BENCH_scrub.json` directly.
+//!
+//! What the arms show: detection and repair scale with the rot rate while
+//! the durability invariant stays flat — no arm is allowed to lose an
+//! acked update, whatever the decay intensity.
+
+use xqib_appserver::simulate::{run_cluster_sim, ClusterReport, ClusterSimConfig};
+use xqib_storage::StorageFaultPlan;
+
+fn arm_config(seed: u64, decay_permille: u16) -> ClusterSimConfig {
+    let mut cfg = ClusterSimConfig::steady(seed, 6_000);
+    cfg.cluster.shards = 1;
+    cfg.cluster.followers = 2;
+    cfg.cluster.ack_replicas = 1;
+    cfg.leader_crashes = vec![(2_000, 0)]; // one mid-run power loss
+    if decay_permille > 0 {
+        cfg.cluster.disk_fault = Some(
+            StorageFaultPlan::seeded(seed ^ 0x5C2B)
+                .with_decay_permille(decay_permille)
+                .with_decay_period_ms(100),
+        );
+    }
+    cfg
+}
+
+fn arm_json(name: &str, r: &ClusterReport) -> String {
+    let i = &r.integrity;
+    format!(
+        concat!(
+            "    \"{}\": {{\n",
+            "      \"issued_updates\": {},\n",
+            "      \"acked_updates\": {},\n",
+            "      \"lost_in_failover\": {},\n",
+            "      \"failovers\": {},\n",
+            "      \"decay_sweeps\": {},\n",
+            "      \"sectors_decayed\": {},\n",
+            "      \"scrub_cycles\": {},\n",
+            "      \"scrub_docs_checked\": {},\n",
+            "      \"scrub_wal_corruptions\": {},\n",
+            "      \"scrub_ckpt_corruptions\": {},\n",
+            "      \"scrub_digest_mismatches\": {},\n",
+            "      \"quarantines\": {},\n",
+            "      \"repairs_started\": {},\n",
+            "      \"repairs_verified\": {},\n",
+            "      \"leader_demotions\": {},\n",
+            "      \"promote_heals\": {},\n",
+            "      \"reads_verified\": {},\n",
+            "      \"reads_refused\": {}\n",
+            "    }}"
+        ),
+        name,
+        r.issued_updates,
+        r.acked_updates,
+        r.lost_in_failover,
+        r.stats.failovers,
+        i.decay_sweeps,
+        i.sectors_decayed,
+        i.scrub_cycles,
+        i.scrub_docs_checked,
+        i.scrub_wal_corruptions,
+        i.scrub_ckpt_corruptions,
+        i.scrub_digest_mismatches,
+        i.quarantines,
+        i.repairs_started,
+        i.repairs_verified,
+        i.leader_demotions,
+        i.promote_heals,
+        i.reads_verified,
+        i.reads_refused,
+    )
+}
+
+fn main() {
+    // `cargo bench` passes harness flags we don't use
+    let _ = std::env::args();
+
+    let seed = 0x5C2B;
+    let mut arms = Vec::new();
+    for (name, decay_permille) in [("no_rot", 0u16), ("mild_rot", 5), ("heavy_rot", 40)] {
+        let cfg = arm_config(seed, decay_permille);
+        let (report, cluster) = run_cluster_sim(&cfg);
+        // the headline invariant must hold in the benchmarked runs too
+        assert_eq!(
+            report.missing_acked_updates(&cluster),
+            Vec::<String>::new(),
+            "{name}: acked updates lost"
+        );
+        assert!(report.acked_updates > 0, "{name}: no acked updates");
+        assert!(report.integrity.scrub_cycles > 0, "{name}: scrubber idle");
+        if decay_permille == 0 {
+            assert_eq!(report.integrity.sectors_decayed, 0, "rot without a plan");
+        } else {
+            assert!(report.integrity.decay_sweeps > 0, "{name}: decay idle");
+        }
+        arms.push(arm_json(name, &report));
+    }
+
+    let json = format!("{{\n  \"scrub\": {{\n{}\n  }}\n}}\n", arms.join(",\n"));
+    // cargo runs benches with the package as CWD; the report belongs at
+    // the repo root next to the harvested BENCH_*.json files
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scrub.json");
+    std::fs::write(out, &json).expect("write BENCH_scrub.json");
+    println!("wrote BENCH_scrub.json:\n{json}");
+}

@@ -10,18 +10,23 @@
 //! Slot layout (little-endian):
 //!
 //! ```text
-//! ┌───────────────┬─────────┬─────────┬─────────┬───────────┬────────────────────┐
-//! │ magic 8 bytes │ crc u32 │ gen u64 │ seq u64 │ count u32 │ count × (uri, xml) │
-//! └───────────────┴─────────┴─────────┴─────────┴───────────┴────────────────────┘
+//! ┌───────────────┬─────────┬─────────┬─────────┬───────────┬────────────────────────────┐
+//! │ magic 8 bytes │ crc u32 │ gen u64 │ seq u64 │ count u32 │ count × (uri, xml, digest) │
+//! └───────────────┴─────────┴─────────┴─────────┴───────────┴────────────────────────────┘
 //! ```
 //!
 //! Strings are u32-length-prefixed UTF-8; `crc` covers everything after
-//! itself.
+//! itself. Each document entry carries its [`content_digest`] (format v2),
+//! an end-to-end check independent of the slot CRC: decode recomputes the
+//! digest of the decoded body and refuses the slot on a mismatch, and the
+//! scrubber compares recorded digests across replicas without re-reading
+//! bodies.
 
 use crate::crc32;
 use crate::disk::{DiskError, VirtualDisk};
+use crate::{content_digest, IntegrityError};
 
-const MAGIC: &[u8; 8] = b"XQCKPT1\0";
+const MAGIC: &[u8; 8] = b"XQCKPT2\0";
 
 /// The two alternating snapshot slots.
 pub const CKPT_SLOTS: [&str; 2] = ["ckpt.0", "ckpt.1"];
@@ -52,6 +57,7 @@ impl Checkpoint {
             body.extend_from_slice(uri.as_bytes());
             body.extend_from_slice(&(xml.len() as u32).to_le_bytes());
             body.extend_from_slice(xml.as_bytes());
+            body.extend_from_slice(&content_digest(uri, xml).to_le_bytes());
         }
         let mut out = Vec::with_capacity(12 + body.len());
         out.extend_from_slice(MAGIC);
@@ -85,6 +91,11 @@ impl Checkpoint {
             pos += 4;
             let xml = String::from_utf8(body.get(pos..pos + xlen)?.to_vec()).ok()?;
             pos += xlen;
+            let recorded = u64::from_le_bytes(body.get(pos..pos + 8)?.try_into().ok()?);
+            pos += 8;
+            if recorded != content_digest(&uri, &xml) {
+                return None; // end-to-end digest disagrees with the body
+            }
             docs.push((uri, xml));
         }
         if pos != body.len() {
@@ -103,19 +114,48 @@ impl Checkpoint {
 
     /// Reads the newest intact snapshot, if any slot holds one.
     pub fn read_latest(disk: &VirtualDisk) -> Option<Checkpoint> {
-        let mut best: Option<Checkpoint> = None;
-        for slot in CKPT_SLOTS {
-            if let Some(ckpt) = Self::read_slot(disk, slot) {
-                if best.as_ref().is_none_or(|b| ckpt.gen > b.gen) {
-                    best = Some(ckpt);
-                }
-            }
-        }
-        best
+        Self::read_latest_verified(disk).0
     }
 
-    fn read_slot(disk: &VirtualDisk, slot: &str) -> Option<Checkpoint> {
-        Self::decode(&disk.read(slot)?)
+    /// Reads the newest intact snapshot and reports a typed verdict for
+    /// every slot that held bytes but failed verification. When *every*
+    /// written slot is corrupt the verdicts end with
+    /// [`IntegrityError::AllCheckpointSlotsCorrupt`] — the alarm case a
+    /// recovery path must surface rather than silently starting empty.
+    pub fn read_latest_verified(disk: &VirtualDisk) -> (Option<Checkpoint>, Vec<IntegrityError>) {
+        let mut best: Option<Checkpoint> = None;
+        let mut verdicts = Vec::new();
+        let mut written = 0usize;
+        for (i, slot) in CKPT_SLOTS.iter().enumerate() {
+            let Some(data) = disk.read(slot) else {
+                continue;
+            };
+            if data.is_empty() {
+                continue;
+            }
+            written += 1;
+            match Self::decode(&data) {
+                Some(ckpt) => {
+                    if best.as_ref().is_none_or(|b| ckpt.gen > b.gen) {
+                        best = Some(ckpt);
+                    }
+                }
+                None => verdicts.push(IntegrityError::CheckpointSlotCorrupt { slot: i }),
+            }
+        }
+        if best.is_none() && written > 0 && verdicts.len() == written {
+            verdicts.push(IntegrityError::AllCheckpointSlotsCorrupt);
+        }
+        (best, verdicts)
+    }
+
+    /// The recorded `(uri, digest)` pairs — what the scrubber compares
+    /// across replicas without shipping bodies.
+    pub fn digests(&self) -> Vec<(String, u64)> {
+        self.docs
+            .iter()
+            .map(|(uri, xml)| (uri.clone(), content_digest(uri, xml)))
+            .collect()
     }
 }
 
@@ -197,8 +237,8 @@ mod tests {
         let cases: Vec<Vec<u8>> = vec![
             vec![],
             b"XQ".to_vec(),
-            b"XQCKPT1\0".to_vec(),
-            b"XQCKPT1\0\x01\x02\x03".to_vec(),
+            b"XQCKPT2\0".to_vec(),
+            b"XQCKPT2\0\x01\x02\x03".to_vec(),
             b"NOTMAGIC________________".to_vec(),
             {
                 // valid frame truncated mid-body
@@ -214,7 +254,7 @@ mod tests {
                 body.extend_from_slice(&1u32.to_le_bytes());
                 body.extend_from_slice(&999u32.to_le_bytes());
                 body.extend_from_slice(b"short");
-                let mut out = b"XQCKPT1\0".to_vec();
+                let mut out = b"XQCKPT2\0".to_vec();
                 out.extend_from_slice(&crate::crc32(&body).to_le_bytes());
                 out.extend_from_slice(&body);
                 out
@@ -251,6 +291,71 @@ mod tests {
     fn encode_decode_round_trips_for_snapshot_shipping() {
         let c = ckpt(5, 42, &[("a.xml", "<a/>"), ("b.xml", "<b>x</b>")]);
         assert_eq!(Checkpoint::decode(&c.encode()), Some(c));
+    }
+
+    #[test]
+    fn recorded_digests_match_the_shared_content_digest() {
+        let c = ckpt(1, 2, &[("a.xml", "<a/>"), ("b.xml", "<b>x</b>")]);
+        let digests = c.digests();
+        assert_eq!(digests.len(), 2);
+        for ((uri, xml), (duri, d)) in c.docs.iter().zip(&digests) {
+            assert_eq!(uri, duri);
+            assert_eq!(*d, content_digest(uri, xml));
+        }
+    }
+
+    #[test]
+    fn forged_digest_with_fixed_crc_is_refused() {
+        // A slot whose CRC was recomputed over a tampered body still fails
+        // the per-document digest: the end-to-end check is independent of
+        // the transport CRC.
+        let c = ckpt(1, 2, &[("a.xml", "<aaaa/>")]);
+        let encoded = c.encode();
+        let mut body = encoded[12..].to_vec();
+        // flip a byte inside the xml ("<aaaa/>" starts after gen+seq+count
+        // +ulen+uri+xlen = 8+8+4+4+5+4 = 33)
+        body[34] ^= 0x08;
+        let mut forged = encoded[..8].to_vec();
+        forged.extend_from_slice(&crate::crc32(&body).to_le_bytes());
+        forged.extend_from_slice(&body);
+        assert_eq!(Checkpoint::decode(&forged), None, "digest must refuse");
+    }
+
+    #[test]
+    fn verified_read_reports_slot_verdicts() {
+        let disk = VirtualDisk::new();
+        // nothing written: no checkpoint, no verdicts
+        let (none, verdicts) = Checkpoint::read_latest_verified(&disk);
+        assert_eq!(none, None);
+        assert!(verdicts.is_empty());
+        // one good slot, one corrupt: the good one wins, the bad one is named
+        ckpt(1, 3, &[("a.xml", "<a/>")]).write(&disk).unwrap(); // slot 1
+        ckpt(2, 9, &[("a.xml", "<a2/>")]).write(&disk).unwrap(); // slot 0
+        let mut data = disk.read(CKPT_SLOTS[0]).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0x01;
+        disk.write_file(CKPT_SLOTS[0], &data);
+        let (best, verdicts) = Checkpoint::read_latest_verified(&disk);
+        assert_eq!(best.unwrap().gen, 1);
+        assert_eq!(
+            verdicts,
+            vec![IntegrityError::CheckpointSlotCorrupt { slot: 0 }]
+        );
+        // both corrupt: the verdicts end with the alarm
+        let mut data = disk.read(CKPT_SLOTS[1]).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0x01;
+        disk.write_file(CKPT_SLOTS[1], &data);
+        let (best, verdicts) = Checkpoint::read_latest_verified(&disk);
+        assert_eq!(best, None);
+        assert_eq!(
+            verdicts,
+            vec![
+                IntegrityError::CheckpointSlotCorrupt { slot: 0 },
+                IntegrityError::CheckpointSlotCorrupt { slot: 1 },
+                IntegrityError::AllCheckpointSlotsCorrupt,
+            ]
+        );
     }
 
     #[test]

@@ -61,6 +61,17 @@ pub struct StorageFaultPlan {
     /// contract (a failing platter), so it is off by default; recovery
     /// degrades to the longest valid prefix instead of crashing.
     pub corrupt_synced_permille: u16,
+    /// ‰ of at-rest **synced** sectors that take a latent bit flip per
+    /// elapsed decay period (see [`decay_period_ms`](Self::decay_period_ms))
+    /// when [`VirtualDisk::decay_at`] is driven on the virtual clock. This
+    /// is silent bit rot: corruption appears *without* a crash, which is
+    /// what scrubbing exists to catch. Off by default.
+    pub decay_permille: u16,
+    /// Virtual-time length of one decay period; `0` means the default
+    /// (100 ms). Each elapsed period rolls one independent seeded draw per
+    /// synced sector, so decay is a pure function of (seed, file layout,
+    /// elapsed periods) — independent of the crash/sync draw stream.
+    pub decay_period_ms: u64,
 }
 
 impl StorageFaultPlan {
@@ -85,6 +96,16 @@ impl StorageFaultPlan {
         self.corrupt_synced_permille = permille;
         self
     }
+
+    pub fn with_decay_permille(mut self, permille: u16) -> Self {
+        self.decay_permille = permille;
+        self
+    }
+
+    pub fn with_decay_period_ms(mut self, period_ms: u64) -> Self {
+        self.decay_period_ms = period_ms;
+        self
+    }
 }
 
 /// Device counters.
@@ -99,6 +120,10 @@ pub struct DiskStats {
     pub torn_bytes_dropped: u64,
     /// Sectors hit by a corruption draw across all crashes.
     pub sectors_corrupted: u64,
+    /// Decay periods swept by [`VirtualDisk::decay_at`].
+    pub decay_sweeps: u64,
+    /// Synced at-rest sectors hit by a latent decay flip.
+    pub sectors_decayed: u64,
 }
 
 #[derive(Debug, Default, Clone)]
@@ -114,6 +139,8 @@ struct Inner {
     plan: StorageFaultPlan,
     /// Monotone fault-draw counter: each decision consumes one draw.
     draws: u64,
+    /// Last decay period applied by `decay_at` (periods are cumulative).
+    last_decay_bucket: u64,
     stats: DiskStats,
 }
 
@@ -328,6 +355,63 @@ impl VirtualDisk {
         }
     }
 
+    /// Advances latent bit rot to virtual time `now`. For every decay
+    /// period elapsed since the last call, every **synced** at-rest sector
+    /// of every file rolls one seeded draw; a hit flips one bit inside the
+    /// sector's synced bytes. Unsynced tails are spared — they are already
+    /// covered by the crash model, and decay is strictly an at-rest
+    /// phenomenon. Deterministic: the flips are a pure function of
+    /// (seed, file name, period index, sector index), independent of the
+    /// crash/sync draw stream, so interleaving decay with other faults
+    /// never perturbs their schedules.
+    pub fn decay_at(&self, now: u64) {
+        let mut inner = self.inner.borrow_mut();
+        let permille = inner.plan.decay_permille;
+        if permille == 0 {
+            return;
+        }
+        let period = match inner.plan.decay_period_ms {
+            0 => 100,
+            p => p,
+        };
+        let bucket = now / period;
+        let seed = inner.plan.seed;
+        while inner.last_decay_bucket < bucket {
+            inner.last_decay_bucket += 1;
+            let b = inner.last_decay_bucket;
+            inner.stats.decay_sweeps += 1;
+            let names: Vec<String> = inner.files.keys().cloned().collect();
+            for name in names {
+                let fh = crate::fnv1a(name.as_bytes());
+                let synced_len = inner.files[&name].synced_len;
+                let mut flips: Vec<(usize, u8)> = Vec::new();
+                let mut sector = 0usize;
+                while sector * SECTOR < synced_len {
+                    let start = sector * SECTOR;
+                    let end = ((sector + 1) * SECTOR).min(synced_len);
+                    let draw = mix64(
+                        seed ^ 0xDECA
+                            ^ fh.rotate_left(17)
+                            ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            ^ (sector as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9),
+                    );
+                    if (draw % 1000) < permille as u64 {
+                        let offset = start + ((draw >> 10) % (end - start) as u64) as usize;
+                        let bit = 1u8 << ((draw >> 32) % 8);
+                        flips.push((offset, bit));
+                        inner.stats.sectors_decayed += 1;
+                    }
+                    sector += 1;
+                }
+                if let Some(file) = inner.files.get_mut(&name) {
+                    for (offset, bit) in flips {
+                        file.data[offset] ^= bit;
+                    }
+                }
+            }
+        }
+    }
+
     pub fn stats(&self) -> DiskStats {
         self.inner.borrow().stats.clone()
     }
@@ -422,5 +506,94 @@ mod tests {
         let b = a.clone();
         a.append("f", b"x");
         assert_eq!(b.read("f").unwrap(), b"x");
+    }
+
+    #[test]
+    fn decay_corrupts_only_synced_bytes_without_a_crash() {
+        let disk = VirtualDisk::with_plan(
+            StorageFaultPlan::seeded(5)
+                .with_decay_permille(400)
+                .with_decay_period_ms(100),
+        );
+        let synced: Vec<u8> = (0..2048u32).map(|i| (i * 7) as u8).collect();
+        disk.append("f", &synced);
+        disk.sync("f").unwrap();
+        let tail = [0xEE; 512];
+        disk.append("f", &tail);
+        disk.decay_at(1_000);
+        let data = disk.read("f").unwrap();
+        assert_ne!(&data[..2048], &synced[..], "synced region decayed");
+        assert_eq!(&data[2048..], &tail[..], "unsynced tail untouched");
+        assert_eq!(data.len(), 2048 + 512, "decay never tears");
+        let stats = disk.stats();
+        assert_eq!(stats.crashes, 0);
+        assert_eq!(stats.decay_sweeps, 10);
+        assert!(stats.sectors_decayed > 0);
+    }
+
+    #[test]
+    fn decay_is_reproducible_and_cumulative_across_calls() {
+        let run = |steps: &[u64]| {
+            let disk = VirtualDisk::with_plan(
+                StorageFaultPlan::seeded(9)
+                    .with_decay_permille(200)
+                    .with_decay_period_ms(50),
+            );
+            disk.append("f", &[0x5A; 4096]);
+            disk.sync("f").unwrap();
+            for &t in steps {
+                disk.decay_at(t);
+            }
+            disk.read("f").unwrap()
+        };
+        // one jump to t=500 equals many small advances to the same time
+        assert_eq!(run(&[500]), run(&[50, 120, 300, 499, 500]));
+        // and a different seed diverges
+        let other = {
+            let disk = VirtualDisk::with_plan(
+                StorageFaultPlan::seeded(10)
+                    .with_decay_permille(200)
+                    .with_decay_period_ms(50),
+            );
+            disk.append("f", &[0x5A; 4096]);
+            disk.sync("f").unwrap();
+            disk.decay_at(500);
+            disk.read("f").unwrap()
+        };
+        assert_ne!(run(&[500]), other);
+    }
+
+    #[test]
+    fn decay_draws_do_not_perturb_the_crash_schedule() {
+        // The same crash must tear identically whether or not decay ran
+        // in between: decay uses its own draw function, not the shared
+        // draw counter.
+        let image = |with_decay: bool| {
+            let disk = VirtualDisk::with_plan(
+                StorageFaultPlan::seeded(21)
+                    .with_corrupt_permille(300)
+                    .with_decay_permille(0),
+            );
+            disk.append("f", &[1; 256]);
+            disk.sync("f").unwrap();
+            disk.append("f", &[2; 256]);
+            if with_decay {
+                // permille 0: decay_at is a no-op even when driven
+                disk.decay_at(10_000);
+            }
+            disk.crash();
+            disk.read("f").unwrap()
+        };
+        assert_eq!(image(false), image(true));
+    }
+
+    #[test]
+    fn zero_decay_permille_never_touches_data() {
+        let disk = VirtualDisk::new();
+        disk.append("f", &[7; 1024]);
+        disk.sync("f").unwrap();
+        disk.decay_at(1_000_000);
+        assert_eq!(disk.read("f").unwrap(), vec![7; 1024]);
+        assert_eq!(disk.stats().decay_sweeps, 0);
     }
 }

@@ -26,7 +26,7 @@ pub mod wal;
 
 pub use checkpoint::{Checkpoint, CKPT_SLOTS};
 pub use disk::{DiskError, DiskStats, StorageFaultPlan, VirtualDisk};
-pub use wal::{ShippedFrame, Wal, WalRecord, WalReplay, WAL_FILE};
+pub use wal::{ShippedFrame, Wal, WalBreak, WalRecord, WalReplay, WAL_FILE};
 
 /// CRC-32 (IEEE 802.3, reflected) — the frame and snapshot checksum.
 pub fn crc32(bytes: &[u8]) -> u32 {
@@ -41,6 +41,83 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
+/// FNV-1a over a byte string — the workspace's standard content hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finaliser — the workspace's standard bit mixer.
+pub fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// End-to-end content digest of one document binding: FNV-1a over the URI
+/// chained with FNV-1a over the canonical serialization, finished with the
+/// splitmix64 mixer. Recorded in WAL digest frames and checkpoint entries
+/// so replicas can cross-check state without shipping bodies, and so a
+/// read path can refuse to serve bytes that no longer hash to what was
+/// acknowledged.
+pub fn content_digest(uri: &str, xml: &str) -> u64 {
+    mix64(fnv1a(uri.as_bytes()) ^ mix64(fnv1a(xml.as_bytes())))
+}
+
+/// Typed verdict of an integrity check over a WAL or checkpoint read.
+/// Distinguishes the *expected* crash shape (a torn tail, which replay
+/// truncates) from silent damage inside the durable prefix (an alarm: no
+/// legal crash produces it, so a platter or replication fault did).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IntegrityError {
+    /// Bytes past the last intact frame that never formed one — the
+    /// expected shape after a crash mid-append.
+    TornWalTail { at: usize },
+    /// Damage strictly inside the durable prefix: a fully-present frame
+    /// failed its CRC, re-used a sequence number, or carried a payload
+    /// that no longer decodes.
+    WalCorruption { at: usize, reason: WalBreak },
+    /// A checkpoint slot was present but failed magic/CRC/digest checks.
+    CheckpointSlotCorrupt { slot: usize },
+    /// Every written checkpoint slot is corrupt — recovery has no snapshot
+    /// to stand on and degrades to the WAL alone.
+    AllCheckpointSlotsCorrupt,
+    /// A document's content digest did not match its recorded value.
+    DigestMismatch { uri: String, want: u64, got: u64 },
+}
+
+impl std::fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IntegrityError::TornWalTail { at } => {
+                write!(f, "torn WAL tail past byte {at}")
+            }
+            IntegrityError::WalCorruption { at, reason } => {
+                write!(f, "WAL corruption at byte {at}: {reason:?}")
+            }
+            IntegrityError::CheckpointSlotCorrupt { slot } => {
+                write!(f, "checkpoint slot {slot} is corrupt")
+            }
+            IntegrityError::AllCheckpointSlotsCorrupt => {
+                write!(f, "every checkpoint slot is corrupt")
+            }
+            IntegrityError::DigestMismatch { uri, want, got } => {
+                write!(
+                    f,
+                    "digest mismatch for {uri}: want {want:016x}, got {got:016x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for IntegrityError {}
+
 /// Durability counters the server tier surfaces through `ServerMetrics`.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct DurabilityStats {
@@ -54,6 +131,15 @@ pub struct DurabilityStats {
     pub recoveries: u64,
     /// Recoveries that dropped a torn/corrupt WAL tail.
     pub torn_tails_dropped: u64,
+    /// Recoveries that found every written checkpoint slot corrupt and had
+    /// to rebuild from the WAL alone.
+    pub ckpt_slots_lost: u64,
+    /// Mid-prefix WAL damage (CRC/decode failure on a fully-present frame)
+    /// seen during recovery — never a legal crash shape.
+    pub wal_corruptions: u64,
+    /// Recovered documents whose content digest disagreed with the digest
+    /// recorded in the WAL.
+    pub recovery_digest_mismatches: u64,
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@
 
 use crate::crc32;
 use crate::disk::{DiskError, VirtualDisk};
+use crate::IntegrityError;
 
 /// Default WAL file name on the device.
 pub const WAL_FILE: &str = "wal.log";
@@ -27,6 +28,7 @@ const HEADER: usize = 4 + 4 + 8 + 1;
 
 const TAG_LOAD: u8 = 1;
 const TAG_PUL: u8 = 2;
+const TAG_DIGEST: u8 = 3;
 
 /// One redo record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +39,25 @@ pub enum WalRecord {
     /// A wire-encoded pending update list (see `xqib_xquery::wire`),
     /// opaque to the storage layer.
     Pul(Vec<u8>),
+    /// An end-to-end integrity assertion: after applying every record up
+    /// to this point, the document bound at `uri` must hash to `digest`
+    /// (see [`crate::content_digest`]). Replayers verify and stop at the
+    /// record if the recovered state disagrees; replicas use it to detect
+    /// divergence at apply time.
+    Digest { uri: String, digest: u64 },
+}
+
+/// Why a WAL scan stopped before the end of the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalBreak {
+    /// The stream ended mid-frame — a torn write, the expected crash shape.
+    TornTail,
+    /// A fully-present frame failed its CRC: bit rot inside the prefix.
+    CrcMismatch,
+    /// A frame re-used an old sequence number (stale bytes or a resend).
+    StaleSeq,
+    /// The CRC held but the tag/payload did not decode.
+    Malformed,
 }
 
 /// One raw WAL frame as shipped to a replica: the sequence number, the
@@ -60,6 +81,36 @@ pub struct WalReplay {
     pub valid_bytes: usize,
     /// True when the file held bytes past the last intact frame.
     pub torn_tail_dropped: bool,
+    /// Why the scan stopped, when it stopped before the end of the stream.
+    pub break_reason: Option<WalBreak>,
+}
+
+impl WalReplay {
+    /// Classifies the scan outcome as a typed integrity verdict: `None`
+    /// when the stream scanned clean to its last byte; a torn-tail error
+    /// (expected — the caller truncates it) when the stream ended
+    /// mid-frame; a corruption error (alarm — no legal crash produces it)
+    /// when a fully-present frame was damaged.
+    pub fn integrity_error(&self) -> Option<IntegrityError> {
+        match self.break_reason? {
+            WalBreak::TornTail => Some(IntegrityError::TornWalTail {
+                at: self.valid_bytes,
+            }),
+            reason => Some(IntegrityError::WalCorruption {
+                at: self.valid_bytes,
+                reason,
+            }),
+        }
+    }
+
+    /// True when the scan hit damage *inside* the durable prefix — the
+    /// alarm case a scrubber must repair or escalate.
+    pub fn mid_prefix_damage(&self) -> bool {
+        matches!(
+            self.break_reason,
+            Some(WalBreak::CrcMismatch) | Some(WalBreak::StaleSeq) | Some(WalBreak::Malformed)
+        )
+    }
 }
 
 /// An open write-ahead log.
@@ -118,22 +169,26 @@ impl Wal {
                 as usize;
             let end = pos + HEADER + len;
             if end > data.len() {
-                break; // torn frame
+                replay.break_reason = Some(WalBreak::TornTail);
+                break;
             }
             let crc =
                 u32::from_le_bytes([data[pos + 4], data[pos + 5], data[pos + 6], data[pos + 7]]);
             let body = &data[pos + 8..end];
             if crc32(body) != crc {
-                break; // corrupt frame
+                replay.break_reason = Some(WalBreak::CrcMismatch);
+                break;
             }
             let seq = u64::from_le_bytes([
                 body[0], body[1], body[2], body[3], body[4], body[5], body[6], body[7],
             ]);
             if seq <= prev_seq {
-                break; // sequence break: stale bytes past a truncate
+                replay.break_reason = Some(WalBreak::StaleSeq);
+                break;
             }
             let Some(record) = decode_record(body[8], &body[9..]) else {
-                break; // unknown tag / malformed payload
+                replay.break_reason = Some(WalBreak::Malformed);
+                break;
             };
             replay.records.push((seq, record, end));
             replay.valid_bytes = end;
@@ -141,6 +196,10 @@ impl Wal {
             pos = end;
         }
         replay.torn_tail_dropped = replay.valid_bytes < data.len();
+        if replay.torn_tail_dropped && replay.break_reason.is_none() {
+            // leftover bytes too short to even form a header
+            replay.break_reason = Some(WalBreak::TornTail);
+        }
         replay
     }
 
@@ -178,6 +237,7 @@ impl Wal {
         body.push(match record {
             WalRecord::Load { .. } => TAG_LOAD,
             WalRecord::Pul(_) => TAG_PUL,
+            WalRecord::Digest { .. } => TAG_DIGEST,
         });
         body.extend_from_slice(&payload);
         let mut frame = Vec::with_capacity(8 + body.len());
@@ -236,6 +296,13 @@ fn encode_record(record: &WalRecord) -> Vec<u8> {
             out
         }
         WalRecord::Pul(bytes) => bytes.clone(),
+        WalRecord::Digest { uri, digest } => {
+            let mut out = Vec::with_capacity(12 + uri.len());
+            out.extend_from_slice(&(uri.len() as u32).to_le_bytes());
+            out.extend_from_slice(uri.as_bytes());
+            out.extend_from_slice(&digest.to_le_bytes());
+            out
+        }
     }
 }
 
@@ -253,6 +320,16 @@ fn decode_record(tag: u8, payload: &[u8]) -> Option<WalRecord> {
             Some(WalRecord::Load { uri, xml })
         }
         TAG_PUL => Some(WalRecord::Pul(payload.to_vec())),
+        TAG_DIGEST => {
+            let ulen = u32::from_le_bytes(payload.get(0..4)?.try_into().ok()?) as usize;
+            let uri = String::from_utf8(payload.get(4..4 + ulen)?.to_vec()).ok()?;
+            let doff = 4 + ulen;
+            let digest = u64::from_le_bytes(payload.get(doff..doff + 8)?.try_into().ok()?);
+            if doff + 8 != payload.len() {
+                return None;
+            }
+            Some(WalRecord::Digest { uri, digest })
+        }
         _ => None,
     }
 }
@@ -350,6 +427,102 @@ mod tests {
         let mut fresh = Wal::create(VirtualDisk::new(), WAL_FILE);
         fresh.fast_forward(9);
         assert_eq!(fresh.append(&load("d.xml", "<d/>")), 10);
+    }
+
+    #[test]
+    fn digest_records_round_trip() {
+        let disk = VirtualDisk::new();
+        let mut wal = Wal::create(disk.clone(), WAL_FILE);
+        let rec = WalRecord::Digest {
+            uri: "a.xml".to_string(),
+            digest: 0xDEAD_BEEF_0123_4567,
+        };
+        wal.append(&load("a.xml", "<a/>"));
+        wal.append(&rec);
+        wal.sync().unwrap();
+        let replay = Wal::scan(&disk, WAL_FILE);
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.records[1].1, rec);
+        assert_eq!(replay.break_reason, None);
+        assert_eq!(replay.integrity_error(), None);
+    }
+
+    #[test]
+    fn torn_tail_classifies_as_expected_not_alarm() {
+        let disk = VirtualDisk::with_plan(StorageFaultPlan::seeded(11));
+        let mut wal = Wal::create(disk.clone(), WAL_FILE);
+        wal.append(&load("a.xml", "<a/>"));
+        wal.sync().unwrap();
+        wal.append(&load("b.xml", &format!("<b>{}</b>", "x".repeat(500))));
+        disk.crash();
+        let replay = Wal::scan(&disk, WAL_FILE);
+        if replay.torn_tail_dropped {
+            assert_eq!(replay.break_reason, Some(WalBreak::TornTail));
+            assert!(!replay.mid_prefix_damage());
+            assert_eq!(
+                replay.integrity_error(),
+                Some(crate::IntegrityError::TornWalTail {
+                    at: replay.valid_bytes
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn mid_prefix_bit_flip_classifies_as_corruption_alarm() {
+        let disk = VirtualDisk::new();
+        let mut wal = Wal::create(disk.clone(), WAL_FILE);
+        wal.append(&load("a.xml", "<a/>"));
+        wal.append(&load("b.xml", "<b/>"));
+        wal.append(&load("c.xml", "<c/>"));
+        wal.sync().unwrap();
+        // flip one bit inside the *second* frame: frames exist beyond it
+        let mut data = disk.read(WAL_FILE).unwrap();
+        let first_end = Wal::scan(&disk, WAL_FILE).records[0].2;
+        data[first_end + HEADER] ^= 0x40;
+        disk.write_file(WAL_FILE, &data);
+        let replay = Wal::scan(&disk, WAL_FILE);
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(replay.break_reason, Some(WalBreak::CrcMismatch));
+        assert!(replay.mid_prefix_damage());
+        assert_eq!(
+            replay.integrity_error(),
+            Some(crate::IntegrityError::WalCorruption {
+                at: first_end,
+                reason: WalBreak::CrcMismatch
+            })
+        );
+    }
+
+    #[test]
+    fn decay_on_a_synced_wal_is_caught_by_the_crc() {
+        // Latent decay flips a bit somewhere in the synced log with no
+        // crash at all: the scan must stop at (or before) the flipped
+        // frame and classify the damage, never return flipped bytes.
+        let disk = VirtualDisk::with_plan(
+            StorageFaultPlan::seeded(3)
+                .with_decay_permille(60)
+                .with_decay_period_ms(100),
+        );
+        let mut wal = Wal::create(disk.clone(), WAL_FILE);
+        for k in 0..40 {
+            wal.append(&load(
+                &format!("d{k}.xml"),
+                &format!("<d>{}</d>", "y".repeat(50)),
+            ));
+        }
+        wal.sync().unwrap();
+        let clean = Wal::scan(&disk, WAL_FILE);
+        assert_eq!(clean.records.len(), 40);
+        disk.decay_at(2_000);
+        assert!(disk.stats().sectors_decayed > 0, "decay must have struck");
+        let replay = Wal::scan(&disk, WAL_FILE);
+        assert!(replay.records.len() < 40, "damage truncates the scan");
+        assert!(replay.mid_prefix_damage());
+        for (seq, rec, _) in &replay.records {
+            // every record the scan *does* accept is bit-exact
+            assert_eq!((rec, *seq), (&clean.records[*seq as usize - 1].1, *seq));
+        }
     }
 
     #[test]

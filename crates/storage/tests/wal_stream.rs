@@ -16,7 +16,7 @@
 
 use proptest::prelude::*;
 use xqib_storage::wal::ShippedFrame;
-use xqib_storage::{VirtualDisk, Wal, WalRecord, WAL_FILE};
+use xqib_storage::{VirtualDisk, Wal, WalBreak, WalRecord, WAL_FILE};
 
 fn env_seed() -> u64 {
     std::env::var("XQIB_CLUSTER_SEED")
@@ -236,6 +236,180 @@ proptest! {
             prop_assert_eq!(&single.records[0].1, &f.record);
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Decoder fuzz-hardening: arbitrary damage must yield typed errors,
+// never a panic, an abort, or a silently mis-accepted record.
+// ---------------------------------------------------------------------
+
+/// A small store plus a valid encoded PUL touching `db.xml`, covering
+/// targets, strings and qnames — the fuzz corpus the mutation tests chew
+/// on.
+fn sample_wire_encoding() -> (xqib_dom::Store, Vec<u8>) {
+    let mut s = xqib_dom::Store::new();
+    let doc = xqib_dom::parse_document("<r a=\"1\"><c>t</c><c2/></r>").expect("static xml");
+    let d = s.add_document(doc, Some("db.xml"));
+    let doc_root = s.doc(d).root();
+    let root = s.doc(d).children(doc_root)[0];
+    let c = s.doc(d).children(root)[0];
+    let c2 = s.doc(d).children(root)[1];
+    let mut pul = xqib_xquery::pul::Pul::new();
+    pul.push(xqib_xquery::pul::UpdatePrimitive::ReplaceValue {
+        target: xqib_dom::NodeRef::new(d, c),
+        value: "vv".to_string(),
+    });
+    pul.push(xqib_xquery::pul::UpdatePrimitive::Rename {
+        target: xqib_dom::NodeRef::new(d, root),
+        name: xqib_dom::QName::full(None, None, "rn"),
+    });
+    pul.push(xqib_xquery::pul::UpdatePrimitive::Delete {
+        target: xqib_dom::NodeRef::new(d, c2),
+    });
+    let bytes = xqib_xquery::wire::encode_pul(&s, &pul).expect("attached targets encode");
+    (s, bytes)
+}
+
+proptest! {
+    /// Any single bit flip inside a valid WAL image stops the scan exactly
+    /// at the damaged frame: everything before it is accepted verbatim,
+    /// nothing after it, and the break is typed as either a CRC mismatch
+    /// or (for a length-field flip that runs past the end) a torn tail.
+    #[test]
+    fn scan_classifies_any_single_bit_flip_without_misaccepting(
+        seed in 0u64..1u64 << 48,
+        n_frames in 1usize..10,
+        flip_sel in 0u64..1u64 << 32,
+    ) {
+        let mut rng = Rng(seed ^ env_seed().wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let frames = build_frames(&mut rng, n_frames);
+        let mut stream: Vec<u8> = frames.iter().flat_map(|(_, _, b)| b.clone()).collect();
+        let bit = (flip_sel % (stream.len() as u64 * 8)) as usize;
+        stream[bit / 8] ^= 1 << (bit % 8);
+
+        // which frame holds the flipped byte?
+        let mut k = 0usize;
+        let mut off = 0usize;
+        while off + frames[k].2.len() <= bit / 8 {
+            off += frames[k].2.len();
+            k += 1;
+        }
+
+        let replay = Wal::scan_bytes(&stream);
+        let got: Vec<(u64, WalRecord)> = replay
+            .records
+            .iter()
+            .map(|(seq, rec, _)| (*seq, rec.clone()))
+            .collect();
+        let want: Vec<(u64, WalRecord)> = frames[..k]
+            .iter()
+            .map(|(seq, rec, _)| (*seq, rec.clone()))
+            .collect();
+        prop_assert_eq!(&got, &want, "flip in frame {} must stop the scan there", k + 1);
+        prop_assert_eq!(replay.valid_bytes, off);
+        prop_assert!(replay.torn_tail_dropped);
+        let reason = replay.break_reason.expect("damage must be classified");
+        prop_assert!(
+            matches!(reason, WalBreak::CrcMismatch | WalBreak::TornTail),
+            "unexpected break class {reason:?}"
+        );
+        prop_assert!(replay.integrity_error().is_some());
+        // a flip strictly inside the prefix that still CRC-fails is the
+        // alarm shape; only a length-field flip can masquerade as a tear
+        if replay.mid_prefix_damage() {
+            prop_assert!(matches!(reason, WalBreak::CrcMismatch));
+        }
+    }
+
+    /// Truncating a valid WAL image at any point is always the *expected*
+    /// crash shape: the scan accepts every frame wholly inside the cut and
+    /// classifies the remainder as a torn tail — never as mid-prefix
+    /// damage, so a scrubber never alarms on an ordinary crash.
+    #[test]
+    fn truncation_is_a_torn_tail_never_an_alarm(
+        seed in 0u64..1u64 << 48,
+        n_frames in 1usize..10,
+        cut_sel in 0u64..1u64 << 32,
+    ) {
+        let mut rng = Rng(seed.wrapping_add(env_seed()) ^ 0xfeed);
+        let frames = build_frames(&mut rng, n_frames);
+        let stream: Vec<u8> = frames.iter().flat_map(|(_, _, b)| b.clone()).collect();
+        let cut = (cut_sel % stream.len() as u64) as usize; // strictly short
+        let replay = Wal::scan_bytes(&stream[..cut]);
+
+        let mut whole = 0usize;
+        let mut boundary = 0usize;
+        for (_, _, b) in &frames {
+            if boundary + b.len() > cut {
+                break;
+            }
+            boundary += b.len();
+            whole += 1;
+        }
+        prop_assert_eq!(replay.records.len(), whole);
+        prop_assert_eq!(replay.valid_bytes, boundary);
+        prop_assert!(!replay.mid_prefix_damage(), "a tear is not an alarm");
+        if cut > boundary {
+            prop_assert!(replay.torn_tail_dropped);
+            prop_assert!(matches!(replay.break_reason, Some(WalBreak::TornTail)));
+        } else {
+            prop_assert!(!replay.torn_tail_dropped);
+            prop_assert!(replay.break_reason.is_none());
+        }
+    }
+
+    /// Every strict truncation of a valid wire-encoded PUL is refused with
+    /// the typed wire error — by the full decoder and the URI skimmer
+    /// alike. Nothing panics, nothing half-applies.
+    #[test]
+    fn wire_decode_refuses_any_truncation_with_a_typed_error(cut_sel in 0u64..1u64 << 32) {
+        let (mut store, bytes) = sample_wire_encoding();
+        let cut = (cut_sel % bytes.len() as u64) as usize;
+        let err = xqib_xquery::wire::decode_pul(&mut store, &bytes[..cut])
+            .expect_err("strict truncation must not decode");
+        prop_assert_eq!(err.code.as_str(), xqib_xquery::wire::WIRE_ERR);
+        let err = xqib_xquery::wire::pul_doc_uris(&bytes[..cut])
+            .expect_err("strict truncation must not skim");
+        prop_assert_eq!(err.code.as_str(), xqib_xquery::wire::WIRE_ERR);
+    }
+
+    /// Arbitrary byte mutations of a valid wire-encoded PUL either decode
+    /// cleanly (the flip landed in free payload text) or fail with the
+    /// typed wire error — never a panic or an unbounded allocation.
+    #[test]
+    fn wire_decode_survives_arbitrary_mutations(
+        seed in 0u64..1u64 << 48,
+        n_mutations in 1usize..6,
+    ) {
+        let (mut store, mut bytes) = sample_wire_encoding();
+        let mut rng = Rng(seed ^ env_seed().rotate_left(17));
+        for _ in 0..n_mutations {
+            let pos = rng.below(bytes.len() as u64) as usize;
+            bytes[pos] ^= 1 << rng.below(8);
+        }
+        if let Err(e) = xqib_xquery::wire::decode_pul(&mut store, &bytes) {
+            prop_assert_eq!(e.code.as_str(), xqib_xquery::wire::WIRE_ERR);
+        }
+        if let Err(e) = xqib_xquery::wire::pul_doc_uris(&bytes) {
+            prop_assert_eq!(e.code.as_str(), xqib_xquery::wire::WIRE_ERR);
+        }
+    }
+}
+
+/// Regression for the length-bomb: a corrupt count field claiming four
+/// billion path steps must produce the typed truncation error, not an
+/// out-of-memory abort from a pre-allocation the buffer cannot back.
+#[test]
+fn wire_decode_rejects_a_length_bomb_without_allocating() {
+    let (mut store, mut bytes) = sample_wire_encoding();
+    // layout: prim count u32 | tag u8 | uri len u32 | "db.xml" | path len u32
+    let path_len_at = 4 + 1 + 4 + "db.xml".len();
+    bytes[path_len_at..path_len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    let err = xqib_xquery::wire::decode_pul(&mut store, &bytes)
+        .expect_err("a length bomb must not decode");
+    assert_eq!(err.code.as_str(), xqib_xquery::wire::WIRE_ERR);
+    let err = xqib_xquery::wire::pul_doc_uris(&bytes).expect_err("nor skim");
+    assert_eq!(err.code.as_str(), xqib_xquery::wire::WIRE_ERR);
 }
 
 /// A resent batch appended after the live log (duplicate seqs) must not

@@ -99,6 +99,13 @@ impl<'a> Reader<'a> {
     fn done(&self) -> bool {
         self.pos == self.buf.len()
     }
+
+    /// Bytes left — the honest ceiling for any length-prefixed
+    /// pre-allocation, so a corrupt count can never trigger an
+    /// out-of-memory abort where a typed error is expected.
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
 }
 
 fn put_qname(out: &mut Vec<u8>, name: &QName) {
@@ -138,7 +145,9 @@ fn put_target(out: &mut Vec<u8>, store: &Store, n: NodeRef) -> XdmResult<()> {
 fn read_target(r: &mut Reader, store: &Store) -> XdmResult<NodeRef> {
     let uri = r.str()?;
     let len = r.u32()? as usize;
-    let mut path = Vec::with_capacity(len);
+    // each path step is 4 bytes: a corrupt count cannot out-allocate the
+    // buffer that is supposed to carry it
+    let mut path = Vec::with_capacity(len.min(r.remaining() / 4));
     for _ in 0..len {
         path.push(r.u32()?);
     }
@@ -218,7 +227,8 @@ fn read_tree(r: &mut Reader, store: &mut Store, dst: xqib_dom::DocId) -> XdmResu
         K_ELEM => {
             let name = read_qname(r)?;
             let n_decls = r.u32()? as usize;
-            let mut decls = Vec::with_capacity(n_decls);
+            // two length-prefixed strings per decl = at least 8 bytes each
+            let mut decls = Vec::with_capacity(n_decls.min(r.remaining() / 8));
             for _ in 0..n_decls {
                 let p = r.str()?;
                 let u = r.str()?;
@@ -282,7 +292,8 @@ fn put_trees(out: &mut Vec<u8>, store: &Store, nodes: &[NodeRef]) -> XdmResult<(
 
 fn read_trees(r: &mut Reader, store: &mut Store, dst: xqib_dom::DocId) -> XdmResult<Vec<NodeRef>> {
     let n = r.u32()? as usize;
-    let mut out = Vec::with_capacity(n);
+    // every encoded tree is at least one kind byte
+    let mut out = Vec::with_capacity(n.min(r.remaining()));
     for _ in 0..n {
         out.push(read_tree(r, store, dst)?);
     }

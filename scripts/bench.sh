@@ -26,6 +26,12 @@
 #                           1-follower vs 2-follower deployments under a
 #                           mid-run leader crash, in virtual time (the
 #                           bench binary writes this report itself)
+#   BENCH_scrub.json      — anti-entropy scrubbing (scrub): latent decay
+#                           at rising intensities over a replicated shard
+#                           with a mid-run leader crash — corruption
+#                           detected/repaired, demotions, read refusals,
+#                           acked updates preserved, in virtual time (the
+#                           bench binary writes this report itself)
 #   BENCH_fleet.json      — browser fleet (fleet): 100 Elsevier clients
 #                           with whole-document caching vs cache-busting
 #                           URLs (origin traffic + cache-hit ratio), plus
@@ -95,10 +101,11 @@ rm -rf target/criterion
 cargo bench -p xqib-bench --bench plan_eval
 harvest BENCH_plan_eval.json
 
-# The overload, cluster and fleet experiments measure virtual-time
+# The overload, cluster, scrub and fleet experiments measure virtual-time
 # goodput/latency, not wall-clock ns/iter, so their binaries write
-# BENCH_overload.json / BENCH_cluster.json / BENCH_fleet.json directly
-# (no criterion harvest).
+# BENCH_overload.json / BENCH_cluster.json / BENCH_scrub.json /
+# BENCH_fleet.json directly (no criterion harvest).
 cargo bench -p xqib-bench --bench overload
 cargo bench -p xqib-bench --bench cluster_failover
+cargo bench -p xqib-bench --bench scrub
 cargo bench -p xqib-bench --bench fleet
