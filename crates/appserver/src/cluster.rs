@@ -38,9 +38,29 @@
 //!
 //! Everything runs on virtual time and seeded draws: identical seeds give
 //! bit-identical replication schedules, failovers and reports.
+//!
+//! # Online membership & live resharding
+//!
+//! Topology is no longer fixed at construction: the ring is versioned by a
+//! [`TopologyEpoch`], and [`Cluster::add_shard`] /
+//! [`Cluster::decommission_shard`] / [`Cluster::rebalance`] reshape it
+//! *live*. A ring change never moves routing by itself — every document
+//! stays **homed** on the shard currently serving it until its own
+//! two-phase migration completes: (1) a checkpoint-style snapshot copy is
+//! installed at the destination leader (journaled like any load, so the
+//! destination's followers pick it up over the ordinary WAL-shipping
+//! resync path) while the source keeps serving; then (2) after the copy
+//! window, the destination is integrity-checked (rot forces a clean
+//! re-copy, never a rotten cutover), the WAL tail of updates the source
+//! accepted during the copy is forwarded, and the cutover fence is
+//! stamped atomically: the source refuses the document with 421 + the new
+//! epoch, and routing flips to the destination in the same tick.
+//! Decommission drains every homed document this way, then retires the
+//! shard's seats. Migrations compose with crashes, partitions and decay:
+//! a step that needs a leader simply waits for failover to supply one.
 
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 use xqib_browser::recovery::{CircuitBreaker, RecoveryStats, RetryPolicy};
@@ -115,33 +135,56 @@ fn parse_attr(xml: &str, name: &str) -> Option<u64> {
 // Routing
 // ---------------------------------------------------------------------
 
-/// Consistent-hash ring mapping document URIs to shards. Every shard
+/// Consistent-hash ring mapping document URIs to shards. Every member
 /// contributes `VNODES` seeded points; a URI belongs to the first point at
-/// or after its own hash (wrapping). Deterministic in `(shards, seed)`.
+/// or after its own hash (wrapping). Deterministic in `(members, seed)`.
+/// A member's points depend only on its own id, so growing the ring moves
+/// the minimum: only the keys that land on the new member's arcs.
 #[derive(Debug, Clone)]
 pub struct Router {
     ring: Vec<(u64, usize)>,
-    shards: usize,
+    members: Vec<usize>,
 }
 
-const VNODES: u64 = 16;
+/// Virtual points per member. Load imbalance of a random-point ring
+/// scales as `1/sqrt(VNODES)` — 128 points keeps the max/min shard load
+/// within 3× with wide margin for any realistic member count (the
+/// ring-balance property test in `tests/reshard.rs` enforces this).
+const VNODES: u64 = 128;
 
 impl Router {
     pub fn new(shards: usize, seed: u64) -> Router {
-        let shards = shards.max(1);
-        let mut ring = Vec::with_capacity(shards * VNODES as usize);
-        for s in 0..shards {
+        let members: Vec<usize> = (0..shards.max(1)).collect();
+        Router::with_members(&members, seed)
+    }
+
+    /// A ring over an explicit member set — live topologies are sparse
+    /// (a decommissioned shard's id never comes back).
+    pub fn with_members(members: &[usize], seed: u64) -> Router {
+        let mut members = members.to_vec();
+        members.sort_unstable();
+        members.dedup();
+        if members.is_empty() {
+            members.push(0);
+        }
+        let mut ring = Vec::with_capacity(members.len() * VNODES as usize);
+        for &s in &members {
             for v in 0..VNODES {
                 ring.push((mix64(seed ^ ((s as u64) << 20) ^ v), s));
             }
         }
         ring.sort_unstable();
         ring.dedup_by_key(|(h, _)| *h);
-        Router { ring, shards }
+        Router { ring, members }
     }
 
     pub fn shards(&self) -> usize {
-        self.shards
+        self.members.len()
+    }
+
+    /// The shard ids participating in this ring, sorted.
+    pub fn members(&self) -> &[usize] {
+        &self.members
     }
 
     /// The shard that owns `uri`.
@@ -156,6 +199,213 @@ impl Router {
         };
         self.ring[i].1
     }
+}
+
+// ---------------------------------------------------------------------
+// Topology: epoch-versioned ring + document homes
+// ---------------------------------------------------------------------
+
+/// Monotonic version of the cluster's routing state. Bumped on every ring
+/// change; surfaced in 421 fencing refusals so clients re-resolve.
+pub type TopologyEpoch = u64;
+
+/// A scheduled membership / ring operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyChange {
+    /// Grow the ring by one fresh shard (next free id).
+    AddShard,
+    /// Drain every document homed on this shard, then retire its seats.
+    Decommission(usize),
+    /// Reseed the ring over the same members (moves a salted subset of
+    /// keys — the "hot shard" relief valve).
+    Rebalance(u64),
+}
+
+/// Cumulative resharding counters, mirrored into [`ServerMetrics`] via
+/// [`ServerMetrics::record_resharding`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ReshardStats {
+    /// Ring installs (add, decommission, rebalance) — each bumps the epoch.
+    pub epoch_bumps: u64,
+    /// Per-document migrations that entered the copy phase.
+    pub migrations_started: u64,
+    /// Migrations that reached cutover.
+    pub migrations_completed: u64,
+    /// Copy phases abandoned: destination rot forced a re-copy, or a ring
+    /// change retargeted the document mid-flight.
+    pub migrations_aborted: u64,
+    /// Documents whose home moved to a new shard.
+    pub docs_moved: u64,
+    /// Committed WAL records the source accepted during a copy window and
+    /// forwarded to the destination before cutover.
+    pub tail_frames_forwarded: u64,
+    /// Fences stamped at cutover (source starts refusing with 421 + epoch).
+    pub cutover_fences: u64,
+    /// Decommissioned shards fully drained and retired.
+    pub drains: u64,
+}
+
+/// Shared routing state: the ring, its epoch, and the per-document *home*
+/// pins that keep routing stable while migrations are in flight. Cheap to
+/// clone — all holders see every install and cutover instantly.
+#[derive(Clone)]
+pub(crate) struct Topology {
+    state: Rc<RefCell<TopologyState>>,
+}
+
+struct TopologyState {
+    router: Router,
+    epoch: TopologyEpoch,
+    /// Documents pinned to the shard currently serving them. Routing
+    /// consults homes *before* the ring, so a ring install moves no
+    /// traffic until the per-document cutover flips the pin.
+    homes: BTreeMap<String, usize>,
+    /// Every shard that has ever legitimately held a copy of the document.
+    /// Grows monotonically: the store has no removal API, so source
+    /// replicas and aborted-copy destinations keep the bytes and must keep
+    /// accepting replication frames for them.
+    resident: BTreeMap<String, Vec<usize>>,
+}
+
+impl Topology {
+    fn new(router: Router) -> Topology {
+        Topology {
+            state: Rc::new(RefCell::new(TopologyState {
+                router,
+                epoch: 0,
+                homes: BTreeMap::new(),
+                resident: BTreeMap::new(),
+            })),
+        }
+    }
+
+    fn epoch(&self) -> TopologyEpoch {
+        self.state.borrow().epoch
+    }
+
+    /// The shard a request for `uri` must go to *now*: its home pin if it
+    /// has one, else the ring.
+    fn owner(&self, uri: &str) -> usize {
+        let st = self.state.borrow();
+        match st.homes.get(uri) {
+            Some(&s) => s,
+            None => st.router.owner(uri),
+        }
+    }
+
+    /// Where the current ring says `uri` should eventually live.
+    fn ring_owner(&self, uri: &str) -> usize {
+        self.state.borrow().router.owner(uri)
+    }
+
+    fn members(&self) -> Vec<usize> {
+        self.state.borrow().router.members().to_vec()
+    }
+
+    /// Whether `shard` may hold/replicate `uri`: it is the home, or a
+    /// past/under-copy resident.
+    fn replicable_at(&self, shard: usize, uri: &str) -> bool {
+        let st = self.state.borrow();
+        match st.homes.get(uri) {
+            Some(&home) if home == shard => return true,
+            None if st.router.owner(uri) == shard => return true,
+            _ => {}
+        }
+        st.resident.get(uri).is_some_and(|r| r.contains(&shard))
+    }
+
+    /// Installs a new ring and bumps the epoch.
+    fn install(&self, router: Router) -> TopologyEpoch {
+        let mut st = self.state.borrow_mut();
+        st.router = router;
+        st.epoch += 1;
+        st.epoch
+    }
+
+    /// Pins `uri` to the shard that loaded it.
+    fn note_home(&self, uri: &str, shard: usize) {
+        let mut st = self.state.borrow_mut();
+        st.homes.insert(uri.to_string(), shard);
+        let res = st.resident.entry(uri.to_string()).or_default();
+        if !res.contains(&shard) {
+            res.push(shard);
+        }
+    }
+
+    /// Marks `to` a legitimate resident while the copy runs.
+    fn begin_copy(&self, uri: &str, to: usize) {
+        let mut st = self.state.borrow_mut();
+        let res = st.resident.entry(uri.to_string()).or_default();
+        if !res.contains(&to) {
+            res.push(to);
+        }
+    }
+
+    /// Atomic cutover: the home pin flips to `to` and the epoch bumps in
+    /// one tick, so the source's acceptances (old epoch) and the
+    /// destination's (new epoch) can never share an epoch. `from` stays
+    /// resident (its replicas keep the bytes forever).
+    fn cutover(&self, uri: &str, to: usize) -> TopologyEpoch {
+        let mut st = self.state.borrow_mut();
+        st.homes.insert(uri.to_string(), to);
+        let res = st.resident.entry(uri.to_string()).or_default();
+        if !res.contains(&to) {
+            res.push(to);
+        }
+        st.epoch += 1;
+        st.epoch
+    }
+
+    /// Snapshot of every document's current home, sorted by URI.
+    fn homes(&self) -> Vec<(String, usize)> {
+        self.state
+            .borrow()
+            .homes
+            .iter()
+            .map(|(u, &s)| (u.clone(), s))
+            .collect()
+    }
+}
+
+/// One in-flight two-phase document migration.
+#[derive(Debug, Clone)]
+struct Migration {
+    uri: String,
+    from: usize,
+    to: usize,
+    phase: MigrationPhase,
+}
+
+#[derive(Debug, Clone)]
+enum MigrationPhase {
+    /// Waiting for live leaders on both ends to start the copy.
+    Pending,
+    /// Snapshot installed at the destination; the source keeps serving
+    /// until `done_at`, then the tail is forwarded and the fence stamped.
+    Copying {
+        done_at: u64,
+        base_seq: u64,
+        copy_digest: u64,
+    },
+}
+
+/// Outcome of one cutover attempt.
+enum CutoverStep {
+    /// Fence stamped; the migration is finished.
+    Done,
+    /// Destination integrity failed — restart the copy phase.
+    Recopy,
+    /// A needed leader is missing, or the destination copy is not yet
+    /// follower-durable; try again next tick.
+    Wait,
+    /// The source accepted updates during the copy window: the refreshed
+    /// snapshot was re-installed at the destination and must replicate
+    /// there before the fence is considered again.
+    Forwarded {
+        base_seq: u64,
+        copy_digest: u64,
+        tail: u64,
+    },
 }
 
 // ---------------------------------------------------------------------
@@ -285,6 +535,10 @@ pub struct ClusterConfig {
     /// How long a quarantined follower stays out of the read pool before
     /// probation; readmission still requires its digests to match.
     pub quarantine_ms: u64,
+    /// Copy-phase window of a document migration, virtual ms: how long the
+    /// source keeps serving (accumulating a WAL tail) after the snapshot
+    /// lands at the destination, before tail-forwarding and cutover.
+    pub migration_copy_ms: u64,
 }
 
 impl Default for ClusterConfig {
@@ -311,6 +565,7 @@ impl Default for ClusterConfig {
             disk_fault: None,
             scrub_interval_ms: 250,
             quarantine_ms: 400,
+            migration_copy_ms: 40,
         }
     }
 }
@@ -328,7 +583,7 @@ pub struct ReplicaNode {
     store: SharedStore,
     disk: VirtualDisk,
     cfg: DurabilityConfig,
-    router: Rc<Router>,
+    topology: Topology,
     stats: Rc<RefCell<ReplicationStats>>,
     ckpt_gen: u64,
     /// Highest frame applied to the in-memory store.
@@ -341,7 +596,7 @@ impl ReplicaNode {
     fn fresh(
         shard: usize,
         disk: VirtualDisk,
-        router: Rc<Router>,
+        topology: Topology,
         stats: Rc<RefCell<ReplicationStats>>,
         cfg: DurabilityConfig,
     ) -> ReplicaNode {
@@ -352,7 +607,7 @@ impl ReplicaNode {
             store: shared_store(),
             disk,
             cfg,
-            router,
+            topology,
             stats,
             ckpt_gen: 0,
             applied: 0,
@@ -376,12 +631,15 @@ impl ReplicaNode {
 
     fn owns(&self, record: &WalRecord) -> bool {
         match record {
-            WalRecord::Load { uri, .. } => self.router.owner(uri) == self.shard,
+            WalRecord::Load { uri, .. } | WalRecord::Digest { uri, .. } => {
+                self.topology.replicable_at(self.shard, uri)
+            }
             WalRecord::Pul(bytes) => match wire::pul_doc_uris(bytes) {
-                Ok(uris) => uris.iter().all(|u| self.router.owner(u) == self.shard),
+                Ok(uris) => uris
+                    .iter()
+                    .all(|u| self.topology.replicable_at(self.shard, u)),
                 Err(_) => false,
             },
-            WalRecord::Digest { uri, .. } => self.router.owner(uri) == self.shard,
         }
     }
 
@@ -434,7 +692,7 @@ impl ReplicaNode {
         }
         let ck = Checkpoint::decode(data)?;
         for (uri, _) in &ck.docs {
-            if self.router.owner(uri) != self.shard {
+            if !self.topology.replicable_at(self.shard, uri) {
                 self.stats.borrow_mut().ownership_rejections += 1;
                 return None;
             }
@@ -642,6 +900,11 @@ struct Shard {
     next_probe_at: u64,
     /// Probe answers `(term, acked)` gathered during the current failover.
     probed: Vec<Option<(u64, u64)>>,
+    /// Decommission in progress: out of the ring, still serving its homed
+    /// documents until each one's migration cuts over.
+    draining: bool,
+    /// Fully drained and shut down; refuses everything with 421.
+    retired: bool,
 }
 
 /// How a cluster request ended.
@@ -690,11 +953,17 @@ pub enum Submitted {
 /// The replicated tier. See the module docs for the protocol.
 pub struct Cluster {
     cfg: ClusterConfig,
-    router: Rc<Router>,
+    topology: Topology,
+    /// Seed of the currently installed ring; [`Cluster::rebalance`] folds
+    /// a salt into it.
+    ring_seed: u64,
     net: VirtualNetwork,
     shards: Vec<Shard>,
     stats: Rc<RefCell<ReplicationStats>>,
     istats: IntegrityStats,
+    rstats: ReshardStats,
+    migrations: Vec<Migration>,
+    topo_schedule: Vec<(u64, TopologyChange)>,
     crashes: Vec<(u64, usize)>,
     next_id: u64,
     read_rr: u64,
@@ -705,76 +974,24 @@ pub struct Cluster {
 impl Cluster {
     pub fn new(cfg: ClusterConfig) -> Cluster {
         let nshards = cfg.shards.max(1);
-        let router = Rc::new(Router::new(nshards, cfg.seed));
+        let topology = Topology::new(Router::new(nshards, cfg.seed));
         let stats = Rc::new(RefCell::new(ReplicationStats::default()));
         let mut net = VirtualNetwork::new();
         let mut shards = Vec::with_capacity(nshards);
         for s in 0..nshards {
-            let mut seats = Vec::with_capacity(cfg.followers + 1);
-            for slot in 0..=cfg.followers {
-                let host = format!("s{s}r{slot}.xqib");
-                let disk = match &cfg.disk_fault {
-                    Some(plan) => {
-                        let mut plan = plan.clone();
-                        plan.seed = mix64(cfg.seed ^ 0xd15c ^ ((s as u64) << 32) ^ slot as u64);
-                        VirtualDisk::with_plan(plan)
-                    }
-                    None => VirtualDisk::new(),
-                };
-                let replica: Rc<RefCell<Option<ReplicaNode>>> = Rc::new(RefCell::new(None));
-                if slot != 0 {
-                    *replica.borrow_mut() = Some(ReplicaNode::fresh(
-                        s,
-                        disk.clone(),
-                        router.clone(),
-                        stats.clone(),
-                        cfg.follower_durability,
-                    ));
-                    if let Some(plan) = &cfg.repl_fault {
-                        let mut plan = plan.clone();
-                        plan.seed = mix64(cfg.seed ^ ((s as u64) << 32) ^ slot as u64);
-                        net.set_fault_plan(&host, plan);
-                    }
-                }
-                let handler_node = replica.clone();
-                net.register(
-                    &format!("http://{host}/"),
-                    cfg.link_latency_ms,
-                    move |req| ReplicaNode::handle(&handler_node, req),
-                );
-                seats.push(Seat {
-                    host,
-                    disk,
-                    replica,
-                    acked: 0,
-                    shipped_top: 0,
-                    attempt: 0,
-                    next_send_at: 0,
-                    force_snapshot: false,
-                    breaker: CircuitBreaker::new(cfg.breaker_failures, cfg.breaker_open_ms),
-                    rstats: RecoveryStats::default(),
-                    health: SeatHealth::Healthy,
-                });
-            }
-            let db = XmlDb::durable(seats[0].disk.clone(), cfg.durability);
-            shards.push(Shard {
-                term: 1,
-                leader: Some(AppServer::from_db(db)),
-                leader_seat: 0,
-                seats,
-                pending: VecDeque::new(),
-                leaderless_since: None,
-                next_probe_at: 0,
-                probed: vec![None; cfg.followers + 1],
-            });
+            shards.push(Cluster::spawn_shard(&cfg, &mut net, &topology, &stats, s));
         }
         Cluster {
+            ring_seed: cfg.seed,
             cfg,
-            router,
+            topology,
             net,
             shards,
             stats,
             istats: IntegrityStats::default(),
+            rstats: ReshardStats::default(),
+            migrations: Vec::new(),
+            topo_schedule: Vec::new(),
             crashes: Vec::new(),
             next_id: 0,
             read_rr: 0,
@@ -783,12 +1000,114 @@ impl Cluster {
         }
     }
 
+    /// Builds one shard's seats (leader + followers) and wires its hosts
+    /// into the network. Associated so [`Cluster::add_shard`] can call it
+    /// with disjoint field borrows.
+    fn spawn_shard(
+        cfg: &ClusterConfig,
+        net: &mut VirtualNetwork,
+        topology: &Topology,
+        stats: &Rc<RefCell<ReplicationStats>>,
+        s: usize,
+    ) -> Shard {
+        let mut seats = Vec::with_capacity(cfg.followers + 1);
+        for slot in 0..=cfg.followers {
+            let host = format!("s{s}r{slot}.xqib");
+            let disk = match &cfg.disk_fault {
+                Some(plan) => {
+                    let mut plan = plan.clone();
+                    plan.seed = mix64(cfg.seed ^ 0xd15c ^ ((s as u64) << 32) ^ slot as u64);
+                    VirtualDisk::with_plan(plan)
+                }
+                None => VirtualDisk::new(),
+            };
+            let replica: Rc<RefCell<Option<ReplicaNode>>> = Rc::new(RefCell::new(None));
+            if slot != 0 {
+                *replica.borrow_mut() = Some(ReplicaNode::fresh(
+                    s,
+                    disk.clone(),
+                    topology.clone(),
+                    stats.clone(),
+                    cfg.follower_durability,
+                ));
+                if let Some(plan) = &cfg.repl_fault {
+                    let mut plan = plan.clone();
+                    plan.seed = mix64(cfg.seed ^ ((s as u64) << 32) ^ slot as u64);
+                    net.set_fault_plan(&host, plan);
+                }
+            }
+            let handler_node = replica.clone();
+            net.register(
+                &format!("http://{host}/"),
+                cfg.link_latency_ms,
+                move |req| ReplicaNode::handle(&handler_node, req),
+            );
+            seats.push(Seat {
+                host,
+                disk,
+                replica,
+                acked: 0,
+                shipped_top: 0,
+                attempt: 0,
+                next_send_at: 0,
+                force_snapshot: false,
+                breaker: CircuitBreaker::new(cfg.breaker_failures, cfg.breaker_open_ms),
+                rstats: RecoveryStats::default(),
+                health: SeatHealth::Healthy,
+            });
+        }
+        let db = XmlDb::durable(seats[0].disk.clone(), cfg.durability);
+        Shard {
+            term: 1,
+            leader: Some(AppServer::from_db(db)),
+            leader_seat: 0,
+            seats,
+            pending: VecDeque::new(),
+            leaderless_since: None,
+            next_probe_at: 0,
+            probed: vec![None; cfg.followers + 1],
+            draining: false,
+            retired: false,
+        }
+    }
+
     pub fn shard_count(&self) -> usize {
         self.shards.len()
     }
 
     pub fn owner(&self, uri: &str) -> usize {
-        self.router.owner(uri)
+        self.topology.owner(uri)
+    }
+
+    /// Current topology epoch; bumped by every ring install.
+    pub fn epoch(&self) -> TopologyEpoch {
+        self.topology.epoch()
+    }
+
+    /// Cumulative resharding counters.
+    pub fn reshard_stats(&self) -> ReshardStats {
+        self.rstats.clone()
+    }
+
+    /// Document migrations currently in flight.
+    pub fn migrations_in_flight(&self) -> usize {
+        self.migrations.len()
+    }
+
+    /// Whether a shard has been decommissioned, drained and shut down.
+    pub fn is_retired(&self, shard: usize) -> bool {
+        self.shards.get(shard).is_some_and(|sh| sh.retired)
+    }
+
+    /// Whether a shard is draining toward retirement.
+    pub fn is_draining(&self, shard: usize) -> bool {
+        self.shards.get(shard).is_some_and(|sh| sh.draining)
+    }
+
+    /// Schedules a topology change; [`advance`](Self::advance) applies it.
+    pub fn schedule_topology(&mut self, at: u64, change: TopologyChange) {
+        self.topo_schedule.push((at, change));
+        self.topo_schedule.sort_by_key(|(t, _)| *t);
     }
 
     pub fn term(&self, shard: usize) -> u64 {
@@ -847,7 +1166,7 @@ impl Cluster {
 
     /// Serialized document from the owning shard's leader.
     pub fn serialize(&self, uri: &str) -> Option<String> {
-        let shard = &self.shards[self.router.owner(uri)];
+        let shard = &self.shards[self.topology.owner(uri)];
         shard.leader.as_ref().and_then(|l| l.db.serialize(uri))
     }
 
@@ -856,13 +1175,15 @@ impl Cluster {
         self.serialize(uri).is_some_and(|xml| xml.contains(needle))
     }
 
-    /// Loads a document into its owning shard; returns the shard index.
+    /// Loads a document into its owning shard and pins its home there;
+    /// returns the shard index.
     pub fn load(&mut self, uri: &str, xml: &str) -> Option<usize> {
-        let s = self.router.owner(uri);
+        let s = self.topology.owner(uri);
         let leader = self.shards[s].leader.as_mut()?;
         leader.db.load(uri, xml).ok()?;
         let _ = leader.db.commit();
         leader.refresh_snapshots();
+        self.topology.note_home(uri, s);
         Some(s)
     }
 
@@ -898,7 +1219,382 @@ impl Cluster {
         self.net.set_fault_plan(&host, plan);
     }
 
-    fn routing_uri(url: &str) -> String {
+    // -----------------------------------------------------------------
+    // Online membership & resharding
+    // -----------------------------------------------------------------
+
+    /// Grows the cluster by one fresh shard (next free id), installs a
+    /// ring that includes it, and plans migrations for every document the
+    /// new ring claims. Returns the new shard's id.
+    pub fn add_shard(&mut self, now: u64) -> usize {
+        let s = self.shards.len();
+        let shard = Cluster::spawn_shard(&self.cfg, &mut self.net, &self.topology, &self.stats, s);
+        self.shards.push(shard);
+        let mut members = self.topology.members();
+        members.push(s);
+        self.install_ring(&members, now);
+        s
+    }
+
+    /// Starts decommissioning a shard: it leaves the ring, every document
+    /// homed on it is queued for migration, and once drained its seats are
+    /// retired. Returns false if the shard cannot be decommissioned (bad
+    /// id, already draining/retired, or last member standing).
+    pub fn decommission_shard(&mut self, s: usize, now: u64) -> bool {
+        let Some(sh) = self.shards.get(s) else {
+            return false;
+        };
+        if sh.draining || sh.retired {
+            return false;
+        }
+        let members: Vec<usize> = self
+            .topology
+            .members()
+            .into_iter()
+            .filter(|&m| m != s)
+            .collect();
+        if members.is_empty() {
+            return false;
+        }
+        self.shards[s].draining = true;
+        self.install_ring(&members, now);
+        true
+    }
+
+    /// Reseeds the ring over the same members, moving a salted subset of
+    /// keys — relief for a hot shard without changing membership.
+    pub fn rebalance(&mut self, salt: u64, now: u64) {
+        self.ring_seed = mix64(self.ring_seed ^ 0x4eba ^ salt);
+        let members = self.topology.members();
+        self.install_ring(&members, now);
+    }
+
+    fn install_ring(&mut self, members: &[usize], now: u64) {
+        self.topology
+            .install(Router::with_members(members, self.ring_seed));
+        self.rstats.epoch_bumps += 1;
+        self.plan_migrations(now);
+    }
+
+    /// Applies a scheduled [`TopologyChange`].
+    fn apply_change(&mut self, change: TopologyChange, now: u64) {
+        match change {
+            TopologyChange::AddShard => {
+                self.add_shard(now);
+            }
+            TopologyChange::Decommission(s) => {
+                self.decommission_shard(s, now);
+            }
+            TopologyChange::Rebalance(salt) => self.rebalance(salt, now),
+        }
+    }
+
+    /// Reconciles the migration queue against the freshly installed ring:
+    /// in-flight migrations whose destination the new ring disagrees with
+    /// are aborted (their copies stay resident, harmlessly), and every
+    /// homed document the ring wants elsewhere gets a migration.
+    fn plan_migrations(&mut self, _now: u64) {
+        let mut i = 0;
+        while i < self.migrations.len() {
+            let keep = {
+                let m = &self.migrations[i];
+                self.topology.ring_owner(&m.uri) == m.to
+            };
+            if keep {
+                i += 1;
+            } else {
+                self.migrations.remove(i);
+                self.rstats.migrations_aborted += 1;
+            }
+        }
+        for (uri, home) in self.topology.homes() {
+            if self.shards[home].retired {
+                continue; // already moved; stale schedule entry
+            }
+            let want = self.topology.ring_owner(&uri);
+            if want == home || self.shards[want].retired {
+                continue;
+            }
+            if self.migrations.iter().any(|m| m.uri == uri) {
+                continue;
+            }
+            self.migrations.push(Migration {
+                uri,
+                from: home,
+                to: want,
+                phase: MigrationPhase::Pending,
+            });
+        }
+    }
+
+    /// Drives every in-flight migration one step. Each step needs live
+    /// leaders on both ends — a crash mid-migration simply pauses the
+    /// document until failover supplies a leader again.
+    fn drive_migrations(&mut self, now: u64) {
+        let mut finished: Vec<usize> = Vec::new();
+        for mi in 0..self.migrations.len() {
+            let (uri, from, to, phase) = {
+                let m = &self.migrations[mi];
+                (m.uri.clone(), m.from, m.to, m.phase.clone())
+            };
+            match phase {
+                MigrationPhase::Pending => {
+                    // A home pin can outlive the bytes: a pre-migration
+                    // failover may have promoted a follower that never
+                    // replicated the document. Such a move is vacuous —
+                    // nothing to copy, so the pin just flips at a fresh
+                    // epoch and the ring converges instead of waiting
+                    // forever for a snapshot that cannot exist.
+                    let src_empty = match self.shards[from].leader.as_mut() {
+                        Some(l) => {
+                            let _ = l.db.commit();
+                            l.db.serialize(&uri).is_none()
+                        }
+                        None => false,
+                    };
+                    if src_empty {
+                        let _ = self.topology.cutover(&uri, to);
+                        self.rstats.cutover_fences += 1;
+                        self.rstats.migrations_completed += 1;
+                        finished.push(mi);
+                    } else if let Some(next) = self.start_copy(&uri, from, to, now) {
+                        self.migrations[mi].phase = next;
+                    }
+                }
+                MigrationPhase::Copying {
+                    done_at,
+                    base_seq,
+                    copy_digest,
+                } => {
+                    if now < done_at {
+                        continue;
+                    }
+                    match self.try_cutover(&uri, from, to, base_seq, copy_digest) {
+                        CutoverStep::Done => finished.push(mi),
+                        CutoverStep::Recopy => {
+                            self.rstats.migrations_aborted += 1;
+                            self.migrations[mi].phase = MigrationPhase::Pending;
+                        }
+                        CutoverStep::Wait => {}
+                        CutoverStep::Forwarded {
+                            base_seq,
+                            copy_digest,
+                            tail,
+                        } => {
+                            self.rstats.tail_frames_forwarded += tail;
+                            // a forwarded tail is a fresh copy: it pays the
+                            // same settle delay before the next fence check,
+                            // so a hot document is re-checked per copy
+                            // window, not per tick
+                            self.migrations[mi].phase = MigrationPhase::Copying {
+                                done_at: now + self.cfg.migration_copy_ms,
+                                base_seq,
+                                copy_digest,
+                            };
+                        }
+                    }
+                }
+            }
+        }
+        for mi in finished.into_iter().rev() {
+            self.migrations.remove(mi);
+        }
+        self.retire_drained(now);
+    }
+
+    /// Phase 1: snapshot the document at the source and install it at the
+    /// destination leader (journaled like any load, so the destination's
+    /// followers replicate it over the ordinary WAL-shipping path). The
+    /// source keeps serving throughout.
+    fn start_copy(
+        &mut self,
+        uri: &str,
+        from: usize,
+        to: usize,
+        now: u64,
+    ) -> Option<MigrationPhase> {
+        if self.shards[from].leader.is_none() || self.shards[to].leader.is_none() {
+            return None; // wait for failover to supply leaders
+        }
+        let (xml, base_seq) = {
+            let leader = self.shards[from].leader.as_mut()?;
+            let _ = leader.db.commit();
+            let xml = leader.db.serialize(uri)?;
+            (xml, leader.db.committed_seq())
+        };
+        let copy_digest = content_digest(uri, &xml);
+        // the destination is a legitimate resident from here on, so its
+        // followers accept the shipped frames
+        self.topology.begin_copy(uri, to);
+        {
+            let leader = self.shards[to].leader.as_mut()?;
+            leader.db.load(uri, &xml).ok()?;
+            let _ = leader.db.commit();
+            leader.refresh_snapshots();
+        }
+        self.rstats.migrations_started += 1;
+        Some(MigrationPhase::Copying {
+            done_at: now + self.cfg.migration_copy_ms,
+            base_seq,
+            copy_digest,
+        })
+    }
+
+    /// Phase 2: integrity-check the destination copy, forward the WAL tail
+    /// the source accepted during the window, and stamp the fence — the
+    /// home pin flips to the destination in the same tick, so no two
+    /// shards ever accept updates for the document in one epoch.
+    fn try_cutover(
+        &mut self,
+        uri: &str,
+        from: usize,
+        to: usize,
+        base_seq: u64,
+        copy_digest: u64,
+    ) -> CutoverStep {
+        if self.shards[from].leader.is_none() || self.shards[to].leader.is_none() {
+            return CutoverStep::Wait;
+        }
+        // Destination integrity cross-check (satellite: migration ×
+        // scrubber). Latent rot on the destination mid-copy — WAL
+        // mid-prefix damage, a digest mismatch against the journal-time
+        // seal, or a divergent content digest — forces a clean re-copy,
+        // never a rotten cutover. A torn WAL *tail* is the legal crash
+        // shape and does not count.
+        let rotten = {
+            let Some(dest) = self.shards[to].leader.as_mut() else {
+                return CutoverStep::Wait;
+            };
+            let wal_rot = matches!(
+                dest.db.wal_integrity(),
+                Some(IntegrityError::WalCorruption { .. })
+            );
+            let body_ok = matches!(dest.db.verified_serialize(uri), Ok(Some(_)));
+            let digest_ok = dest.db.digest_of(uri) == Some(copy_digest);
+            wal_rot || !body_ok || !digest_ok
+        };
+        if rotten {
+            // supersede the damaged bytes from intact memory, then re-copy
+            if let Some(dest) = self.shards[to].leader.as_mut() {
+                let _ = dest.db.checkpoint();
+            }
+            return CutoverStep::Recopy;
+        }
+        // Forward the tail: updates the source accepted during the copy
+        // window. The snapshot re-install is idempotent — the final bytes
+        // land whether the tail was one record or a hundred — but it is
+        // only the destination *leader's* state so far, so the fence must
+        // wait until the forwarded copy has replicated there too.
+        let src_view = {
+            let Some(src) = self.shards[from].leader.as_mut() else {
+                return CutoverStep::Wait;
+            };
+            let _ = src.db.commit();
+            src.db.serialize(uri).map(|xml| {
+                let tail = src.db.tail_records_touching(uri, base_seq);
+                (xml, src.db.committed_seq(), tail)
+            })
+        };
+        let Some((final_xml, new_base, tail)) = src_view else {
+            // The source durably lost the document mid-copy — a failover
+            // promoted a follower that never replicated it. There is no
+            // tail left to forward; the destination's intact copy is the
+            // best surviving state, so fence to it once it is durable
+            // rather than waiting forever for bytes that no longer exist.
+            if !self.replica_durable(to) {
+                return CutoverStep::Wait;
+            }
+            let _ = self.topology.cutover(uri, to);
+            self.rstats.docs_moved += 1;
+            self.rstats.cutover_fences += 1;
+            self.rstats.migrations_completed += 1;
+            return CutoverStep::Done;
+        };
+        let final_digest = content_digest(uri, &final_xml);
+        if final_digest != copy_digest {
+            let Some(dest) = self.shards[to].leader.as_mut() else {
+                return CutoverStep::Wait;
+            };
+            if dest.db.load(uri, &final_xml).is_err() {
+                return CutoverStep::Recopy;
+            }
+            let _ = dest.db.commit();
+            dest.refresh_snapshots();
+            return CutoverStep::Forwarded {
+                base_seq: new_base,
+                copy_digest: final_digest,
+                tail,
+            };
+        }
+        // The copy must be as durable at the destination as an acked
+        // update: the ack-rule quorum of destination followers has to hold
+        // it before the source may stop being the home. Otherwise a
+        // destination-leader crash right after cutover would promote a
+        // follower that never saw the document — losing updates that were
+        // acked (durably!) back on the source.
+        if !self.replica_durable(to) {
+            return CutoverStep::Wait;
+        }
+        // the fence: routing flips, the epoch bumps, and the source starts
+        // refusing with 421 + the new epoch, atomically in this tick
+        let _ = self.topology.cutover(uri, to);
+        self.rstats.docs_moved += 1;
+        self.rstats.cutover_fences += 1;
+        self.rstats.migrations_completed += 1;
+        CutoverStep::Done
+    }
+
+    /// Whether the shard's leader state is replicated per the ack rule:
+    /// at least `ack_replicas` (clamped to the live follower count)
+    /// followers have durably acked everything the leader committed.
+    fn replica_durable(&self, s: usize) -> bool {
+        let sh = &self.shards[s];
+        let Some(leader) = sh.leader.as_ref() else {
+            return false;
+        };
+        let committed = leader.db.committed_seq();
+        let live: Vec<&Seat> = sh
+            .seats
+            .iter()
+            .enumerate()
+            .filter(|(i, seat)| *i != sh.leader_seat && seat.replica.borrow().is_some())
+            .map(|(_, seat)| seat)
+            .collect();
+        let need = self.cfg.ack_replicas.min(live.len());
+        live.iter().filter(|seat| seat.acked >= committed).count() >= need
+    }
+
+    /// Retires draining shards that no longer home any document and have
+    /// no in-flight migration or pending update: leadership and every
+    /// follower seat shut down; the shard refuses everything with 421.
+    fn retire_drained(&mut self, _now: u64) {
+        for s in 0..self.shards.len() {
+            if !self.shards[s].draining || self.shards[s].retired {
+                continue;
+            }
+            if self.topology.homes().iter().any(|(_, h)| *h == s) {
+                continue;
+            }
+            if self.migrations.iter().any(|m| m.from == s) {
+                continue;
+            }
+            if !self.shards[s].pending.is_empty() {
+                continue;
+            }
+            let sh = &mut self.shards[s];
+            sh.retired = true;
+            sh.leader = None;
+            sh.leaderless_since = None;
+            for seat in &mut sh.seats {
+                *seat.replica.borrow_mut() = None;
+            }
+            self.rstats.drains += 1;
+        }
+    }
+
+    /// The document URI a request routes by — what clients should cache
+    /// routing decisions against (and re-resolve on a 421).
+    pub fn routing_uri(url: &str) -> String {
         let (path, query) = split_url(url);
         if let Some(uri) = param(&query, "uri") {
             return uri;
@@ -915,13 +1611,14 @@ impl Cluster {
 
     /// Routes a request to its owning shard and serves it.
     pub fn submit(&mut self, url: &str, now: u64) -> Submitted {
-        let shard = self.router.owner(&Self::routing_uri(url));
+        let shard = self.topology.owner(&Self::routing_uri(url));
         self.serve_at(shard, url, now)
     }
 
     /// Serves a request on a specific shard, refusing documents the shard
-    /// does not own (421). `submit` always routes correctly; this is the
-    /// enforcement point a misconfigured router or client would hit.
+    /// does not own or no longer serves (421 + the current epoch, so
+    /// clients can re-resolve). `submit` always routes correctly; this is
+    /// the enforcement point a stale client or migrated-away document hits.
     pub fn serve_at(&mut self, shard: usize, url: &str, now: u64) -> Submitted {
         let class = Class::of_url(url);
         let id = self.next_id;
@@ -944,13 +1641,11 @@ impl Cluster {
             return done(resp, ClusterOutcome::Served, now);
         }
         let uri = Self::routing_uri(url);
-        if self.router.owner(&uri) != shard {
+        let owner = self.topology.owner(&uri);
+        if owner != shard || self.shards[shard].retired {
             self.stats.borrow_mut().ownership_rejections += 1;
             return done(
-                ServerResponse::new(
-                    421,
-                    format!("<error code=\"XQIB0015\">shard {shard} does not own {uri}</error>"),
-                ),
+                ServerResponse::misrouted(shard, &uri, owner, self.topology.epoch()),
                 ClusterOutcome::Misrouted,
                 now,
             );
@@ -1065,7 +1760,7 @@ impl Cluster {
         } else {
             render::CORPUS_URI.to_string()
         };
-        if self.router.owner(&stale_uri) == shard {
+        if self.topology.owner(&stale_uri) == shard {
             if let Some(resp) = self.follower_doc(shard, &stale_uri, true, now) {
                 return done(
                     resp.with_header("X-XQIB-Degraded", "no-leader"),
@@ -1165,7 +1860,7 @@ impl Cluster {
     /// resync path). The seat re-enters the read pool only after the
     /// scrubber sees it caught up with matching digests.
     fn quarantine_and_resync(&mut self, s: usize, i: usize, now: u64) {
-        let router = self.router.clone();
+        let topology = self.topology.clone();
         let stats = self.stats.clone();
         let follower_cfg = self.cfg.follower_durability;
         let until = now + self.cfg.quarantine_ms;
@@ -1176,7 +1871,7 @@ impl Cluster {
         *seat.replica.borrow_mut() = Some(ReplicaNode::fresh(
             s,
             seat.disk.clone(),
-            router,
+            topology,
             stats,
             follower_cfg,
         ));
@@ -1197,6 +1892,9 @@ impl Cluster {
     fn scrub(&mut self, now: u64) {
         self.istats.scrub_cycles += 1;
         for s in 0..self.shards.len() {
+            if self.shards[s].retired {
+                continue;
+            }
             self.scrub_shard(s, now);
         }
     }
@@ -1249,7 +1947,7 @@ impl Cluster {
                 // `leaderless_since` makes the failover detector fire
                 // immediately.
                 let detect = self.cfg.failover_detect_ms;
-                let router = self.router.clone();
+                let topology = self.topology.clone();
                 let stats = self.stats.clone();
                 let follower_cfg = self.cfg.follower_durability;
                 let sh = &mut self.shards[s];
@@ -1265,7 +1963,7 @@ impl Cluster {
                         store: leader.db.store.clone(),
                         disk,
                         cfg: follower_cfg,
-                        router,
+                        topology,
                         stats,
                         ckpt_gen: ck.map(|c| c.gen).unwrap_or(0),
                         applied: committed,
@@ -1393,6 +2091,16 @@ impl Cluster {
         for s in due {
             self.crash_leader(s, now);
         }
+        let due_topo: Vec<TopologyChange> = self
+            .topo_schedule
+            .iter()
+            .filter(|(at, _)| *at <= now)
+            .map(|(_, c)| *c)
+            .collect();
+        self.topo_schedule.retain(|(at, _)| *at > now);
+        for change in due_topo {
+            self.apply_change(change, now);
+        }
         if self.cfg.scrub_interval_ms > 0 && now >= self.next_scrub_at {
             self.next_scrub_at = now + self.cfg.scrub_interval_ms;
             self.scrub(now);
@@ -1400,6 +2108,9 @@ impl Cluster {
         for s in 0..self.shards.len() {
             self.try_failover(s, now, &mut out);
         }
+        // migrations step after failover (a fresh leader may unblock a
+        // copy or cutover this very tick) and before pending resolution
+        self.drive_migrations(now);
         // resolve before pumping: an ack earned by this tick's shipment is
         // only *observed* on a later tick, so acks always cost wall time
         for s in 0..self.shards.len() {
@@ -1429,7 +2140,13 @@ impl Cluster {
     }
 
     fn settled(&self) -> bool {
+        if !self.migrations.is_empty() || !self.topo_schedule.is_empty() {
+            return false;
+        }
         self.shards.iter().all(|sh| {
+            if sh.retired {
+                return true; // shut down for good; nothing to wait on
+            }
             let Some(leader) = sh.leader.as_ref() else {
                 return false;
             };
@@ -1446,7 +2163,7 @@ impl Cluster {
     fn try_failover(&mut self, s: usize, now: u64, out: &mut Vec<ClusterCompletion>) {
         let detect = self.cfg.failover_detect_ms;
         let probe_retry = self.cfg.probe_retry_ms;
-        if self.shards[s].leader.is_some() {
+        if self.shards[s].retired || self.shards[s].leader.is_some() {
             return;
         }
         let since = self.shards[s].leaderless_since.unwrap_or(now);
@@ -1557,7 +2274,7 @@ impl Cluster {
     ) {
         let committed = server.db.committed_seq();
         let follower_cfg = self.cfg.follower_durability;
-        let router = self.router.clone();
+        let topology = self.topology.clone();
         let stats = self.stats.clone();
         let sh = &mut self.shards[s];
         let old = sh.leader_seat;
@@ -1571,7 +2288,7 @@ impl Cluster {
             *oseat.replica.borrow_mut() = Some(ReplicaNode::fresh(
                 s,
                 oseat.disk.clone(),
-                router,
+                topology,
                 stats,
                 follower_cfg,
             ));
@@ -1852,24 +2569,28 @@ impl Cluster {
         sh.pending = keep;
     }
 
-    /// The `/metrics` surface: shard 0's leader metrics with the cluster's
-    /// replication counters mirrored in (every live leader gets the same
-    /// replication snapshot, so any shard's endpoint agrees).
+    /// The `/metrics` surface: the first live leader's metrics with the
+    /// cluster's replication, integrity and resharding counters mirrored
+    /// in (every live leader gets the same snapshot, so any shard's
+    /// endpoint agrees; shard 0 may be retired).
     fn metrics_response(&mut self) -> ServerResponse {
         let stats = self.stats.borrow().clone();
         let istats = self.integrity_stats();
+        let rstats = self.rstats.clone();
         for sh in &mut self.shards {
             if let Some(leader) = sh.leader.as_mut() {
                 leader.metrics.record_replication(&stats);
                 leader.metrics.record_integrity(&istats);
+                leader.metrics.record_resharding(&rstats);
             }
         }
-        match self.shards[0].leader.as_mut() {
+        match self.shards.iter_mut().find_map(|sh| sh.leader.as_mut()) {
             Some(leader) => leader.handle("/metrics"),
             None => {
                 let mut m = ServerMetrics::default();
                 m.record_replication(&stats);
                 m.record_integrity(&istats);
+                m.record_resharding(&rstats);
                 ServerResponse::new(200, m.to_xml())
             }
         }
@@ -2214,12 +2935,12 @@ mod tests {
     fn followers_refuse_shipped_frames_for_foreign_documents() {
         // Craft a follower for shard 0 and feed it frames that belong to a
         // different shard: it must refuse and not advance its ack.
-        let router = Rc::new(Router::new(4, 9));
+        let topology = Topology::new(Router::new(4, 9));
         let stats = Rc::new(RefCell::new(ReplicationStats::default()));
         let mut foreign = None;
         for i in 0..64 {
             let uri = format!("x{i}.xml");
-            if router.owner(&uri) != 0 {
+            if topology.ring_owner(&uri) != 0 {
                 foreign = Some(uri);
                 break;
             }
@@ -2228,7 +2949,7 @@ mod tests {
         let mut node = ReplicaNode::fresh(
             0,
             VirtualDisk::new(),
-            router,
+            topology,
             stats.clone(),
             DurabilityConfig::default(),
         );
@@ -2687,5 +3408,332 @@ mod tests {
             "metrics body missing replication counters: {}",
             done.response.body
         );
+    }
+
+    // -----------------------------------------------------------------
+    // Online membership & resharding
+    // -----------------------------------------------------------------
+
+    /// Loads `docs` documents and writes one acked marker into each;
+    /// returns the markers keyed by URI and the advanced clock.
+    fn marked(c: &mut Cluster, docs: usize, mut now: u64) -> (Vec<(String, String)>, u64) {
+        let mut markers = Vec::new();
+        for i in 0..docs {
+            let uri = format!("m{i}.xml");
+            c.load(&uri, &format!("<root n=\"{i}\"/>")).unwrap();
+            let marker = format!("mk{i}");
+            now = put_marker(c, &uri, &marker, now);
+            markers.push((uri, marker));
+        }
+        (markers, now)
+    }
+
+    /// Submits one update and drives it to an ack; returns the new clock.
+    fn put_marker(c: &mut Cluster, uri: &str, marker: &str, now: u64) -> u64 {
+        match c.submit(&update_url(uri, marker), now) {
+            Submitted::Done(d) => {
+                assert_eq!(d.outcome, ClusterOutcome::AckedUpdate, "{uri}/{marker}");
+                now + 1
+            }
+            Submitted::Pending(id) => {
+                let (done, at) = await_update(c, id, now);
+                assert_eq!(done.outcome, ClusterOutcome::AckedUpdate, "{uri}/{marker}");
+                at + 1
+            }
+        }
+    }
+
+    #[test]
+    fn add_shard_migrates_documents_and_fences_stale_routes() {
+        let mut c = Cluster::new(ClusterConfig {
+            seed: 42,
+            shards: 2,
+            followers: 1,
+            ack_replicas: 1,
+            ..ClusterConfig::default()
+        });
+        let (markers, now) = marked(&mut c, 24, 0);
+        let owners_before: Vec<usize> = markers.iter().map(|(u, _)| c.owner(u)).collect();
+        let epoch_before = c.epoch();
+
+        let new_shard = c.add_shard(now);
+        assert_eq!(new_shard, 2);
+        assert_eq!(
+            c.epoch(),
+            epoch_before + 1,
+            "ring install must bump the epoch"
+        );
+        assert!(
+            c.migrations_in_flight() > 0,
+            "the new ring must claim documents"
+        );
+        let (settled, _) = c.quiesce(now);
+
+        let rs = c.reshard_stats();
+        assert!(rs.docs_moved > 0, "no document migrated to the new shard");
+        assert_eq!(rs.migrations_completed, rs.docs_moved);
+        assert_eq!(c.migrations_in_flight(), 0);
+        let mut moved = 0;
+        for ((uri, marker), before) in markers.iter().zip(&owners_before) {
+            let owner = c.owner(uri);
+            assert!(
+                c.contains(uri, marker),
+                "acked marker {marker} lost while resharding {uri}"
+            );
+            if owner == *before {
+                continue;
+            }
+            moved += 1;
+            assert_eq!(
+                owner, new_shard,
+                "documents can only move to the joining shard"
+            );
+            // the stale route hits the old owner's fence: 421 plus the
+            // pointers a client needs to re-resolve
+            let done = match c.serve_at(*before, &doc_url(uri), settled) {
+                Submitted::Done(d) => d,
+                Submitted::Pending(_) => panic!("fence cannot pend"),
+            };
+            assert_eq!(done.response.status, 421);
+            assert_eq!(done.outcome, ClusterOutcome::Misrouted);
+            assert_eq!(
+                done.response.header("X-XQIB-Owner"),
+                Some(new_shard.to_string().as_str())
+            );
+            assert_eq!(
+                done.response.header("X-XQIB-Epoch"),
+                Some(c.epoch().to_string().as_str())
+            );
+            // and the routed path serves the moved document fine
+            let ok = match c.submit(&doc_url(uri), settled) {
+                Submitted::Done(d) => d,
+                Submitted::Pending(_) => panic!("doc reads cannot pend"),
+            };
+            assert_eq!(ok.response.status, 200);
+        }
+        assert_eq!(moved as u64, rs.docs_moved);
+        // a moved document accepts updates at its new home
+        let moved_uri = markers
+            .iter()
+            .zip(&owners_before)
+            .find(|((u, _), b)| c.owner(u) != **b)
+            .map(|((u, _), _)| u.clone())
+            .unwrap();
+        let _ = put_marker(&mut c, &moved_uri, "after-move", settled + 1);
+        assert!(c.contains(&moved_uri, "after-move"));
+    }
+
+    #[test]
+    fn decommission_drains_documents_and_retires_the_seats() {
+        let mut c = Cluster::new(ClusterConfig {
+            seed: 42,
+            shards: 3,
+            followers: 1,
+            ack_replicas: 1,
+            ..ClusterConfig::default()
+        });
+        let (markers, now) = marked(&mut c, 24, 0);
+        let homed_on_1 = markers.iter().filter(|(u, _)| c.owner(u) == 1).count();
+        assert!(
+            homed_on_1 > 0,
+            "seed must home documents on the leaving shard"
+        );
+
+        assert!(c.decommission_shard(1, now));
+        assert!(c.is_draining(1));
+        assert!(
+            !c.decommission_shard(1, now),
+            "double decommission must refuse"
+        );
+        let (settled, _) = c.quiesce(now);
+
+        assert!(c.is_retired(1), "drained shard must retire");
+        let rs = c.reshard_stats();
+        assert_eq!(rs.drains, 1);
+        assert!(rs.docs_moved as usize >= homed_on_1);
+        for (uri, marker) in &markers {
+            assert_ne!(c.owner(uri), 1, "{uri} still routed to the retired shard");
+            assert!(
+                c.contains(uri, marker),
+                "acked marker {marker} lost draining {uri}"
+            );
+        }
+        // the retired shard refuses everything with the fence
+        let done = match c.serve_at(1, &doc_url(&markers[0].0), settled) {
+            Submitted::Done(d) => d,
+            Submitted::Pending(_) => panic!("fence cannot pend"),
+        };
+        assert_eq!(done.response.status, 421);
+        // and a retired shard never blocks quiescence
+        let (_, _) = c.quiesce(settled);
+    }
+
+    #[test]
+    fn the_last_shard_cannot_be_decommissioned() {
+        let mut c = seeded(ClusterConfig {
+            shards: 1,
+            followers: 1,
+            ack_replicas: 1,
+            ..ClusterConfig::default()
+        });
+        assert!(!c.decommission_shard(0, 0));
+        assert!(!c.is_draining(0));
+        assert_eq!(c.epoch(), 0);
+    }
+
+    #[test]
+    fn rebalance_moves_keys_without_losing_acked_updates() {
+        let mut c = Cluster::new(ClusterConfig {
+            seed: 42,
+            shards: 3,
+            followers: 1,
+            ack_replicas: 1,
+            ..ClusterConfig::default()
+        });
+        let (markers, now) = marked(&mut c, 24, 0);
+        c.rebalance(7, now);
+        assert_eq!(c.epoch(), 1);
+        let (_, _) = c.quiesce(now);
+        let rs = c.reshard_stats();
+        assert!(rs.docs_moved > 0, "a reseeded ring must move some keys");
+        for (uri, marker) in &markers {
+            assert!(
+                c.contains(uri, marker),
+                "{marker} lost in rebalance of {uri}"
+            );
+        }
+    }
+
+    #[test]
+    fn scheduled_topology_changes_apply_at_their_time() {
+        let mut c = seeded(ClusterConfig {
+            shards: 2,
+            followers: 0,
+            ack_replicas: 0,
+            ..ClusterConfig::default()
+        });
+        c.schedule_topology(500, TopologyChange::AddShard);
+        let _ = c.advance(100);
+        assert_eq!(c.shard_count(), 2, "topology change applied early");
+        let _ = c.advance(600);
+        assert_eq!(c.shard_count(), 3);
+        assert_eq!(c.epoch(), 1);
+    }
+
+    #[test]
+    fn leader_crash_mid_migration_pauses_until_failover_then_completes() {
+        let mut c = Cluster::new(ClusterConfig {
+            seed: 42,
+            shards: 2,
+            followers: 2,
+            ack_replicas: 1,
+            ..ClusterConfig::default()
+        });
+        let (markers, now) = marked(&mut c, 24, 0);
+        let new_shard = c.add_shard(now);
+        // the destination loses its leader before any copy can start: every
+        // migration to it parks until failover elects a replacement
+        c.crash_leader(new_shard, now);
+        let _ = c.advance(now + 1);
+        assert!(c.migrations_in_flight() > 0);
+        let (_, _) = c.quiesce(now + 1);
+        assert!(
+            c.has_leader(new_shard),
+            "failover must restaff the destination"
+        );
+        assert_eq!(
+            c.migrations_in_flight(),
+            0,
+            "migrations must finish after failover"
+        );
+        let rs = c.reshard_stats();
+        assert!(rs.docs_moved > 0);
+        for (uri, marker) in &markers {
+            assert!(
+                c.contains(uri, marker),
+                "{marker} lost migrating {uri} across a destination crash"
+            );
+        }
+    }
+
+    /// Satellite: migration × scrubber. Latent rot on the migration
+    /// destination mid-copy is caught by the cutover digest cross-check;
+    /// the cluster re-copies cleanly instead of cutting over to rot.
+    #[test]
+    fn rotten_destination_copy_is_recopied_never_cut_over() {
+        let mut c = Cluster::new(ClusterConfig {
+            seed: 42,
+            shards: 2,
+            followers: 1,
+            ack_replicas: 1,
+            scrub_interval_ms: 0, // isolate the migration's own cross-check
+            ..ClusterConfig::default()
+        });
+        let (markers, now) = marked(&mut c, 24, 0);
+        let dest = c.add_shard(now);
+        // first tick starts the copies
+        let _ = c.advance(now);
+        let copying: Vec<String> = c
+            .migrations
+            .iter()
+            .filter(|m| matches!(m.phase, MigrationPhase::Copying { .. }))
+            .map(|m| m.uri.clone())
+            .collect();
+        assert!(!copying.is_empty(), "no copy started on the first tick");
+        // silent rot between the destination's store and its seal, exactly
+        // the divergence a digest cross-check exists to catch
+        let poisoned = &copying[0];
+        assert!(c.shards[dest]
+            .leader
+            .as_mut()
+            .unwrap()
+            .db
+            .poison_recorded_digest(poisoned));
+        let before = c.reshard_stats().migrations_aborted;
+        let (_, _) = c.quiesce(now + 1);
+        let rs = c.reshard_stats();
+        assert!(
+            rs.migrations_aborted > before,
+            "rotten copy must abort and re-copy, not cut over: {rs:?}"
+        );
+        assert_eq!(c.migrations_in_flight(), 0);
+        assert_eq!(
+            c.owner(poisoned),
+            dest,
+            "re-copy must still complete the move"
+        );
+        for (uri, marker) in &markers {
+            assert!(c.contains(uri, marker), "{marker} lost on {uri}");
+        }
+    }
+
+    #[test]
+    fn metrics_surface_carries_reshard_counters() {
+        let mut c = Cluster::new(ClusterConfig {
+            seed: 42,
+            shards: 2,
+            followers: 0,
+            ack_replicas: 0,
+            ..ClusterConfig::default()
+        });
+        let (_, now) = marked(&mut c, 12, 0);
+        let _ = c.add_shard(now);
+        let (settled, _) = c.quiesce(now);
+        let done = match c.submit("/metrics", settled) {
+            Submitted::Done(d) => d,
+            Submitted::Pending(_) => panic!("metrics cannot pend"),
+        };
+        assert_eq!(done.response.status, 200);
+        for needle in [
+            "<reshard-epoch-bumps>",
+            "<reshard-docs-moved>",
+            "<reshard-cutover-fences>",
+        ] {
+            assert!(
+                done.response.body.contains(needle),
+                "metrics body missing {needle}: {}",
+                done.response.body
+            );
+        }
     }
 }

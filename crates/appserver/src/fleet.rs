@@ -20,6 +20,7 @@
 //! the same [`FleetConfig`] produces a bit-identical [`FleetReport`].
 
 use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::rc::Rc;
 
 use xqib_browser::net::{FaultPlan, Response};
@@ -29,7 +30,9 @@ use xqib_minijs::JsEngine;
 use xqib_storage::StorageFaultPlan;
 use xqib_xdm::{XdmError, XdmResult};
 
-use crate::cluster::{Cluster, ClusterConfig, IntegrityStats, ReplicationStats, Submitted};
+use crate::cluster::{
+    Cluster, ClusterConfig, IntegrityStats, ReplicationStats, Submitted, TopologyChange,
+};
 use crate::corpus::{article_ids, generate_corpus, CorpusSpec};
 
 /// The origin every simulated browser talks to.
@@ -90,6 +93,9 @@ pub struct FleetChaos {
     pub partitions: Vec<(usize, usize, u64, u64)>,
     /// Scheduled leader crashes: `(at_ms, shard)`.
     pub leader_crashes: Vec<(u64, usize)>,
+    /// Scheduled topology changes: `(at_ms, change)`. Clients keep their
+    /// cached routes and re-resolve on the resulting 421 fences.
+    pub reshards: Vec<(u64, TopologyChange)>,
 }
 
 /// A fleet run: who, how many, against what, under which chaos.
@@ -173,6 +179,13 @@ impl FleetConfig {
                 // both shards lose their leader mid-run, so every document
                 // sees a blackout whichever shard owns it
                 leader_crashes: vec![(1200, 0), (1400, 1)],
+                // the cluster also grows a shard and reshuffles the ring
+                // mid-run: cached routes go stale and clients must chase
+                // the 421 fences to the new owners
+                reshards: vec![
+                    (800, TopologyChange::AddShard),
+                    (1800, TopologyChange::Rebalance(7)),
+                ],
             },
             ..FleetConfig::default()
         }
@@ -268,6 +281,9 @@ pub struct FleetReport {
     /// End-to-end integrity counters (scrub verdicts, quarantines,
     /// verified repairs, decay sweeps) for the whole run.
     pub integrity: IntegrityStats,
+    /// Requests that hit a 421 epoch fence and were retried against the
+    /// freshly re-resolved owner. Nonzero whenever routes went stale.
+    pub reroutes: u64,
 }
 
 // ---------------------------------------------------------------------
@@ -407,17 +423,26 @@ impl LastMeta {
 /// shared cluster clock (the wait is surfaced via `extra_wait_ms`); the
 /// shared clock is monotone across clients, so the cluster never sees
 /// time regress even though client clocks drift apart.
+///
+/// Each client caches its routing decisions per document URI, the way a
+/// real browser would pin a shard endpoint. When a topology change moves
+/// a document, the cached route hits the old owner's 421 epoch fence; the
+/// bridge then re-resolves the owner and retries once, bumping the shared
+/// `reroutes` counter.
 fn wire_cluster(
     plugin: &mut Plugin,
     cluster: &Rc<RefCell<Cluster>>,
     cluster_now: &Rc<Cell<u64>>,
     meta: &Rc<RefCell<LastMeta>>,
+    reroutes: &Rc<Cell<u64>>,
     step_ms: u64,
     pending_cap_ms: u64,
 ) {
     let cluster = cluster.clone();
     let clock = cluster_now.clone();
     let meta = meta.clone();
+    let reroutes = reroutes.clone();
+    let routes: RefCell<HashMap<String, usize>> = RefCell::new(HashMap::new());
     plugin.host.borrow_mut().net.register_with_now(
         &format!("{CLUSTER_BASE}/"),
         CLUSTER_LATENCY_MS,
@@ -425,7 +450,20 @@ fn wire_cluster(
             let entered = clock.get().max(now);
             clock.set(entered);
             let mut t = entered;
-            let submitted = cluster.borrow_mut().submit(&req.url, t);
+            let uri = Cluster::routing_uri(&req.url);
+            let shard = *routes
+                .borrow_mut()
+                .entry(uri.clone())
+                .or_insert_with(|| cluster.borrow().owner(&uri));
+            let mut submitted = cluster.borrow_mut().serve_at(shard, &req.url, t);
+            if matches!(&submitted, Submitted::Done(d) if d.response.status == 421) {
+                // stale route: the document moved (or the shard retired)
+                // since this client last resolved it. Chase the fence.
+                reroutes.set(reroutes.get() + 1);
+                let fresh = cluster.borrow().owner(&uri);
+                routes.borrow_mut().insert(uri, fresh);
+                submitted = cluster.borrow_mut().serve_at(fresh, &req.url, t);
+            }
             let completion = match submitted {
                 Submitted::Done(c) => Some(*c),
                 Submitted::Pending(id) => {
@@ -611,10 +649,14 @@ pub fn run_fleet(cfg: &FleetConfig) -> XdmResult<(FleetReport, Cluster)> {
     for &(shard, slot, from, to) in &cfg.chaos.partitions {
         cluster.partition(shard, slot, from, to);
     }
+    for &(at, change) in &cfg.chaos.reshards {
+        cluster.schedule_topology(at, change);
+    }
     let step_ms = cfg.cluster.link_latency_ms.max(1);
     let pending_cap_ms = cfg.cluster.ack_timeout_ms + cfg.cluster.failover_detect_ms + 2_000;
     let cluster = Rc::new(RefCell::new(cluster));
     let cluster_now = Rc::new(Cell::new(0u64));
+    let reroutes = Rc::new(Cell::new(0u64));
 
     // --- the clients
     let roster: Vec<(Scenario, bool)> =
@@ -645,6 +687,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> XdmResult<(FleetReport, Cluster)> {
             &cluster,
             &cluster_now,
             &meta,
+            &reroutes,
             step_ms,
             pending_cap_ms,
         );
@@ -930,6 +973,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> XdmResult<(FleetReport, Cluster)> {
         duration_ms,
         replication,
         integrity,
+        reroutes: reroutes.get(),
     };
     // the bridge handlers inside each plugin's virtual network hold clones
     // of the cluster Rc — drop the fleet before unwrapping it

@@ -34,7 +34,7 @@ pub mod xmldb;
 
 pub use cluster::{
     Cluster, ClusterCompletion, ClusterConfig, ClusterOutcome, IntegrityStats, ReplicationStats,
-    Router, Submitted,
+    ReshardStats, Router, Submitted, TopologyChange, TopologyEpoch,
 };
 pub use corpus::{generate_corpus, CorpusSpec};
 pub use fleet::{

@@ -184,6 +184,22 @@ pub struct ServerMetrics {
     pub doc_reads_verified: u64,
     /// Leader `/doc` bodies refused with `XQIB0019` (digest mismatch).
     pub doc_reads_refused: u64,
+    /// Ring installs (add, decommission, rebalance) — topology epoch bumps.
+    pub reshard_epoch_bumps: u64,
+    /// Per-document migrations that entered the copy phase.
+    pub reshard_migrations_started: u64,
+    /// Migrations that reached cutover.
+    pub reshard_migrations_completed: u64,
+    /// Copy phases abandoned (destination rot or mid-flight retarget).
+    pub reshard_migrations_aborted: u64,
+    /// Documents whose home moved to a new shard.
+    pub reshard_docs_moved: u64,
+    /// WAL records forwarded as a migration's copy-window tail.
+    pub reshard_tail_frames_forwarded: u64,
+    /// Cutover fences stamped (source starts refusing with 421 + epoch).
+    pub reshard_cutover_fences: u64,
+    /// Decommissioned shards fully drained and retired.
+    pub reshard_drains: u64,
 }
 
 impl ServerMetrics {
@@ -291,6 +307,19 @@ impl ServerMetrics {
         self.repl_ownership_rejections = stats.ownership_rejections;
         self.repl_blackout_ms = stats.blackout_ms;
         self.repl_max_replica_lag = stats.max_replica_lag;
+    }
+
+    /// Mirrors the cluster's resharding counters (cumulative snapshots —
+    /// overwrites, same convention as the other mirrors).
+    pub fn record_resharding(&mut self, stats: &crate::cluster::ReshardStats) {
+        self.reshard_epoch_bumps = stats.epoch_bumps;
+        self.reshard_migrations_started = stats.migrations_started;
+        self.reshard_migrations_completed = stats.migrations_completed;
+        self.reshard_migrations_aborted = stats.migrations_aborted;
+        self.reshard_docs_moved = stats.docs_moved;
+        self.reshard_tail_frames_forwarded = stats.tail_frames_forwarded;
+        self.reshard_cutover_fences = stats.cutover_fences;
+        self.reshard_drains = stats.drains;
     }
 
     /// Mirrors a fleet run's aggregate counters (cumulative snapshots —
@@ -405,6 +434,14 @@ impl ServerMetrics {
             decay_sectors,
             doc_reads_verified,
             doc_reads_refused,
+            reshard_epoch_bumps,
+            reshard_migrations_started,
+            reshard_migrations_completed,
+            reshard_migrations_aborted,
+            reshard_docs_moved,
+            reshard_tail_frames_forwarded,
+            reshard_cutover_fences,
+            reshard_drains,
         } = self;
         let fields: &[(&str, u64)] = &[
             ("requests", *requests),
@@ -490,6 +527,20 @@ impl ServerMetrics {
             ("decay-sectors", *decay_sectors),
             ("doc-reads-verified", *doc_reads_verified),
             ("doc-reads-refused", *doc_reads_refused),
+            ("reshard-epoch-bumps", *reshard_epoch_bumps),
+            ("reshard-migrations-started", *reshard_migrations_started),
+            (
+                "reshard-migrations-completed",
+                *reshard_migrations_completed,
+            ),
+            ("reshard-migrations-aborted", *reshard_migrations_aborted),
+            ("reshard-docs-moved", *reshard_docs_moved),
+            (
+                "reshard-tail-frames-forwarded",
+                *reshard_tail_frames_forwarded,
+            ),
+            ("reshard-cutover-fences", *reshard_cutover_fences),
+            ("reshard-drains", *reshard_drains),
         ];
         let mut out = String::from("<metrics>");
         for (name, value) in fields {
@@ -594,6 +645,14 @@ mod tests {
             decay_sectors: 81,
             doc_reads_verified: 82,
             doc_reads_refused: 83,
+            reshard_epoch_bumps: 84,
+            reshard_migrations_started: 85,
+            reshard_migrations_completed: 86,
+            reshard_migrations_aborted: 87,
+            reshard_docs_moved: 88,
+            reshard_tail_frames_forwarded: 89,
+            reshard_cutover_fences: 90,
+            reshard_drains: 91,
         }
     }
 
@@ -611,8 +670,8 @@ mod tests {
         // each field was set to a distinct value, so each must appear
         assert!(xml.contains("<requests>1</requests>"), "{xml}");
         assert!(xml.contains("<queue-delay-p99-ms>30</queue-delay-p99-ms>"));
-        // 83 counters → 83 distinct element names
-        assert_eq!(xml.matches("</").count(), 83 + 1, "{xml}");
+        // 91 counters → 91 distinct element names
+        assert_eq!(xml.matches("</").count(), 91 + 1, "{xml}");
         assert!(xml.contains("<plan-cache-hits>31</plan-cache-hits>"));
         assert!(xml.contains("<repl-frames-shipped>35</repl-frames-shipped>"));
         assert!(xml.contains("<repl-max-replica-lag>44</repl-max-replica-lag>"));
@@ -623,6 +682,8 @@ mod tests {
         assert!(xml.contains("<integrity-quarantines>73</integrity-quarantines>"));
         assert!(xml.contains("<decay-sectors>81</decay-sectors>"));
         assert!(xml.contains("<doc-reads-refused>83</doc-reads-refused>"));
+        assert!(xml.contains("<reshard-epoch-bumps>84</reshard-epoch-bumps>"));
+        assert!(xml.contains("<reshard-drains>91</reshard-drains>"));
     }
 
     #[test]
@@ -860,5 +921,31 @@ mod tests {
         assert_eq!(m.decay_sectors, 7);
         m.record_integrity(&crate::cluster::IntegrityStats::default());
         assert_eq!(m.scrub_cycles, 0, "cumulative snapshot overwrites");
+    }
+
+    #[test]
+    fn reshard_counters_mirror_the_cluster_snapshot() {
+        let mut m = ServerMetrics::default();
+        let stats = crate::cluster::ReshardStats {
+            epoch_bumps: 3,
+            migrations_started: 9,
+            migrations_completed: 8,
+            migrations_aborted: 1,
+            docs_moved: 8,
+            tail_frames_forwarded: 12,
+            cutover_fences: 8,
+            drains: 1,
+        };
+        m.record_resharding(&stats);
+        assert_eq!(m.reshard_epoch_bumps, 3);
+        assert_eq!(m.reshard_migrations_started, 9);
+        assert_eq!(m.reshard_migrations_completed, 8);
+        assert_eq!(m.reshard_migrations_aborted, 1);
+        assert_eq!(m.reshard_docs_moved, 8);
+        assert_eq!(m.reshard_tail_frames_forwarded, 12);
+        assert_eq!(m.reshard_cutover_fences, 8);
+        assert_eq!(m.reshard_drains, 1);
+        m.record_resharding(&crate::cluster::ReshardStats::default());
+        assert_eq!(m.reshard_epoch_bumps, 0, "cumulative snapshot overwrites");
     }
 }

@@ -52,6 +52,22 @@ impl ServerResponse {
             .find(|(n, _)| n.eq_ignore_ascii_case(name))
             .map(|(_, v)| v.as_str())
     }
+
+    /// The 421 ownership/fencing refusal a shard returns for a document it
+    /// does not serve (misroute, or migrated away under a newer topology
+    /// epoch). Carries the current owner and epoch so clients re-resolve
+    /// instead of retrying the same shard.
+    pub fn misrouted(shard: usize, uri: &str, owner: usize, epoch: u64) -> Self {
+        ServerResponse::new(
+            421,
+            format!(
+                "<error code=\"XQIB0015\">shard {shard} does not serve {uri}; \
+                 owner is shard {owner} at epoch {epoch}</error>"
+            ),
+        )
+        .with_header("X-XQIB-Owner", &owner.to_string())
+        .with_header("X-XQIB-Epoch", &epoch.to_string())
+    }
 }
 
 /// The Reference 2.0 application server.

@@ -22,7 +22,7 @@ use xqib_xdm::XdmResult;
 
 use crate::cluster::{
     Cluster, ClusterCompletion, ClusterConfig, ClusterOutcome, IntegrityStats, ReplicationStats,
-    Submitted,
+    ReshardStats, Submitted, TopologyChange, TopologyEpoch,
 };
 use crate::corpus::{generate_corpus, CorpusSpec};
 use crate::governor::{Admission, Class, Completion, GovernedServer, GovernorConfig, Outcome};
@@ -460,6 +460,13 @@ pub struct ClusterSimConfig {
     pub leader_crashes: Vec<(u64, usize)>,
     /// Follower partitions: `(shard, slot, from_ms, to_ms)`.
     pub partitions: Vec<(usize, usize, u64, u64)>,
+    /// Scheduled topology changes: `(at_ms, change)`.
+    pub topology: Vec<(u64, TopologyChange)>,
+    /// How long the simulated clients cache a document's owner before
+    /// re-resolving. `0` = always-fresh routing (no stale 421s). A
+    /// positive value exercises the fencing path: stale clients hit the
+    /// old owner, get 421 + the new epoch, re-resolve and retry.
+    pub route_refresh_ms: u64,
 }
 
 impl ClusterSimConfig {
@@ -477,6 +484,8 @@ impl ClusterSimConfig {
             },
             leader_crashes: Vec::new(),
             partitions: Vec::new(),
+            topology: Vec::new(),
+            route_refresh_ms: 0,
         }
     }
 }
@@ -489,6 +498,11 @@ pub struct UpdateRecord {
     pub marker: String,
     pub uri: String,
     pub acked: bool,
+    /// The shard whose leader applied the update (acceptance is
+    /// synchronous in `serve_at`, so this is exact).
+    pub shard: usize,
+    /// The topology epoch at acceptance time.
+    pub epoch: TopologyEpoch,
 }
 
 /// The cluster simulation result. Two runs with identical configs compare
@@ -523,6 +537,14 @@ pub struct ClusterReport {
     pub stats: ReplicationStats,
     /// Anti-entropy scrub / verified-repair counters at end of run.
     pub integrity: IntegrityStats,
+    /// Client re-resolutions after a 421 fencing refusal.
+    pub reroutes: u64,
+    /// 421 refusals stale clients hit (each is followed by a re-resolve).
+    pub fence_refusals: u64,
+    /// The topology epoch when the run settled.
+    pub final_epoch: TopologyEpoch,
+    /// Resharding counters at end of run.
+    pub reshard: ReshardStats,
 }
 
 impl ClusterReport {
@@ -535,6 +557,27 @@ impl ClusterReport {
             .filter(|u| u.acked && !cluster.contains(&u.uri, &u.marker))
             .map(|u| u.marker.clone())
             .collect()
+    }
+
+    /// Checks the fencing invariant: within one topology epoch, only one
+    /// shard may ever accept updates for a document. Returns the
+    /// `(uri, epoch)` pairs accepted by more than one shard (empty = the
+    /// cutover fence held across every interleaving).
+    pub fn dual_owner_violations(&self) -> Vec<String> {
+        let mut by_key: HashMap<(String, TopologyEpoch), Vec<usize>> = HashMap::new();
+        for u in self.updates.iter().filter(|u| u.acked) {
+            let shards = by_key.entry((u.uri.clone(), u.epoch)).or_default();
+            if !shards.contains(&u.shard) {
+                shards.push(u.shard);
+            }
+        }
+        let mut bad: Vec<String> = by_key
+            .into_iter()
+            .filter(|(_, shards)| shards.len() > 1)
+            .map(|((uri, epoch), shards)| format!("{uri}@e{epoch}: shards {shards:?}"))
+            .collect();
+        bad.sort();
+        bad
     }
 }
 
@@ -560,7 +603,13 @@ pub fn run_cluster_sim(cfg: &ClusterSimConfig) -> (ClusterReport, Cluster) {
     for &(at, shard) in &cfg.leader_crashes {
         c.crash_leader_at(at, shard);
     }
+    for &(at, change) in &cfg.topology {
+        c.schedule_topology(at, change);
+    }
     let mut report = ClusterReport::default();
+    // client-side route cache: uri → (fetched_at, shard). Refreshed after
+    // `route_refresh_ms`, or immediately on a 421 fencing refusal.
+    let mut routes: HashMap<String, (u64, usize)> = HashMap::new();
     // completion id → ledger index, for pending updates
     let mut in_flight: HashMap<u64, usize> = HashMap::new();
     let mut ack_latencies: Vec<u64> = Vec::new();
@@ -600,6 +649,20 @@ pub fn run_cluster_sim(cfg: &ClusterSimConfig) -> (ClusterReport, Cluster) {
             }
         }
     };
+    // resolve a uri through the (possibly stale) client route cache
+    let resolve = |c: &Cluster, routes: &mut HashMap<String, (u64, usize)>, uri: &str, now: u64| {
+        if cfg.route_refresh_ms == 0 {
+            return c.owner(uri);
+        }
+        match routes.get(uri) {
+            Some(&(at, shard)) if now < at + cfg.route_refresh_ms => shard,
+            _ => {
+                let shard = c.owner(uri);
+                routes.insert(uri.to_string(), (now, shard));
+                shard
+            }
+        }
+    };
     let (mut un, mut rn) = (0u64, 0u64);
     for now in 0..=cfg.duration_ms {
         while un < cfg.update_rps * now / 1000 {
@@ -614,11 +677,29 @@ pub fn run_cluster_sim(cfg: &ClusterSimConfig) -> (ClusterReport, Cluster) {
             report.issued_updates += 1;
             report.updates.push(UpdateRecord {
                 marker,
-                uri,
+                uri: uri.clone(),
                 acked: false,
+                shard: 0,
+                epoch: 0,
             });
             let ix = report.updates.len() - 1;
-            match c.submit(&url, now) {
+            let mut shard = resolve(&c, &mut routes, &uri, now);
+            let mut submitted = c.serve_at(shard, &url, now);
+            // a 421 fence means the route cache was stale: re-resolve
+            // against the refreshed ring and retry once
+            if matches!(&submitted, Submitted::Done(d) if d.outcome == ClusterOutcome::Misrouted) {
+                report.fence_refusals += 1;
+                report.reroutes += 1;
+                if let Submitted::Done(done) = submitted {
+                    settle(*done, &mut report, &mut in_flight, &mut ack_latencies);
+                }
+                shard = c.owner(&uri);
+                routes.insert(uri.clone(), (now, shard));
+                submitted = c.serve_at(shard, &url, now);
+            }
+            report.updates[ix].shard = shard;
+            report.updates[ix].epoch = c.epoch();
+            match submitted {
                 Submitted::Pending(id) => {
                     in_flight.insert(id, ix);
                 }
@@ -637,7 +718,19 @@ pub fn run_cluster_sim(cfg: &ClusterSimConfig) -> (ClusterReport, Cluster) {
         while rn < cfg.read_rps * now / 1000 {
             let uri = format!("d{}.xml", mix64(cfg.seed ^ 0xbead ^ rn) % docs as u64);
             report.issued_reads += 1;
-            match c.submit(&format!("/doc?uri={uri}"), now) {
+            let mut shard = resolve(&c, &mut routes, &uri, now);
+            let mut submitted = c.serve_at(shard, &format!("/doc?uri={uri}"), now);
+            if matches!(&submitted, Submitted::Done(d) if d.outcome == ClusterOutcome::Misrouted) {
+                report.fence_refusals += 1;
+                report.reroutes += 1;
+                if let Submitted::Done(done) = submitted {
+                    settle(*done, &mut report, &mut in_flight, &mut ack_latencies);
+                }
+                shard = c.owner(&uri);
+                routes.insert(uri.clone(), (now, shard));
+                submitted = c.serve_at(shard, &format!("/doc?uri={uri}"), now);
+            }
+            match submitted {
                 Submitted::Done(done) => {
                     settle(*done, &mut report, &mut in_flight, &mut ack_latencies)
                 }
@@ -658,6 +751,8 @@ pub fn run_cluster_sim(cfg: &ClusterSimConfig) -> (ClusterReport, Cluster) {
     report.ack_latency_p99 = nearest_rank(&ack_latencies, 99);
     report.stats = c.stats();
     report.integrity = c.integrity_stats();
+    report.final_epoch = c.epoch();
+    report.reshard = c.reshard_stats();
     (report, c)
 }
 

@@ -613,6 +613,25 @@ impl XmlDb {
         }
     }
 
+    /// How many committed WAL records with `seq > after` touch `uri` — the
+    /// size of the update tail a migration source accepted during a copy
+    /// window. `0` for ephemeral databases or when a checkpoint already
+    /// absorbed the suffix (the caller re-snapshots then anyway).
+    pub fn tail_records_touching(&self, uri: &str, after: u64) -> u64 {
+        let Some(frames) = self.committed_frames_after(after) else {
+            return 0;
+        };
+        frames
+            .iter()
+            .filter(|f| match &f.record {
+                WalRecord::Load { uri: u, .. } | WalRecord::Digest { uri: u, .. } => u == uri,
+                WalRecord::Pul(bytes) => wire::pul_doc_uris(bytes)
+                    .map(|uris| uris.iter().any(|u| u == uri))
+                    .unwrap_or(false),
+            })
+            .count() as u64
+    }
+
     /// A consistent snapshot of the committed state, in the checkpoint
     /// wire format, for resyncing a follower that has fallen off the WAL.
     /// Commits first so the document dump and the stamped sequence agree;

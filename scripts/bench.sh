@@ -32,6 +32,13 @@
 #                           detected/repaired, demotions, read refusals,
 #                           acked updates preserved, in virtual time (the
 #                           bench binary writes this report itself)
+#   BENCH_reshard.json    — online resharding (reshard): the same
+#                           steady workload with no topology change vs a
+#                           mid-run grow, grow + ring reseed, and
+#                           decommission — acked-update latency, 421
+#                           fence-chases and migration counters, in
+#                           virtual time (the bench binary writes this
+#                           report itself)
 #   BENCH_fleet.json      — browser fleet (fleet): 100 Elsevier clients
 #                           with whole-document caching vs cache-busting
 #                           URLs (origin traffic + cache-hit ratio), plus
@@ -101,11 +108,12 @@ rm -rf target/criterion
 cargo bench -p xqib-bench --bench plan_eval
 harvest BENCH_plan_eval.json
 
-# The overload, cluster, scrub and fleet experiments measure virtual-time
-# goodput/latency, not wall-clock ns/iter, so their binaries write
-# BENCH_overload.json / BENCH_cluster.json / BENCH_scrub.json /
-# BENCH_fleet.json directly (no criterion harvest).
+# The overload, cluster, scrub, fleet and reshard experiments measure
+# virtual-time goodput/latency, not wall-clock ns/iter, so their binaries
+# write BENCH_overload.json / BENCH_cluster.json / BENCH_scrub.json /
+# BENCH_fleet.json / BENCH_reshard.json directly (no criterion harvest).
 cargo bench -p xqib-bench --bench overload
 cargo bench -p xqib-bench --bench cluster_failover
 cargo bench -p xqib-bench --bench scrub
 cargo bench -p xqib-bench --bench fleet
+cargo bench -p xqib-bench --bench reshard
